@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	var out strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := r.Read(buf)
+		out.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return out.String(), runErr
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E2", "E7", "E12"} {
+		if !strings.Contains(out, id+" ") && !strings.Contains(out, id+"  ") {
+			t.Errorf("missing %s in list:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	out, err := capture(t, "-run", "E4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "symmetric") {
+		t.Errorf("E4 output:\n%s", out)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := capture(t, "-run", "E99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

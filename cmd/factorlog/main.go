@@ -1,0 +1,222 @@
+// Command factorlog parses a Datalog file containing rules, optional ground
+// facts, and one ?- query, and runs the paper's transformation pipeline on
+// it.
+//
+// Usage:
+//
+//	factorlog run      [-strategy S] [-constraints file] [-edb file] [-budget N] file.dl
+//	factorlog compare  [-constraints file] [-edb file] [-budget N] file.dl
+//	factorlog explain  [-strategy S] [-constraints file] file.dl
+//	factorlog classify [-constraints file] file.dl
+//	factorlog prove    [-edb file] file.dl     # derivation trees per answer
+//
+// Strategies: naive, semi-naive, top-down, tabled, magic, sup-magic,
+// factored, factored+opt, counting.
+//
+// Example:
+//
+//	$ factorlog explain -strategy factored+opt testdata/tc3.dl
+//	% class: selection-pushing
+//	m_t_bf(W) :- ft(W).
+//	m_t_bf(5).
+//	ft(Y) :- m_t_bf(X), e(X,Y).
+//	query(Y) :- ft(Y).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"factorlog"
+	"factorlog/internal/engine"
+	"factorlog/internal/parser"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "factorlog:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return usageError()
+	}
+	cmd, rest := args[0], args[1:]
+
+	if cmd == "repl" {
+		return repl(os.Stdin, os.Stdout)
+	}
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	strategyName := fs.String("strategy", "factored+opt", "evaluation strategy")
+	constraintsFile := fs.String("constraints", "", "file of full-TGD EDB constraints")
+	edbFile := fs.String("edb", "", "file of additional ground facts")
+	budget := fs.Int("budget", 0, "max derived facts (0 = unlimited)")
+	anon := fs.Bool("anon", false, "explain: print singleton variables as '_' (paper style)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return usageError()
+	}
+
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *edbFile != "" {
+		extra, err := os.ReadFile(*edbFile)
+		if err != nil {
+			return err
+		}
+		src = append(append(src, '\n'), extra...)
+	}
+	sys, err := factorlog.Load(string(src))
+	if err != nil {
+		return err
+	}
+	if *constraintsFile != "" {
+		csrc, err := os.ReadFile(*constraintsFile)
+		if err != nil {
+			return err
+		}
+		if _, err := sys.WithConstraints(string(csrc)); err != nil {
+			return err
+		}
+	}
+	if *budget > 0 {
+		sys.WithBudget(0, *budget)
+	}
+
+	switch cmd {
+	case "run":
+		s, err := strategyByName(*strategyName)
+		if err != nil {
+			return err
+		}
+		res, err := sys.Run(s, sys.NewDB())
+		if err != nil {
+			return err
+		}
+		fmt.Println(factorlog.FormatResult(res))
+		return nil
+
+	case "compare":
+		results, skipped, err := sys.Compare(factorlog.AllStrategies(), sys.NewDB)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %10s %12s %10s %8s %8s\n",
+			"strategy", "answers", "inferences", "facts", "iters", "arity")
+		for _, r := range results {
+			fmt.Printf("%-14s %10d %12d %10d %8d %8d\n",
+				r.Strategy, len(r.Answers), r.Inferences, r.Facts, r.Iterations, r.MaxIDBArity)
+		}
+		for s, err := range skipped {
+			fmt.Printf("%-14s unavailable: %v\n", s, err)
+		}
+		return nil
+
+	case "explain":
+		s, err := strategyByName(*strategyName)
+		if err != nil {
+			return err
+		}
+		ex, err := sys.Explain(s)
+		if err != nil {
+			return err
+		}
+		if ex.Class != "" {
+			fmt.Printf("%% class: %s\n", ex.Class)
+		}
+		prog := ex.Program
+		if *anon {
+			parsed, err := parser.ParseProgram(prog)
+			if err == nil {
+				prog = parsed.AnonymizeSingletons().String()
+			}
+		}
+		fmt.Print(prog)
+		if len(ex.Trace) > 0 {
+			fmt.Println("\n% optimization trace:")
+			for _, t := range ex.Trace {
+				fmt.Println("%  ", t)
+			}
+		}
+		return nil
+
+	case "prove":
+		out, err := proveAnswers(sys)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+
+	case "classify":
+		class, err := sys.Classify()
+		if err != nil {
+			fmt.Println("not factorable:", err)
+			return nil
+		}
+		fmt.Println("factorable:", class)
+		return nil
+
+	default:
+		return usageError()
+	}
+}
+
+// proveAnswers evaluates the query bottom-up with provenance enabled and
+// renders one derivation tree (Definition 2.1 of the paper) per answer.
+func proveAnswers(sys *factorlog.System) (string, error) {
+	db := sys.NewDB().Engine()
+	res, err := engine.Eval(sys.Program(), db, engine.Options{Provenance: true})
+	if err != nil {
+		return "", err
+	}
+	tuples, err := engine.Answers(db, sys.Query())
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if len(tuples) == 0 {
+		b.WriteString("no answers\n")
+		return b.String(), nil
+	}
+	for _, tuple := range tuples {
+		id, ok := res.Prov.Lookup(sys.Query().Pred, tuple)
+		if !ok {
+			fmt.Fprintf(&b, "%s%s: no derivation recorded\n",
+				sys.Query().Pred, db.Store.TupleString(tuple))
+			continue
+		}
+		if err := res.Prov.Verify(db.Store, id); err != nil {
+			return "", fmt.Errorf("derivation verification failed: %w", err)
+		}
+		b.WriteString(res.Prov.RenderTree(db.Store, id))
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+func strategyByName(name string) (factorlog.Strategy, error) {
+	for _, s := range factorlog.AllStrategies() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	var names []string
+	for _, s := range factorlog.AllStrategies() {
+		names = append(names, s.String())
+	}
+	return 0, fmt.Errorf("unknown strategy %q (one of: %s)", name, strings.Join(names, ", "))
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: factorlog {run|compare|explain|classify|prove|repl} [-strategy S] [-constraints file] [-edb file] [-budget N] file.dl")
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI with stdout captured.
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func testdata(name string) string { return filepath.Join("..", "..", "testdata", name) }
+
+func TestCLIRun(t *testing.T) {
+	out, err := capture(t, "run", "-strategy", "factored+opt", testdata("tc3.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(6)", "(7)", "(8)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s in output:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "(2)") {
+		t.Errorf("answer (2) should be pruned by the selection:\n%s", out)
+	}
+}
+
+func TestCLICompare(t *testing.T) {
+	out, err := capture(t, "compare", testdata("tc3.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"semi-naive", "magic", "factored+opt", "unavailable"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIExplain(t *testing.T) {
+	out, err := capture(t, "explain", "-strategy", "factored+opt", testdata("tc3.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "class: selection-pushing") {
+		t.Errorf("missing class:\n%s", out)
+	}
+	if !strings.Contains(out, "ft(Y) :- m_t_bf(X), e(X,Y).") {
+		t.Errorf("missing final rule:\n%s", out)
+	}
+	if !strings.Contains(out, "optimization trace") {
+		t.Errorf("missing trace:\n%s", out)
+	}
+}
+
+func TestCLIClassify(t *testing.T) {
+	out, err := capture(t, "classify", testdata("tc3.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "factorable: selection-pushing") {
+		t.Errorf("output:\n%s", out)
+	}
+	out, err = capture(t, "classify", testdata("samegen.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "not factorable") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestCLIConstraints(t *testing.T) {
+	out, err := capture(t, "classify", testdata("example44.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "not factorable") {
+		t.Errorf("without constraints:\n%s", out)
+	}
+	out, err = capture(t, "classify",
+		"-constraints", testdata("example44_constraints.dl"), testdata("example44.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "factorable: symmetric") {
+		t.Errorf("with constraints:\n%s", out)
+	}
+}
+
+func TestCLIPmem(t *testing.T) {
+	out, err := capture(t, "run", "-strategy", "factored+opt", testdata("pmem.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(x1)") || !strings.Contains(out, "(x3)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestCLIExternalEDB(t *testing.T) {
+	edb := filepath.Join(t.TempDir(), "facts.dl")
+	if err := os.WriteFile(edb, []byte("e(8, 9).\ne(9, 10).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, "run", "-strategy", "magic", "-edb", edb, testdata("tc3.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(9)", "(10)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s with external EDB:\n%s", want, out)
+		}
+	}
+	if _, err := capture(t, "run", "-edb", "/nonexistent.dl", testdata("tc3.dl")); err == nil {
+		t.Error("missing EDB file accepted")
+	}
+}
+
+func TestCLIProve(t *testing.T) {
+	out, err := capture(t, "prove", testdata("tc3.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every answer t(5,6), t(5,7), t(5,8) gets a tree; leaves are e facts.
+	for _, want := range []string{"t(5,6)", "t(5,7)", "t(5,8)", "e(5,6)", "[rule"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in prove output:\n%s", want, out)
+		}
+	}
+	// No answers case.
+	dir := t.TempDir()
+	f := filepath.Join(dir, "none.dl")
+	if err := os.WriteFile(f, []byte("t(X,Y) :- e(X,Y).\n?- t(1,Y).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = capture(t, "prove", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no answers") {
+		t.Errorf("prove on empty: %q", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if _, err := capture(t, "nonsense", testdata("tc3.dl")); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if _, err := capture(t); err == nil {
+		t.Error("missing command accepted")
+	}
+	if _, err := capture(t, "run", "/nonexistent.dl"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := capture(t, "run", "-strategy", "warp", testdata("tc3.dl")); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := capture(t, "run"); err == nil {
+		t.Error("missing file argument accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"factorlog"
+)
+
+// repl runs an interactive session: rules and ground facts accumulate,
+// queries evaluate immediately under the current strategy.
+//
+//	> e(1, 2).
+//	> e(2, 3).
+//	> t(X, Y) :- e(X, Y).
+//	> t(X, Y) :- e(X, W), t(W, Y).
+//	> ?- t(1, Y).
+//	(2) (3)
+//	> :strategy magic
+//	> :classify ?- t(1, Y).
+//	factorable: selection-pushing
+//
+// Commands: :strategy NAME, :list, :classify ?- q., :explain ?- q.,
+// :reset, :help, :quit.
+func repl(in io.Reader, out io.Writer) error {
+	var clauses []string
+	strategy := factorlog.FactoredOptimized
+
+	build := func(query string) (*factorlog.System, error) {
+		src := strings.Join(clauses, "\n") + "\n" + query
+		return factorlog.Load(src)
+	}
+
+	fmt.Fprintln(out, "factorlog repl — enter clauses, ?- queries, or :help")
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Fprint(out, "> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+
+		case line == ":quit" || line == ":q":
+			return nil
+
+		case line == ":help":
+			fmt.Fprintln(out, "  <clause>.            add a rule or ground fact")
+			fmt.Fprintln(out, "  ?- atom.             evaluate a query")
+			fmt.Fprintln(out, "  :strategy NAME       switch strategy (current:", strategy, ")")
+			fmt.Fprintln(out, "  :classify ?- atom.   which factorability theorem applies")
+			fmt.Fprintln(out, "  :explain ?- atom.    show the transformed program")
+			fmt.Fprintln(out, "  :list                show accumulated clauses")
+			fmt.Fprintln(out, "  :reset               drop all clauses")
+			fmt.Fprintln(out, "  :quit                leave")
+
+		case line == ":list":
+			for _, c := range clauses {
+				fmt.Fprintln(out, c)
+			}
+
+		case line == ":reset":
+			clauses = nil
+			fmt.Fprintln(out, "cleared")
+
+		case strings.HasPrefix(line, ":strategy"):
+			name := strings.TrimSpace(strings.TrimPrefix(line, ":strategy"))
+			s, err := strategyByName(name)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			strategy = s
+			fmt.Fprintln(out, "strategy:", strategy)
+
+		case strings.HasPrefix(line, ":classify"):
+			q := strings.TrimSpace(strings.TrimPrefix(line, ":classify"))
+			sys, err := build(q)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			class, err := sys.Classify()
+			if err != nil {
+				fmt.Fprintln(out, "not factorable:", err)
+				continue
+			}
+			fmt.Fprintln(out, "factorable:", class)
+
+		case strings.HasPrefix(line, ":explain"):
+			q := strings.TrimSpace(strings.TrimPrefix(line, ":explain"))
+			sys, err := build(q)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			ex, err := sys.Explain(strategy)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			if ex.Class != "" {
+				fmt.Fprintln(out, "% class:", ex.Class)
+			}
+			fmt.Fprint(out, ex.Program)
+
+		case strings.HasPrefix(line, ":"):
+			fmt.Fprintln(out, "unknown command (try :help)")
+
+		case strings.HasPrefix(line, "?-"):
+			sys, err := build(line)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			sys.WithBudget(0, 5_000_000)
+			res, err := sys.Run(strategy, sys.NewDB())
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			if len(res.Answers) == 0 {
+				fmt.Fprintln(out, "no answers")
+			} else {
+				fmt.Fprintln(out, strings.Join(res.Answers, " "))
+			}
+
+		default:
+			// Validate the clause by parsing it together with what we have,
+			// using a throwaway query to satisfy Load.
+			candidate := append(append([]string{}, clauses...), line)
+			src := strings.Join(candidate, "\n") + "\n?- nonexistent_probe__(X)."
+			if _, err := factorlog.Load(src); err != nil && !strings.Contains(err.Error(), "nonexistent_probe__") {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			clauses = candidate
+		}
+	}
+}

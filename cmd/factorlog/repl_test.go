@@ -1,0 +1,128 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runRepl(t *testing.T, script string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := repl(strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestReplQueryFlow(t *testing.T) {
+	out := runRepl(t, `
+e(1, 2).
+e(2, 3).
+t(X, Y) :- e(X, Y).
+t(X, Y) :- e(X, W), t(W, Y).
+?- t(1, Y).
+:quit
+`)
+	if !strings.Contains(out, "(2) (3)") {
+		t.Errorf("query answers missing:\n%s", out)
+	}
+}
+
+func TestReplStrategySwitch(t *testing.T) {
+	out := runRepl(t, `
+:strategy magic
+e(a, b).
+t(X, Y) :- e(X, Y).
+?- t(a, Y).
+:strategy warpdrive
+:quit
+`)
+	if !strings.Contains(out, "strategy: magic") {
+		t.Errorf("strategy switch missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(b)") {
+		t.Errorf("magic answers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown strategy") {
+		t.Errorf("bad strategy not reported:\n%s", out)
+	}
+}
+
+func TestReplClassifyAndExplain(t *testing.T) {
+	out := runRepl(t, `
+t(X, Y) :- t(X, W), e(W, Y).
+t(X, Y) :- e(X, Y).
+:classify ?- t(1, Y).
+:explain ?- t(1, Y).
+:quit
+`)
+	if !strings.Contains(out, "factorable: selection-pushing") {
+		t.Errorf("classify missing:\n%s", out)
+	}
+	if !strings.Contains(out, "% class: selection-pushing") {
+		t.Errorf("explain missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ft(") {
+		t.Errorf("explained program missing factored predicate:\n%s", out)
+	}
+}
+
+func TestReplListResetHelp(t *testing.T) {
+	out := runRepl(t, `
+e(1, 2).
+:list
+:reset
+:list
+:help
+:bogus
+:quit
+`)
+	if !strings.Contains(out, "e(1, 2).") {
+		t.Errorf("list missing:\n%s", out)
+	}
+	if !strings.Contains(out, "cleared") {
+		t.Errorf("reset missing:\n%s", out)
+	}
+	if !strings.Contains(out, ":strategy NAME") {
+		t.Errorf("help missing:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown command") {
+		t.Errorf("bogus command not reported:\n%s", out)
+	}
+}
+
+func TestReplErrors(t *testing.T) {
+	out := runRepl(t, `
+t(X :- e(X).
+?- garbage(.
+?- nodefs(X).
+:quit
+`)
+	if strings.Count(out, "error:") < 2 {
+		t.Errorf("parse errors not reported:\n%s", out)
+	}
+	// Query on a predicate with no rules: reported, not crashed.
+	if !strings.Contains(out, "no answers") && !strings.Contains(out, "error:") {
+		t.Errorf("undefined query mishandled:\n%s", out)
+	}
+}
+
+func TestReplNoAnswers(t *testing.T) {
+	out := runRepl(t, `
+t(X, Y) :- e(X, Y).
+e(1, 2).
+?- t(9, Y).
+:quit
+`)
+	if !strings.Contains(out, "no answers") {
+		t.Errorf("empty result missing:\n%s", out)
+	}
+}
+
+func TestReplEOF(t *testing.T) {
+	// EOF without :quit terminates cleanly.
+	out := runRepl(t, "e(1, 2).\n")
+	if !strings.Contains(out, "> ") {
+		t.Errorf("prompt missing:\n%s", out)
+	}
+}

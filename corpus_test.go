@@ -1,0 +1,75 @@
+package factorlog_test
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"factorlog"
+)
+
+// TestCorpus runs every program under testdata/corpus with every strategy
+// and checks the answers against the file's "% expect:" line (a
+// space-separated list of rendered answers; an empty list means no
+// answers). Strategies for which a program is out of class (factoring,
+// counting) or diverges (plain top-down on left recursion) are skipped —
+// but at least three strategies must succeed on every program.
+func TestCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("corpus too small: %v", files)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, ok := expectedAnswers(string(src))
+			if !ok {
+				t.Fatalf("%s has no %% expect: line", file)
+			}
+			ran := 0
+			for _, s := range factorlog.AllStrategies() {
+				sys, err := factorlog.Load(string(src))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.WithBudget(3000, 200_000)
+				res, err := sys.Run(s, sys.NewDB())
+				if err != nil {
+					t.Logf("%s unavailable: %v", s, err)
+					continue
+				}
+				ran++
+				got := strings.Join(res.Answers, " ")
+				if got != want {
+					t.Errorf("%s: answers %q, want %q", s, got, want)
+				}
+			}
+			if ran < 3 {
+				t.Errorf("only %d strategies ran", ran)
+			}
+		})
+	}
+}
+
+// expectedAnswers extracts the sorted expected answers from the
+// "% expect: ..." comment line.
+func expectedAnswers(src string) (string, bool) {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "% expect:"); ok {
+			fields := strings.Fields(rest)
+			sort.Strings(fields)
+			return strings.Join(fields, " "), true
+		}
+	}
+	return "", false
+}

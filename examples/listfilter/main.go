@@ -1,0 +1,65 @@
+// Listfilter: Example 1.2 / 4.6 of the paper — find the members of a list
+// that satisfy a predicate. Prolog computes O(n^2) facts; the factored
+// Magic program, with the engine's structure-shared lists, is linear.
+//
+// Run with: go run ./examples/listfilter
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"factorlog"
+)
+
+func main() {
+	n := 512
+	// Build the query list [w1, ..., wn]; p marks every third element.
+	elems := make([]string, n)
+	for i := range elems {
+		elems[i] = fmt.Sprintf("w%d", i+1)
+	}
+	src := fmt.Sprintf(`
+		pmem(X, [X|T]) :- p(X).
+		pmem(X, [H|T]) :- pmem(X, T).
+		?- pmem(X, [%s]).
+	`, strings.Join(elems, ", "))
+
+	sys, err := factorlog.Load(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	load := func() *factorlog.DB {
+		db := sys.NewDB()
+		for i := 2; i < n; i += 3 {
+			db.Fact("p", elems[i])
+		}
+		return db
+	}
+
+	// The optimized program is the paper's linear-time list walker.
+	ex, err := sys.Explain(factorlog.FactoredOptimized)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optimized program (list elided in the seed):")
+	for _, line := range strings.SplitAfter(ex.Program, "\n") {
+		if len(line) > 100 {
+			line = line[:97] + "...\n"
+		}
+		fmt.Print(line)
+	}
+
+	fmt.Printf("\nlist length %d, p marks every 3rd element\n\n", n)
+	for _, s := range []factorlog.Strategy{factorlog.TopDown, factorlog.FactoredOptimized} {
+		res, err := sys.Run(s, load())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s answers=%d facts=%d inferences=%d\n",
+			res.Strategy, len(res.Answers), res.Facts, res.Inferences)
+	}
+	fmt.Println("\nthe top-down 'facts' count is quadratic in n; the factored one linear")
+}

@@ -1,0 +1,314 @@
+// Package factorlog is a deductive-database engine and optimizer that
+// reproduces "Argument Reduction by Factoring" (Naughton, Ramakrishnan,
+// Sagiv, Ullman; VLDB 1989 / TCS 146, 1995).
+//
+// The package exposes a small facade over the internal machinery:
+//
+//	sys, err := factorlog.Load(`
+//	    t(X, Y) :- t(X, W), t(W, Y).
+//	    t(X, Y) :- e(X, W), t(W, Y).
+//	    t(X, Y) :- t(X, W), e(W, Y).
+//	    t(X, Y) :- e(X, Y).
+//	    ?- t(5, Y).
+//	`)
+//	db := sys.NewDB()
+//	db.Fact("e", "5", "6")
+//	db.Fact("e", "6", "7")
+//	res, err := sys.Run(factorlog.FactoredOptimized, db)
+//	// res.Answers == {"(6)", "(7)"}
+//
+// Strategies range from naive bottom-up evaluation through Magic Sets
+// (plain and supplementary) to the paper's factored and Section-5-optimized
+// programs, plus the Counting transformation, a memo-less Prolog-style
+// top-down baseline, and a tabled (QSQR) top-down evaluator. Transformed
+// programs can be inspected via Explain, factorability certificates via
+// Classify.
+package factorlog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/core"
+	"factorlog/internal/cq"
+	"factorlog/internal/engine"
+	"factorlog/internal/parser"
+	"factorlog/internal/pipeline"
+)
+
+// Strategy selects how a query is evaluated. See package pipeline for the
+// exact composition of each.
+type Strategy = pipeline.Strategy
+
+// The available strategies.
+const (
+	Naive              = pipeline.Naive
+	SemiNaive          = pipeline.SemiNaive
+	Magic              = pipeline.Magic
+	SupplementaryMagic = pipeline.SupplementaryMagic
+	Factored           = pipeline.Factored
+	FactoredOptimized  = pipeline.FactoredOptimized
+	Counting           = pipeline.Counting
+	TopDown            = pipeline.TopDown
+	Tabled             = pipeline.Tabled
+)
+
+// AllStrategies lists every strategy in presentation order.
+func AllStrategies() []Strategy { return pipeline.AllStrategies() }
+
+// ErrNoQuery is returned by Load when the source contains no ?- query.
+var ErrNoQuery = errors.New("factorlog: source contains no query (?- ...)")
+
+// ErrNotFactorable is returned by Run/Explain for the factored strategies
+// when no theorem of the paper certifies the factoring.
+var ErrNotFactorable = core.ErrNotFactorable
+
+// System is a compiled (program, query) pair with cached transformations.
+type System struct {
+	pl       *pipeline.Pipeline
+	baseEDB  []ast.Atom
+	evalOpts engine.Options
+}
+
+// Load parses a source text containing IDB rules, exactly one ?- query,
+// and optionally ground EDB facts (which seed every DB created by NewDB).
+func Load(src string) (*System, error) {
+	u, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(u.Queries) == 0 {
+		return nil, ErrNoQuery
+	}
+	if len(u.Queries) > 1 {
+		return nil, fmt.Errorf("factorlog: %d queries in source, want exactly 1", len(u.Queries))
+	}
+	return &System{
+		pl:      pipeline.New(u.Program(), u.Queries[0]),
+		baseEDB: u.Facts,
+	}, nil
+}
+
+// LoadProgram builds a System from an already-parsed program and query.
+func LoadProgram(p *ast.Program, query ast.Atom) *System {
+	return &System{pl: pipeline.New(p, query)}
+}
+
+// WithConstraints declares full-TGD constraints the EDB is known to
+// satisfy, widening the factorable classes (e.g. the EDB regularities the
+// paper's Examples 4.3-4.5 presume). The source is parsed as rules.
+func (s *System) WithConstraints(src string) (*System, error) {
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range p.Rules {
+		if err := cq.ValidateTGD(r); err != nil {
+			return nil, err
+		}
+	}
+	s.pl.WithConstraints(p.Rules)
+	return s, nil
+}
+
+// WithBudget bounds evaluations (0 means unlimited); useful for strategies
+// that can diverge (Counting on cyclic data).
+func (s *System) WithBudget(maxIterations, maxFacts int) *System {
+	s.evalOpts.MaxIterations = maxIterations
+	s.evalOpts.MaxFacts = maxFacts
+	return s
+}
+
+// Query returns the query atom.
+func (s *System) Query() ast.Atom { return s.pl.Query }
+
+// Program returns the IDB program.
+func (s *System) Program() *ast.Program { return s.pl.Program }
+
+// DB is an extensional database bound to a System.
+type DB struct {
+	inner *engine.DB
+}
+
+// NewDB returns a database pre-loaded with any facts from the Load source.
+func (s *System) NewDB() *DB {
+	db := engine.NewDB()
+	if err := engine.LoadFacts(db, s.baseEDB); err != nil {
+		// baseEDB atoms are ground by construction (parser checked).
+		panic(err)
+	}
+	return &DB{inner: db}
+}
+
+// Fact inserts a fact with constant arguments. Arguments are constant
+// symbols; use FactTerms for structured (list) arguments.
+func (db *DB) Fact(pred string, args ...string) {
+	tuple := make([]engine.Val, len(args))
+	for i, a := range args {
+		tuple[i] = db.inner.Store.Const(a)
+	}
+	db.inner.MustInsert(pred, tuple...)
+}
+
+// FactTerms inserts a fact whose arguments are parsed as ground terms,
+// e.g. db.FactTerms("m", "[a,b,c]").
+func (db *DB) FactTerms(pred string, args ...string) error {
+	tuple := make([]engine.Val, len(args))
+	for i, a := range args {
+		t, err := parser.ParseTerm(a)
+		if err != nil {
+			return err
+		}
+		v, err := db.inner.Store.FromAST(t)
+		if err != nil {
+			return err
+		}
+		tuple[i] = v
+	}
+	_, err := db.inner.Insert(pred, tuple...)
+	return err
+}
+
+// Count returns the number of facts for pred.
+func (db *DB) Count(pred string) int { return db.inner.Count(pred) }
+
+// Engine exposes the underlying engine database for advanced use.
+func (db *DB) Engine() *engine.DB { return db.inner }
+
+// Result is the outcome of a Run.
+type Result struct {
+	// Strategy that produced this result.
+	Strategy Strategy
+	// Answers are the query's answers projected to its free argument
+	// positions, rendered "(v1,...,vk)".
+	Answers []string
+	// Facts, Inferences, Iterations and MaxIDBArity are the uniform cost
+	// measures; see pipeline.RunResult.
+	Facts       int
+	Inferences  int
+	Iterations  int
+	MaxIDBArity int
+}
+
+// Run evaluates the query over db with the given strategy. The db is
+// consumed (derived relations are added); create a fresh one per run.
+func (s *System) Run(strategy Strategy, db *DB) (*Result, error) {
+	r, err := s.pl.Run(strategy, db.inner, s.evalOpts)
+	if err != nil {
+		return nil, err
+	}
+	answers := make([]string, 0, len(r.Answers))
+	for a := range r.Answers {
+		answers = append(answers, a)
+	}
+	sort.Strings(answers)
+	return &Result{
+		Strategy:    strategy,
+		Answers:     answers,
+		Facts:       r.Facts,
+		Inferences:  r.Inferences,
+		Iterations:  r.Iterations,
+		MaxIDBArity: r.MaxIDBArity,
+	}, nil
+}
+
+// Compare runs all the given strategies, each over a fresh copy of the
+// EDB; it fails if any two available strategies disagree on the answers.
+// Unavailable strategies are reported in skipped.
+func (s *System) Compare(strategies []Strategy, load func() *DB) (results []*Result, skipped map[Strategy]error, err error) {
+	raw, sk, err := s.pl.Compare(strategies, func() *engine.DB { return load().inner }, s.evalOpts)
+	for _, r := range raw {
+		answers := make([]string, 0, len(r.Answers))
+		for a := range r.Answers {
+			answers = append(answers, a)
+		}
+		sort.Strings(answers)
+		results = append(results, &Result{
+			Strategy:    r.Strategy,
+			Answers:     answers,
+			Facts:       r.Facts,
+			Inferences:  r.Inferences,
+			Iterations:  r.Iterations,
+			MaxIDBArity: r.MaxIDBArity,
+		})
+	}
+	return results, sk, err
+}
+
+// Explanation holds the program a strategy would evaluate, plus transform
+// metadata where applicable.
+type Explanation struct {
+	Strategy Strategy
+	Program  string
+	// Class is the factorability certificate ("" when not applicable).
+	Class string
+	// Trace lists the optimization steps (FactoredOptimized only).
+	Trace []string
+}
+
+// Explain returns the transformed program for a strategy without
+// evaluating anything.
+func (s *System) Explain(strategy Strategy) (*Explanation, error) {
+	switch strategy {
+	case Naive, SemiNaive, TopDown, Tabled:
+		return &Explanation{Strategy: strategy, Program: s.pl.Program.String()}, nil
+	case Magic:
+		m, err := s.pl.MagicProgram()
+		if err != nil {
+			return nil, err
+		}
+		return &Explanation{Strategy: strategy, Program: m.Program.String()}, nil
+	case SupplementaryMagic:
+		m, err := s.pl.SupplementaryMagicProgram()
+		if err != nil {
+			return nil, err
+		}
+		return &Explanation{Strategy: strategy, Program: m.Program.String()}, nil
+	case Factored:
+		fr, err := s.pl.FactoredProgram()
+		if err != nil {
+			return nil, err
+		}
+		return &Explanation{Strategy: strategy, Program: fr.Program.String(), Class: fr.Class.String()}, nil
+	case FactoredOptimized:
+		opt, err := s.pl.OptimizedProgram()
+		if err != nil {
+			return nil, err
+		}
+		fr, _ := s.pl.FactoredProgram()
+		return &Explanation{
+			Strategy: strategy,
+			Program:  opt.Program.String(),
+			Class:    fr.Class.String(),
+			Trace:    opt.Trace,
+		}, nil
+	case Counting:
+		c, err := s.pl.CountingProgram()
+		if err != nil {
+			return nil, err
+		}
+		return &Explanation{Strategy: strategy, Program: c.Program.String()}, nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %v", strategy)
+	}
+}
+
+// Classify reports which factorability theorem (if any) applies to the
+// Magic program of this system, with the per-class reasons on failure.
+func (s *System) Classify() (string, error) {
+	fr, err := s.pl.FactoredProgram()
+	if err != nil {
+		return "", err
+	}
+	return fr.Class.String(), nil
+}
+
+// FormatResult renders a result compactly.
+func FormatResult(r *Result) string {
+	return fmt.Sprintf("%s: %d answers, %d inferences, %d facts, %d iterations, max arity %d\nanswers: %s",
+		r.Strategy, len(r.Answers), r.Inferences, r.Facts, r.Iterations, r.MaxIDBArity,
+		strings.Join(r.Answers, " "))
+}

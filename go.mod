@@ -1,0 +1,3 @@
+module factorlog
+
+go 1.22

@@ -1,0 +1,141 @@
+// Package adorn computes adorned programs: each IDB predicate is annotated,
+// per reachable binding pattern, with which argument positions are bound
+// ('b') or free ('f') under the left-to-right sideways information passing
+// strategy, starting from the constants in the query (Section 4.1 of the
+// paper). Adorned predicates are named p_bf etc. (the paper's p^bf).
+package adorn
+
+import (
+	"fmt"
+	"sort"
+
+	"factorlog/internal/ast"
+)
+
+// Result is an adorned program together with the adorned query.
+type Result struct {
+	// Program contains one copy of each rule per reachable adornment of its
+	// head predicate, with all IDB predicate occurrences renamed to their
+	// adorned versions.
+	Program *ast.Program
+	// Query is the original query with its predicate renamed to the adorned
+	// version, e.g. t_bf(5, Y).
+	Query ast.Atom
+	// ByPred maps each base IDB predicate to its reachable adornments,
+	// sorted.
+	ByPred map[string][]ast.Adornment
+}
+
+// IsUnit reports whether the adorned program is a unit program in the sense
+// of Section 4.1: a single IDB predicate with a single reachable adornment.
+func (r *Result) IsUnit() bool {
+	return len(r.ByPred) == 1 && len(r.ByPred[r.basePred()]) == 1
+}
+
+func (r *Result) basePred() string {
+	for p := range r.ByPred {
+		return p
+	}
+	return ""
+}
+
+// UnitPred returns the single adorned predicate name and its adornment; it
+// must only be called when IsUnit() is true.
+func (r *Result) UnitPred() (string, ast.Adornment) {
+	base := r.basePred()
+	ad := r.ByPred[base][0]
+	return ast.AdornedName(base, ad), ad
+}
+
+// Adorn adorns program p with respect to query. The query predicate must be
+// an IDB predicate of p.
+func Adorn(p *ast.Program, query ast.Atom) (*Result, error) {
+	if !p.IsIDB(query.Pred) {
+		return nil, fmt.Errorf("query predicate %s is not defined by any rule",
+			ast.FmtPredArity(query.Pred, len(query.Args)))
+	}
+	if _, err := p.PredArities(); err != nil {
+		return nil, err
+	}
+	idb := p.IDBPreds()
+
+	queryAd := ast.AdornmentOf(query, nil) // bound iff ground
+	type adPred struct {
+		base string
+		ad   ast.Adornment
+	}
+	seen := map[adPred]bool{}
+	var order []adPred
+	push := func(base string, ad ast.Adornment) {
+		k := adPred{base, ad}
+		if !seen[k] {
+			seen[k] = true
+			order = append(order, k)
+		}
+	}
+	push(query.Pred, queryAd)
+
+	out := &ast.Program{}
+	for i := 0; i < len(order); i++ {
+		cur := order[i]
+		for _, r := range p.RulesFor(cur.base) {
+			adorned, calls, err := adornRule(r, cur.ad, idb)
+			if err != nil {
+				return nil, err
+			}
+			out.Add(adorned)
+			for _, c := range calls {
+				push(c.base, c.ad)
+			}
+		}
+	}
+
+	byPred := map[string][]ast.Adornment{}
+	for _, k := range order {
+		byPred[k.base] = append(byPred[k.base], k.ad)
+	}
+	for _, ads := range byPred {
+		sort.Slice(ads, func(i, j int) bool { return ads[i] < ads[j] })
+	}
+
+	return &Result{
+		Program: out,
+		Query:   ast.Atom{Pred: ast.AdornedName(query.Pred, queryAd), Args: query.Args},
+		ByPred:  byPred,
+	}, nil
+}
+
+type call struct {
+	base string
+	ad   ast.Adornment
+}
+
+// adornRule adorns one rule given its head adornment, returning the adorned
+// rule and the IDB calls it makes.
+func adornRule(r ast.Rule, headAd ast.Adornment, idb map[string]bool) (ast.Rule, []call, error) {
+	if len(headAd) != len(r.Head.Args) {
+		return ast.Rule{}, nil, fmt.Errorf("adornment %s does not fit %s", headAd, r.Head)
+	}
+	bound := map[string]bool{}
+	for _, pos := range headAd.Bound() {
+		for _, v := range r.Head.Args[pos].Vars() {
+			bound[v] = true
+		}
+	}
+	head := ast.Atom{Pred: ast.AdornedName(r.Head.Pred, headAd), Args: r.Head.Args}
+	var body []ast.Atom
+	var calls []call
+	for _, a := range r.Body {
+		if idb[a.Pred] {
+			ad := ast.AdornmentOf(a, bound)
+			body = append(body, ast.Atom{Pred: ast.AdornedName(a.Pred, ad), Args: a.Args})
+			calls = append(calls, call{a.Pred, ad})
+		} else {
+			body = append(body, a)
+		}
+		for _, v := range a.Vars() {
+			bound[v] = true
+		}
+	}
+	return ast.Rule{Head: head, Body: body}, calls, nil
+}

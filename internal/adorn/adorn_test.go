@@ -1,0 +1,152 @@
+package adorn
+
+import (
+	"strings"
+	"testing"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/parser"
+)
+
+func TestAdornTransitiveClosure(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	res, err := Adorn(p, parser.MustParseAtom("t(5, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Query.Pred != "t_bf" {
+		t.Errorf("query pred = %s", res.Query.Pred)
+	}
+	if !res.IsUnit() {
+		t.Errorf("TC should be a unit program: %v", res.ByPred)
+	}
+	name, ad := res.UnitPred()
+	if name != "t_bf" || ad != "bf" {
+		t.Errorf("unit pred = %s %s", name, ad)
+	}
+	want := `t_bf(X,Y) :- t_bf(X,W), t_bf(W,Y).
+t_bf(X,Y) :- e(X,W), t_bf(W,Y).
+t_bf(X,Y) :- t_bf(X,W), e(W,Y).
+t_bf(X,Y) :- e(X,Y).
+`
+	if got := res.Program.String(); got != want {
+		t.Errorf("adorned program:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestAdornPmem(t *testing.T) {
+	p := parser.MustParseProgram(`
+		pmem(X, [X|T]) :- p(X).
+		pmem(X, [H|T]) :- pmem(X, T).
+	`)
+	res, err := Adorn(p, parser.MustParseAtom("pmem(X, [x1, x2, x3])"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Query.Pred != "pmem_fb" {
+		t.Errorf("query pred = %s", res.Query.Pred)
+	}
+	if !res.IsUnit() {
+		t.Errorf("pmem should be unit: %v", res.ByPred)
+	}
+	s := res.Program.String()
+	if !strings.Contains(s, "pmem_fb(X,[H|T]) :- pmem_fb(X,T).") {
+		t.Errorf("recursive rule not adorned fb:\n%s", s)
+	}
+}
+
+func TestAdornMultipleAdornments(t *testing.T) {
+	p := parser.MustParseProgram(`
+		p(X, Y) :- e(X, Y).
+		q(X) :- p(X, W), p(V, X).
+	`)
+	res, err := Adorn(p, parser.MustParseAtom("q(5)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ads := res.ByPred["p"]
+	if len(ads) != 2 || ads[0] != "bf" || ads[1] != "fb" {
+		t.Errorf("p adornments = %v", ads)
+	}
+	if res.IsUnit() {
+		t.Error("two IDB predicates should not be unit")
+	}
+	s := res.Program.String()
+	for _, frag := range []string{
+		"q_b(X) :- p_bf(X,W), p_fb(V,X).",
+		"p_bf(X,Y) :- e(X,Y).",
+		"p_fb(X,Y) :- e(X,Y).",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("missing %q in:\n%s", frag, s)
+		}
+	}
+}
+
+func TestAdornAllFreeQuery(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	res, err := Adorn(p, parser.MustParseAtom("t(X, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Query.Pred != "t_ff" {
+		t.Errorf("query pred = %s", res.Query.Pred)
+	}
+	// With an all-free head, W is bound after e(X,W), so the body literal
+	// is t_bf — a second adornment becomes reachable.
+	ads := res.ByPred["t"]
+	if len(ads) != 2 {
+		t.Errorf("adornments = %v", ads)
+	}
+}
+
+func TestAdornSameGeneration(t *testing.T) {
+	p := parser.MustParseProgram(`
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+	`)
+	res, err := Adorn(p, parser.MustParseAtom("sg(john, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsUnit() {
+		t.Errorf("sg should be unit: %v", res.ByPred)
+	}
+	s := res.Program.String()
+	if !strings.Contains(s, "sg_bf(X,Y) :- up(X,U), sg_bf(U,V), down(V,Y).") {
+		t.Errorf("sg adorned wrong:\n%s", s)
+	}
+}
+
+func TestAdornErrors(t *testing.T) {
+	p := parser.MustParseProgram(`t(X, Y) :- e(X, Y).`)
+	if _, err := Adorn(p, parser.MustParseAtom("e(5, Y)")); err == nil {
+		t.Error("EDB query should be rejected")
+	}
+	if _, err := Adorn(p, parser.MustParseAtom("nosuch(5)")); err == nil {
+		t.Error("unknown predicate should be rejected")
+	}
+}
+
+func TestAdornBoundCompoundQueryArg(t *testing.T) {
+	p := parser.MustParseProgram(`
+		pmem(X, [X|T]) :- p(X).
+		pmem(X, [H|T]) :- pmem(X, T).
+	`)
+	// Partial list in query: second arg contains a variable -> free.
+	res, err := Adorn(p, ast.NewAtom("pmem", ast.V("X"), ast.ListTail(ast.V("T"), ast.C("a"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Query.Pred != "pmem_ff" {
+		t.Errorf("partial-list query should adorn ff, got %s", res.Query.Pred)
+	}
+}

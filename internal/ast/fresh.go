@@ -1,0 +1,59 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FreshGen generates variable names guaranteed not to collide with any name
+// it has been told about (via Reserve) or has generated.
+type FreshGen struct {
+	used map[string]bool
+	n    int
+}
+
+// NewFreshGen returns a generator that avoids all variable names occurring
+// in the given rules.
+func NewFreshGen(rules ...Rule) *FreshGen {
+	g := &FreshGen{used: map[string]bool{}}
+	for _, r := range rules {
+		g.ReserveRule(r)
+	}
+	return g
+}
+
+// NewFreshGenProgram returns a generator avoiding all names in p.
+func NewFreshGenProgram(p *Program) *FreshGen {
+	g := &FreshGen{used: map[string]bool{}}
+	for _, r := range p.Rules {
+		g.ReserveRule(r)
+	}
+	return g
+}
+
+// Reserve marks a name as taken.
+func (g *FreshGen) Reserve(name string) { g.used[name] = true }
+
+// ReserveRule reserves every variable name in r.
+func (g *FreshGen) ReserveRule(r Rule) {
+	for _, v := range r.Vars() {
+		g.used[v] = true
+	}
+}
+
+// Fresh returns a new variable name based on hint (its leading letters) that
+// has never been returned before and collides with nothing reserved.
+func (g *FreshGen) Fresh(hint string) string {
+	base := strings.TrimRight(hint, "0123456789_")
+	if base == "" {
+		base = "V"
+	}
+	for {
+		name := fmt.Sprintf("%s_%d", base, g.n)
+		g.n++
+		if !g.used[name] {
+			g.used[name] = true
+			return name
+		}
+	}
+}

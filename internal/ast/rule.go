@@ -1,0 +1,467 @@
+package ast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rule is a Horn clause: Head :- Body. A rule with an empty body is a fact
+// (usually ground). Body literals are positive atoms; the language of the
+// paper has no negation.
+type Rule struct {
+	Head Atom
+	Body []Atom
+}
+
+// NewRule constructs a rule.
+func NewRule(head Atom, body ...Atom) Rule { return Rule{Head: head, Body: body} }
+
+// Fact constructs a bodyless rule.
+func Fact(head Atom) Rule { return Rule{Head: head} }
+
+// IsFact reports whether the rule has an empty body.
+func (r Rule) IsFact() bool { return len(r.Body) == 0 }
+
+// Vars returns the variable names of r in head-then-body first-occurrence
+// order.
+func (r Rule) Vars() []string {
+	var order []string
+	seen := map[string]bool{}
+	for _, t := range r.Head.Args {
+		t.CollectVars(&order, seen)
+	}
+	for _, a := range r.Body {
+		for _, t := range a.Args {
+			t.CollectVars(&order, seen)
+		}
+	}
+	return order
+}
+
+// BodyVars returns the variable names occurring in the body.
+func (r Rule) BodyVars() []string {
+	var order []string
+	seen := map[string]bool{}
+	for _, a := range r.Body {
+		for _, t := range a.Args {
+			t.CollectVars(&order, seen)
+		}
+	}
+	return order
+}
+
+// Safe reports whether every head variable occurs in the body (range
+// restriction). Facts are safe iff ground.
+func (r Rule) Safe() bool {
+	bodyVars := map[string]bool{}
+	for _, v := range r.BodyVars() {
+		bodyVars[v] = true
+	}
+	for _, v := range r.Head.Vars() {
+		if !bodyVars[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy whose body slice and atom arg slices are independent.
+func (r Rule) Clone() Rule {
+	body := make([]Atom, len(r.Body))
+	for i, a := range r.Body {
+		body[i] = a.Clone()
+	}
+	return Rule{Head: r.Head.Clone(), Body: body}
+}
+
+// Equal reports structural equality, including body literal order.
+func (r Rule) Equal(s Rule) bool {
+	if !r.Head.Equal(s.Head) || len(r.Body) != len(s.Body) {
+		return false
+	}
+	for i := range r.Body {
+		if !r.Body[i].Equal(s.Body[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountBody returns how many body literals satisfy pred.
+func (r Rule) CountBody(pred func(Atom) bool) int {
+	n := 0
+	for _, a := range r.Body {
+		if pred(a) {
+			n++
+		}
+	}
+	return n
+}
+
+// BodyIndices returns the indices of body literals satisfying pred.
+func (r Rule) BodyIndices(pred func(Atom) bool) []int {
+	var out []int
+	for i, a := range r.Body {
+		if pred(a) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the rule: "h(X) :- a(X), b(X)." or "f(1)." for facts.
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Head.String())
+	if len(r.Body) > 0 {
+		b.WriteString(" :- ")
+		for i, a := range r.Body {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// RenameApart returns r with every variable renamed to a fresh name drawn
+// from gen, so the result shares no variables with any other rule.
+func (r Rule) RenameApart(gen *FreshGen) Rule {
+	s := Subst{}
+	for _, v := range r.Vars() {
+		s[v] = V(gen.Fresh(v))
+	}
+	return s.ApplyRule(r)
+}
+
+// CanonicalizeVars renames the variables of r to V0, V1, ... in
+// head-then-body first-occurrence order, producing a canonical alphabetic
+// variant used for rule-set comparison. Renaming is simultaneous (not a
+// chained substitution), so swaps like {V0->V1, V1->V0} are safe.
+func (r Rule) CanonicalizeVars() Rule {
+	m := map[string]string{}
+	for i, v := range r.Vars() {
+		m[v] = fmt.Sprintf("V%d", i)
+	}
+	return RenameRuleVars(r, m)
+}
+
+// RenameRuleVars renames variables in r according to m, simultaneously.
+// Variables absent from m are left alone.
+func RenameRuleVars(r Rule, m map[string]string) Rule {
+	body := make([]Atom, len(r.Body))
+	for i, a := range r.Body {
+		body[i] = renameAtomVars(a, m)
+	}
+	return Rule{Head: renameAtomVars(r.Head, m), Body: body}
+}
+
+func renameAtomVars(a Atom, m map[string]string) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = renameTermVars(t, m)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+func renameTermVars(t Term, m map[string]string) Term {
+	switch t.Kind {
+	case Var:
+		if n, ok := m[t.Functor]; ok {
+			return V(n)
+		}
+		return t
+	case Const:
+		return t
+	default:
+		args := make([]Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = renameTermVars(a, m)
+		}
+		return Term{Kind: Compound, Functor: t.Functor, Args: args}
+	}
+}
+
+// Program is a finite set of rules (the IDB, in the paper's terminology) —
+// EDB facts live in engine.DB, not here. Rule order is preserved because the
+// left-to-right sideways information passing strategy is order-sensitive.
+type Program struct {
+	Rules []Rule
+}
+
+// NewProgram constructs a program from rules.
+func NewProgram(rules ...Rule) *Program { return &Program{Rules: rules} }
+
+// Clone deep-copies the program.
+func (p *Program) Clone() *Program {
+	rules := make([]Rule, len(p.Rules))
+	for i, r := range p.Rules {
+		rules[i] = r.Clone()
+	}
+	return &Program{Rules: rules}
+}
+
+// Add appends rules.
+func (p *Program) Add(rules ...Rule) { p.Rules = append(p.Rules, rules...) }
+
+// IDBPreds returns the set of predicates appearing in some rule head.
+func (p *Program) IDBPreds() map[string]bool {
+	out := map[string]bool{}
+	for _, r := range p.Rules {
+		out[r.Head.Pred] = true
+	}
+	return out
+}
+
+// IsIDB reports whether pred appears in some rule head.
+func (p *Program) IsIDB(pred string) bool {
+	for _, r := range p.Rules {
+		if r.Head.Pred == pred {
+			return true
+		}
+	}
+	return false
+}
+
+// EDBPreds returns the set of predicates that occur in bodies but never in a
+// head (the extensional schema implied by the program).
+func (p *Program) EDBPreds() map[string]bool {
+	idb := p.IDBPreds()
+	out := map[string]bool{}
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if !idb[a.Pred] {
+				out[a.Pred] = true
+			}
+		}
+	}
+	return out
+}
+
+// RulesFor returns the rules whose head predicate is pred, in program order.
+func (p *Program) RulesFor(pred string) []Rule {
+	var out []Rule
+	for _, r := range p.Rules {
+		if r.Head.Pred == pred {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PredArities returns the arity of each predicate occurring in the program
+// and an error if any predicate is used at two different arities.
+func (p *Program) PredArities() (map[string]int, error) {
+	out := map[string]int{}
+	check := func(a Atom) error {
+		if n, ok := out[a.Pred]; ok && n != len(a.Args) {
+			return fmt.Errorf("predicate %s used with arities %d and %d", a.Pred, n, len(a.Args))
+		}
+		out[a.Pred] = len(a.Args)
+		return nil
+	}
+	for _, r := range p.Rules {
+		if err := check(r.Head); err != nil {
+			return nil, err
+		}
+		for _, a := range r.Body {
+			if err := check(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// DependencyGraph returns, for each IDB predicate, the set of IDB predicates
+// its rules' bodies refer to.
+func (p *Program) DependencyGraph() map[string]map[string]bool {
+	idb := p.IDBPreds()
+	g := map[string]map[string]bool{}
+	for pred := range idb {
+		g[pred] = map[string]bool{}
+	}
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if idb[a.Pred] {
+				g[r.Head.Pred][a.Pred] = true
+			}
+		}
+	}
+	return g
+}
+
+// RecursivePreds returns the IDB predicates that participate in a dependency
+// cycle (including self-loops).
+func (p *Program) RecursivePreds() map[string]bool {
+	g := p.DependencyGraph()
+	out := map[string]bool{}
+	for pred := range g {
+		if reaches(g, pred, pred, map[string]bool{}) {
+			out[pred] = true
+		}
+	}
+	return out
+}
+
+func reaches(g map[string]map[string]bool, from, to string, seen map[string]bool) bool {
+	for next := range g[from] {
+		if next == to {
+			return true
+		}
+		if !seen[next] {
+			seen[next] = true
+			if reaches(g, next, to, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ReachablePreds returns the predicates reachable from start in the
+// head-to-body direction (start included).
+func (p *Program) ReachablePreds(start string) map[string]bool {
+	out := map[string]bool{start: true}
+	queue := []string{start}
+	for len(queue) > 0 {
+		pred := queue[0]
+		queue = queue[1:]
+		for _, r := range p.RulesFor(pred) {
+			for _, a := range r.Body {
+				if !out[a.Pred] {
+					out[a.Pred] = true
+					queue = append(queue, a.Pred)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// String renders the program one rule per line, in rule order.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Canonical returns a canonical string for the program: each rule's
+// variables are canonicalized, then rules are sorted. Two programs that are
+// equal as rule sets up to variable renaming have equal Canonical strings.
+// Body literal order within a rule is preserved (it is semantically
+// irrelevant but SIP-relevant; callers comparing modulo body order should
+// canonicalize with CanonicalModBodyOrder).
+func (p *Program) Canonical() string {
+	lines := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		lines[i] = r.CanonicalizeVars().String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// CanonicalModBodyOrder is Canonical with body literals sorted before
+// variable canonicalization, so programs differing only in body literal
+// order compare equal. Sorting happens on the raw (pre-canonicalization)
+// rendering; ties are broken deterministically.
+func (p *Program) CanonicalModBodyOrder() string {
+	lines := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		lines[i] = canonicalRuleModBodyOrder(r)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func canonicalRuleModBodyOrder(r Rule) string {
+	// Iterate: sort body by rendered form of the var-canonicalized rule,
+	// then re-canonicalize. A small fixpoint loop makes the result stable
+	// under the interaction between sorting and renaming.
+	cur := r.Clone()
+	prev := ""
+	for i := 0; i < 4; i++ {
+		cur = cur.CanonicalizeVars()
+		sort.SliceStable(cur.Body, func(i, j int) bool {
+			return cur.Body[i].Compare(cur.Body[j]) < 0
+		})
+		cur = cur.CanonicalizeVars()
+		s := cur.String()
+		if s == prev {
+			break
+		}
+		prev = s
+	}
+	return prev
+}
+
+// EqualAsRuleSets reports whether two programs contain the same rules up to
+// variable renaming and rule order (body order significant).
+func EqualAsRuleSets(p, q *Program) bool { return p.Canonical() == q.Canonical() }
+
+// AnonymizeSingletons returns a copy of p in which every variable that
+// occurs exactly once in its rule is renamed to "_" (Proposition 5.5 of the
+// paper: an anonymous variable may replace a variable appearing nowhere
+// else). The result prints in the paper's style — bt(_), ft(W) — and still
+// parses to a semantically identical program, since each '_' reads back as
+// a fresh variable.
+func (p *Program) AnonymizeSingletons() *Program {
+	out := &Program{}
+	for _, r := range p.Rules {
+		counts := map[string]int{}
+		var walk func(t Term)
+		walk = func(t Term) {
+			switch t.Kind {
+			case Var:
+				counts[t.Functor]++
+			case Compound:
+				for _, a := range t.Args {
+					walk(a)
+				}
+			}
+		}
+		count := func(a Atom) {
+			for _, t := range a.Args {
+				walk(t)
+			}
+		}
+		count(r.Head)
+		for _, b := range r.Body {
+			count(b)
+		}
+		m := map[string]string{}
+		for v, n := range counts {
+			if n == 1 {
+				m[v] = "_"
+			}
+		}
+		out.Add(RenameRuleVars(r, m))
+	}
+	return out
+}
+
+// RenamePreds returns a copy of p with predicate names replaced per m;
+// names absent from m are kept.
+func (p *Program) RenamePreds(m map[string]string) *Program {
+	ren := func(a Atom) Atom {
+		if n, ok := m[a.Pred]; ok {
+			return Atom{Pred: n, Args: a.Args}
+		}
+		return a
+	}
+	out := &Program{}
+	for _, r := range p.Rules {
+		body := make([]Atom, len(r.Body))
+		for i, b := range r.Body {
+			body[i] = ren(b)
+		}
+		out.Add(Rule{Head: ren(r.Head), Body: body})
+	}
+	return out
+}

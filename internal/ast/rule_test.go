@@ -1,0 +1,279 @@
+package ast
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// tc3 is the three-rule transitive closure of Example 1.1.
+func tc3() *Program {
+	t := func(a, b Term) Atom { return NewAtom("t", a, b) }
+	e := func(a, b Term) Atom { return NewAtom("e", a, b) }
+	X, Y, W := V("X"), V("Y"), V("W")
+	return NewProgram(
+		NewRule(t(X, Y), t(X, W), t(W, Y)),
+		NewRule(t(X, Y), e(X, W), t(W, Y)),
+		NewRule(t(X, Y), t(X, W), e(W, Y)),
+		NewRule(t(X, Y), e(X, Y)),
+	)
+}
+
+func TestRuleBasics(t *testing.T) {
+	p := tc3()
+	r := p.Rules[0]
+	if r.IsFact() {
+		t.Error("rule with body reported as fact")
+	}
+	if got := r.String(); got != "t(X,Y) :- t(X,W), t(W,Y)." {
+		t.Errorf("String = %q", got)
+	}
+	f := Fact(NewAtom("e", C("1"), C("2")))
+	if !f.IsFact() || f.String() != "e(1,2)." {
+		t.Errorf("fact: %q", f.String())
+	}
+}
+
+func TestRuleVarsOrder(t *testing.T) {
+	r := NewRule(NewAtom("p", V("A"), V("B")), NewAtom("q", V("C"), V("A")))
+	want := []string{"A", "B", "C"}
+	if got := r.Vars(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Vars = %v, want %v", got, want)
+	}
+	if got := r.BodyVars(); !reflect.DeepEqual(got, []string{"C", "A"}) {
+		t.Errorf("BodyVars = %v", got)
+	}
+}
+
+func TestRuleSafe(t *testing.T) {
+	safe := NewRule(NewAtom("p", V("X")), NewAtom("e", V("X"), V("Y")))
+	if !safe.Safe() {
+		t.Error("safe rule reported unsafe")
+	}
+	unsafe := NewRule(NewAtom("p", V("X"), V("Z")), NewAtom("e", V("X"), V("Y")))
+	if unsafe.Safe() {
+		t.Error("unsafe rule reported safe")
+	}
+	groundFact := Fact(NewAtom("p", C("1")))
+	if !groundFact.Safe() {
+		t.Error("ground fact should be safe")
+	}
+	varFact := Fact(NewAtom("p", V("X")))
+	if varFact.Safe() {
+		t.Error("non-ground fact should be unsafe")
+	}
+}
+
+func TestProgramIDBEDB(t *testing.T) {
+	p := tc3()
+	idb := p.IDBPreds()
+	if !idb["t"] || idb["e"] {
+		t.Errorf("IDBPreds = %v", idb)
+	}
+	edb := p.EDBPreds()
+	if !edb["e"] || edb["t"] {
+		t.Errorf("EDBPreds = %v", edb)
+	}
+	if !p.IsIDB("t") || p.IsIDB("e") {
+		t.Error("IsIDB wrong")
+	}
+	if n := len(p.RulesFor("t")); n != 4 {
+		t.Errorf("RulesFor(t) = %d rules", n)
+	}
+}
+
+func TestPredArities(t *testing.T) {
+	p := tc3()
+	ar, err := p.PredArities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar["t"] != 2 || ar["e"] != 2 {
+		t.Errorf("arities = %v", ar)
+	}
+	bad := NewProgram(
+		NewRule(NewAtom("p", V("X")), NewAtom("e", V("X"))),
+		NewRule(NewAtom("p", V("X"), V("Y")), NewAtom("e", V("X"))),
+	)
+	if _, err := bad.PredArities(); err == nil {
+		t.Error("arity conflict not detected")
+	}
+}
+
+func TestRecursivePreds(t *testing.T) {
+	p := tc3()
+	rec := p.RecursivePreds()
+	if !rec["t"] {
+		t.Error("t should be recursive")
+	}
+	// Mutual recursion.
+	mut := NewProgram(
+		NewRule(NewAtom("a", V("X")), NewAtom("b", V("X"))),
+		NewRule(NewAtom("b", V("X")), NewAtom("a", V("X"))),
+		NewRule(NewAtom("c", V("X")), NewAtom("e", V("X"))),
+	)
+	rec = mut.RecursivePreds()
+	if !rec["a"] || !rec["b"] || rec["c"] {
+		t.Errorf("mutual recursion detection wrong: %v", rec)
+	}
+}
+
+func TestReachablePreds(t *testing.T) {
+	p := NewProgram(
+		NewRule(NewAtom("q", V("X")), NewAtom("t", C("5"), V("X"))),
+		NewRule(NewAtom("t", V("X"), V("Y")), NewAtom("e", V("X"), V("Y"))),
+		NewRule(NewAtom("orphan", V("X")), NewAtom("z", V("X"))),
+	)
+	reach := p.ReachablePreds("q")
+	if !reach["q"] || !reach["t"] || !reach["e"] {
+		t.Errorf("reach = %v", reach)
+	}
+	if reach["orphan"] || reach["z"] {
+		t.Errorf("unreachable preds included: %v", reach)
+	}
+}
+
+func TestRenameApart(t *testing.T) {
+	r := tc3().Rules[0]
+	gen := NewFreshGen(r)
+	r2 := r.RenameApart(gen)
+	for _, v := range r2.Vars() {
+		for _, w := range r.Vars() {
+			if v == w {
+				t.Errorf("renamed rule shares variable %s", v)
+			}
+		}
+	}
+	// Structure preserved.
+	if r2.Head.Pred != "t" || len(r2.Body) != 2 {
+		t.Error("structure not preserved")
+	}
+}
+
+func TestCanonicalizeVars(t *testing.T) {
+	a := NewRule(NewAtom("p", V("Foo"), V("Bar")), NewAtom("e", V("Foo"), V("Bar")))
+	b := NewRule(NewAtom("p", V("X"), V("Y")), NewAtom("e", V("X"), V("Y")))
+	if a.CanonicalizeVars().String() != b.CanonicalizeVars().String() {
+		t.Error("alphabetic variants canonicalize differently")
+	}
+}
+
+func TestProgramCanonical(t *testing.T) {
+	p := tc3()
+	q := tc3()
+	// Shuffle rule order and rename variables.
+	q.Rules[0], q.Rules[3] = q.Rules[3], q.Rules[0]
+	s := Subst{"X": V("A"), "Y": V("B"), "W": V("M")}
+	for i := range q.Rules {
+		q.Rules[i] = s.ApplyRule(q.Rules[i])
+	}
+	if !EqualAsRuleSets(p, q) {
+		t.Error("renamed/reordered program should be canonical-equal")
+	}
+	r := tc3()
+	r.Rules = r.Rules[:3]
+	if EqualAsRuleSets(p, r) {
+		t.Error("different programs should not be canonical-equal")
+	}
+}
+
+func TestCanonicalModBodyOrder(t *testing.T) {
+	a := NewProgram(NewRule(NewAtom("p", V("X"), V("Y")),
+		NewAtom("e", V("X"), V("W")), NewAtom("f", V("W"), V("Y"))))
+	b := NewProgram(NewRule(NewAtom("p", V("A"), V("B")),
+		NewAtom("f", V("M"), V("B")), NewAtom("e", V("A"), V("M"))))
+	if a.CanonicalModBodyOrder() != b.CanonicalModBodyOrder() {
+		t.Errorf("body-order variants differ:\n%s\nvs\n%s",
+			a.CanonicalModBodyOrder(), b.CanonicalModBodyOrder())
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := tc3()
+	s := p.String()
+	if !strings.Contains(s, "t(X,Y) :- e(X,Y).") {
+		t.Errorf("program string missing exit rule:\n%s", s)
+	}
+	if strings.Count(s, "\n") != 4 {
+		t.Errorf("expected 4 lines, got:\n%s", s)
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	p := tc3()
+	q := p.Clone()
+	q.Rules[0].Body[0] = NewAtom("zzz", V("X"))
+	if p.Rules[0].Body[0].Pred == "zzz" {
+		t.Error("Clone shares body storage")
+	}
+}
+
+func TestFreshGen(t *testing.T) {
+	g := NewFreshGen(tc3().Rules...)
+	a := g.Fresh("X")
+	b := g.Fresh("X")
+	if a == b {
+		t.Error("Fresh returned duplicate")
+	}
+	if a == "X" || b == "X" {
+		t.Error("Fresh collided with reserved name")
+	}
+	g2 := &FreshGen{used: map[string]bool{}}
+	if g2.Fresh("") == "" {
+		t.Error("empty hint should still generate")
+	}
+}
+
+func TestAnonymizeSingletons(t *testing.T) {
+	p := NewProgram(
+		NewRule(NewAtom("m", V("W")),
+			NewAtom("bt", V("X")), NewAtom("ft", V("W"))),
+	)
+	a := p.AnonymizeSingletons()
+	if got := a.Rules[0].String(); got != "m(W) :- bt(_), ft(W)." {
+		t.Errorf("anonymized = %q", got)
+	}
+	// Original untouched.
+	if p.Rules[0].Body[0].Args[0].Functor != "X" {
+		t.Error("input mutated")
+	}
+	// Repeated var within one compound is not a singleton.
+	p2 := NewProgram(NewRule(NewAtom("h", V("Y")),
+		NewAtom("e", Fn("f", V("X"), V("X")), V("Y"))))
+	a2 := p2.AnonymizeSingletons()
+	if a2.Rules[0].Body[0].Args[0].HasVar("_") {
+		t.Errorf("repeated var anonymized: %s", a2.Rules[0])
+	}
+}
+
+func TestRenamePreds(t *testing.T) {
+	p := NewProgram(
+		NewRule(NewAtom("cnt", V("X")), NewAtom("cnt", V("W")), NewAtom("e", V("W"), V("X"))),
+	)
+	q := p.RenamePreds(map[string]string{"cnt": "m_p"})
+	want := NewProgram(
+		NewRule(NewAtom("m_p", V("X")), NewAtom("m_p", V("W")), NewAtom("e", V("W"), V("X"))),
+	)
+	if q.Canonical() != want.Canonical() {
+		t.Errorf("RenamePreds:\n%s\nwant:\n%s", q, want)
+	}
+	// The original is untouched.
+	if p.Rules[0].Head.Pred != "cnt" {
+		t.Error("RenamePreds mutated the receiver")
+	}
+	// Unmapped predicates survive.
+	if q.Rules[0].Body[1].Pred != "e" {
+		t.Error("unmapped predicate renamed")
+	}
+}
+
+func TestCountBodyAndIndices(t *testing.T) {
+	r := tc3().Rules[1] // t(X,Y) :- e(X,W), t(W,Y).
+	isT := func(a Atom) bool { return a.Pred == "t" }
+	if r.CountBody(isT) != 1 {
+		t.Error("CountBody wrong")
+	}
+	if got := r.BodyIndices(isT); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("BodyIndices = %v", got)
+	}
+}

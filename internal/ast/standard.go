@@ -1,0 +1,150 @@
+package ast
+
+// This file implements the standard-form translation of Section 4.1 of the
+// paper. A rule is in standard form with respect to a predicate p when every
+// argument of every p-literal (head or body) is a variable and no variable
+// appears twice in the same p-literal. Constants, duplicate variables, and
+// function symbols in p-literal arguments are compiled away:
+//
+//	p(X, X, 5, Y)   becomes  p(X, U, V, Y) with equal(X, U), equal(V, 5)
+//	p(X, [X|T])     becomes  p(X, L)       with list(X, T, L)
+//
+// where equal and list (and fn_f for other function symbols f) are
+// conceptually infinite EDB relations. The translation is syntactic and used
+// only at compile time to test factorability; the program that is evaluated
+// need not be in standard form.
+
+// Standardize returns a copy of p in which every literal of every predicate
+// in preds has been rewritten into standard form. Literals of other
+// predicates are untouched. The argument positions of rewritten literals
+// correspond one-to-one with the original positions, so factorability
+// decisions made on the standard form transfer to the original program.
+func Standardize(p *Program, preds map[string]bool) *Program {
+	gen := NewFreshGenProgram(p)
+	out := &Program{Rules: make([]Rule, 0, len(p.Rules))}
+	for _, r := range p.Rules {
+		out.Rules = append(out.Rules, StandardizeRule(r, preds, gen))
+	}
+	return out
+}
+
+// StandardizeRule rewrites one rule into standard form with respect to the
+// given predicates, drawing fresh variables from gen. Literals introduced
+// for the head are prepended to the body; literals introduced for a body
+// p-literal are inserted immediately after it, matching the paper's
+// presentation (e.g. pmem(X,L) :- pmem(X,T), list(H,T,L)).
+func StandardizeRule(r Rule, preds map[string]bool, gen *FreshGen) Rule {
+	if gen == nil {
+		gen = NewFreshGen(r)
+	}
+	var body []Atom
+	head := r.Head
+	if preds[head.Pred] {
+		var extra []Atom
+		head = standardizeAtom(head, gen, &extra)
+		body = append(body, extra...)
+	}
+	for _, a := range r.Body {
+		if !preds[a.Pred] {
+			body = append(body, a)
+			continue
+		}
+		var extra []Atom
+		std := standardizeAtom(a, gen, &extra)
+		body = append(body, std)
+		body = append(body, extra...)
+	}
+	return Rule{Head: head, Body: body}
+}
+
+// standardizeAtom rewrites a single atom so that its arguments are distinct
+// variables, appending the compensating literals to extra.
+func standardizeAtom(a Atom, gen *FreshGen, extra *[]Atom) Atom {
+	seen := map[string]bool{}
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		switch {
+		case t.Kind == Var && !seen[t.Functor]:
+			seen[t.Functor] = true
+			args[i] = t
+		case t.Kind == Var: // duplicate variable
+			u := V(gen.Fresh(t.Functor))
+			seen[u.Functor] = true
+			args[i] = u
+			*extra = append(*extra, NewAtom(EqualPred, t, u))
+		case t.Kind == Const:
+			u := V(gen.Fresh("C"))
+			seen[u.Functor] = true
+			args[i] = u
+			*extra = append(*extra, NewAtom(EqualPred, u, t))
+		default: // compound: flatten bottom-up
+			u := flattenTerm(t, gen, extra)
+			// The result variable may duplicate an earlier argument
+			// variable only if the compound was a bare variable after
+			// flattening, which cannot happen (flattenTerm always returns a
+			// fresh variable for compounds), so no duplicate check needed.
+			seen[u.Functor] = true
+			args[i] = u
+		}
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// flattenTerm replaces a compound term with a fresh variable V and emits
+// fn_f(args..., V) literals (list(H,T,L) for cons cells), recursively
+// flattening nested compounds first.
+func flattenTerm(t Term, gen *FreshGen, extra *[]Atom) Term {
+	if t.Kind != Compound {
+		return t
+	}
+	flatArgs := make([]Term, len(t.Args))
+	for i, a := range t.Args {
+		if a.Kind == Compound {
+			flatArgs[i] = flattenTerm(a, gen, extra)
+		} else {
+			flatArgs[i] = a
+		}
+	}
+	v := V(gen.Fresh("L"))
+	lit := Atom{Pred: FnPredName(t.Functor), Args: append(flatArgs, v)}
+	*extra = append(*extra, lit)
+	return v
+}
+
+// InStandardForm reports whether every literal of every predicate in preds
+// within r has distinct-variable arguments.
+func InStandardForm(r Rule, preds map[string]bool) bool {
+	ok := func(a Atom) bool {
+		if !preds[a.Pred] {
+			return true
+		}
+		seen := map[string]bool{}
+		for _, t := range a.Args {
+			if t.Kind != Var || seen[t.Functor] {
+				return false
+			}
+			seen[t.Functor] = true
+		}
+		return true
+	}
+	if !ok(r.Head) {
+		return false
+	}
+	for _, a := range r.Body {
+		if !ok(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// ProgramInStandardForm reports whether every rule of p is in standard form
+// with respect to preds.
+func ProgramInStandardForm(p *Program, preds map[string]bool) bool {
+	for _, r := range p.Rules {
+		if !InStandardForm(r, preds) {
+			return false
+		}
+	}
+	return true
+}

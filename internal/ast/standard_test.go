@@ -1,0 +1,188 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdornmentHelpers(t *testing.T) {
+	ad := Adornment("bfb")
+	if !ad.IsValid() {
+		t.Error("bfb should be valid")
+	}
+	if Adornment("bx").IsValid() {
+		t.Error("bx should be invalid")
+	}
+	if got := ad.Bound(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Bound = %v", got)
+	}
+	if got := ad.Free(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Free = %v", got)
+	}
+	if Adornment("bb").AllBound() != true || Adornment("bf").AllBound() {
+		t.Error("AllBound wrong")
+	}
+	if !Adornment("ff").AllFree() || Adornment("bf").AllFree() {
+		t.Error("AllFree wrong")
+	}
+}
+
+func TestAdornedNames(t *testing.T) {
+	name := AdornedName("t", "bf")
+	if name != "t_bf" {
+		t.Errorf("AdornedName = %q", name)
+	}
+	base, ad, ok := SplitAdorned(name)
+	if !ok || base != "t" || ad != "bf" {
+		t.Errorf("SplitAdorned = %q %q %v", base, ad, ok)
+	}
+	if _, _, ok := SplitAdorned("plain"); ok {
+		t.Error("plain name should not split")
+	}
+	if _, _, ok := SplitAdorned("m_t"); ok {
+		t.Error("m_t has no valid adornment suffix... but 't' is not b/f")
+	}
+	// Magic names.
+	if MagicName("t_bf") != "m_t_bf" {
+		t.Error("MagicName wrong")
+	}
+	if !IsMagicName("m_t_bf") || IsMagicName("t_bf") {
+		t.Error("IsMagicName wrong")
+	}
+}
+
+func TestMagicAtom(t *testing.T) {
+	a := NewAtom("t_bf", C("5"), V("Y"))
+	m := MagicAtom(a, "bf")
+	if m.Pred != "m_t_bf" || len(m.Args) != 1 || !m.Args[0].Equal(C("5")) {
+		t.Errorf("MagicAtom = %s", m)
+	}
+}
+
+func TestAdornmentOf(t *testing.T) {
+	bound := map[string]bool{"X": true}
+	a := NewAtom("p", V("X"), V("Y"), C("5"), Fn("f", V("X")), Fn("f", V("Y")))
+	if got := AdornmentOf(a, bound); got != "bfbbf" {
+		t.Errorf("AdornmentOf = %q, want bfbbf", got)
+	}
+}
+
+func TestStandardizeDuplicatesAndConstants(t *testing.T) {
+	// p(X,X,5,Y) :- e(X,Y)  with respect to p.
+	r := NewRule(NewAtom("p", V("X"), V("X"), C("5"), V("Y")), NewAtom("e", V("X"), V("Y")))
+	std := StandardizeRule(r, map[string]bool{"p": true}, nil)
+	if !InStandardForm(std, map[string]bool{"p": true}) {
+		t.Fatalf("not standard: %s", std)
+	}
+	// Expect two equal literals.
+	n := 0
+	for _, a := range std.Body {
+		if a.Pred == EqualPred {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("expected 2 equal literals, got %d: %s", n, std)
+	}
+	// Head arity preserved.
+	if std.Head.Arity() != 4 {
+		t.Errorf("arity changed: %s", std)
+	}
+}
+
+func TestStandardizeListsMatchesPaper(t *testing.T) {
+	// pmem(X,[X|T]) :- p(X).  =>  pmem(X,L) :- list(X,T,L), p(X).
+	r := NewRule(
+		NewAtom("pmem", V("X"), Cons(V("X"), V("T"))),
+		NewAtom("p", V("X")),
+	)
+	std := StandardizeRule(r, map[string]bool{"pmem": true}, nil)
+	if !InStandardForm(std, map[string]bool{"pmem": true}) {
+		t.Fatalf("not standard: %s", std)
+	}
+	if len(std.Body) != 2 || std.Body[0].Pred != "list" || std.Body[1].Pred != "p" {
+		t.Fatalf("unexpected body: %s", std)
+	}
+	lst := std.Body[0]
+	if !lst.Args[0].Equal(V("X")) || !lst.Args[1].Equal(V("T")) {
+		t.Errorf("list literal args: %s", lst)
+	}
+	// Third arg of list must be the head's second argument.
+	if !lst.Args[2].Equal(std.Head.Args[1]) {
+		t.Errorf("list result var mismatch: %s / %s", lst, std.Head)
+	}
+
+	// pmem(X,[H|T]) :- pmem(X,T).  =>  pmem(X,L) :- pmem(X,T), list(H,T,L).
+	r2 := NewRule(
+		NewAtom("pmem", V("X"), Cons(V("H"), V("T"))),
+		NewAtom("pmem", V("X"), V("T")),
+	)
+	std2 := StandardizeRule(r2, map[string]bool{"pmem": true}, nil)
+	if len(std2.Body) != 2 || std2.Body[0].Pred != "list" || std2.Body[1].Pred != "pmem" {
+		t.Fatalf("unexpected body2: %s", std2)
+	}
+}
+
+func TestStandardizeNestedFunctions(t *testing.T) {
+	// p(f(g(X))) :- e(X).
+	r := NewRule(NewAtom("p", Fn("f", Fn("g", V("X")))), NewAtom("e", V("X")))
+	std := StandardizeRule(r, map[string]bool{"p": true}, nil)
+	var fnPreds []string
+	for _, a := range std.Body {
+		if strings.HasPrefix(a.Pred, FnPredPrefix) {
+			fnPreds = append(fnPreds, a.Pred)
+		}
+	}
+	if len(fnPreds) != 2 || fnPreds[0] != "fn_g" || fnPreds[1] != "fn_f" {
+		t.Errorf("flattening order wrong: %v in %s", fnPreds, std)
+	}
+	if !InStandardForm(std, map[string]bool{"p": true}) {
+		t.Errorf("not standard: %s", std)
+	}
+}
+
+func TestStandardizeUntouchedPreds(t *testing.T) {
+	r := NewRule(NewAtom("q", C("5")), NewAtom("e", C("1"), Fn("f", V("X"))))
+	std := StandardizeRule(r, map[string]bool{"p": true}, nil)
+	if !std.Equal(r) {
+		t.Errorf("non-target rule modified: %s", std)
+	}
+}
+
+func TestStandardizeProgram(t *testing.T) {
+	p := NewProgram(
+		NewRule(NewAtom("t", V("X"), V("X")), NewAtom("e", V("X"))),
+		NewRule(NewAtom("t", V("X"), V("Y")), NewAtom("t", V("X"), C("3"))),
+	)
+	std := Standardize(p, map[string]bool{"t": true})
+	if !ProgramInStandardForm(std, map[string]bool{"t": true}) {
+		t.Errorf("program not standardized:\n%s", std)
+	}
+	if ProgramInStandardForm(p, map[string]bool{"t": true}) {
+		t.Error("original should not be standard")
+	}
+}
+
+func TestIsStandardFormPred(t *testing.T) {
+	if !IsStandardFormPred("equal") || !IsStandardFormPred("list") || !IsStandardFormPred("fn_f") {
+		t.Error("special predicates not recognized")
+	}
+	if IsStandardFormPred("edge") {
+		t.Error("edge is not a standard-form predicate")
+	}
+}
+
+func TestFnPredName(t *testing.T) {
+	if FnPredName(ConsFunctor) != "list" {
+		t.Error("cons should map to list")
+	}
+	if FnPredName("pair") != "fn_pair" {
+		t.Error("FnPredName wrong")
+	}
+}
+
+func TestFmtPredArity(t *testing.T) {
+	if FmtPredArity("t", 2) != "t/2" {
+		t.Error("FmtPredArity wrong")
+	}
+}

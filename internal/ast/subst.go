@@ -1,0 +1,237 @@
+package ast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Subst is a substitution: a finite mapping from variable names to terms.
+// The zero value is usable as an empty substitution.
+//
+// Substitutions here are idempotent in the usual logic-programming sense
+// once produced by Unify or Match: applying them walks bindings to fixpoint.
+type Subst map[string]Term
+
+// Clone returns an independent copy of s.
+func (s Subst) Clone() Subst {
+	out := make(Subst, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Lookup returns the binding for name and whether one exists.
+func (s Subst) Lookup(name string) (Term, bool) {
+	t, ok := s[name]
+	return t, ok
+}
+
+// Walk dereferences t through s until it reaches a non-variable or an
+// unbound variable. It does not descend into compound terms.
+func (s Subst) Walk(t Term) Term {
+	for t.Kind == Var {
+		u, ok := s[t.Functor]
+		if !ok {
+			return t
+		}
+		t = u
+	}
+	return t
+}
+
+// Apply applies s to t, fully resolving bindings inside compound terms.
+func (s Subst) Apply(t Term) Term {
+	if len(s) == 0 {
+		return t
+	}
+	t = s.Walk(t)
+	if t.Kind != Compound {
+		return t
+	}
+	args := make([]Term, len(t.Args))
+	changed := false
+	for i, a := range t.Args {
+		args[i] = s.Apply(a)
+		if !args[i].Equal(a) {
+			changed = true
+		}
+	}
+	if !changed {
+		return t
+	}
+	return Term{Kind: Compound, Functor: t.Functor, Args: args}
+}
+
+// ApplyAtom applies s to every argument of a.
+func (s Subst) ApplyAtom(a Atom) Atom {
+	if len(s) == 0 {
+		return a
+	}
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = s.Apply(t)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// ApplyRule applies s to the head and every body atom of r.
+func (s Subst) ApplyRule(r Rule) Rule {
+	if len(s) == 0 {
+		return r
+	}
+	body := make([]Atom, len(r.Body))
+	for i, a := range r.Body {
+		body[i] = s.ApplyAtom(a)
+	}
+	return Rule{Head: s.ApplyAtom(r.Head), Body: body}
+}
+
+// String renders the substitution deterministically, e.g. {X->5, Y->f(Z)}.
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s->%s", k, s[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Unify computes a most general unifier of t and u, extending base (which
+// may be nil). It returns the extended substitution and true on success; on
+// failure the returned substitution must not be used. base is not modified.
+func Unify(t, u Term, base Subst) (Subst, bool) {
+	s := base.Clone()
+	if s == nil {
+		s = Subst{}
+	}
+	if unify(t, u, s) {
+		return s, true
+	}
+	return nil, false
+}
+
+func unify(t, u Term, s Subst) bool {
+	t, u = s.Walk(t), s.Walk(u)
+	switch {
+	case t.Kind == Var && u.Kind == Var && t.Functor == u.Functor:
+		return true
+	case t.Kind == Var:
+		if occurs(t.Functor, u, s) {
+			return false
+		}
+		s[t.Functor] = u
+		return true
+	case u.Kind == Var:
+		if occurs(u.Functor, t, s) {
+			return false
+		}
+		s[u.Functor] = t
+		return true
+	case t.Kind != u.Kind || t.Functor != u.Functor || len(t.Args) != len(u.Args):
+		return false
+	default:
+		for i := range t.Args {
+			if !unify(t.Args[i], u.Args[i], s) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// occurs reports whether variable name occurs in t under s (occurs check).
+func occurs(name string, t Term, s Subst) bool {
+	t = s.Walk(t)
+	switch t.Kind {
+	case Var:
+		return t.Functor == name
+	case Compound:
+		for _, a := range t.Args {
+			if occurs(name, a, s) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// UnifyAtoms unifies two atoms argument-wise. The atoms must have the same
+// predicate and arity; otherwise unification fails.
+func UnifyAtoms(a, b Atom, base Subst) (Subst, bool) {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return nil, false
+	}
+	s := base.Clone()
+	if s == nil {
+		s = Subst{}
+	}
+	for i := range a.Args {
+		if !unify(a.Args[i], b.Args[i], s) {
+			return nil, false
+		}
+	}
+	return s, true
+}
+
+// Match computes a one-way matcher: a substitution over the variables of
+// pattern only, such that s.Apply(pattern) equals ground. Variables in
+// ground are treated as constants (they may not be bound). base may be nil
+// and is not modified.
+func Match(pattern, ground Term, base Subst) (Subst, bool) {
+	s := base.Clone()
+	if s == nil {
+		s = Subst{}
+	}
+	if match(pattern, ground, s) {
+		return s, true
+	}
+	return nil, false
+}
+
+func match(pattern, ground Term, s Subst) bool {
+	if pattern.Kind == Var {
+		if b, ok := s[pattern.Functor]; ok {
+			return b.Equal(ground)
+		}
+		s[pattern.Functor] = ground
+		return true
+	}
+	if pattern.Kind != ground.Kind || pattern.Functor != ground.Functor ||
+		len(pattern.Args) != len(ground.Args) {
+		return false
+	}
+	for i := range pattern.Args {
+		if !match(pattern.Args[i], ground.Args[i], s) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchAtoms matches pattern against target atom-wise (one-way, like Match).
+func MatchAtoms(pattern, target Atom, base Subst) (Subst, bool) {
+	if pattern.Pred != target.Pred || len(pattern.Args) != len(target.Args) {
+		return nil, false
+	}
+	s := base.Clone()
+	if s == nil {
+		s = Subst{}
+	}
+	for i := range pattern.Args {
+		if !match(pattern.Args[i], target.Args[i], s) {
+			return nil, false
+		}
+	}
+	return s, true
+}

@@ -1,0 +1,181 @@
+package ast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubstApply(t *testing.T) {
+	s := Subst{"X": C("a"), "Y": Fn("f", V("X"))}
+	got := s.Apply(Fn("g", V("X"), V("Y"), V("Z")))
+	want := Fn("g", C("a"), Fn("f", C("a")), V("Z"))
+	if !got.Equal(want) {
+		t.Errorf("Apply = %s, want %s", got, want)
+	}
+}
+
+func TestSubstWalkChains(t *testing.T) {
+	s := Subst{"X": V("Y"), "Y": V("Z"), "Z": C("end")}
+	if got := s.Walk(V("X")); !got.Equal(C("end")) {
+		t.Errorf("Walk chain = %s, want end", got)
+	}
+	if got := s.Walk(C("k")); !got.Equal(C("k")) {
+		t.Errorf("Walk const = %s", got)
+	}
+}
+
+func TestUnifyBasics(t *testing.T) {
+	cases := []struct {
+		a, b Term
+		ok   bool
+	}{
+		{V("X"), C("a"), true},
+		{C("a"), C("a"), true},
+		{C("a"), C("b"), false},
+		{Fn("f", V("X")), Fn("f", C("a")), true},
+		{Fn("f", V("X")), Fn("g", C("a")), false},
+		{Fn("f", V("X"), V("X")), Fn("f", C("a"), C("b")), false},
+		{Fn("f", V("X"), V("X")), Fn("f", C("a"), C("a")), true},
+		{V("X"), Fn("f", V("X")), false}, // occurs check
+		{V("X"), V("Y"), true},
+	}
+	for _, c := range cases {
+		s, ok := Unify(c.a, c.b, nil)
+		if ok != c.ok {
+			t.Errorf("Unify(%s,%s) ok=%v, want %v", c.a, c.b, ok, c.ok)
+			continue
+		}
+		if ok {
+			if got, want := s.Apply(c.a), s.Apply(c.b); !got.Equal(want) {
+				t.Errorf("Unify(%s,%s): applied sides differ: %s vs %s", c.a, c.b, got, want)
+			}
+		}
+	}
+}
+
+func TestUnifyDoesNotModifyBase(t *testing.T) {
+	base := Subst{"W": C("w")}
+	_, ok := Unify(V("X"), C("a"), base)
+	if !ok {
+		t.Fatal("unify failed")
+	}
+	if len(base) != 1 {
+		t.Errorf("base modified: %s", base)
+	}
+}
+
+func TestUnifyLists(t *testing.T) {
+	pattern := ListTail(V("T"), V("H"))
+	target := List(C("a"), C("b"), C("c"))
+	s, ok := Unify(pattern, target, nil)
+	if !ok {
+		t.Fatal("list unification failed")
+	}
+	if got := s.Apply(V("H")); !got.Equal(C("a")) {
+		t.Errorf("H = %s, want a", got)
+	}
+	if got := s.Apply(V("T")); !got.Equal(List(C("b"), C("c"))) {
+		t.Errorf("T = %s, want [b,c]", got)
+	}
+}
+
+func TestUnifyAtoms(t *testing.T) {
+	a := NewAtom("p", V("X"), C("5"))
+	b := NewAtom("p", C("3"), V("Y"))
+	s, ok := UnifyAtoms(a, b, nil)
+	if !ok {
+		t.Fatal("atom unification failed")
+	}
+	if !s.ApplyAtom(a).Equal(s.ApplyAtom(b)) {
+		t.Error("unified atoms differ")
+	}
+	if _, ok := UnifyAtoms(a, NewAtom("q", V("X"), C("5")), nil); ok {
+		t.Error("different predicates should not unify")
+	}
+	if _, ok := UnifyAtoms(a, NewAtom("p", V("X")), nil); ok {
+		t.Error("different arities should not unify")
+	}
+}
+
+func TestMatchOneWay(t *testing.T) {
+	// Match binds only pattern variables.
+	s, ok := Match(Fn("f", V("X"), C("a")), Fn("f", C("b"), C("a")), nil)
+	if !ok || !s.Apply(V("X")).Equal(C("b")) {
+		t.Fatalf("match failed: %v %s", ok, s)
+	}
+	// Ground side variables are opaque: pattern constant vs target var fails.
+	if _, ok := Match(C("a"), V("Y"), nil); ok {
+		t.Error("constant should not match a target variable")
+	}
+	// Pattern var against target var binds to the variable itself.
+	s, ok = Match(V("X"), V("Y"), nil)
+	if !ok || !s.Apply(V("X")).Equal(V("Y")) {
+		t.Error("var-to-var match should bind X->Y")
+	}
+	// Repeated pattern variable must match equal subterms.
+	if _, ok := Match(Fn("f", V("X"), V("X")), Fn("f", C("a"), C("b")), nil); ok {
+		t.Error("repeated var matched different terms")
+	}
+}
+
+func TestMatchAtoms(t *testing.T) {
+	pat := NewAtom("e", V("A"), V("B"))
+	tgt := NewAtom("e", C("1"), C("2"))
+	s, ok := MatchAtoms(pat, tgt, nil)
+	if !ok || !s.ApplyAtom(pat).Equal(tgt) {
+		t.Fatal("MatchAtoms failed")
+	}
+}
+
+// Property: a unifier really unifies, on random term pairs.
+func TestUnifyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randTerm(r, 3), randTerm(r, 3)
+		s, ok := Unify(a, b, nil)
+		if !ok {
+			return true // nothing to check; failure is allowed
+		}
+		return s.Apply(a).Equal(s.Apply(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Match(p, g) implies Apply(p) == g when g is ground.
+func TestMatchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randTerm(r, 3)
+		// Ground p by substituting constants for its variables -> target.
+		gs := Subst{}
+		for _, v := range p.Vars() {
+			gs[v] = C([]string{"a", "b", "c"}[r.Intn(3)])
+		}
+		g := gs.Apply(p)
+		s, ok := Match(p, g, nil)
+		return ok && s.Apply(p).Equal(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubstString(t *testing.T) {
+	s := Subst{"Y": C("b"), "X": C("a")}
+	if got := s.String(); got != "{X->a, Y->b}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestApplyRule(t *testing.T) {
+	r := NewRule(NewAtom("p", V("X"), V("Y")), NewAtom("e", V("X"), V("Y")))
+	s := Subst{"X": C("1")}
+	got := s.ApplyRule(r)
+	want := NewRule(NewAtom("p", C("1"), V("Y")), NewAtom("e", C("1"), V("Y")))
+	if !got.Equal(want) {
+		t.Errorf("ApplyRule = %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"factorlog/internal/adorn"
+	"factorlog/internal/ast"
+	"factorlog/internal/cq"
+)
+
+// Analysis is the structural analysis of an adorned unit program: the
+// classification of every rule plus the program-level properties needed by
+// the factorability theorems.
+type Analysis struct {
+	// Pred is the adorned recursive predicate (e.g. t_bf); Base its base
+	// name; Ad its adornment.
+	Pred string
+	Base string
+	Ad   ast.Adornment
+	// Program is the standardized adorned program the analysis was
+	// performed on (Section 4.1: standard form is a compile-time device;
+	// factoring decisions transfer to the original program by position).
+	Program *ast.Program
+	// Rules holds one RuleInfo per rule, in program order.
+	Rules []RuleInfo
+	// ExitRules are the indices of exit rules.
+	ExitRules []int
+	// Constraints are full TGDs the EDB is known to satisfy (see package
+	// cq); the class containments are tested relative to them. The paper's
+	// Examples 4.3-4.5 presume such EDB regularities (e.g. the second
+	// column of the exit relation contained in r1). Nil means none.
+	Constraints []ast.Rule
+}
+
+// RLCStable reports whether the program is RLC-stable (Definition 4.4):
+// only right-, left-, and combined-linear rules plus one exit rule (and, by
+// construction of Analyze, a single IDB predicate with a single reachable
+// adornment).
+func (a *Analysis) RLCStable() bool {
+	if len(a.ExitRules) != 1 {
+		return false
+	}
+	for _, ri := range a.Rules {
+		if ri.Shape == ShapeOther {
+			return false
+		}
+	}
+	return true
+}
+
+// ExitRule returns the single exit rule's info; valid only when RLCStable.
+func (a *Analysis) ExitRule() RuleInfo { return a.Rules[a.ExitRules[0]] }
+
+// Recursive returns the infos of the non-exit rules, in program order.
+func (a *Analysis) Recursive() []RuleInfo {
+	var out []RuleInfo
+	for _, ri := range a.Rules {
+		if ri.Shape != ShapeExit {
+			out = append(out, ri)
+		}
+	}
+	return out
+}
+
+// Summary renders a one-line-per-rule overview for diagnostics.
+func (a *Analysis) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "predicate %s (adornment %s)\n", a.Pred, a.Ad)
+	for i, ri := range a.Rules {
+		fmt.Fprintf(&b, "rule %d: %-12s %s", i+1, ri.Shape, ri.Rule)
+		if ri.Reason != "" {
+			fmt.Fprintf(&b, "  (%s)", ri.Reason)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Analyze classifies an adorned unit program. The adorn result must be a
+// unit program (single IDB predicate, single adornment); the program is
+// standardized with respect to the recursive predicate before
+// classification.
+func Analyze(ad *adorn.Result) (*Analysis, error) {
+	if !ad.IsUnit() {
+		return nil, fmt.Errorf("not a unit program: IDB predicates/adornments %v", ad.ByPred)
+	}
+	pred, adornment := ad.UnitPred()
+	base, _, _ := ast.SplitAdorned(pred)
+	std := ast.Standardize(ad.Program, map[string]bool{pred: true})
+
+	a := &Analysis{
+		Pred:    pred,
+		Base:    base,
+		Ad:      adornment,
+		Program: std,
+	}
+	for i, r := range std.Rules {
+		info := classifyRule(r, pred, adornment)
+		a.Rules = append(a.Rules, info)
+		if info.Shape == ShapeExit {
+			a.ExitRules = append(a.ExitRules, i)
+		}
+	}
+	return a, nil
+}
+
+// WithConstraints attaches full-TGD EDB constraints to the analysis after
+// validating them; the class tests then check containments relative to the
+// constraints (chase-based, see package cq).
+func (a *Analysis) WithConstraints(tgds []ast.Rule) (*Analysis, error) {
+	for _, t := range tgds {
+		if err := cq.ValidateTGD(t); err != nil {
+			return nil, err
+		}
+	}
+	a.Constraints = tgds
+	return a, nil
+}
+
+// AnalyzeQuery adorns p with respect to query and analyzes the result.
+func AnalyzeQuery(p *ast.Program, query ast.Atom) (*Analysis, error) {
+	ad, err := adorn.Adorn(p, query)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(ad)
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+
+	"factorlog/internal/cq"
+)
+
+// This file implements Definition 4.5's auxiliary conjunctive queries and
+// the three factorable classes:
+//
+//	selection-pushing   (Definition 4.6, Theorem 4.1)
+//	symmetric           (Definition 4.7, Theorem 4.2)
+//	answer-propagating  (Definition 4.8, Theorem 4.3)
+//
+// All containments are Chandra-Merlin tableau containments over the
+// conjunctions extracted by the classifier; `equal` literals introduced by
+// the standard-form translation are eliminated inside package cq.
+
+// BoundExit is the conjunction bound_exit(X) :- exit(X,Y) of Definition 4.5.
+func (ri RuleInfo) BoundExit() cq.CQ { return cq.FromVars(ri.BoundVars, ri.Exit) }
+
+// FreeExit is free_exit(Y) :- exit(X,Y).
+func (ri RuleInfo) FreeExit() cq.CQ { return cq.FromVars(ri.FreeVars, ri.Exit) }
+
+// BoundFirst is bound_first(X) :- first(X,V), defined for right-linear rules.
+func (ri RuleInfo) BoundFirst() cq.CQ { return cq.FromVars(ri.BoundVars, ri.First) }
+
+// FreeLast is free_last(Y) :- last(U.., Y), defined for left-linear rules.
+func (ri RuleInfo) FreeLast() cq.CQ { return cq.FromVars(ri.FreeVars, ri.Last) }
+
+// Bound is bound(X) :- left(X), defined for left-linear and combined rules.
+func (ri RuleInfo) Bound() cq.CQ { return cq.FromVars(ri.BoundVars, ri.Left) }
+
+// Free is free(Y) :- right(Y), defined for right-linear and combined rules.
+func (ri RuleInfo) Free() cq.CQ { return cq.FromVars(ri.FreeVars, ri.Right) }
+
+// Middle is middle(U,V) :- center(U,V), defined for combined rules. Its head
+// concatenates the U vectors (in body order) and V.
+func (ri RuleInfo) Middle() cq.CQ {
+	head := append(append([]string{}, ri.UVars...), ri.VVars...)
+	return cq.FromVars(head, ri.Center)
+}
+
+// contained and equivalent test containment relative to the analysis's EDB
+// constraints (chase-based; plain tableau containment when none are set).
+func (a *Analysis) contained(q1, q2 cq.CQ) bool {
+	return cq.ContainedUnder(q1, q2, a.Constraints)
+}
+
+func (a *Analysis) equivalent(q1, q2 cq.CQ) bool {
+	return cq.EquivalentUnder(q1, q2, a.Constraints)
+}
+
+// Class identifies which factorability theorem applies.
+type Class int
+
+const (
+	// ClassUnknown: no sufficient condition of Section 4 applies. The Magic
+	// program may still be factorable (the property is undecidable,
+	// Theorem 3.1), but none of Theorems 4.1-4.3 certifies it.
+	ClassUnknown Class = iota
+	// ClassSelectionPushing: Definition 4.6 holds (Theorem 4.1).
+	ClassSelectionPushing
+	// ClassSymmetric: Definition 4.7 holds (Theorem 4.2).
+	ClassSymmetric
+	// ClassAnswerPropagating: Definition 4.8 holds (Theorem 4.3).
+	ClassAnswerPropagating
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassSelectionPushing:
+		return "selection-pushing"
+	case ClassSymmetric:
+		return "symmetric"
+	case ClassAnswerPropagating:
+		return "answer-propagating"
+	default:
+		return "unknown"
+	}
+}
+
+// Factorable reports whether the class certifies factoring of the Magic
+// program.
+func (c Class) Factorable() bool { return c != ClassUnknown }
+
+// SelectionPushing tests Definition 4.6. The program must be RLC-stable;
+// the returned reason explains a negative verdict.
+func SelectionPushing(a *Analysis) (bool, string) {
+	if !a.RLCStable() {
+		return false, notStableReason(a)
+	}
+	freeExit := a.ExitRule().FreeExit()
+	// Condition 1: free_exit contained in "free" of every combined or
+	// right-linear rule.
+	for i, ri := range a.Rules {
+		if ri.Shape == ShapeCombined || ri.Shape == ShapeRightLinear {
+			if !a.contained(freeExit, ri.Free()) {
+				return false, fmt.Sprintf("free_exit not contained in free of rule %d", i+1)
+			}
+		}
+	}
+	// Condition 2: all "left" conjunctions pairwise equivalent; every
+	// bound_first contained in every "left".
+	var lefts []int  // rules with a left conjunction (LL or combined)
+	var firsts []int // rules with a first conjunction (RL)
+	for i, ri := range a.Rules {
+		switch ri.Shape {
+		case ShapeLeftLinear, ShapeCombined:
+			lefts = append(lefts, i)
+		case ShapeRightLinear:
+			firsts = append(firsts, i)
+		}
+	}
+	for x := 0; x < len(lefts); x++ {
+		for y := x + 1; y < len(lefts); y++ {
+			if !a.equivalent(a.Rules[lefts[x]].Bound(), a.Rules[lefts[y]].Bound()) {
+				return false, fmt.Sprintf("left conjunctions of rules %d and %d are not equivalent",
+					lefts[x]+1, lefts[y]+1)
+			}
+		}
+	}
+	for _, f := range firsts {
+		for _, l := range lefts {
+			if !a.contained(a.Rules[f].BoundFirst(), a.Rules[l].Bound()) {
+				return false, fmt.Sprintf("bound_first of rule %d not contained in bound of rule %d",
+					f+1, l+1)
+			}
+		}
+	}
+	return true, ""
+}
+
+// Symmetric tests Definition 4.7: an RLC-stable program whose recursive
+// rules are all combined, with free_exit contained in each free and all
+// middle conjunctions pairwise equivalent.
+func Symmetric(a *Analysis) (bool, string) {
+	if !a.RLCStable() {
+		return false, notStableReason(a)
+	}
+	var combined []int
+	for i, ri := range a.Rules {
+		switch ri.Shape {
+		case ShapeCombined:
+			combined = append(combined, i)
+		case ShapeExit:
+		default:
+			return false, fmt.Sprintf("rule %d is %s, not combined", i+1, ri.Shape)
+		}
+	}
+	freeExit := a.ExitRule().FreeExit()
+	for _, i := range combined {
+		if !a.contained(freeExit, a.Rules[i].Free()) {
+			return false, fmt.Sprintf("free_exit not contained in free of rule %d", i+1)
+		}
+	}
+	for x := 0; x < len(combined); x++ {
+		for y := x + 1; y < len(combined); y++ {
+			if !a.equivalent(a.Rules[combined[x]].Middle(), a.Rules[combined[y]].Middle()) {
+				return false, fmt.Sprintf("middle conjunctions of rules %d and %d are not equivalent",
+					combined[x]+1, combined[y]+1)
+			}
+		}
+	}
+	return true, ""
+}
+
+// AnswerPropagating tests Definition 4.8 on an RLC-stable program.
+func AnswerPropagating(a *Analysis) (bool, string) {
+	if !a.RLCStable() {
+		return false, notStableReason(a)
+	}
+	exit := a.ExitRule()
+	boundExit, freeExit := exit.BoundExit(), exit.FreeExit()
+
+	var lls, rls, combs []int
+	for i, ri := range a.Rules {
+		switch ri.Shape {
+		case ShapeLeftLinear:
+			lls = append(lls, i)
+		case ShapeRightLinear:
+			rls = append(rls, i)
+		case ShapeCombined:
+			combs = append(combs, i)
+		}
+	}
+
+	// Per-rule conditions.
+	for _, i := range lls {
+		if !a.contained(boundExit, a.Rules[i].Bound()) {
+			return false, fmt.Sprintf("bound_exit not contained in bound of left-linear rule %d", i+1)
+		}
+	}
+	for _, i := range rls {
+		if !a.contained(freeExit, a.Rules[i].Free()) {
+			return false, fmt.Sprintf("free_exit not contained in free of right-linear rule %d", i+1)
+		}
+	}
+	for _, i := range combs {
+		if !a.contained(freeExit, a.Rules[i].Free()) {
+			return false, fmt.Sprintf("free_exit not contained in free of combined rule %d", i+1)
+		}
+	}
+
+	// Pairs of combined rules: middles equivalent.
+	for x := 0; x < len(combs); x++ {
+		for y := x + 1; y < len(combs); y++ {
+			if !a.equivalent(a.Rules[combs[x]].Middle(), a.Rules[combs[y]].Middle()) {
+				return false, fmt.Sprintf("middle conjunctions of rules %d and %d are not equivalent",
+					combs[x]+1, combs[y]+1)
+			}
+		}
+	}
+	// Pairs (left-linear, combined): bound_LL contained in bound_comb, and
+	// free_last contained in free_comb.
+	for _, l := range lls {
+		for _, c := range combs {
+			if !a.contained(a.Rules[l].Bound(), a.Rules[c].Bound()) {
+				return false, fmt.Sprintf("bound of rule %d not contained in bound of rule %d", l+1, c+1)
+			}
+			if !a.contained(a.Rules[l].FreeLast(), a.Rules[c].Free()) {
+				return false, fmt.Sprintf("free_last of rule %d not contained in free of rule %d", l+1, c+1)
+			}
+		}
+	}
+	// Pairs (right-linear, combined): bound_first contained in bound_comb.
+	for _, r := range rls {
+		for _, c := range combs {
+			if !a.contained(a.Rules[r].BoundFirst(), a.Rules[c].Bound()) {
+				return false, fmt.Sprintf("bound_first of rule %d not contained in bound of rule %d", r+1, c+1)
+			}
+		}
+	}
+	// Pairs (right-linear, left-linear): bound_first contained in bound_LL
+	// and free_last contained in free_RL.
+	for _, r := range rls {
+		for _, l := range lls {
+			if !a.contained(a.Rules[r].BoundFirst(), a.Rules[l].Bound()) {
+				return false, fmt.Sprintf("bound_first of rule %d not contained in bound of rule %d", r+1, l+1)
+			}
+			if !a.contained(a.Rules[l].FreeLast(), a.Rules[r].Free()) {
+				return false, fmt.Sprintf("free_last of rule %d not contained in free of rule %d", l+1, r+1)
+			}
+		}
+	}
+	return true, ""
+}
+
+// Classify returns the first class of Section 4 that certifies
+// factorability, testing selection-pushing, then symmetric, then
+// answer-propagating.
+func Classify(a *Analysis) Class {
+	if ok, _ := SelectionPushing(a); ok {
+		return ClassSelectionPushing
+	}
+	if ok, _ := Symmetric(a); ok {
+		return ClassSymmetric
+	}
+	if ok, _ := AnswerPropagating(a); ok {
+		return ClassAnswerPropagating
+	}
+	return ClassUnknown
+}
+
+func notStableReason(a *Analysis) string {
+	if len(a.ExitRules) != 1 {
+		return fmt.Sprintf("not RLC-stable: %d exit rules (need exactly 1)", len(a.ExitRules))
+	}
+	for i, ri := range a.Rules {
+		if ri.Shape == ShapeOther {
+			return fmt.Sprintf("not RLC-stable: rule %d: %s", i+1, ri.Reason)
+		}
+	}
+	return "not RLC-stable"
+}

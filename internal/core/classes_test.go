@@ -1,0 +1,263 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/parser"
+)
+
+// withTGDs attaches constraints parsed from rule source.
+func withTGDs(t *testing.T, a *Analysis, src string) *Analysis {
+	t.Helper()
+	if src == "" {
+		return a
+	}
+	tgds := parser.MustParseProgram(src).Rules
+	if _, err := a.WithConstraints(tgds); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSelectionPushingTransitiveClosure(t *testing.T) {
+	a := analyzeSrc(t, `
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`, "t(5, Y)")
+	ok, reason := SelectionPushing(a)
+	if !ok {
+		t.Fatalf("TC should be selection-pushing: %s", reason)
+	}
+	if got := Classify(a); got != ClassSelectionPushing {
+		t.Errorf("Classify = %v", got)
+	}
+}
+
+func TestSelectionPushingPmem(t *testing.T) {
+	// The paper: "This program is selection-pushing" (Example 4.6).
+	a := analyzeSrc(t, `
+		pmem(X, [X|T]) :- p(X).
+		pmem(X, [H|T]) :- pmem(X, T).
+	`, "pmem(X, [x1, x2, x3])")
+	ok, reason := SelectionPushing(a)
+	if !ok {
+		t.Fatalf("pmem should be selection-pushing: %s", reason)
+	}
+}
+
+func TestSelectionPushingExample43RequiresConstraints(t *testing.T) {
+	src := `
+		p(X, Y) :- l1(X), p(X, U), c1(U, V), p(V, Y), r1(Y).
+		p(X, Y) :- l2(X), p(X, U), c2(U, V), p(V, Y), r2(Y).
+		p(X, Y) :- f(X, V), p(V, Y), r3(Y).
+		p(X, Y) :- e(X, Y).
+	`
+	// Without EDB constraints, free_exit ⊄ r1 etc.: not selection-pushing.
+	a := analyzeSrc(t, src, "p(5, Y)")
+	if ok, _ := SelectionPushing(a); ok {
+		t.Fatal("Example 4.3 should fail selection-pushing without constraints")
+	}
+	// Under the EDB regularities Example 4.3 presumes, it is.
+	a = withTGDs(t, analyzeSrc(t, src, "p(5, Y)"), `
+		r1(Y) :- e(X, Y).
+		r2(Y) :- e(X, Y).
+		r3(Y) :- e(X, Y).
+		l1(X) :- l2(X).
+		l2(X) :- l1(X).
+		l1(X) :- f(X, V).
+	`)
+	ok, reason := SelectionPushing(a)
+	if !ok {
+		t.Fatalf("Example 4.3 with constraints: %s", reason)
+	}
+}
+
+func TestSymmetricExample44(t *testing.T) {
+	src := `
+		p(X, Y) :- l1(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r1(Y).
+		p(X, Y) :- l2(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r2(Y).
+		p(X, Y) :- e(X, Y).
+	`
+	tgds := `
+		r1(Y) :- e(X, Y).
+		r2(Y) :- e(X, Y).
+	`
+	a := withTGDs(t, analyzeSrc(t, src, "p(5, Y)"), tgds)
+	ok, reason := Symmetric(a)
+	if !ok {
+		t.Fatalf("Example 4.4 should be symmetric: %s", reason)
+	}
+	// Not selection-pushing: l1 and l2 are not equivalent.
+	if ok, _ := SelectionPushing(a); ok {
+		t.Error("Example 4.4 should not be selection-pushing (lefts differ)")
+	}
+	if got := Classify(a); got != ClassSymmetric {
+		t.Errorf("Classify = %v", got)
+	}
+}
+
+func TestSymmetricRejectsDifferentMiddles(t *testing.T) {
+	src := `
+		p(X, Y) :- l1(X), p(X, U), p(X, V), c1(U, V, W), p(W, Y), r1(Y).
+		p(X, Y) :- l2(X), p(X, U), p(X, V), c2(U, V, W), p(W, Y), r2(Y).
+		p(X, Y) :- e(X, Y).
+	`
+	a := withTGDs(t, analyzeSrc(t, src, "p(5, Y)"), `
+		r1(Y) :- e(X, Y).
+		r2(Y) :- e(X, Y).
+	`)
+	ok, reason := Symmetric(a)
+	if ok {
+		t.Fatal("different middle conjunctions should not be symmetric")
+	}
+	if !strings.Contains(reason, "middle") {
+		t.Errorf("reason = %q", reason)
+	}
+}
+
+func TestAnswerPropagatingExample45(t *testing.T) {
+	src := `
+		p(X, Y) :- l1(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r1(Y).
+		p(X, Y) :- l2(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r2(Y).
+		p(X, Y) :- f(X, V), p(V, Y), r3(Y).
+		p(X, Y) :- e(X, Y).
+	`
+	tgds := `
+		r1(Y) :- e(X, Y).
+		r2(Y) :- e(X, Y).
+		r3(Y) :- e(X, Y).
+		l1(X) :- f(X, V).
+		l2(X) :- f(X, V).
+	`
+	a := withTGDs(t, analyzeSrc(t, src, "p(5, Y)"), tgds)
+	ok, reason := AnswerPropagating(a)
+	if !ok {
+		t.Fatalf("Example 4.5 should be answer-propagating: %s", reason)
+	}
+	// Not symmetric (a right-linear rule is present)...
+	if ok, _ := Symmetric(a); ok {
+		t.Error("Example 4.5 should not be symmetric")
+	}
+	// ...and not selection-pushing (lefts differ).
+	if ok, _ := SelectionPushing(a); ok {
+		t.Error("Example 4.5 should not be selection-pushing")
+	}
+	if got := Classify(a); got != ClassAnswerPropagating {
+		t.Errorf("Classify = %v", got)
+	}
+}
+
+func TestAnswerPropagatingLeftLinearBoundExit(t *testing.T) {
+	// A left-linear rule whose bound conjunction does not cover bound_exit
+	// fails answer propagation.
+	src := `
+		p(X, Y) :- lguard(X), p(X, W), d(W, Y).
+		p(X, Y) :- e(X, Y).
+	`
+	a := analyzeSrc(t, src, "p(5, Y)")
+	ok, reason := AnswerPropagating(a)
+	if ok {
+		t.Fatal("bound_exit ⊄ lguard: should fail")
+	}
+	if !strings.Contains(reason, "bound_exit") {
+		t.Errorf("reason = %q", reason)
+	}
+	// Under the constraint lguard ⊇ π1(e), it passes.
+	a = withTGDs(t, analyzeSrc(t, src, "p(5, Y)"), `lguard(X) :- e(X, Y).`)
+	if ok, reason := AnswerPropagating(a); !ok {
+		t.Errorf("with constraint: %s", reason)
+	}
+}
+
+func TestSameGenerationNotFactorable(t *testing.T) {
+	a := analyzeSrc(t, `
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+	`, "sg(john, Y)")
+	if got := Classify(a); got != ClassUnknown {
+		t.Errorf("same generation classified %v", got)
+	}
+	if ok, _ := SelectionPushing(a); ok {
+		t.Error("sg selection-pushing?")
+	}
+	if ok, _ := Symmetric(a); ok {
+		t.Error("sg symmetric?")
+	}
+	if ok, _ := AnswerPropagating(a); ok {
+		t.Error("sg answer-propagating?")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if ClassSelectionPushing.String() != "selection-pushing" ||
+		ClassSymmetric.String() != "symmetric" ||
+		ClassAnswerPropagating.String() != "answer-propagating" ||
+		ClassUnknown.String() != "unknown" {
+		t.Error("Class strings wrong")
+	}
+	if ClassUnknown.Factorable() || !ClassSymmetric.Factorable() {
+		t.Error("Factorable wrong")
+	}
+}
+
+func TestWithConstraintsValidation(t *testing.T) {
+	a := analyzeSrc(t, `
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`, "t(5, Y)")
+	bad := []ast.Rule{parser.MustParseProgram(`r(Y, Z) :- e(X, Y).`).Rules[0]}
+	if _, err := a.WithConstraints(bad); err == nil {
+		t.Error("non-full TGD should be rejected")
+	}
+	badFact := []ast.Rule{ast.Fact(ast.NewAtom("r", ast.C("1")))}
+	if _, err := a.WithConstraints(badFact); err == nil {
+		t.Error("bodyless constraint should be rejected")
+	}
+}
+
+func TestSelectionPushingLeftLinearOnly(t *testing.T) {
+	// Pure left-linear recursion: no combined/right-linear rules, single
+	// left conjunction — trivially selection-pushing (cf. Theorem 6.2's
+	// first case).
+	a := analyzeSrc(t, `
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`, "t(5, Y)")
+	ok, reason := SelectionPushing(a)
+	if !ok {
+		t.Fatalf("left-linear TC: %s", reason)
+	}
+}
+
+func TestSelectionPushingRightLinearOnly(t *testing.T) {
+	// Pure right-linear recursion with empty right: free_exit ⊆ true holds
+	// (cf. Theorem 6.2's second case).
+	a := analyzeSrc(t, `
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- e(X, Y).
+	`, "t(5, Y)")
+	ok, reason := SelectionPushing(a)
+	if !ok {
+		t.Fatalf("right-linear TC: %s", reason)
+	}
+}
+
+func TestNotStableReasons(t *testing.T) {
+	// Two exit rules.
+	a := analyzeSrc(t, `
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- f(X, Y).
+	`, "t(5, Y)")
+	if a.RLCStable() {
+		t.Fatal("two exit rules should not be RLC-stable")
+	}
+	ok, reason := SelectionPushing(a)
+	if ok || !strings.Contains(reason, "exit rules") {
+		t.Errorf("reason = %q", reason)
+	}
+}

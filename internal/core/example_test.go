@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"fmt"
+
+	"factorlog/internal/core"
+	"factorlog/internal/magic"
+	"factorlog/internal/parser"
+)
+
+// ExampleClassify reproduces the paper's flagship classification: the
+// three-rule transitive closure with a single-source selection is
+// selection-pushing.
+func ExampleClassify() {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	a, err := core.AnalyzeQuery(p, parser.MustParseAtom("t(5, Y)"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(core.Classify(a))
+	for _, ri := range a.Rules {
+		fmt.Println(ri.Shape)
+	}
+	// Output:
+	// selection-pushing
+	// combined
+	// right-linear
+	// left-linear
+	// exit
+}
+
+// ExampleFactorMagic shows the Magic-then-factor pipeline on the paper's
+// running example; the factored predicate splits into bt/ft.
+func ExampleFactorMagic() {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	m, err := magic.FromQuery(p, parser.MustParseAtom("t(5, Y)"))
+	if err != nil {
+		panic(err)
+	}
+	fr, err := core.FactorMagic(m, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(fr.Class)
+	fmt.Println(fr.Split.LeftName, fr.Split.RightName)
+	// Output:
+	// selection-pushing
+	// bt ft
+}
+
+// ExampleRefuteSplit demonstrates the undecidability reduction of Theorem
+// 3.1: the refuter finds an EDB on which a candidate factoring is wrong.
+func ExampleRefuteSplit() {
+	p := parser.MustParseProgram(`
+		t(X, Y, Z) :- a1(X), q1(Y, Z).
+		t(X, Y, Z) :- a2(X), q2(Y, Z).
+		q1(Y, Z) :- b1(Y, Z).
+		q2(Y, Z) :- b2(Y, Z).
+	`)
+	s := core.Split{Pred: "t", Left: []int{0}, Right: []int{1, 2}, LeftName: "t1", RightName: "t2"}
+	ce, err := core.RefuteSplit(p, parser.MustParseAtom("t(X, Y, Z)"), s,
+		core.RefuteOptions{Trials: 300, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ce != nil)
+	// Output: true
+}

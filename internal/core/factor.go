@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"factorlog/internal/ast"
+)
+
+// Split describes a (nontrivial) factoring of a predicate: the argument
+// positions of Pred are partitioned into Left and Right, producing two
+// predicates of strictly lower arity (Section 3 of the paper).
+type Split struct {
+	Pred      string
+	Left      []int // argument positions going to LeftName
+	Right     []int // argument positions going to RightName
+	LeftName  string
+	RightName string
+}
+
+// Validate checks that the split is well-formed and nontrivial for the
+// given arity: Left and Right are disjoint, cover all positions, and
+// neither side is empty (a side holding all arguments is the trivial
+// factoring the paper sets aside).
+func (s Split) Validate(arity int) error {
+	if s.Pred == "" || s.LeftName == "" || s.RightName == "" {
+		return fmt.Errorf("split has empty predicate names")
+	}
+	if s.LeftName == s.RightName {
+		return fmt.Errorf("split halves share the name %s", s.LeftName)
+	}
+	seen := map[int]bool{}
+	for _, p := range append(append([]int{}, s.Left...), s.Right...) {
+		if p < 0 || p >= arity {
+			return fmt.Errorf("split position %d out of range for arity %d", p, arity)
+		}
+		if seen[p] {
+			return fmt.Errorf("split position %d repeated", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != arity {
+		return fmt.Errorf("split covers %d of %d positions", len(seen), arity)
+	}
+	if len(s.Left) == 0 || len(s.Right) == 0 {
+		return fmt.Errorf("trivial split: one side has all %d arguments", arity)
+	}
+	return nil
+}
+
+// project builds the atom for one side of the split.
+func project(a ast.Atom, name string, pos []int) ast.Atom {
+	args := make([]ast.Term, len(pos))
+	for i, p := range pos {
+		args[i] = a.Args[p]
+	}
+	return ast.Atom{Pred: name, Args: args}
+}
+
+// Apply performs the factoring transformation of Proposition 3.1: every
+// body literal p(t1..tn) is replaced by the pair of projected literals, and
+// every rule with head p is replaced by two rules (same body) whose heads
+// are the projections. The result does not contain p.
+//
+// Apply is purely syntactic; whether the result computes the same answers
+// is exactly the factoring property, certified by the class tests or
+// refuted by RefuteSplit.
+func Apply(p *ast.Program, s Split) (*ast.Program, error) {
+	arity := -1
+	scan := func(a ast.Atom) {
+		if a.Pred == s.Pred {
+			arity = len(a.Args)
+		}
+	}
+	for _, r := range p.Rules {
+		scan(r.Head)
+		for _, b := range r.Body {
+			scan(b)
+		}
+	}
+	if arity == -1 {
+		return nil, fmt.Errorf("predicate %s does not occur in the program", s.Pred)
+	}
+	if err := s.Validate(arity); err != nil {
+		return nil, err
+	}
+
+	out := &ast.Program{}
+	for _, r := range p.Rules {
+		body := make([]ast.Atom, 0, len(r.Body)+2)
+		for _, b := range r.Body {
+			if b.Pred == s.Pred {
+				body = append(body, project(b, s.LeftName, s.Left), project(b, s.RightName, s.Right))
+			} else {
+				body = append(body, b)
+			}
+		}
+		if r.Head.Pred == s.Pred {
+			out.Add(ast.Rule{Head: project(r.Head, s.LeftName, s.Left), Body: body})
+			out.Add(ast.Rule{Head: project(r.Head, s.RightName, s.Right), Body: cloneAtoms(body)})
+		} else {
+			out.Add(ast.Rule{Head: r.Head.Clone(), Body: body})
+		}
+	}
+	return out, nil
+}
+
+func cloneAtoms(atoms []ast.Atom) []ast.Atom {
+	out := make([]ast.Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = a.Clone()
+	}
+	return out
+}
+
+// AddFactoringRules returns P' as in the definition of the factoring
+// property (Section 3): P plus the three rules
+//
+//	p1(Xi..) :- p(X1..Xn).
+//	p2(Xj..) :- p(X1..Xn).
+//	p(X1..Xn) :- p1(Xi..), p2(Xj..).
+//
+// (P, Q, p) has the factoring property iff P and P' compute the same
+// answers to Q on every EDB.
+func AddFactoringRules(p *ast.Program, s Split, arity int) (*ast.Program, error) {
+	if err := s.Validate(arity); err != nil {
+		return nil, err
+	}
+	gen := ast.NewFreshGenProgram(p)
+	args := make([]ast.Term, arity)
+	for i := range args {
+		args[i] = ast.V(gen.Fresh("X"))
+	}
+	full := ast.Atom{Pred: s.Pred, Args: args}
+	left := project(full, s.LeftName, s.Left)
+	right := project(full, s.RightName, s.Right)
+
+	out := p.Clone()
+	out.Add(
+		ast.Rule{Head: left, Body: []ast.Atom{full}},
+		ast.Rule{Head: right, Body: []ast.Atom{full}},
+		ast.Rule{Head: full, Body: []ast.Atom{left, right}},
+	)
+	return out, nil
+}
+
+// BoundFreeSplit builds the canonical split of an adorned predicate into
+// its bound part (b<base>) and free part (f<base>), as used when factoring
+// Magic programs (Theorems 4.1-4.3): t_bf splits into bt(X) and ft(Y).
+// Name collisions with existing predicates are resolved by appending '_'.
+func BoundFreeSplit(adornedPred string, taken map[string]bool) (Split, error) {
+	base, ad, ok := ast.SplitAdorned(adornedPred)
+	if !ok {
+		return Split{}, fmt.Errorf("%s is not an adorned predicate name", adornedPred)
+	}
+	bound, free := ad.Bound(), ad.Free()
+	if len(bound) == 0 || len(free) == 0 {
+		return Split{}, fmt.Errorf("adornment %s of %s admits only a trivial factoring", ad, base)
+	}
+	fresh := func(name string) string {
+		for taken[name] {
+			name += "_"
+		}
+		return name
+	}
+	s := Split{
+		Pred:      adornedPred,
+		Left:      bound,
+		Right:     free,
+		LeftName:  fresh("b" + base),
+		RightName: fresh("f" + base),
+	}
+	sort.Ints(s.Left)
+	sort.Ints(s.Right)
+	return s, nil
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"factorlog/internal/engine"
+	"factorlog/internal/magic"
+	"factorlog/internal/parser"
+)
+
+func tc3Src() string {
+	return `
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`
+}
+
+func TestSplitValidate(t *testing.T) {
+	ok := Split{Pred: "t", Left: []int{0}, Right: []int{1}, LeftName: "bt", RightName: "ft"}
+	if err := ok.Validate(2); err != nil {
+		t.Errorf("valid split rejected: %v", err)
+	}
+	cases := []struct {
+		s     Split
+		arity int
+	}{
+		{Split{Pred: "t", Left: []int{0, 1}, Right: nil, LeftName: "a", RightName: "b"}, 2},   // trivial
+		{Split{Pred: "t", Left: []int{0}, Right: []int{0}, LeftName: "a", RightName: "b"}, 2}, // overlap
+		{Split{Pred: "t", Left: []int{0}, Right: []int{2}, LeftName: "a", RightName: "b"}, 2}, // range
+		{Split{Pred: "t", Left: []int{0}, Right: []int{1}, LeftName: "a", RightName: "a"}, 2}, // same name
+		{Split{Pred: "t", Left: []int{0}, Right: nil, LeftName: "a", RightName: "b"}, 2},      // coverage
+		{Split{Pred: "", Left: []int{0}, Right: []int{1}, LeftName: "a", RightName: "b"}, 2},  // empty pred
+	}
+	for i, c := range cases {
+		if err := c.s.Validate(c.arity); err == nil {
+			t.Errorf("case %d: invalid split accepted", i)
+		}
+	}
+}
+
+// TestFactorMagicFig2Golden: factoring the Magic program of Fig. 1 yields
+// exactly Fig. 2 of the paper.
+func TestFactorMagicFig2Golden(t *testing.T) {
+	p := parser.MustParseProgram(tc3Src())
+	m, err := magic.FromQuery(p, parser.MustParseAtom("t(5, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := FactorMagic(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Class != ClassSelectionPushing {
+		t.Errorf("class = %v", fr.Class)
+	}
+	if fr.Split.LeftName != "bt" || fr.Split.RightName != "ft" {
+		t.Errorf("split names = %s/%s", fr.Split.LeftName, fr.Split.RightName)
+	}
+	want := parser.MustParseProgram(`
+		m_t_bf(5).
+		m_t_bf(W) :- m_t_bf(X), bt(X), ft(W).
+		m_t_bf(W) :- m_t_bf(X), e(X, W).
+
+		bt(X) :- m_t_bf(X), bt(X), ft(W), bt(W), ft(Y).
+		ft(Y) :- m_t_bf(X), bt(X), ft(W), bt(W), ft(Y).
+		bt(X) :- m_t_bf(X), e(X, W), bt(W), ft(Y).
+		ft(Y) :- m_t_bf(X), e(X, W), bt(W), ft(Y).
+		bt(X) :- m_t_bf(X), bt(X), ft(W), e(W, Y).
+		ft(Y) :- m_t_bf(X), bt(X), ft(W), e(W, Y).
+		bt(X) :- m_t_bf(X), e(X, Y).
+		ft(Y) :- m_t_bf(X), e(X, Y).
+
+		query(Y) :- bt(5), ft(Y).
+	`)
+	if fr.Program.Canonical() != want.Canonical() {
+		t.Errorf("factored program:\n%s\nwant:\n%s", fr.Program, want)
+	}
+}
+
+// TestFactorMagicPmemGolden: the factored pmem program of Example 4.6.
+func TestFactorMagicPmemGolden(t *testing.T) {
+	p := parser.MustParseProgram(`
+		pmem(X, [X|T]) :- p(X).
+		pmem(X, [H|T]) :- pmem(X, T).
+	`)
+	m, err := magic.FromQuery(p, parser.MustParseAtom("pmem(X, [x1, x2, x3])"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := FactorMagic(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := parser.MustParseProgram(`
+		m_pmem_fb([x1, x2, x3]).
+		m_pmem_fb(T) :- m_pmem_fb([H|T]).
+		bpmem([X|T]) :- m_pmem_fb([X|T]), p(X).
+		fpmem(X) :- m_pmem_fb([X|T]), p(X).
+		bpmem([H|T]) :- m_pmem_fb([H|T]), bpmem(T), fpmem(X).
+		fpmem(X) :- m_pmem_fb([H|T]), bpmem(T), fpmem(X).
+		query(X) :- bpmem([x1, x2, x3]), fpmem(X).
+	`)
+	if fr.Program.Canonical() != want.Canonical() {
+		t.Errorf("factored pmem:\n%s\nwant:\n%s", fr.Program, want)
+	}
+}
+
+// TestFactoredAnswersMatchOriginal: the factored Magic program computes the
+// original query answers (Theorem 4.1), on chains and random graphs.
+func TestFactoredAnswersMatchOriginal(t *testing.T) {
+	orig := parser.MustParseProgram(tc3Src())
+	m, err := magic.FromQuery(orig, parser.MustParseAtom("t(3, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := FactorMagic(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	edbs := [][][2]int{
+		{{1, 2}, {2, 3}, {3, 4}, {4, 5}}, // chain
+		{{1, 2}, {2, 3}, {3, 1}},         // cycle through 3
+		{{3, 3}},                         // self loop at 3
+		{{1, 2}},                         // query node absent
+		{{3, 4}, {3, 5}, {4, 6}, {5, 6}, {6, 3}, {9, 9}}, // dag + cycle + junk
+	}
+	for i, edges := range edbs {
+		load := func() *engine.DB {
+			db := engine.NewDB()
+			for _, e := range edges {
+				db.MustInsert("e", db.Store.Int(e[0]), db.Store.Int(e[1]))
+			}
+			return db
+		}
+		dbO := load()
+		if _, err := engine.Eval(orig, dbO, engine.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		wantAns, _ := engine.AnswerSet(dbO, parser.MustParseAtom("t(3, Y)"))
+
+		dbF := load()
+		if _, err := engine.Eval(fr.Program, dbF, engine.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		gotAns, _ := engine.AnswerSet(dbF, parser.MustParseAtom("query(Y)"))
+
+		if len(gotAns) != len(wantAns) {
+			t.Errorf("edb %d: %d answers vs %d", i, len(gotAns), len(wantAns))
+			continue
+		}
+		for a := range gotAns {
+			k := strings.TrimSuffix(strings.TrimPrefix(a, "("), ")")
+			if !wantAns["(3,"+k+")"] {
+				t.Errorf("edb %d: spurious %s", i, a)
+			}
+		}
+	}
+}
+
+// TestFactoredPmemLinear: the factored pmem program evaluates correctly and
+// the arity-1 predicates stay linear in the list length.
+func TestFactoredPmemLinear(t *testing.T) {
+	p := parser.MustParseProgram(`
+		pmem(X, [X|T]) :- p(X).
+		pmem(X, [H|T]) :- pmem(X, T).
+	`)
+	list := "[x1,x2,x3,x4,x5,x6]"
+	m, err := magic.FromQuery(p, parser.MustParseAtom("pmem(X, "+list+")"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := FactorMagic(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.NewDB()
+	for _, x := range []string{"x1", "x3", "x5"} {
+		db.MustInsert("p", db.Store.Const(x))
+	}
+	if _, err := engine.Eval(fr.Program, db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	set, _ := engine.AnswerSet(db, parser.MustParseAtom("query(X)"))
+	if len(set) != 3 || !set["(x1)"] || !set["(x3)"] || !set["(x5)"] {
+		t.Errorf("answers = %v", set)
+	}
+	if got := db.Count("fpmem"); got != 3 {
+		t.Errorf("|fpmem| = %d", got)
+	}
+	// m_pmem has the n+1 suffixes; fpmem <= n: all unary-side relations
+	// are O(n), never O(n^2).
+	if got := db.Count("m_pmem_fb"); got != 7 {
+		t.Errorf("|m_pmem_fb| = %d, want 7", got)
+	}
+}
+
+func TestFactorMagicRejectsSameGeneration(t *testing.T) {
+	p := parser.MustParseProgram(`
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+	`)
+	m, err := magic.FromQuery(p, parser.MustParseAtom("sg(john, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = FactorMagic(m, nil)
+	if !errors.Is(err, ErrNotFactorable) {
+		t.Errorf("want ErrNotFactorable, got %v", err)
+	}
+	// ForceFactorMagic still produces a program (for demonstrations).
+	fr, err := ForceFactorMagic(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Class != ClassUnknown {
+		t.Errorf("forced class = %v", fr.Class)
+	}
+}
+
+func TestFactorMagicTrivialAdornment(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	m, err := magic.FromQuery(p, parser.MustParseAtom("t(X, Y)")) // all free
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FactorMagic(m, nil); err == nil {
+		t.Error("all-free adornment admits only trivial factoring; expected error")
+	}
+}
+
+func TestApplyRequiresPredicate(t *testing.T) {
+	p := parser.MustParseProgram(`a(X) :- b(X).`)
+	_, err := Apply(p, Split{Pred: "zzz", Left: []int{0}, Right: []int{1}, LeftName: "l", RightName: "r"})
+	if err == nil || !strings.Contains(err.Error(), "does not occur") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAddFactoringRules(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y, Z) :- a1(X), q1(Y, Z).
+		t(X, Y, Z) :- a2(X), q2(Y, Z).
+	`)
+	s := Split{Pred: "t", Left: []int{0}, Right: []int{1, 2}, LeftName: "t1", RightName: "t2"}
+	pp, err := AddFactoringRules(p, s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pp.Rules) != len(p.Rules)+3 {
+		t.Fatalf("rules = %d", len(pp.Rules))
+	}
+	// The original program is untouched.
+	if len(p.Rules) != 2 {
+		t.Error("input mutated")
+	}
+	// The bridge rule reconstructs t from t1 x t2.
+	last := pp.Rules[len(pp.Rules)-1]
+	if last.Head.Pred != "t" || len(last.Body) != 2 ||
+		last.Body[0].Pred != "t1" || last.Body[1].Pred != "t2" {
+		t.Errorf("bridge rule = %s", last)
+	}
+}
+
+func TestBoundFreeSplitNames(t *testing.T) {
+	s, err := BoundFreeSplit("t_bf", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LeftName != "bt" || s.RightName != "ft" {
+		t.Errorf("names = %s/%s", s.LeftName, s.RightName)
+	}
+	// Collision avoidance.
+	s, err = BoundFreeSplit("t_bf", map[string]bool{"bt": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LeftName != "bt_" {
+		t.Errorf("collision name = %s", s.LeftName)
+	}
+	// Non-adorned name.
+	if _, err := BoundFreeSplit("plain", nil); err == nil {
+		t.Error("plain name should be rejected")
+	}
+	// All-bound adornment.
+	if _, err := BoundFreeSplit("t_bb", nil); err == nil {
+		t.Error("all-bound adornment should be rejected")
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/engine"
+	"factorlog/internal/magic"
+	"factorlog/internal/parser"
+)
+
+// Section 7.3 of the paper asks when a predicate can be factored even
+// though it is not the top-level query predicate. Example 7.2 exhibits
+// positive and negative cases; the theorems do not cover them (p_bf is not
+// the query predicate), so we demonstrate them with the definition-level
+// machinery: forced splits, the randomized refuter, hand-constructed
+// counterexample EDBs, and answer comparison.
+
+// TestExample72Positive: the driver q(Y) :- a(X,Z), p(Z,Y) over the
+// right-linear P1. p_bf appears as an inner goal; the paper conjectures it
+// factors. The refuter finds no counterexample and answers agree on hand
+// EDBs after applying the factoring transformation.
+func TestExample72Positive(t *testing.T) {
+	p := parser.MustParseProgram(`
+		q(Y) :- a(X, Z), p(Z, Y).
+		p(X, Y) :- b(X, U), p(U, Y).
+		p(X, Y) :- e(X, Y).
+	`)
+	m, err := magic.FromQuery(p, parser.MustParseAtom("q(Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := Split{Pred: "p_bf", Left: []int{0}, Right: []int{1}, LeftName: "bp", RightName: "fp"}
+
+	ce, err := RefuteSplit(m.Program, m.Query, split, RefuteOptions{Trials: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != nil {
+		t.Fatalf("paper's positive case refuted: %s", ce)
+	}
+
+	// Apply the factoring transformation and compare answers on EDBs.
+	factored, err := Apply(m.Program, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, edb := range []string{
+		`a(1, 2). b(2, 3). b(3, 4). e(4, 9). e(2, 8).`,
+		`a(1, 2). a(1, 5). b(5, 2). e(2, 7).`,
+		`a(2, 3). e(9, 4).`, // no answers
+	} {
+		facts, err := parser.Parse(edb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(prog *ast.Program) map[string]bool {
+			db := engine.NewDB()
+			if err := engine.LoadFacts(db, facts.Facts); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := engine.Eval(prog, db, engine.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			set, _ := engine.AnswerSet(db, m.Query)
+			return set
+		}
+		a, b := run(m.Program), run(factored)
+		if len(a) != len(b) {
+			t.Errorf("EDB %q: %v vs %v", edb, a, b)
+		}
+		for k := range a {
+			if !b[k] {
+				t.Errorf("EDB %q: missing %s", edb, k)
+			}
+		}
+	}
+}
+
+// TestExample72Negative: with the query q(X, Y) (both free), answers to
+// different p goals pair with different X bindings, so p_bf must NOT be
+// factored; the refuter finds a counterexample.
+func TestExample72Negative(t *testing.T) {
+	p := parser.MustParseProgram(`
+		q(X, Y) :- a(X, Z), p(Z, Y).
+		p(X, Y) :- b(X, U), p(U, Y).
+		p(X, Y) :- e(X, Y).
+	`)
+	m, err := magic.FromQuery(p, parser.MustParseAtom("q(X, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := Split{Pred: "p_bf", Left: []int{0}, Right: []int{1}, LeftName: "bp", RightName: "fp"}
+	ce, err := RefuteSplit(m.Program, m.Query, split, RefuteOptions{Trials: 500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce == nil {
+		t.Fatal("paper's negative case not refuted")
+	}
+	if len(ce.Spurious) == 0 {
+		t.Errorf("counterexample without spurious answers: %s", ce)
+	}
+	if !strings.Contains(ce.String(), "spurious") {
+		t.Errorf("rendering: %s", ce)
+	}
+}
+
+// TestExample72P2Negative: with P2's combined rule guarded by c1(X), p_bf
+// does not factor under the driver: an answer of one inner subgoal can be
+// combined with the guard of a different subgoal, generating a spurious
+// inner goal whose exit answers leak into q. The EDB below realizes that:
+// only subgoal 1 satisfies c1, subgoal 2 contributes fp(6), and the mixed
+// pair (bp(1), fp(6)) fires c2(6,9), reaching the never-invoked goal 9 and
+// its answer 7.
+func TestExample72P2Negative(t *testing.T) {
+	p := parser.MustParseProgram(`
+		q(Y) :- a(X, Z), p(Z, Y).
+		p(X, Y) :- c1(X), p(X, U), c2(U, V), p(V, Y).
+		p(X, Y) :- d(X, Y).
+	`)
+	m, err := magic.FromQuery(p, parser.MustParseAtom("q(Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := Split{Pred: "p_bf", Left: []int{0}, Right: []int{1}, LeftName: "bp", RightName: "fp"}
+	facts, err := parser.Parse(`
+		a(0, 1). a(0, 2).
+		c1(1).
+		d(1, 5). d(2, 6).
+		c2(6, 9).
+		d(9, 7).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := CheckSplitOnEDB(m.Program, m.Query, split, facts.Facts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce == nil {
+		t.Fatal("P u P2 should not factor (the paper: 'p_bf cannot be factored in P u P2')")
+	}
+	found := false
+	for _, s := range ce.Spurious {
+		if s == "(7)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected spurious answer 7, got %v", ce.Spurious)
+	}
+}

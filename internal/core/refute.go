@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/engine"
+)
+
+// Factorability is undecidable (Theorem 3.1), so no procedure can confirm
+// it in general; this file provides the complementary direction: a
+// randomized search for EDBs on which a candidate factoring changes the
+// query's answers. A returned counterexample is a definitive "no"; nil is
+// inconclusive.
+
+// RefuteOptions configures the randomized search.
+type RefuteOptions struct {
+	// Trials is the number of random EDBs tried (default 200).
+	Trials int
+	// MaxDomain bounds the constant domain size (default 5; the search
+	// sweeps domain sizes 2..MaxDomain).
+	MaxDomain int
+	// Seed makes the search reproducible.
+	Seed int64
+	// MaxFacts bounds each evaluation (default 200000).
+	MaxFacts int
+}
+
+func (o *RefuteOptions) defaults() {
+	if o.Trials == 0 {
+		o.Trials = 200
+	}
+	if o.MaxDomain == 0 {
+		o.MaxDomain = 5
+	}
+	if o.MaxFacts == 0 {
+		o.MaxFacts = 200_000
+	}
+}
+
+// Counterexample is an EDB on which the factored program P' disagrees with
+// P on the query.
+type Counterexample struct {
+	// Facts is the EDB, as ground atoms.
+	Facts []ast.Atom
+	// Spurious are answers produced by P' but not P; Missing the converse.
+	// (For the P' of Section 3, Missing is provably empty — P' only adds
+	// rules — but the refuter reports both for robustness.)
+	Spurious []string
+	Missing  []string
+}
+
+func (c *Counterexample) String() string {
+	var b strings.Builder
+	b.WriteString("EDB:")
+	for _, f := range c.Facts {
+		b.WriteString(" ")
+		b.WriteString(f.String())
+		b.WriteString(".")
+	}
+	if len(c.Spurious) > 0 {
+		fmt.Fprintf(&b, " spurious answers: %v", c.Spurious)
+	}
+	if len(c.Missing) > 0 {
+		fmt.Fprintf(&b, " missing answers: %v", c.Missing)
+	}
+	return b.String()
+}
+
+// RefuteSplit searches for an EDB witnessing that (P, query, s.Pred) does
+// NOT have the factoring property for the given split: it compares P with
+// the P' of Section 3 (P plus the three factoring rules) on random EDBs.
+// It returns a counterexample, or nil if none was found (inconclusive).
+//
+// The program must be function-free (Datalog): random EDB generation over
+// Herbrand universes with function symbols does not terminate usefully.
+func RefuteSplit(p *ast.Program, query ast.Atom, s Split, opts RefuteOptions) (*Counterexample, error) {
+	opts.defaults()
+	arity, err := predArityIn(p, s.Pred)
+	if err != nil {
+		return nil, err
+	}
+	pPrime, err := AddFactoringRules(p, s, arity)
+	if err != nil {
+		return nil, err
+	}
+	if err := requireDatalog(p); err != nil {
+		return nil, err
+	}
+
+	schema := edbSchema(p)
+	consts := append(queryConstants(query), programConstants(p)...)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	for trial := 0; trial < opts.Trials; trial++ {
+		domain := 2 + trial%(opts.MaxDomain-1)
+		facts := randomEDB(rng, schema, domain, consts)
+		ce, err := compareOnEDB(p, pPrime, query, facts, opts.MaxFacts)
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", trial, err)
+		}
+		if ce != nil {
+			ce.Facts = facts
+			return ce, nil
+		}
+	}
+	return nil, nil
+}
+
+// CheckSplitOnEDB compares P and P' on one specific EDB, returning a
+// counterexample if they disagree on the query. Used to replay the paper's
+// hand-constructed EDBs (Example 4.3, Theorem 3.1).
+func CheckSplitOnEDB(p *ast.Program, query ast.Atom, s Split, facts []ast.Atom, maxFacts int) (*Counterexample, error) {
+	arity, err := predArityIn(p, s.Pred)
+	if err != nil {
+		return nil, err
+	}
+	pPrime, err := AddFactoringRules(p, s, arity)
+	if err != nil {
+		return nil, err
+	}
+	if maxFacts == 0 {
+		maxFacts = 200_000
+	}
+	ce, err := compareOnEDB(p, pPrime, query, facts, maxFacts)
+	if err != nil {
+		return nil, err
+	}
+	if ce != nil {
+		ce.Facts = facts
+	}
+	return ce, nil
+}
+
+func compareOnEDB(p, pPrime *ast.Program, query ast.Atom, facts []ast.Atom, maxFacts int) (*Counterexample, error) {
+	eval := func(prog *ast.Program) (map[string]bool, error) {
+		db := engine.NewDB()
+		if err := engine.LoadFacts(db, facts); err != nil {
+			return nil, err
+		}
+		if _, err := engine.Eval(prog, db, engine.Options{MaxFacts: maxFacts}); err != nil {
+			return nil, err
+		}
+		return engine.AnswerSet(db, query)
+	}
+	base, err := eval(p)
+	if err != nil {
+		return nil, err
+	}
+	primed, err := eval(pPrime)
+	if err != nil {
+		return nil, err
+	}
+	var spurious, missing []string
+	for a := range primed {
+		if !base[a] {
+			spurious = append(spurious, a)
+		}
+	}
+	for a := range base {
+		if !primed[a] {
+			missing = append(missing, a)
+		}
+	}
+	if len(spurious) == 0 && len(missing) == 0 {
+		return nil, nil
+	}
+	sort.Strings(spurious)
+	sort.Strings(missing)
+	return &Counterexample{Spurious: spurious, Missing: missing}, nil
+}
+
+func predArityIn(p *ast.Program, pred string) (int, error) {
+	arities, err := p.PredArities()
+	if err != nil {
+		return 0, err
+	}
+	arity, ok := arities[pred]
+	if !ok {
+		return 0, fmt.Errorf("predicate %s does not occur in the program", pred)
+	}
+	return arity, nil
+}
+
+func requireDatalog(p *ast.Program) error {
+	var check func(t ast.Term) bool
+	check = func(t ast.Term) bool {
+		if t.Kind == ast.Compound {
+			return false
+		}
+		return true
+	}
+	for _, r := range p.Rules {
+		for _, a := range append([]ast.Atom{r.Head}, r.Body...) {
+			for _, t := range a.Args {
+				if !check(t) {
+					return fmt.Errorf("rule %s contains function symbols; the refuter requires Datalog", r)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// edbSchema returns pred -> arity for the EDB predicates of p.
+func edbSchema(p *ast.Program) map[string]int {
+	arities, _ := p.PredArities()
+	out := map[string]int{}
+	for pred := range p.EDBPreds() {
+		out[pred] = arities[pred]
+	}
+	return out
+}
+
+// queryConstants collects the constants of the query atom; they are always
+// included in the random domain so bound arguments can be hit.
+func queryConstants(query ast.Atom) []string {
+	var out []string
+	for _, t := range query.Args {
+		if t.IsConst() {
+			out = append(out, t.Functor)
+		}
+	}
+	return out
+}
+
+// programConstants collects the constants occurring in the program's rules
+// (e.g. a magic seed's bound value); the random domain must include them or
+// goal-directed programs never fire.
+func programConstants(p *ast.Program) []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(t ast.Term)
+	walk = func(t ast.Term) {
+		switch t.Kind {
+		case ast.Const:
+			if !seen[t.Functor] {
+				seen[t.Functor] = true
+				out = append(out, t.Functor)
+			}
+		case ast.Compound:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		}
+	}
+	for _, r := range p.Rules {
+		for _, a := range append([]ast.Atom{r.Head}, r.Body...) {
+			for _, t := range a.Args {
+				walk(t)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// randomEDB generates a random set of facts: for each EDB predicate, a
+// random subset of tuples over a domain of the given size plus the query
+// constants.
+func randomEDB(rng *rand.Rand, schema map[string]int, domain int, extraConsts []string) []ast.Atom {
+	var consts []string
+	for i := 0; i < domain; i++ {
+		consts = append(consts, fmt.Sprintf("c%d", i))
+	}
+	consts = append(consts, extraConsts...)
+
+	preds := make([]string, 0, len(schema))
+	for p := range schema {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+
+	var facts []ast.Atom
+	for _, pred := range preds {
+		arity := schema[pred]
+		n := rng.Intn(2*len(consts) + 1)
+		for i := 0; i < n; i++ {
+			args := make([]ast.Term, arity)
+			for j := range args {
+				args[j] = ast.C(consts[rng.Intn(len(consts))])
+			}
+			facts = append(facts, ast.Atom{Pred: pred, Args: args})
+		}
+	}
+	return facts
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"factorlog/internal/cq"
+	"factorlog/internal/magic"
+	"factorlog/internal/parser"
+)
+
+func containsAnswer(list []string, want string) bool {
+	for _, a := range list {
+		if a == want {
+			return true
+		}
+	}
+	return false
+}
+
+// The program of Theorem 3.1's undecidability reduction, with q1/q2 as
+// simple IDB views so the program is self-contained.
+func thm31Program() string {
+	return `
+		t(X, Y, Z) :- a1(X), q1(Y, Z).
+		t(X, Y, Z) :- a2(X), q2(Y, Z).
+		q1(Y, Z) :- b1(Y, Z).
+		q2(Y, Z) :- b2(Y, Z).
+	`
+}
+
+// TestTheorem31SplitXYZ replays the paper's first counterexample: factoring
+// t into t1'(X,Y) and t2'(Z) is refuted by the EDB a1(1), q1(2,3), q1(4,5)
+// (the factored program also computes t(1,2,5) and t(1,4,3)).
+func TestTheorem31SplitXYZ(t *testing.T) {
+	p := parser.MustParseProgram(thm31Program())
+	query := parser.MustParseAtom("t(X, Y, Z)")
+	s := Split{Pred: "t", Left: []int{0, 1}, Right: []int{2}, LeftName: "tl", RightName: "tr"}
+	facts, err := parser.Parse(`a1(1). b1(2, 3). b1(4, 5).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := CheckSplitOnEDB(p, query, s, facts.Facts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce == nil {
+		t.Fatal("paper's counterexample not detected")
+	}
+	want := map[string]bool{"(1,2,5)": true, "(1,4,3)": true}
+	if len(ce.Spurious) != 2 {
+		t.Fatalf("spurious = %v", ce.Spurious)
+	}
+	for _, a := range ce.Spurious {
+		if !want[a] {
+			t.Errorf("unexpected spurious answer %s", a)
+		}
+	}
+	if len(ce.Missing) != 0 {
+		t.Errorf("missing = %v (P' only adds rules)", ce.Missing)
+	}
+}
+
+// TestTheorem31SplitXvsYZ: factoring into t1(X), t2(Y,Z) is safe iff a1=a2
+// or q1=q2; the refuter finds a counterexample in the general case.
+func TestTheorem31SplitXvsYZ(t *testing.T) {
+	p := parser.MustParseProgram(thm31Program())
+	query := parser.MustParseAtom("t(X, Y, Z)")
+	s := Split{Pred: "t", Left: []int{0}, Right: []int{1, 2}, LeftName: "t1", RightName: "t2"}
+
+	// Hand EDB: a1 and a2 differ, q1 and q2 differ.
+	facts, err := parser.Parse(`a1(1). a2(2). b1(3, 4). b2(5, 6).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := CheckSplitOnEDB(p, query, s, facts.Facts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce == nil {
+		t.Fatal("differing a1/a2 with differing q1/q2 should break the factoring")
+	}
+
+	// When a1 = a2, the factoring is safe on that EDB.
+	facts2, err := parser.Parse(`a1(1). a2(1). b1(3, 4). b2(5, 6).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err = CheckSplitOnEDB(p, query, s, facts2.Facts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != nil {
+		t.Errorf("a1=a2 should factor on this EDB, got %s", ce)
+	}
+
+	// The random refuter finds a counterexample too.
+	found, err := RefuteSplit(p, query, s, RefuteOptions{Trials: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found == nil {
+		t.Error("refuter failed to find a counterexample")
+	}
+}
+
+// TestRefuterInconclusiveOnFactorableMagicTC: the Magic program of the
+// three-rule transitive closure factors (Theorem 4.1); the refuter must not
+// find any counterexample.
+func TestRefuterInconclusiveOnFactorableMagicTC(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	m, err := magic.FromQuery(p, parser.MustParseAtom("t(5, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Split{Pred: "t_bf", Left: []int{0}, Right: []int{1}, LeftName: "bt", RightName: "ft"}
+	ce, err := RefuteSplit(m.Program, m.Query, s, RefuteOptions{Trials: 150, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != nil {
+		t.Errorf("factorable Magic program refuted: %s", ce)
+	}
+}
+
+// TestExample43ViolatingEDBs replays the two EDB instances of Example 4.3:
+// each violates one selection-pushing condition and produces exactly the
+// spurious answer the paper derives (8, respectively 7).
+func TestExample43ViolatingEDBs(t *testing.T) {
+	p := parser.MustParseProgram(`
+		p(X, Y) :- l1(X), p(X, U), c1(U, V), p(V, Y), r1(Y).
+		p(X, Y) :- l2(X), p(X, U), c2(U, V), p(V, Y), r2(Y).
+		p(X, Y) :- f(X, V), p(V, Y), r3(Y).
+		p(X, Y) :- e(X, Y).
+	`)
+	m, err := magic.FromQuery(p, parser.MustParseAtom("p(5, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Split{Pred: "p_bf", Left: []int{0}, Right: []int{1}, LeftName: "bp", RightName: "fp"}
+
+	// EDB 1: violates bound_first ⊆ l1 (f(5,1) but no l1(5)); the paper
+	// derives the spurious answer 8. (The EDB also has r3 empty, violating
+	// free_exit ⊆ r3, so 7 is spurious as well — the paper highlights 8.)
+	edb1, err := parser.Parse(`f(5, 1). e(5, 6). e(1, 7). e(2, 8). l1(1). c1(6, 2). r1(7). r1(8).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := CheckSplitOnEDB(m.Program, m.Query, s, edb1.Facts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce == nil {
+		t.Fatal("EDB 1 should refute the factoring")
+	}
+	if !containsAnswer(ce.Spurious, "(8)") {
+		t.Errorf("EDB 1 spurious = %v, want to include (8)", ce.Spurious)
+	}
+	// Adding l1(5) makes 8 a genuine answer (the paper: "8 is a valid
+	// answer if l1(5) is added"); it no longer appears as spurious.
+	edb1fix := append(edb1.Facts, parser.MustParseAtom("l1(5)"))
+	ce, err = CheckSplitOnEDB(m.Program, m.Query, s, edb1fix, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != nil && containsAnswer(ce.Spurious, "(8)") {
+		t.Errorf("with l1(5), 8 is a genuine answer; got %s", ce)
+	}
+
+	// EDB 2: violates free_exit ⊆ r1 (e(1,7) but no r1(7)); spurious 7.
+	edb2, err := parser.Parse(`f(5, 1). e(5, 6). e(1, 7). l1(5). c1(6, 1).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err = CheckSplitOnEDB(m.Program, m.Query, s, edb2.Facts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce == nil {
+		t.Fatal("EDB 2 should refute the factoring")
+	}
+	if len(ce.Spurious) != 1 || ce.Spurious[0] != "(7)" {
+		t.Errorf("EDB 2 spurious = %v, want [(7)]", ce.Spurious)
+	}
+}
+
+// TestExample43EDBsViolateTheConstraints: the same EDBs, checked against
+// the TGD constraints under which Example 4.3 is selection-pushing, are
+// flagged as violating exactly the conditions the paper names.
+func TestExample43EDBsViolateTheConstraints(t *testing.T) {
+	tgds := parser.MustParseProgram(`
+		r1(Y) :- e(X, Y).
+		l1(X) :- f(X, V).
+	`).Rules
+
+	edb1, _ := parser.Parse(`f(5, 1). e(5, 6). e(1, 7). e(2, 8). l1(1). c1(6, 2). r1(7). r1(8).`)
+	missing := cq.MissingUnderTGDs(edb1.Facts, tgds)
+	foundL1 := false
+	for _, m := range missing {
+		if m.String() == "l1(5)" {
+			foundL1 = true
+		}
+	}
+	if !foundL1 {
+		t.Errorf("EDB 1 should be missing l1(5): %v", missing)
+	}
+
+	edb2, _ := parser.Parse(`f(5, 1). e(5, 6). e(1, 7). l1(5). c1(6, 1).`)
+	missing = cq.MissingUnderTGDs(edb2.Facts, tgds)
+	foundR1 := false
+	for _, m := range missing {
+		if m.String() == "r1(7)" {
+			foundR1 = true
+		}
+	}
+	if !foundR1 {
+		t.Errorf("EDB 2 should be missing r1(7): %v", missing)
+	}
+}
+
+func TestRefuteSplitRejectsFunctionSymbols(t *testing.T) {
+	p := parser.MustParseProgram(`
+		pmem(X, [X|T]) :- p(X).
+		pmem(X, [H|T]) :- pmem(X, T).
+	`)
+	s := Split{Pred: "pmem", Left: []int{0}, Right: []int{1}, LeftName: "a", RightName: "b"}
+	_, err := RefuteSplit(p, parser.MustParseAtom("pmem(X, L)"), s, RefuteOptions{Trials: 5})
+	if err == nil {
+		t.Error("function symbols should be rejected")
+	}
+}
+
+func TestRefuteSplitUnknownPredicate(t *testing.T) {
+	p := parser.MustParseProgram(`a(X) :- b(X).`)
+	s := Split{Pred: "zzz", Left: []int{0}, Right: []int{1}, LeftName: "l", RightName: "r"}
+	if _, err := RefuteSplit(p, parser.MustParseAtom("a(X)"), s, RefuteOptions{Trials: 1}); err == nil {
+		t.Error("unknown predicate should error")
+	}
+}
+
+func TestCounterexampleString(t *testing.T) {
+	facts, err := parser.Parse(`e(1, 2). r1(7).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce := &Counterexample{Facts: facts.Facts, Spurious: []string{"(8)"}, Missing: []string{"(9)"}}
+	s := ce.String()
+	for _, frag := range []string{"e(1,2).", "r1(7).", "spurious", "(8)", "missing", "(9)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String missing %q: %s", frag, s)
+		}
+	}
+}

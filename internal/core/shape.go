@@ -1,0 +1,324 @@
+// Package core implements the paper's contribution: the factoring property
+// and transformation (Section 3), the classification of adorned unit
+// programs into left-linear, right-linear, and combined rules (Definitions
+// 4.1-4.3), the factorable classes selection-pushing, symmetric, and
+// answer-propagating (Definitions 4.6-4.8, Theorems 4.1-4.3), the factoring
+// of Magic programs into bound and free parts, and a randomized refuter for
+// candidate factorings (factorability itself is undecidable, Theorem 3.1).
+package core
+
+import (
+	"fmt"
+
+	"factorlog/internal/ast"
+)
+
+// Shape classifies a rule of an adorned unit program per Definitions
+// 4.1-4.3 of the paper.
+type Shape int
+
+const (
+	// ShapeExit: no occurrence of the recursive predicate in the body.
+	ShapeExit Shape = iota
+	// ShapeLeftLinear: Definition 4.1 — occurrences p(X,U1)...p(X,Um) whose
+	// bound arguments equal the head's, plus disjoint EDB conjunctions
+	// left(X) and last(U1..Um, Y).
+	ShapeLeftLinear
+	// ShapeRightLinear: Definition 4.2 — one occurrence p(V,Y) whose free
+	// arguments equal the head's, plus disjoint conjunctions first(X,V) and
+	// right(Y).
+	ShapeRightLinear
+	// ShapeCombined: Definition 4.3 — left-linear occurrences plus one
+	// right-linear occurrence, with disjoint left(X), center(U,V), right(Y).
+	ShapeCombined
+	// ShapeOther: fits none of the above (e.g. pseudo-left-linear rules,
+	// Definition 5.3, where left and last share a variable).
+	ShapeOther
+)
+
+func (s Shape) String() string {
+	switch s {
+	case ShapeExit:
+		return "exit"
+	case ShapeLeftLinear:
+		return "left-linear"
+	case ShapeRightLinear:
+		return "right-linear"
+	case ShapeCombined:
+		return "combined"
+	case ShapeOther:
+		return "other"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// RuleInfo is the structural decomposition of one rule with respect to the
+// recursive predicate and its adornment. The conjunctions are slices of the
+// rule's EDB body atoms; absent conjunctions are nil (denoting "true").
+//
+// Classification is permutation-invariant by construction: occurrences are
+// compared position-by-position within the bound block and within the free
+// block, which is unchanged by any global permutation of argument positions
+// (the remark after Definition 4.3 and Example 4.1 of the paper).
+type RuleInfo struct {
+	Rule  ast.Rule
+	Shape Shape
+	// Reason explains a ShapeOther classification.
+	Reason string
+
+	// BoundVars (X) and FreeVars (Y) are the head's variables at bound and
+	// free positions, in position order.
+	BoundVars []string
+	FreeVars  []string
+
+	// LeftOccs are body indices of left-linear occurrences of the recursive
+	// predicate; RightOcc is the body index of the right-linear occurrence
+	// (-1 if none).
+	LeftOccs []int
+	RightOcc int
+
+	// UVars concatenates the free-argument variables of the left-linear
+	// occurrences, in body order (the U1..Um of Definitions 4.1/4.3).
+	UVars []string
+	// VVars are the bound-argument variables of the right-linear occurrence
+	// (the V of Definitions 4.2/4.3).
+	VVars []string
+
+	// Conjunction assignment of the EDB atoms.
+	Left   []ast.Atom // left(X): left-linear and combined rules
+	First  []ast.Atom // first(X,V): right-linear rules
+	Last   []ast.Atom // last(U..,Y): left-linear rules
+	Center []ast.Atom // center(U,V): combined rules
+	Right  []ast.Atom // right(Y): right-linear and combined rules
+	Exit   []ast.Atom // whole body: exit rules
+}
+
+// classifyRule decomposes r. pred is the adorned recursive predicate; ad its
+// adornment. r must be in standard form with respect to pred (checked).
+func classifyRule(r ast.Rule, pred string, ad ast.Adornment) RuleInfo {
+	info := RuleInfo{Rule: r, RightOcc: -1}
+	other := func(format string, args ...any) RuleInfo {
+		info.Shape = ShapeOther
+		info.Reason = fmt.Sprintf(format, args...)
+		return info
+	}
+	if !ast.InStandardForm(r, map[string]bool{pred: true}) {
+		return other("rule not in standard form with respect to %s", pred)
+	}
+	if r.Head.Pred != pred {
+		return other("head predicate %s is not %s", r.Head.Pred, pred)
+	}
+	if len(ad) != len(r.Head.Args) {
+		return other("adornment %s does not fit arity %d", ad, len(r.Head.Args))
+	}
+
+	boundPos, freePos := ad.Bound(), ad.Free()
+	varsAt := func(a ast.Atom, pos []int) []string {
+		out := make([]string, len(pos))
+		for i, p := range pos {
+			out[i] = a.Args[p].Functor // standard form: always a variable
+		}
+		return out
+	}
+	info.BoundVars = varsAt(r.Head, boundPos)
+	info.FreeVars = varsAt(r.Head, freePos)
+
+	// Classify recursive occurrences.
+	var edb []ast.Atom
+	var badOcc bool
+	for bi, a := range r.Body {
+		if a.Pred != pred {
+			edb = append(edb, a)
+			continue
+		}
+		ob := varsAt(a, boundPos)
+		of := varsAt(a, freePos)
+		leftLin := strsEqual(ob, info.BoundVars)
+		rightLin := strsEqual(of, info.FreeVars)
+		switch {
+		case leftLin && rightLin:
+			return other("body literal %s repeats the head", a)
+		case leftLin:
+			info.LeftOccs = append(info.LeftOccs, bi)
+			info.UVars = append(info.UVars, of...)
+		case rightLin:
+			if info.RightOcc >= 0 {
+				return other("more than one right-linear occurrence")
+			}
+			info.RightOcc = bi
+			info.VVars = ob
+		default:
+			badOcc = true
+		}
+	}
+	if badOcc {
+		return other("an occurrence of %s is neither left- nor right-linear", pred)
+	}
+
+	switch {
+	case len(info.LeftOccs) == 0 && info.RightOcc < 0:
+		info.Shape = ShapeExit
+		info.Exit = edb
+		return info
+	case info.RightOcc < 0: // left-linear rule
+		return assignConjunctions(info, edb, ShapeLeftLinear)
+	case len(info.LeftOccs) == 0: // right-linear rule
+		return assignConjunctions(info, edb, ShapeRightLinear)
+	default:
+		return assignConjunctions(info, edb, ShapeCombined)
+	}
+}
+
+func strsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assignConjunctions distributes the EDB atoms of the body into the shape's
+// conjunctions by connected components of shared variables.
+//
+// Distinguished variables (X, U.., V, Y) are first mapped to their target
+// conjunctions. A variable claimed by two different targets — e.g. a head
+// bound variable that also appears in the right-linear occurrence, the
+// situation of Example 5.1 — makes the rule ShapeOther: the definitions
+// treat X, U.., V, Y as vectors whose cross-conjunction sharing is not
+// covered by the theorems. Sharing within one target (e.g. U = V in the
+// non-linear transitive closure rule, where center is the identity) is
+// fine. A component of EDB atoms touching two different targets violates
+// the required disjointness of the conjunctions and also yields ShapeOther
+// (this is exactly what makes a pseudo-left-linear rule "pseudo",
+// Definition 5.3).
+func assignConjunctions(info RuleInfo, edb []ast.Atom, shape Shape) RuleInfo {
+	// target ids per shape
+	const (
+		tLeft = iota
+		tFirst
+		tLast
+		tCenter
+		tRight
+	)
+	groupOf := map[string]int{}
+	conflict := ""
+	assign := func(vars []string, target int) {
+		for _, v := range vars {
+			if prev, ok := groupOf[v]; ok && prev != target && conflict == "" {
+				conflict = v
+			}
+			groupOf[v] = target
+		}
+	}
+	var float int // target for atoms touching no distinguished variable
+	switch shape {
+	case ShapeLeftLinear:
+		assign(info.BoundVars, tLeft)
+		assign(info.UVars, tLast)
+		assign(info.FreeVars, tLast)
+		float = tLast
+	case ShapeRightLinear:
+		assign(info.BoundVars, tFirst)
+		assign(info.VVars, tFirst)
+		assign(info.FreeVars, tRight)
+		float = tFirst
+	default: // combined
+		assign(info.BoundVars, tLeft)
+		assign(info.UVars, tCenter)
+		assign(info.VVars, tCenter)
+		assign(info.FreeVars, tRight)
+		float = tCenter
+	}
+	if conflict != "" {
+		info.Shape = ShapeOther
+		info.Reason = fmt.Sprintf("variable %s is shared between two distinguished vectors", conflict)
+		return info
+	}
+
+	comps := connectedComponents(edb)
+	for _, comp := range comps {
+		target := -1
+		for _, ai := range comp {
+			for _, v := range edb[ai].Vars() {
+				g, ok := groupOf[v]
+				if !ok {
+					continue
+				}
+				if target == -1 {
+					target = g
+				} else if target != g {
+					info.Shape = ShapeOther
+					info.Reason = fmt.Sprintf(
+						"EDB conjunction containing %s connects two distinguished variable groups", edb[ai])
+					return info
+				}
+			}
+		}
+		if target == -1 {
+			target = float
+		}
+		for _, ai := range comp {
+			switch target {
+			case tLeft:
+				info.Left = append(info.Left, edb[ai])
+			case tFirst:
+				info.First = append(info.First, edb[ai])
+			case tLast:
+				info.Last = append(info.Last, edb[ai])
+			case tCenter:
+				info.Center = append(info.Center, edb[ai])
+			case tRight:
+				info.Right = append(info.Right, edb[ai])
+			}
+		}
+	}
+	info.Shape = shape
+	return info
+}
+
+// connectedComponents groups atom indices by transitive variable sharing.
+func connectedComponents(atoms []ast.Atom) [][]int {
+	parent := make([]int, len(atoms))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	byVar := map[string]int{}
+	for i, a := range atoms {
+		for _, v := range a.Vars() {
+			if j, ok := byVar[v]; ok {
+				union(i, j)
+			} else {
+				byVar[v] = i
+			}
+		}
+	}
+	groups := map[int][]int{}
+	var roots []int
+	for i := range atoms {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}

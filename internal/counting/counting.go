@@ -1,0 +1,296 @@
+// Package counting implements the Counting transformation of Section 6.4
+// of the paper [2,3,12]: a variant of Magic Sets in which every derived
+// predicate carries index fields encoding the derivation path, so answers
+// can be matched to exactly the goal that generated them.
+//
+// Index fields are represented as terms: depths are Peano numerals
+// (z, s(z), s(s(z)), ...) and rule paths are digit stacks (nil, r1(nil),
+// r2(r1(nil)), ...) — the paper's I+1 and k*i+J in symbolic form.
+//
+// Counting cannot handle left-linear rules: the index rule generated from
+// a left-linear rule increments the depth without changing the goal, so
+// its fixpoint diverges (the paper's cnt_t(X, I+1) :- cnt_t(X, I)
+// example). Transform reports this statically; Force generates the
+// divergent program anyway for demonstrations. Theorem 6.4: for programs
+// with no left-linear literals that satisfy the factoring conditions, the
+// factored Magic program (after deleting trivially redundant rules) is
+// identical to the Counting program with all index fields deleted.
+package counting
+
+import (
+	"errors"
+	"fmt"
+
+	"factorlog/internal/adorn"
+	"factorlog/internal/ast"
+	"factorlog/internal/core"
+)
+
+// ErrDiverges is returned when the program contains left-linear or
+// combined rules, for which the Counting program's fixpoint does not
+// terminate.
+var ErrDiverges = errors.New("counting diverges: program has left-linear or combined rules")
+
+// ErrUnsupported is returned for rule shapes outside the construction
+// (combined rules, multiple left-linear occurrences).
+var ErrUnsupported = errors.New("counting transformation: unsupported rule shape")
+
+// Result is the output of the transformation.
+type Result struct {
+	// Program is the Counting program: seed, index rules, answer rules,
+	// and the query rule.
+	Program *ast.Program
+	// Query is the answer-collecting head, query(Y..).
+	Query ast.Atom
+	// CntPred is the goal predicate cnt_<p> (with 2 extra index args);
+	// AnsPred is the answer predicate <p>_cnt (with 2 extra index args).
+	CntPred, AnsPred string
+	// Diverges reports that the generated program's bottom-up evaluation
+	// will not terminate (left-linear rules present; only with Force).
+	Diverges bool
+}
+
+// QueryPred is the name of the answer-collecting predicate.
+const QueryPred = "query"
+
+// Transform applies the Counting transformation to an adorned unit
+// program. It returns ErrDiverges if the program contains left-linear or
+// combined rules; use Force to generate the divergent program anyway
+// (combined rules remain unsupported).
+func Transform(ad *adorn.Result) (*Result, error) { return transform(ad, false) }
+
+// Force is Transform without the divergence check: left-linear rules
+// produce the non-terminating index rules the paper exhibits.
+func Force(ad *adorn.Result) (*Result, error) { return transform(ad, true) }
+
+func transform(ad *adorn.Result, force bool) (*Result, error) {
+	a, err := core.Analyze(ad)
+	if err != nil {
+		return nil, err
+	}
+	if !a.RLCStable() {
+		return nil, fmt.Errorf("%w: %s", ErrUnsupported, "program is not RLC-stable")
+	}
+	diverges := false
+	for i, ri := range a.Rules {
+		switch ri.Shape {
+		case core.ShapeCombined:
+			return nil, fmt.Errorf("%w: rule %d is combined", ErrUnsupported, i+1)
+		case core.ShapeLeftLinear:
+			if len(ri.LeftOccs) > 1 {
+				return nil, fmt.Errorf("%w: rule %d has %d left-linear occurrences",
+					ErrUnsupported, i+1, len(ri.LeftOccs))
+			}
+			diverges = true
+			if !force {
+				return nil, fmt.Errorf("%w (rule %d)", ErrDiverges, i+1)
+			}
+		}
+	}
+
+	// The analysis works on the standardized program; the construction
+	// below works on the original adorned rules, using the analysis only
+	// for shapes. Argument positions agree between the two.
+	cntPred := "cnt_" + a.Base
+	ansPred := a.Base + "_cnt"
+	boundPos := a.Ad.Bound()
+	freePos := a.Ad.Free()
+
+	gen := ast.NewFreshGenProgram(ad.Program)
+	iVar := func() ast.Term { return ast.V(gen.Fresh("I")) }
+
+	proj := func(at ast.Atom, pos []int) []ast.Term {
+		out := make([]ast.Term, len(pos))
+		for k, p := range pos {
+			out[k] = at.Args[p]
+		}
+		return out
+	}
+	zero := ast.C("z")
+	nilIdx := ast.C("nil")
+	succ := func(t ast.Term) ast.Term { return ast.Fn("s", t) }
+	digit := func(i int, t ast.Term) ast.Term { return ast.Fn(fmt.Sprintf("r%d", i), t) }
+
+	out := &ast.Program{}
+
+	// Seed: cnt_p(queryBoundArgs, z, nil).
+	seedArgs := append(proj(ad.Query, boundPos), zero, nilIdx)
+	out.Add(ast.Fact(ast.Atom{Pred: cntPred, Args: seedArgs}))
+
+	// The analysis indexes body literals of the STANDARDIZED rules; the
+	// construction works on the original rules, whose recursive occurrences
+	// appear in the same relative order. Map via occurrence ordinals.
+	occByOrdinal := func(orig ast.Rule, stdInfo core.RuleInfo, stdIdx int) int {
+		stdOccs := stdInfo.Rule.BodyIndices(func(at ast.Atom) bool { return at.Pred == a.Pred })
+		ordinal := -1
+		for k, oi := range stdOccs {
+			if oi == stdIdx {
+				ordinal = k
+			}
+		}
+		origOccs := orig.BodyIndices(func(at ast.Atom) bool { return at.Pred == a.Pred })
+		return origOccs[ordinal]
+	}
+
+	recNo := 0 // 1-based numbering of recursive rules, for digits
+	for idx, r := range ad.Program.Rules {
+		info := a.Rules[idx]
+		switch info.Shape {
+		case core.ShapeExit:
+			// p_cnt(Y.., I, J) :- cnt_p(X.., I, J), exit-body.
+			I, J := iVar(), iVar()
+			head := ast.Atom{Pred: ansPred, Args: append(proj(r.Head, freePos), I, J)}
+			body := []ast.Atom{{Pred: cntPred, Args: append(proj(r.Head, boundPos), I, J)}}
+			body = append(body, r.Body...)
+			out.Add(ast.Rule{Head: head, Body: body})
+
+		case core.ShapeRightLinear:
+			recNo++
+			occIdx := occByOrdinal(r, info, info.RightOcc)
+			occ := r.Body[occIdx]
+			nonRec := withoutIndex(r.Body, occIdx)
+			first, right := splitFirstRight(r, nonRec, freePos)
+			// Index rule:
+			//   cnt_p(V.., s(I), r_i(J)) :- cnt_p(X.., I, J), first(X..,V..).
+			I, J := iVar(), iVar()
+			idxHead := ast.Atom{Pred: cntPred,
+				Args: append(proj(occ, boundPos), succ(I), digit(recNo, J))}
+			idxBody := []ast.Atom{{Pred: cntPred, Args: append(proj(r.Head, boundPos), I, J)}}
+			idxBody = append(idxBody, first...)
+			out.Add(ast.Rule{Head: idxHead, Body: idxBody})
+			// Answer rule:
+			//   p_cnt(Y.., I, J) :- p_cnt(Y.., s(I), r_i(J)), right(Y..).
+			I2, J2 := iVar(), iVar()
+			ansHead := ast.Atom{Pred: ansPred, Args: append(proj(r.Head, freePos), I2, J2)}
+			ansBody := []ast.Atom{{Pred: ansPred,
+				Args: append(proj(occ, freePos), succ(I2), digit(recNo, J2))}}
+			ansBody = append(ansBody, right...)
+			out.Add(ast.Rule{Head: ansHead, Body: ansBody})
+
+		case core.ShapeLeftLinear: // force mode only
+			recNo++
+			occIdx := occByOrdinal(r, info, info.LeftOccs[0])
+			occ := r.Body[occIdx]
+			nonRec := withoutIndex(r.Body, occIdx)
+			// Index rule increments the depth without changing the goal:
+			//   cnt_p(X.., s(I), r_i(J)) :- cnt_p(X.., I, J).
+			I, J := iVar(), iVar()
+			idxHead := ast.Atom{Pred: cntPred,
+				Args: append(proj(r.Head, boundPos), succ(I), digit(recNo, J))}
+			idxBody := []ast.Atom{{Pred: cntPred, Args: append(proj(r.Head, boundPos), I, J)}}
+			out.Add(ast.Rule{Head: idxHead, Body: idxBody})
+			// Answer rule:
+			//   p_cnt(Y.., I, J) :- p_cnt(U.., s(I), r_i(J)), last(U.., Y..).
+			I2, J2 := iVar(), iVar()
+			ansHead := ast.Atom{Pred: ansPred, Args: append(proj(r.Head, freePos), I2, J2)}
+			ansBody := []ast.Atom{{Pred: ansPred,
+				Args: append(proj(occ, freePos), succ(I2), digit(recNo, J2))}}
+			ansBody = append(ansBody, nonRec...)
+			out.Add(ast.Rule{Head: ansHead, Body: ansBody})
+		}
+	}
+
+	// Query rule: query(Y..) :- p_cnt(Y.., z, nil).
+	qArgs := proj(ad.Query, freePos)
+	qHead := ast.Atom{Pred: QueryPred, Args: qArgs}
+	out.Add(ast.Rule{Head: qHead, Body: []ast.Atom{
+		{Pred: ansPred, Args: append(append([]ast.Term{}, qArgs...), zero, nilIdx)},
+	}})
+
+	return &Result{
+		Program:  out,
+		Query:    qHead,
+		CntPred:  cntPred,
+		AnsPred:  ansPred,
+		Diverges: diverges,
+	}, nil
+}
+
+func withoutIndex(atoms []ast.Atom, skip int) []ast.Atom {
+	out := make([]ast.Atom, 0, len(atoms)-1)
+	for i, a := range atoms {
+		if i != skip {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// splitFirstRight partitions the non-recursive body atoms of a right-linear
+// rule into the first (goal-generating) and right (answer-filtering)
+// conjunctions: a connected component of atoms belongs to right iff it
+// touches a head free variable. This mirrors the conjunction assignment of
+// the classifier, but on the original (non-standardized) rule so the output
+// stays evaluable.
+func splitFirstRight(r ast.Rule, nonRec []ast.Atom, freePos []int) (first, right []ast.Atom) {
+	freeVars := map[string]bool{}
+	for _, p := range freePos {
+		for _, v := range r.Head.Args[p].Vars() {
+			freeVars[v] = true
+		}
+	}
+	// Fixpoint: grow the right-side variable set through shared variables.
+	inRight := make([]bool, len(nonRec))
+	for changed := true; changed; {
+		changed = false
+		for i, a := range nonRec {
+			if inRight[i] {
+				continue
+			}
+			touches := false
+			for _, v := range a.Vars() {
+				if freeVars[v] {
+					touches = true
+					break
+				}
+			}
+			if touches {
+				inRight[i] = true
+				for _, v := range a.Vars() {
+					freeVars[v] = true
+				}
+				changed = true
+			}
+		}
+	}
+	for i, a := range nonRec {
+		if inRight[i] {
+			right = append(right, a)
+		} else {
+			first = append(first, a)
+		}
+	}
+	return first, right
+}
+
+// DeleteIndices removes the two index arguments from every occurrence of
+// the cnt and answer predicates, the program Theorem 6.4 compares with the
+// factored Magic program. Rules whose head appears in their body after the
+// deletion (the paper's "trivially redundant rules") are dropped.
+func DeleteIndices(p *ast.Program, cntPred, ansPred string) *ast.Program {
+	strip := func(a ast.Atom) ast.Atom {
+		if a.Pred == cntPred || a.Pred == ansPred {
+			return ast.Atom{Pred: a.Pred, Args: a.Args[:len(a.Args)-2]}
+		}
+		return a
+	}
+	out := &ast.Program{}
+	for _, r := range p.Rules {
+		head := strip(r.Head)
+		body := make([]ast.Atom, 0, len(r.Body))
+		for _, b := range r.Body {
+			body = append(body, strip(b))
+		}
+		redundant := false
+		for _, b := range body {
+			if head.Equal(b) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out.Add(ast.Rule{Head: head, Body: body})
+		}
+	}
+	return out
+}

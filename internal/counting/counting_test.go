@@ -1,0 +1,391 @@
+package counting
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"factorlog/internal/adorn"
+	"factorlog/internal/core"
+	"factorlog/internal/engine"
+	"factorlog/internal/magic"
+	"factorlog/internal/optimize"
+	"factorlog/internal/parser"
+)
+
+// section64Program is the two-first right-linear program of Section 6.4.
+const section64Program = `
+	p(X, Y) :- first1(X, U), p(U, Y), right1(Y).
+	p(X, Y) :- first2(X, U), p(U, Y), right2(Y).
+	p(X, Y) :- exit(X, Y).
+`
+
+func adornFor(t *testing.T, src, query string) *adorn.Result {
+	t.Helper()
+	ad, err := adorn.Adorn(parser.MustParseProgram(src), parser.MustParseAtom(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ad
+}
+
+func TestTransformRightLinear(t *testing.T) {
+	ad := adornFor(t, section64Program, "p(5, Y)")
+	res, err := Transform(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diverges {
+		t.Error("right-linear program should not diverge")
+	}
+	// Seed + 2x(index+answer) + exit answer + query = 7 rules.
+	if len(res.Program.Rules) != 7 {
+		t.Errorf("rules = %d:\n%s", len(res.Program.Rules), res.Program)
+	}
+	if res.CntPred != "cnt_p" || res.AnsPred != "p_cnt" {
+		t.Errorf("pred names: %s %s", res.CntPred, res.AnsPred)
+	}
+}
+
+// TestCountingAnswersMatchMagic: on EDBs, the Counting program computes
+// exactly the Magic program's answers.
+func TestCountingAnswersMatchMagic(t *testing.T) {
+	ad := adornFor(t, section64Program, "p(1, Y)")
+	cnt, err := Transform(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := magic.Transform(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	load := func() *engine.DB {
+		db := engine.NewDB()
+		facts, err := parser.Parse(`
+			first1(1, 2). first2(2, 3). first1(3, 4).
+			exit(4, 10). exit(2, 11). exit(1, 12).
+			right1(10). right2(10). right1(11). right2(11). right1(12).
+		`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := engine.LoadFacts(db, facts.Facts); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+
+	dbC := load()
+	if _, err := engine.Eval(cnt.Program, dbC, engine.Options{MaxFacts: 100000}); err != nil {
+		t.Fatal(err)
+	}
+	gotC, _ := engine.AnswerSet(dbC, cnt.Query)
+
+	dbM := load()
+	if _, err := engine.Eval(m.Program, dbM, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	gotM, _ := engine.AnswerSet(dbM, m.Query)
+
+	if len(gotC) != len(gotM) {
+		t.Fatalf("counting %v vs magic %v", gotC, gotM)
+	}
+	for a := range gotC {
+		if !gotM[a] {
+			t.Errorf("counting answer %s not in magic", a)
+		}
+	}
+	// Counting filters by exact derivation path: p(4,10) holds only after
+	// first1, first2, first1, so 10 needs right1, right2 along the way.
+	if !gotC["(10)"] {
+		t.Errorf("expected answer 10: %v", gotC)
+	}
+}
+
+// TestCountingIndexFiltering: Counting rejects an answer when a right
+// filter fails along its own derivation path even though some other path's
+// filters would pass — the behaviour the indices exist to implement.
+func TestCountingIndexFiltering(t *testing.T) {
+	ad := adornFor(t, section64Program, "p(1, Y)")
+	cnt, err := Transform(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.NewDB()
+	facts, err := parser.Parse(`
+		first1(1, 2).
+		exit(2, 10).
+		right2(10).
+	`) // answer 10 derived through first1 requires right1(10): absent
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.LoadFacts(db, facts.Facts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Eval(cnt.Program, db, engine.Options{MaxFacts: 10000}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := engine.AnswerSet(db, cnt.Query)
+	if len(got) != 0 {
+		t.Errorf("right1 missing on the path; answers = %v", got)
+	}
+}
+
+// TestTheorem64: the factored Magic program (optimized) is identical, up to
+// predicate renaming, to the Counting program with index fields deleted.
+func TestTheorem64(t *testing.T) {
+	ad := adornFor(t, section64Program, "p(5, Y)")
+
+	// Counting side. The class conditions (free_exit ⊆ right1/right2) hold
+	// under EDB constraints; the syntactic programs coincide regardless.
+	cnt, err := Transform(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noIdx := DeleteIndices(cnt.Program, cnt.CntPred, cnt.AnsPred)
+
+	// Factoring side (forced: the free_exit ⊆ right containments are EDB
+	// constraints; Theorem 6.4 is about the syntactic identity).
+	m, err := magic.Transform(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := core.ForceFactorMagic(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := optimize.Optimize(fr.Program, optimize.ForFactored(fr, magic.QueryPred, m.Seed.Head.Args))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mapping, ok := FindRenaming(noIdx, opt.Program)
+	if !ok {
+		t.Fatalf("no renaming makes the programs equal:\ncounting (indices deleted):\n%s\nfactored+optimized:\n%s",
+			noIdx, opt.Program)
+	}
+	if mapping[cnt.CntPred] != "m_p_bf" {
+		t.Errorf("cnt maps to %s, want m_p_bf", mapping[cnt.CntPred])
+	}
+	if mapping[cnt.AnsPred] != fr.Split.RightName {
+		t.Errorf("answers map to %s, want %s", mapping[cnt.AnsPred], fr.Split.RightName)
+	}
+}
+
+// TestCountingDivergesOnLeftLinear reproduces the paper's example: the
+// left-linear transitive closure generates cnt_t(X, I+1) :- cnt_t(X, I),
+// whose fixpoint does not terminate.
+func TestCountingDivergesOnLeftLinear(t *testing.T) {
+	ad := adornFor(t, `
+		t(X, Y) :- t(X, Z), e(Z, Y).
+		t(X, Y) :- e(X, Y).
+	`, "t(1, Y)")
+	_, err := Transform(ad)
+	if !errors.Is(err, ErrDiverges) {
+		t.Fatalf("want ErrDiverges, got %v", err)
+	}
+
+	// Force generates the divergent program; a fact budget catches it.
+	res, err := Force(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diverges {
+		t.Error("Diverges flag not set")
+	}
+	db := engine.NewDB()
+	db.MustInsert("e", db.Store.Int(1), db.Store.Int(2))
+	_, err = engine.Eval(res.Program, db, engine.Options{MaxFacts: 1000})
+	if !errors.Is(err, engine.ErrBudget) {
+		t.Errorf("divergent program terminated? err = %v", err)
+	}
+}
+
+func TestCountingRejectsCombined(t *testing.T) {
+	ad := adornFor(t, `
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, Y).
+	`, "t(1, Y)")
+	_, err := Transform(ad)
+	if !errors.Is(err, ErrUnsupported) {
+		t.Errorf("want ErrUnsupported, got %v", err)
+	}
+	if _, err := Force(ad); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("Force on combined: want ErrUnsupported, got %v", err)
+	}
+}
+
+func TestCountingRejectsNonStable(t *testing.T) {
+	ad := adornFor(t, `
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+	`, "sg(a, Y)")
+	if _, err := Transform(ad); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("want ErrUnsupported, got %v", err)
+	}
+}
+
+// TestCountingDivergesOnCyclicEDB: even for right-linear programs, cyclic
+// data makes the index grow without bound — the "cost of computing the
+// indices can be significant ... or cause nontermination" remark.
+func TestCountingDivergesOnCyclicEDB(t *testing.T) {
+	ad := adornFor(t, `
+		t(X, Y) :- e(X, Z), t(Z, Y).
+		t(X, Y) :- e(X, Y).
+	`, "t(1, Y)")
+	res, err := Transform(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.NewDB()
+	db.MustInsert("e", db.Store.Int(1), db.Store.Int(2))
+	db.MustInsert("e", db.Store.Int(2), db.Store.Int(1)) // cycle
+	_, err = engine.Eval(res.Program, db, engine.Options{MaxFacts: 2000})
+	if !errors.Is(err, engine.ErrBudget) {
+		t.Errorf("cyclic counting terminated? err = %v", err)
+	}
+	// The factored program, by contrast, terminates on the same data.
+	m, err := magic.Transform(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := core.FactorMagic(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := engine.NewDB()
+	db2.MustInsert("e", db2.Store.Int(1), db2.Store.Int(2))
+	db2.MustInsert("e", db2.Store.Int(2), db2.Store.Int(1))
+	if _, err := engine.Eval(fr.Program, db2, engine.Options{MaxFacts: 2000}); err != nil {
+		t.Errorf("factored program should terminate on cycles: %v", err)
+	}
+}
+
+// TestCountingAgreesWithMagicOnRandomDAGs: on acyclic EDBs (where Counting
+// terminates) the Counting and Magic programs agree, across random
+// databases for the two-first program of §6.4.
+func TestCountingAgreesWithMagicOnRandomDAGs(t *testing.T) {
+	ad := adornFor(t, section64Program, "p(0, Y)")
+	cnt, err := Transform(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := magic.Transform(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		// Edges strictly increasing -> acyclic; exits and rights random.
+		load := func() *engine.DB {
+			db := engine.NewDB()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 3*n; i++ {
+				a := r.Intn(n)
+				b := a + 1 + r.Intn(n-a)
+				pred := "first1"
+				if r.Intn(2) == 0 {
+					pred = "first2"
+				}
+				db.MustInsert(pred, db.Store.Int(a), db.Store.Int(b))
+			}
+			for i := 0; i <= n; i++ {
+				if r.Intn(2) == 0 {
+					db.MustInsert("exit", db.Store.Int(i), db.Store.Int(100+i))
+				}
+				if r.Intn(2) == 0 {
+					db.MustInsert("right1", db.Store.Int(100+i))
+				}
+				if r.Intn(2) == 0 {
+					db.MustInsert("right2", db.Store.Int(100+i))
+				}
+			}
+			return db
+		}
+		dbC, dbM := load(), load()
+		if _, err := engine.Eval(cnt.Program, dbC, engine.Options{MaxFacts: 300000}); err != nil {
+			t.Fatalf("seed %d counting: %v", seed, err)
+		}
+		if _, err := engine.Eval(m.Program, dbM, engine.Options{}); err != nil {
+			t.Fatalf("seed %d magic: %v", seed, err)
+		}
+		ac, _ := engine.AnswerSet(dbC, cnt.Query)
+		am, _ := engine.AnswerSet(dbM, m.Query)
+		if len(ac) != len(am) {
+			t.Fatalf("seed %d: counting %v vs magic %v", seed, ac, am)
+		}
+		for k := range ac {
+			if !am[k] {
+				t.Fatalf("seed %d: %s only in counting", seed, k)
+			}
+		}
+	}
+}
+
+// TestCountingPmem: regression for the occurrence-index mapping between
+// standardized and original rules — the pmem program's standard form
+// inserts a list literal before the recursive occurrence.
+func TestCountingPmem(t *testing.T) {
+	ad := adornFor(t, `
+		pmem(X, [X|T]) :- p(X).
+		pmem(X, [H|T]) :- pmem(X, T).
+	`, "pmem(X, [a, b, c])")
+	res, err := Transform(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.NewDB()
+	db.MustInsert("p", db.Store.Const("a"))
+	db.MustInsert("p", db.Store.Const("c"))
+	if _, err := engine.Eval(res.Program, db, engine.Options{MaxFacts: 10000}); err != nil {
+		t.Fatal(err)
+	}
+	set, _ := engine.AnswerSet(db, res.Query)
+	if len(set) != 2 || !set["(a)"] || !set["(c)"] {
+		t.Errorf("answers = %v\nprogram:\n%s", set, res.Program)
+	}
+}
+
+func TestFindRenamingNegative(t *testing.T) {
+	p1 := parser.MustParseProgram(`a(X) :- e(X, Y).`)
+	p2 := parser.MustParseProgram(`b(X) :- e(Y, X).`)
+	if _, ok := FindRenaming(p1, p2); ok {
+		t.Error("structurally different programs reported isomorphic")
+	}
+	p3 := parser.MustParseProgram(`b(X) :- e(X, Y). b(X) :- f(X, Y).`)
+	if _, ok := FindRenaming(p1, p3); ok {
+		t.Error("different rule counts reported isomorphic")
+	}
+}
+
+func TestFindRenamingPositive(t *testing.T) {
+	p1 := parser.MustParseProgram(`
+		a(X) :- e(X, W), a(W).
+		a(X) :- f(X).
+	`)
+	p2 := parser.MustParseProgram(`
+		b(U) :- f(U).
+		b(U) :- e(U, V), b(V).
+	`)
+	m, ok := FindRenaming(p1, p2)
+	if !ok {
+		t.Fatal("isomorphic programs not matched")
+	}
+	if m["a"] != "b" || m["e"] != "e" || m["f"] != "f" {
+		t.Errorf("mapping = %v", m)
+	}
+}
+
+func TestEqualUpToRenaming(t *testing.T) {
+	p1 := parser.MustParseProgram(`cnt(U) :- cnt(X), first1(X, U).`)
+	p2 := parser.MustParseProgram(`m_p(U) :- first1(X, U), m_p(X).`)
+	if !EqualUpToRenaming(p1, p2, map[string]string{"cnt": "m_p"}) {
+		t.Error("renamed programs should be equal modulo body order")
+	}
+	if EqualUpToRenaming(p1, p2, map[string]string{"cnt": "wrong"}) {
+		t.Error("wrong mapping accepted")
+	}
+}

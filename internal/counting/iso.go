@@ -1,0 +1,95 @@
+package counting
+
+import (
+	"sort"
+
+	"factorlog/internal/ast"
+)
+
+// Program isomorphism up to predicate renaming, used to check Theorem 6.4:
+// the factored Magic program and the Counting program with index fields
+// deleted are "identical ... except that some predicates are named
+// differently".
+
+// EqualUpToRenaming reports whether renaming p1's predicates per m makes it
+// equal to p2 as a rule set (variables and rule order ignored, body literal
+// order ignored).
+func EqualUpToRenaming(p1, p2 *ast.Program, m map[string]string) bool {
+	return p1.RenamePreds(m).CanonicalModBodyOrder() == p2.CanonicalModBodyOrder()
+}
+
+// FindRenaming searches for a bijective predicate renaming of p1 onto p2's
+// predicates that makes the programs equal as rule sets. Predicates present
+// in both programs under the same name may map to themselves or be renamed.
+// It returns the renaming and true on success. The search is exponential in
+// the number of predicates that share an arity; the programs compared here
+// are rule-sized.
+func FindRenaming(p1, p2 *ast.Program) (map[string]string, bool) {
+	preds1 := predsByArity(p1)
+	preds2 := predsByArity(p2)
+	// Quick reject: arity profiles must match.
+	if len(preds1) != len(preds2) {
+		return nil, false
+	}
+	for ar, ps := range preds1 {
+		if len(preds2[ar]) != len(ps) {
+			return nil, false
+		}
+	}
+	var arities []int
+	for ar := range preds1 {
+		arities = append(arities, ar)
+	}
+	sort.Ints(arities)
+
+	mapping := map[string]string{}
+	used := map[string]bool{}
+	var assign func(ai, pi int) bool
+	assign = func(ai, pi int) bool {
+		if ai == len(arities) {
+			return EqualUpToRenaming(p1, p2, mapping)
+		}
+		ar := arities[ai]
+		ps1, ps2 := preds1[ar], preds2[ar]
+		if pi == len(ps1) {
+			return assign(ai+1, 0)
+		}
+		from := ps1[pi]
+		for _, to := range ps2 {
+			if used[to] {
+				continue
+			}
+			mapping[from] = to
+			used[to] = true
+			if assign(ai, pi+1) {
+				return true
+			}
+			delete(mapping, from)
+			used[to] = false
+		}
+		return false
+	}
+	if assign(0, 0) {
+		return mapping, true
+	}
+	return nil, false
+}
+
+func predsByArity(p *ast.Program) map[int][]string {
+	seen := map[string]int{}
+	add := func(a ast.Atom) { seen[a.Pred] = len(a.Args) }
+	for _, r := range p.Rules {
+		add(r.Head)
+		for _, b := range r.Body {
+			add(b)
+		}
+	}
+	out := map[int][]string{}
+	for pred, ar := range seen {
+		out[ar] = append(out[ar], pred)
+	}
+	for _, ps := range out {
+		sort.Strings(ps)
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package cq
+
+import (
+	"fmt"
+
+	"factorlog/internal/ast"
+)
+
+// Containment relative to constraints.
+//
+// The class conditions of Definitions 4.6-4.8 are containments between
+// conjunctions over EDB predicates. Read as pure tableau containments they
+// must hold on every EDB; the paper's Examples 4.3-4.5, however, presume
+// EDB regularities (e.g. every value in the second column of `exit` also
+// appears in r1 — the discussion of Example 4.3 speaks of an EDB instance
+// "violating the condition"). We make that precise with full tuple-
+// generating dependencies (TGDs): Horn constraints body -> head whose head
+// variables all occur in the body, such as
+//
+//	r1(Y) :- e(X, Y).     % the second column of e is contained in r1
+//
+// ContainedUnder(q1, q2, tgds) decides q1 ⊆ q2 over all EDBs satisfying the
+// TGDs, by the classical chase: freeze q1's canonical instance, close it
+// under the TGDs (full TGDs terminate: no new constants are invented), and
+// look for a homomorphism from q2.
+
+// ValidateTGD checks that r is a full TGD: one head atom whose variables
+// all occur in the body.
+func ValidateTGD(r ast.Rule) error {
+	if r.IsFact() {
+		return fmt.Errorf("constraint %s has no body", r)
+	}
+	if !r.Safe() {
+		return fmt.Errorf("constraint %s is not a full TGD: head variables missing from body", r)
+	}
+	return nil
+}
+
+// ContainedUnder reports whether q1 is contained in q2 over all databases
+// satisfying the given full TGDs. With no TGDs it coincides with Contained.
+func ContainedUnder(q1, q2 CQ, tgds []ast.Rule) bool {
+	if len(tgds) == 0 {
+		return Contained(q1, q2)
+	}
+	if len(q1.Head) != len(q2.Head) {
+		return false
+	}
+	c1, ok := q1.Canonicalize()
+	if !ok {
+		return true
+	}
+	c2, ok := q2.Canonicalize()
+	if !ok {
+		return false
+	}
+	frozen := freeze(c1)
+	inst := chase(frozen.Body, tgds)
+
+	sub := ast.Subst{}
+	for i, t := range c2.Head {
+		s2, ok := ast.Match(t, frozen.Head[i], sub)
+		if !ok {
+			return false
+		}
+		sub = s2
+	}
+	return embed(c2.Body, inst, sub)
+}
+
+// EquivalentUnder reports mutual containment under the TGDs.
+func EquivalentUnder(q1, q2 CQ, tgds []ast.Rule) bool {
+	return ContainedUnder(q1, q2, tgds) && ContainedUnder(q2, q1, tgds)
+}
+
+// chase closes a ground instance under full TGDs. Because the TGDs are
+// full, the chase only adds atoms over the instance's constants and
+// terminates.
+func chase(inst []ast.Atom, tgds []ast.Rule) []ast.Atom {
+	present := map[string]bool{}
+	for _, a := range inst {
+		present[a.String()] = true
+	}
+	out := append([]ast.Atom(nil), inst...)
+	for changed := true; changed; {
+		changed = false
+		for _, tgd := range tgds {
+			embedAll(tgd.Body, out, ast.Subst{}, func(s ast.Subst) {
+				h := s.ApplyAtom(tgd.Head)
+				key := h.String()
+				if !present[key] {
+					present[key] = true
+					out = append(out, h)
+					changed = true
+				}
+			})
+		}
+	}
+	return out
+}
+
+// MissingUnderTGDs returns the head atoms the given ground facts would need
+// for the TGDs to hold (empty means the facts satisfy all constraints).
+// Deterministic: results appear in chase discovery order, deduplicated.
+func MissingUnderTGDs(facts []ast.Atom, tgds []ast.Rule) []ast.Atom {
+	have := map[string]bool{}
+	for _, f := range facts {
+		have[f.String()] = true
+	}
+	closed := chase(facts, tgds)
+	var missing []ast.Atom
+	for _, a := range closed[len(facts):] {
+		if !have[a.String()] {
+			missing = append(missing, a)
+		}
+	}
+	return missing
+}
+
+// embedAll enumerates every assignment of the pattern atoms to ground
+// atoms, invoking emit with each completed substitution.
+func embedAll(pattern []ast.Atom, ground []ast.Atom, sub ast.Subst, emit func(ast.Subst)) {
+	if len(pattern) == 0 {
+		emit(sub)
+		return
+	}
+	p := pattern[0]
+	for _, g := range ground {
+		if g.Pred != p.Pred || len(g.Args) != len(p.Args) {
+			continue
+		}
+		s2, ok := ast.MatchAtoms(p, g, sub)
+		if !ok {
+			continue
+		}
+		embedAll(pattern[1:], ground, s2, emit)
+	}
+}

@@ -1,0 +1,146 @@
+package cq
+
+import (
+	"testing"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/parser"
+)
+
+func tgds(t *testing.T, src string) []ast.Rule {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range p.Rules {
+		if err := ValidateTGD(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p.Rules
+}
+
+func TestContainedUnderSimpleIND(t *testing.T) {
+	// free_exit(Y) :- e(X,Y)  vs  free(Y) :- r1(Y): contained only under
+	// the constraint that e's second column is in r1.
+	q1 := mk("Y", "e(X,Y)")
+	q2 := mk("Y", "r1(Y)")
+	if Contained(q1, q2) {
+		t.Fatal("should not be contained without constraints")
+	}
+	cs := tgds(t, `r1(Y) :- e(X, Y).`)
+	if !ContainedUnder(q1, q2, cs) {
+		t.Fatal("should be contained under the constraint")
+	}
+	// The converse still fails.
+	if ContainedUnder(q2, q1, cs) {
+		t.Fatal("converse containment should fail")
+	}
+}
+
+func TestEquivalentUnder(t *testing.T) {
+	q1 := mk("X", "l1(X)")
+	q2 := mk("X", "l2(X)")
+	cs := tgds(t, `
+		l1(X) :- l2(X).
+		l2(X) :- l1(X).
+	`)
+	if !EquivalentUnder(q1, q2, cs) {
+		t.Error("mutual inclusion should give equivalence")
+	}
+	if EquivalentUnder(q1, q2, cs[:1]) {
+		t.Error("one-way inclusion should not give equivalence")
+	}
+}
+
+func TestChaseMultiAtomBody(t *testing.T) {
+	// join TGD: r(X,Z) :- e(X,Y), f(Y,Z).
+	q1 := mk("X,Z", "e(X,Y), f(Y,Z)")
+	q2 := mk("X,Z", "r(X,Z)")
+	cs := tgds(t, `r(X, Z) :- e(X, Y), f(Y, Z).`)
+	if !ContainedUnder(q1, q2, cs) {
+		t.Error("join TGD not chased")
+	}
+}
+
+func TestChaseTransitiveTGDs(t *testing.T) {
+	// a -> b -> c requires two chase steps.
+	q1 := mk("X", "a(X)")
+	q2 := mk("X", "c(X)")
+	cs := tgds(t, `
+		b(X) :- a(X).
+		c(X) :- b(X).
+	`)
+	if !ContainedUnder(q1, q2, cs) {
+		t.Error("transitive chase failed")
+	}
+}
+
+func TestContainedUnderNoTGDsFallsBack(t *testing.T) {
+	q1 := mk("X", "e(X,Y), e(Y,Z)")
+	q2 := mk("X", "e(X,W)")
+	if ContainedUnder(q1, q2, nil) != Contained(q1, q2) {
+		t.Error("nil constraints should match Contained")
+	}
+}
+
+func TestContainedUnderUnsatisfiableSides(t *testing.T) {
+	cs := tgds(t, `r(Y) :- e(X, Y).`)
+	empty := mk("X", "e(X,U), equal(5,6)")
+	if !ContainedUnder(empty, mk("X", "zzz(X)"), cs) {
+		t.Error("empty query contained in everything")
+	}
+	if ContainedUnder(mk("X", "e(X,Y)"), empty, cs) {
+		t.Error("nothing non-empty contained in empty query")
+	}
+	if ContainedUnder(mk("X", "e(X,Y)"), mk("X,Y", "e(X,Y)"), cs) {
+		t.Error("arity mismatch")
+	}
+}
+
+func TestValidateTGD(t *testing.T) {
+	bad := parser.MustParseProgram(`r(Y, Z) :- e(X, Y).`).Rules[0]
+	if err := ValidateTGD(bad); err == nil {
+		t.Error("existential head variable should be rejected")
+	}
+	fact := ast.Fact(ast.NewAtom("r", ast.C("1")))
+	if err := ValidateTGD(fact); err == nil {
+		t.Error("bodyless constraint should be rejected")
+	}
+	good := parser.MustParseProgram(`r(Y) :- e(X, Y).`).Rules[0]
+	if err := ValidateTGD(good); err != nil {
+		t.Errorf("valid TGD rejected: %v", err)
+	}
+}
+
+func TestMissingUnderTGDs(t *testing.T) {
+	cs := tgds(t, `r1(Y) :- e(X, Y).`)
+	facts, err := parser.Parse(`e(1, 2). e(3, 4). r1(2).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := MissingUnderTGDs(facts.Facts, cs)
+	if len(missing) != 1 || missing[0].String() != "r1(4)" {
+		t.Errorf("missing = %v", missing)
+	}
+	// Satisfying EDB: nothing missing.
+	facts2, _ := parser.Parse(`e(1, 2). r1(2).`)
+	if m := MissingUnderTGDs(facts2.Facts, cs); len(m) != 0 {
+		t.Errorf("satisfying EDB reported missing %v", m)
+	}
+}
+
+func TestChaseDoesNotInventConstants(t *testing.T) {
+	// Full TGDs only rearrange existing constants; the chase of a 2-atom
+	// instance stays small.
+	cs := tgds(t, `
+		e(Y, X) :- e(X, Y).
+		r(X) :- e(X, Y).
+	`)
+	facts, _ := parser.Parse(`e(1, 2).`)
+	closed := chase(facts.Facts, cs)
+	if len(closed) > 5 { // e(1,2), e(2,1), r(1), r(2)
+		t.Errorf("chase blew up: %v", closed)
+	}
+}

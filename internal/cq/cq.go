@@ -1,0 +1,222 @@
+// Package cq implements conjunctive queries and the Chandra-Merlin
+// containment test used by the factorability conditions of Definitions
+// 4.6-4.8 of the paper ("in the sense of tableau containment").
+//
+// A conjunctive query has a head tuple of terms (the distinguished output)
+// and a body of positive atoms. Q1 is contained in Q2 iff there is a
+// homomorphism from Q2 to Q1 that maps Q2's head to Q1's head; the test is
+// NP-complete in the query size [1,4], which is irrelevant here because the
+// inputs are rule-sized (see the closing remark of Section 4 of the paper).
+//
+// The special predicate `equal` (introduced by the standard-form
+// translation) is eliminated up front by unifying its argument pairs; a
+// query with an unsatisfiable equality is empty and therefore contained in
+// everything. The other standard-form predicates (list, fn_*) are treated
+// as ordinary relations, which makes containment sound (conservative) with
+// respect to their intended infinite interpretations.
+package cq
+
+import (
+	"fmt"
+	"strings"
+
+	"factorlog/internal/ast"
+)
+
+// CQ is a conjunctive query: Head is the distinguished output tuple, Body
+// the conjunction of atoms. An empty body denotes the query "true", whose
+// answer contains every tuple over the head variables.
+type CQ struct {
+	Head []ast.Term
+	Body []ast.Atom
+}
+
+// New constructs a conjunctive query.
+func New(head []ast.Term, body []ast.Atom) CQ { return CQ{Head: head, Body: body} }
+
+// FromVars constructs a query whose head is the given variable names.
+func FromVars(vars []string, body []ast.Atom) CQ {
+	head := make([]ast.Term, len(vars))
+	for i, v := range vars {
+		head[i] = ast.V(v)
+	}
+	return CQ{Head: head, Body: body}
+}
+
+// String renders the query as head :- body.
+func (q CQ) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, t := range q.Head {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString(") :- ")
+	if len(q.Body) == 0 {
+		b.WriteString("true")
+	}
+	for i, a := range q.Body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	return b.String()
+}
+
+// Clone deep-copies the query.
+func (q CQ) Clone() CQ {
+	head := make([]ast.Term, len(q.Head))
+	copy(head, q.Head)
+	body := make([]ast.Atom, len(q.Body))
+	for i, a := range q.Body {
+		body[i] = a.Clone()
+	}
+	return CQ{Head: head, Body: body}
+}
+
+// Canonicalize eliminates `equal` literals by unification. It returns the
+// rewritten query and true, or a zero query and false when an equality is
+// unsatisfiable (the query is empty).
+func (q CQ) Canonicalize() (CQ, bool) {
+	s := ast.Subst{}
+	var rest []ast.Atom
+	for _, a := range q.Body {
+		if a.Pred == ast.EqualPred && len(a.Args) == 2 {
+			s2, ok := ast.Unify(s.Apply(a.Args[0]), s.Apply(a.Args[1]), s)
+			if !ok {
+				return CQ{}, false
+			}
+			s = s2
+			continue
+		}
+		rest = append(rest, a)
+	}
+	out := CQ{Head: make([]ast.Term, len(q.Head))}
+	for i, t := range q.Head {
+		out.Head[i] = s.Apply(t)
+	}
+	for _, a := range rest {
+		out.Body = append(out.Body, s.ApplyAtom(a))
+	}
+	return out, true
+}
+
+// Contained reports whether q1 is contained in q2 (every answer of q1 on
+// every database is an answer of q2). Both queries are canonicalized first;
+// an empty q1 is contained in everything.
+func Contained(q1, q2 CQ) bool {
+	if len(q1.Head) != len(q2.Head) {
+		return false
+	}
+	c1, ok := q1.Canonicalize()
+	if !ok {
+		return true // q1 is empty
+	}
+	c2, ok := q2.Canonicalize()
+	if !ok {
+		return false // q2 empty; q1 contained only if q1 empty (handled above)
+	}
+	// Freeze c1: replace its variables by fresh constants, yielding the
+	// canonical database plus the canonical answer tuple.
+	frozen := freeze(c1)
+	// Find a homomorphism from c2 into the frozen c1.
+	sub := ast.Subst{}
+	okHead := true
+	for i, t := range c2.Head {
+		s2, ok := ast.Match(t, frozen.Head[i], sub)
+		if !ok {
+			okHead = false
+			break
+		}
+		sub = s2
+	}
+	if !okHead {
+		return false
+	}
+	return embed(c2.Body, frozen.Body, sub)
+}
+
+// Equivalent reports mutual containment.
+func Equivalent(q1, q2 CQ) bool { return Contained(q1, q2) && Contained(q2, q1) }
+
+// freezeMark prefixes frozen constants; it contains a character the lexer
+// never produces, so frozen constants cannot collide with program constants.
+const freezeMark = "❄" // snowflake
+
+// freeze replaces every variable of q by a unique fresh constant.
+func freeze(q CQ) CQ {
+	s := ast.Subst{}
+	n := 0
+	freezeVar := func(name string) ast.Term {
+		if t, ok := s[name]; ok {
+			return t
+		}
+		c := ast.C(fmt.Sprintf("%s%d", freezeMark, n))
+		n++
+		s[name] = c
+		return c
+	}
+	var fz func(t ast.Term) ast.Term
+	fz = func(t ast.Term) ast.Term {
+		switch t.Kind {
+		case ast.Var:
+			return freezeVar(t.Functor)
+		case ast.Const:
+			return t
+		default:
+			args := make([]ast.Term, len(t.Args))
+			for i, a := range t.Args {
+				args[i] = fz(a)
+			}
+			return ast.Fn(t.Functor, args...)
+		}
+	}
+	out := CQ{Head: make([]ast.Term, len(q.Head))}
+	for i, t := range q.Head {
+		out.Head[i] = fz(t)
+	}
+	for _, a := range q.Body {
+		args := make([]ast.Term, len(a.Args))
+		for i, t := range a.Args {
+			args[i] = fz(t)
+		}
+		out.Body = append(out.Body, ast.Atom{Pred: a.Pred, Args: args})
+	}
+	return out
+}
+
+// embed searches for an assignment of pattern atoms to ground atoms
+// (backtracking over the cross product, pruned by predicate name).
+func embed(pattern []ast.Atom, ground []ast.Atom, sub ast.Subst) bool {
+	if len(pattern) == 0 {
+		return true
+	}
+	p := pattern[0]
+	for _, g := range ground {
+		if g.Pred != p.Pred || len(g.Args) != len(p.Args) {
+			continue
+		}
+		s2, ok := ast.MatchAtoms(p, g, sub)
+		if !ok {
+			continue
+		}
+		if embed(pattern[1:], ground, s2) {
+			return true
+		}
+	}
+	return false
+}
+
+// TrueQuery returns the query with the given head variables and empty body:
+// it contains every query with a compatible head arity.
+func TrueQuery(vars []string) CQ { return FromVars(vars, nil) }
+
+// IsEmptyBody reports whether the query has an empty body after
+// canonicalization (i.e. it is the "true" query), or is unsatisfiable.
+func (q CQ) IsEmptyBody() bool {
+	c, ok := q.Canonicalize()
+	return !ok || len(c.Body) == 0
+}

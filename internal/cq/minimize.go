@@ -1,0 +1,67 @@
+package cq
+
+import (
+	"factorlog/internal/ast"
+)
+
+// Minimize computes the core of a conjunctive query: an equivalent query
+// with a minimum number of body atoms, obtained by repeatedly dropping an
+// atom when the smaller query is still equivalent to the original
+// (Chandra-Merlin: every CQ has a unique core up to isomorphism). The
+// conjunctions compared by the factorability tests are rule-sized, so the
+// quadratic loop over atoms is immaterial.
+//
+// The query is canonicalized first; an unsatisfiable query minimizes to
+// the canonical empty-result query with a single contradictory equality.
+func Minimize(q CQ) CQ {
+	c, ok := q.Canonicalize()
+	if !ok {
+		// Canonical unsatisfiable query.
+		return CQ{
+			Head: q.Head,
+			Body: []ast.Atom{ast.NewAtom(ast.EqualPred, ast.C("0"), ast.C("1"))},
+		}
+	}
+	for {
+		dropped := false
+		for i := range c.Body {
+			smaller := CQ{Head: c.Head, Body: withoutAtom(c.Body, i)}
+			// Dropping an atom only relaxes the query, so smaller ⊇ c
+			// always; equivalence needs only smaller ⊆ c.
+			if Contained(smaller, c) {
+				c = smaller
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			return c
+		}
+	}
+}
+
+func withoutAtom(atoms []ast.Atom, skip int) []ast.Atom {
+	out := make([]ast.Atom, 0, len(atoms)-1)
+	for i, a := range atoms {
+		if i != skip {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// IsMinimal reports whether no single body atom can be dropped without
+// changing the query.
+func IsMinimal(q CQ) bool {
+	c, ok := q.Canonicalize()
+	if !ok {
+		return len(q.Body) <= 1
+	}
+	for i := range c.Body {
+		smaller := CQ{Head: c.Head, Body: withoutAtom(c.Body, i)}
+		if Contained(smaller, c) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,91 @@
+package cq
+
+import (
+	"testing"
+)
+
+func TestMinimizeRedundantAtom(t *testing.T) {
+	// e(X,Y), e(X,Y2) minimizes to e(X,Y) — Y2 folds onto Y.
+	q := mk("X", "e(X,Y), e(X,Y2)")
+	m := Minimize(q)
+	if len(m.Body) != 1 {
+		t.Errorf("minimized to %d atoms: %s", len(m.Body), m)
+	}
+	if !Equivalent(q, m) {
+		t.Error("minimization changed the query")
+	}
+	if !IsMinimal(m) {
+		t.Error("result not minimal")
+	}
+}
+
+func TestMinimizePathOntoEdge(t *testing.T) {
+	// Boolean query: a 2-path folds onto a self-loop check? No — without a
+	// loop it stays a 2-path; both atoms needed.
+	q := mk("", "e(X,Y), e(Y,Z)")
+	m := Minimize(q)
+	if len(m.Body) != 2 {
+		t.Errorf("2-path wrongly minimized: %s", m)
+	}
+	// But with a self-loop atom present, everything folds onto it.
+	q2 := mk("", "e(X,Y), e(Y,Z), e(W,W)")
+	m2 := Minimize(q2)
+	if len(m2.Body) != 1 {
+		t.Errorf("loop query should minimize to one atom: %s", m2)
+	}
+}
+
+func TestMinimizeRespectsHead(t *testing.T) {
+	// Head variables are distinguished: e(X,Y) with head (X,Y) cannot fold
+	// onto e(X,Y2).
+	q := mk("X,Y", "e(X,Y), e(X,Y2)")
+	m := Minimize(q)
+	if len(m.Body) != 1 {
+		t.Errorf("existential atom should drop: %s", m)
+	}
+	q2 := mk("X,Y2", "e(X,Y), e(X,Y2)")
+	m2 := Minimize(q2)
+	if len(m2.Body) != 1 {
+		t.Errorf("symmetric case: %s", m2)
+	}
+	// Both head vars used in different atoms: nothing drops.
+	q3 := mk("Y,Y2", "e(X,Y), e(X2,Y2)")
+	m3 := Minimize(q3)
+	if len(m3.Body) != 2 {
+		t.Errorf("needed atoms dropped: %s", m3)
+	}
+}
+
+func TestMinimizeEliminatesEquals(t *testing.T) {
+	q := mk("X", "e(X,U), equal(U,5), e(X,5)")
+	m := Minimize(q)
+	if len(m.Body) != 1 {
+		t.Errorf("equal-collapsed duplicate should drop: %s", m)
+	}
+}
+
+func TestMinimizeUnsatisfiable(t *testing.T) {
+	q := mk("X", "e(X,Y), equal(1,2)")
+	m := Minimize(q)
+	if len(m.Body) != 1 || m.Body[0].Pred != "equal" {
+		t.Errorf("unsatisfiable canonical form: %s", m)
+	}
+	if !IsMinimal(m) {
+		t.Error("canonical empty query should be minimal")
+	}
+	if _, ok := m.Canonicalize(); ok {
+		t.Error("minimized unsatisfiable query should stay unsatisfiable")
+	}
+}
+
+func TestIsMinimalPositive(t *testing.T) {
+	if !IsMinimal(mk("X", "e(X,Y)")) {
+		t.Error("single atom is minimal")
+	}
+	if IsMinimal(mk("X", "e(X,Y), e(X,Y2)")) {
+		t.Error("redundant atom not detected")
+	}
+	if !IsMinimal(mk("", "")) {
+		t.Error("empty query is minimal")
+	}
+}

@@ -1,0 +1,363 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"factorlog/internal/ast"
+)
+
+// Strategy selects the fixpoint algorithm.
+type Strategy int
+
+const (
+	// SemiNaive evaluates each rule once per recursive body occurrence per
+	// round, with the classic delta discipline: occurrences before the
+	// delta position range over P_{r-1}, the delta position over the facts
+	// derived in round r, and occurrences after it over P_r. Tuples carry
+	// their insertion round, so no relation copying is needed.
+	SemiNaive Strategy = iota
+	// Naive re-evaluates every rule against the full database each round.
+	Naive
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case SemiNaive:
+		return "semi-naive"
+	case Naive:
+		return "naive"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ErrBudget is returned (wrapped) when evaluation exceeds MaxIterations or
+// MaxFacts; used to bound deliberately divergent programs such as the
+// Counting transformation of a left-linear recursion (§6.4).
+var ErrBudget = errors.New("evaluation budget exceeded")
+
+// Options configures evaluation.
+type Options struct {
+	Strategy Strategy
+	// MaxIterations bounds fixpoint rounds; 0 means unlimited.
+	MaxIterations int
+	// MaxFacts bounds the total number of derived facts; 0 means unlimited.
+	MaxFacts int
+	// Provenance records one derivation per fact (Definition 2.1 trees).
+	Provenance bool
+	// ReorderJoins lets the compiler greedily reorder body literals so the
+	// most-bound literal runs first. Off by default: the paper's cost
+	// discussions assume the written left-to-right order.
+	ReorderJoins bool
+}
+
+// Stats reports the work an evaluation performed.
+type Stats struct {
+	// Inferences counts successful rule-body instantiations, including
+	// those that re-derive known facts. This is the paper's cost measure.
+	Inferences int
+	// Derived counts distinct facts added by rules (excludes EDB facts).
+	Derived int
+	// Iterations counts fixpoint rounds.
+	Iterations int
+}
+
+// Result is the outcome of an evaluation. The DB passed to Eval is mutated
+// in place and also referenced here.
+type Result struct {
+	DB    *DB
+	Stats Stats
+	Prov  *Provenance // nil unless Options.Provenance
+}
+
+// Eval computes the least fixpoint of program p over db (which supplies the
+// EDB and receives all derived facts).
+func Eval(p *ast.Program, db *DB, opts Options) (*Result, error) {
+	rules, err := compileProgram(p, db.Store, opts.ReorderJoins)
+	if err != nil {
+		return nil, err
+	}
+	ev := &evaluator{
+		db:    db,
+		rules: rules,
+		opts:  opts,
+	}
+	if opts.Provenance {
+		ev.prov = NewProvenance(p)
+	}
+	if err := ev.run(); err != nil {
+		return nil, err
+	}
+	return &Result{DB: db, Stats: ev.stats, Prov: ev.prov}, nil
+}
+
+const noLimit = int32(math.MaxInt32)
+
+// roundRange restricts a body literal to tuples inserted in [lo, hi].
+type roundRange struct{ lo, hi int32 }
+
+var unrestricted = roundRange{0, noLimit}
+
+type evaluator struct {
+	db    *DB
+	rules []*compiledRule
+	opts  Options
+	stats Stats
+	prov  *Provenance
+
+	curRound  int32
+	newCounts map[string]int // facts stamped curRound+1, by predicate
+
+	// scratch per-derivation children, reused.
+	children []FactID
+	// per-call literal round limits, reused.
+	limits []roundRange
+}
+
+func (ev *evaluator) run() error {
+	// Materialize head and body relations up front so empty IDB predicates
+	// exist and arities are checked.
+	for _, r := range ev.rules {
+		if _, err := ev.db.Rel(r.headPred, len(r.headArgs)); err != nil {
+			return err
+		}
+		for _, l := range r.body {
+			if _, err := ev.db.Rel(l.pred, l.arity); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Round 0: evaluate every rule against the full database (covers
+	// bodyless rules, rules over EDB only, and pre-seeded IDB facts).
+	ev.curRound = 0
+	ev.newCounts = map[string]int{}
+	for _, r := range ev.rules {
+		if err := ev.evalRule(r, -1); err != nil {
+			return err
+		}
+	}
+	ev.stats.Iterations++
+
+	for total(ev.newCounts) > 0 {
+		if ev.opts.MaxIterations > 0 && ev.stats.Iterations >= ev.opts.MaxIterations {
+			return fmt.Errorf("%w: %d iterations", ErrBudget, ev.stats.Iterations)
+		}
+		deltaCounts := ev.newCounts
+		ev.newCounts = map[string]int{}
+		ev.curRound++
+		switch ev.opts.Strategy {
+		case Naive:
+			for _, r := range ev.rules {
+				if err := ev.evalRule(r, -1); err != nil {
+					return err
+				}
+			}
+		default: // SemiNaive
+			for _, r := range ev.rules {
+				for _, occ := range r.idbOccs {
+					if deltaCounts[r.body[occ].pred] == 0 {
+						continue
+					}
+					if err := ev.evalRule(r, occ); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		ev.stats.Iterations++
+	}
+	return nil
+}
+
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// evalRule evaluates one rule. With deltaOcc >= 0 the literal at that body
+// position ranges over the current round's delta and the other IDB
+// occurrences over P_{r-1} (before it) / P_r (after it).
+func (ev *evaluator) evalRule(r *compiledRule, deltaOcc int) error {
+	if cap(ev.limits) < len(r.body) {
+		ev.limits = make([]roundRange, len(r.body))
+	}
+	ev.limits = ev.limits[:len(r.body)]
+	for i := range ev.limits {
+		ev.limits[i] = unrestricted
+	}
+	if deltaOcc >= 0 {
+		r0 := ev.curRound
+		for _, occ := range r.idbOccs {
+			switch {
+			case occ < deltaOcc:
+				ev.limits[occ] = roundRange{0, r0 - 1}
+			case occ == deltaOcc:
+				ev.limits[occ] = roundRange{r0, r0}
+			default:
+				ev.limits[occ] = roundRange{0, r0}
+			}
+		}
+	}
+
+	slots := make([]Val, r.nslots)
+	for i := range slots {
+		slots[i] = NoVal
+	}
+	ev.children = ev.children[:0]
+	return ev.join(r, 0, slots, nil)
+}
+
+func (ev *evaluator) join(r *compiledRule, li int, slots []Val, trail []int) error {
+	if li == len(r.body) {
+		return ev.emit(r, slots)
+	}
+	spec := &r.body[li]
+	rel := ev.db.Lookup(spec.pred)
+	if rel == nil || rel.Len() == 0 {
+		return nil
+	}
+	limit := ev.limits[li]
+
+	childMark := len(ev.children)
+	tryPos := func(pos int32) error {
+		if rnd := rel.Round(pos); rnd < limit.lo || rnd > limit.hi {
+			return nil
+		}
+		tuple := rel.Tuple(pos)
+		mark := len(trail)
+		ok := true
+		for _, col := range spec.freeCols {
+			if !matchPattern(spec.args[col], tuple[col], slots, &trail, ev.db.Store) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if ev.prov != nil {
+				ev.children = append(ev.children[:childMark],
+					ev.prov.factID(spec.pred, tuple))
+			}
+			if err := ev.join(r, li+1, slots, trail); err != nil {
+				return err
+			}
+		}
+		trail = undoTrail(slots, trail, mark)
+		return nil
+	}
+
+	if len(spec.boundCols) > 0 {
+		key := make([]Val, len(spec.boundCols))
+		for i, col := range spec.boundCols {
+			key[i] = evalPattern(spec.args[col], slots, ev.db.Store)
+		}
+		for _, pos := range rel.Probe(spec.boundCols, key) {
+			if err := tryPos(pos); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for pos := int32(0); pos < int32(rel.Len()); pos++ {
+		if err := tryPos(pos); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) emit(r *compiledRule, slots []Val) error {
+	ev.stats.Inferences++
+	tuple := make([]Val, len(r.headArgs))
+	for i, p := range r.headArgs {
+		tuple[i] = evalPattern(p, slots, ev.db.Store)
+	}
+	full := ev.db.Lookup(r.headPred)
+	if !full.InsertRound(tuple, ev.curRound+1) {
+		return nil
+	}
+	ev.newCounts[r.headPred]++
+	ev.stats.Derived++
+	if ev.prov != nil {
+		ev.prov.record(r, tuple, ev.children)
+	}
+	if ev.opts.MaxFacts > 0 && ev.stats.Derived > ev.opts.MaxFacts {
+		return fmt.Errorf("%w: %d derived facts", ErrBudget, ev.stats.Derived)
+	}
+	return nil
+}
+
+// Answers returns the tuples of query's predicate that match the query atom
+// (constants and repeated variables filter; distinct variables project). The
+// result preserves relation insertion order.
+func Answers(db *DB, query ast.Atom) ([][]Val, error) {
+	rel := db.Lookup(query.Pred)
+	if rel == nil {
+		return nil, nil
+	}
+	if rel.Arity() != len(query.Args) {
+		return nil, fmt.Errorf("query %s has arity %d but relation has arity %d",
+			query.Pred, len(query.Args), rel.Arity())
+	}
+	c := &compiler{store: db.Store, idb: map[string]bool{}, slots: map[string]int{}}
+	pats := make([]pattern, len(query.Args))
+	for i, t := range query.Args {
+		pats[i] = c.compileTerm(t)
+	}
+	slots := make([]Val, c.n)
+	var out [][]Val
+	for _, tuple := range rel.Tuples() {
+		for i := range slots {
+			slots[i] = NoVal
+		}
+		var trail []int
+		ok := true
+		for i, p := range pats {
+			if !matchPattern(p, tuple[i], slots, &trail, db.Store) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, tuple)
+		}
+	}
+	return out, nil
+}
+
+// AnswerSet renders the answers to query as a sorted set of strings, one
+// per matching tuple; convenient for equivalence tests across strategies.
+func AnswerSet(db *DB, query ast.Atom) (map[string]bool, error) {
+	tuples, err := Answers(db, query)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(tuples))
+	for _, t := range tuples {
+		out[db.Store.TupleString(t)] = true
+	}
+	return out, nil
+}
+
+// LoadFacts interns and inserts ground atoms into db.
+func LoadFacts(db *DB, facts []ast.Atom) error {
+	for _, f := range facts {
+		tuple := make([]Val, len(f.Args))
+		for i, t := range f.Args {
+			v, err := db.Store.FromAST(t)
+			if err != nil {
+				return fmt.Errorf("fact %s: %w", f, err)
+			}
+			tuple[i] = v
+		}
+		if _, err := db.Insert(f.Pred, tuple...); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"factorlog/internal/ast"
+)
+
+// FactID identifies a fact (predicate + tuple) within one Provenance.
+type FactID int32
+
+// Derivation records how a fact was first derived: the program rule applied
+// and the facts matched by the rule body, in body-literal order. EDB facts
+// have Rule == -1 and no Children.
+type Derivation struct {
+	Rule     int
+	Children []FactID
+}
+
+// Provenance records one derivation per derived fact, realizing the
+// derivation trees of Definition 2.1: a fact is in the least fixpoint iff
+// it has a derivation tree, and the recorded structure is exactly such a
+// tree (the first one found).
+type Provenance struct {
+	program *ast.Program
+	ids     map[string]FactID
+	preds   []string
+	tuples  [][]Val
+	derivs  []Derivation
+}
+
+// NewProvenance returns an empty provenance recorder for program p.
+func NewProvenance(p *ast.Program) *Provenance {
+	return &Provenance{program: p, ids: map[string]FactID{}}
+}
+
+func (pv *Provenance) factID(pred string, tuple []Val) FactID {
+	key := pred + "\x00" + string(encodeTuple(nil, tuple, nil))
+	if id, ok := pv.ids[key]; ok {
+		return id
+	}
+	id := FactID(len(pv.preds))
+	pv.ids[key] = id
+	pv.preds = append(pv.preds, pred)
+	cp := make([]Val, len(tuple))
+	copy(cp, tuple)
+	pv.tuples = append(pv.tuples, cp)
+	pv.derivs = append(pv.derivs, Derivation{Rule: -1})
+	return id
+}
+
+func (pv *Provenance) record(r *compiledRule, tuple []Val, children []FactID) {
+	id := pv.factID(r.headPred, tuple)
+	if pv.derivs[id].Rule != -1 || len(pv.derivs[id].Children) > 0 {
+		return // keep the first derivation
+	}
+	cp := make([]FactID, len(children))
+	copy(cp, children)
+	pv.derivs[id] = Derivation{Rule: r.idx, Children: cp}
+}
+
+// Lookup returns the FactID for a fact if it was recorded.
+func (pv *Provenance) Lookup(pred string, tuple []Val) (FactID, bool) {
+	key := pred + "\x00" + string(encodeTuple(nil, tuple, nil))
+	id, ok := pv.ids[key]
+	return id, ok
+}
+
+// Fact returns the predicate and tuple of id.
+func (pv *Provenance) Fact(id FactID) (string, []Val) {
+	return pv.preds[id], pv.tuples[id]
+}
+
+// DerivationOf returns the recorded derivation of id. Rule == -1 means the
+// fact is a leaf (EDB fact or pre-seeded).
+func (pv *Provenance) DerivationOf(id FactID) Derivation { return pv.derivs[id] }
+
+// TreeHeight returns the height of the derivation tree rooted at id, with
+// leaves at height 1 (as in the inductive proofs of Theorems 4.1-4.3).
+func (pv *Provenance) TreeHeight(id FactID) int {
+	d := pv.derivs[id]
+	if d.Rule < 0 {
+		return 1
+	}
+	h := 0
+	for _, c := range d.Children {
+		if ch := pv.TreeHeight(c); ch > h {
+			h = ch
+		}
+	}
+	return h + 1
+}
+
+// TreeSize returns the number of nodes in the derivation tree rooted at id.
+func (pv *Provenance) TreeSize(id FactID) int {
+	d := pv.derivs[id]
+	n := 1
+	for _, c := range d.Children {
+		n += pv.TreeSize(c)
+	}
+	return n
+}
+
+// RenderTree renders the derivation tree rooted at id, one node per line,
+// indented by depth, with the applied rule after each derived node:
+//
+//	t(1,3)  [rule 2]
+//	  e(1,2)
+//	  t(2,3)  [rule 4]
+//	    e(2,3)
+func (pv *Provenance) RenderTree(store *Store, id FactID) string {
+	var b strings.Builder
+	pv.render(&b, store, id, 0)
+	return b.String()
+}
+
+func (pv *Provenance) render(b *strings.Builder, store *Store, id FactID, depth int) {
+	pred, tuple := pv.Fact(id)
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(pred)
+	b.WriteString(store.TupleString(tuple))
+	d := pv.derivs[id]
+	if d.Rule >= 0 {
+		fmt.Fprintf(b, "  [rule %d]", d.Rule+1)
+	}
+	b.WriteByte('\n')
+	for _, c := range d.Children {
+		pv.render(b, store, c, depth+1)
+	}
+}
+
+// Verify checks that the recorded derivation of id is locally consistent:
+// the rule's head matches the fact and the children match the rule's body
+// literals under a single substitution. It recurses through the whole tree
+// and returns the first inconsistency found.
+func (pv *Provenance) Verify(store *Store, id FactID) error {
+	d := pv.derivs[id]
+	if d.Rule < 0 {
+		return nil
+	}
+	if d.Rule >= len(pv.program.Rules) {
+		return fmt.Errorf("fact %d refers to rule %d of %d", id, d.Rule, len(pv.program.Rules))
+	}
+	rule := pv.program.Rules[d.Rule]
+	if len(d.Children) != len(rule.Body) {
+		return fmt.Errorf("fact %d: %d children for %d body literals", id, len(d.Children), len(rule.Body))
+	}
+	pred, tuple := pv.Fact(id)
+	if pred != rule.Head.Pred {
+		return fmt.Errorf("fact %d: predicate %s derived by rule for %s", id, pred, rule.Head.Pred)
+	}
+	s := ast.Subst{}
+	ok := true
+	bind := func(pat ast.Term, v Val) {
+		if !ok {
+			return
+		}
+		got, match := ast.Match(pat, store.ToAST(v), s)
+		if !match {
+			ok = false
+			return
+		}
+		s = got
+	}
+	for i, t := range rule.Head.Args {
+		bind(t, tuple[i])
+	}
+	for ci, cid := range d.Children {
+		cpred, ctuple := pv.Fact(cid)
+		if cpred != rule.Body[ci].Pred {
+			return fmt.Errorf("fact %d: child %d is %s, rule expects %s", id, ci, cpred, rule.Body[ci].Pred)
+		}
+		for i, t := range rule.Body[ci].Args {
+			bind(t, ctuple[i])
+		}
+	}
+	if !ok {
+		return fmt.Errorf("fact %d: rule %d instance does not unify with children", id, d.Rule+1)
+	}
+	for _, cid := range d.Children {
+		if err := pv.Verify(store, cid); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Relation is a set of tuples of fixed arity, with hash indexes built on
+// demand for the column subsets the evaluator probes. Each tuple carries
+// the fixpoint round it was inserted in (0 for base facts), which the
+// semi-naive evaluator uses to distinguish P_{r-1}, the delta, and P_r
+// without copying relations.
+type Relation struct {
+	arity    int
+	present  map[string]bool   // encoded full tuple -> present
+	tuples   [][]Val           // insertion order; stable iteration
+	rounds   []int32           // insertion round per tuple
+	indexes  map[uint32]*index // key: bitmask of indexed columns
+	probeBuf []byte            // scratch for probe keys (single-threaded use)
+}
+
+type index struct {
+	cols []int
+	m    map[string][]int32 // encoded key cols -> tuple positions
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	return &Relation{
+		arity:   arity,
+		present: make(map[string]bool),
+		indexes: make(map[uint32]*index),
+	}
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the tuples in insertion order. Callers must not modify the
+// returned slices.
+func (r *Relation) Tuples() [][]Val { return r.tuples }
+
+func encodeTuple(buf []byte, tuple []Val, cols []int) []byte {
+	buf = buf[:0]
+	if cols == nil {
+		for _, v := range tuple {
+			buf = binary.AppendVarint(buf, int64(v))
+		}
+		return buf
+	}
+	for _, c := range cols {
+		buf = binary.AppendVarint(buf, int64(tuple[c]))
+	}
+	return buf
+}
+
+// Insert adds tuple to the relation at round 0; it reports whether the
+// tuple was new. The tuple slice is copied.
+func (r *Relation) Insert(tuple []Val) bool { return r.InsertRound(tuple, 0) }
+
+// InsertRound adds tuple with an explicit insertion round.
+func (r *Relation) InsertRound(tuple []Val, round int32) bool {
+	if len(tuple) != r.arity {
+		panic(fmt.Sprintf("engine: inserting tuple of len %d into relation of arity %d", len(tuple), r.arity))
+	}
+	key := string(encodeTuple(nil, tuple, nil))
+	if r.present[key] {
+		return false
+	}
+	r.present[key] = true
+	cp := make([]Val, len(tuple))
+	copy(cp, tuple)
+	pos := int32(len(r.tuples))
+	r.tuples = append(r.tuples, cp)
+	r.rounds = append(r.rounds, round)
+	for _, idx := range r.indexes {
+		k := string(encodeTuple(nil, cp, idx.cols))
+		idx.m[k] = append(idx.m[k], pos)
+	}
+	return true
+}
+
+// Round returns the insertion round of the tuple at pos.
+func (r *Relation) Round(pos int32) int32 { return r.rounds[pos] }
+
+// Contains reports whether tuple is in the relation.
+func (r *Relation) Contains(tuple []Val) bool {
+	return r.present[string(encodeTuple(nil, tuple, nil))]
+}
+
+func colMask(cols []int) uint32 {
+	var m uint32
+	for _, c := range cols {
+		m |= 1 << uint(c)
+	}
+	return m
+}
+
+// ensureIndex builds (or returns) the index on the given columns.
+func (r *Relation) ensureIndex(cols []int) *index {
+	mask := colMask(cols)
+	if idx, ok := r.indexes[mask]; ok {
+		return idx
+	}
+	sorted := append([]int(nil), cols...)
+	sort.Ints(sorted)
+	idx := &index{cols: sorted, m: make(map[string][]int32)}
+	var buf []byte
+	for pos, tuple := range r.tuples {
+		buf = encodeTuple(buf, tuple, sorted)
+		idx.m[string(buf)] = append(idx.m[string(buf)], int32(pos))
+	}
+	r.indexes[mask] = idx
+	return idx
+}
+
+// Probe returns the positions of tuples whose projection on cols equals
+// key (a slice of Vals aligned with cols sorted ascending). An index on
+// cols is built on first use. With no cols it returns all positions as nil
+// (callers iterate Tuples directly); callers should not pass empty cols.
+func (r *Relation) Probe(cols []int, key []Val) []int32 {
+	idx := r.ensureIndex(cols)
+	// Align key to the index's sorted column order.
+	if len(cols) != len(idx.cols) {
+		panic("engine: probe column count mismatch")
+	}
+	aligned := key
+	if !sort.IntsAreSorted(cols) {
+		aligned = make([]Val, len(key))
+		perm := make([]int, len(cols))
+		copy(perm, cols)
+		// map column -> its key value, then emit in sorted order
+		kv := make(map[int]Val, len(cols))
+		for i, c := range cols {
+			kv[c] = key[i]
+		}
+		sort.Ints(perm)
+		for i, c := range perm {
+			aligned[i] = kv[c]
+		}
+	}
+	buf := r.probeBuf[:0]
+	for _, v := range aligned {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	r.probeBuf = buf
+	return idx.m[string(buf)]
+}
+
+// Tuple returns the tuple at position pos.
+func (r *Relation) Tuple(pos int32) []Val { return r.tuples[pos] }
+
+// DB maps predicate names to relations. Predicates are identified by name
+// alone; using one name at two arities is an error surfaced at insert.
+type DB struct {
+	Store     *Store
+	relations map[string]*Relation
+}
+
+// NewDB returns an empty database over a fresh store.
+func NewDB() *DB { return NewDBWith(NewStore()) }
+
+// NewDBWith returns an empty database over the given store.
+func NewDBWith(store *Store) *DB {
+	return &DB{Store: store, relations: make(map[string]*Relation)}
+}
+
+// Rel returns the relation for pred, creating it with the given arity on
+// first use. It returns an error on arity conflicts.
+func (db *DB) Rel(pred string, arity int) (*Relation, error) {
+	if r, ok := db.relations[pred]; ok {
+		if r.arity != arity {
+			return nil, fmt.Errorf("predicate %s used with arity %d and %d", pred, r.arity, arity)
+		}
+		return r, nil
+	}
+	r := NewRelation(arity)
+	db.relations[pred] = r
+	return r, nil
+}
+
+// Lookup returns the relation for pred, or nil if none exists.
+func (db *DB) Lookup(pred string) *Relation { return db.relations[pred] }
+
+// Preds returns the predicate names present, sorted.
+func (db *DB) Preds() []string {
+	out := make([]string, 0, len(db.relations))
+	for p := range db.relations {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert adds a fact. It reports whether the fact was new.
+func (db *DB) Insert(pred string, tuple ...Val) (bool, error) {
+	r, err := db.Rel(pred, len(tuple))
+	if err != nil {
+		return false, err
+	}
+	return r.Insert(tuple), nil
+}
+
+// MustInsert is Insert, panicking on arity conflict; for tests and loaders.
+func (db *DB) MustInsert(pred string, tuple ...Val) bool {
+	ok, err := db.Insert(pred, tuple...)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// Count returns the number of facts for pred (0 if absent).
+func (db *DB) Count(pred string) int {
+	if r := db.relations[pred]; r != nil {
+		return r.Len()
+	}
+	return 0
+}
+
+// TotalFacts returns the total number of facts across all relations.
+func (db *DB) TotalFacts() int {
+	n := 0
+	for _, r := range db.relations {
+		n += r.Len()
+	}
+	return n
+}
+
+// Clone returns a DB sharing the store but with independent relations.
+func (db *DB) Clone() *DB {
+	out := NewDBWith(db.Store)
+	for pred, r := range db.relations {
+		nr := NewRelation(r.arity)
+		for _, t := range r.tuples {
+			nr.Insert(t)
+		}
+		out.relations[pred] = nr
+	}
+	return out
+}

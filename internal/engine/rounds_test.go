@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"testing"
+
+	"factorlog/internal/parser"
+)
+
+func TestInsertRoundTracking(t *testing.T) {
+	r := NewRelation(1)
+	r.Insert([]Val{1})
+	r.InsertRound([]Val{2}, 3)
+	if r.Round(0) != 0 || r.Round(1) != 3 {
+		t.Errorf("rounds = %d %d", r.Round(0), r.Round(1))
+	}
+	// Duplicate keeps the original round.
+	r.InsertRound([]Val{1}, 9)
+	if r.Round(0) != 0 {
+		t.Error("duplicate insert changed the round")
+	}
+}
+
+// TestDeltaDisciplineNoDoubleDerivation: on the non-linear rule
+// t(X,Y) :- t(X,W), t(W,Y), a pair of premises from the same round must be
+// combined exactly once per round, not once per delta position. We check
+// semi-naive performs no more inferences than naive on a chain.
+func TestDeltaDisciplineNoDoubleDerivation(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	load := func() *DB {
+		db := NewDB()
+		for i := 1; i < 20; i++ {
+			db.MustInsert("e", db.Store.Int(i), db.Store.Int(i+1))
+		}
+		return db
+	}
+	dbS, dbN := load(), load()
+	rs, err := Eval(p, dbS, Options{Strategy: SemiNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := Eval(p, dbN, Options{Strategy: Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbS.Count("t") != dbN.Count("t") {
+		t.Fatalf("fact counts differ: %d vs %d", dbS.Count("t"), dbN.Count("t"))
+	}
+	if rs.Stats.Inferences > rn.Stats.Inferences {
+		t.Errorf("semi-naive inferences %d exceed naive %d on the non-linear rule",
+			rs.Stats.Inferences, rn.Stats.Inferences)
+	}
+}
+
+// TestSemiNaiveCompleteAcrossDeltaPositions: a fact derivable only by
+// combining a round-r fact at the FIRST position with a round-r fact at the
+// SECOND must still be derived (the P_{r-1}/delta/P_r split must not lose
+// it).
+func TestSemiNaiveCompleteAcrossDeltaPositions(t *testing.T) {
+	// join(X,Z) :- left(X,Y), right(Y,Z); left/right both derived in the
+	// same round from seeds.
+	p := parser.MustParseProgram(`
+		join(X, Z) :- left(X, Y), right(Y, Z).
+		left(X, Y) :- el(X, Y).
+		right(X, Y) :- er(X, Y).
+		left(X, Y) :- left(X, W), el(W, Y).
+		right(X, Y) :- right(X, W), er(W, Y).
+	`)
+	db := NewDB()
+	for i := 1; i < 6; i++ {
+		db.MustInsert("el", db.Store.Int(i), db.Store.Int(i+1))
+		db.MustInsert("er", db.Store.Int(i), db.Store.Int(i+1))
+	}
+	if _, err := Eval(p, db, Options{Strategy: SemiNaive}); err != nil {
+		t.Fatal(err)
+	}
+	dbN := NewDB()
+	for i := 1; i < 6; i++ {
+		dbN.MustInsert("el", dbN.Store.Int(i), dbN.Store.Int(i+1))
+		dbN.MustInsert("er", dbN.Store.Int(i), dbN.Store.Int(i+1))
+	}
+	if _, err := Eval(p, dbN, Options{Strategy: Naive}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("join") != dbN.Count("join") {
+		t.Errorf("semi-naive join=%d, naive join=%d", db.Count("join"), dbN.Count("join"))
+	}
+	if db.Count("join") == 0 {
+		t.Error("no joins derived at all")
+	}
+}
+
+// TestMutualRecursionRounds: deltas must flow across mutually recursive
+// predicates.
+func TestMutualRecursionRounds(t *testing.T) {
+	p := parser.MustParseProgram(`
+		even(X) :- zero(X).
+		even(X) :- succ(Y, X), odd(Y).
+		odd(X) :- succ(Y, X), even(Y).
+	`)
+	db := NewDB()
+	db.MustInsert("zero", db.Store.Int(0))
+	for i := 0; i < 10; i++ {
+		db.MustInsert("succ", db.Store.Int(i), db.Store.Int(i+1))
+	}
+	if _, err := Eval(p, db, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("even") != 6 || db.Count("odd") != 5 {
+		t.Errorf("even=%d odd=%d", db.Count("even"), db.Count("odd"))
+	}
+}

@@ -1,0 +1,217 @@
+// Package engine implements bottom-up evaluation of Horn-clause programs:
+// a hash-consed ground-term store, indexed relations, naive and semi-naive
+// fixpoint evaluation with derivation-tree provenance, and uniform
+// statistics (facts, inferences, iterations).
+//
+// Ground terms are interned into a Store: every distinct ground term has
+// exactly one Val, and compound values share their sub-structure. Equality
+// is integer comparison and a list tail is a single Val, which makes the
+// structure-sharing assumption of Example 4.6 of the paper ("each inference
+// can be made in constant time, independently of the list size") literally
+// true during evaluation.
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"factorlog/internal/ast"
+)
+
+// Val is a handle to an interned ground term. Two Vals from the same Store
+// are equal if and only if the terms they denote are equal.
+type Val int32
+
+// NoVal is an invalid Val used as a sentinel for unbound slots.
+const NoVal Val = -1
+
+type entry struct {
+	functor string
+	args    []Val // nil for constants
+}
+
+// Store interns ground terms. The zero value is not usable; call NewStore.
+type Store struct {
+	consts    map[string]Val
+	compounds map[string]Val
+	entries   []entry
+	keyBuf    []byte
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		consts:    make(map[string]Val),
+		compounds: make(map[string]Val),
+	}
+}
+
+// Size returns the number of distinct interned terms.
+func (s *Store) Size() int { return len(s.entries) }
+
+// Const interns a constant symbol.
+func (s *Store) Const(name string) Val {
+	if v, ok := s.consts[name]; ok {
+		return v
+	}
+	v := Val(len(s.entries))
+	s.entries = append(s.entries, entry{functor: name})
+	s.consts[name] = v
+	return v
+}
+
+// Compound interns a compound term from already-interned arguments. The args
+// slice is copied.
+func (s *Store) Compound(functor string, args ...Val) Val {
+	key := s.compoundKey(functor, args)
+	if v, ok := s.compounds[key]; ok {
+		return v
+	}
+	cp := make([]Val, len(args))
+	copy(cp, args)
+	v := Val(len(s.entries))
+	s.entries = append(s.entries, entry{functor: functor, args: cp})
+	s.compounds[key] = v
+	return v
+}
+
+func (s *Store) compoundKey(functor string, args []Val) string {
+	b := s.keyBuf[:0]
+	b = append(b, functor...)
+	b = append(b, 0)
+	for _, a := range args {
+		b = binary.AppendVarint(b, int64(a))
+	}
+	s.keyBuf = b
+	return string(b)
+}
+
+// Nil returns the interned empty list.
+func (s *Store) Nil() Val { return s.Const(ast.NilName) }
+
+// Cons returns the interned list cell [head|tail].
+func (s *Store) Cons(head, tail Val) Val { return s.Compound(ast.ConsFunctor, head, tail) }
+
+// List interns a proper list of the given elements.
+func (s *Store) List(elems ...Val) Val {
+	v := s.Nil()
+	for i := len(elems) - 1; i >= 0; i-- {
+		v = s.Cons(elems[i], v)
+	}
+	return v
+}
+
+// Int interns the decimal rendering of n as a constant.
+func (s *Store) Int(n int) Val { return s.Const(fmt.Sprintf("%d", n)) }
+
+// IsConst reports whether v denotes a constant.
+func (s *Store) IsConst(v Val) bool { return s.entries[v].args == nil }
+
+// Functor returns the constant name or compound functor of v.
+func (s *Store) Functor(v Val) string { return s.entries[v].functor }
+
+// Args returns the argument handles of v (nil for constants). The returned
+// slice must not be modified.
+func (s *Store) Args(v Val) []Val { return s.entries[v].args }
+
+// FromAST interns a ground ast.Term. It returns an error if t contains
+// variables.
+func (s *Store) FromAST(t ast.Term) (Val, error) {
+	switch t.Kind {
+	case ast.Var:
+		return NoVal, fmt.Errorf("cannot intern non-ground term: variable %s", t.Functor)
+	case ast.Const:
+		return s.Const(t.Functor), nil
+	default:
+		args := make([]Val, len(t.Args))
+		for i, a := range t.Args {
+			v, err := s.FromAST(a)
+			if err != nil {
+				return NoVal, err
+			}
+			args[i] = v
+		}
+		return s.Compound(t.Functor, args...), nil
+	}
+}
+
+// MustFromAST is FromAST, panicking on variables; for tests and literals.
+func (s *Store) MustFromAST(t ast.Term) Val {
+	v, err := s.FromAST(t)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// ToAST reconstructs the ast.Term denoted by v.
+func (s *Store) ToAST(v Val) ast.Term {
+	e := s.entries[v]
+	if e.args == nil {
+		return ast.C(e.functor)
+	}
+	args := make([]ast.Term, len(e.args))
+	for i, a := range e.args {
+		args[i] = s.ToAST(a)
+	}
+	return ast.Fn(e.functor, args...)
+}
+
+// String renders v in surface syntax (lists re-sugared).
+func (s *Store) String(v Val) string {
+	var b strings.Builder
+	s.write(&b, v)
+	return b.String()
+}
+
+func (s *Store) write(b *strings.Builder, v Val) {
+	e := s.entries[v]
+	switch {
+	case e.args == nil:
+		b.WriteString(e.functor)
+	case e.functor == ast.ConsFunctor && len(e.args) == 2:
+		b.WriteByte('[')
+		s.write(b, e.args[0])
+		rest := e.args[1]
+		for {
+			re := s.entries[rest]
+			if re.functor == ast.ConsFunctor && len(re.args) == 2 {
+				b.WriteByte(',')
+				s.write(b, re.args[0])
+				rest = re.args[1]
+				continue
+			}
+			break
+		}
+		if s.entries[rest].functor != ast.NilName || s.entries[rest].args != nil {
+			b.WriteByte('|')
+			s.write(b, rest)
+		}
+		b.WriteByte(']')
+	default:
+		b.WriteString(e.functor)
+		b.WriteByte('(')
+		for i, a := range e.args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			s.write(b, a)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// TupleString renders a tuple as (v1,...,vn).
+func (s *Store) TupleString(tuple []Val) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range tuple {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		s.write(&b, v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/parser"
+)
+
+func TestStoreInterning(t *testing.T) {
+	s := NewStore()
+	a1 := s.Const("a")
+	a2 := s.Const("a")
+	b := s.Const("b")
+	if a1 != a2 {
+		t.Error("same constant interned twice")
+	}
+	if a1 == b {
+		t.Error("different constants share a Val")
+	}
+	f1 := s.Compound("f", a1, b)
+	f2 := s.Compound("f", a1, b)
+	g := s.Compound("g", a1, b)
+	if f1 != f2 {
+		t.Error("same compound interned twice")
+	}
+	if f1 == g {
+		t.Error("different compounds share a Val")
+	}
+	if s.Size() != 4 {
+		t.Errorf("Size = %d, want 4", s.Size())
+	}
+}
+
+func TestStoreStructureSharing(t *testing.T) {
+	// The tail of [a,b,c] and the list [b,c] must be the same Val: this is
+	// the structure-sharing property Example 4.6 relies on.
+	s := NewStore()
+	abc := s.List(s.Const("a"), s.Const("b"), s.Const("c"))
+	bc := s.List(s.Const("b"), s.Const("c"))
+	if s.Args(abc)[1] != bc {
+		t.Error("list tails are not shared")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := NewStore()
+	terms := []string{"a", "42", "[a,b,c]", "f(g(x),[y|[]])", "[]", "[[a],[b]]"}
+	for _, src := range terms {
+		tm := parser.MustParseTerm(src)
+		v := s.MustFromAST(tm)
+		back := s.ToAST(v)
+		if !back.Equal(tm) {
+			t.Errorf("round trip %q -> %s", src, back)
+		}
+		v2 := s.MustFromAST(back)
+		if v != v2 {
+			t.Errorf("re-interning %q gave different Val", src)
+		}
+	}
+}
+
+func TestStoreFromASTRejectsVars(t *testing.T) {
+	s := NewStore()
+	if _, err := s.FromAST(ast.V("X")); err == nil {
+		t.Error("interning a variable should fail")
+	}
+	if _, err := s.FromAST(ast.Fn("f", ast.V("X"))); err == nil {
+		t.Error("interning a non-ground compound should fail")
+	}
+}
+
+func TestStoreStringListSugar(t *testing.T) {
+	s := NewStore()
+	v := s.List(s.Const("a"), s.Const("b"))
+	if got := s.String(v); got != "[a,b]" {
+		t.Errorf("String = %q", got)
+	}
+	partial := s.Cons(s.Const("a"), s.Const("tailvar"))
+	if got := s.String(partial); got != "[a|tailvar]" {
+		t.Errorf("partial = %q", got)
+	}
+	if got := s.String(s.Nil()); got != "[]" {
+		t.Errorf("nil = %q", got)
+	}
+	f := s.Compound("f", s.Const("x"))
+	if got := s.String(f); got != "f(x)" {
+		t.Errorf("compound = %q", got)
+	}
+}
+
+func TestStoreTupleString(t *testing.T) {
+	s := NewStore()
+	tup := []Val{s.Const("1"), s.List(s.Const("a"))}
+	if got := s.TupleString(tup); got != "(1,[a])" {
+		t.Errorf("TupleString = %q", got)
+	}
+}
+
+// Property: interning is canonical — equal terms get equal Vals, distinct
+// terms distinct Vals.
+func TestStoreCanonicalProperty(t *testing.T) {
+	s := NewStore()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		t1 := randGroundTerm(r, 3)
+		t2 := randGroundTerm(r, 3)
+		v1 := s.MustFromAST(t1)
+		v2 := s.MustFromAST(t2)
+		return (v1 == v2) == t1.Equal(t2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randGroundTerm(r *rand.Rand, depth int) ast.Term {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return ast.C([]string{"a", "b", "c"}[r.Intn(3)])
+	}
+	n := 1 + r.Intn(2)
+	args := make([]ast.Term, n)
+	for i := range args {
+		args[i] = randGroundTerm(r, depth-1)
+	}
+	return ast.Fn([]string{"f", "g"}[r.Intn(2)], args...)
+}
+
+func TestStoreInt(t *testing.T) {
+	s := NewStore()
+	if s.Int(7) != s.Const("7") {
+		t.Error("Int and Const disagree")
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"factorlog/internal/core"
+	"factorlog/internal/magic"
+	"factorlog/internal/optimize"
+	"factorlog/internal/parser"
+)
+
+func init() {
+	register(Experiment{ID: "E15", Title: "deletion order (§7.4's open question): forward vs reverse scans", Run: runE15})
+}
+
+// runE15 probes the paper's Section 7.4 question — "does the order in which
+// [rule and literal deletions] are applied to a program affect the final
+// result?" — by running the optimizer with the uniform-equivalence scan in
+// both directions over the factorable example programs and comparing the
+// final programs as rule sets.
+func runE15() (*Table, error) {
+	t := &Table{
+		ID:     "E15",
+		Title:  "optimizer scan order: forward vs reverse uniform-equivalence deletion",
+		Header: []string{"program", "rules fwd", "rules rev", "identical"},
+	}
+	cases := []struct {
+		name, src, query string
+	}{
+		{"three-rule TC (Ex. 5.3)", `
+			t(X, Y) :- t(X, W), t(W, Y).
+			t(X, Y) :- e(X, W), t(W, Y).
+			t(X, Y) :- t(X, W), e(W, Y).
+			t(X, Y) :- e(X, Y).
+		`, "t(5, Y)"},
+		{"pmem (Ex. 4.6)", `
+			pmem(X, [X|T]) :- p(X).
+			pmem(X, [H|T]) :- pmem(X, T).
+		`, "pmem(X, [x1, x2, x3])"},
+		{"Example 4.3", `
+			p(X, Y) :- l1(X), p(X, U), c1(U, V), p(V, Y), r1(Y).
+			p(X, Y) :- l2(X), p(X, U), c2(U, V), p(V, Y), r2(Y).
+			p(X, Y) :- f(X, V), p(V, Y), r3(Y).
+			p(X, Y) :- e(X, Y).
+		`, "p(5, Y)"},
+		{"two-column separable (Thm. 6.3)", `
+			t(X, Y) :- t(X, W), b(W, Y).
+			t(X, Y) :- a(X, Z), t(Z, Y).
+			t(X, Y) :- e(X, Y).
+		`, "t(1, Y)"},
+		{"redundant 2-step rule", `
+			t(X, Y) :- e(X, Y).
+			t(X, Y) :- e(X, W), t(W, Y).
+			t(X, Y) :- e(X, W), e(W, V), t(V, Y).
+		`, "t(1, Y)"},
+	}
+	allSame := true
+	for _, c := range cases {
+		p := parser.MustParseProgram(c.src)
+		m, err := magic.FromQuery(p, parser.MustParseAtom(c.query))
+		if err != nil {
+			return nil, err
+		}
+		fr, err := core.ForceFactorMagic(m)
+		if err != nil {
+			return nil, err
+		}
+		base := optimize.ForFactored(fr, magic.QueryPred, m.Seed.Head.Args)
+		fwdOpts, revOpts := base, base
+		revOpts.ReverseUniform = true
+		fwd, err := optimize.Optimize(fr.Program, fwdOpts)
+		if err != nil {
+			return nil, err
+		}
+		rev, err := optimize.Optimize(fr.Program, revOpts)
+		if err != nil {
+			return nil, err
+		}
+		same := fwd.Program.Canonical() == rev.Program.Canonical()
+		if !same {
+			allSame = false
+		}
+		t.AddRow(c.name, len(fwd.Program.Rules), len(rev.Program.Rules), same)
+	}
+	if allSame {
+		t.AddNote("on these programs the final result is order-independent; " +
+			"mutually-derivable rule pairs (where order would matter) do not survive the earlier passes")
+	} else {
+		t.AddNote("order dependence observed: §7.4's caution is warranted")
+	}
+	return t, nil
+}

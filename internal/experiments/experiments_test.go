@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E1b", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("phantom experiment found")
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	ids := []string{}
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	if ids[0] != "E1" {
+		t.Errorf("order = %v", ids)
+	}
+	// E10 must come after E9.
+	i9, i10 := -1, -1
+	for i, id := range ids {
+		if id == "E9" {
+			i9 = i
+		}
+		if id == "E10" {
+			i10 = i
+		}
+	}
+	if i9 > i10 {
+		t.Errorf("E9 after E10: %v", ids)
+	}
+}
+
+// TestRunAllExperiments executes every experiment end to end and applies
+// per-experiment sanity assertions. This is the integration test for the
+// whole reproduction.
+func TestRunAllExperiments(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			out := tbl.Render()
+			if !strings.Contains(out, e.ID+":") {
+				t.Errorf("%s: render missing header:\n%s", e.ID, out)
+			}
+			check(t, e.ID, tbl)
+		})
+	}
+}
+
+// check applies experiment-specific assertions to the produced table.
+func check(t *testing.T, id string, tbl *Table) {
+	t.Helper()
+	cell := func(rowPrefix string, col int) string {
+		for _, row := range tbl.Rows {
+			if strings.HasPrefix(row[0], rowPrefix) {
+				return row[col]
+			}
+		}
+		t.Fatalf("%s: no row with prefix %q in %v", id, rowPrefix, tbl.Rows)
+		return ""
+	}
+	switch id {
+	case "E1":
+		joined := strings.Join(tbl.Notes, "\n")
+		if !strings.Contains(joined, "Fig. 1 golden (magic program): true") {
+			t.Errorf("Fig. 1 golden failed:\n%s", joined)
+		}
+		if !strings.Contains(joined, "Ex. 5.3 golden (final unary program): true") {
+			t.Errorf("Ex. 5.3 golden failed:\n%s", joined)
+		}
+		if cell("factored+opt", 5) != "1" {
+			t.Errorf("factored arity = %s", cell("factored+opt", 5))
+		}
+	case "E3":
+		if cell("class without constraints", 1) != "unknown" {
+			t.Error("E3 should not classify without constraints")
+		}
+		if cell("class with EDB constraints", 1) != "selection-pushing" {
+			t.Errorf("E3 class = %s", cell("class with EDB constraints", 1))
+		}
+		if !strings.Contains(cell("violating EDB 1 spurious", 1), "(8)") {
+			t.Errorf("E3 EDB1 spurious = %s", cell("violating EDB 1 spurious", 1))
+		}
+		if !strings.Contains(cell("violating EDB 2 spurious", 1), "(7)") {
+			t.Errorf("E3 EDB2 spurious = %s", cell("violating EDB 2 spurious", 1))
+		}
+	case "E4":
+		if cell("class with EDB constraints", 1) != "symmetric" {
+			t.Errorf("E4 class = %s", cell("class with EDB constraints", 1))
+		}
+	case "E5":
+		if cell("class with EDB constraints", 1) != "answer-propagating" {
+			t.Errorf("E5 class = %s", cell("class with EDB constraints", 1))
+		}
+	case "E6":
+		if cell("Example 5.1", 1) != "unknown" || cell("Example 5.1", 2) == "unknown" {
+			t.Errorf("E6 Example 5.1: %s -> %s", cell("Example 5.1", 1), cell("Example 5.1", 2))
+		}
+		if cell("Lemma 5.1 answers", 1) != cell("Lemma 5.1 answers", 2) {
+			t.Error("Lemma 5.1 equivalence failed")
+		}
+	case "E7":
+		if cell("Theorem 6.4 isomorphism", 1) != "true" {
+			t.Error("Theorem 6.4 isomorphism failed")
+		}
+		if cell("forced left-linear counting diverges", 1) != "true" {
+			t.Error("left-linear divergence not observed")
+		}
+		if cell("counting on cyclic EDB diverges", 1) != "true" {
+			t.Error("cyclic divergence not observed")
+		}
+	case "E8":
+		if cell("two-column chain separable", 1) != "true" ||
+			cell("same generation separable", 1) != "false" {
+			t.Error("separable detection wrong")
+		}
+	case "E10":
+		if cell("factoring rejected by class tests", 1) != "true" {
+			t.Error("sg should be rejected")
+		}
+		if cell("refuter found counterexample", 1) != "true" {
+			t.Error("sg refutation failed")
+		}
+	case "E11":
+		if cell("split (X)|(Y,Z) refuted in general", 1) != "true" {
+			t.Error("general split should be refuted")
+		}
+		if cell("split (X)|(Y,Z) with q1=q2 refuted", 1) != "false" {
+			t.Error("q1=q2 split should survive refutation")
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{ID: "EX", Title: "demo", Header: []string{"a", "bb"}}
+	tbl.AddRow("x", 12)
+	tbl.AddNote("hello %d", 7)
+	out := tbl.Render()
+	for _, want := range []string{"EX: demo", "a ", "bb", "x", "12", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package magic
+
+import (
+	"strings"
+	"testing"
+
+	"factorlog/internal/adorn"
+	"factorlog/internal/engine"
+	"factorlog/internal/parser"
+)
+
+func tc3() string {
+	return `
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`
+}
+
+// TestMagicFig1Golden checks the transformation reproduces Fig. 1 of the
+// paper exactly (modulo predicate spelling: t_bf for t^bf).
+func TestMagicFig1Golden(t *testing.T) {
+	p := parser.MustParseProgram(tc3())
+	res, err := FromQuery(p, parser.MustParseAtom("t(5, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := parser.MustParseProgram(`
+		m_t_bf(5).
+		m_t_bf(W) :- m_t_bf(X), t_bf(X, W).
+		m_t_bf(W) :- m_t_bf(X), e(X, W).
+		t_bf(X, Y) :- m_t_bf(X), t_bf(X, W), t_bf(W, Y).
+		t_bf(X, Y) :- m_t_bf(X), e(X, W), t_bf(W, Y).
+		t_bf(X, Y) :- m_t_bf(X), t_bf(X, W), e(W, Y).
+		t_bf(X, Y) :- m_t_bf(X), e(X, Y).
+		query(Y) :- t_bf(5, Y).
+	`)
+	if res.Program.Canonical() != want.Canonical() {
+		t.Errorf("magic program:\n%s\nwant:\n%s", res.Program, want)
+	}
+	if res.Seed.String() != "m_t_bf(5)." {
+		t.Errorf("seed = %s", res.Seed)
+	}
+	if res.Query.String() != "query(Y)" {
+		t.Errorf("query = %s", res.Query)
+	}
+}
+
+// TestMagicPmemGolden checks the pmem Magic program of Example 4.6.
+func TestMagicPmemGolden(t *testing.T) {
+	p := parser.MustParseProgram(`
+		pmem(X, [X|T]) :- p(X).
+		pmem(X, [H|T]) :- pmem(X, T).
+	`)
+	res, err := FromQuery(p, parser.MustParseAtom("pmem(X, [x1, x2, x3])"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := parser.MustParseProgram(`
+		m_pmem_fb([x1, x2, x3]).
+		m_pmem_fb(T) :- m_pmem_fb([H|T]).
+		pmem_fb(X, [X|T]) :- m_pmem_fb([X|T]), p(X).
+		pmem_fb(X, [H|T]) :- m_pmem_fb([H|T]), pmem_fb(X, T).
+		query(X) :- pmem_fb(X, [x1, x2, x3]).
+	`)
+	if res.Program.Canonical() != want.Canonical() {
+		t.Errorf("pmem magic program:\n%s\nwant:\n%s", res.Program, want)
+	}
+}
+
+func chainDB(n int) *engine.DB {
+	db := engine.NewDB()
+	for i := 1; i < n; i++ {
+		db.MustInsert("e", db.Store.Int(i), db.Store.Int(i+1))
+	}
+	return db
+}
+
+// TestMagicCorrectness: the magic program computes exactly the answers of
+// the original on the query, while restricting computation.
+func TestMagicCorrectness(t *testing.T) {
+	orig := parser.MustParseProgram(tc3())
+	res, err := FromQuery(orig, parser.MustParseAtom("t(50, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dbO := chainDB(100)
+	if _, err := engine.Eval(orig, dbO, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	wantSet, err := engine.AnswerSet(dbO, parser.MustParseAtom("t(50, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dbM := chainDB(100)
+	rm, err := engine.Eval(res.Program, dbM, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSet, err := engine.AnswerSet(dbM, parser.MustParseAtom("query(Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Answers: query(Y) tuples are the Y with t(50,Y); compare sizes and
+	// membership modulo the projection.
+	if len(gotSet) != len(wantSet) {
+		t.Errorf("answers: magic %d vs original %d", len(gotSet), len(wantSet))
+	}
+	for y := range gotSet {
+		// y is "(k)"; want "(50,k)"
+		k := strings.TrimSuffix(strings.TrimPrefix(y, "("), ")")
+		if !wantSet["(50,"+k+")"] {
+			t.Errorf("spurious answer %s", y)
+		}
+	}
+
+	// Magic must restrict the computation: far fewer t facts than full TC.
+	if dbM.Count("t_bf") >= dbO.Count("t") {
+		t.Errorf("magic computed %d t_bf facts vs %d t facts — no restriction",
+			dbM.Count("t_bf"), dbO.Count("t"))
+	}
+	if rm.Stats.Derived == 0 {
+		t.Error("no facts derived")
+	}
+}
+
+// TestMagicPmemEvaluates: the pmem magic program terminates bottom-up and
+// computes the right members.
+func TestMagicPmemEvaluates(t *testing.T) {
+	p := parser.MustParseProgram(`
+		pmem(X, [X|T]) :- p(X).
+		pmem(X, [H|T]) :- pmem(X, T).
+	`)
+	res, err := FromQuery(p, parser.MustParseAtom("pmem(X, [x1, x2, x3, x4])"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.NewDB()
+	db.MustInsert("p", db.Store.Const("x2"))
+	db.MustInsert("p", db.Store.Const("x4"))
+	if _, err := engine.Eval(res.Program, db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	set, err := engine.AnswerSet(db, res.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 || !set["(x2)"] || !set["(x4)"] {
+		t.Errorf("members = %v", set)
+	}
+	// m_pmem_fb holds all suffixes: n+1 facts.
+	if got := db.Count("m_pmem_fb"); got != 5 {
+		t.Errorf("|m_pmem_fb| = %d, want 5", got)
+	}
+}
+
+func TestMagicMultiplePredicates(t *testing.T) {
+	p := parser.MustParseProgram(`
+		path(X, Y) :- e(X, Y).
+		path(X, Y) :- e(X, W), path(W, Y).
+		twohop(X, Y) :- path(X, W), path(W, Y).
+	`)
+	res, err := FromQuery(p, parser.MustParseAtom("twohop(1, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := chainDB(10)
+	if _, err := engine.Eval(res.Program, db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	set, err := engine.AnswerSet(db, res.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 8 { // 3..10 reachable in >= 2 hops from 1
+		t.Errorf("twohop answers = %v", set)
+	}
+}
+
+func TestMagicAllBoundQuery(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+	`)
+	res, err := FromQuery(p, parser.MustParseAtom("t(1, 5)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Query.Arity() != 0 {
+		t.Errorf("all-bound query head should have arity 0: %s", res.Query)
+	}
+	db := chainDB(10)
+	if _, err := engine.Eval(res.Program, db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count(QueryPred) != 1 {
+		t.Error("t(1,5) should hold on the chain")
+	}
+	// False query.
+	res2, err := FromQuery(p, parser.MustParseAtom("t(5, 1)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := chainDB(10)
+	if _, err := engine.Eval(res2.Program, db2, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Count(QueryPred) != 0 {
+		t.Error("t(5,1) should not hold on the chain")
+	}
+}
+
+func TestMagicNonGroundBoundArg(t *testing.T) {
+	p := parser.MustParseProgram(`t(X, Y) :- e(X, Y).`)
+	ad, err := adorn.Adorn(p, parser.MustParseAtom("t(5, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: pretend the query had a variable in a bound slot.
+	ad.Query.Args[0] = parser.MustParseTerm("Z")
+	if _, err := Transform(ad); err == nil {
+		t.Error("non-ground bound argument should be rejected")
+	}
+}
+
+func TestMagicSkipsTautologies(t *testing.T) {
+	p := parser.MustParseProgram(tc3())
+	res, err := FromQuery(p, parser.MustParseAtom("t(5, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Program.Rules {
+		if len(r.Body) == 1 && r.Head.Equal(r.Body[0]) {
+			t.Errorf("tautological magic rule survived: %s", r)
+		}
+	}
+}

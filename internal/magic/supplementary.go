@@ -1,0 +1,178 @@
+package magic
+
+import (
+	"fmt"
+
+	"factorlog/internal/adorn"
+	"factorlog/internal/ast"
+)
+
+// Supplementary magic sets (Beeri & Ramakrishnan, "On the power of magic"
+// — the paper's citation [3]). Plain magic re-joins the prefix of a rule
+// body once per magic rule derived from it; the supplementary variant
+// materializes each prefix join exactly once in sup_<rule>_<j> predicates
+// that carry only the variables still needed downstream.
+//
+// For a rule  p(t) :- s0, q1, s1, q2, s2  (qi the IDB occurrences, si EDB
+// segments) the transformation emits
+//
+//	sup_r_0(L0)  :- m_p(tb), s0.
+//	m_q1(b1)     :- sup_r_0(L0).
+//	sup_r_1(L1)  :- sup_r_0(L0), q1, s1.
+//	m_q2(b2)     :- sup_r_1(L1).
+//	p(t)         :- sup_r_1(L1), q2, s2.
+//
+// where Lj are the live variables: bound by the prefix and used by the
+// suffix or the head. Rules without IDB body occurrences are guarded
+// directly, as in plain magic.
+
+// TransformSupplementary applies the supplementary-magic transformation to
+// an adorned program. The result computes the same query answers as
+// Transform's output for every EDB.
+func TransformSupplementary(ad *adorn.Result) (*Result, error) {
+	idb := ad.Program.IDBPreds()
+
+	qBase, qAd, ok := ast.SplitAdorned(ad.Query.Pred)
+	if !ok {
+		return nil, fmt.Errorf("query predicate %s is not adorned", ad.Query.Pred)
+	}
+	_ = qBase
+	seedAtom := ast.MagicAtom(ad.Query, qAd)
+	if !seedAtom.Ground() {
+		return nil, fmt.Errorf("bound arguments of query %s are not ground", ad.Query)
+	}
+	out := ast.NewProgram(ast.Fact(seedAtom))
+
+	for ri, r := range ad.Program.Rules {
+		headAd, err := adornmentOfPred(r.Head.Pred)
+		if err != nil {
+			return nil, err
+		}
+		guard := ast.MagicAtom(r.Head, headAd)
+
+		occs := r.BodyIndices(func(a ast.Atom) bool { return idb[a.Pred] })
+		if len(occs) == 0 {
+			body := append([]ast.Atom{guard}, r.Body...)
+			out.Add(ast.Rule{Head: r.Head.Clone(), Body: body})
+			continue
+		}
+
+		// liveAfter[i] = variables used by literals i.. or the head.
+		liveAfter := make([]map[string]bool, len(r.Body)+1)
+		liveAfter[len(r.Body)] = varSet(r.Head.Vars())
+		for i := len(r.Body) - 1; i >= 0; i-- {
+			s := copySet(liveAfter[i+1])
+			for _, v := range r.Body[i].Vars() {
+				s[v] = true
+			}
+			liveAfter[i] = s
+		}
+
+		supName := func(j int) string {
+			return fmt.Sprintf("sup_%d_%d_%s", ri+1, j, r.Head.Pred)
+		}
+		// supAtom(j, boundVars): the sup_j literal over the live subset of
+		// boundVars at the start of segment j+1.
+		supAtom := func(j int, bound map[string]bool, nextLit int) ast.Atom {
+			var args []ast.Term
+			for _, v := range orderedVars(r, bound) {
+				if liveAfter[nextLit][v] {
+					args = append(args, ast.V(v))
+				}
+			}
+			return ast.Atom{Pred: supName(j), Args: args}
+		}
+
+		bound := varSet(nil)
+		for _, t := range guard.Args {
+			for _, v := range t.Vars() {
+				bound[v] = true
+			}
+		}
+
+		// sup_0: guard + segment before the first occurrence.
+		prevEnd := occs[0]
+		body0 := append([]ast.Atom{guard}, r.Body[:prevEnd]...)
+		for _, a := range r.Body[:prevEnd] {
+			for _, v := range a.Vars() {
+				bound[v] = true
+			}
+		}
+		prevSup := supAtom(0, bound, prevEnd)
+		out.Add(ast.Rule{Head: prevSup, Body: body0})
+
+		for j, occIdx := range occs {
+			occ := r.Body[occIdx]
+			occAd, err := adornmentOfPred(occ.Pred)
+			if err != nil {
+				return nil, err
+			}
+			// Magic rule for this occurrence, from the previous sup.
+			out.Add(ast.Rule{
+				Head: ast.MagicAtom(occ, occAd),
+				Body: []ast.Atom{prevSup.Clone()},
+			})
+			// Segment after this occurrence, up to the next one (or end).
+			segEnd := len(r.Body)
+			if j+1 < len(occs) {
+				segEnd = occs[j+1]
+			}
+			for _, v := range occ.Vars() {
+				bound[v] = true
+			}
+			for _, a := range r.Body[occIdx+1 : segEnd] {
+				for _, v := range a.Vars() {
+					bound[v] = true
+				}
+			}
+			body := []ast.Atom{prevSup.Clone(), occ.Clone()}
+			body = append(body, r.Body[occIdx+1:segEnd]...)
+			if j+1 < len(occs) {
+				next := supAtom(j+1, bound, segEnd)
+				out.Add(ast.Rule{Head: next, Body: body})
+				prevSup = next
+			} else {
+				out.Add(ast.Rule{Head: r.Head.Clone(), Body: body})
+			}
+		}
+	}
+
+	// Query rule.
+	free := qAd.Free()
+	qArgs := make([]ast.Term, 0, len(free))
+	for _, pos := range free {
+		qArgs = append(qArgs, ad.Query.Args[pos])
+	}
+	qHead := ast.Atom{Pred: QueryPred, Args: qArgs}
+	out.Add(ast.Rule{Head: qHead, Body: []ast.Atom{ad.Query.Clone()}})
+
+	return &Result{Program: out, Query: qHead, Seed: ast.Fact(seedAtom), Adorned: ad}, nil
+}
+
+func varSet(vars []string) map[string]bool {
+	s := map[string]bool{}
+	for _, v := range vars {
+		s[v] = true
+	}
+	return s
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// orderedVars returns the rule's variables that are in set, in the rule's
+// first-occurrence order (deterministic sup signatures).
+func orderedVars(r ast.Rule, set map[string]bool) []string {
+	var out []string
+	for _, v := range r.Vars() {
+		if set[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

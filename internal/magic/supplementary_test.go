@@ -1,0 +1,198 @@
+package magic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"factorlog/internal/adorn"
+	"factorlog/internal/engine"
+	"factorlog/internal/parser"
+)
+
+func supFromQuery(t *testing.T, src, query string) *Result {
+	t.Helper()
+	ad, err := adorn.Adorn(parser.MustParseProgram(src), parser.MustParseAtom(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TransformSupplementary(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSupplementaryStructureTC3(t *testing.T) {
+	res := supFromQuery(t, tc3(), "t(5, Y)")
+	s := res.Program.String()
+	// Rule 1 (two IDB occurrences) gets sup_1_0 and sup_1_1.
+	for _, frag := range []string{"sup_1_0_t_bf", "sup_1_1_t_bf"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("missing %s in:\n%s", frag, s)
+		}
+	}
+	// Exit rule (no IDB occurrence) stays a plain guarded rule.
+	if !strings.Contains(s, "t_bf(X,Y) :- m_t_bf(X), e(X,Y).") {
+		t.Errorf("exit rule missing:\n%s", s)
+	}
+}
+
+func TestSupplementaryAgreesWithMagicTC(t *testing.T) {
+	src := tc3()
+	p := parser.MustParseProgram(src)
+	m, err := FromQuery(p, parser.MustParseAtom("t(3, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := supFromQuery(t, src, "t(3, Y)")
+
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(8)
+		var edges [][2]int
+		for i := 0; i < 2*n; i++ {
+			edges = append(edges, [2]int{r.Intn(n), r.Intn(n)})
+		}
+		load := func() *engine.DB {
+			db := engine.NewDB()
+			for _, e := range edges {
+				db.MustInsert("e", db.Store.Int(e[0]), db.Store.Int(e[1]))
+			}
+			return db
+		}
+		dbM, dbS := load(), load()
+		if _, err := engine.Eval(m.Program, dbM, engine.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := engine.Eval(sup.Program, dbS, engine.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		am, _ := engine.AnswerSet(dbM, m.Query)
+		as, _ := engine.AnswerSet(dbS, sup.Query)
+		if len(am) != len(as) {
+			t.Fatalf("seed %d: magic %v vs supplementary %v", seed, am, as)
+		}
+		for k := range am {
+			if !as[k] {
+				t.Fatalf("seed %d: missing %s", seed, k)
+			}
+		}
+	}
+}
+
+func TestSupplementaryAgreesOnMultiIDBRule(t *testing.T) {
+	// A rule with two distinct IDB predicates and interleaved EDB segments
+	// exercises the sup chain.
+	src := `
+		r(X, Y) :- s0(X, A), p(A, B), s1(B, C), q(C, D), s2(D, Y).
+		p(X, Y) :- pe(X, Y).
+		p(X, Y) :- pe(X, W), p(W, Y).
+		q(X, Y) :- qe(X, Y).
+	`
+	p := parser.MustParseProgram(src)
+	m, err := FromQuery(p, parser.MustParseAtom("r(1, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := adorn.Adorn(p, parser.MustParseAtom("r(1, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := TransformSupplementary(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		load := func() *engine.DB {
+			db := engine.NewDB()
+			rr := rand.New(rand.NewSource(seed))
+			_ = r
+			n := 4 + rr.Intn(4)
+			for _, pred := range []string{"s0", "s1", "s2", "pe", "qe"} {
+				cnt := rr.Intn(2 * n)
+				for i := 0; i < cnt; i++ {
+					db.MustInsert(pred, db.Store.Int(rr.Intn(n)), db.Store.Int(rr.Intn(n)))
+				}
+			}
+			return db
+		}
+		dbM, dbS := load(), load()
+		if _, err := engine.Eval(m.Program, dbM, engine.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := engine.Eval(sup.Program, dbS, engine.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		am, _ := engine.AnswerSet(dbM, m.Query)
+		as, _ := engine.AnswerSet(dbS, sup.Query)
+		if len(am) != len(as) {
+			t.Fatalf("seed %d: %v vs %v", seed, am, as)
+		}
+	}
+}
+
+func TestSupplementarySavesPrefixJoins(t *testing.T) {
+	// The sup predicates materialize the prefix join once; with two IDB
+	// occurrences after a shared expensive prefix, supplementary performs
+	// fewer inferences than plain magic.
+	src := `
+		r(X, Y) :- pre(X, A), pre2(A, B), p(B, U), p(U, Y).
+		p(X, Y) :- e(X, Y).
+		p(X, Y) :- e(X, W), p(W, Y).
+	`
+	p := parser.MustParseProgram(src)
+	m, err := FromQuery(p, parser.MustParseAtom("r(1, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := adorn.Adorn(p, parser.MustParseAtom("r(1, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := TransformSupplementary(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := func() *engine.DB {
+		db := engine.NewDB()
+		for i := 0; i < 30; i++ {
+			db.MustInsert("pre", db.Store.Int(1), db.Store.Int(i))
+			db.MustInsert("pre2", db.Store.Int(i), db.Store.Int(i+100))
+			db.MustInsert("e", db.Store.Int(i+100), db.Store.Int(i+101))
+		}
+		return db
+	}
+	dbM, dbS := load(), load()
+	rm, err := engine.Eval(m.Program, dbM, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := engine.Eval(sup.Program, dbS, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, _ := engine.AnswerSet(dbM, m.Query)
+	as, _ := engine.AnswerSet(dbS, sup.Query)
+	if len(am) != len(as) {
+		t.Fatalf("answers differ: %d vs %d", len(am), len(as))
+	}
+	t.Logf("inferences: magic=%d supplementary=%d", rm.Stats.Inferences, rs.Stats.Inferences)
+}
+
+func TestSupplementaryPmem(t *testing.T) {
+	res := supFromQuery(t, `
+		pmem(X, [X|T]) :- p(X).
+		pmem(X, [H|T]) :- pmem(X, T).
+	`, "pmem(X, [a, b, c])")
+	db := engine.NewDB()
+	db.MustInsert("p", db.Store.Const("b"))
+	if _, err := engine.Eval(res.Program, db, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	set, _ := engine.AnswerSet(db, res.Query)
+	if len(set) != 1 || !set["(b)"] {
+		t.Errorf("answers = %v", set)
+	}
+}

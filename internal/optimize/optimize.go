@@ -1,0 +1,349 @@
+// Package optimize implements the clean-up optimizations of Section 5 of
+// the paper, applied after factoring a Magic program:
+//
+//	Proposition 5.1  delete a magic literal m_p(t..) when bp(t..) with the
+//	                 same arguments is also in the body (bp ⊆ m_p);
+//	Proposition 5.2  delete an existential bp literal (all of its variables
+//	                 occur nowhere else in the rule — the paper's bp(_))
+//	                 when an fp literal is present, and symmetrically;
+//	Proposition 5.3  delete bp(c..) where c.. are the query's bound
+//	                 constants, when an fp literal is present;
+//	Proposition 5.4  delete a rule whose head literal appears in its body,
+//	                 and rules unreachable from the query predicate;
+//	Proposition 5.5  anonymous variables are implicit: "occurs nowhere
+//	                 else" plays the role of the underscore;
+//	plus rule deletion under uniform equivalence [13], via the canonical-
+//	instance test (freeze the rule's body, evaluate the remaining program,
+//	check the frozen head is derived).
+//
+// Applied to the factored three-rule transitive closure (Fig. 2), these
+// passes reproduce the paper's final four-rule unary program (Example 5.3).
+package optimize
+
+import (
+	"errors"
+	"fmt"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/core"
+	"factorlog/internal/engine"
+)
+
+// Options identifies the special predicates of a factored Magic program.
+// Propositions 5.1-5.3 apply only when the relevant names are set; the
+// generic passes (5.4, uniform equivalence) always apply.
+type Options struct {
+	// BoundPred and FreePred are the bp/fp halves of the factored
+	// predicate ("" disables Propositions 5.1-5.3).
+	BoundPred string
+	FreePred  string
+	// MagicPred is the magic predicate m_p_a ("" disables Prop. 5.1).
+	MagicPred string
+	// QueryPred is the answer predicate; reachability is computed from it.
+	QueryPred string
+	// SeedArgs are the query's bound constants (for Prop. 5.3).
+	SeedArgs []ast.Term
+	// MaxUniformFacts bounds each uniform-equivalence evaluation
+	// (default 50000).
+	MaxUniformFacts int
+	// DisableUniform turns off uniform-equivalence rule deletion.
+	DisableUniform bool
+	// ReverseUniform scans rules last-to-first when testing uniform
+	// redundancy. Section 7.4 of the paper asks whether deletion order can
+	// change the final program; flipping the scan order probes that.
+	ReverseUniform bool
+}
+
+// ForFactored derives Options from a core.FactorResult.
+func ForFactored(fr *core.FactorResult, queryPred string, seedArgs []ast.Term) Options {
+	return Options{
+		BoundPred: fr.Split.LeftName,
+		FreePred:  fr.Split.RightName,
+		MagicPred: ast.MagicName(fr.Split.Pred),
+		QueryPred: queryPred,
+		SeedArgs:  seedArgs,
+	}
+}
+
+// Result is the optimized program plus a human-readable trace of the steps
+// applied, in order.
+type Result struct {
+	Program *ast.Program
+	Trace   []string
+}
+
+// Optimize applies all passes to a fixpoint. The input program is not
+// modified.
+func Optimize(p *ast.Program, opts Options) (*Result, error) {
+	if opts.MaxUniformFacts == 0 {
+		opts.MaxUniformFacts = 50_000
+	}
+	cur := p.Clone()
+	res := &Result{}
+	for {
+		changed, err := onePass(cur, opts, res)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			break
+		}
+	}
+	res.Program = cur
+	return res, nil
+}
+
+// onePass applies each pass once; it reports whether anything changed.
+func onePass(p *ast.Program, opts Options, res *Result) (bool, error) {
+	changed := false
+	step := func(format string, args ...any) {
+		res.Trace = append(res.Trace, fmt.Sprintf(format, args...))
+		changed = true
+	}
+
+	// Duplicate body literals are redundant under set semantics (the
+	// factoring transformation can duplicate the bp literal when a rule
+	// has several left-linear occurrences).
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		seen := map[string]bool{}
+		for j := 0; j < len(r.Body); j++ {
+			k := r.Body[j].String()
+			if seen[k] {
+				step("delete duplicate literal %s: %s", r.Body[j], r)
+				r.Body = append(r.Body[:j], r.Body[j+1:]...)
+				j--
+				continue
+			}
+			seen[k] = true
+		}
+	}
+
+	// Proposition 5.4a: head literal in body.
+	for i := 0; i < len(p.Rules); i++ {
+		if atomInBody(p.Rules[i].Head, p.Rules[i].Body) {
+			step("delete rule (head in body): %s", p.Rules[i])
+			p.Rules = append(p.Rules[:i], p.Rules[i+1:]...)
+			i--
+		}
+	}
+
+	// Proposition 5.1: delete m_p(t..) when bp(t..) present.
+	if opts.MagicPred != "" && opts.BoundPred != "" {
+		for i := range p.Rules {
+			r := &p.Rules[i]
+			for j := 0; j < len(r.Body); j++ {
+				if r.Body[j].Pred != opts.MagicPred {
+					continue
+				}
+				twin := ast.Atom{Pred: opts.BoundPred, Args: r.Body[j].Args}
+				if atomInBody(twin, r.Body) {
+					step("delete %s (Prop 5.1, bp present): %s", r.Body[j], r)
+					r.Body = append(r.Body[:j], r.Body[j+1:]...)
+					j--
+				}
+			}
+		}
+	}
+
+	// Propositions 5.2/5.3: delete existential or seed-constant bp/fp
+	// literals when the twin side is present.
+	if opts.BoundPred != "" && opts.FreePred != "" {
+		for i := range p.Rules {
+			r := &p.Rules[i]
+			for j := 0; j < len(r.Body); j++ {
+				lit := r.Body[j]
+				var twinPred string
+				switch lit.Pred {
+				case opts.BoundPred:
+					twinPred = opts.FreePred
+				case opts.FreePred:
+					twinPred = opts.BoundPred
+				default:
+					continue
+				}
+				if !bodyHasPred(r.Body, twinPred) {
+					continue
+				}
+				if existentialIn(lit, *r, j) {
+					step("delete %s (Prop 5.2, existential, twin present): %s", lit, r)
+					r.Body = append(r.Body[:j], r.Body[j+1:]...)
+					j--
+					continue
+				}
+				if lit.Pred == opts.BoundPred && len(opts.SeedArgs) == len(lit.Args) && argsEqual(lit.Args, opts.SeedArgs) {
+					step("delete %s (Prop 5.3, query constants, fp present): %s", lit, r)
+					r.Body = append(r.Body[:j], r.Body[j+1:]...)
+					j--
+				}
+			}
+		}
+	}
+
+	// Proposition 5.4b: unreachable rules.
+	if opts.QueryPred != "" {
+		reach := p.ReachablePreds(opts.QueryPred)
+		for i := 0; i < len(p.Rules); i++ {
+			if !reach[p.Rules[i].Head.Pred] {
+				step("delete rule (unreachable from %s): %s", opts.QueryPred, p.Rules[i])
+				p.Rules = append(p.Rules[:i], p.Rules[i+1:]...)
+				i--
+			}
+		}
+	}
+
+	// Uniform-equivalence rule deletion.
+	if !opts.DisableUniform {
+		if opts.ReverseUniform {
+			for i := len(p.Rules) - 1; i >= 0; i-- {
+				redundant, err := uniformlyRedundant(p, i, opts.MaxUniformFacts)
+				if err != nil {
+					return false, err
+				}
+				if redundant {
+					step("delete rule (uniform equivalence, reverse scan): %s", p.Rules[i])
+					p.Rules = append(p.Rules[:i], p.Rules[i+1:]...)
+				}
+			}
+		} else {
+			for i := 0; i < len(p.Rules); i++ {
+				redundant, err := uniformlyRedundant(p, i, opts.MaxUniformFacts)
+				if err != nil {
+					return false, err
+				}
+				if redundant {
+					step("delete rule (uniform equivalence): %s", p.Rules[i])
+					p.Rules = append(p.Rules[:i], p.Rules[i+1:]...)
+					i--
+				}
+			}
+		}
+	}
+
+	return changed, nil
+}
+
+func atomInBody(a ast.Atom, body []ast.Atom) bool {
+	for _, b := range body {
+		if a.Equal(b) {
+			return true
+		}
+	}
+	return false
+}
+
+func bodyHasPred(body []ast.Atom, pred string) bool {
+	for _, b := range body {
+		if b.Pred == pred {
+			return true
+		}
+	}
+	return false
+}
+
+func argsEqual(a, b []ast.Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// existentialIn reports whether every variable of body literal j occurs
+// nowhere else in the rule — i.e. the literal could be written with
+// anonymous variables only (Proposition 5.5's underscore form). Literals
+// with constants are not existential.
+func existentialIn(lit ast.Atom, r ast.Rule, j int) bool {
+	for _, t := range lit.Args {
+		if !t.IsVar() {
+			return false
+		}
+	}
+	for _, v := range lit.Vars() {
+		if r.Head.HasVar(v) {
+			return false
+		}
+		for k, b := range r.Body {
+			if k != j && b.HasVar(v) {
+				return false
+			}
+		}
+		// Repeated variable inside the literal itself is a join constraint.
+		n := 0
+		for _, t := range lit.Args {
+			if t.IsVar() && t.Functor == v {
+				n++
+			}
+		}
+		if n > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// uniformlyRedundant implements Sagiv's canonical-instance test: rule i is
+// deletable under uniform equivalence iff evaluating P minus the rule on
+// the frozen body of the rule derives the frozen head.
+func uniformlyRedundant(p *ast.Program, i int, maxFacts int) (bool, error) {
+	r := p.Rules[i]
+	if r.IsFact() {
+		return false, nil // facts are never derivable from an empty instance
+	}
+	rest := &ast.Program{}
+	for j, rr := range p.Rules {
+		if j != i {
+			rest.Add(rr)
+		}
+	}
+	// Freeze the rule's variables.
+	frozen := ast.Subst{}
+	for k, v := range r.Vars() {
+		frozen[v] = ast.C(fmt.Sprintf("\x01uniq%d", k))
+	}
+	db := engine.NewDB()
+	for _, b := range r.Body {
+		if err := insertFrozen(db, frozen.ApplyAtom(b)); err != nil {
+			return false, err
+		}
+	}
+	if _, err := engine.Eval(rest, db, engine.Options{MaxFacts: maxFacts}); err != nil {
+		// A budget blow-up means "cannot show redundant", not failure.
+		if errors.Is(err, engine.ErrBudget) {
+			return false, nil
+		}
+		return false, err
+	}
+	head := frozen.ApplyAtom(r.Head)
+	tuple, err := atomTuple(db, head)
+	if err != nil {
+		return false, err
+	}
+	rel := db.Lookup(head.Pred)
+	return rel != nil && rel.Contains(tuple), nil
+}
+
+func insertFrozen(db *engine.DB, a ast.Atom) error {
+	tuple, err := atomTuple(db, a)
+	if err != nil {
+		return err
+	}
+	_, err = db.Insert(a.Pred, tuple...)
+	return err
+}
+
+func atomTuple(db *engine.DB, a ast.Atom) ([]engine.Val, error) {
+	tuple := make([]engine.Val, len(a.Args))
+	for i, t := range a.Args {
+		v, err := db.Store.FromAST(t)
+		if err != nil {
+			return nil, fmt.Errorf("atom %s not ground after freezing: %w", a, err)
+		}
+		tuple[i] = v
+	}
+	return tuple, nil
+}

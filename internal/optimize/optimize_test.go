@@ -1,0 +1,406 @@
+package optimize
+
+import (
+	"strings"
+	"testing"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/core"
+	"factorlog/internal/engine"
+	"factorlog/internal/magic"
+	"factorlog/internal/parser"
+)
+
+// factored builds the factored Magic program for a source program + query.
+func factored(t *testing.T, src, query string) (*core.FactorResult, *magic.Result) {
+	t.Helper()
+	p := parser.MustParseProgram(src)
+	m, err := magic.FromQuery(p, parser.MustParseAtom(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := core.FactorMagic(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr, m
+}
+
+// TestExample53FinalProgramGolden: the full pipeline on the three-rule
+// transitive closure ends at the paper's four-rule unary program.
+func TestExample53FinalProgramGolden(t *testing.T) {
+	fr, m := factored(t, `
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`, "t(5, Y)")
+	res, err := Optimize(fr.Program, ForFactored(fr, magic.QueryPred, m.Seed.Head.Args))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := parser.MustParseProgram(`
+		m_t_bf(W) :- ft(W).
+		m_t_bf(5).
+		ft(Y) :- m_t_bf(X), e(X, Y).
+		query(Y) :- ft(Y).
+	`)
+	if res.Program.Canonical() != want.Canonical() {
+		t.Errorf("optimized program:\n%s\nwant:\n%s\ntrace:\n%s",
+			res.Program, want, strings.Join(res.Trace, "\n"))
+	}
+}
+
+// TestExample46FinalProgramGolden: the pmem pipeline ends at the paper's
+// linear-time list-filter program.
+func TestExample46FinalProgramGolden(t *testing.T) {
+	fr, m := factored(t, `
+		pmem(X, [X|T]) :- p(X).
+		pmem(X, [H|T]) :- pmem(X, T).
+	`, "pmem(X, [x1, x2, x3])")
+	res, err := Optimize(fr.Program, ForFactored(fr, magic.QueryPred, m.Seed.Head.Args))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := parser.MustParseProgram(`
+		m_pmem_fb([x1, x2, x3]).
+		m_pmem_fb(T) :- m_pmem_fb([H|T]).
+		fpmem(X) :- m_pmem_fb([X|T]), p(X).
+		query(X) :- fpmem(X).
+	`)
+	if res.Program.Canonical() != want.Canonical() {
+		t.Errorf("optimized pmem:\n%s\nwant:\n%s\ntrace:\n%s",
+			res.Program, want, strings.Join(res.Trace, "\n"))
+	}
+}
+
+// TestExample11Golden: the unary program promised in the introduction.
+func TestExample11Golden(t *testing.T) {
+	fr, m := factored(t, `
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`, "t(5, Y)")
+	res, err := Optimize(fr.Program, ForFactored(fr, magic.QueryPred, m.Seed.Head.Args))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every surviving IDB predicate is unary.
+	arities, err := res.Program.PredArities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pred, ar := range arities {
+		if res.Program.IsIDB(pred) && ar > 1 {
+			t.Errorf("predicate %s has arity %d after optimization", pred, ar)
+		}
+	}
+}
+
+// TestOptimizedEquivalence: the optimized program computes the same query
+// answers as the original on assorted EDBs.
+func TestOptimizedEquivalence(t *testing.T) {
+	orig := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	fr, m := factored(t, `
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`, "t(1, Y)")
+	res, err := Optimize(fr.Program, ForFactored(fr, magic.QueryPred, m.Seed.Head.Args))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edbs := [][][2]int{
+		{{1, 2}, {2, 3}, {3, 4}},
+		{{1, 1}},
+		{{2, 3}},
+		{{1, 2}, {2, 1}, {1, 3}},
+		{},
+	}
+	for i, edges := range edbs {
+		load := func() *engine.DB {
+			db := engine.NewDB()
+			for _, e := range edges {
+				db.MustInsert("e", db.Store.Int(e[0]), db.Store.Int(e[1]))
+			}
+			return db
+		}
+		dbO := load()
+		if _, err := engine.Eval(orig, dbO, engine.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		want, _ := engine.AnswerSet(dbO, parser.MustParseAtom("t(1, Y)"))
+
+		dbF := load()
+		if _, err := engine.Eval(res.Program, dbF, engine.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := engine.AnswerSet(dbF, parser.MustParseAtom("query(Y)"))
+		if len(got) != len(want) {
+			t.Errorf("edb %d: %d answers vs %d\noptimized:\n%s", i, len(got), len(want), res.Program)
+		}
+	}
+}
+
+// TestExample43OptimizedGolden: the optimized factored program the paper
+// derives in Example 4.3 ("Factoring this program and applying further
+// transformations described in detail in Section 5 yields ...").
+func TestExample43OptimizedGolden(t *testing.T) {
+	p := parser.MustParseProgram(`
+		p(X, Y) :- l1(X), p(X, U), c1(U, V), p(V, Y), r1(Y).
+		p(X, Y) :- l2(X), p(X, U), c2(U, V), p(V, Y), r2(Y).
+		p(X, Y) :- f(X, V), p(V, Y), r3(Y).
+		p(X, Y) :- e(X, Y).
+	`)
+	m, err := magic.FromQuery(p, parser.MustParseAtom("p(5, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The class certificate needs the EDB constraints; the syntactic
+	// transformation is the same, so force it as the paper does.
+	fr, err := core.ForceFactorMagic(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(fr.Program, ForFactored(fr, magic.QueryPred, m.Seed.Head.Args))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := parser.MustParseProgram(`
+		m_p_bf(V) :- bp(X), l1(X), fp(U), c1(U, V).
+		m_p_bf(V) :- bp(X), l2(X), fp(U), c2(U, V).
+		m_p_bf(V) :- m_p_bf(X), f(X, V).
+		m_p_bf(5).
+		bp(X) :- m_p_bf(X), f(X, V), bp(V), fp(Y), r3(Y).
+		bp(X) :- m_p_bf(X), e(X, Y).
+		fp(Y) :- m_p_bf(X), e(X, Y).
+		query(Y) :- fp(Y).
+	`)
+	if res.Program.CanonicalModBodyOrder() != want.CanonicalModBodyOrder() {
+		t.Errorf("Example 4.3 optimized:\n%s\nwant:\n%s\ntrace:\n%s",
+			res.Program, want, strings.Join(res.Trace, "\n"))
+	}
+}
+
+// TestExample44OptimizedGolden: the optimized symmetric program of
+// Example 4.4.
+func TestExample44OptimizedGolden(t *testing.T) {
+	p := parser.MustParseProgram(`
+		p(X, Y) :- l1(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r1(Y).
+		p(X, Y) :- l2(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r2(Y).
+		p(X, Y) :- e(X, Y).
+	`)
+	m, err := magic.FromQuery(p, parser.MustParseAtom("p(5, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := core.ForceFactorMagic(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(fr.Program, ForFactored(fr, magic.QueryPred, m.Seed.Head.Args))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := parser.MustParseProgram(`
+		m_p_bf(W) :- bp(X), l1(X), fp(U), fp(V), c(U, V, W).
+		m_p_bf(W) :- bp(X), l2(X), fp(U), fp(V), c(U, V, W).
+		m_p_bf(5).
+		bp(X) :- m_p_bf(X), e(X, Y).
+		fp(Y) :- m_p_bf(X), e(X, Y).
+		query(Y) :- fp(Y).
+	`)
+	if res.Program.CanonicalModBodyOrder() != want.CanonicalModBodyOrder() {
+		t.Errorf("Example 4.4 optimized:\n%s\nwant:\n%s\ntrace:\n%s",
+			res.Program, want, strings.Join(res.Trace, "\n"))
+	}
+}
+
+func TestDuplicateLiteralDedup(t *testing.T) {
+	p := parser.MustParseProgram(`h(X) :- a(X), a(X), b(X).`)
+	res, err := Optimize(p, Options{QueryPred: "h"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.Rules[0].Body) != 2 {
+		t.Errorf("duplicate literal survived:\n%s", res.Program)
+	}
+}
+
+func TestHeadInBodyDeletion(t *testing.T) {
+	p := parser.MustParseProgram(`
+		a(X) :- a(X), b(X).
+		a(X) :- b(X).
+	`)
+	res, err := Optimize(p, Options{QueryPred: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.Rules) != 1 {
+		t.Errorf("rules = %d:\n%s", len(res.Program.Rules), res.Program)
+	}
+}
+
+func TestUnreachableDeletion(t *testing.T) {
+	p := parser.MustParseProgram(`
+		query(X) :- a(X).
+		a(X) :- e(X).
+		orphan(X) :- e(X).
+	`)
+	res, err := Optimize(p, Options{QueryPred: "query"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Program.Rules {
+		if r.Head.Pred == "orphan" {
+			t.Error("orphan rule not deleted")
+		}
+	}
+}
+
+func TestUniformEquivalenceDeletion(t *testing.T) {
+	// The classic redundant-rule case: the 2-step rule is derivable from
+	// the 1-step rule applied twice.
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), e(W, V), t(V, Y).
+	`)
+	res, err := Optimize(p, Options{QueryPred: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.Rules) != 2 {
+		t.Errorf("redundant rule not deleted:\n%s", res.Program)
+	}
+	// The remaining two rules are not mutually derivable.
+	for _, r := range res.Program.Rules {
+		if len(r.Body) == 3 {
+			t.Errorf("wrong rule deleted:\n%s", res.Program)
+		}
+	}
+}
+
+func TestUniformKeepsNonRedundant(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- f(X, Y).
+	`)
+	res, err := Optimize(p, Options{QueryPred: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.Rules) != 2 {
+		t.Errorf("non-redundant rule deleted:\n%s", res.Program)
+	}
+}
+
+func TestDisableUniform(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), e(W, V), t(V, Y).
+	`)
+	res, err := Optimize(p, Options{QueryPred: "t", DisableUniform: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.Rules) != 3 {
+		t.Errorf("uniform pass ran while disabled:\n%s", res.Program)
+	}
+}
+
+func TestFactsNeverDeleted(t *testing.T) {
+	p := parser.MustParseProgram(`
+		m(5).
+		m(W) :- m(X), e(X, W).
+	`)
+	res, err := Optimize(p, Options{QueryPred: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res.Program.Rules {
+		if r.IsFact() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("seed fact deleted")
+	}
+}
+
+func TestExistentialDetection(t *testing.T) {
+	r := parser.MustParseProgram(`h(X) :- bp(W), fp(X).`).Rules[0]
+	if !existentialIn(r.Body[0], r, 0) {
+		t.Error("bp(W) should be existential")
+	}
+	if existentialIn(r.Body[1], r, 1) {
+		t.Error("fp(X) exports X to the head; not existential")
+	}
+	// Repeated variable inside the literal is a join constraint.
+	r2 := parser.MustParseProgram(`h(X) :- bp(W, W), fp(X).`).Rules[0]
+	if existentialIn(r2.Body[0], r2, 0) {
+		t.Error("bp(W,W) is a constraint, not existential")
+	}
+	// Constants are not existential.
+	r3 := parser.MustParseProgram(`h(X) :- bp(5), fp(X).`).Rules[0]
+	if existentialIn(r3.Body[0], r3, 0) {
+		t.Error("bp(5) is not existential")
+	}
+}
+
+func TestTraceMentionsSteps(t *testing.T) {
+	fr, m := factored(t, `
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`, "t(5, Y)")
+	res, err := Optimize(fr.Program, ForFactored(fr, magic.QueryPred, m.Seed.Head.Args))
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.Trace, "\n")
+	for _, frag := range []string{"head in body", "Prop 5.1", "Prop 5.2", "Prop 5.3", "unreachable", "uniform equivalence"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("trace missing %q:\n%s", frag, joined)
+		}
+	}
+}
+
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	p := parser.MustParseProgram(`
+		a(X) :- a(X), b(X).
+		a(X) :- b(X).
+	`)
+	before := p.String()
+	if _, err := Optimize(p, Options{QueryPred: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != before {
+		t.Error("input program mutated")
+	}
+}
+
+func TestSeedArgsMatchingIsExact(t *testing.T) {
+	// bp(6) with seed 5 must not be deleted by Prop 5.3.
+	p := parser.MustParseProgram(`query(Y) :- bp(6), fp(Y).`)
+	res, err := Optimize(p, Options{
+		BoundPred: "bp", FreePred: "fp", QueryPred: "query",
+		SeedArgs: []ast.Term{ast.C("5")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.Rules[0].Body) != 2 {
+		t.Errorf("bp(6) wrongly deleted:\n%s", res.Program)
+	}
+}

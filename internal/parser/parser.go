@@ -1,0 +1,338 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"factorlog/internal/ast"
+)
+
+// Unit is the result of parsing one source text: the IDB rules, the ground
+// EDB facts, and any queries, in source order.
+type Unit struct {
+	Rules   []ast.Rule
+	Facts   []ast.Atom
+	Queries []ast.Atom
+}
+
+// Program wraps the parsed rules in an ast.Program.
+func (u *Unit) Program() *ast.Program { return ast.NewProgram(u.Rules...) }
+
+// Parse parses a complete source text.
+//
+// Bodyless clauses with ground heads become Facts; bodyless clauses with
+// variables are an error (unsafe facts denote infinite relations). Clauses
+// of the form `?- atom.` become Queries.
+func Parse(src string) (*Unit, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.prime(); err != nil {
+		return nil, err
+	}
+	u := &Unit{}
+	for p.tok.kind != tokEOF {
+		if p.tok.kind == tokQuery {
+			if err := p.consume(tokQuery); err != nil {
+				return nil, err
+			}
+			a, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.consume(tokDot); err != nil {
+				return nil, err
+			}
+			u.Queries = append(u.Queries, a)
+			continue
+		}
+		r, err := p.clause()
+		if err != nil {
+			return nil, err
+		}
+		if r.IsFact() && r.Head.Ground() {
+			u.Facts = append(u.Facts, r.Head)
+		} else {
+			// Non-ground bodyless clauses (Prolog-style unit clauses such as
+			// member(X,[X|T]).) are kept as rules; the bottom-up engine
+			// rejects them as unsafe, the top-down resolver handles them.
+			u.Rules = append(u.Rules, r)
+		}
+	}
+	return u, nil
+}
+
+// ParseProgram parses a source text containing rules only (no queries).
+// Ground bodyless clauses are kept as bodyless rules — magic seeds like
+// `m_t_bf(5).` are ordinary IDB rules. Queries are an error.
+func ParseProgram(src string) (*ast.Program, error) {
+	u, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(u.Queries) > 0 {
+		return nil, fmt.Errorf("unexpected query %s in program-only source", u.Queries[0])
+	}
+	p := u.Program()
+	// Re-interleave facts as rules. Source order between rules and facts is
+	// not preserved exactly (facts appended), which is semantically
+	// irrelevant for a rule set.
+	for _, f := range u.Facts {
+		p.Add(ast.Fact(f))
+	}
+	return p, nil
+}
+
+// MustParseProgram is ParseProgram, panicking on error; for tests and
+// package-level example data.
+func MustParseProgram(src string) *ast.Program {
+	p, err := ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseAtom parses a single atom such as "t(5, Y)".
+func ParseAtom(src string) (ast.Atom, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.prime(); err != nil {
+		return ast.Atom{}, err
+	}
+	a, err := p.atom()
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return ast.Atom{}, err
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return ast.Atom{}, p.errorAt("trailing input after atom: %s", p.tok)
+	}
+	return a, nil
+}
+
+// MustParseAtom is ParseAtom, panicking on error.
+func MustParseAtom(src string) ast.Atom {
+	a, err := ParseAtom(src)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ParseTerm parses a single term such as "[a,b|T]" or "f(X, 3)".
+func ParseTerm(src string) (ast.Term, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.prime(); err != nil {
+		return ast.Term{}, err
+	}
+	t, err := p.term()
+	if err != nil {
+		return ast.Term{}, err
+	}
+	if p.tok.kind != tokEOF {
+		return ast.Term{}, p.errorAt("trailing input after term: %s", p.tok)
+	}
+	return t, nil
+}
+
+// MustParseTerm is ParseTerm, panicking on error.
+func MustParseTerm(src string) ast.Term {
+	t, err := ParseTerm(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type parser struct {
+	lex   *lexer
+	tok   token
+	anonN int
+}
+
+func (p *parser) prime() error { return p.advance() }
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorAt(format string, args ...any) error {
+	return &SyntaxError{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) consume(k tokenKind) error {
+	if p.tok.kind != k {
+		return p.errorAt("expected %s, found %s", k, p.tok)
+	}
+	return p.advance()
+}
+
+// clause parses: head [:- body] '.'
+func (p *parser) clause() (ast.Rule, error) {
+	head, err := p.atom()
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	r := ast.Rule{Head: head}
+	if p.tok.kind == tokImplies {
+		if err := p.advance(); err != nil {
+			return ast.Rule{}, err
+		}
+		for {
+			a, err := p.atom()
+			if err != nil {
+				return ast.Rule{}, err
+			}
+			r.Body = append(r.Body, a)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return ast.Rule{}, err
+			}
+		}
+	}
+	if err := p.consume(tokDot); err != nil {
+		return ast.Rule{}, err
+	}
+	return r, nil
+}
+
+// atom parses: name [ '(' term {',' term} ')' ]
+func (p *parser) atom() (ast.Atom, error) {
+	if p.tok.kind != tokAtom {
+		return ast.Atom{}, p.errorAt("expected predicate name, found %s", p.tok)
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	a := ast.Atom{Pred: name}
+	if p.tok.kind != tokLParen {
+		return a, nil // zero-arity predicate
+	}
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return ast.Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.consume(tokRParen); err != nil {
+		return ast.Atom{}, err
+	}
+	return a, nil
+}
+
+// term parses a variable, constant, compound term, or list.
+func (p *parser) term() (ast.Term, error) {
+	switch p.tok.kind {
+	case tokVar:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		if name == "_" {
+			p.anonN++
+			name = fmt.Sprintf("_G%d", p.anonN)
+		}
+		return ast.V(name), nil
+	case tokAtom:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		if p.tok.kind != tokLParen {
+			return ast.C(name), nil
+		}
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		var args []ast.Term
+		for {
+			t, err := p.term()
+			if err != nil {
+				return ast.Term{}, err
+			}
+			args = append(args, t)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return ast.Term{}, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.consume(tokRParen); err != nil {
+			return ast.Term{}, err
+		}
+		return ast.Fn(name, args...), nil
+	case tokLBracket:
+		return p.list()
+	default:
+		return ast.Term{}, p.errorAt("expected term, found %s", p.tok)
+	}
+}
+
+// list parses '[' [term {',' term} ['|' term]] ']'.
+func (p *parser) list() (ast.Term, error) {
+	if err := p.consume(tokLBracket); err != nil {
+		return ast.Term{}, err
+	}
+	if p.tok.kind == tokRBracket {
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		return ast.Nil(), nil
+	}
+	var elems []ast.Term
+	for {
+		t, err := p.term()
+		if err != nil {
+			return ast.Term{}, err
+		}
+		elems = append(elems, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return ast.Term{}, err
+			}
+			continue
+		}
+		break
+	}
+	tail := ast.Nil()
+	if p.tok.kind == tokBar {
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		t, err := p.term()
+		if err != nil {
+			return ast.Term{}, err
+		}
+		tail = t
+	}
+	if err := p.consume(tokRBracket); err != nil {
+		return ast.Term{}, err
+	}
+	return ast.ListTail(tail, elems...), nil
+}
+
+// IsAnonymousVar reports whether a variable name was generated for '_'.
+func IsAnonymousVar(name string) bool { return strings.HasPrefix(name, "_G") }

@@ -1,0 +1,282 @@
+package parser
+
+import (
+	"testing"
+
+	"factorlog/internal/ast"
+)
+
+func TestParseTransitiveClosure(t *testing.T) {
+	src := `
+		% three-rule transitive closure (Example 1.1)
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+		?- t(5, Y).
+	`
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Rules) != 4 {
+		t.Fatalf("rules = %d, want 4", len(u.Rules))
+	}
+	if len(u.Queries) != 1 {
+		t.Fatalf("queries = %d, want 1", len(u.Queries))
+	}
+	q := u.Queries[0]
+	if q.Pred != "t" || !q.Args[0].Equal(ast.C("5")) || !q.Args[1].Equal(ast.V("Y")) {
+		t.Errorf("query = %s", q)
+	}
+	if got := u.Rules[0].String(); got != "t(X,Y) :- t(X,W), t(W,Y)." {
+		t.Errorf("rule 0 = %q", got)
+	}
+}
+
+func TestParseFacts(t *testing.T) {
+	u, err := Parse(`e(1, 2). e(2, 3). p(paris). q.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Facts) != 4 || len(u.Rules) != 0 {
+		t.Fatalf("facts=%d rules=%d", len(u.Facts), len(u.Rules))
+	}
+	if u.Facts[2].Pred != "p" || !u.Facts[2].Args[0].Equal(ast.C("paris")) {
+		t.Errorf("fact = %s", u.Facts[2])
+	}
+	if u.Facts[3].Pred != "q" || u.Facts[3].Arity() != 0 {
+		t.Errorf("zero-arity fact = %s", u.Facts[3])
+	}
+}
+
+func TestParseNonGroundUnitClauseIsRule(t *testing.T) {
+	u, err := Parse(`member(X, [X|T]).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Rules) != 1 || len(u.Facts) != 0 {
+		t.Errorf("non-ground unit clause should be a rule: rules=%d facts=%d",
+			len(u.Rules), len(u.Facts))
+	}
+	if !u.Rules[0].IsFact() {
+		t.Error("unit clause should have empty body")
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	cases := map[string]string{
+		"[]":          "[]",
+		"[a]":         "[a]",
+		"[a,b,c]":     "[a,b,c]",
+		"[H|T]":       "[H|T]",
+		"[a,b|T]":     "[a,b|T]",
+		"[[a],[b,c]]": "[[a],[b,c]]",
+		"[f(X)|T]":    "[f(X)|T]",
+	}
+	for src, want := range cases {
+		tm, err := ParseTerm(src)
+		if err != nil {
+			t.Errorf("ParseTerm(%q): %v", src, err)
+			continue
+		}
+		if got := tm.String(); got != want {
+			t.Errorf("ParseTerm(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestParsePmem(t *testing.T) {
+	src := `
+		pmem(X, [X|T]) :- p(X).
+		pmem(X, [H|T]) :- pmem(X, T).
+		?- pmem(X, [x1, x2, x3]).
+	`
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Rules) != 2 || len(u.Queries) != 1 {
+		t.Fatalf("rules=%d queries=%d", len(u.Rules), len(u.Queries))
+	}
+	if !u.Rules[0].Head.Args[1].IsCons() {
+		t.Errorf("head arg not a list: %s", u.Rules[0].Head)
+	}
+	want := ast.List(ast.C("x1"), ast.C("x2"), ast.C("x3"))
+	if !u.Queries[0].Args[1].Equal(want) {
+		t.Errorf("query list = %s", u.Queries[0].Args[1])
+	}
+}
+
+func TestParseAnonymousVars(t *testing.T) {
+	p, err := ParseProgram(`q(X) :- e(X, _), f(_, X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rules[0]
+	v1 := r.Body[0].Args[1]
+	v2 := r.Body[1].Args[0]
+	if !v1.IsVar() || !v2.IsVar() {
+		t.Fatal("anonymous vars not parsed as vars")
+	}
+	if v1.Functor == v2.Functor {
+		t.Error("distinct '_' occurrences share a name")
+	}
+	if !IsAnonymousVar(v1.Functor) {
+		t.Errorf("not flagged anonymous: %s", v1.Functor)
+	}
+}
+
+func TestParseQuotedAtoms(t *testing.T) {
+	tm, err := ParseTerm(`'hello world'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tm.Equal(ast.C("hello world")) {
+		t.Errorf("quoted atom = %s", tm)
+	}
+	tm, err = ParseTerm(`'it''s'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tm.Equal(ast.C("it's")) {
+		t.Errorf("escaped quote = %s", tm)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	tm, err := ParseTerm(`-42`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tm.Equal(ast.C("-42")) {
+		t.Errorf("negative = %s", tm)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+		% line comment
+		/* block
+		   comment */
+		t(X) :- e(X). % trailing
+	`
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Rules) != 1 {
+		t.Fatalf("rules = %d", len(u.Rules))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`t(X, Y) :- e(X Y).`, // missing comma
+		`t(X, Y) :- .`,       // empty body
+		`t(X, Y)`,            // missing dot
+		`t(X,`,               // truncated
+		`:- e(X).`,           // missing head
+		`t(X) : e(X).`,       // bad operator
+		`? t(X).`,            // bad query operator
+		`'unterminated`,      // unterminated quote
+		`t(-).`,              // dash without digits
+		`t(&).`,              // illegal character
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := Parse("t(X) :- e(X).\nt(Y) :- &.")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if se.Line != 2 {
+		t.Errorf("error line = %d, want 2", se.Line)
+	}
+}
+
+func TestParseProgramFactsBecomeRules(t *testing.T) {
+	p, err := ParseProgram(`m(W) :- m(X), e(X, W). m(5).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2 (seed fact as bodyless rule)", len(p.Rules))
+	}
+	if !p.Rules[1].IsFact() {
+		t.Error("seed should be a bodyless rule")
+	}
+	if _, err := ParseProgram(`?- t(X).`); err == nil {
+		t.Error("ParseProgram should reject queries")
+	}
+}
+
+func TestMustHelpersPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseProgram should panic on bad input")
+		}
+	}()
+	MustParseProgram(`garbage(`)
+}
+
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{
+		"t(X,Y) :- t(X,W), t(W,Y).",
+		"pmem(X,[X|T]) :- p(X).",
+		"q(Y) :- t(5,Y).",
+		"m_t_bf(5).",
+		"sg(X,Y) :- up(X,U), sg(U,V), down(V,Y).",
+	}
+	for _, src := range srcs {
+		u, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		var got string
+		switch {
+		case len(u.Rules) == 1:
+			got = u.Rules[0].String()
+		case len(u.Facts) == 1:
+			got = u.Facts[0].String() + "."
+		}
+		if got != src {
+			t.Errorf("round trip: %q -> %q", src, got)
+		}
+	}
+}
+
+func TestParseAtomHelper(t *testing.T) {
+	a, err := ParseAtom("t(5, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Pred != "t" || a.Arity() != 2 {
+		t.Errorf("atom = %s", a)
+	}
+	// trailing dot tolerated
+	if _, err := ParseAtom("t(5, Y)."); err != nil {
+		t.Errorf("trailing dot: %v", err)
+	}
+	if _, err := ParseAtom("t(5). extra"); err == nil {
+		t.Error("trailing input should error")
+	}
+}
+
+func TestUnitProgram(t *testing.T) {
+	u, err := Parse(`t(X,Y) :- e(X,Y). e(1,2).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := u.Program()
+	if len(p.Rules) != 1 {
+		t.Errorf("program rules = %d", len(p.Rules))
+	}
+}

@@ -1,0 +1,459 @@
+// Package pipeline wires the whole system together: given a program and a
+// query it builds, on demand, the adorned program, the Magic program, the
+// factored program, the Section-5-optimized program, and the Counting
+// program, and evaluates any of them over an EDB with uniform statistics.
+// This is the paper's "two-step approach to optimizing programs" (Section
+// 4.2) as an executable artifact, with every baseline alongside.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"factorlog/internal/adorn"
+	"factorlog/internal/ast"
+	"factorlog/internal/core"
+	"factorlog/internal/counting"
+	"factorlog/internal/engine"
+	"factorlog/internal/magic"
+	"factorlog/internal/optimize"
+	"factorlog/internal/topdown"
+)
+
+// Strategy names an evaluation strategy over the original or a transformed
+// program.
+type Strategy int
+
+const (
+	// Naive: naive bottom-up fixpoint of the original program.
+	Naive Strategy = iota
+	// SemiNaive: semi-naive bottom-up fixpoint of the original program.
+	SemiNaive
+	// Magic: adorn + Magic Sets, then semi-naive.
+	Magic
+	// Factored: Magic followed by factoring (Theorems 4.1-4.3), then
+	// semi-naive.
+	Factored
+	// FactoredOptimized: Factored followed by the Section 5 clean-up.
+	FactoredOptimized
+	// Counting: the Counting transformation, then semi-naive.
+	Counting
+	// TopDown: SLD resolution on the original program (the Prolog
+	// baseline).
+	TopDown
+	// Tabled: QSQR-style memoizing top-down evaluation — the strategy
+	// Magic Sets simulates bottom-up.
+	Tabled
+	// SupplementaryMagic: Magic Sets with supplementary predicates
+	// (Beeri-Ramakrishnan, the paper's [3]), then semi-naive.
+	SupplementaryMagic
+)
+
+var strategyNames = map[Strategy]string{
+	Naive:              "naive",
+	SemiNaive:          "semi-naive",
+	Magic:              "magic",
+	Factored:           "factored",
+	FactoredOptimized:  "factored+opt",
+	Counting:           "counting",
+	TopDown:            "top-down",
+	Tabled:             "tabled",
+	SupplementaryMagic: "sup-magic",
+}
+
+func (s Strategy) String() string {
+	if n, ok := strategyNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// AllStrategies lists every strategy in presentation order.
+func AllStrategies() []Strategy {
+	return []Strategy{Naive, SemiNaive, TopDown, Tabled, Magic, SupplementaryMagic,
+		Factored, FactoredOptimized, Counting}
+}
+
+// Pipeline prepares and caches the transformations of one (program, query)
+// pair.
+type Pipeline struct {
+	Program *ast.Program
+	Query   ast.Atom
+	// Constraints are optional full TGDs the EDB satisfies; they widen the
+	// factorable classes (see package cq).
+	Constraints []ast.Rule
+
+	adorned  *adorn.Result
+	magicRes *magic.Result
+	factRes  *core.FactorResult
+	optRes   *optimize.Result
+	cntRes   *counting.Result
+	supRes   *magic.Result
+
+	adornErr, magicErr, factErr, optErr, cntErr, supErr       error
+	adornDone, magicDone, factDone, optDone, cntDone, supDone bool
+}
+
+// New constructs a pipeline.
+func New(p *ast.Program, query ast.Atom) *Pipeline {
+	return &Pipeline{Program: p, Query: query}
+}
+
+// WithConstraints attaches EDB constraints used by the factorability tests.
+func (pl *Pipeline) WithConstraints(tgds []ast.Rule) *Pipeline {
+	pl.Constraints = tgds
+	return pl
+}
+
+// Adorned returns the adorned program, computing it on first use.
+func (pl *Pipeline) Adorned() (*adorn.Result, error) {
+	if !pl.adornDone {
+		pl.adorned, pl.adornErr = adorn.Adorn(pl.Program, pl.Query)
+		pl.adornDone = true
+	}
+	return pl.adorned, pl.adornErr
+}
+
+// MagicProgram returns the Magic Sets result.
+func (pl *Pipeline) MagicProgram() (*magic.Result, error) {
+	if !pl.magicDone {
+		ad, err := pl.Adorned()
+		if err != nil {
+			pl.magicErr = err
+		} else {
+			pl.magicRes, pl.magicErr = magic.Transform(ad)
+		}
+		pl.magicDone = true
+	}
+	return pl.magicRes, pl.magicErr
+}
+
+// FactoredProgram returns the factored Magic program (Theorems 4.1-4.3).
+func (pl *Pipeline) FactoredProgram() (*core.FactorResult, error) {
+	if !pl.factDone {
+		m, err := pl.MagicProgram()
+		if err != nil {
+			pl.factErr = err
+		} else {
+			pl.factRes, pl.factErr = core.FactorMagic(m, pl.Constraints)
+		}
+		pl.factDone = true
+	}
+	return pl.factRes, pl.factErr
+}
+
+// OptimizedProgram returns the factored program after Section 5 clean-up.
+func (pl *Pipeline) OptimizedProgram() (*optimize.Result, error) {
+	if !pl.optDone {
+		fr, err := pl.FactoredProgram()
+		if err != nil {
+			pl.optErr = err
+		} else {
+			m, _ := pl.MagicProgram()
+			pl.optRes, pl.optErr = optimize.Optimize(fr.Program,
+				optimize.ForFactored(fr, magic.QueryPred, m.Seed.Head.Args))
+		}
+		pl.optDone = true
+	}
+	return pl.optRes, pl.optErr
+}
+
+// SupplementaryMagicProgram returns the supplementary-magic result.
+func (pl *Pipeline) SupplementaryMagicProgram() (*magic.Result, error) {
+	if !pl.supDone {
+		ad, err := pl.Adorned()
+		if err != nil {
+			pl.supErr = err
+		} else {
+			pl.supRes, pl.supErr = magic.TransformSupplementary(ad)
+		}
+		pl.supDone = true
+	}
+	return pl.supRes, pl.supErr
+}
+
+// CountingProgram returns the Counting transformation result.
+func (pl *Pipeline) CountingProgram() (*counting.Result, error) {
+	if !pl.cntDone {
+		ad, err := pl.Adorned()
+		if err != nil {
+			pl.cntErr = err
+		} else {
+			pl.cntRes, pl.cntErr = counting.Transform(ad)
+		}
+		pl.cntDone = true
+	}
+	return pl.cntRes, pl.cntErr
+}
+
+// RunResult reports one strategy's outcome over one EDB.
+type RunResult struct {
+	Strategy Strategy
+	// Answers are the query answers projected to the query's free
+	// (non-ground) argument positions, rendered "(v1,..,vk)".
+	Answers map[string]bool
+	// Facts counts facts derived during evaluation (IDB facts; for
+	// TopDown, successful proofs of IDB subgoals).
+	Facts int
+	// Inferences counts rule firings (resolution steps for TopDown).
+	Inferences int
+	// Iterations counts fixpoint rounds (max proof depth for TopDown).
+	Iterations int
+	// MaxIDBArity is the widest IDB predicate of the evaluated program,
+	// counting index fields for Counting — the paper's arity-reduction
+	// metric.
+	MaxIDBArity int
+	// Program is the program that was evaluated.
+	Program *ast.Program
+}
+
+// Run evaluates one strategy over db. The db is mutated (derived relations
+// are added); pass a fresh db per run.
+func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*RunResult, error) {
+	switch s {
+	case Naive, SemiNaive:
+		evalOpts.Strategy = engine.SemiNaive
+		if s == Naive {
+			evalOpts.Strategy = engine.Naive
+		}
+		res, err := engine.Eval(pl.Program, db, evalOpts)
+		if err != nil {
+			return nil, err
+		}
+		answers, err := pl.projectedAnswers(db)
+		if err != nil {
+			return nil, err
+		}
+		return &RunResult{
+			Strategy:    s,
+			Answers:     answers,
+			Facts:       res.Stats.Derived,
+			Inferences:  res.Stats.Inferences,
+			Iterations:  res.Stats.Iterations,
+			MaxIDBArity: maxIDBArity(pl.Program),
+			Program:     pl.Program,
+		}, nil
+
+	case Magic:
+		m, err := pl.MagicProgram()
+		if err != nil {
+			return nil, err
+		}
+		return pl.runTransformed(s, m.Program, m.Query, db, evalOpts)
+
+	case Factored:
+		fr, err := pl.FactoredProgram()
+		if err != nil {
+			return nil, err
+		}
+		return pl.runTransformed(s, fr.Program, fr.Query, db, evalOpts)
+
+	case FactoredOptimized:
+		opt, err := pl.OptimizedProgram()
+		if err != nil {
+			return nil, err
+		}
+		fr, _ := pl.FactoredProgram()
+		return pl.runTransformed(s, opt.Program, fr.Query, db, evalOpts)
+
+	case SupplementaryMagic:
+		sm, err := pl.SupplementaryMagicProgram()
+		if err != nil {
+			return nil, err
+		}
+		return pl.runTransformed(s, sm.Program, sm.Query, db, evalOpts)
+
+	case Counting:
+		c, err := pl.CountingProgram()
+		if err != nil {
+			return nil, err
+		}
+		return pl.runTransformed(s, c.Program, c.Query, db, evalOpts)
+
+	case Tabled:
+		res, err := topdown.SolveTabled(pl.Program, db, pl.Query, topdown.Options{})
+		if err != nil {
+			return nil, err
+		}
+		answers := map[string]bool{}
+		free := pl.freePositions()
+		for _, a := range res.Answers {
+			answers[renderProjection(a.Args, free, func(t ast.Term) string { return t.String() })] = true
+		}
+		return &RunResult{
+			Strategy:    Tabled,
+			Answers:     answers,
+			Facts:       res.Stats.Answers,
+			Inferences:  res.Stats.Steps,
+			Iterations:  res.Stats.Rounds,
+			MaxIDBArity: maxIDBArity(pl.Program),
+			Program:     pl.Program,
+		}, nil
+
+	case TopDown:
+		// Budget tightly: like Prolog, SLD diverges on left recursion (the
+		// first dive of the non-linear transitive closure rule) and on
+		// cyclic data. Substitutions grow with depth, so a deep dive costs
+		// O(depth^2) live map entries — keep the cap moderate. A budget
+		// error makes Compare report the strategy as unavailable.
+		res, err := topdown.Solve(pl.Program, db, pl.Query, topdown.Options{
+			MaxDepth: 1000,
+			MaxSteps: 5_000_000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		answers := map[string]bool{}
+		free := pl.freePositions()
+		for _, a := range res.Answers {
+			answers[renderProjection(a.Args, free, func(t ast.Term) string { return t.String() })] = true
+		}
+		return &RunResult{
+			Strategy:    TopDown,
+			Answers:     answers,
+			Facts:       res.Stats.IDBSuccesses,
+			Inferences:  res.Stats.Steps,
+			Iterations:  res.Stats.MaxDepthSeen,
+			MaxIDBArity: maxIDBArity(pl.Program),
+			Program:     pl.Program,
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("unknown strategy %v", s)
+	}
+}
+
+func (pl *Pipeline) runTransformed(s Strategy, prog *ast.Program, query ast.Atom,
+	db *engine.DB, evalOpts engine.Options) (*RunResult, error) {
+	res, err := engine.Eval(prog, db, evalOpts)
+	if err != nil {
+		return nil, err
+	}
+	set, err := engine.AnswerSet(db, query)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Strategy:    s,
+		Answers:     set,
+		Facts:       res.Stats.Derived,
+		Inferences:  res.Stats.Inferences,
+		Iterations:  res.Stats.Iterations,
+		MaxIDBArity: maxIDBArity(prog),
+		Program:     prog,
+	}, nil
+}
+
+// projectedAnswers projects the original query's matching tuples onto the
+// free positions, matching the transformed strategies' answer shape.
+func (pl *Pipeline) projectedAnswers(db *engine.DB) (map[string]bool, error) {
+	tuples, err := engine.Answers(db, pl.Query)
+	if err != nil {
+		return nil, err
+	}
+	free := pl.freePositions()
+	out := make(map[string]bool, len(tuples))
+	for _, tup := range tuples {
+		out[renderProjection(tup, free, func(v engine.Val) string { return db.Store.String(v) })] = true
+	}
+	return out, nil
+}
+
+func (pl *Pipeline) freePositions() []int {
+	var out []int
+	for i, t := range pl.Query.Args {
+		if !t.Ground() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func renderProjection[T any](args []T, pos []int, show func(T) string) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, p := range pos {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(show(args[p]))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func maxIDBArity(p *ast.Program) int {
+	arities, err := p.PredArities()
+	if err != nil {
+		return 0
+	}
+	max := 0
+	for pred := range p.IDBPreds() {
+		if arities[pred] > max {
+			max = arities[pred]
+		}
+	}
+	return max
+}
+
+// SameAnswers reports whether two runs agree, and a description of the
+// first difference otherwise.
+func SameAnswers(a, b *RunResult) (bool, string) {
+	for k := range a.Answers {
+		if !b.Answers[k] {
+			return false, fmt.Sprintf("%s has %s, %s does not", a.Strategy, k, b.Strategy)
+		}
+	}
+	for k := range b.Answers {
+		if !a.Answers[k] {
+			return false, fmt.Sprintf("%s has %s, %s does not", b.Strategy, k, a.Strategy)
+		}
+	}
+	return true, ""
+}
+
+// Compare runs each strategy on a fresh EDB produced by load and checks
+// that all runs agree on the answers. Strategies whose transformation is
+// unavailable for this program (e.g. Factored on a non-factorable program,
+// Counting on a left-linear one) are skipped and reported in skipped.
+func (pl *Pipeline) Compare(strategies []Strategy, load func() *engine.DB,
+	evalOpts engine.Options) (results []*RunResult, skipped map[Strategy]error, err error) {
+	skipped = map[Strategy]error{}
+	for _, s := range strategies {
+		r, runErr := pl.Run(s, load(), evalOpts)
+		if runErr != nil {
+			skipped[s] = runErr
+			continue
+		}
+		results = append(results, r)
+	}
+	for i := 1; i < len(results); i++ {
+		if ok, diff := SameAnswers(results[0], results[i]); !ok {
+			return results, skipped, fmt.Errorf("strategies disagree: %s", diff)
+		}
+	}
+	return results, skipped, nil
+}
+
+// Table renders results as an aligned text table.
+func Table(results []*RunResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %12s %10s %8s %8s\n",
+		"strategy", "answers", "inferences", "facts", "iters", "arity")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-14s %10d %12d %10d %8d %8d\n",
+			r.Strategy, len(r.Answers), r.Inferences, r.Facts, r.Iterations, r.MaxIDBArity)
+	}
+	return b.String()
+}
+
+// SortedAnswers renders a run's answers sorted, for display.
+func SortedAnswers(r *RunResult) []string {
+	out := make([]string, 0, len(r.Answers))
+	for a := range r.Answers {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,226 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"factorlog/internal/engine"
+	"factorlog/internal/parser"
+	"factorlog/internal/workload"
+)
+
+func tcPipeline() *Pipeline {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	return New(p, parser.MustParseAtom("t(1, Y)"))
+}
+
+func chain(n int) func() *engine.DB {
+	return func() *engine.DB {
+		db := engine.NewDB()
+		workload.Chain(db, "e", n)
+		return db
+	}
+}
+
+func TestCompareAllStrategiesOnTC(t *testing.T) {
+	pl := tcPipeline()
+	// Counting is unavailable (combined rules) and TopDown diverges on the
+	// left-recursive rule, exactly as Prolog would; everything else agrees.
+	results, skipped, err := pl.Compare(AllStrategies(), chain(12), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 2 {
+		t.Errorf("skipped = %v", skipped)
+	}
+	if _, ok := skipped[Counting]; !ok {
+		t.Errorf("expected Counting to be skipped: %v", skipped)
+	}
+	if _, ok := skipped[TopDown]; !ok {
+		t.Errorf("expected TopDown to be skipped (left recursion): %v", skipped)
+	}
+	if len(results) != len(AllStrategies())-2 {
+		t.Errorf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if len(r.Answers) != 11 { // 2..12 reachable from 1
+			t.Errorf("%s: %d answers", r.Strategy, len(r.Answers))
+		}
+	}
+}
+
+func TestArityReduction(t *testing.T) {
+	pl := tcPipeline()
+	magicRun, err := pl.Run(Magic, chain(10)(), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optRun, err := pl.Run(FactoredOptimized, chain(10)(), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if magicRun.MaxIDBArity != 2 {
+		t.Errorf("magic arity = %d", magicRun.MaxIDBArity)
+	}
+	if optRun.MaxIDBArity != 1 {
+		t.Errorf("optimized arity = %d, want 1 (the paper's unary program)", optRun.MaxIDBArity)
+	}
+	// And the fact count drops from quadratic-ish to linear.
+	if optRun.Facts >= magicRun.Facts {
+		t.Errorf("optimized facts %d >= magic facts %d", optRun.Facts, magicRun.Facts)
+	}
+}
+
+func TestFactoredBeatsMagicBeatsSeminaive(t *testing.T) {
+	// Query from mid-chain: magic prunes the lower half, factoring then
+	// collapses the arity. (Queried from node 1, everything is relevant
+	// and magic's guards are pure overhead — see the E1 bench.)
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	pl := New(p, parser.MustParseAtom("t(40, Y)"))
+	load := chain(60)
+	semi, err := pl.Run(SemiNaive, load(), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag, err := pl.Run(Magic, load(), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := pl.Run(FactoredOptimized, load(), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(opt.Facts < mag.Facts && mag.Facts < semi.Facts) {
+		t.Errorf("fact counts: opt=%d mag=%d semi=%d (want strictly decreasing)",
+			opt.Facts, mag.Facts, semi.Facts)
+	}
+	if !(opt.Inferences < semi.Inferences) {
+		t.Errorf("inferences: opt=%d semi=%d", opt.Inferences, semi.Inferences)
+	}
+}
+
+func TestPipelineCaching(t *testing.T) {
+	pl := tcPipeline()
+	m1, err := pl.MagicProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := pl.MagicProgram()
+	if m1 != m2 {
+		t.Error("magic result not cached")
+	}
+	f1, err := pl.FactoredProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := pl.FactoredProgram()
+	if f1 != f2 {
+		t.Error("factored result not cached")
+	}
+}
+
+func TestPipelineNonFactorable(t *testing.T) {
+	p := parser.MustParseProgram(`
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+	`)
+	pl := New(p, parser.MustParseAtom("sg(n, Y)"))
+	load := func() *engine.DB {
+		db := engine.NewDB()
+		workload.BalancedTree(db, 4)
+		return db
+	}
+	results, skipped, err := pl.Compare(AllStrategies(), load, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{Factored, FactoredOptimized, Counting} {
+		if _, ok := skipped[s]; !ok {
+			t.Errorf("%s should be skipped for sg", s)
+		}
+	}
+	// Magic still agrees with semi-naive.
+	if len(results) < 3 {
+		t.Errorf("results = %d", len(results))
+	}
+}
+
+func TestPipelineCountingAvailable(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	pl := New(p, parser.MustParseAtom("t(1, Y)"))
+	results, skipped, err := pl.Compare(AllStrategies(), chain(8), engine.Options{MaxFacts: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Errorf("skipped = %v", skipped)
+	}
+	var cnt *RunResult
+	for _, r := range results {
+		if r.Strategy == Counting {
+			cnt = r
+		}
+	}
+	if cnt == nil {
+		t.Fatal("no counting run")
+	}
+	// Counting's widest IDB predicate carries two extra index arguments.
+	if cnt.MaxIDBArity < 3 {
+		t.Errorf("counting arity = %d", cnt.MaxIDBArity)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	pl := tcPipeline()
+	results, _, err := pl.Compare([]Strategy{SemiNaive, Magic}, chain(6), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := Table(results)
+	if !strings.Contains(tbl, "semi-naive") || !strings.Contains(tbl, "magic") {
+		t.Errorf("table:\n%s", tbl)
+	}
+	ans := SortedAnswers(results[0])
+	if len(ans) != 5 || ans[0] != "(2)" {
+		t.Errorf("answers = %v", ans)
+	}
+}
+
+func TestTopDownProjection(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+	`)
+	pl := New(p, parser.MustParseAtom("t(1, Y)"))
+	r, err := pl.Run(TopDown, chain(5)(), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Answers) != 4 || !r.Answers["(3)"] {
+		t.Errorf("top-down answers = %v", r.Answers)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for _, s := range AllStrategies() {
+		if strings.HasPrefix(s.String(), "Strategy(") {
+			t.Errorf("missing name for %d", s)
+		}
+	}
+	if Strategy(99).String() == "" {
+		t.Error("unknown strategy should render")
+	}
+}

@@ -1,0 +1,387 @@
+// Package separable implements the recursion classes of Section 6 of the
+// paper: shifting and fixed variables (Definitions 6.1, 6.5), separable
+// recursions (Definitions 6.2-6.4, [7]), reducible separable recursions
+// (Definition 6.6), rule self-expansion, and the Eq.-(1) form test for
+// simple one-sided recursions ([6], Theorem 6.2).
+//
+// Theorems 6.2 and 6.3 reduce these classes to selection-pushing programs,
+// so the pipeline for them is: detect the class here, then run the ordinary
+// Magic-then-factor pipeline of packages magic and core.
+//
+// Note on Theorem 6.1: the A/V-graph characterization of one-sided
+// recursions lives in [6] and is not reproduced in the paper's text; we
+// implement the operational characterization the paper actually uses
+// downstream — a recursion is treated as simple one-sided when some
+// self-expansion of its linear rule matches Eq. (1), which is exactly the
+// precondition of Theorem 6.2 (see DESIGN.md, "Substitutions").
+package separable
+
+import (
+	"fmt"
+	"sort"
+
+	"factorlog/internal/ast"
+)
+
+// RuleAnalysis captures the Section-6 structure of one recursive rule.
+type RuleAnalysis struct {
+	// RecOccs are the body indices of recursive-predicate occurrences.
+	RecOccs []int
+	// Shifting lists the shifting variables (Definition 6.1): variables at
+	// different positions in the head and body occurrences of the
+	// recursive predicate.
+	Shifting []string
+	// Fixed lists the fixed variables (Definition 6.5) and FixedPos their
+	// positions.
+	Fixed    []string
+	FixedPos []int
+	// HeadShared (t^h) and BodyShared (t^b) are the argument positions of
+	// the head / body occurrence that share a variable with a
+	// non-recursive body atom.
+	HeadShared []int
+	BodyShared []int
+	// NonRecComponents counts connected components of the non-recursive
+	// body atoms under variable sharing.
+	NonRecComponents int
+}
+
+// Linear reports whether the rule has exactly one recursive occurrence.
+func (ra RuleAnalysis) Linear() bool { return len(ra.RecOccs) == 1 }
+
+// AnalyzeRule analyzes one rule with respect to the recursive predicate.
+// The recursive literals must have variable arguments, distinct within each
+// literal.
+func AnalyzeRule(r ast.Rule, pred string) (RuleAnalysis, error) {
+	ra := RuleAnalysis{}
+	if r.Head.Pred != pred {
+		return ra, fmt.Errorf("rule head is %s, not %s", r.Head.Pred, pred)
+	}
+	if err := checkVarArgs(r.Head); err != nil {
+		return ra, err
+	}
+	var nonRec []ast.Atom
+	for i, a := range r.Body {
+		if a.Pred == pred {
+			if err := checkVarArgs(a); err != nil {
+				return ra, err
+			}
+			ra.RecOccs = append(ra.RecOccs, i)
+		} else {
+			nonRec = append(nonRec, a)
+		}
+	}
+	if len(ra.RecOccs) == 1 {
+		occ := r.Body[ra.RecOccs[0]]
+		headPos := map[string]int{}
+		for p, t := range r.Head.Args {
+			headPos[t.Functor] = p
+		}
+		for p, t := range occ.Args {
+			hp, inHead := headPos[t.Functor]
+			switch {
+			case inHead && hp == p:
+				ra.Fixed = append(ra.Fixed, t.Functor)
+				ra.FixedPos = append(ra.FixedPos, p)
+			case inHead:
+				ra.Shifting = append(ra.Shifting, t.Functor)
+			}
+		}
+		nonRecVars := map[string]bool{}
+		for _, a := range nonRec {
+			for _, v := range a.Vars() {
+				nonRecVars[v] = true
+			}
+		}
+		for p, t := range r.Head.Args {
+			if nonRecVars[t.Functor] {
+				ra.HeadShared = append(ra.HeadShared, p)
+			}
+		}
+		for p, t := range occ.Args {
+			if nonRecVars[t.Functor] {
+				ra.BodyShared = append(ra.BodyShared, p)
+			}
+		}
+	}
+	ra.NonRecComponents = countComponents(nonRec)
+	return ra, nil
+}
+
+func checkVarArgs(a ast.Atom) error {
+	seen := map[string]bool{}
+	for _, t := range a.Args {
+		if !t.IsVar() {
+			return fmt.Errorf("argument %s of %s is not a variable", t, a.Pred)
+		}
+		if seen[t.Functor] {
+			return fmt.Errorf("variable %s repeated in %s", t.Functor, a)
+		}
+		seen[t.Functor] = true
+	}
+	return nil
+}
+
+func countComponents(atoms []ast.Atom) int {
+	n := len(atoms)
+	if n == 0 {
+		return 0
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	byVar := map[string]int{}
+	for i, a := range atoms {
+		for _, v := range a.Vars() {
+			if j, ok := byVar[v]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				byVar[v] = i
+			}
+		}
+	}
+	roots := map[int]bool{}
+	for i := range atoms {
+		roots[find(i)] = true
+	}
+	return len(roots)
+}
+
+// IsSeparable tests Definition 6.4 on the recursive rules of p for pred.
+// Exit rules (no recursive occurrence) are ignored. A failure reason is
+// returned with a negative verdict.
+func IsSeparable(p *ast.Program, pred string) (bool, string) {
+	ras, err := recursiveAnalyses(p, pred)
+	if err != nil {
+		return false, err.Error()
+	}
+	if len(ras) == 0 {
+		return false, "no recursive rules"
+	}
+	for i, ra := range ras {
+		if !ra.Linear() {
+			return false, fmt.Sprintf("recursive rule %d is not linear", i+1)
+		}
+		// (1) No shifting variables.
+		if len(ra.Shifting) > 0 {
+			return false, fmt.Sprintf("recursive rule %d has shifting variables %v", i+1, ra.Shifting)
+		}
+		// (2) t_i^h = t_i^b.
+		if !intsEqual(ra.HeadShared, ra.BodyShared) {
+			return false, fmt.Sprintf("recursive rule %d: head-shared %v != body-shared %v",
+				i+1, ra.HeadShared, ra.BodyShared)
+		}
+		// (4) The non-recursive atoms form one maximal connected set.
+		if ra.NonRecComponents > 1 {
+			return false, fmt.Sprintf("recursive rule %d: non-recursive atoms form %d components",
+				i+1, ra.NonRecComponents)
+		}
+	}
+	// (3) Pairwise, t_i^h and t_j^h equal or disjoint.
+	for i := 0; i < len(ras); i++ {
+		for j := i + 1; j < len(ras); j++ {
+			a, b := ras[i].HeadShared, ras[j].HeadShared
+			if !intsEqual(a, b) && !intsDisjoint(a, b) {
+				return false, fmt.Sprintf("rules %d and %d: shared positions %v and %v overlap without being equal",
+					i+1, j+1, a, b)
+			}
+		}
+	}
+	return true, ""
+}
+
+// IsReducible tests Definition 6.6: a separable recursion in which no fixed
+// variable appears in any t_i^h.
+func IsReducible(p *ast.Program, pred string) (bool, string) {
+	if ok, reason := IsSeparable(p, pred); !ok {
+		return false, reason
+	}
+	ras, _ := recursiveAnalyses(p, pred)
+	for i, ra := range ras {
+		shared := map[int]bool{}
+		for _, pos := range ra.HeadShared {
+			shared[pos] = true
+		}
+		for k, pos := range ra.FixedPos {
+			if shared[pos] {
+				return false, fmt.Sprintf("recursive rule %d: fixed variable %s is in t^h",
+					i+1, ra.Fixed[k])
+			}
+		}
+	}
+	return true, ""
+}
+
+func recursiveAnalyses(p *ast.Program, pred string) ([]RuleAnalysis, error) {
+	var out []RuleAnalysis
+	for _, r := range p.RulesFor(pred) {
+		ra, err := AnalyzeRule(r, pred)
+		if err != nil {
+			return nil, err
+		}
+		if len(ra.RecOccs) > 0 {
+			out = append(out, ra)
+		}
+	}
+	return out, nil
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func intsDisjoint(a, b []int) bool {
+	set := map[int]bool{}
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, y := range b {
+		if set[y] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExpandRule unfolds the recursive occurrence of a linear rule with a
+// renamed copy of the rule itself, k times — the "expansion" of Section 6.1
+// ("substituting the rule into itself some number of times"). k = 0 returns
+// the rule unchanged.
+func ExpandRule(r ast.Rule, pred string, k int) (ast.Rule, error) {
+	cur := r.Clone()
+	gen := ast.NewFreshGen(r)
+	for step := 0; step < k; step++ {
+		ra, err := AnalyzeRule(cur, pred)
+		if err != nil {
+			return ast.Rule{}, err
+		}
+		if !ra.Linear() {
+			return ast.Rule{}, fmt.Errorf("rule is not linear: %s", cur)
+		}
+		occIdx := ra.RecOccs[0]
+		occ := cur.Body[occIdx]
+		copyRule := r.RenameApart(gen)
+		sub, ok := ast.UnifyAtoms(copyRule.Head, occ, nil)
+		if !ok {
+			return ast.Rule{}, fmt.Errorf("cannot unfold %s with %s", occ, copyRule.Head)
+		}
+		var body []ast.Atom
+		body = append(body, cur.Body[:occIdx]...)
+		for _, b := range copyRule.Body {
+			body = append(body, sub.ApplyAtom(b))
+		}
+		body = append(body, cur.Body[occIdx+1:]...)
+		cur = ast.Rule{Head: sub.ApplyAtom(cur.Head), Body: body}
+	}
+	return cur, nil
+}
+
+// MatchesEquationOne reports whether a linear recursive rule has the form
+// of Eq. (1) of the paper,
+//
+//	p(A.., B..) :- p(A.., C..), c(C.., D.., B..)
+//
+// up to argument permutation: one recursive occurrence, no shifting
+// variables, and no fixed variable occurring in the non-recursive atoms
+// (the A block passes through untouched).
+func MatchesEquationOne(r ast.Rule, pred string) bool {
+	ra, err := AnalyzeRule(r, pred)
+	if err != nil || !ra.Linear() {
+		return false
+	}
+	if len(ra.Shifting) > 0 {
+		return false
+	}
+	shared := map[int]bool{}
+	for _, pos := range ra.HeadShared {
+		shared[pos] = true
+	}
+	for _, pos := range ra.BodyShared {
+		shared[pos] = true
+	}
+	for _, pos := range ra.FixedPos {
+		if shared[pos] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSimpleOneSided reports whether some expansion of the rule, up to
+// maxExpand unfoldings, matches Eq. (1); it returns the first such k. This
+// is the operational characterization used by Theorem 6.2 (the A/V-graph
+// test of [6] is not reproduced here; see the package comment).
+func IsSimpleOneSided(r ast.Rule, pred string, maxExpand int) (int, bool) {
+	for k := 0; k <= maxExpand; k++ {
+		expanded, err := ExpandRule(r, pred, k)
+		if err != nil {
+			return 0, false
+		}
+		if MatchesEquationOne(expanded, pred) {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// FullSelection reports whether the query is a full selection for the
+// expanded Eq.-(1) form: for every recursive rule it binds exactly the
+// fixed (A) block, or exactly the moving (B) block. Exact blocks matter:
+// with an empty A block (no fixed variables, e.g. same generation) the
+// A-selection is the all-free query and the B-selection the all-bound one,
+// both of which admit only trivial factorings — so Theorem 6.2 never
+// certifies such programs. Exit rules are ignored.
+func FullSelection(p *ast.Program, pred string, query ast.Atom) (bool, error) {
+	bound := map[int]bool{}
+	for i, t := range query.Args {
+		if t.Ground() {
+			bound[i] = true
+		}
+	}
+	ras, err := recursiveAnalyses(p, pred)
+	if err != nil {
+		return false, err
+	}
+	for _, ra := range ras {
+		if !ra.Linear() {
+			return false, nil
+		}
+		fixed := map[int]bool{}
+		for _, pos := range ra.FixedPos {
+			fixed[pos] = true
+		}
+		boundIsFixed, boundIsMoving := true, true
+		for pos := 0; pos < len(query.Args); pos++ {
+			if bound[pos] != fixed[pos] {
+				boundIsFixed = false
+			}
+			if bound[pos] == fixed[pos] {
+				boundIsMoving = false
+			}
+		}
+		if !boundIsFixed && !boundIsMoving {
+			return false, nil
+		}
+	}
+	return true, nil
+}

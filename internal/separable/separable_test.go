@@ -1,0 +1,344 @@
+package separable
+
+import (
+	"strings"
+	"testing"
+
+	"factorlog/internal/core"
+	"factorlog/internal/parser"
+)
+
+func TestAnalyzeRuleLeftLinearTC(t *testing.T) {
+	r := parser.MustParseProgram(`t(X, Y) :- t(X, W), e(W, Y).`).Rules[0]
+	ra, err := AnalyzeRule(r, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ra.Linear() {
+		t.Fatal("rule is linear")
+	}
+	if len(ra.Shifting) != 0 {
+		t.Errorf("shifting = %v", ra.Shifting)
+	}
+	if len(ra.Fixed) != 1 || ra.Fixed[0] != "X" || ra.FixedPos[0] != 0 {
+		t.Errorf("fixed = %v at %v", ra.Fixed, ra.FixedPos)
+	}
+	if len(ra.HeadShared) != 1 || ra.HeadShared[0] != 1 {
+		t.Errorf("headShared = %v", ra.HeadShared)
+	}
+	if len(ra.BodyShared) != 1 || ra.BodyShared[0] != 1 {
+		t.Errorf("bodyShared = %v", ra.BodyShared)
+	}
+	if ra.NonRecComponents != 1 {
+		t.Errorf("components = %d", ra.NonRecComponents)
+	}
+}
+
+func TestAnalyzeRuleShifting(t *testing.T) {
+	r := parser.MustParseProgram(`p(X, Y, Z) :- p(X, Z, W), e(W, Y).`).Rules[0]
+	ra, err := AnalyzeRule(r, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra.Shifting) != 1 || ra.Shifting[0] != "Z" {
+		t.Errorf("shifting = %v", ra.Shifting)
+	}
+}
+
+func TestAnalyzeRuleErrors(t *testing.T) {
+	r := parser.MustParseProgram(`p(X, 5) :- p(X, W), e(W).`).Rules[0]
+	if _, err := AnalyzeRule(r, "p"); err == nil {
+		t.Error("constant argument should be rejected")
+	}
+	r2 := parser.MustParseProgram(`p(X, X) :- p(X, W), e(W).`).Rules[0]
+	if _, err := AnalyzeRule(r2, "p"); err == nil {
+		t.Error("repeated variable should be rejected")
+	}
+	r3 := parser.MustParseProgram(`q(X) :- p(X, W).`).Rules[0]
+	if _, err := AnalyzeRule(r3, "p"); err == nil {
+		t.Error("wrong head predicate should be rejected")
+	}
+}
+
+func TestIsSeparableLeftLinearTC(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	ok, reason := IsSeparable(p, "t")
+	if !ok {
+		t.Fatalf("left-linear TC should be separable: %s", reason)
+	}
+	ok, reason = IsReducible(p, "t")
+	if !ok {
+		t.Fatalf("left-linear TC should be reducible: %s", reason)
+	}
+}
+
+func TestIsSeparableTwoSidedColumns(t *testing.T) {
+	// One rule advances column 2, the other column 1: t^h sets {1} and {0}
+	// are disjoint — separable and reducible.
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), b(W, Y).
+		t(X, Y) :- a(X, Z), t(Z, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	ok, reason := IsSeparable(p, "t")
+	if !ok {
+		t.Fatalf("should be separable: %s", reason)
+	}
+	ok, reason = IsReducible(p, "t")
+	if !ok {
+		t.Fatalf("should be reducible: %s", reason)
+	}
+}
+
+func TestIsSeparableRejectsSameGeneration(t *testing.T) {
+	p := parser.MustParseProgram(`
+		sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+		sg(X, Y) :- flat(X, Y).
+	`)
+	ok, reason := IsSeparable(p, "sg")
+	if ok {
+		t.Fatal("same generation is not separable")
+	}
+	if !strings.Contains(reason, "components") {
+		t.Errorf("reason = %q", reason)
+	}
+}
+
+func TestIsSeparableRejectsShifting(t *testing.T) {
+	p := parser.MustParseProgram(`
+		p(X, Y) :- p(Y, W), e(W, X).
+		p(X, Y) :- e(X, Y).
+	`)
+	ok, reason := IsSeparable(p, "p")
+	if ok {
+		t.Fatal("shifting variables are not separable")
+	}
+	if !strings.Contains(reason, "shifting") {
+		t.Errorf("reason = %q", reason)
+	}
+}
+
+func TestIsSeparableRejectsNonLinear(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	if ok, _ := IsSeparable(p, "t"); ok {
+		t.Error("non-linear recursion is not separable")
+	}
+}
+
+func TestIsSeparableRejectsOverlappingShared(t *testing.T) {
+	// Rule 1 shares {0,1}, rule 2 shares {1}: overlap without equality.
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(W, V), a(X, W, Y, V).
+		t(X, Y) :- t(X, V), b(V, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	ok, reason := IsSeparable(p, "t")
+	if ok {
+		t.Fatal("overlapping shared sets should be rejected")
+	}
+	_ = reason
+}
+
+func TestIsReducibleRejectsFixedInShared(t *testing.T) {
+	// X is fixed AND shared with the nonrecursive atom a(X,W,Y):
+	// separable condition 2 holds but reducibility fails.
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), a(X, W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	ok, reason := IsSeparable(p, "t")
+	if !ok {
+		t.Fatalf("should be separable: %s", reason)
+	}
+	ok, reason = IsReducible(p, "t")
+	if ok {
+		t.Fatal("fixed variable in t^h: should not be reducible")
+	}
+	if !strings.Contains(reason, "fixed variable") {
+		t.Errorf("reason = %q", reason)
+	}
+}
+
+func TestExpandRule(t *testing.T) {
+	r := parser.MustParseProgram(`t(X, Y) :- t(X, W), e(W, Y).`).Rules[0]
+	e2, err := ExpandRule(r, "t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t(X,Y) :- t(X,W'), e(W',W), e(W,Y).
+	if len(e2.Body) != 3 {
+		t.Fatalf("expanded body = %s", e2)
+	}
+	nRec := 0
+	for _, a := range e2.Body {
+		if a.Pred == "t" {
+			nRec++
+		}
+	}
+	if nRec != 1 {
+		t.Errorf("expanded rule not linear: %s", e2)
+	}
+	// Zero expansion returns the rule unchanged.
+	e0, err := ExpandRule(r, "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e0.Equal(r) {
+		t.Error("k=0 should be identity")
+	}
+}
+
+func TestMatchesEquationOne(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`t(X, Y) :- t(X, W), e(W, Y).`, true},
+		{`t(X, Y) :- e(X, W), t(W, Y).`, true},                // A block empty: degenerate Eq (1)
+		{`p(X, Y, Z) :- p(X, Z, W), e(W, Y).`, false},         // shifting
+		{`t(X, Y) :- t(X, W), a(X, W, Y).`, false},            // fixed var in c
+		{`t(X, Y) :- t(X, W), t(W, Y).`, false},               // non-linear
+		{`sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).`, true}, // linear, no fixed vars: vacuous A block
+	}
+	for _, c := range cases {
+		r := parser.MustParseProgram(c.src).Rules[0]
+		pred := r.Head.Pred
+		if got := MatchesEquationOne(r, pred); got != c.want {
+			t.Errorf("MatchesEquationOne(%s) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestIsSimpleOneSidedNeedsExpansion(t *testing.T) {
+	// Z shifts between positions 3 and 2; one expansion makes the rule
+	// match Eq. (1) (period-2 one-sided recursion).
+	r := parser.MustParseProgram(`p(X, Y, Z) :- p(X, Z, W), e(W, Y).`).Rules[0]
+	k, ok := IsSimpleOneSided(r, "p", 4)
+	if !ok {
+		t.Fatal("period-2 recursion should be simple one-sided")
+	}
+	if k != 1 {
+		t.Errorf("k = %d, want 1", k)
+	}
+	// Direct form needs no expansion.
+	r2 := parser.MustParseProgram(`t(X, Y) :- t(X, W), e(W, Y).`).Rules[0]
+	if k, ok := IsSimpleOneSided(r2, "t", 4); !ok || k != 0 {
+		t.Errorf("direct form: k=%d ok=%v", k, ok)
+	}
+}
+
+// TestTheorem62Pipeline: a simple one-sided recursion, under a full
+// selection, yields a selection-pushing adorned program and hence factors.
+func TestTheorem62Pipeline(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), c(W, D, Y).
+		t(X, Y) :- exit(X, Y).
+	`)
+	r := p.Rules[0]
+	if _, ok := IsSimpleOneSided(r, "t", 2); !ok {
+		t.Fatal("rule should be simple one-sided")
+	}
+	// Full selection binding A: query t(5, Y).
+	full, err := FullSelection(p, "t", parser.MustParseAtom("t(5, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full {
+		t.Error("t(5, Y) should be a full selection (binds A)")
+	}
+	a, err := core.AnalyzeQuery(p, parser.MustParseAtom("t(5, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, reason := core.SelectionPushing(a); !ok {
+		t.Errorf("Theorem 6.2 (A bound): %s", reason)
+	}
+
+	// Full selection binding B: query t(X, 5) — the rule becomes
+	// right-linear with empty right; also selection-pushing. The body must
+	// place the recursive literal last for the left-to-right SIP to keep a
+	// single adornment.
+	p2 := parser.MustParseProgram(`
+		t(X, Y) :- c(W, D, Y), t(X, W).
+		t(X, Y) :- exit(X, Y).
+	`)
+	a2, err := core.AnalyzeQuery(p2, parser.MustParseAtom("t(X, 5)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, reason := core.SelectionPushing(a2); !ok {
+		t.Errorf("Theorem 6.2 (B bound): %s", reason)
+	}
+}
+
+// TestTheorem63Pipeline: a reducible separable recursion under a full
+// selection is selection-pushing (left-linear with no left predicate plus
+// right-linear with no right predicate).
+func TestTheorem63Pipeline(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), b(W, Y).
+		t(X, Y) :- a(X, Z), t(Z, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	if ok, reason := IsReducible(p, "t"); !ok {
+		t.Fatalf("not reducible: %s", reason)
+	}
+	a, err := core.AnalyzeQuery(p, parser.MustParseAtom("t(5, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rules[0].Shape != core.ShapeLeftLinear || len(a.Rules[0].Left) != 0 {
+		t.Errorf("rule 1: %v left=%v", a.Rules[0].Shape, a.Rules[0].Left)
+	}
+	if a.Rules[1].Shape != core.ShapeRightLinear || len(a.Rules[1].Right) != 0 {
+		t.Errorf("rule 2: %v right=%v", a.Rules[1].Shape, a.Rules[1].Right)
+	}
+	if ok, reason := core.SelectionPushing(a); !ok {
+		t.Errorf("Theorem 6.3: %s", reason)
+	}
+}
+
+func TestFullSelectionNegative(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), c(W, Y).
+		t(X, Y) :- exit(X, Y).
+	`)
+	full, err := FullSelection(p, "t", parser.MustParseAtom("t(X, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full {
+		t.Error("all-free query is not a full selection")
+	}
+	// Binding both blocks at once is not a full selection either.
+	full, err = FullSelection(p, "t", parser.MustParseAtom("t(1, 2)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full {
+		t.Error("all-bound query binds both blocks; not a full selection")
+	}
+}
+
+func TestFullSelectionSameGenerationNeverUseful(t *testing.T) {
+	// sg has an empty fixed block: the Eq.-(1) form matches vacuously, but
+	// no single-argument selection is a full selection, so Theorem 6.2
+	// never certifies factoring sg (which indeed does not factor).
+	p := parser.MustParseProgram(`
+		sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+		sg(X, Y) :- flat(X, Y).
+	`)
+	full, err := FullSelection(p, "sg", parser.MustParseAtom("sg(john, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full {
+		t.Error("sg(john, Y) must not be a full selection (empty A block)")
+	}
+}

@@ -1,0 +1,182 @@
+package topdown
+
+import (
+	"errors"
+	"testing"
+
+	"factorlog/internal/engine"
+	"factorlog/internal/magic"
+	"factorlog/internal/parser"
+)
+
+func TestTabledLeftRecursionTerminates(t *testing.T) {
+	// Plain SLD diverges on this program (TestSolveLeftRecursionDiverges);
+	// tabling terminates with the right answers.
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	res, err := SolveTabled(p, chainDB(8), parser.MustParseAtom("t(2, Y)"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 6 { // 3..8
+		t.Errorf("answers = %v", res.Answers)
+	}
+}
+
+func TestTabledNonLinearTC(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	res, err := SolveTabled(p, chainDB(10), parser.MustParseAtom("t(4, Y)"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 6 { // 5..10
+		t.Errorf("answers = %v", res.Answers)
+	}
+	if res.Stats.Rounds < 2 {
+		t.Errorf("rounds = %d; fixpoint iteration expected", res.Stats.Rounds)
+	}
+}
+
+// TestTabledMatchesMagic: the tabled goals correspond exactly to the magic
+// facts, and the total table entries to the p^a facts — Magic Sets is
+// bottom-up tabling.
+func TestTabledMatchesMagic(t *testing.T) {
+	src := `
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- e(X, Y).
+	`
+	p := parser.MustParseProgram(src)
+	query := parser.MustParseAtom("t(2, Y)")
+
+	db := engine.NewDB()
+	for _, e := range [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 2}, {3, 5}} {
+		db.MustInsert("e", db.Store.Int(e[0]), db.Store.Int(e[1]))
+	}
+	res, err := SolveTabled(p, db, query, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := magic.FromQuery(p, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbM := engine.NewDB()
+	for _, e := range [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 2}, {3, 5}} {
+		dbM.MustInsert("e", dbM.Store.Int(e[0]), dbM.Store.Int(e[1]))
+	}
+	if _, err := engine.Eval(m.Program, dbM, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := res.Stats.Goals, dbM.Count("m_t_bf"); got != want {
+		t.Errorf("tabled goals = %d, magic facts = %d\ngoals: %v", got, want, res.Goals)
+	}
+	if got, want := res.Stats.Answers, dbM.Count("t_bf"); got != want {
+		t.Errorf("table entries = %d, t_bf facts = %d", got, want)
+	}
+}
+
+func TestTabledAgreesWithPlainSLDWhereBothWork(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+	`)
+	db := chainDB(7)
+	plain, err := Solve(p, db, parser.MustParseAtom("t(1, Y)"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := SolveTabled(p, db, parser.MustParseAtom("t(1, Y)"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := plain.AnswerSet(), tab.AnswerSet()
+	if len(a) != len(b) {
+		t.Fatalf("plain %v vs tabled %v", a, b)
+	}
+	for k := range a {
+		if !b[k] {
+			t.Errorf("missing %s", k)
+		}
+	}
+}
+
+func TestTabledSameGeneration(t *testing.T) {
+	p := parser.MustParseProgram(`
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+	`)
+	db := engine.NewDB()
+	facts, err := parser.Parse(`
+		up(a, p). up(b, p). up(c, q).
+		down(p, a). down(p, b). down(q, c).
+		flat(p, q).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.LoadFacts(db, facts.Facts); err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveTabled(p, db, parser.MustParseAtom("sg(a, Y)"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a's generation via p flat q: c.
+	if len(res.Answers) != 1 || res.Answers[0].String() != "sg(a,c)" {
+		t.Errorf("answers = %v", res.Answers)
+	}
+}
+
+func TestTabledPmem(t *testing.T) {
+	p := parser.MustParseProgram(`
+		pmem(X, [X|T]) :- p(X).
+		pmem(X, [H|T]) :- pmem(X, T).
+	`)
+	db := engine.NewDB()
+	db.MustInsert("p", db.Store.Const("x1"))
+	db.MustInsert("p", db.Store.Const("x3"))
+	res, err := SolveTabled(p, db, parser.MustParseAtom("pmem(X, [x1, x2, x3])"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 2 {
+		t.Errorf("answers = %v", res.Answers)
+	}
+	// One table per list suffix plus the top goal: n+1 goals.
+	if res.Stats.Goals != 4 {
+		t.Errorf("goals = %d (%v)", res.Stats.Goals, res.Goals)
+	}
+}
+
+func TestTabledBudget(t *testing.T) {
+	p := parser.MustParseProgram(`
+		counter(X) :- counter(s(X)).
+		counter(z) :- base(z).
+	`)
+	db := engine.NewDB()
+	db.MustInsert("base", db.Store.Const("z"))
+	_, err := SolveTabled(p, db, parser.MustParseAtom("counter(W)"), Options{MaxSteps: 500})
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestTabledNoAnswers(t *testing.T) {
+	p := parser.MustParseProgram(`t(X, Y) :- e(X, Y).`)
+	res, err := SolveTabled(p, engine.NewDB(), parser.MustParseAtom("t(1, Y)"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 0 || res.Stats.Goals != 1 {
+		t.Errorf("res = %+v", res)
+	}
+}

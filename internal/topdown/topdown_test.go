@@ -1,0 +1,186 @@
+package topdown
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"factorlog/internal/engine"
+	"factorlog/internal/parser"
+)
+
+func chainDB(n int) *engine.DB {
+	db := engine.NewDB()
+	for i := 1; i < n; i++ {
+		db.MustInsert("e", db.Store.Int(i), db.Store.Int(i+1))
+	}
+	return db
+}
+
+func TestSolveRightRecursiveTC(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+	`)
+	res, err := Solve(p, chainDB(6), parser.MustParseAtom("t(2, Y)"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 4 { // 3,4,5,6
+		t.Errorf("answers = %v", res.Answers)
+	}
+	set := res.AnswerSet()
+	if !set["t(2,5)"] {
+		t.Errorf("missing t(2,5): %v", set)
+	}
+}
+
+func TestSolveGroundQuery(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+	`)
+	res, err := Solve(p, chainDB(6), parser.MustParseAtom("t(1, 4)"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 {
+		t.Errorf("ground query answers = %v", res.Answers)
+	}
+	res, err = Solve(p, chainDB(6), parser.MustParseAtom("t(4, 1)"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 0 {
+		t.Errorf("false ground query answered: %v", res.Answers)
+	}
+}
+
+func TestSolveLeftRecursionDiverges(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+	`)
+	_, err := Solve(p, chainDB(4), parser.MustParseAtom("t(1, Y)"), Options{MaxDepth: 200})
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("left recursion should exceed budget, got %v", err)
+	}
+}
+
+func TestSolvePmemQuadratic(t *testing.T) {
+	// Example 1.2: if all members satisfy p, Prolog computes O(n^2)
+	// pmem(x_i, [x_j..x_n]) facts. Solutions counts them.
+	p := parser.MustParseProgram(`
+		pmem(X, [X|T]) :- p(X).
+		pmem(X, [H|T]) :- pmem(X, T).
+	`)
+	counts := map[int]int{}
+	for _, n := range []int{4, 8, 16} {
+		db := engine.NewDB()
+		list := "["
+		for i := 1; i <= n; i++ {
+			if i > 1 {
+				list += ","
+			}
+			list += fmt.Sprintf("x%d", i)
+			db.MustInsert("p", db.Store.Const(fmt.Sprintf("x%d", i)))
+		}
+		list += "]"
+		res, err := Solve(p, db, parser.MustParseAtom("pmem(X, "+list+")"), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Answers) != n {
+			t.Fatalf("n=%d: distinct answers = %d", n, len(res.Answers))
+		}
+		// IDB goal successes = n + (n-1) + ... + 1 = n(n+1)/2: the paper's
+		// O(n^2) pmem facts.
+		if res.Stats.IDBSuccesses != n*(n+1)/2 {
+			t.Errorf("n=%d: IDB successes = %d, want %d", n, res.Stats.IDBSuccesses, n*(n+1)/2)
+		}
+		counts[n] = res.Stats.Steps
+	}
+	// Steps must grow superlinearly: quadrupling n should much more than
+	// quadruple steps/4 ... check ratio n=16 vs n=4 exceeds 4x scaling.
+	if counts[16] < 4*counts[4] {
+		t.Errorf("steps not superlinear: %v", counts)
+	}
+}
+
+func TestSolveMaxSolutions(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+	`)
+	res, err := Solve(p, chainDB(10), parser.MustParseAtom("t(1, Y)"), Options{MaxSolutions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Solutions != 2 {
+		t.Errorf("solutions = %d, want 2", res.Stats.Solutions)
+	}
+}
+
+func TestSolveMaxSteps(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+	`)
+	_, err := Solve(p, chainDB(50), parser.MustParseAtom("t(X, Y)"), Options{MaxSteps: 10})
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestSolveListsInGoal(t *testing.T) {
+	p := parser.MustParseProgram(`
+		member(X, [X|T]).
+		member(X, [H|T]) :- member(X, T).
+	`)
+	res, err := Solve(p, engine.NewDB(), parser.MustParseAtom("member(X, [a,b,c])"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 3 {
+		t.Errorf("members = %v", res.Answers)
+	}
+}
+
+func TestSolveEDBOnlyGoal(t *testing.T) {
+	p := parser.MustParseProgram(`t(X) :- e(X, X).`)
+	db := engine.NewDB()
+	db.MustInsert("e", db.Store.Const("a"), db.Store.Const("a"))
+	db.MustInsert("e", db.Store.Const("a"), db.Store.Const("b"))
+	res, err := Solve(p, db, parser.MustParseAtom("e(a, Y)"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 2 {
+		t.Errorf("EDB query answers = %v", res.Answers)
+	}
+}
+
+func TestSolveUnknownPredicate(t *testing.T) {
+	p := parser.MustParseProgram(`t(X) :- e(X, X).`)
+	res, err := Solve(p, engine.NewDB(), parser.MustParseAtom("nosuch(X)"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 0 {
+		t.Errorf("unknown predicate should have no answers")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+	`)
+	res, err := Solve(p, chainDB(5), parser.MustParseAtom("t(1, Y)"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Steps == 0 || res.Stats.DistinctGoals == 0 || res.Stats.MaxDepthSeen == 0 {
+		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+}

@@ -1,0 +1,192 @@
+// Package workload generates the extensional databases used by the
+// experiments: chains, cycles, layered graphs, random digraphs, grids,
+// balanced trees (for same generation), lists (for pmem), and the
+// multi-column chain data of the separable-recursion experiments. All
+// generators are deterministic given their parameters (random ones take an
+// explicit seed).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/engine"
+)
+
+// Chain loads e(1,2), e(2,3), ..., e(n-1,n).
+func Chain(db *engine.DB, pred string, n int) {
+	for i := 1; i < n; i++ {
+		db.MustInsert(pred, db.Store.Int(i), db.Store.Int(i+1))
+	}
+}
+
+// Cycle loads a directed n-cycle over 0..n-1.
+func Cycle(db *engine.DB, pred string, n int) {
+	for i := 0; i < n; i++ {
+		db.MustInsert(pred, db.Store.Int(i), db.Store.Int((i+1)%n))
+	}
+}
+
+// RandomDigraph loads m random edges over n nodes (duplicates collapse).
+func RandomDigraph(db *engine.DB, pred string, n, m int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < m; i++ {
+		db.MustInsert(pred, db.Store.Int(r.Intn(n)), db.Store.Int(r.Intn(n)))
+	}
+}
+
+// Grid loads the edges of a w x h grid (right and down), nodes named r_c.
+func Grid(db *engine.DB, pred string, w, h int) {
+	node := func(r, c int) engine.Val { return db.Store.Const(fmt.Sprintf("n%d_%d", r, c)) }
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			if c+1 < w {
+				db.MustInsert(pred, node(r, c), node(r, c+1))
+			}
+			if r+1 < h {
+				db.MustInsert(pred, node(r, c), node(r+1, c))
+			}
+		}
+	}
+}
+
+// Layered loads a layered DAG: layers of the given width, every node
+// connected to d random nodes of the next layer.
+func Layered(db *engine.DB, pred string, layers, width, d int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	node := func(l, i int) engine.Val { return db.Store.Const(fmt.Sprintf("l%d_%d", l, i)) }
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			for k := 0; k < d; k++ {
+				db.MustInsert(pred, node(l, i), node(l+1, r.Intn(width)))
+			}
+		}
+	}
+}
+
+// BalancedTree loads up/down edges of a complete binary tree of the given
+// depth, for the same-generation program: up(child, parent) and
+// down(parent, child). flat relates the root's two children (both ways), so
+// sg(x, Y) for a node x at depth d finds the depth-d nodes of the opposite
+// subtree by climbing d-1 levels, crossing flat, and descending.
+func BalancedTree(db *engine.DB, depth int) {
+	var walk func(id string, d int)
+	walk = func(id string, d int) {
+		if d == depth {
+			return
+		}
+		for _, side := range []string{"l", "r"} {
+			child := id + side
+			db.MustInsert("up", db.Store.Const(child), db.Store.Const(id))
+			db.MustInsert("down", db.Store.Const(id), db.Store.Const(child))
+			walk(child, d+1)
+		}
+	}
+	walk("n", 0)
+	db.MustInsert("flat", db.Store.Const("nl"), db.Store.Const("nr"))
+	db.MustInsert("flat", db.Store.Const("nr"), db.Store.Const("nl"))
+}
+
+// ListConsts returns the constants x1..xn.
+func ListConsts(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("x%d", i+1)
+	}
+	return out
+}
+
+// ListTerm builds the ground list [x1, ..., xn] as an ast.Term.
+func ListTerm(n int) ast.Term {
+	elems := make([]ast.Term, n)
+	for i, c := range ListConsts(n) {
+		elems[i] = ast.C(c)
+	}
+	return ast.List(elems...)
+}
+
+// PFacts loads p(xi) for every i with i mod every == 0 (selectivity
+// 1/every); every <= 1 marks all members.
+func PFacts(db *engine.DB, n, every int) {
+	if every < 1 {
+		every = 1
+	}
+	for i, c := range ListConsts(n) {
+		if (i+1)%every == 0 {
+			db.MustInsert("p", db.Store.Const(c))
+		}
+	}
+}
+
+// Example43Regular loads an EDB for the Example 4.3 program that satisfies
+// the selection-pushing constraints (r1/r2/r3 contain every e target, l1/l2
+// contain every f source and agree): a chain in e plus f shortcuts.
+func Example43Regular(db *engine.DB, n int) {
+	for i := 1; i < n; i++ {
+		ei, ej := db.Store.Int(i), db.Store.Int(i+1)
+		db.MustInsert("e", ei, ej)
+		db.MustInsert("r1", ej)
+		db.MustInsert("r2", ej)
+		db.MustInsert("r3", ej)
+	}
+	for i := 1; i+2 <= n; i += 2 {
+		db.MustInsert("f", db.Store.Int(i), db.Store.Int(i+1))
+		db.MustInsert("l1", db.Store.Int(i))
+		db.MustInsert("l2", db.Store.Int(i))
+	}
+	// c1/c2: short hops used by the combined rules.
+	for i := 1; i < n; i++ {
+		db.MustInsert("c1", db.Store.Int(i+1), db.Store.Int(i))
+		db.MustInsert("c2", db.Store.Int(i+1), db.Store.Int(i))
+	}
+	// The query constant must satisfy l1/l2.
+	db.MustInsert("l1", db.Store.Int(1))
+	db.MustInsert("l2", db.Store.Int(1))
+}
+
+// MultiColumnChain loads the EDB for the two-column separable recursion
+// t(X,Y) :- t(X,W), b(W,Y) / t(X,Y) :- a(X,Z), t(Z,Y): chains in a and b
+// plus diagonal exit facts.
+func MultiColumnChain(db *engine.DB, n int) {
+	for i := 1; i < n; i++ {
+		db.MustInsert("a", db.Store.Int(i), db.Store.Int(i+1))
+		db.MustInsert("b", db.Store.Int(i), db.Store.Int(i+1))
+	}
+	for i := 1; i <= n; i++ {
+		db.MustInsert("e", db.Store.Int(i), db.Store.Int(i))
+	}
+}
+
+// Section64 loads data for the two-first right-linear program of §6.4: two
+// interleaved chains with exits and full right filters.
+func Section64(db *engine.DB, n int) {
+	for i := 1; i < n; i++ {
+		db.MustInsert("first1", db.Store.Int(i), db.Store.Int(i+1))
+		if i+2 <= n {
+			db.MustInsert("first2", db.Store.Int(i), db.Store.Int(i+2))
+		}
+	}
+	for i := 1; i <= n; i++ {
+		v := db.Store.Int(i)
+		db.MustInsert("exit", v, db.Store.Int(i+1000))
+		db.MustInsert("right1", db.Store.Int(i+1000))
+		db.MustInsert("right2", db.Store.Int(i+1000))
+	}
+}
+
+// Product loads data for the Example 7.1 program t(X,Y,Z) :- t(X,U,W),
+// b(U,Y), d(Z): a b-chain and k d-values, making t's answer set a product.
+func Product(db *engine.DB, n, k int) {
+	for i := 1; i < n; i++ {
+		db.MustInsert("b", db.Store.Int(i), db.Store.Int(i+1))
+	}
+	for j := 0; j < k; j++ {
+		db.MustInsert("d", db.Store.Const(fmt.Sprintf("d%d", j)))
+	}
+	for i := 1; i <= n; i++ {
+		for j := 0; j < k; j++ {
+			db.MustInsert("e", db.Store.Int(5), db.Store.Int(i), db.Store.Const(fmt.Sprintf("d%d", j)))
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"testing"
+
+	"factorlog/internal/engine"
+)
+
+func TestChain(t *testing.T) {
+	db := engine.NewDB()
+	Chain(db, "e", 10)
+	if db.Count("e") != 9 {
+		t.Errorf("|e| = %d", db.Count("e"))
+	}
+}
+
+func TestCycle(t *testing.T) {
+	db := engine.NewDB()
+	Cycle(db, "e", 7)
+	if db.Count("e") != 7 {
+		t.Errorf("|e| = %d", db.Count("e"))
+	}
+}
+
+func TestRandomDigraphDeterministic(t *testing.T) {
+	db1 := engine.NewDB()
+	RandomDigraph(db1, "e", 20, 40, 42)
+	db2 := engine.NewDB()
+	RandomDigraph(db2, "e", 20, 40, 42)
+	if db1.Count("e") != db2.Count("e") {
+		t.Error("same seed should give same EDB")
+	}
+	db3 := engine.NewDB()
+	RandomDigraph(db3, "e", 20, 40, 43)
+	// Not a strict requirement, but overwhelmingly likely:
+	if db1.Count("e") == 0 {
+		t.Error("empty graph")
+	}
+	_ = db3
+}
+
+func TestGrid(t *testing.T) {
+	db := engine.NewDB()
+	Grid(db, "e", 3, 4)
+	// right edges: 2*4, down edges: 3*3.
+	if db.Count("e") != 2*4+3*3 {
+		t.Errorf("|e| = %d", db.Count("e"))
+	}
+}
+
+func TestLayered(t *testing.T) {
+	db := engine.NewDB()
+	Layered(db, "e", 4, 5, 2, 1)
+	if db.Count("e") == 0 || db.Count("e") > 3*5*2 {
+		t.Errorf("|e| = %d", db.Count("e"))
+	}
+}
+
+func TestBalancedTree(t *testing.T) {
+	db := engine.NewDB()
+	BalancedTree(db, 3)
+	// Complete binary tree of depth 3: 2+4+8 = 14 edges each way.
+	if db.Count("up") != 14 || db.Count("down") != 14 {
+		t.Errorf("up=%d down=%d", db.Count("up"), db.Count("down"))
+	}
+	if db.Count("flat") != 2 { // root children, both directions
+		t.Errorf("flat=%d", db.Count("flat"))
+	}
+}
+
+func TestListHelpers(t *testing.T) {
+	if got := ListTerm(3).String(); got != "[x1,x2,x3]" {
+		t.Errorf("ListTerm = %s", got)
+	}
+	db := engine.NewDB()
+	PFacts(db, 10, 2)
+	if db.Count("p") != 5 {
+		t.Errorf("|p| = %d", db.Count("p"))
+	}
+	db2 := engine.NewDB()
+	PFacts(db2, 10, 0) // clamps to every=1
+	if db2.Count("p") != 10 {
+		t.Errorf("|p| = %d", db2.Count("p"))
+	}
+	if len(ListConsts(4)) != 4 || ListConsts(4)[3] != "x4" {
+		t.Error("ListConsts wrong")
+	}
+}
+
+func TestExample43Regular(t *testing.T) {
+	db := engine.NewDB()
+	Example43Regular(db, 10)
+	if db.Count("e") != 9 || db.Count("r1") != 9 || db.Count("l1") == 0 {
+		t.Errorf("counts: e=%d r1=%d l1=%d", db.Count("e"), db.Count("r1"), db.Count("l1"))
+	}
+}
+
+func TestMultiColumnChain(t *testing.T) {
+	db := engine.NewDB()
+	MultiColumnChain(db, 6)
+	if db.Count("a") != 5 || db.Count("b") != 5 || db.Count("e") != 6 {
+		t.Errorf("counts wrong: a=%d b=%d e=%d", db.Count("a"), db.Count("b"), db.Count("e"))
+	}
+}
+
+func TestSection64(t *testing.T) {
+	db := engine.NewDB()
+	Section64(db, 5)
+	if db.Count("first1") != 4 || db.Count("exit") != 5 || db.Count("right1") != 5 {
+		t.Errorf("counts wrong")
+	}
+}
+
+func TestProduct(t *testing.T) {
+	db := engine.NewDB()
+	Product(db, 4, 3)
+	if db.Count("b") != 3 || db.Count("d") != 3 || db.Count("e") != 12 {
+		t.Errorf("counts: b=%d d=%d e=%d", db.Count("b"), db.Count("d"), db.Count("e"))
+	}
+}

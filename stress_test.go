@@ -1,0 +1,118 @@
+package factorlog_test
+
+import (
+	"fmt"
+	"testing"
+
+	"factorlog"
+)
+
+// Large-scale sanity runs, skipped under -short.
+
+func TestStressFactoredLargeChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	sys, err := factorlog.Load(`
+		t(X, Y) :- t(X, W), t(W, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- t(X, W), e(W, Y).
+		t(X, Y) :- e(X, Y).
+		?- t(1000, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sys.NewDB()
+	n := 5000
+	for i := 1; i < n; i++ {
+		db.Fact("e", fmt.Sprint(i), fmt.Sprint(i+1))
+	}
+	res, err := sys.Run(factorlog.FactoredOptimized, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != n-1000 {
+		t.Errorf("answers = %d, want %d", len(res.Answers), n-1000)
+	}
+	// Linear behaviour: facts stay O(n), not O(n^2).
+	if res.Facts > 3*n {
+		t.Errorf("facts = %d, expected O(n) ~ %d", res.Facts, 2*n)
+	}
+}
+
+func TestStressFactoredLargeRandomGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	sys, err := factorlog.Load(`
+		t(X, Y) :- e(X, W), t(W, Y).
+		t(X, Y) :- e(X, Y).
+		?- t(n17, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := func() *factorlog.DB {
+		db := sys.NewDB()
+		// Deterministic pseudo-random graph: 2000 nodes, 6000 edges.
+		x := uint64(12345)
+		next := func(m int) int {
+			x = x*6364136223846793005 + 1442695040888963407
+			return int((x >> 33) % uint64(m))
+		}
+		for i := 0; i < 6000; i++ {
+			db.Fact("e", fmt.Sprintf("n%d", next(2000)), fmt.Sprintf("n%d", next(2000)))
+		}
+		return db
+	}
+	opt, err := sys.Run(factorlog.FactoredOptimized, load())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag, err := sys.Run(factorlog.Magic, load())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Answers) != len(mag.Answers) {
+		t.Errorf("answers differ: %d vs %d", len(opt.Answers), len(mag.Answers))
+	}
+	if opt.Facts >= mag.Facts {
+		t.Errorf("factored facts %d should undercut magic %d", opt.Facts, mag.Facts)
+	}
+}
+
+func TestStressDeepListFactored(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	n := 8000
+	list := "["
+	for i := 1; i <= n; i++ {
+		if i > 1 {
+			list += ","
+		}
+		list += fmt.Sprintf("v%d", i)
+	}
+	list += "]"
+	sys, err := factorlog.Load(fmt.Sprintf(`
+		pmem(X, [X|T]) :- p(X).
+		pmem(X, [H|T]) :- pmem(X, T).
+		?- pmem(X, %s).
+	`, list))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sys.NewDB()
+	for i := 1; i <= n; i += 7 {
+		db.Fact("p", fmt.Sprintf("v%d", i))
+	}
+	res, err := sys.Run(factorlog.FactoredOptimized, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (n + 6) / 7
+	if len(res.Answers) != want {
+		t.Errorf("answers = %d, want %d", len(res.Answers), want)
+	}
+}
