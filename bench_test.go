@@ -378,6 +378,33 @@ func BenchmarkEngine_SemiNaiveTC(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead measures what Options.Trace costs on the semi-naive
+// transitive-closure workload. Tracing is meant to be cheap enough to leave
+// on in tools (factorbench -json runs every strategy traced); the off/on
+// pair here makes the overhead a number the suite watches — it should stay
+// under ~10%.
+func BenchmarkTraceOverhead(b *testing.B) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+	`)
+	for _, cfg := range []struct {
+		name  string
+		trace bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				db := engine.NewDB()
+				workload.Chain(db, "e", 256)
+				if _, err := engine.Eval(p, db, engine.Options{Trace: cfg.trace}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkEngine_HashConsing(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -4,17 +4,32 @@
 //
 // Usage:
 //
-//	factorbench            # run every experiment
-//	factorbench -run E2    # run one experiment
-//	factorbench -list      # list experiment IDs and titles
+//	factorbench                    # run every experiment
+//	factorbench -run E2            # run one experiment
+//	factorbench -list              # list experiment IDs and titles
+//	factorbench -json [-n N]       # machine-readable strategy metrics (BENCH_*.json)
+//	factorbench -pprof-addr :6060  # serve net/http/pprof while running
+//
+// With -json, factorbench evaluates every strategy over the E1
+// transitive-closure workload (a chain of N edges, query from node N/3)
+// with engine tracing enabled, and emits one JSON metrics document: per
+// strategy, the pipeline stage spans, per-rule and per-round counters, and
+// total wall time. The committed BENCH_*.json files are snapshots of this
+// output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
+	"factorlog/internal/engine"
 	"factorlog/internal/experiments"
+	"factorlog/internal/obsv"
+	"factorlog/internal/pipeline"
 )
 
 func main() {
@@ -28,8 +43,20 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("factorbench", flag.ContinueOnError)
 	one := fs.String("run", "", "run a single experiment by ID (e.g. E2)")
 	list := fs.Bool("list", false, "list experiments")
+	jsonOut := fs.Bool("json", false, "emit a JSON metrics document for the strategy sweep")
+	n := fs.Int("n", 256, "workload size for -json (chain length)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintln(os.Stderr, "factorbench: pprof on", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "factorbench: pprof:", err)
+			}
+		}()
 	}
 
 	if *list {
@@ -37,6 +64,10 @@ func run(args []string) error {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 		return nil
+	}
+
+	if *jsonOut {
+		return emitJSON(os.Stdout, *n)
 	}
 
 	if *one != "" {
@@ -63,4 +94,65 @@ func runOne(e experiments.Experiment) error {
 	}
 	fmt.Print(tbl.Render())
 	return nil
+}
+
+// metricsDoc is the envelope of the machine-readable output of -json; the
+// committed BENCH_*.json files follow this schema.
+type metricsDoc struct {
+	Schema   string       `json:"schema"`
+	Tool     string       `json:"tool"`
+	Workload string       `json:"workload"`
+	N        int          `json:"n"`
+	Query    string       `json:"query"`
+	Runs     []metricsRun `json:"runs"`
+}
+
+// metricsRun is one strategy's traced evaluation. Strategies whose
+// transformation is unavailable for the workload (or that diverge on it)
+// report Error and nothing else.
+type metricsRun struct {
+	Strategy   string            `json:"strategy"`
+	Error      string            `json:"error,omitempty"`
+	Answers    int               `json:"answers"`
+	Inferences int               `json:"inferences"`
+	Facts      int               `json:"facts"`
+	Iterations int               `json:"iterations"`
+	MaxArity   int               `json:"max_idb_arity"`
+	WallNS     int64             `json:"wall_ns"`
+	Spans      []obsv.Span       `json:"stage_spans,omitempty"`
+	Rules      []obsv.RuleStats  `json:"rule_stats,omitempty"`
+	Rounds     []obsv.RoundStats `json:"rounds,omitempty"`
+}
+
+func emitJSON(out *os.File, n int) error {
+	pl, load := experiments.E1Pipeline(n)
+	doc := metricsDoc{
+		Schema:   "factorlog/metrics/v1",
+		Tool:     "factorbench",
+		Workload: "E1 transitive closure, chain EDB",
+		N:        n,
+		Query:    pl.Query.String(),
+	}
+	for _, s := range pipeline.AllStrategies() {
+		r, err := pl.Run(s, load(), engine.Options{Trace: true, MaxFacts: 10_000_000})
+		if err != nil {
+			doc.Runs = append(doc.Runs, metricsRun{Strategy: s.String(), Error: err.Error()})
+			continue
+		}
+		doc.Runs = append(doc.Runs, metricsRun{
+			Strategy:   s.String(),
+			Answers:    len(r.Answers),
+			Inferences: r.Inferences,
+			Facts:      r.Facts,
+			Iterations: r.Iterations,
+			MaxArity:   r.MaxIDBArity,
+			WallNS:     r.EvalWall.Nanoseconds(),
+			Spans:      r.Spans,
+			Rules:      r.Rules,
+			Rounds:     r.Rounds,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -54,5 +55,46 @@ func TestRunSingle(t *testing.T) {
 func TestRunUnknown(t *testing.T) {
 	if _, err := capture(t, "-run", "E99"); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestJSONMetrics(t *testing.T) {
+	out, err := capture(t, "-json", "-n", "16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc metricsDoc
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if doc.Schema != "factorlog/metrics/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	byStrategy := map[string]metricsRun{}
+	for _, r := range doc.Runs {
+		byStrategy[r.Strategy] = r
+	}
+	for _, s := range []string{"semi-naive", "magic", "factored+opt"} {
+		r, ok := byStrategy[s]
+		if !ok {
+			t.Fatalf("missing strategy %s in %v", s, doc.Runs)
+		}
+		if r.Error != "" {
+			t.Errorf("%s failed: %s", s, r.Error)
+		}
+		if len(r.Rules) == 0 || len(r.Rounds) == 0 {
+			t.Errorf("%s missing rule/round stats", s)
+		}
+		if len(r.Spans) == 0 || r.Spans[len(r.Spans)-1].Name != "eval" {
+			t.Errorf("%s spans = %v, want eval last", s, r.Spans)
+		}
+	}
+	// The paper's headline, machine-checkable: factoring cuts inferences.
+	if f, m := byStrategy["factored+opt"], byStrategy["magic"]; f.Inferences >= m.Inferences {
+		t.Errorf("factored+opt inferences %d >= magic %d", f.Inferences, m.Inferences)
+	}
+	// Unavailable strategies are reported, not dropped.
+	if byStrategy["counting"].Error == "" {
+		t.Error("counting should report its unavailability")
 	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	factorlog run      [-strategy S] [-constraints file] [-edb file] [-budget N] file.dl
+//	factorlog run      [-strategy S] [-constraints file] [-edb file] [-budget N] [-profile] file.dl
 //	factorlog compare  [-constraints file] [-edb file] [-budget N] file.dl
 //	factorlog explain  [-strategy S] [-constraints file] file.dl
 //	factorlog classify [-constraints file] file.dl
@@ -56,6 +56,7 @@ func run(args []string) error {
 	constraintsFile := fs.String("constraints", "", "file of full-TGD EDB constraints")
 	edbFile := fs.String("edb", "", "file of additional ground facts")
 	budget := fs.Int("budget", 0, "max derived facts (0 = unlimited)")
+	profile := fs.Bool("profile", false, "run: print stage spans and per-rule/per-round tables")
 	anon := fs.Bool("anon", false, "explain: print singleton variables as '_' (paper style)")
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -98,11 +99,18 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		if *profile {
+			sys.WithTrace(true)
+		}
 		res, err := sys.Run(s, sys.NewDB())
 		if err != nil {
 			return err
 		}
 		fmt.Println(factorlog.FormatResult(res))
+		if *profile {
+			fmt.Println()
+			fmt.Print(res.Profile())
+		}
 		return nil
 
 	case "compare":
@@ -110,14 +118,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-14s %10s %12s %10s %8s %8s\n",
-			"strategy", "answers", "inferences", "facts", "iters", "arity")
-		for _, r := range results {
-			fmt.Printf("%-14s %10d %12d %10d %8d %8d\n",
-				r.Strategy, len(r.Answers), r.Inferences, r.Facts, r.Iterations, r.MaxIDBArity)
-		}
+		fmt.Print(factorlog.FormatTable(results))
 		for s, err := range skipped {
-			fmt.Printf("%-14s unavailable: %v\n", s, err)
+			fmt.Printf("%s unavailable: %v\n", s, err)
 		}
 		return nil
 
@@ -218,5 +221,5 @@ func strategyByName(name string) (factorlog.Strategy, error) {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: factorlog {run|compare|explain|classify|prove|repl} [-strategy S] [-constraints file] [-edb file] [-budget N] file.dl")
+	return fmt.Errorf("usage: factorlog {run|compare|explain|classify|prove|repl} [-strategy S] [-constraints file] [-edb file] [-budget N] [-profile] file.dl")
 }

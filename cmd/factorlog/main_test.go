@@ -41,6 +41,46 @@ func TestCLIRun(t *testing.T) {
 	}
 }
 
+func TestCLIProfile(t *testing.T) {
+	out, err := capture(t, "run", "-profile", "-strategy", "factored+opt", testdata("tc3.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage spans for the full factored chain, plus the per-rule and
+	// per-round tables from the traced evaluation.
+	for _, want := range []string{
+		"stage", "adorn", "magic", "factor", "optimize", "eval",
+		"firings", "probes", "round", "new-facts",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in profile output:\n%s", want, out)
+		}
+	}
+	// Without -profile no tables appear.
+	out, err = capture(t, "run", "-strategy", "factored+opt", testdata("tc3.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "firings") {
+		t.Errorf("profile output without -profile:\n%s", out)
+	}
+}
+
+func TestCLIProfileExample44(t *testing.T) {
+	// The acceptance workload: per-stage spans plus rule/round tables on the
+	// paper's symmetric Example 4.4 (needs its EDB constraints to factor).
+	out, err := capture(t, "run", "-profile",
+		"-constraints", testdata("example44_constraints.dl"), testdata("example44.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stage", "factor", "firings", "round"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in example44 profile:\n%s", want, out)
+		}
+	}
+}
+
 func TestCLICompare(t *testing.T) {
 	out, err := capture(t, "compare", testdata("tc3.dl"))
 	if err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -22,11 +23,14 @@ import (
 //	> :classify ?- t(1, Y).
 //	factorable: selection-pushing
 //
-// Commands: :strategy NAME, :list, :classify ?- q., :explain ?- q.,
-// :reset, :help, :quit.
+// Commands: :strategy NAME, :profile, :stats, :list, :classify ?- q.,
+// :explain ?- q., :reset, :help, :quit.
 func repl(in io.Reader, out io.Writer) error {
 	var clauses []string
 	strategy := factorlog.FactoredOptimized
+	profiling := false
+	budget := 5_000_000
+	var last *factorlog.Result
 
 	build := func(query string) (*factorlog.System, error) {
 		src := strings.Join(clauses, "\n") + "\n" + query
@@ -54,6 +58,9 @@ func repl(in io.Reader, out io.Writer) error {
 			fmt.Fprintln(out, "  <clause>.            add a rule or ground fact")
 			fmt.Fprintln(out, "  ?- atom.             evaluate a query")
 			fmt.Fprintln(out, "  :strategy NAME       switch strategy (current:", strategy, ")")
+			fmt.Fprintln(out, "  :profile             toggle per-query profiling (rule/round tables)")
+			fmt.Fprintln(out, "  :stats               show the last query's profile")
+			fmt.Fprintln(out, "  :budget N            cap derived facts per query (current:", budget, ")")
 			fmt.Fprintln(out, "  :classify ?- atom.   which factorability theorem applies")
 			fmt.Fprintln(out, "  :explain ?- atom.    show the transformed program")
 			fmt.Fprintln(out, "  :list                show accumulated clauses")
@@ -67,7 +74,33 @@ func repl(in io.Reader, out io.Writer) error {
 
 		case line == ":reset":
 			clauses = nil
+			last = nil
 			fmt.Fprintln(out, "cleared")
+
+		case line == ":profile":
+			profiling = !profiling
+			if profiling {
+				fmt.Fprintln(out, "profiling on")
+			} else {
+				fmt.Fprintln(out, "profiling off")
+			}
+
+		case line == ":stats":
+			if last == nil {
+				fmt.Fprintln(out, "no query evaluated yet")
+				continue
+			}
+			fmt.Fprintln(out, factorlog.FormatResult(last))
+			fmt.Fprint(out, last.Profile())
+
+		case strings.HasPrefix(line, ":budget"):
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimPrefix(line, ":budget"), "%d", &n); err != nil || n <= 0 {
+				fmt.Fprintln(out, "error: :budget needs a positive fact count")
+				continue
+			}
+			budget = n
+			fmt.Fprintln(out, "budget:", budget)
 
 		case strings.HasPrefix(line, ":strategy"):
 			name := strings.TrimSpace(strings.TrimPrefix(line, ":strategy"))
@@ -119,16 +152,24 @@ func repl(in io.Reader, out io.Writer) error {
 				fmt.Fprintln(out, "error:", err)
 				continue
 			}
-			sys.WithBudget(0, 5_000_000)
+			sys.WithBudget(0, budget).WithTrace(profiling)
 			res, err := sys.Run(strategy, sys.NewDB())
+			if errors.Is(err, factorlog.ErrBudgetExceeded) {
+				fmt.Fprintln(out, "budget exceeded:", err)
+				continue
+			}
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				continue
 			}
+			last = res
 			if len(res.Answers) == 0 {
 				fmt.Fprintln(out, "no answers")
 			} else {
 				fmt.Fprintln(out, strings.Join(res.Answers, " "))
+			}
+			if profiling {
+				fmt.Fprint(out, res.Profile())
 			}
 
 		default:

@@ -91,6 +91,53 @@ e(1, 2).
 	}
 }
 
+func TestReplProfileAndStats(t *testing.T) {
+	out := runRepl(t, `
+e(1, 2).
+e(2, 3).
+t(X, Y) :- e(X, Y).
+t(X, Y) :- e(X, W), t(W, Y).
+:stats
+:profile
+?- t(1, Y).
+:stats
+:profile
+:quit
+`)
+	if !strings.Contains(out, "no query evaluated yet") {
+		t.Errorf(":stats before any query:\n%s", out)
+	}
+	if !strings.Contains(out, "profiling on") || !strings.Contains(out, "profiling off") {
+		t.Errorf("profile toggle missing:\n%s", out)
+	}
+	for _, want := range []string{"stage", "eval", "firings", "round"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profiled query missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplBudgetExceeded(t *testing.T) {
+	out := runRepl(t, `
+nat(z).
+nat(s(X)) :- nat(X).
+:strategy semi-naive
+:budget 0
+:budget 1000
+?- nat(W).
+:quit
+`)
+	if !strings.Contains(out, ":budget needs a positive fact count") {
+		t.Errorf("bad budget accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "budget: 1000") {
+		t.Errorf("budget switch missing:\n%s", out)
+	}
+	if !strings.Contains(out, "budget exceeded") {
+		t.Errorf("budget stop not distinguished:\n%s", out)
+	}
+}
+
 func TestReplErrors(t *testing.T) {
 	out := runRepl(t, `
 t(X :- e(X).

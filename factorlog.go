@@ -30,11 +30,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"factorlog/internal/ast"
 	"factorlog/internal/core"
 	"factorlog/internal/cq"
 	"factorlog/internal/engine"
+	"factorlog/internal/obsv"
 	"factorlog/internal/parser"
 	"factorlog/internal/pipeline"
 )
@@ -65,6 +67,19 @@ var ErrNoQuery = errors.New("factorlog: source contains no query (?- ...)")
 // ErrNotFactorable is returned by Run/Explain for the factored strategies
 // when no theorem of the paper certifies the factoring.
 var ErrNotFactorable = core.ErrNotFactorable
+
+// ErrBudgetExceeded is returned (wrapped) by Run when an evaluation exceeds
+// the WithBudget limits; test with errors.Is to distinguish budget stops
+// from real failures.
+var ErrBudgetExceeded = engine.ErrBudgetExceeded
+
+// RuleStats, RoundStats and Span re-export the observability record types;
+// see package obsv for field documentation.
+type (
+	RuleStats  = obsv.RuleStats
+	RoundStats = obsv.RoundStats
+	Span       = obsv.Span
+)
 
 // System is a compiled (program, query) pair with cached transformations.
 type System struct {
@@ -115,10 +130,18 @@ func (s *System) WithConstraints(src string) (*System, error) {
 }
 
 // WithBudget bounds evaluations (0 means unlimited); useful for strategies
-// that can diverge (Counting on cyclic data).
+// that can diverge (Counting on cyclic data). Overruns surface as
+// ErrBudgetExceeded.
 func (s *System) WithBudget(maxIterations, maxFacts int) *System {
 	s.evalOpts.MaxIterations = maxIterations
 	s.evalOpts.MaxFacts = maxFacts
+	return s
+}
+
+// WithTrace enables (or disables) evaluation tracing: subsequent Runs fill
+// Result.Rules and Result.Rounds, at a small evaluation-time cost.
+func (s *System) WithTrace(on bool) *System {
+	s.evalOpts.Trace = on
 	return s
 }
 
@@ -191,6 +214,26 @@ type Result struct {
 	Inferences  int
 	Iterations  int
 	MaxIDBArity int
+	// Spans traces the transformation stages that produced the evaluated
+	// program, ending with an "eval" span.
+	Spans []Span
+	// Rules and Rounds carry per-rule and per-round evaluation records when
+	// tracing is on (WithTrace); nil otherwise.
+	Rules  []RuleStats
+	Rounds []RoundStats
+	// EvalWall is the evaluation's wall-clock time.
+	EvalWall time.Duration
+
+	raw *pipeline.RunResult
+}
+
+// Profile renders the result's stage spans and, when tracing was enabled,
+// its per-rule and per-round tables.
+func (r *Result) Profile() string {
+	if r.raw == nil {
+		return ""
+	}
+	return pipeline.ProfileTable(r.raw)
 }
 
 // Run evaluates the query over db with the given strategy. The db is
@@ -200,19 +243,29 @@ func (s *System) Run(strategy Strategy, db *DB) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newResult(r), nil
+}
+
+// newResult converts a pipeline run into the facade shape.
+func newResult(r *pipeline.RunResult) *Result {
 	answers := make([]string, 0, len(r.Answers))
 	for a := range r.Answers {
 		answers = append(answers, a)
 	}
 	sort.Strings(answers)
 	return &Result{
-		Strategy:    strategy,
+		Strategy:    r.Strategy,
 		Answers:     answers,
 		Facts:       r.Facts,
 		Inferences:  r.Inferences,
 		Iterations:  r.Iterations,
 		MaxIDBArity: r.MaxIDBArity,
-	}, nil
+		Spans:       r.Spans,
+		Rules:       r.Rules,
+		Rounds:      r.Rounds,
+		EvalWall:    r.EvalWall,
+		raw:         r,
+	}
 }
 
 // Compare runs all the given strategies, each over a fresh copy of the
@@ -221,19 +274,7 @@ func (s *System) Run(strategy Strategy, db *DB) (*Result, error) {
 func (s *System) Compare(strategies []Strategy, load func() *DB) (results []*Result, skipped map[Strategy]error, err error) {
 	raw, sk, err := s.pl.Compare(strategies, func() *engine.DB { return load().inner }, s.evalOpts)
 	for _, r := range raw {
-		answers := make([]string, 0, len(r.Answers))
-		for a := range r.Answers {
-			answers = append(answers, a)
-		}
-		sort.Strings(answers)
-		results = append(results, &Result{
-			Strategy:    r.Strategy,
-			Answers:     answers,
-			Facts:       r.Facts,
-			Inferences:  r.Inferences,
-			Iterations:  r.Iterations,
-			MaxIDBArity: r.MaxIDBArity,
-		})
+		results = append(results, newResult(r))
 	}
 	return results, sk, err
 }
@@ -304,6 +345,18 @@ func (s *System) Classify() (string, error) {
 		return "", err
 	}
 	return fr.Class.String(), nil
+}
+
+// FormatTable renders results as an aligned comparison table; columns adapt
+// to the contents (see pipeline.Table).
+func FormatTable(results []*Result) string {
+	raw := make([]*pipeline.RunResult, 0, len(results))
+	for _, r := range results {
+		if r.raw != nil {
+			raw = append(raw, r.raw)
+		}
+	}
+	return pipeline.Table(raw)
 }
 
 // FormatResult renders a result compactly.

@@ -2,6 +2,7 @@ package factorlog_test
 
 import (
 	"errors"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -106,8 +107,33 @@ func TestDivergentFunctionSymbolProgram(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.WithBudget(0, 100)
-	if _, err := sys.Run(factorlog.SemiNaive, sys.NewDB()); err == nil {
-		t.Error("divergent program not stopped by budget")
+	_, err = sys.Run(factorlog.SemiNaive, sys.NewDB())
+	if err == nil {
+		t.Fatal("divergent program not stopped by budget")
+	}
+	// Budget stops are typed, so callers can tell them from real failures.
+	if !errors.Is(err, factorlog.ErrBudgetExceeded) {
+		t.Errorf("want ErrBudgetExceeded, got %v", err)
+	}
+
+	// The iteration budget is checked between fixpoint rounds, so it can't
+	// stop nat/1 (which cascades inside round 0 — the fact budget's job);
+	// exercise it on a recursion that needs many rounds instead.
+	tc, err := factorlog.Load(`
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		?- t(1, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := tc.NewDB()
+	for i := 0; i < 50; i++ {
+		db.Fact("e", strconv.Itoa(i), strconv.Itoa(i+1))
+	}
+	tc.WithBudget(3, 0)
+	if _, err := tc.Run(factorlog.SemiNaive, db); !errors.Is(err, factorlog.ErrBudgetExceeded) {
+		t.Errorf("iteration budget: want ErrBudgetExceeded, got %v", err)
 	}
 }
 

@@ -46,6 +46,9 @@ type compiledRule struct {
 	idbOccs  []int // body positions whose predicate is IDB (delta positions)
 }
 
+// label renders the rule's source for trace records.
+func (r *compiledRule) label() string { return r.src.String() }
+
 // compiler lowers an ast.Program for a given store.
 type compiler struct {
 	store *Store

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"factorlog/internal/ast"
+	"factorlog/internal/obsv"
 )
 
 // Strategy selects the fixpoint algorithm.
@@ -33,10 +35,16 @@ func (s Strategy) String() string {
 	}
 }
 
-// ErrBudget is returned (wrapped) when evaluation exceeds MaxIterations or
-// MaxFacts; used to bound deliberately divergent programs such as the
-// Counting transformation of a left-linear recursion (§6.4).
-var ErrBudget = errors.New("evaluation budget exceeded")
+// ErrBudgetExceeded is returned (wrapped) when evaluation exceeds
+// MaxIterations or MaxFacts; used to bound deliberately divergent programs
+// such as the Counting transformation of a left-linear recursion (§6.4).
+// Callers distinguish budget stops from real failures with errors.Is.
+var ErrBudgetExceeded = errors.New("evaluation budget exceeded")
+
+// ErrBudget is the former name of ErrBudgetExceeded.
+//
+// Deprecated: use ErrBudgetExceeded.
+var ErrBudget = ErrBudgetExceeded
 
 // Options configures evaluation.
 type Options struct {
@@ -51,6 +59,10 @@ type Options struct {
 	// most-bound literal runs first. Off by default: the paper's cost
 	// discussions assume the written left-to-right order.
 	ReorderJoins bool
+	// Trace records per-rule counters in Stats.Rules and per-round records
+	// in Stats.Rounds. Off by default: with tracing off the hot path pays a
+	// nil check per event and allocates nothing.
+	Trace bool
 }
 
 // Stats reports the work an evaluation performed.
@@ -62,6 +74,11 @@ type Stats struct {
 	Derived int
 	// Iterations counts fixpoint rounds.
 	Iterations int
+	// Rules holds per-rule counters, indexed by rule position in the
+	// program; nil unless Options.Trace.
+	Rules []obsv.RuleStats
+	// Rounds holds one record per fixpoint round; nil unless Options.Trace.
+	Rounds []obsv.RoundStats
 }
 
 // Result is the outcome of an evaluation. The DB passed to Eval is mutated
@@ -87,8 +104,15 @@ func Eval(p *ast.Program, db *DB, opts Options) (*Result, error) {
 	if opts.Provenance {
 		ev.prov = NewProvenance(p)
 	}
+	if opts.Trace {
+		ev.trace = newEvalTrace(rules)
+	}
 	if err := ev.run(); err != nil {
 		return nil, err
+	}
+	if ev.trace != nil {
+		ev.stats.Rules = ev.trace.rules
+		ev.stats.Rounds = ev.trace.rounds
 	}
 	return &Result{DB: db, Stats: ev.stats, Prov: ev.prov}, nil
 }
@@ -114,6 +138,55 @@ type evaluator struct {
 	children []FactID
 	// per-call literal round limits, reused.
 	limits []roundRange
+
+	// trace is non-nil only under Options.Trace; all recording helpers are
+	// nil-guarded so the untraced hot path neither branches deeply nor
+	// allocates.
+	trace *evalTrace
+}
+
+// evalTrace accumulates the per-rule and per-round records behind
+// Options.Trace.
+type evalTrace struct {
+	rules  []obsv.RuleStats
+	rounds []obsv.RoundStats
+	cur    *obsv.RuleStats // counters of the rule currently being evaluated
+	start  time.Time       // current round's start
+	fired  int             // rule evaluation passes this round
+}
+
+func newEvalTrace(rules []*compiledRule) *evalTrace {
+	t := &evalTrace{rules: make([]obsv.RuleStats, len(rules))}
+	for i, r := range rules {
+		t.rules[i] = obsv.RuleStats{Index: i, Rule: r.label()}
+	}
+	return t
+}
+
+func (ev *evaluator) traceRoundStart() {
+	if t := ev.trace; t != nil {
+		t.start = time.Now()
+		t.fired = 0
+	}
+}
+
+func (ev *evaluator) traceRoundEnd() {
+	if t := ev.trace; t != nil {
+		t.rounds = append(t.rounds, obsv.RoundStats{
+			Round:      int(ev.curRound),
+			RulesFired: t.fired,
+			NewFacts:   total(ev.newCounts),
+			Wall:       time.Since(t.start),
+		})
+	}
+}
+
+func (ev *evaluator) traceRule(r *compiledRule) {
+	if t := ev.trace; t != nil {
+		t.cur = &t.rules[r.idx]
+		t.cur.Firings++
+		t.fired++
+	}
 }
 
 func (ev *evaluator) run() error {
@@ -134,20 +207,23 @@ func (ev *evaluator) run() error {
 	// bodyless rules, rules over EDB only, and pre-seeded IDB facts).
 	ev.curRound = 0
 	ev.newCounts = map[string]int{}
+	ev.traceRoundStart()
 	for _, r := range ev.rules {
 		if err := ev.evalRule(r, -1); err != nil {
 			return err
 		}
 	}
+	ev.traceRoundEnd()
 	ev.stats.Iterations++
 
 	for total(ev.newCounts) > 0 {
 		if ev.opts.MaxIterations > 0 && ev.stats.Iterations >= ev.opts.MaxIterations {
-			return fmt.Errorf("%w: %d iterations", ErrBudget, ev.stats.Iterations)
+			return fmt.Errorf("%w: %d iterations", ErrBudgetExceeded, ev.stats.Iterations)
 		}
 		deltaCounts := ev.newCounts
 		ev.newCounts = map[string]int{}
 		ev.curRound++
+		ev.traceRoundStart()
 		switch ev.opts.Strategy {
 		case Naive:
 			for _, r := range ev.rules {
@@ -167,6 +243,7 @@ func (ev *evaluator) run() error {
 				}
 			}
 		}
+		ev.traceRoundEnd()
 		ev.stats.Iterations++
 	}
 	return nil
@@ -184,6 +261,7 @@ func total(m map[string]int) int {
 // position ranges over the current round's delta and the other IDB
 // occurrences over P_{r-1} (before it) / P_r (after it).
 func (ev *evaluator) evalRule(r *compiledRule, deltaOcc int) error {
+	ev.traceRule(r)
 	if cap(ev.limits) < len(r.body) {
 		ev.limits = make([]roundRange, len(r.body))
 	}
@@ -226,6 +304,9 @@ func (ev *evaluator) join(r *compiledRule, li int, slots []Val, trail []int) err
 
 	childMark := len(ev.children)
 	tryPos := func(pos int32) error {
+		if t := ev.trace; t != nil {
+			t.cur.JoinProbes++
+		}
 		if rnd := rel.Round(pos); rnd < limit.lo || rnd > limit.hi {
 			return nil
 		}
@@ -239,6 +320,9 @@ func (ev *evaluator) join(r *compiledRule, li int, slots []Val, trail []int) err
 			}
 		}
 		if ok {
+			if t := ev.trace; t != nil {
+				t.cur.TuplesMatched++
+			}
 			if ev.prov != nil {
 				ev.children = append(ev.children[:childMark],
 					ev.prov.factID(spec.pred, tuple))
@@ -279,7 +363,13 @@ func (ev *evaluator) emit(r *compiledRule, slots []Val) error {
 	}
 	full := ev.db.Lookup(r.headPred)
 	if !full.InsertRound(tuple, ev.curRound+1) {
+		if t := ev.trace; t != nil {
+			t.cur.Duplicates++
+		}
 		return nil
+	}
+	if t := ev.trace; t != nil {
+		t.cur.TuplesDerived++
 	}
 	ev.newCounts[r.headPred]++
 	ev.stats.Derived++
@@ -287,7 +377,7 @@ func (ev *evaluator) emit(r *compiledRule, slots []Val) error {
 		ev.prov.record(r, tuple, ev.children)
 	}
 	if ev.opts.MaxFacts > 0 && ev.stats.Derived > ev.opts.MaxFacts {
-		return fmt.Errorf("%w: %d derived facts", ErrBudget, ev.stats.Derived)
+		return fmt.Errorf("%w: %d derived facts", ErrBudgetExceeded, ev.stats.Derived)
 	}
 	return nil
 }

@@ -1,0 +1,128 @@
+// Package obsv is the observability layer: plain record types shared by the
+// engine (per-rule and per-round evaluation counters), the pipeline (stage
+// spans), and the command-line surfaces, plus text renderers for each. It is
+// deliberately dependency-free and knows nothing about Datalog — producers
+// fill the records, obsv formats them. The JSON tags define the schema of
+// the machine-readable metrics documents emitted by `factorbench -json`
+// (committed as BENCH_*.json).
+package obsv
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// RuleStats aggregates the work one rule performed over a whole evaluation.
+// The counters separate the paper's cost measure (successful instantiations)
+// into its components: how often the rule ran, how much join work each run
+// did, and how much of the derived output was new.
+type RuleStats struct {
+	// Index is the rule's position in the evaluated program.
+	Index int `json:"index"`
+	// Rule is the rendered source of the rule.
+	Rule string `json:"rule"`
+	// Firings counts evaluation passes over the rule (per round and, under
+	// semi-naive, per delta occurrence).
+	Firings int `json:"firings"`
+	// JoinProbes counts candidate tuples examined across all body joins,
+	// including candidates rejected by the semi-naive round filter.
+	JoinProbes int `json:"join_probes"`
+	// TuplesMatched counts candidates that unified with their body literal.
+	TuplesMatched int `json:"tuples_matched"`
+	// TuplesDerived counts new facts the rule added to the database.
+	TuplesDerived int `json:"tuples_derived"`
+	// Duplicates counts instantiations that re-derived an existing fact.
+	Duplicates int `json:"duplicates"`
+}
+
+// RoundStats describes one fixpoint round.
+type RoundStats struct {
+	// Round is the round number (0 is the initial full evaluation).
+	Round int `json:"round"`
+	// RulesFired counts rule evaluation passes during the round.
+	RulesFired int `json:"rules_fired"`
+	// NewFacts counts facts first derived in this round.
+	NewFacts int `json:"new_facts"`
+	// Wall is the round's wall-clock time.
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// Span traces one pipeline stage: a program-to-program transformation (or
+// the final evaluation), with the deltas the paper cares about — rule count
+// and maximum IDB arity.
+type Span struct {
+	// Name identifies the stage (adorn, magic, factor, optimize, counting,
+	// sup-magic, eval).
+	Name string `json:"name"`
+	// Wall is the stage's wall-clock time.
+	Wall time.Duration `json:"wall_ns"`
+	// RulesBefore/RulesAfter are the rule counts of the input and output
+	// programs.
+	RulesBefore int `json:"rules_before"`
+	RulesAfter  int `json:"rules_after"`
+	// ArityBefore/ArityAfter are the maximum IDB arities of the input and
+	// output programs — the paper's argument-reduction metric.
+	ArityBefore int `json:"arity_before"`
+	ArityAfter  int `json:"arity_after"`
+	// Err is set when the stage failed (e.g. a non-factorable program).
+	Err string `json:"error,omitempty"`
+}
+
+// FormatDuration renders d rounded to the nearest microsecond, keeping the
+// tables readable without losing sub-millisecond stages.
+func FormatDuration(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// newTable returns a tabwriter configured uniformly for all obsv tables.
+func newTable(b *strings.Builder) *tabwriter.Writer {
+	return tabwriter.NewWriter(b, 0, 0, 2, ' ', 0)
+}
+
+// SpanTable renders pipeline stage spans as an aligned table.
+func SpanTable(spans []Span) string {
+	var b strings.Builder
+	w := newTable(&b)
+	fmt.Fprintln(w, "stage\twall\trules\tmax-arity\tnote")
+	for _, s := range spans {
+		note := ""
+		if s.Err != "" {
+			note = "error: " + s.Err
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d -> %d\t%d -> %d\t%s\n",
+			s.Name, FormatDuration(s.Wall),
+			s.RulesBefore, s.RulesAfter, s.ArityBefore, s.ArityAfter, note)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// RuleTable renders per-rule counters as an aligned table, one row per rule
+// in program order.
+func RuleTable(rules []RuleStats) string {
+	var b strings.Builder
+	w := newTable(&b)
+	fmt.Fprintln(w, "#\tfirings\tprobes\tmatched\tderived\tdup\trule")
+	for _, r := range rules {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			r.Index, r.Firings, r.JoinProbes, r.TuplesMatched,
+			r.TuplesDerived, r.Duplicates, r.Rule)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// RoundTable renders per-round records as an aligned table.
+func RoundTable(rounds []RoundStats) string {
+	var b strings.Builder
+	w := newTable(&b)
+	fmt.Fprintln(w, "round\trules-fired\tnew-facts\twall")
+	for _, r := range rounds {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%s\n",
+			r.Round, r.RulesFired, r.NewFacts, FormatDuration(r.Wall))
+	}
+	w.Flush()
+	return b.String()
+}

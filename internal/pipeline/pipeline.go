@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"text/tabwriter"
+	"time"
 
 	"factorlog/internal/adorn"
 	"factorlog/internal/ast"
@@ -17,6 +19,7 @@ import (
 	"factorlog/internal/counting"
 	"factorlog/internal/engine"
 	"factorlog/internal/magic"
+	"factorlog/internal/obsv"
 	"factorlog/internal/optimize"
 	"factorlog/internal/topdown"
 )
@@ -93,6 +96,10 @@ type Pipeline struct {
 
 	adornErr, magicErr, factErr, optErr, cntErr, supErr       error
 	adornDone, magicDone, factDone, optDone, cntDone, supDone bool
+
+	// spans traces each transformation stage the first time it runs (the
+	// results above are cached, so each stage appears at most once).
+	spans []obsv.Span
 }
 
 // New constructs a pipeline.
@@ -106,10 +113,37 @@ func (pl *Pipeline) WithConstraints(tgds []ast.Rule) *Pipeline {
 	return pl
 }
 
+// recordSpan appends a stage span; in or out may be nil when the stage's
+// input or output program is unavailable (a failed stage has no output).
+func (pl *Pipeline) recordSpan(name string, start time.Time, in, out *ast.Program, err error) {
+	sp := obsv.Span{Name: name, Wall: time.Since(start)}
+	if in != nil {
+		sp.RulesBefore, sp.ArityBefore = len(in.Rules), maxIDBArity(in)
+	}
+	if out != nil {
+		sp.RulesAfter, sp.ArityAfter = len(out.Rules), maxIDBArity(out)
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	pl.spans = append(pl.spans, sp)
+}
+
+// Spans returns the stage spans recorded so far, in execution order.
+func (pl *Pipeline) Spans() []obsv.Span {
+	return append([]obsv.Span(nil), pl.spans...)
+}
+
 // Adorned returns the adorned program, computing it on first use.
 func (pl *Pipeline) Adorned() (*adorn.Result, error) {
 	if !pl.adornDone {
+		start := time.Now()
 		pl.adorned, pl.adornErr = adorn.Adorn(pl.Program, pl.Query)
+		var out *ast.Program
+		if pl.adornErr == nil {
+			out = pl.adorned.Program
+		}
+		pl.recordSpan("adorn", start, pl.Program, out, pl.adornErr)
 		pl.adornDone = true
 	}
 	return pl.adorned, pl.adornErr
@@ -122,7 +156,13 @@ func (pl *Pipeline) MagicProgram() (*magic.Result, error) {
 		if err != nil {
 			pl.magicErr = err
 		} else {
+			start := time.Now()
 			pl.magicRes, pl.magicErr = magic.Transform(ad)
+			var out *ast.Program
+			if pl.magicErr == nil {
+				out = pl.magicRes.Program
+			}
+			pl.recordSpan("magic", start, ad.Program, out, pl.magicErr)
 		}
 		pl.magicDone = true
 	}
@@ -136,7 +176,13 @@ func (pl *Pipeline) FactoredProgram() (*core.FactorResult, error) {
 		if err != nil {
 			pl.factErr = err
 		} else {
+			start := time.Now()
 			pl.factRes, pl.factErr = core.FactorMagic(m, pl.Constraints)
+			var out *ast.Program
+			if pl.factErr == nil {
+				out = pl.factRes.Program
+			}
+			pl.recordSpan("factor", start, m.Program, out, pl.factErr)
 		}
 		pl.factDone = true
 	}
@@ -151,8 +197,14 @@ func (pl *Pipeline) OptimizedProgram() (*optimize.Result, error) {
 			pl.optErr = err
 		} else {
 			m, _ := pl.MagicProgram()
+			start := time.Now()
 			pl.optRes, pl.optErr = optimize.Optimize(fr.Program,
 				optimize.ForFactored(fr, magic.QueryPred, m.Seed.Head.Args))
+			var out *ast.Program
+			if pl.optErr == nil {
+				out = pl.optRes.Program
+			}
+			pl.recordSpan("optimize", start, fr.Program, out, pl.optErr)
 		}
 		pl.optDone = true
 	}
@@ -166,7 +218,13 @@ func (pl *Pipeline) SupplementaryMagicProgram() (*magic.Result, error) {
 		if err != nil {
 			pl.supErr = err
 		} else {
+			start := time.Now()
 			pl.supRes, pl.supErr = magic.TransformSupplementary(ad)
+			var out *ast.Program
+			if pl.supErr == nil {
+				out = pl.supRes.Program
+			}
+			pl.recordSpan("sup-magic", start, ad.Program, out, pl.supErr)
 		}
 		pl.supDone = true
 	}
@@ -180,7 +238,13 @@ func (pl *Pipeline) CountingProgram() (*counting.Result, error) {
 		if err != nil {
 			pl.cntErr = err
 		} else {
+			start := time.Now()
 			pl.cntRes, pl.cntErr = counting.Transform(ad)
+			var out *ast.Program
+			if pl.cntErr == nil {
+				out = pl.cntRes.Program
+			}
+			pl.recordSpan("counting", start, ad.Program, out, pl.cntErr)
 		}
 		pl.cntDone = true
 	}
@@ -206,6 +270,50 @@ type RunResult struct {
 	MaxIDBArity int
 	// Program is the program that was evaluated.
 	Program *ast.Program
+	// Spans traces the transformation stages that produced Program, ending
+	// with an "eval" span for the evaluation itself.
+	Spans []obsv.Span
+	// Rules and Rounds carry the engine's per-rule and per-round records
+	// when engine.Options.Trace is set (bottom-up strategies only; nil
+	// otherwise).
+	Rules  []obsv.RuleStats
+	Rounds []obsv.RoundStats
+	// EvalWall is the evaluation's wall-clock time.
+	EvalWall time.Duration
+}
+
+// stageNames lists, per strategy, the transformation stages that produce
+// the program it evaluates; strategies not listed evaluate the source
+// program directly.
+var stageNames = map[Strategy][]string{
+	Magic:              {"adorn", "magic"},
+	SupplementaryMagic: {"adorn", "sup-magic"},
+	Factored:           {"adorn", "magic", "factor"},
+	FactoredOptimized:  {"adorn", "magic", "factor", "optimize"},
+	Counting:           {"adorn", "counting"},
+}
+
+// spansFor selects the recorded spans belonging to one strategy's stage
+// chain (the pipeline accumulates spans across strategies as its caches
+// fill).
+func (pl *Pipeline) spansFor(s Strategy) []obsv.Span {
+	var out []obsv.Span
+	for _, name := range stageNames[s] {
+		for _, sp := range pl.spans {
+			if sp.Name == name {
+				out = append(out, sp)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// evalSpan summarizes an evaluation as a span over the evaluated program.
+func evalSpan(p *ast.Program, wall time.Duration) obsv.Span {
+	n, a := len(p.Rules), maxIDBArity(p)
+	return obsv.Span{Name: "eval", Wall: wall,
+		RulesBefore: n, RulesAfter: n, ArityBefore: a, ArityAfter: a}
 }
 
 // Run evaluates one strategy over db. The db is mutated (derived relations
@@ -217,7 +325,9 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 		if s == Naive {
 			evalOpts.Strategy = engine.Naive
 		}
+		start := time.Now()
 		res, err := engine.Eval(pl.Program, db, evalOpts)
+		wall := time.Since(start)
 		if err != nil {
 			return nil, err
 		}
@@ -233,6 +343,10 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 			Iterations:  res.Stats.Iterations,
 			MaxIDBArity: maxIDBArity(pl.Program),
 			Program:     pl.Program,
+			Spans:       []obsv.Span{evalSpan(pl.Program, wall)},
+			Rules:       res.Stats.Rules,
+			Rounds:      res.Stats.Rounds,
+			EvalWall:    wall,
 		}, nil
 
 	case Magic:
@@ -272,7 +386,9 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 		return pl.runTransformed(s, c.Program, c.Query, db, evalOpts)
 
 	case Tabled:
+		start := time.Now()
 		res, err := topdown.SolveTabled(pl.Program, db, pl.Query, topdown.Options{})
+		wall := time.Since(start)
 		if err != nil {
 			return nil, err
 		}
@@ -289,6 +405,8 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 			Iterations:  res.Stats.Rounds,
 			MaxIDBArity: maxIDBArity(pl.Program),
 			Program:     pl.Program,
+			Spans:       []obsv.Span{evalSpan(pl.Program, wall)},
+			EvalWall:    wall,
 		}, nil
 
 	case TopDown:
@@ -297,10 +415,12 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 		// cyclic data. Substitutions grow with depth, so a deep dive costs
 		// O(depth^2) live map entries — keep the cap moderate. A budget
 		// error makes Compare report the strategy as unavailable.
+		start := time.Now()
 		res, err := topdown.Solve(pl.Program, db, pl.Query, topdown.Options{
 			MaxDepth: 1000,
 			MaxSteps: 5_000_000,
 		})
+		wall := time.Since(start)
 		if err != nil {
 			return nil, err
 		}
@@ -317,6 +437,8 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 			Iterations:  res.Stats.MaxDepthSeen,
 			MaxIDBArity: maxIDBArity(pl.Program),
 			Program:     pl.Program,
+			Spans:       []obsv.Span{evalSpan(pl.Program, wall)},
+			EvalWall:    wall,
 		}, nil
 
 	default:
@@ -326,7 +448,9 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 
 func (pl *Pipeline) runTransformed(s Strategy, prog *ast.Program, query ast.Atom,
 	db *engine.DB, evalOpts engine.Options) (*RunResult, error) {
+	start := time.Now()
 	res, err := engine.Eval(prog, db, evalOpts)
+	wall := time.Since(start)
 	if err != nil {
 		return nil, err
 	}
@@ -342,6 +466,10 @@ func (pl *Pipeline) runTransformed(s Strategy, prog *ast.Program, query ast.Atom
 		Iterations:  res.Stats.Iterations,
 		MaxIDBArity: maxIDBArity(prog),
 		Program:     prog,
+		Spans:       append(pl.spansFor(s), evalSpan(prog, wall)),
+		Rules:       res.Stats.Rules,
+		Rounds:      res.Stats.Rounds,
+		EvalWall:    wall,
 	}, nil
 }
 
@@ -436,14 +564,35 @@ func (pl *Pipeline) Compare(strategies []Strategy, load func() *engine.DB,
 	return results, skipped, nil
 }
 
-// Table renders results as an aligned text table.
+// Table renders results as an aligned text table. Column widths adapt to
+// the contents (long strategy names, large counts) via text/tabwriter.
 func Table(results []*RunResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %10s %12s %10s %8s %8s\n",
-		"strategy", "answers", "inferences", "facts", "iters", "arity")
+	w := tabwriter.NewWriter(&b, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "strategy\tanswers\tinferences\tfacts\titers\tarity")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-14s %10d %12d %10d %8d %8d\n",
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\n",
 			r.Strategy, len(r.Answers), r.Inferences, r.Facts, r.Iterations, r.MaxIDBArity)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// ProfileTable renders one run's profile: its stage spans and, when the
+// evaluation was traced (engine.Options.Trace), the per-rule and per-round
+// tables.
+func ProfileTable(r *RunResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy: %s (eval wall %s)\n",
+		r.Strategy, obsv.FormatDuration(r.EvalWall))
+	b.WriteString(obsv.SpanTable(r.Spans))
+	if len(r.Rules) > 0 {
+		b.WriteByte('\n')
+		b.WriteString(obsv.RuleTable(r.Rules))
+	}
+	if len(r.Rounds) > 0 {
+		b.WriteByte('\n')
+		b.WriteString(obsv.RoundTable(r.Rounds))
 	}
 	return b.String()
 }

@@ -1,0 +1,138 @@
+package pipeline
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"factorlog/internal/engine"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestStageSpansRecorded(t *testing.T) {
+	pl := tcPipeline()
+	r, err := pl.Run(FactoredOptimized, chain(8)(), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, sp := range r.Spans {
+		names = append(names, sp.Name)
+	}
+	want := []string{"adorn", "magic", "factor", "optimize", "eval"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("span chain = %v, want %v", names, want)
+	}
+	for _, sp := range r.Spans {
+		if sp.Wall < 0 {
+			t.Errorf("%s: negative wall time", sp.Name)
+		}
+		if sp.Err != "" {
+			t.Errorf("%s: unexpected error %q", sp.Name, sp.Err)
+		}
+	}
+	// Magic grows the program; the optimize clean-up shrinks arity to the
+	// paper's unary program.
+	magic := r.Spans[1]
+	if magic.RulesAfter <= magic.RulesBefore {
+		t.Errorf("magic rules %d -> %d, want growth", magic.RulesBefore, magic.RulesAfter)
+	}
+	opt := r.Spans[3]
+	if opt.ArityAfter != 1 {
+		t.Errorf("optimize arity after = %d, want 1", opt.ArityAfter)
+	}
+	if r.EvalWall <= 0 {
+		t.Error("EvalWall not recorded")
+	}
+}
+
+func TestStageSpansSelectPerStrategy(t *testing.T) {
+	pl := tcPipeline()
+	load := chain(8)
+	// Run FactoredOptimized first so the pipeline caches every stage, then
+	// check a Magic run only reports its own chain.
+	if _, err := pl.Run(FactoredOptimized, load(), engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := pl.Run(Magic, load(), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, sp := range r.Spans {
+		names = append(names, sp.Name)
+	}
+	if strings.Join(names, ",") != "adorn,magic,eval" {
+		t.Errorf("magic span chain = %v", names)
+	}
+	// Cached stages appear exactly once in the pipeline's record.
+	seen := map[string]int{}
+	for _, sp := range pl.Spans() {
+		seen[sp.Name]++
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("stage %s recorded %d times", name, n)
+		}
+	}
+}
+
+func TestRunWithTraceAttachesRuleAndRoundStats(t *testing.T) {
+	pl := tcPipeline()
+	r, err := pl.Run(FactoredOptimized, chain(8)(), engine.Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rules) != len(r.Program.Rules) {
+		t.Fatalf("Rules = %d, program has %d rules", len(r.Rules), len(r.Program.Rules))
+	}
+	if len(r.Rounds) != r.Iterations {
+		t.Errorf("Rounds = %d, Iterations = %d", len(r.Rounds), r.Iterations)
+	}
+	out := ProfileTable(r)
+	for _, want := range []string{"strategy: factored+opt", "stage", "adorn", "eval", "firings", "round"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ProfileTable missing %q:\n%s", want, out)
+		}
+	}
+	// Untraced runs still profile the stages, just without rule/round tables.
+	r2, err := tcPipeline().Run(Magic, chain(8)(), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := ProfileTable(r2)
+	if strings.Contains(out2, "firings") {
+		t.Errorf("untraced profile has rule table:\n%s", out2)
+	}
+}
+
+// TestTableGolden locks the Table layout, including the cases the old
+// fixed-width formatter broke on: strategy names longer than 14 characters
+// and counts wider than their columns.
+func TestTableGolden(t *testing.T) {
+	results := []*RunResult{
+		{Strategy: SemiNaive, Answers: map[string]bool{"(1)": true, "(2)": true},
+			Inferences: 123456789012345, Facts: 987654321, Iterations: 42, MaxIDBArity: 2},
+		{Strategy: SupplementaryMagic, Answers: map[string]bool{"(1)": true},
+			Inferences: 7, Facts: 3, Iterations: 2, MaxIDBArity: 4},
+		{Strategy: Strategy(1234567890), Answers: map[string]bool{},
+			Inferences: 1, Facts: 1, Iterations: 1, MaxIDBArity: 1},
+	}
+	got := Table(results)
+	golden := filepath.Join("testdata", "table.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("Table output drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
