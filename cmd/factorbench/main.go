@@ -8,14 +8,15 @@
 //	factorbench -run E2            # run one experiment
 //	factorbench -list              # list experiment IDs and titles
 //	factorbench -json [-n N]       # machine-readable strategy metrics (BENCH_*.json)
+//	factorbench -json -workers 1,2,4,8   # one row per strategy x worker count
 //	factorbench -pprof-addr :6060  # serve net/http/pprof while running
 //
 // With -json, factorbench evaluates every strategy over the E1
 // transitive-closure workload (a chain of N edges, query from node N/3)
 // with engine tracing enabled, and emits one JSON metrics document: per
-// strategy, the pipeline stage spans, per-rule and per-round counters, and
-// total wall time. The committed BENCH_*.json files are snapshots of this
-// output.
+// strategy and worker count, the pipeline stage spans, per-rule, per-round,
+// per-stratum and per-worker counters, and total wall time. The committed
+// BENCH_*.json files are snapshots of this output.
 package main
 
 import (
@@ -25,6 +26,8 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strconv"
+	"strings"
 
 	"factorlog/internal/engine"
 	"factorlog/internal/experiments"
@@ -45,6 +48,7 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiments")
 	jsonOut := fs.Bool("json", false, "emit a JSON metrics document for the strategy sweep")
 	n := fs.Int("n", 256, "workload size for -json (chain length)")
+	workersList := fs.String("workers", "1", "comma-separated worker counts for -json (e.g. 1,2,4,8)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,7 +71,11 @@ func run(args []string) error {
 	}
 
 	if *jsonOut {
-		return emitJSON(os.Stdout, *n)
+		workers, err := parseWorkersList(*workersList)
+		if err != nil {
+			return err
+		}
+		return emitJSON(os.Stdout, *n, workers)
 	}
 
 	if *one != "" {
@@ -107,50 +115,88 @@ type metricsDoc struct {
 	Runs     []metricsRun `json:"runs"`
 }
 
-// metricsRun is one strategy's traced evaluation. Strategies whose
-// transformation is unavailable for the workload (or that diverge on it)
-// report Error and nothing else.
+// metricsRun is one strategy's traced evaluation at one worker count.
+// Strategies whose transformation is unavailable for the workload (or that
+// diverge on it) report Error and nothing else; worker counts above 1 only
+// apply to the bottom-up semi-naive strategies, so the top-down baselines
+// are emitted once (workers = 1).
 type metricsRun struct {
-	Strategy   string            `json:"strategy"`
-	Error      string            `json:"error,omitempty"`
-	Answers    int               `json:"answers"`
-	Inferences int               `json:"inferences"`
-	Facts      int               `json:"facts"`
-	Iterations int               `json:"iterations"`
-	MaxArity   int               `json:"max_idb_arity"`
-	WallNS     int64             `json:"wall_ns"`
-	Spans      []obsv.Span       `json:"stage_spans,omitempty"`
-	Rules      []obsv.RuleStats  `json:"rule_stats,omitempty"`
-	Rounds     []obsv.RoundStats `json:"rounds,omitempty"`
+	Strategy   string              `json:"strategy"`
+	Workers    int                 `json:"workers"`
+	Error      string              `json:"error,omitempty"`
+	Answers    int                 `json:"answers"`
+	Inferences int                 `json:"inferences"`
+	Facts      int                 `json:"facts"`
+	Iterations int                 `json:"iterations"`
+	MaxArity   int                 `json:"max_idb_arity"`
+	WallNS     int64               `json:"wall_ns"`
+	Spans      []obsv.Span         `json:"stage_spans,omitempty"`
+	Rules      []obsv.RuleStats    `json:"rule_stats,omitempty"`
+	Rounds     []obsv.RoundStats   `json:"rounds,omitempty"`
+	Strata     []obsv.StratumStats `json:"strata,omitempty"`
+	WorkerRows []obsv.WorkerStats  `json:"worker_stats,omitempty"`
 }
 
-func emitJSON(out *os.File, n int) error {
+// parseWorkersList parses the -workers flag: a comma-separated list of
+// positive worker counts.
+func parseWorkersList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers list %q: want positive counts like 1,2,4,8", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parallelizable reports whether a strategy goes through the bottom-up
+// semi-naive evaluator, where Options.Workers applies.
+func parallelizable(s pipeline.Strategy) bool {
+	switch s {
+	case pipeline.Naive, pipeline.TopDown, pipeline.Tabled:
+		return false
+	}
+	return true
+}
+
+func emitJSON(out *os.File, n int, workers []int) error {
 	pl, load := experiments.E1Pipeline(n)
 	doc := metricsDoc{
-		Schema:   "factorlog/metrics/v1",
+		Schema:   "factorlog/metrics/v2",
 		Tool:     "factorbench",
 		Workload: "E1 transitive closure, chain EDB",
 		N:        n,
 		Query:    pl.Query.String(),
 	}
 	for _, s := range pipeline.AllStrategies() {
-		r, err := pl.Run(s, load(), engine.Options{Trace: true, MaxFacts: 10_000_000})
-		if err != nil {
-			doc.Runs = append(doc.Runs, metricsRun{Strategy: s.String(), Error: err.Error()})
-			continue
+		for _, w := range workers {
+			if w > 1 && !parallelizable(s) {
+				continue
+			}
+			opts := engine.Options{Trace: true, MaxFacts: 10_000_000, Workers: w}
+			r, err := pl.Run(s, load(), opts)
+			if err != nil {
+				doc.Runs = append(doc.Runs, metricsRun{Strategy: s.String(), Workers: w, Error: err.Error()})
+				continue
+			}
+			doc.Runs = append(doc.Runs, metricsRun{
+				Strategy:   s.String(),
+				Workers:    w,
+				Answers:    len(r.Answers),
+				Inferences: r.Inferences,
+				Facts:      r.Facts,
+				Iterations: r.Iterations,
+				MaxArity:   r.MaxIDBArity,
+				WallNS:     r.EvalWall.Nanoseconds(),
+				Spans:      r.Spans,
+				Rules:      r.Rules,
+				Rounds:     r.Rounds,
+				Strata:     r.Strata,
+				WorkerRows: r.Workers,
+			})
 		}
-		doc.Runs = append(doc.Runs, metricsRun{
-			Strategy:   s.String(),
-			Answers:    len(r.Answers),
-			Inferences: r.Inferences,
-			Facts:      r.Facts,
-			Iterations: r.Iterations,
-			MaxArity:   r.MaxIDBArity,
-			WallNS:     r.EvalWall.Nanoseconds(),
-			Spans:      r.Spans,
-			Rules:      r.Rules,
-			Rounds:     r.Rounds,
-		})
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

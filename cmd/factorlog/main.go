@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	factorlog run      [-strategy S] [-constraints file] [-edb file] [-budget N] [-profile] file.dl
+//	factorlog run      [-strategy S] [-constraints file] [-edb file] [-budget N] [-workers N] [-profile] file.dl
 //	factorlog compare  [-constraints file] [-edb file] [-budget N] file.dl
 //	factorlog explain  [-strategy S] [-constraints file] file.dl
 //	factorlog classify [-constraints file] file.dl
@@ -56,6 +56,7 @@ func run(args []string) error {
 	constraintsFile := fs.String("constraints", "", "file of full-TGD EDB constraints")
 	edbFile := fs.String("edb", "", "file of additional ground facts")
 	budget := fs.Int("budget", 0, "max derived facts (0 = unlimited)")
+	workers := fs.Int("workers", 1, "evaluation workers (>1 = parallel stratified semi-naive)")
 	profile := fs.Bool("profile", false, "run: print stage spans and per-rule/per-round tables")
 	anon := fs.Bool("anon", false, "explain: print singleton variables as '_' (paper style)")
 	if err := fs.Parse(rest); err != nil {
@@ -92,6 +93,7 @@ func run(args []string) error {
 	if *budget > 0 {
 		sys.WithBudget(0, *budget)
 	}
+	sys.WithWorkers(*workers)
 
 	switch cmd {
 	case "run":
@@ -221,5 +223,5 @@ func strategyByName(name string) (factorlog.Strategy, error) {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: factorlog {run|compare|explain|classify|prove|repl} [-strategy S] [-constraints file] [-edb file] [-budget N] [-profile] file.dl")
+	return fmt.Errorf("usage: factorlog {run|compare|explain|classify|prove|repl} [-strategy S] [-constraints file] [-edb file] [-budget N] [-workers N] [-profile] file.dl")
 }

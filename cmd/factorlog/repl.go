@@ -30,6 +30,7 @@ func repl(in io.Reader, out io.Writer) error {
 	strategy := factorlog.FactoredOptimized
 	profiling := false
 	budget := 5_000_000
+	workers := 1
 	var last *factorlog.Result
 
 	build := func(query string) (*factorlog.System, error) {
@@ -61,6 +62,7 @@ func repl(in io.Reader, out io.Writer) error {
 			fmt.Fprintln(out, "  :profile             toggle per-query profiling (rule/round tables)")
 			fmt.Fprintln(out, "  :stats               show the last query's profile")
 			fmt.Fprintln(out, "  :budget N            cap derived facts per query (current:", budget, ")")
+			fmt.Fprintln(out, "  :workers N           evaluation workers, >1 = parallel (current:", workers, ")")
 			fmt.Fprintln(out, "  :classify ?- atom.   which factorability theorem applies")
 			fmt.Fprintln(out, "  :explain ?- atom.    show the transformed program")
 			fmt.Fprintln(out, "  :list                show accumulated clauses")
@@ -101,6 +103,15 @@ func repl(in io.Reader, out io.Writer) error {
 			}
 			budget = n
 			fmt.Fprintln(out, "budget:", budget)
+
+		case strings.HasPrefix(line, ":workers"):
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimPrefix(line, ":workers"), "%d", &n); err != nil || n <= 0 {
+				fmt.Fprintln(out, "error: :workers needs a positive worker count")
+				continue
+			}
+			workers = n
+			fmt.Fprintln(out, "workers:", workers)
 
 		case strings.HasPrefix(line, ":strategy"):
 			name := strings.TrimSpace(strings.TrimPrefix(line, ":strategy"))
@@ -152,7 +163,7 @@ func repl(in io.Reader, out io.Writer) error {
 				fmt.Fprintln(out, "error:", err)
 				continue
 			}
-			sys.WithBudget(0, budget).WithTrace(profiling)
+			sys.WithBudget(0, budget).WithTrace(profiling).WithWorkers(workers)
 			res, err := sys.Run(strategy, sys.NewDB())
 			if errors.Is(err, factorlog.ErrBudgetExceeded) {
 				fmt.Fprintln(out, "budget exceeded:", err)

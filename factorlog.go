@@ -73,12 +73,18 @@ var ErrNotFactorable = core.ErrNotFactorable
 // from real failures.
 var ErrBudgetExceeded = engine.ErrBudgetExceeded
 
-// RuleStats, RoundStats and Span re-export the observability record types;
-// see package obsv for field documentation.
+// ErrBadOptions is returned (wrapped) by Run when the evaluation options
+// are invalid (e.g. a negative WithWorkers count); test with errors.Is.
+var ErrBadOptions = engine.ErrBadOptions
+
+// RuleStats, RoundStats, StratumStats, WorkerStats and Span re-export the
+// observability record types; see package obsv for field documentation.
 type (
-	RuleStats  = obsv.RuleStats
-	RoundStats = obsv.RoundStats
-	Span       = obsv.Span
+	RuleStats    = obsv.RuleStats
+	RoundStats   = obsv.RoundStats
+	StratumStats = obsv.StratumStats
+	WorkerStats  = obsv.WorkerStats
+	Span         = obsv.Span
 )
 
 // System is a compiled (program, query) pair with cached transformations.
@@ -139,9 +145,19 @@ func (s *System) WithBudget(maxIterations, maxFacts int) *System {
 }
 
 // WithTrace enables (or disables) evaluation tracing: subsequent Runs fill
-// Result.Rules and Result.Rounds, at a small evaluation-time cost.
+// Result.Rules and Result.Rounds (plus Result.Strata and Result.Workers for
+// parallel runs), at a small evaluation-time cost.
 func (s *System) WithTrace(on bool) *System {
 	s.evalOpts.Trace = on
+	return s
+}
+
+// WithWorkers sets the evaluation worker count for the bottom-up semi-naive
+// strategies: 0 or 1 keeps the sequential evaluator, n > 1 evaluates with
+// parallel stratified fixpoints over n workers. Answer sets and derived-fact
+// counts are identical across worker counts.
+func (s *System) WithWorkers(n int) *System {
+	s.evalOpts.Workers = n
 	return s
 }
 
@@ -221,6 +237,10 @@ type Result struct {
 	// tracing is on (WithTrace); nil otherwise.
 	Rules  []RuleStats
 	Rounds []RoundStats
+	// Strata and Workers carry per-stratum and per-worker records for traced
+	// parallel runs (WithWorkers > 1); nil otherwise.
+	Strata  []StratumStats
+	Workers []WorkerStats
 	// EvalWall is the evaluation's wall-clock time.
 	EvalWall time.Duration
 
@@ -263,6 +283,8 @@ func newResult(r *pipeline.RunResult) *Result {
 		Spans:       r.Spans,
 		Rules:       r.Rules,
 		Rounds:      r.Rounds,
+		Strata:      r.Strata,
+		Workers:     r.Workers,
 		EvalWall:    r.EvalWall,
 		raw:         r,
 	}

@@ -1,0 +1,278 @@
+// Package depgraph analyzes the predicate dependency graph of a program:
+// which IDB predicates feed which rules. It condenses the graph into
+// strongly connected components (Tarjan) and emits a topologically ordered
+// stratum schedule, the backbone of stratified evaluation: rules in a
+// non-recursive stratum run exactly once, rules in a recursive stratum run
+// a local fixpoint, and no stratum starts before the strata it reads from
+// are complete.
+//
+// The schedule is purely syntactic — it depends only on which predicates
+// appear in rule heads and bodies — so it is computed once per compiled
+// program and shared by every evaluation.
+package depgraph
+
+import (
+	"sort"
+	"strings"
+
+	"factorlog/internal/ast"
+)
+
+// Stratum is one schedulable unit: the rules defining one strongly
+// connected component of the predicate dependency graph.
+type Stratum struct {
+	// Preds are the IDB predicates defined by this stratum, sorted.
+	Preds []string
+	// Rules are indexes into the program's rule list (in program order) of
+	// the rules whose head predicate belongs to this stratum.
+	Rules []int
+	// Recursive reports whether the stratum needs a fixpoint: its SCC has
+	// more than one predicate, or a single predicate that (transitively
+	// through its own rules) depends on itself.
+	Recursive bool
+}
+
+// PredSet returns the stratum's predicates as a membership set.
+func (s *Stratum) PredSet() map[string]bool {
+	out := make(map[string]bool, len(s.Preds))
+	for _, p := range s.Preds {
+		out[p] = true
+	}
+	return out
+}
+
+// String renders the stratum as "{p,q}*" (the star marks recursion).
+func (s *Stratum) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	b.WriteString(strings.Join(s.Preds, ","))
+	b.WriteByte('}')
+	if s.Recursive {
+		b.WriteByte('*')
+	}
+	return b.String()
+}
+
+// Schedule is a topologically ordered list of strata: every IDB predicate a
+// stratum's rule bodies mention is defined either in an earlier stratum or
+// in the stratum itself (the recursive case).
+type Schedule struct {
+	Strata []Stratum
+}
+
+// String renders the schedule as "{a}* -> {b,c}* -> {d}".
+func (sc *Schedule) String() string {
+	parts := make([]string, len(sc.Strata))
+	for i := range sc.Strata {
+		parts[i] = sc.Strata[i].String()
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// Recursive reports whether any stratum needs a fixpoint.
+func (sc *Schedule) Recursive() bool {
+	for i := range sc.Strata {
+		if sc.Strata[i].Recursive {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze builds the stratum schedule of p. The order is deterministic:
+// among strata with no dependency between them, the one defining the
+// earliest rule in the program comes first.
+func Analyze(p *ast.Program) *Schedule {
+	idb := p.IDBPreds()
+
+	// Node list in first-definition order, for deterministic output.
+	var preds []string
+	seen := map[string]bool{}
+	for _, r := range p.Rules {
+		if !seen[r.Head.Pred] {
+			seen[r.Head.Pred] = true
+			preds = append(preds, r.Head.Pred)
+		}
+	}
+	id := make(map[string]int, len(preds))
+	for i, pr := range preds {
+		id[pr] = i
+	}
+
+	// Edges: body IDB predicate -> head predicate ("head depends on body").
+	// succ[u] lists the predicates that read u. Deduplicated.
+	succ := make([][]int, len(preds))
+	hasEdge := map[[2]int]bool{}
+	selfDep := make([]bool, len(preds))
+	for _, r := range p.Rules {
+		h := id[r.Head.Pred]
+		for _, a := range r.Body {
+			if !idb[a.Pred] {
+				continue
+			}
+			b := id[a.Pred]
+			if b == h {
+				selfDep[h] = true
+			}
+			if !hasEdge[[2]int{b, h}] {
+				hasEdge[[2]int{b, h}] = true
+				succ[b] = append(succ[b], h)
+			}
+		}
+	}
+
+	comps := tarjan(len(preds), succ)
+
+	// Component of each node.
+	comp := make([]int, len(preds))
+	for ci, c := range comps {
+		for _, v := range c {
+			comp[v] = ci
+		}
+	}
+
+	// Condensation edges, then topological order (Kahn) with a
+	// smallest-first-rule tie-break for determinism.
+	nc := len(comps)
+	indeg := make([]int, nc)
+	csucc := make([][]int, nc)
+	cEdge := map[[2]int]bool{}
+	for u := range succ {
+		for _, v := range succ[u] {
+			cu, cv := comp[u], comp[v]
+			if cu == cv || cEdge[[2]int{cu, cv}] {
+				continue
+			}
+			cEdge[[2]int{cu, cv}] = true
+			csucc[cu] = append(csucc[cu], cv)
+			indeg[cv]++
+		}
+	}
+	firstRule := make([]int, nc)
+	for ci := range firstRule {
+		firstRule[ci] = len(p.Rules)
+	}
+	for ri, r := range p.Rules {
+		ci := comp[id[r.Head.Pred]]
+		if ri < firstRule[ci] {
+			firstRule[ci] = ri
+		}
+	}
+	var ready []int
+	for ci := 0; ci < nc; ci++ {
+		if indeg[ci] == 0 {
+			ready = append(ready, ci)
+		}
+	}
+	order := make([]int, 0, nc)
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return firstRule[ready[i]] < firstRule[ready[j]] })
+		ci := ready[0]
+		ready = ready[1:]
+		order = append(order, ci)
+		for _, cj := range csucc[ci] {
+			indeg[cj]--
+			if indeg[cj] == 0 {
+				ready = append(ready, cj)
+			}
+		}
+	}
+
+	sc := &Schedule{Strata: make([]Stratum, 0, nc)}
+	for _, ci := range order {
+		var st Stratum
+		members := map[string]bool{}
+		for _, v := range comps[ci] {
+			st.Preds = append(st.Preds, preds[v])
+			members[preds[v]] = true
+		}
+		sort.Strings(st.Preds)
+		for ri, r := range p.Rules {
+			if members[r.Head.Pred] {
+				st.Rules = append(st.Rules, ri)
+			}
+		}
+		st.Recursive = len(comps[ci]) > 1
+		if !st.Recursive {
+			st.Recursive = selfDep[comps[ci][0]]
+		}
+		sc.Strata = append(sc.Strata, st)
+	}
+	return sc
+}
+
+// tarjan returns the strongly connected components of the graph, each as a
+// list of node ids. Iterative to keep deep recursions (long rule chains)
+// off the goroutine stack.
+func tarjan(n int, succ [][]int) [][]int {
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack []int // Tarjan's component stack
+		comps [][]int
+		next  int
+	)
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		work := []frame{{root, 0}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.ei == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.ei < len(succ[v]) {
+				w := succ[v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					work = append(work, frame{w, 0})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished.
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}

@@ -1,0 +1,125 @@
+package depgraph
+
+import (
+	"reflect"
+	"testing"
+
+	"factorlog/internal/parser"
+)
+
+// TestSameGenerationMagicStrata locks the schedule of the magic program of
+// the paper's same-generation example: the magic predicate closes over up/1
+// alone, so it forms its own recursive stratum ahead of the answer
+// predicate, and the query projection comes last, non-recursive.
+func TestSameGenerationMagicStrata(t *testing.T) {
+	p := parser.MustParseProgram(`
+		m_sg_bf(john).
+		m_sg_bf(U) :- m_sg_bf(X), up(X,U).
+		sg_bf(X,Y) :- m_sg_bf(X), flat(X,Y).
+		sg_bf(X,Y) :- m_sg_bf(X), up(X,U), sg_bf(U,V), down(V,Y).
+		query(Y) :- sg_bf(john,Y).
+	`)
+	sc := Analyze(p)
+	if got, want := sc.String(), "{m_sg_bf}* -> {sg_bf}* -> {query}"; got != want {
+		t.Fatalf("schedule = %s, want %s", got, want)
+	}
+	// The parser appends ground facts after the proper rules, so the seed
+	// fact m_sg_bf(john) is rule 4.
+	wantRules := [][]int{{0, 4}, {1, 2}, {3}}
+	for i, st := range sc.Strata {
+		if !reflect.DeepEqual(st.Rules, wantRules[i]) {
+			t.Errorf("stratum %d rules = %v, want %v", i, st.Rules, wantRules[i])
+		}
+	}
+	if !sc.Recursive() {
+		t.Error("schedule should be recursive")
+	}
+}
+
+// TestCountingLeftLinearStrata locks the schedule of the §6.4 Counting
+// transformation of the left-linear transitive closure: the counting-magic
+// predicate (cnt_t, carrying the index) is a recursive stratum of its own,
+// the indexed answers (t_cnt) a second, and the query last.
+func TestCountingLeftLinearStrata(t *testing.T) {
+	p := parser.MustParseProgram(`
+		cnt_t(c,z,nil).
+		t_cnt(Y,I_0,I_1) :- cnt_t(X,I_0,I_1), e(X,Y).
+		cnt_t(W,s(I_2),r1(I_3)) :- cnt_t(X,I_2,I_3), e(X,W).
+		t_cnt(Y,I_4,I_5) :- t_cnt(Y,s(I_4),r1(I_5)).
+		query(Y) :- t_cnt(Y,z,nil).
+	`)
+	sc := Analyze(p)
+	if got, want := sc.String(), "{cnt_t}* -> {t_cnt}* -> {query}"; got != want {
+		t.Fatalf("schedule = %s, want %s", got, want)
+	}
+	wantRules := [][]int{{1, 4}, {0, 2}, {3}}
+	for i, st := range sc.Strata {
+		if !reflect.DeepEqual(st.Rules, wantRules[i]) {
+			t.Errorf("stratum %d rules = %v, want %v", i, st.Rules, wantRules[i])
+		}
+	}
+}
+
+// TestMutualRecursionOneStratum: predicates that call each other share an
+// SCC and must land in one recursive stratum.
+func TestMutualRecursionOneStratum(t *testing.T) {
+	p := parser.MustParseProgram(`
+		even(z).
+		even(s(X)) :- odd(X).
+		odd(s(X)) :- even(X).
+		check(X) :- even(X).
+	`)
+	sc := Analyze(p)
+	if got, want := sc.String(), "{even,odd}* -> {check}"; got != want {
+		t.Fatalf("schedule = %s, want %s", got, want)
+	}
+	if !reflect.DeepEqual(sc.Strata[0].Rules, []int{0, 1, 3}) {
+		t.Errorf("recursive stratum rules = %v, want [0 1 3]", sc.Strata[0].Rules)
+	}
+}
+
+// TestNonRecursiveProgram: a pure join pipeline yields only single-pass
+// strata, in dependency order even when the program text is reversed.
+func TestNonRecursiveProgram(t *testing.T) {
+	p := parser.MustParseProgram(`
+		grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+		greatgrand(X, W) :- grandparent(X, Z), parent(Z, W).
+	`)
+	sc := Analyze(p)
+	if got, want := sc.String(), "{grandparent} -> {greatgrand}"; got != want {
+		t.Fatalf("schedule = %s, want %s", got, want)
+	}
+	if sc.Recursive() {
+		t.Error("schedule should not be recursive")
+	}
+}
+
+// TestIndependentStrataKeepProgramOrder: strata with no dependency between
+// them come out in first-rule order, deterministically.
+func TestIndependentStrataKeepProgramOrder(t *testing.T) {
+	p := parser.MustParseProgram(`
+		b(X) :- e2(X).
+		a(X) :- e1(X).
+		c(X) :- a(X), b(X).
+	`)
+	sc := Analyze(p)
+	if got, want := sc.String(), "{b} -> {a} -> {c}"; got != want {
+		t.Fatalf("schedule = %s, want %s", got, want)
+	}
+}
+
+// TestSelfLoopDetection: a single-predicate SCC is recursive only when some
+// rule body mentions the head predicate.
+func TestSelfLoopDetection(t *testing.T) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+	`)
+	sc := Analyze(p)
+	if len(sc.Strata) != 1 || !sc.Strata[0].Recursive {
+		t.Fatalf("schedule = %s, want one recursive stratum", sc.String())
+	}
+	if set := sc.Strata[0].PredSet(); !set["t"] || len(set) != 1 {
+		t.Errorf("PredSet = %v", set)
+	}
+}

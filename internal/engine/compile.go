@@ -35,6 +35,16 @@ type literalSpec struct {
 	idb       bool  // head predicate of some rule in the program
 }
 
+// indexNeed is one hash index a rule's body requires: the probe of some
+// body literal with at least one bound column. The compiler declares these
+// so the evaluator can build every index up front (once per stratum in the
+// parallel path) instead of lazily inside Probe — removing the first-probe
+// stall and making in-round probes read-only.
+type indexNeed struct {
+	pred string
+	cols []int // sorted ascending (compiled in column order)
+}
+
 // compiledRule is an executable rule.
 type compiledRule struct {
 	src      ast.Rule
@@ -44,6 +54,9 @@ type compiledRule struct {
 	headArgs []pattern
 	body     []literalSpec
 	idbOccs  []int // body positions whose predicate is IDB (delta positions)
+	// indexNeeds lists the (relation, columns) indexes this rule's body
+	// probes, one per literal with bound columns.
+	indexNeeds []indexNeed
 }
 
 // label renders the rule's source for trace records.
@@ -158,6 +171,9 @@ func (c *compiler) compileRule(r ast.Rule, idx int) (*compiledRule, error) {
 		}
 		if spec.idb {
 			cr.idbOccs = append(cr.idbOccs, bi)
+		}
+		if len(spec.boundCols) > 0 {
+			cr.indexNeeds = append(cr.indexNeeds, indexNeed{pred: spec.pred, cols: spec.boundCols})
 		}
 		cr.body = append(cr.body, spec)
 	}

@@ -46,9 +46,25 @@ var ErrBudgetExceeded = errors.New("evaluation budget exceeded")
 // Deprecated: use ErrBudgetExceeded.
 var ErrBudget = ErrBudgetExceeded
 
+// ErrBadOptions is returned by Eval when Options carry values outside their
+// domain (negative Workers, MaxIterations, or MaxFacts). Callers test with
+// errors.Is.
+var ErrBadOptions = errors.New("engine: invalid options")
+
 // Options configures evaluation.
 type Options struct {
 	Strategy Strategy
+	// Workers sets the number of evaluation goroutines. 0 and 1 select the
+	// exact sequential evaluator; N > 1 evaluates the program stratum by
+	// stratum (SCC schedule, see internal/depgraph) with each stratum's
+	// rounds fanned out over N workers deriving into private buffers that
+	// merge at the round barrier. Parallel evaluation applies to the
+	// SemiNaive strategy without provenance; Naive and provenance-recording
+	// runs always execute sequentially. Answer sets and Stats.Derived are
+	// identical across worker counts; Stats.Iterations counts per-stratum
+	// rounds in parallel mode and relation insertion order is not
+	// deterministic across parallel runs.
+	Workers int
 	// MaxIterations bounds fixpoint rounds; 0 means unlimited.
 	MaxIterations int
 	// MaxFacts bounds the total number of derived facts; 0 means unlimited.
@@ -60,9 +76,26 @@ type Options struct {
 	// discussions assume the written left-to-right order.
 	ReorderJoins bool
 	// Trace records per-rule counters in Stats.Rules and per-round records
-	// in Stats.Rounds. Off by default: with tracing off the hot path pays a
-	// nil check per event and allocates nothing.
+	// in Stats.Rounds (plus, under parallel evaluation, per-stratum records
+	// in Stats.Strata and per-worker records in Stats.Workers). Off by
+	// default: with tracing off the hot path pays a nil check per event and
+	// allocates nothing.
 	Trace bool
+}
+
+// validate rejects option values outside their domain up front, so a typo
+// like Workers: -4 fails loudly instead of silently evaluating sequentially.
+func (o Options) validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: Workers = %d (want >= 0)", ErrBadOptions, o.Workers)
+	}
+	if o.MaxIterations < 0 {
+		return fmt.Errorf("%w: MaxIterations = %d (want >= 0)", ErrBadOptions, o.MaxIterations)
+	}
+	if o.MaxFacts < 0 {
+		return fmt.Errorf("%w: MaxFacts = %d (want >= 0)", ErrBadOptions, o.MaxFacts)
+	}
+	return nil
 }
 
 // Stats reports the work an evaluation performed.
@@ -79,6 +112,12 @@ type Stats struct {
 	Rules []obsv.RuleStats
 	// Rounds holds one record per fixpoint round; nil unless Options.Trace.
 	Rounds []obsv.RoundStats
+	// Strata holds one record per evaluated stratum; nil unless
+	// Options.Trace under parallel evaluation (Workers > 1).
+	Strata []obsv.StratumStats
+	// Workers holds one record per evaluation worker; nil unless
+	// Options.Trace under parallel evaluation (Workers > 1).
+	Workers []obsv.WorkerStats
 }
 
 // Result is the outcome of an evaluation. The DB passed to Eval is mutated
@@ -92,17 +131,26 @@ type Result struct {
 // Eval computes the least fixpoint of program p over db (which supplies the
 // EDB and receives all derived facts).
 func Eval(p *ast.Program, db *DB, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	rules, err := compileProgram(p, db.Store, opts.ReorderJoins)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Workers > 1 && opts.Strategy == SemiNaive && !opts.Provenance {
+		return evalParallel(p, db, rules, opts)
 	}
 	ev := &evaluator{
 		db:    db,
 		rules: rules,
 		opts:  opts,
 	}
+	ev.rn.db = db
+	ev.rn.sink = ev.emit
 	if opts.Provenance {
 		ev.prov = NewProvenance(p)
+		ev.rn.prov = ev.prov
 	}
 	if opts.Trace {
 		ev.trace = newEvalTrace(rules)
@@ -134,10 +182,8 @@ type evaluator struct {
 	curRound  int32
 	newCounts map[string]int // facts stamped curRound+1, by predicate
 
-	// scratch per-derivation children, reused.
-	children []FactID
-	// per-call literal round limits, reused.
-	limits []roundRange
+	// rn executes rule joins; its sink is ev.emit.
+	rn runner
 
 	// trace is non-nil only under Options.Trace; all recording helpers are
 	// nil-guarded so the untraced hot path neither branches deeply nor
@@ -145,14 +191,48 @@ type evaluator struct {
 	trace *evalTrace
 }
 
+// runner executes one rule's join over the database. The sequential
+// evaluator owns one, and each parallel worker owns one; sink receives the
+// materialized head tuple of every successful body instantiation. The
+// zero-valued parallel fields (frozen, shardMod) select the sequential
+// behavior: lazily built indexes via Relation.Probe and no shard filter.
+type runner struct {
+	db *DB
+	// limits holds the per-literal round windows of the rule being run.
+	limits []roundRange
+	// prov, when non-nil, makes join collect body fact IDs into children
+	// (sequential mode only).
+	prov *Provenance
+	// children collects the body fact IDs of the current derivation when
+	// provenance is on (sequential mode only).
+	children []FactID
+	// cur points at the per-rule trace counters, nil when untraced.
+	cur *obsv.RuleStats
+	// sink consumes derived head tuples; children is the provenance scratch
+	// (valid only until sink returns).
+	sink func(r *compiledRule, tuple []Val, children []FactID) error
+
+	// Parallel-mode fields.
+	//
+	// frozen probes prebuilt indexes read-only with a private key buffer,
+	// so concurrent runners never mutate shared relations.
+	frozen   bool
+	probeBuf []byte
+	// shardMod > 1 restricts the literal at shardLit to positions with
+	// pos % shardMod == shardRem, splitting one rule evaluation into
+	// disjoint work units.
+	shardLit int
+	shardMod int32
+	shardRem int32
+}
+
 // evalTrace accumulates the per-rule and per-round records behind
 // Options.Trace.
 type evalTrace struct {
 	rules  []obsv.RuleStats
 	rounds []obsv.RoundStats
-	cur    *obsv.RuleStats // counters of the rule currently being evaluated
-	start  time.Time       // current round's start
-	fired  int             // rule evaluation passes this round
+	start  time.Time // current round's start
+	fired  int       // rule evaluation passes this round
 }
 
 func newEvalTrace(rules []*compiledRule) *evalTrace {
@@ -183,8 +263,8 @@ func (ev *evaluator) traceRoundEnd() {
 
 func (ev *evaluator) traceRule(r *compiledRule) {
 	if t := ev.trace; t != nil {
-		t.cur = &t.rules[r.idx]
-		t.cur.Firings++
+		ev.rn.cur = &t.rules[r.idx]
+		ev.rn.cur.Firings++
 		t.fired++
 	}
 }
@@ -202,6 +282,11 @@ func (ev *evaluator) run() error {
 			}
 		}
 	}
+
+	// Build every planned index up front (compile-time index planning):
+	// no probe ever pays a lazy build scan, and inserts keep the indexes
+	// current incrementally.
+	buildIndexes(ev.db, ev.rules)
 
 	// Round 0: evaluate every rule against the full database (covers
 	// bodyless rules, rules over EDB only, and pre-seeded IDB facts).
@@ -257,55 +342,79 @@ func total(m map[string]int) int {
 	return n
 }
 
+// buildIndexes materializes every index the compiled rules declare they
+// probe; ensureIndex is idempotent, so repeated needs are free.
+func buildIndexes(db *DB, rules []*compiledRule) {
+	for _, r := range rules {
+		for _, need := range r.indexNeeds {
+			if rel := db.Lookup(need.pred); rel != nil {
+				rel.ensureIndex(need.cols)
+			}
+		}
+	}
+}
+
 // evalRule evaluates one rule. With deltaOcc >= 0 the literal at that body
 // position ranges over the current round's delta and the other IDB
 // occurrences over P_{r-1} (before it) / P_r (after it).
 func (ev *evaluator) evalRule(r *compiledRule, deltaOcc int) error {
 	ev.traceRule(r)
-	if cap(ev.limits) < len(r.body) {
-		ev.limits = make([]roundRange, len(r.body))
+	ev.rn.setLimits(r, r.idbOccs, deltaOcc, ev.curRound)
+	return ev.rn.runRule(r)
+}
+
+// setLimits prepares the per-literal round windows for one evaluation of r:
+// unrestricted everywhere, then the semi-naive delta discipline over occs
+// (the body positions participating in the fixpoint) when deltaOcc >= 0.
+func (rn *runner) setLimits(r *compiledRule, occs []int, deltaOcc int, curRound int32) {
+	if cap(rn.limits) < len(r.body) {
+		rn.limits = make([]roundRange, len(r.body))
 	}
-	ev.limits = ev.limits[:len(r.body)]
-	for i := range ev.limits {
-		ev.limits[i] = unrestricted
+	rn.limits = rn.limits[:len(r.body)]
+	for i := range rn.limits {
+		rn.limits[i] = unrestricted
 	}
 	if deltaOcc >= 0 {
-		r0 := ev.curRound
-		for _, occ := range r.idbOccs {
+		r0 := curRound
+		for _, occ := range occs {
 			switch {
 			case occ < deltaOcc:
-				ev.limits[occ] = roundRange{0, r0 - 1}
+				rn.limits[occ] = roundRange{0, r0 - 1}
 			case occ == deltaOcc:
-				ev.limits[occ] = roundRange{r0, r0}
+				rn.limits[occ] = roundRange{r0, r0}
 			default:
-				ev.limits[occ] = roundRange{0, r0}
+				rn.limits[occ] = roundRange{0, r0}
 			}
 		}
 	}
+}
 
+// runRule runs r's body join under the limits set by setLimits.
+func (rn *runner) runRule(r *compiledRule) error {
 	slots := make([]Val, r.nslots)
 	for i := range slots {
 		slots[i] = NoVal
 	}
-	ev.children = ev.children[:0]
-	return ev.join(r, 0, slots, nil)
+	rn.children = rn.children[:0]
+	return rn.join(r, 0, slots, nil)
 }
 
-func (ev *evaluator) join(r *compiledRule, li int, slots []Val, trail []int) error {
+func (rn *runner) join(r *compiledRule, li int, slots []Val, trail []int) error {
 	if li == len(r.body) {
-		return ev.emit(r, slots)
+		return rn.emitHead(r, slots)
 	}
 	spec := &r.body[li]
-	rel := ev.db.Lookup(spec.pred)
+	rel := rn.db.Lookup(spec.pred)
 	if rel == nil || rel.Len() == 0 {
 		return nil
 	}
-	limit := ev.limits[li]
+	limit := rn.limits[li]
+	shardHere := rn.shardMod > 1 && li == rn.shardLit
 
-	childMark := len(ev.children)
+	childMark := len(rn.children)
 	tryPos := func(pos int32) error {
-		if t := ev.trace; t != nil {
-			t.cur.JoinProbes++
+		if t := rn.cur; t != nil {
+			t.JoinProbes++
 		}
 		if rnd := rel.Round(pos); rnd < limit.lo || rnd > limit.hi {
 			return nil
@@ -314,20 +423,20 @@ func (ev *evaluator) join(r *compiledRule, li int, slots []Val, trail []int) err
 		mark := len(trail)
 		ok := true
 		for _, col := range spec.freeCols {
-			if !matchPattern(spec.args[col], tuple[col], slots, &trail, ev.db.Store) {
+			if !matchPattern(spec.args[col], tuple[col], slots, &trail, rn.db.Store) {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			if t := ev.trace; t != nil {
-				t.cur.TuplesMatched++
+			if t := rn.cur; t != nil {
+				t.TuplesMatched++
 			}
-			if ev.prov != nil {
-				ev.children = append(ev.children[:childMark],
-					ev.prov.factID(spec.pred, tuple))
+			if rn.prov != nil {
+				rn.children = append(rn.children[:childMark],
+					rn.prov.factID(spec.pred, tuple))
 			}
-			if err := ev.join(r, li+1, slots, trail); err != nil {
+			if err := rn.join(r, li+1, slots, trail); err != nil {
 				return err
 			}
 		}
@@ -338,15 +447,39 @@ func (ev *evaluator) join(r *compiledRule, li int, slots []Val, trail []int) err
 	if len(spec.boundCols) > 0 {
 		key := make([]Val, len(spec.boundCols))
 		for i, col := range spec.boundCols {
-			key[i] = evalPattern(spec.args[col], slots, ev.db.Store)
+			key[i] = evalPattern(spec.args[col], slots, rn.db.Store)
 		}
-		for _, pos := range rel.Probe(spec.boundCols, key) {
+		var positions []int32
+		if rn.frozen {
+			positions, rn.probeBuf = rel.probeFrozen(spec.boundCols, key, rn.probeBuf)
+		} else {
+			positions = rel.Probe(spec.boundCols, key)
+		}
+		if shardHere {
+			lo, hi := shardRange(len(positions), rn.shardRem, rn.shardMod)
+			positions = positions[lo:hi]
+		}
+		for _, pos := range positions {
 			if err := tryPos(pos); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
+	if shardHere {
+		// Parallel rounds freeze relations, so the length is fixed and the
+		// shard can slice it up front.
+		lo, hi := shardRange(rel.Len(), rn.shardRem, rn.shardMod)
+		for pos := lo; pos < hi; pos++ {
+			if err := tryPos(pos); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Re-read Len every iteration: sequential rounds insert while scanning,
+	// and seeing those tuples in the same pass (the round-0 cascade) is part
+	// of the sequential evaluator's convergence behavior.
 	for pos := int32(0); pos < int32(rel.Len()); pos++ {
 		if err := tryPos(pos); err != nil {
 			return err
@@ -355,26 +488,43 @@ func (ev *evaluator) join(r *compiledRule, li int, slots []Val, trail []int) err
 	return nil
 }
 
-func (ev *evaluator) emit(r *compiledRule, slots []Val) error {
-	ev.stats.Inferences++
+// shardRange splits n candidate positions into shardMod contiguous ranges
+// and returns shard shardRem's half-open [lo, hi). Contiguous slicing (not
+// a modulo filter) keeps each shard's enumeration proportional to its own
+// share, so the total scan work across shards equals one unsharded pass.
+func shardRange(n int, shardRem, shardMod int32) (lo, hi int32) {
+	lo = int32(int64(n) * int64(shardRem) / int64(shardMod))
+	hi = int32(int64(n) * int64(shardRem+1) / int64(shardMod))
+	return lo, hi
+}
+
+// emitHead materializes the head tuple and hands it to the sink.
+func (rn *runner) emitHead(r *compiledRule, slots []Val) error {
 	tuple := make([]Val, len(r.headArgs))
 	for i, p := range r.headArgs {
-		tuple[i] = evalPattern(p, slots, ev.db.Store)
+		tuple[i] = evalPattern(p, slots, rn.db.Store)
 	}
+	return rn.sink(r, tuple, rn.children)
+}
+
+// emit is the sequential sink: insert immediately, bump counters, record
+// provenance, and enforce the fact budget.
+func (ev *evaluator) emit(r *compiledRule, tuple []Val, children []FactID) error {
+	ev.stats.Inferences++
 	full := ev.db.Lookup(r.headPred)
 	if !full.InsertRound(tuple, ev.curRound+1) {
-		if t := ev.trace; t != nil {
-			t.cur.Duplicates++
+		if t := ev.rn.cur; t != nil {
+			t.Duplicates++
 		}
 		return nil
 	}
-	if t := ev.trace; t != nil {
-		t.cur.TuplesDerived++
+	if t := ev.rn.cur; t != nil {
+		t.TuplesDerived++
 	}
 	ev.newCounts[r.headPred]++
 	ev.stats.Derived++
 	if ev.prov != nil {
-		ev.prov.record(r, tuple, ev.children)
+		ev.prov.record(r, tuple, children)
 	}
 	if ev.opts.MaxFacts > 0 && ev.stats.Derived > ev.opts.MaxFacts {
 		return fmt.Errorf("%w: %d derived facts", ErrBudgetExceeded, ev.stats.Derived)

@@ -1,0 +1,363 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/depgraph"
+	"factorlog/internal/obsv"
+)
+
+// This file implements parallel stratified evaluation (Options.Workers > 1):
+//
+//  1. The program's predicate dependency graph is condensed into SCCs and
+//     scheduled as a topologically ordered list of strata (internal/depgraph).
+//     Non-recursive strata are evaluated in a single pass; recursive strata
+//     run a local semi-naive fixpoint. Predicates from earlier strata are
+//     complete by the time a stratum starts, so their occurrences are
+//     unrestricted (no delta bookkeeping) — only same-stratum occurrences
+//     participate in the delta discipline.
+//
+//  2. Within a round, rule x delta-occurrence passes are split into shards
+//     of the first body literal's positions and fanned out over a worker
+//     pool. Relations are frozen during a round: workers probe prebuilt
+//     indexes read-only and derive into private buffers, which the
+//     coordinator merges (deduplicating through Relation.InsertRound) at
+//     the round barrier. The hash-consed Store handles any concurrent
+//     interning of compound head terms.
+//
+//  3. Every index a stratum's rules declare (compiledRule.indexNeeds) is
+//     built before the stratum's first round, so in-round probes never
+//     mutate shared state.
+//
+// The final answer set and Stats.Derived are identical to the sequential
+// evaluator's — both compute the same least fixpoint — but Iterations
+// counts per-stratum rounds and relation insertion order depends on worker
+// interleaving.
+
+// workUnit is one schedulable piece of a round: one evaluation pass of one
+// rule (with its delta occurrence) restricted to one shard of the first
+// body literal's positions.
+type workUnit struct {
+	rule     *compiledRule
+	occs     []int // stratum-local delta positions (subset of idbOccs)
+	deltaOcc int   // -1 for seed passes
+	shardRem int32
+	shardMod int32 // 1 = unsharded
+}
+
+// bufFact is one derivation buffered by a worker until the round barrier.
+type bufFact struct {
+	rule  *compiledRule
+	tuple []Val
+}
+
+// parWorker is one worker's private state, reused across rounds.
+type parWorker struct {
+	rn         runner
+	buf        []bufFact
+	keyBuf     []byte
+	seen       map[string]bool // same-round worker-local dedup (pred + tuple)
+	seenBuf    []byte
+	inferences int
+	rules      []obsv.RuleStats // per-rule counters; nil unless traced
+	stats      obsv.WorkerStats
+}
+
+// sink buffers the derivation; insertion and budget checks happen at the
+// barrier. Two duplicate classes are dropped here instead of being buffered:
+// tuples already in the (frozen) relation before this round, and tuples this
+// worker already buffered this round. Only cross-worker same-round
+// duplicates survive to the merge, keeping the serial barrier work
+// proportional to the distinct new tuples, not to the inference count.
+func (pw *parWorker) sink(r *compiledRule, tuple []Val, _ []FactID) error {
+	pw.inferences++
+	dup, buf := pw.rn.db.Lookup(r.headPred).containsFrozen(tuple, pw.keyBuf)
+	pw.keyBuf = buf
+	if !dup {
+		// Key the local set by predicate + encoded tuple: tuples of
+		// different predicates may encode identically.
+		pw.seenBuf = append(append(pw.seenBuf[:0], r.headPred...), 0)
+		pw.seenBuf = append(pw.seenBuf, buf...)
+		if pw.seen[string(pw.seenBuf)] {
+			dup = true
+		} else {
+			pw.seen[string(pw.seenBuf)] = true
+		}
+	}
+	if dup {
+		if pw.rules != nil {
+			pw.rules[r.idx].Duplicates++
+		}
+		return nil
+	}
+	pw.buf = append(pw.buf, bufFact{rule: r, tuple: tuple})
+	return nil
+}
+
+// parEvaluator coordinates strata, rounds, and the worker pool.
+type parEvaluator struct {
+	db        *DB
+	rules     []*compiledRule
+	opts      Options
+	stats     Stats
+	curRound  int32
+	newCounts map[string]int
+	workers   []*parWorker
+
+	// Trace state; all nil/unused unless Options.Trace.
+	trace      *evalTrace
+	mergeRules []obsv.RuleStats // barrier-side counters (derived, duplicates)
+	strata     []obsv.StratumStats
+}
+
+// evalParallel is the Workers > 1 entry point; the caller has already
+// validated opts and compiled the rules.
+func evalParallel(p *ast.Program, db *DB, rules []*compiledRule, opts Options) (*Result, error) {
+	ev := &parEvaluator{
+		db:        db,
+		rules:     rules,
+		opts:      opts,
+		newCounts: map[string]int{},
+	}
+
+	// Materialize head and body relations up front so empty IDB predicates
+	// exist and arities are checked, exactly like the sequential path.
+	for _, r := range rules {
+		if _, err := db.Rel(r.headPred, len(r.headArgs)); err != nil {
+			return nil, err
+		}
+		for _, l := range r.body {
+			if _, err := db.Rel(l.pred, l.arity); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	ev.workers = make([]*parWorker, opts.Workers)
+	for w := range ev.workers {
+		pw := &parWorker{stats: obsv.WorkerStats{Worker: w}, seen: map[string]bool{}}
+		pw.rn = runner{db: db, frozen: true, sink: pw.sink}
+		ev.workers[w] = pw
+	}
+	if opts.Trace {
+		ev.trace = newEvalTrace(rules)
+		ev.mergeRules = make([]obsv.RuleStats, len(rules))
+		for w := range ev.workers {
+			ev.workers[w].rules = make([]obsv.RuleStats, len(rules))
+		}
+	}
+
+	sched := depgraph.Analyze(p)
+	for si := range sched.Strata {
+		if err := ev.evalStratum(si, &sched.Strata[si]); err != nil {
+			return nil, err
+		}
+	}
+
+	if ev.trace != nil {
+		// Fold the workers' join counters and the barrier's insert counters
+		// into one per-rule table.
+		for i := range ev.trace.rules {
+			ev.trace.rules[i].TuplesDerived = ev.mergeRules[i].TuplesDerived
+			ev.trace.rules[i].Duplicates = ev.mergeRules[i].Duplicates
+			for _, pw := range ev.workers {
+				ev.trace.rules[i].Firings += pw.rules[i].Firings
+				ev.trace.rules[i].JoinProbes += pw.rules[i].JoinProbes
+				ev.trace.rules[i].TuplesMatched += pw.rules[i].TuplesMatched
+				ev.trace.rules[i].Duplicates += pw.rules[i].Duplicates
+			}
+		}
+		ev.stats.Rules = ev.trace.rules
+		ev.stats.Rounds = ev.trace.rounds
+		ev.stats.Strata = ev.strata
+		for _, pw := range ev.workers {
+			ev.stats.Workers = append(ev.stats.Workers, pw.stats)
+		}
+	}
+	return &Result{DB: db, Stats: ev.stats}, nil
+}
+
+// evalStratum runs one stratum to completion: a seed pass over all its
+// rules, then (if recursive) semi-naive rounds until no new facts appear.
+func (ev *parEvaluator) evalStratum(si int, st *depgraph.Stratum) error {
+	start := time.Now()
+	preds := st.PredSet()
+	srules := make([]*compiledRule, len(st.Rules))
+	recOccs := make([][]int, len(st.Rules))
+	for i, ri := range st.Rules {
+		r := ev.rules[ri]
+		srules[i] = r
+		for _, occ := range r.idbOccs {
+			if preds[r.body[occ].pred] {
+				recOccs[i] = append(recOccs[i], occ)
+			}
+		}
+	}
+
+	// Compile-time index planning: build this stratum's indexes before its
+	// first round, so every in-round probe is read-only.
+	for _, r := range srules {
+		for _, need := range r.indexNeeds {
+			ev.db.Lookup(need.pred).ensureIndex(need.cols)
+		}
+	}
+
+	factsBefore := ev.stats.Derived
+	roundsBefore := ev.stats.Iterations
+
+	// Seed pass: every rule once, no delta restriction. Facts land with
+	// stamp curRound+1 so they form the first round's delta.
+	var units []workUnit
+	for i, r := range srules {
+		units = ev.addUnits(units, r, recOccs[i], -1)
+	}
+	if err := ev.runRound(units); err != nil {
+		return err
+	}
+	ev.stats.Iterations++
+
+	if st.Recursive {
+		for total(ev.newCounts) > 0 {
+			if ev.opts.MaxIterations > 0 && ev.stats.Iterations >= ev.opts.MaxIterations {
+				return fmt.Errorf("%w: %d iterations", ErrBudgetExceeded, ev.stats.Iterations)
+			}
+			deltaCounts := ev.newCounts
+			ev.newCounts = map[string]int{}
+			ev.curRound++
+			units = units[:0]
+			for i, r := range srules {
+				for _, occ := range recOccs[i] {
+					if deltaCounts[r.body[occ].pred] == 0 {
+						continue
+					}
+					units = ev.addUnits(units, r, recOccs[i], occ)
+				}
+			}
+			if err := ev.runRound(units); err != nil {
+				return err
+			}
+			ev.stats.Iterations++
+		}
+	} else {
+		ev.newCounts = map[string]int{}
+	}
+	// Leave curRound past every stamp this stratum used, so the next
+	// stratum's delta windows cannot overlap it.
+	ev.curRound++
+
+	if ev.trace != nil {
+		ev.strata = append(ev.strata, obsv.StratumStats{
+			Index:     si,
+			Preds:     st.Preds,
+			Recursive: st.Recursive,
+			Rules:     len(st.Rules),
+			Rounds:    ev.stats.Iterations - roundsBefore,
+			NewFacts:  ev.stats.Derived - factsBefore,
+			Wall:      time.Since(start),
+		})
+	}
+	return nil
+}
+
+// addUnits appends the work units of one rule evaluation pass, sharding the
+// first body literal across the worker count when the rule has a body.
+func (ev *parEvaluator) addUnits(units []workUnit, r *compiledRule, occs []int, deltaOcc int) []workUnit {
+	shards := int32(len(ev.workers))
+	if len(r.body) == 0 || shards < 2 {
+		return append(units, workUnit{rule: r, occs: occs, deltaOcc: deltaOcc, shardMod: 1})
+	}
+	for k := int32(0); k < shards; k++ {
+		units = append(units, workUnit{rule: r, occs: occs, deltaOcc: deltaOcc, shardMod: shards, shardRem: k})
+	}
+	return units
+}
+
+// runRound fans units out to the workers, waits for the barrier, and merges
+// the private buffers into the database with stamp curRound+1.
+func (ev *parEvaluator) runRound(units []workUnit) error {
+	var roundStart time.Time
+	if ev.trace != nil {
+		roundStart = time.Now()
+	}
+	nw := len(ev.workers)
+	if nw > len(units) {
+		nw = len(units)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		pw := ev.workers[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			busyStart := time.Now()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(units) {
+					break
+				}
+				u := units[i]
+				pw.stats.Units++
+				pw.rn.shardLit = 0
+				pw.rn.shardMod = u.shardMod
+				pw.rn.shardRem = u.shardRem
+				if pw.rules != nil {
+					pw.rn.cur = &pw.rules[u.rule.idx]
+					if u.shardRem == 0 {
+						// One logical firing per (rule, occurrence) pass,
+						// regardless of how many shards split it.
+						pw.rn.cur.Firings++
+					}
+				}
+				pw.rn.setLimits(u.rule, u.occs, u.deltaOcc, ev.curRound)
+				// The buffering sink never fails; budget enforcement
+				// happens at the merge below.
+				_ = pw.rn.runRule(u.rule)
+			}
+			pw.stats.Busy += time.Since(busyStart)
+		}()
+	}
+	wg.Wait()
+
+	// Barrier: merge private buffers, deduplicating through the relation's
+	// hash set. Single-threaded, so inserts need no locking.
+	stamp := ev.curRound + 1
+	added := 0
+	for _, pw := range ev.workers {
+		ev.stats.Inferences += pw.inferences
+		pw.inferences = 0
+		pw.stats.Tuples += len(pw.buf)
+		for _, bf := range pw.buf {
+			if !ev.db.Lookup(bf.rule.headPred).InsertRound(bf.tuple, stamp) {
+				if ev.mergeRules != nil {
+					ev.mergeRules[bf.rule.idx].Duplicates++
+				}
+				continue
+			}
+			if ev.mergeRules != nil {
+				ev.mergeRules[bf.rule.idx].TuplesDerived++
+			}
+			ev.newCounts[bf.rule.headPred]++
+			ev.stats.Derived++
+			added++
+		}
+		pw.buf = pw.buf[:0]
+		clear(pw.seen)
+	}
+	if t := ev.trace; t != nil {
+		t.rounds = append(t.rounds, obsv.RoundStats{
+			Round:      int(ev.curRound),
+			RulesFired: len(units),
+			NewFacts:   added,
+			Wall:       time.Since(roundStart),
+		})
+	}
+	if ev.opts.MaxFacts > 0 && ev.stats.Derived > ev.opts.MaxFacts {
+		return fmt.Errorf("%w: %d derived facts", ErrBudgetExceeded, ev.stats.Derived)
+	}
+	return nil
+}

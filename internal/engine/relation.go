@@ -151,6 +151,33 @@ func (r *Relation) Probe(cols []int, key []Val) []int32 {
 	return idx.m[string(buf)]
 }
 
+// probeFrozen probes a prebuilt index without mutating the relation, so
+// concurrent workers can share it during a round: no lazy index build, and
+// the key is encoded into the caller's scratch buffer (returned for reuse)
+// instead of the relation's. cols must be sorted ascending (the compiler
+// emits bound columns in column order) and the index must have been built
+// up front from the rule's index plan; probing an unplanned index is a
+// scheduling bug and panics.
+func (r *Relation) probeFrozen(cols []int, key []Val, buf []byte) ([]int32, []byte) {
+	idx := r.indexes[colMask(cols)]
+	if idx == nil {
+		panic(fmt.Sprintf("engine: frozen probe of unplanned index %v", cols))
+	}
+	buf = buf[:0]
+	for _, v := range key {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	return idx.m[string(buf)], buf
+}
+
+// containsFrozen reports whether tuple is in the relation, encoding the key
+// into the caller's scratch buffer (returned for reuse). Like probeFrozen it
+// is safe for concurrent readers while the relation is frozen.
+func (r *Relation) containsFrozen(tuple []Val, buf []byte) (bool, []byte) {
+	buf = encodeTuple(buf, tuple, nil)
+	return r.present[string(buf)], buf
+}
+
 // Tuple returns the tuple at position pos.
 func (r *Relation) Tuple(pos int32) []Val { return r.tuples[pos] }
 

@@ -15,6 +15,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"factorlog/internal/ast"
 )
@@ -31,32 +33,81 @@ type entry struct {
 	args    []Val // nil for constants
 }
 
+// Entries live in fixed-size chunks so that readers can resolve a Val
+// without locking: a published Val's chunk is never moved, and the chunk
+// spine is swapped atomically when it grows. Interning (the only mutation)
+// is serialized by a mutex.
+const (
+	storeChunkBits = 12
+	storeChunkSize = 1 << storeChunkBits
+)
+
+type storeChunk [storeChunkSize]entry
+
 // Store interns ground terms. The zero value is not usable; call NewStore.
+//
+// Interning (Const, Compound, and everything built on them) is safe for
+// concurrent use; the read-side accessors (IsConst, Functor, Args, String,
+// ...) are lock-free and may run concurrently with interning, provided each
+// Val read was published to the reading goroutine by a synchronizing
+// operation — the parallel evaluator's round barriers provide exactly that.
 type Store struct {
+	mu        sync.Mutex
 	consts    map[string]Val
 	compounds map[string]Val
-	entries   []entry
+	chunks    atomic.Pointer[[]*storeChunk]
+	n         int // interned entries; guarded by mu
 	keyBuf    []byte
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{
+	s := &Store{
 		consts:    make(map[string]Val),
 		compounds: make(map[string]Val),
 	}
+	spine := []*storeChunk{}
+	s.chunks.Store(&spine)
+	return s
+}
+
+// entry resolves a published Val without locking.
+func (s *Store) entry(v Val) *entry {
+	spine := *s.chunks.Load()
+	return &spine[v>>storeChunkBits][v&(storeChunkSize-1)]
+}
+
+// addEntry appends e and returns its Val. Caller must hold s.mu.
+func (s *Store) addEntry(e entry) Val {
+	if s.n&(storeChunkSize-1) == 0 {
+		old := *s.chunks.Load()
+		spine := make([]*storeChunk, len(old)+1)
+		copy(spine, old)
+		spine[len(old)] = new(storeChunk)
+		s.chunks.Store(&spine)
+	}
+	spine := *s.chunks.Load()
+	spine[s.n>>storeChunkBits][s.n&(storeChunkSize-1)] = e
+	v := Val(s.n)
+	s.n++
+	return v
 }
 
 // Size returns the number of distinct interned terms.
-func (s *Store) Size() int { return len(s.entries) }
+func (s *Store) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
 
 // Const interns a constant symbol.
 func (s *Store) Const(name string) Val {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if v, ok := s.consts[name]; ok {
 		return v
 	}
-	v := Val(len(s.entries))
-	s.entries = append(s.entries, entry{functor: name})
+	v := s.addEntry(entry{functor: name})
 	s.consts[name] = v
 	return v
 }
@@ -64,14 +115,15 @@ func (s *Store) Const(name string) Val {
 // Compound interns a compound term from already-interned arguments. The args
 // slice is copied.
 func (s *Store) Compound(functor string, args ...Val) Val {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	key := s.compoundKey(functor, args)
 	if v, ok := s.compounds[key]; ok {
 		return v
 	}
 	cp := make([]Val, len(args))
 	copy(cp, args)
-	v := Val(len(s.entries))
-	s.entries = append(s.entries, entry{functor: functor, args: cp})
+	v := s.addEntry(entry{functor: functor, args: cp})
 	s.compounds[key] = v
 	return v
 }
@@ -106,14 +158,14 @@ func (s *Store) List(elems ...Val) Val {
 func (s *Store) Int(n int) Val { return s.Const(fmt.Sprintf("%d", n)) }
 
 // IsConst reports whether v denotes a constant.
-func (s *Store) IsConst(v Val) bool { return s.entries[v].args == nil }
+func (s *Store) IsConst(v Val) bool { return s.entry(v).args == nil }
 
 // Functor returns the constant name or compound functor of v.
-func (s *Store) Functor(v Val) string { return s.entries[v].functor }
+func (s *Store) Functor(v Val) string { return s.entry(v).functor }
 
 // Args returns the argument handles of v (nil for constants). The returned
 // slice must not be modified.
-func (s *Store) Args(v Val) []Val { return s.entries[v].args }
+func (s *Store) Args(v Val) []Val { return s.entry(v).args }
 
 // FromAST interns a ground ast.Term. It returns an error if t contains
 // variables.
@@ -147,7 +199,7 @@ func (s *Store) MustFromAST(t ast.Term) Val {
 
 // ToAST reconstructs the ast.Term denoted by v.
 func (s *Store) ToAST(v Val) ast.Term {
-	e := s.entries[v]
+	e := s.entry(v)
 	if e.args == nil {
 		return ast.C(e.functor)
 	}
@@ -166,7 +218,7 @@ func (s *Store) String(v Val) string {
 }
 
 func (s *Store) write(b *strings.Builder, v Val) {
-	e := s.entries[v]
+	e := s.entry(v)
 	switch {
 	case e.args == nil:
 		b.WriteString(e.functor)
@@ -175,7 +227,7 @@ func (s *Store) write(b *strings.Builder, v Val) {
 		s.write(b, e.args[0])
 		rest := e.args[1]
 		for {
-			re := s.entries[rest]
+			re := s.entry(rest)
 			if re.functor == ast.ConsFunctor && len(re.args) == 2 {
 				b.WriteByte(',')
 				s.write(b, re.args[0])
@@ -184,7 +236,7 @@ func (s *Store) write(b *strings.Builder, v Val) {
 			}
 			break
 		}
-		if s.entries[rest].functor != ast.NilName || s.entries[rest].args != nil {
+		if re := s.entry(rest); re.functor != ast.NilName || re.args != nil {
 			b.WriteByte('|')
 			s.write(b, rest)
 		}

@@ -49,6 +49,41 @@ type RoundStats struct {
 	Wall time.Duration `json:"wall_ns"`
 }
 
+// StratumStats describes one stratum of a parallel stratified evaluation:
+// one strongly connected component of the predicate dependency graph,
+// evaluated either in a single pass (non-recursive) or to a local fixpoint.
+type StratumStats struct {
+	// Index is the stratum's position in the topological schedule.
+	Index int `json:"index"`
+	// Preds are the IDB predicates the stratum defines.
+	Preds []string `json:"preds"`
+	// Recursive reports whether the stratum ran a fixpoint (vs one pass).
+	Recursive bool `json:"recursive"`
+	// Rules counts the rules belonging to the stratum.
+	Rules int `json:"rules"`
+	// Rounds counts the evaluation rounds the stratum took (1 for
+	// non-recursive strata).
+	Rounds int `json:"rounds"`
+	// NewFacts counts facts first derived in this stratum.
+	NewFacts int `json:"new_facts"`
+	// Wall is the stratum's wall-clock time, including merge barriers.
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// WorkerStats describes one evaluation worker of a parallel run.
+type WorkerStats struct {
+	// Worker is the worker's index (0-based).
+	Worker int `json:"worker"`
+	// Units counts the work units (rule x delta-occurrence x shard) the
+	// worker executed.
+	Units int `json:"units"`
+	// Tuples counts head tuples the worker buffered, before barrier-merge
+	// deduplication.
+	Tuples int `json:"tuples"`
+	// Busy is the total wall-clock time the worker spent inside units.
+	Busy time.Duration `json:"busy_ns"`
+}
+
 // Span traces one pipeline stage: a program-to-program transformation (or
 // the final evaluation), with the deltas the paper cares about — rule count
 // and maximum IDB arity.
@@ -109,6 +144,38 @@ func RuleTable(rules []RuleStats) string {
 		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
 			r.Index, r.Firings, r.JoinProbes, r.TuplesMatched,
 			r.TuplesDerived, r.Duplicates, r.Rule)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// StratumTable renders per-stratum records as an aligned table; the rec
+// column marks strata that ran a fixpoint.
+func StratumTable(strata []StratumStats) string {
+	var b strings.Builder
+	w := newTable(&b)
+	fmt.Fprintln(w, "stratum\tpreds\trec\trules\trounds\tnew-facts\twall")
+	for _, s := range strata {
+		rec := ""
+		if s.Recursive {
+			rec = "*"
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\t%d\t%d\t%d\t%s\n",
+			s.Index, strings.Join(s.Preds, ","), rec, s.Rules, s.Rounds,
+			s.NewFacts, FormatDuration(s.Wall))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// WorkerTable renders per-worker records as an aligned table.
+func WorkerTable(workers []WorkerStats) string {
+	var b strings.Builder
+	w := newTable(&b)
+	fmt.Fprintln(w, "worker\tunits\ttuples\tbusy")
+	for _, ws := range workers {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%s\n",
+			ws.Worker, ws.Units, ws.Tuples, FormatDuration(ws.Busy))
 	}
 	w.Flush()
 	return b.String()

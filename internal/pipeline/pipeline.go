@@ -278,6 +278,10 @@ type RunResult struct {
 	// otherwise).
 	Rules  []obsv.RuleStats
 	Rounds []obsv.RoundStats
+	// Strata and Workers carry the parallel evaluator's per-stratum and
+	// per-worker records when tracing a run with engine.Options.Workers > 1.
+	Strata  []obsv.StratumStats
+	Workers []obsv.WorkerStats
 	// EvalWall is the evaluation's wall-clock time.
 	EvalWall time.Duration
 }
@@ -346,6 +350,8 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 			Spans:       []obsv.Span{evalSpan(pl.Program, wall)},
 			Rules:       res.Stats.Rules,
 			Rounds:      res.Stats.Rounds,
+			Strata:      res.Stats.Strata,
+			Workers:     res.Stats.Workers,
 			EvalWall:    wall,
 		}, nil
 
@@ -469,6 +475,8 @@ func (pl *Pipeline) runTransformed(s Strategy, prog *ast.Program, query ast.Atom
 		Spans:       append(pl.spansFor(s), evalSpan(prog, wall)),
 		Rules:       res.Stats.Rules,
 		Rounds:      res.Stats.Rounds,
+		Strata:      res.Stats.Strata,
+		Workers:     res.Stats.Workers,
 		EvalWall:    wall,
 	}, nil
 }
@@ -589,6 +597,14 @@ func ProfileTable(r *RunResult) string {
 	if len(r.Rules) > 0 {
 		b.WriteByte('\n')
 		b.WriteString(obsv.RuleTable(r.Rules))
+	}
+	if len(r.Strata) > 0 {
+		b.WriteByte('\n')
+		b.WriteString(obsv.StratumTable(r.Strata))
+	}
+	if len(r.Workers) > 0 {
+		b.WriteByte('\n')
+		b.WriteString(obsv.WorkerTable(r.Workers))
 	}
 	if len(r.Rounds) > 0 {
 		b.WriteByte('\n')
