@@ -1,0 +1,380 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/cq"
+	"factorlog/internal/engine"
+	"factorlog/internal/obsv"
+	"factorlog/internal/parser"
+	"factorlog/internal/pipeline"
+)
+
+// metricsSchema names the /metrics document layout; v1/v2 are the
+// factorbench evaluation-metrics schemas.
+const metricsSchema = "factorlog/metrics/v3"
+
+// statusClientClosedRequest is the de-facto code (nginx) for "the client
+// went away before we could answer"; no standard code fits.
+const statusClientClosedRequest = 499
+
+type config struct {
+	strategy string
+	workers  int
+	budget   int
+	timeout  time.Duration
+}
+
+// server holds the immutable program state shared by all requests and the
+// mutable serving metrics.
+type server struct {
+	prog        *ast.Program
+	hash        string
+	constraints []ast.Rule
+	baseEDB     []ast.Atom
+	declared    []ast.Atom // ?- queries from the program file, warmed at startup
+
+	cache       *pipeline.PlanCache
+	defStrategy pipeline.Strategy
+	defOpts     engine.Options
+	timeout     time.Duration
+	start       time.Time
+
+	inflight atomic.Int64
+	mu       sync.Mutex // guards the obsv records below
+	queries  int64
+	errors   int64
+	latency  map[string]*obsv.Histogram
+}
+
+func newServer(src, constraints string, cfg config) (*server, error) {
+	u, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var tgds []ast.Rule
+	if constraints != "" {
+		cp, err := parser.ParseProgram(constraints)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range cp.Rules {
+			if err := cq.ValidateTGD(r); err != nil {
+				return nil, err
+			}
+			tgds = append(tgds, r)
+		}
+	}
+	strategy, err := strategyByName(cfg.strategy)
+	if err != nil {
+		return nil, err
+	}
+	prog := u.Program()
+	return &server{
+		prog:        prog,
+		hash:        pipeline.HashProgram(prog, tgds),
+		constraints: tgds,
+		baseEDB:     u.Facts,
+		declared:    u.Queries,
+		cache:       pipeline.NewPlanCache(),
+		defStrategy: strategy,
+		defOpts: engine.Options{
+			Workers:  cfg.workers,
+			MaxFacts: cfg.budget,
+		},
+		timeout: cfg.timeout,
+		start:   time.Now(),
+		latency: map[string]*obsv.Histogram{},
+	}, nil
+}
+
+// warmup compiles a plan for every ?- query declared in the program file
+// under the default strategy, so the first real request finds a warm cache.
+// Failures are reported, not fatal: a program may declare queries that the
+// default strategy cannot transform.
+func (s *server) warmup() []string {
+	var warns []string
+	for _, q := range s.declared {
+		if _, _, err := s.cache.Lookup(s.prog, s.hash, s.constraints, q, s.defStrategy); err != nil {
+			warns = append(warns, fmt.Sprintf("%s: %v", q, err))
+		}
+	}
+	return warns
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// queryRequest is the decoded /query input (query-string or JSON body).
+type queryRequest struct {
+	Query     string `json:"query"`
+	Strategy  string `json:"strategy,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+	Budget    int    `json:"budget,omitempty"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+// queryResponse is the /query output.
+type queryResponse struct {
+	Query       string   `json:"query"`
+	Strategy    string   `json:"strategy"`
+	Answers     []string `json:"answers"`
+	AnswerCount int      `json:"answer_count"`
+	Facts       int      `json:"facts"`
+	Inferences  int      `json:"inferences"`
+	Iterations  int      `json:"iterations"`
+	PlanCache   string   `json:"plan_cache"` // "hit" or "miss"
+	EvalWallNS  int64    `json:"eval_wall_ns"`
+	TotalWallNS int64    `json:"total_wall_ns"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func decodeQueryRequest(r *http.Request) (queryRequest, error) {
+	var req queryRequest
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Query = q.Get("q")
+		req.Strategy = q.Get("strategy")
+		for name, dst := range map[string]*int{
+			"workers": &req.Workers, "budget": &req.Budget, "timeout_ms": &req.TimeoutMS,
+		} {
+			if v := q.Get(name); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return req, fmt.Errorf("bad %s: %v", name, err)
+				}
+				*dst = n
+			}
+		}
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return req, fmt.Errorf("bad JSON body: %v", err)
+		}
+	default:
+		return req, fmt.Errorf("method %s not allowed", r.Method)
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		return req, errors.New("missing query (GET ?q=... or POST {\"query\":...})")
+	}
+	return req, nil
+}
+
+// parseQueryAtom accepts "t(5,Y)" with optional "?-" prefix and trailing
+// dot, matching what users paste from .dl files.
+func parseQueryAtom(q string) (ast.Atom, error) {
+	q = strings.TrimSpace(q)
+	q = strings.TrimPrefix(q, "?-")
+	q = strings.TrimSuffix(strings.TrimSpace(q), ".")
+	return parser.ParseAtom(q)
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, err := decodeQueryRequest(r)
+	if err != nil {
+		s.fail(w, "", http.StatusBadRequest, err)
+		return
+	}
+	query, err := parseQueryAtom(req.Query)
+	if err != nil {
+		s.fail(w, "", http.StatusBadRequest, fmt.Errorf("parse query: %w", err))
+		return
+	}
+	strategy := s.defStrategy
+	if req.Strategy != "" {
+		if strategy, err = strategyByName(req.Strategy); err != nil {
+			s.fail(w, "", http.StatusBadRequest, err)
+			return
+		}
+	}
+
+	// The request context bounds the whole evaluation: client disconnects
+	// cancel it, and the per-request timeout (request override, else server
+	// default) adds a deadline.
+	ctx := r.Context()
+	timeout := s.timeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel func()
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	plan, hit, err := s.cache.Lookup(s.prog, s.hash, s.constraints, query, strategy)
+	if err != nil {
+		s.fail(w, strategy.String(), http.StatusUnprocessableEntity, err)
+		return
+	}
+
+	// Fresh EDB per request: evaluation derives into the DB, so sharing one
+	// across requests would leak one query's derivations into the next.
+	db := engine.NewDB()
+	if err := engine.LoadFacts(db, s.baseEDB); err != nil {
+		s.fail(w, strategy.String(), http.StatusInternalServerError, err)
+		return
+	}
+	opts := s.defOpts
+	opts.Context = ctx
+	if req.Workers > 0 {
+		opts.Workers = req.Workers
+	}
+	if req.Budget > 0 {
+		opts.MaxFacts = req.Budget
+	}
+
+	res, err := plan.Run(db, opts)
+	if err != nil {
+		s.fail(w, strategy.String(), statusForError(err), err)
+		return
+	}
+
+	total := time.Since(start)
+	s.observe(strategy.String(), total, nil)
+	writeJSON(w, http.StatusOK, queryResponse{
+		Query:       query.String(),
+		Strategy:    strategy.String(),
+		Answers:     pipeline.SortedAnswers(res),
+		AnswerCount: len(res.Answers),
+		Facts:       res.Facts,
+		Inferences:  res.Inferences,
+		Iterations:  res.Iterations,
+		PlanCache:   cacheLabel(hit),
+		EvalWallNS:  res.EvalWall.Nanoseconds(),
+		TotalWallNS: total.Nanoseconds(),
+	})
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, engine.ErrCanceled):
+		return statusClientClosedRequest
+	case errors.Is(err, engine.ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, engine.ErrBadOptions):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// fail records an errored query (when it reached evaluation, strategy is
+// set) and writes the error response.
+func (s *server) fail(w http.ResponseWriter, strategy string, status int, err error) {
+	s.observe(strategy, 0, err)
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// observe folds one finished request into the metrics; latency is recorded
+// only for successful evaluations so the histograms measure real query
+// cost, not fast-path rejections.
+func (s *server) observe(strategy string, d time.Duration, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	if err != nil {
+		s.errors++
+		return
+	}
+	h := s.latency[strategy]
+	if h == nil {
+		h = obsv.NewHistogram()
+		s.latency[strategy] = h
+	}
+	h.Observe(d)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"program_hash":   s.hash,
+		"rules":          len(s.prog.Rules),
+		"base_facts":     len(s.baseEDB),
+	})
+}
+
+// snapshot builds the ServerStats document under the metrics lock,
+// deep-copying the histograms so rendering happens outside it.
+func (s *server) snapshot() obsv.ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	latency := make(map[string]*obsv.Histogram, len(s.latency))
+	for name, h := range s.latency {
+		cp := *h
+		cp.BucketCounts = append([]int64(nil), h.BucketCounts...)
+		latency[name] = &cp
+	}
+	return obsv.ServerStats{
+		Schema:        metricsSchema,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Queries:       s.queries,
+		Errors:        s.errors,
+		InFlight:      s.inflight.Load(),
+		PlanCache:     s.cache.Stats(),
+		Latency:       latency,
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	stats := s.snapshot()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, obsv.ServerTable(stats))
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func strategyByName(name string) (pipeline.Strategy, error) {
+	for _, s := range pipeline.AllStrategies() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	var names []string
+	for _, s := range pipeline.AllStrategies() {
+		names = append(names, s.String())
+	}
+	return 0, fmt.Errorf("unknown strategy %q (one of: %s)", name, strings.Join(names, ", "))
+}

@@ -1,0 +1,321 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"factorlog/internal/obsv"
+)
+
+const tcProgram = `
+t(X, Y) :- t(X, W), t(W, Y).
+t(X, Y) :- e(X, W), t(W, Y).
+t(X, Y) :- t(X, W), e(W, Y).
+t(X, Y) :- e(X, Y).
+
+e(5, 6).
+e(6, 7).
+e(7, 8).
+e(1, 2).
+
+?- t(5, Y).
+`
+
+// divergentProgram never reaches a fixpoint; only a deadline, cancellation,
+// or budget stops it.
+const divergentProgram = `
+n(z).
+n(f(X)) :- n(X).
+`
+
+func testServer(t *testing.T, src string, cfg config) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(src, "", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getQuery(t *testing.T, ts *httptest.Server, params url.Values) (int, queryResponse, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/query?" + params.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr queryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatalf("bad response JSON: %v\n%s", err, body)
+		}
+	}
+	return resp.StatusCode, qr, string(body)
+}
+
+func TestQueryCacheMissThenHit(t *testing.T) {
+	_, ts := testServer(t, tcProgram, config{strategy: "magic", timeout: 5 * time.Second})
+
+	// First query for this (predicate, adornment, strategy, constants)
+	// shape compiles the plan; the identical repeat reuses it.
+	status, qr, body := getQuery(t, ts, url.Values{"q": {"t(5,Y)"}})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if qr.PlanCache != "miss" {
+		t.Errorf("first query: plan_cache = %q, want miss", qr.PlanCache)
+	}
+	want := []string{"(6)", "(7)", "(8)"}
+	if fmt.Sprint(qr.Answers) != fmt.Sprint(want) {
+		t.Errorf("answers = %v, want %v", qr.Answers, want)
+	}
+
+	status, qr, body = getQuery(t, ts, url.Values{"q": {"t(5,Y)"}})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if qr.PlanCache != "hit" {
+		t.Errorf("repeat query: plan_cache = %q, want hit", qr.PlanCache)
+	}
+	if fmt.Sprint(qr.Answers) != fmt.Sprint(want) {
+		t.Errorf("repeat answers = %v, want %v", qr.Answers, want)
+	}
+
+	// Same adornment, different constant: plans specialize on the bound
+	// constants, so this must compile its own plan and find its own answers.
+	status, qr, _ = getQuery(t, ts, url.Values{"q": {"t(6,Y)"}})
+	if status != http.StatusOK || qr.PlanCache != "miss" {
+		t.Errorf("t(6,Y): status %d plan_cache %q, want 200 miss", status, qr.PlanCache)
+	}
+	if fmt.Sprint(qr.Answers) != fmt.Sprint([]string{"(7)", "(8)"}) {
+		t.Errorf("t(6,Y) answers = %v", qr.Answers)
+	}
+}
+
+func TestMetricsReportCacheHits(t *testing.T) {
+	_, ts := testServer(t, tcProgram, config{strategy: "magic", timeout: 5 * time.Second})
+	for i := 0; i < 3; i++ {
+		if status, _, body := getQuery(t, ts, url.Values{"q": {"t(5,Y)"}}); status != http.StatusOK {
+			t.Fatalf("status %d: %s", status, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats obsv.ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Schema != metricsSchema {
+		t.Errorf("schema = %q, want %q", stats.Schema, metricsSchema)
+	}
+	if stats.PlanCache.Hits < 2 {
+		t.Errorf("plan cache hits = %d, want >= 2", stats.PlanCache.Hits)
+	}
+	if stats.Queries != 3 || stats.Errors != 0 {
+		t.Errorf("queries/errors = %d/%d, want 3/0", stats.Queries, stats.Errors)
+	}
+	h := stats.Latency["magic"]
+	if h == nil || h.Count != 3 {
+		t.Errorf("latency histogram for magic = %+v, want count 3", h)
+	}
+
+	// The text rendering carries the same counters.
+	resp2, err := http.Get(ts.URL + "/metrics?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	text, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(text), "plan cache:") || !strings.Contains(string(text), "magic") {
+		t.Errorf("text metrics missing expected lines:\n%s", text)
+	}
+}
+
+// TestConcurrentQueries drives 32 concurrent in-flight requests (mixed
+// shapes: two constants, two strategies, both worker counts) through one
+// server and checks every response; under -race this also exercises the
+// shared plan cache and pipeline memoization for data races.
+func TestConcurrentQueries(t *testing.T) {
+	_, ts := testServer(t, tcProgram, config{strategy: "magic", timeout: 10 * time.Second})
+
+	type shape struct {
+		q        string
+		strategy string
+		workers  string
+		want     string
+	}
+	shapes := []shape{
+		{"t(5,Y)", "magic", "1", "[(6) (7) (8)]"},
+		{"t(5,Y)", "factored+opt", "2", "[(6) (7) (8)]"},
+		{"t(6,Y)", "magic", "2", "[(7) (8)]"},
+		{"t(6,Y)", "semi-naive", "1", "[(7) (8)]"},
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		sh := shapes[i%len(shapes)]
+		wg.Add(1)
+		go func() {
+			// No t.Fatal here: test helpers must not FailNow off the test
+			// goroutine, so failures flow through the channel.
+			defer wg.Done()
+			params := url.Values{"q": {sh.q}, "strategy": {sh.strategy}, "workers": {sh.workers}}
+			resp, err := http.Get(ts.URL + "/query?" + params.Encode())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("%s/%s: status %d: %s", sh.q, sh.strategy, resp.StatusCode, body)
+				return
+			}
+			var qr queryResponse
+			if err := json.Unmarshal(body, &qr); err != nil {
+				errs <- fmt.Errorf("%s/%s: %v", sh.q, sh.strategy, err)
+				return
+			}
+			if got := fmt.Sprint(qr.Answers); got != sh.want {
+				errs <- fmt.Errorf("%s/%s: answers %s, want %s", sh.q, sh.strategy, got, sh.want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats obsv.ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries != n {
+		t.Errorf("queries = %d, want %d", stats.Queries, n)
+	}
+	// 4 distinct plan shapes; everything beyond the builds must have hit.
+	if stats.PlanCache.Entries != len(shapes) {
+		t.Errorf("cache entries = %d, want %d", stats.PlanCache.Entries, len(shapes))
+	}
+	if stats.PlanCache.Hits != n-int64(len(shapes)) {
+		t.Errorf("cache hits = %d, want %d", stats.PlanCache.Hits, n-len(shapes))
+	}
+}
+
+func TestQueryDeadline(t *testing.T) {
+	for _, workers := range []string{"1", "4"} {
+		_, ts := testServer(t, divergentProgram, config{strategy: "semi-naive", timeout: 10 * time.Second})
+		start := time.Now()
+		status, _, body := getQuery(t, ts, url.Values{
+			"q": {"n(X)"}, "timeout_ms": {"100"}, "workers": {workers},
+		})
+		if status != http.StatusGatewayTimeout {
+			t.Fatalf("workers=%s: status %d, want %d: %s", workers, status, http.StatusGatewayTimeout, body)
+		}
+		if !strings.Contains(body, "deadline") {
+			t.Errorf("workers=%s: error body %q does not mention the deadline", workers, body)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Errorf("workers=%s: deadline enforcement took %v", workers, elapsed)
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	_, ts := testServer(t, tcProgram, config{strategy: "magic", timeout: time.Second})
+
+	status, _, body := getQuery(t, ts, url.Values{})
+	if status != http.StatusBadRequest {
+		t.Errorf("missing q: status %d: %s", status, body)
+	}
+	status, _, body = getQuery(t, ts, url.Values{"q": {"t(5,"}})
+	if status != http.StatusBadRequest {
+		t.Errorf("malformed q: status %d: %s", status, body)
+	}
+	status, _, body = getQuery(t, ts, url.Values{"q": {"t(5,Y)"}, "strategy": {"nope"}})
+	if status != http.StatusBadRequest {
+		t.Errorf("bad strategy: status %d: %s", status, body)
+	}
+}
+
+func TestQueryPost(t *testing.T) {
+	_, ts := testServer(t, tcProgram, config{strategy: "magic", timeout: 5 * time.Second})
+	resp, err := http.Post(ts.URL+"/query", "application/json",
+		strings.NewReader(`{"query": "t(5,Y)", "strategy": "sup-magic"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(qr.Answers) != 3 {
+		t.Errorf("POST: status %d answers %v", resp.StatusCode, qr.Answers)
+	}
+	if qr.Strategy != "sup-magic" {
+		t.Errorf("strategy = %q, want sup-magic", qr.Strategy)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t, tcProgram, config{strategy: "magic"})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || h["status"] != "ok" {
+		t.Errorf("healthz: status %d body %v", resp.StatusCode, h)
+	}
+	if h["rules"] != float64(4) {
+		t.Errorf("rules = %v, want 4", h["rules"])
+	}
+}
+
+func TestWarmupPrimesDeclaredQueries(t *testing.T) {
+	s, ts := testServer(t, tcProgram, config{strategy: "magic", timeout: 5 * time.Second})
+	if warns := s.warmup(); len(warns) != 0 {
+		t.Fatalf("warmup warnings: %v", warns)
+	}
+	// The program declares ?- t(5, Y); after warmup its first request hits.
+	status, qr, body := getQuery(t, ts, url.Values{"q": {"t(5, Y)"}})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if qr.PlanCache != "hit" {
+		t.Errorf("post-warmup query: plan_cache = %q, want hit", qr.PlanCache)
+	}
+}

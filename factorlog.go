@@ -26,6 +26,7 @@
 package factorlog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -70,8 +71,18 @@ var ErrNotFactorable = core.ErrNotFactorable
 
 // ErrBudgetExceeded is returned (wrapped) by Run when an evaluation exceeds
 // the WithBudget limits; test with errors.Is to distinguish budget stops
-// from real failures.
+// from real failures. (The engine's deprecated ErrBudget alias for this
+// error is not re-exported here and is scheduled for removal.)
 var ErrBudgetExceeded = engine.ErrBudgetExceeded
+
+// ErrCanceled is returned (wrapped) by Run when the context installed with
+// WithContext (or passed to Prepared.Run) is canceled before evaluation
+// completes; test with errors.Is.
+var ErrCanceled = engine.ErrCanceled
+
+// ErrDeadlineExceeded is returned (wrapped) by Run when that context's
+// deadline passes before evaluation completes; test with errors.Is.
+var ErrDeadlineExceeded = engine.ErrDeadlineExceeded
 
 // ErrBadOptions is returned (wrapped) by Run when the evaluation options
 // are invalid (e.g. a negative WithWorkers count); test with errors.Is.
@@ -158,6 +169,14 @@ func (s *System) WithTrace(on bool) *System {
 // counts are identical across worker counts.
 func (s *System) WithWorkers(n int) *System {
 	s.evalOpts.Workers = n
+	return s
+}
+
+// WithContext bounds subsequent Runs by ctx: cancellation or a deadline
+// terminates evaluation with ErrCanceled or ErrDeadlineExceeded. A nil ctx
+// removes the bound. Per-run contexts are usually clearer via Prepared.Run.
+func (s *System) WithContext(ctx context.Context) *System {
+	s.evalOpts.Context = ctx
 	return s
 }
 
@@ -288,6 +307,42 @@ func newResult(r *pipeline.RunResult) *Result {
 		EvalWall:    r.EvalWall,
 		raw:         r,
 	}
+}
+
+// Prepared is a query compiled ahead of time for one strategy: the
+// transformation chain (adorn, magic, factor, optimize, ...) ran at Prepare
+// time, so each Run pays only evaluation cost. A Prepared is safe for
+// concurrent Runs, each over its own DB — the shape a long-lived server
+// wants (see cmd/factorlogd, which adds a plan cache over the same idea).
+type Prepared struct {
+	sys      *System
+	strategy Strategy
+}
+
+// Prepare compiles the system's query for one strategy. It fails where
+// Run would fail to transform (e.g. Factored on a non-factorable program),
+// so errors surface at startup instead of per request.
+func (s *System) Prepare(strategy Strategy) (*Prepared, error) {
+	if err := s.pl.Compile(strategy); err != nil {
+		return nil, err
+	}
+	return &Prepared{sys: s, strategy: strategy}, nil
+}
+
+// Strategy returns the strategy the query was prepared for.
+func (p *Prepared) Strategy() Strategy { return p.strategy }
+
+// Run evaluates the prepared query over db under ctx; cancellation and
+// deadlines surface as ErrCanceled / ErrDeadlineExceeded. The db is
+// consumed (derived relations are added); create a fresh one per run.
+func (p *Prepared) Run(ctx context.Context, db *DB) (*Result, error) {
+	opts := p.sys.evalOpts
+	opts.Context = ctx
+	r, err := p.sys.pl.Run(p.strategy, db.inner, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(r), nil
 }
 
 // Compare runs all the given strategies, each over a fresh copy of the

@@ -1,6 +1,7 @@
 package factorlog_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -311,6 +312,37 @@ func TestExplainAllStrategies(t *testing.T) {
 	}
 	if !strings.Contains(ex.Program, "sup_") {
 		t.Errorf("sup-magic explanation:\n%s", ex.Program)
+	}
+}
+
+func TestPrepareAndContext(t *testing.T) {
+	sys := loadTC(t)
+	prep, err := sys.Prepare(factorlog.Magic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Strategy() != factorlog.Magic {
+		t.Errorf("strategy = %v", prep.Strategy())
+	}
+	// A prepared plan runs repeatedly against fresh DBs.
+	for i := 0; i < 2; i++ {
+		res, err := prep.Run(context.Background(), chainDB(sys, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Answers) != 5 {
+			t.Errorf("run %d: answers = %v", i, res.Answers)
+		}
+	}
+	// A canceled context surfaces the typed error, via Prepared.Run and
+	// via WithContext on a plain Run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := prep.Run(ctx, chainDB(sys, 10)); !errors.Is(err, factorlog.ErrCanceled) {
+		t.Errorf("Prepared.Run: want ErrCanceled, got %v", err)
+	}
+	if _, err := sys.WithContext(ctx).Run(factorlog.SemiNaive, chainDB(sys, 10)); !errors.Is(err, factorlog.ErrCanceled) {
+		t.Errorf("WithContext Run: want ErrCanceled, got %v", err)
 	}
 }
 

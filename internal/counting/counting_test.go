@@ -198,7 +198,7 @@ func TestCountingDivergesOnLeftLinear(t *testing.T) {
 	db := engine.NewDB()
 	db.MustInsert("e", db.Store.Int(1), db.Store.Int(2))
 	_, err = engine.Eval(res.Program, db, engine.Options{MaxFacts: 1000})
-	if !errors.Is(err, engine.ErrBudget) {
+	if !errors.Is(err, engine.ErrBudgetExceeded) {
 		t.Errorf("divergent program terminated? err = %v", err)
 	}
 }
@@ -243,7 +243,7 @@ func TestCountingDivergesOnCyclicEDB(t *testing.T) {
 	db.MustInsert("e", db.Store.Int(1), db.Store.Int(2))
 	db.MustInsert("e", db.Store.Int(2), db.Store.Int(1)) // cycle
 	_, err = engine.Eval(res.Program, db, engine.Options{MaxFacts: 2000})
-	if !errors.Is(err, engine.ErrBudget) {
+	if !errors.Is(err, engine.ErrBudgetExceeded) {
 		t.Errorf("cyclic counting terminated? err = %v", err)
 	}
 	// The factored program, by contrast, terminates on the same data.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -41,19 +42,56 @@ func (s Strategy) String() string {
 // Callers distinguish budget stops from real failures with errors.Is.
 var ErrBudgetExceeded = errors.New("evaluation budget exceeded")
 
-// ErrBudget is the former name of ErrBudgetExceeded.
+// ErrBudget is the former name of ErrBudgetExceeded. No internal code
+// references it anymore; it is kept one release for external callers and
+// will then be removed.
 //
 // Deprecated: use ErrBudgetExceeded.
 var ErrBudget = ErrBudgetExceeded
+
+// ErrCanceled is returned (wrapped) when Options.Context is canceled before
+// the fixpoint completes. The sequential evaluator notices cancellation at
+// round boundaries and every few thousand inferences inside a round; the
+// parallel evaluator additionally has its workers observe cancellation
+// mid-round. Callers test with errors.Is.
+var ErrCanceled = errors.New("evaluation canceled")
+
+// ErrDeadlineExceeded is returned (wrapped) when Options.Context's deadline
+// passes before the fixpoint completes; it is noticed at the same points as
+// ErrCanceled. Callers test with errors.Is.
+var ErrDeadlineExceeded = errors.New("evaluation deadline exceeded")
 
 // ErrBadOptions is returned by Eval when Options carry values outside their
 // domain (negative Workers, MaxIterations, or MaxFacts). Callers test with
 // errors.Is.
 var ErrBadOptions = errors.New("engine: invalid options")
 
+// contextErr maps ctx's terminal state to the engine's typed errors; it
+// returns nil while ctx is live (or nil).
+func contextErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		cause := context.Cause(ctx)
+		if errors.Is(cause, context.DeadlineExceeded) {
+			return fmt.Errorf("%w: %v", ErrDeadlineExceeded, cause)
+		}
+		return fmt.Errorf("%w: %v", ErrCanceled, cause)
+	default:
+		return nil
+	}
+}
+
 // Options configures evaluation.
 type Options struct {
 	Strategy Strategy
+	// Context, when non-nil, bounds the evaluation's lifetime: cancellation
+	// or a deadline terminates the fixpoint with ErrCanceled or
+	// ErrDeadlineExceeded (both wrapped, test with errors.Is). The partial
+	// derived state left in the DB is valid but incomplete; discard it.
+	Context context.Context
 	// Workers sets the number of evaluation goroutines. 0 and 1 select the
 	// exact sequential evaluator; N > 1 evaluates the program stratum by
 	// stratum (SCC schedule, see internal/depgraph) with each stratum's
@@ -145,6 +183,7 @@ func Eval(p *ast.Program, db *DB, opts Options) (*Result, error) {
 		db:    db,
 		rules: rules,
 		opts:  opts,
+		ctx:   opts.Context,
 	}
 	ev.rn.db = db
 	ev.rn.sink = ev.emit
@@ -178,6 +217,7 @@ type evaluator struct {
 	opts  Options
 	stats Stats
 	prov  *Provenance
+	ctx   context.Context // nil when the evaluation is unbounded
 
 	curRound  int32
 	newCounts map[string]int // facts stamped curRound+1, by predicate
@@ -288,6 +328,10 @@ func (ev *evaluator) run() error {
 	// current incrementally.
 	buildIndexes(ev.db, ev.rules)
 
+	if err := contextErr(ev.ctx); err != nil {
+		return err
+	}
+
 	// Round 0: evaluate every rule against the full database (covers
 	// bodyless rules, rules over EDB only, and pre-seeded IDB facts).
 	ev.curRound = 0
@@ -302,6 +346,9 @@ func (ev *evaluator) run() error {
 	ev.stats.Iterations++
 
 	for total(ev.newCounts) > 0 {
+		if err := contextErr(ev.ctx); err != nil {
+			return err
+		}
 		if ev.opts.MaxIterations > 0 && ev.stats.Iterations >= ev.opts.MaxIterations {
 			return fmt.Errorf("%w: %d iterations", ErrBudgetExceeded, ev.stats.Iterations)
 		}
@@ -507,10 +554,22 @@ func (rn *runner) emitHead(r *compiledRule, slots []Val) error {
 	return rn.sink(r, tuple, rn.children)
 }
 
+// ctxCheckMask throttles in-round context checks: one contextErr call per
+// 4096 inferences keeps the per-inference cost at a single branch while
+// still bounding how long a canceled evaluation can keep running inside one
+// round (the sequential round-0 cascade can make a single round arbitrarily
+// long, so round-boundary checks alone are not enough).
+const ctxCheckMask = 4096 - 1
+
 // emit is the sequential sink: insert immediately, bump counters, record
-// provenance, and enforce the fact budget.
+// provenance, and enforce the fact and context budgets.
 func (ev *evaluator) emit(r *compiledRule, tuple []Val, children []FactID) error {
 	ev.stats.Inferences++
+	if ev.ctx != nil && ev.stats.Inferences&ctxCheckMask == 0 {
+		if err := contextErr(ev.ctx); err != nil {
+			return err
+		}
+	}
 	full := ev.db.Lookup(r.headPred)
 	if !full.InsertRound(tuple, ev.curRound+1) {
 		if t := ev.rn.cur; t != nil {

@@ -145,12 +145,12 @@ func TestEvalBudgetIterations(t *testing.T) {
 		counter(s(X)) :- counter(X).
 	`)
 	_, err := Eval(p, NewDB(), Options{MaxIterations: 10})
-	if !errors.Is(err, ErrBudget) {
-		t.Errorf("want ErrBudget, got %v", err)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("want ErrBudgetExceeded, got %v", err)
 	}
 	_, err = Eval(p, NewDB(), Options{MaxFacts: 50})
-	if !errors.Is(err, ErrBudget) {
-		t.Errorf("want ErrBudget (facts), got %v", err)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("want ErrBudgetExceeded (facts), got %v", err)
 	}
 }
 

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -55,6 +57,11 @@ type bufFact struct {
 	tuple []Val
 }
 
+// errEvalStopped aborts a worker's in-progress join when the evaluation's
+// context is canceled; it never escapes the engine (the coordinator reports
+// the context's typed error instead).
+var errEvalStopped = errors.New("engine: evaluation stopped")
+
 // parWorker is one worker's private state, reused across rounds.
 type parWorker struct {
 	rn         runner
@@ -65,6 +72,10 @@ type parWorker struct {
 	inferences int
 	rules      []obsv.RuleStats // per-rule counters; nil unless traced
 	stats      obsv.WorkerStats
+	// stop, when non-nil, is the evaluation's cancellation flag; the sink
+	// polls it so a worker abandons its current work unit mid-join instead
+	// of running the unit to completion after the context is gone.
+	stop *atomic.Bool
 }
 
 // sink buffers the derivation; insertion and budget checks happen at the
@@ -75,6 +86,9 @@ type parWorker struct {
 // proportional to the distinct new tuples, not to the inference count.
 func (pw *parWorker) sink(r *compiledRule, tuple []Val, _ []FactID) error {
 	pw.inferences++
+	if pw.stop != nil && pw.inferences&ctxCheckMask == 0 && pw.stop.Load() {
+		return errEvalStopped
+	}
 	dup, buf := pw.rn.db.Lookup(r.headPred).containsFrozen(tuple, pw.keyBuf)
 	pw.keyBuf = buf
 	if !dup {
@@ -107,6 +121,8 @@ type parEvaluator struct {
 	curRound  int32
 	newCounts map[string]int
 	workers   []*parWorker
+	ctx       context.Context // nil when the evaluation is unbounded
+	stop      atomic.Bool     // set by the context watcher; polled by workers
 
 	// Trace state; all nil/unused unless Options.Trace.
 	trace      *evalTrace
@@ -122,6 +138,24 @@ func evalParallel(p *ast.Program, db *DB, rules []*compiledRule, opts Options) (
 		rules:     rules,
 		opts:      opts,
 		newCounts: map[string]int{},
+		ctx:       opts.Context,
+	}
+	if err := contextErr(ev.ctx); err != nil {
+		return nil, err
+	}
+	if ev.ctx != nil && ev.ctx.Done() != nil {
+		// Translate ctx.Done into an atomic flag the workers can poll per
+		// batch of inferences; a channel select per tuple would be far too
+		// expensive. The watcher exits with the evaluation.
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ev.ctx.Done():
+				ev.stop.Store(true)
+			case <-watchDone:
+			}
+		}()
 	}
 
 	// Materialize head and body relations up front so empty IDB predicates
@@ -140,6 +174,9 @@ func evalParallel(p *ast.Program, db *DB, rules []*compiledRule, opts Options) (
 	ev.workers = make([]*parWorker, opts.Workers)
 	for w := range ev.workers {
 		pw := &parWorker{stats: obsv.WorkerStats{Worker: w}, seen: map[string]bool{}}
+		if ev.ctx != nil {
+			pw.stop = &ev.stop
+		}
 		pw.rn = runner{db: db, frozen: true, sink: pw.sink}
 		ev.workers[w] = pw
 	}
@@ -222,6 +259,9 @@ func (ev *parEvaluator) evalStratum(si int, st *depgraph.Stratum) error {
 
 	if st.Recursive {
 		for total(ev.newCounts) > 0 {
+			if err := contextErr(ev.ctx); err != nil {
+				return err
+			}
 			if ev.opts.MaxIterations > 0 && ev.stats.Iterations >= ev.opts.MaxIterations {
 				return fmt.Errorf("%w: %d iterations", ErrBudgetExceeded, ev.stats.Iterations)
 			}
@@ -296,6 +336,9 @@ func (ev *parEvaluator) runRound(units []workUnit) error {
 			defer wg.Done()
 			busyStart := time.Now()
 			for {
+				if pw.stop != nil && pw.stop.Load() {
+					break
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(units) {
 					break
@@ -314,14 +357,28 @@ func (ev *parEvaluator) runRound(units []workUnit) error {
 					}
 				}
 				pw.rn.setLimits(u.rule, u.occs, u.deltaOcc, ev.curRound)
-				// The buffering sink never fails; budget enforcement
-				// happens at the merge below.
-				_ = pw.rn.runRule(u.rule)
+				// The buffering sink fails only with errEvalStopped (budget
+				// enforcement happens at the merge below); on cancellation
+				// the worker abandons its remaining units.
+				if err := pw.rn.runRule(u.rule); err != nil {
+					break
+				}
 			}
 			pw.stats.Busy += time.Since(busyStart)
 		}()
 	}
 	wg.Wait()
+
+	// Canceled rounds produce partial buffers; report the typed context
+	// error instead of merging them.
+	if err := contextErr(ev.ctx); err != nil {
+		for _, pw := range ev.workers {
+			pw.buf = pw.buf[:0]
+			pw.inferences = 0
+			clear(pw.seen)
+		}
+		return err
+	}
 
 	// Barrier: merge private buffers, deduplicating through the relation's
 	// hash set. Single-threaded, so inserts need no locking.

@@ -1,14 +1,3 @@
-// Package engine implements bottom-up evaluation of Horn-clause programs:
-// a hash-consed ground-term store, indexed relations, naive and semi-naive
-// fixpoint evaluation with derivation-tree provenance, and uniform
-// statistics (facts, inferences, iterations).
-//
-// Ground terms are interned into a Store: every distinct ground term has
-// exactly one Val, and compound values share their sub-structure. Equality
-// is integer comparison and a list tail is a single Val, which makes the
-// structure-sharing assumption of Example 4.6 of the paper ("each inference
-// can be made in constant time, independently of the list size") literally
-// true during evaluation.
 package engine
 
 import (

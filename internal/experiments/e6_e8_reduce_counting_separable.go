@@ -174,7 +174,7 @@ func runE7() (*Table, error) {
 	db := engine.NewDB()
 	db.MustInsert("e", db.Store.Int(1), db.Store.Int(2))
 	_, err = engine.Eval(forced.Program, db, engine.Options{MaxFacts: 1000})
-	t.AddRow("forced left-linear counting diverges", errors.Is(err, engine.ErrBudget))
+	t.AddRow("forced left-linear counting diverges", errors.Is(err, engine.ErrBudgetExceeded))
 
 	// Divergence on cyclic data even for right-linear programs.
 	adRL, err := adorn.Adorn(parser.MustParseProgram(`
@@ -191,7 +191,7 @@ func runE7() (*Table, error) {
 	dbCyc := engine.NewDB()
 	workload.Cycle(dbCyc, "e", 4)
 	_, err = engine.Eval(cntRL.Program, dbCyc, engine.Options{MaxFacts: 2000})
-	t.AddRow("counting on cyclic EDB diverges", errors.Is(err, engine.ErrBudget))
+	t.AddRow("counting on cyclic EDB diverges", errors.Is(err, engine.ErrBudgetExceeded))
 	return t, nil
 }
 

@@ -1,10 +1,3 @@
-// Package obsv is the observability layer: plain record types shared by the
-// engine (per-rule and per-round evaluation counters), the pipeline (stage
-// spans), and the command-line surfaces, plus text renderers for each. It is
-// deliberately dependency-free and knows nothing about Datalog — producers
-// fill the records, obsv formats them. The JSON tags define the schema of
-// the machine-readable metrics documents emitted by `factorbench -json`
-// (committed as BENCH_*.json).
 package obsv
 
 import (

@@ -1,0 +1,176 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file holds the serving-side records: plan-cache counters and latency
+// histograms filled by long-lived query processes (cmd/factorlogd). Like
+// the rest of the package they are plain data — producers guard them with
+// their own locks and obsv only formats them. The JSON tags define the
+// /metrics schema (factorlog/metrics/v3).
+
+// CacheStats describes a memoizing cache (the pipeline plan cache).
+type CacheStats struct {
+	// Hits counts lookups that reused a cached entry (including cached
+	// failures).
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that had to build a new entry.
+	Misses int64 `json:"misses"`
+	// Entries is the current number of cached entries.
+	Entries int `json:"entries"`
+}
+
+// HistogramBounds are the bucket upper bounds shared by every Histogram:
+// powers of four from 16µs to ~4.3s, with a final overflow bucket. The
+// range covers sub-millisecond cache-hit queries and multi-second scans in
+// ten buckets.
+var HistogramBounds = []time.Duration{
+	16 * time.Microsecond,
+	64 * time.Microsecond,
+	256 * time.Microsecond,
+	1024 * time.Microsecond,
+	4096 * time.Microsecond,
+	16384 * time.Microsecond,
+	65536 * time.Microsecond,
+	262144 * time.Microsecond,
+	1048576 * time.Microsecond,
+	4194304 * time.Microsecond,
+}
+
+// Histogram is a fixed-bucket latency histogram over HistogramBounds, with
+// one extra overflow bucket. The zero value is not ready to use; call
+// NewHistogram. Like all obsv records it is not safe for concurrent
+// mutation — callers serialize Observe with their own lock.
+type Histogram struct {
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+	// Sum is the total of all observations.
+	Sum time.Duration `json:"sum_ns"`
+	// Max is the largest observation.
+	Max time.Duration `json:"max_ns"`
+	// BucketCounts[i] counts observations <= HistogramBounds[i]; the final
+	// element counts overflow.
+	BucketCounts []int64 `json:"bucket_counts"`
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{BucketCounts: make([]int64, len(HistogramBounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.Count++
+	h.Sum += d
+	if d > h.Max {
+		h.Max = d
+	}
+	for i, b := range HistogramBounds {
+		if d <= b {
+			h.BucketCounts[i]++
+			return
+		}
+	}
+	h.BucketCounts[len(HistogramBounds)]++
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// bound of the bucket where the cumulative count crosses q, or Max for the
+// overflow bucket. Zero observations yield 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range h.BucketCounts {
+		cum += n
+		if cum >= target {
+			if i < len(HistogramBounds) {
+				return HistogramBounds[i]
+			}
+			return h.Max
+		}
+	}
+	return h.Max
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// ServerStats is the /metrics document of a query server.
+type ServerStats struct {
+	// Schema names the document layout.
+	Schema string `json:"schema"`
+	// UptimeSeconds is the time since the server started.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Queries counts completed /query requests (successes and failures).
+	Queries int64 `json:"queries"`
+	// Errors counts /query requests that returned an error.
+	Errors int64 `json:"errors"`
+	// InFlight is the number of /query requests currently evaluating.
+	InFlight int64 `json:"in_flight"`
+	// PlanCache reports the compiled-plan cache counters.
+	PlanCache CacheStats `json:"plan_cache"`
+	// Latency holds one request-latency histogram per strategy name.
+	Latency map[string]*Histogram `json:"latency_by_strategy"`
+}
+
+// CacheLine renders cache counters compactly, with the hit rate.
+func CacheLine(c CacheStats) string {
+	total := c.Hits + c.Misses
+	rate := 0.0
+	if total > 0 {
+		rate = float64(c.Hits) / float64(total)
+	}
+	return fmt.Sprintf("plan cache: %d entries, %d hits, %d misses (%.1f%% hit rate)",
+		c.Entries, c.Hits, c.Misses, 100*rate)
+}
+
+// LatencyTable renders per-strategy latency histograms as an aligned
+// table, rows sorted by strategy name.
+func LatencyTable(byStrategy map[string]*Histogram) string {
+	names := make([]string, 0, len(byStrategy))
+	for name := range byStrategy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	w := newTable(&b)
+	fmt.Fprintln(w, "strategy\tcount\tmean\tp50\tp90\tp99\tmax")
+	for _, name := range names {
+		h := byStrategy[name]
+		fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			name, h.Count, FormatDuration(h.Mean()),
+			FormatDuration(h.Quantile(0.50)), FormatDuration(h.Quantile(0.90)),
+			FormatDuration(h.Quantile(0.99)), FormatDuration(h.Max))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// ServerTable renders a ServerStats document as text: the header counters,
+// the cache line, and the latency table.
+func ServerTable(s ServerStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "uptime %.1fs, %d queries (%d errors), %d in flight\n",
+		s.UptimeSeconds, s.Queries, s.Errors, s.InFlight)
+	b.WriteString(CacheLine(s.PlanCache))
+	b.WriteByte('\n')
+	if len(s.Latency) > 0 {
+		b.WriteString(LatencyTable(s.Latency))
+	}
+	return b.String()
+}

@@ -313,7 +313,7 @@ func uniformlyRedundant(p *ast.Program, i int, maxFacts int) (bool, error) {
 	}
 	if _, err := engine.Eval(rest, db, engine.Options{MaxFacts: maxFacts}); err != nil {
 		// A budget blow-up means "cannot show redundant", not failure.
-		if errors.Is(err, engine.ErrBudget) {
+		if errors.Is(err, engine.ErrBudgetExceeded) {
 			return false, nil
 		}
 		return false, err

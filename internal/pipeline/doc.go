@@ -1,0 +1,20 @@
+// Package pipeline wires the whole system together: given a program and a
+// query it builds, on demand, the adorned program, the Magic program, the
+// factored program, the Section-5-optimized program, and the Counting
+// program, and evaluates any of them over an EDB with uniform statistics.
+// This is the paper's "two-step approach to optimizing programs" (Section
+// 4.2) as an executable artifact, with every baseline alongside.
+//
+// A Pipeline memoizes each transformation the first time a strategy needs
+// it and is safe for concurrent use: many goroutines may Run strategies
+// against the same Pipeline (each over its own EDB), paying the rewrite
+// cost once. Compile forces a strategy's transformation chain ahead of
+// time.
+//
+// For serving workloads, PlanCache maintains compiled plans keyed by
+// (program hash, query predicate, adornment, strategy) plus the query's
+// bound constants, so a long-lived process (cmd/factorlogd) amortizes the
+// Magic/factoring pipeline across queries instead of recompiling per
+// request. See plan.go for why the bound constants are part of the cache
+// identity.
+package pipeline

@@ -1,15 +1,10 @@
-// Package pipeline wires the whole system together: given a program and a
-// query it builds, on demand, the adorned program, the Magic program, the
-// factored program, the Section-5-optimized program, and the Counting
-// program, and evaluates any of them over an EDB with uniform statistics.
-// This is the paper's "two-step approach to optimizing programs" (Section
-// 4.2) as an executable artifact, with every baseline alongside.
 package pipeline
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
@@ -87,6 +82,12 @@ type Pipeline struct {
 	// factorable classes (see package cq).
 	Constraints []ast.Rule
 
+	// mu guards the memoized transformation results and the span log below,
+	// making a Pipeline safe for concurrent Runs (the plan cache hands one
+	// Pipeline to many server requests). Evaluation itself never holds mu —
+	// only the compile-once bookkeeping does.
+	mu sync.Mutex
+
 	adorned  *adorn.Result
 	magicRes *magic.Result
 	factRes  *core.FactorResult
@@ -131,11 +132,19 @@ func (pl *Pipeline) recordSpan(name string, start time.Time, in, out *ast.Progra
 
 // Spans returns the stage spans recorded so far, in execution order.
 func (pl *Pipeline) Spans() []obsv.Span {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	return append([]obsv.Span(nil), pl.spans...)
 }
 
 // Adorned returns the adorned program, computing it on first use.
 func (pl *Pipeline) Adorned() (*adorn.Result, error) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.adornedLocked()
+}
+
+func (pl *Pipeline) adornedLocked() (*adorn.Result, error) {
 	if !pl.adornDone {
 		start := time.Now()
 		pl.adorned, pl.adornErr = adorn.Adorn(pl.Program, pl.Query)
@@ -151,8 +160,14 @@ func (pl *Pipeline) Adorned() (*adorn.Result, error) {
 
 // MagicProgram returns the Magic Sets result.
 func (pl *Pipeline) MagicProgram() (*magic.Result, error) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.magicLocked()
+}
+
+func (pl *Pipeline) magicLocked() (*magic.Result, error) {
 	if !pl.magicDone {
-		ad, err := pl.Adorned()
+		ad, err := pl.adornedLocked()
 		if err != nil {
 			pl.magicErr = err
 		} else {
@@ -171,8 +186,14 @@ func (pl *Pipeline) MagicProgram() (*magic.Result, error) {
 
 // FactoredProgram returns the factored Magic program (Theorems 4.1-4.3).
 func (pl *Pipeline) FactoredProgram() (*core.FactorResult, error) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.factoredLocked()
+}
+
+func (pl *Pipeline) factoredLocked() (*core.FactorResult, error) {
 	if !pl.factDone {
-		m, err := pl.MagicProgram()
+		m, err := pl.magicLocked()
 		if err != nil {
 			pl.factErr = err
 		} else {
@@ -191,12 +212,18 @@ func (pl *Pipeline) FactoredProgram() (*core.FactorResult, error) {
 
 // OptimizedProgram returns the factored program after Section 5 clean-up.
 func (pl *Pipeline) OptimizedProgram() (*optimize.Result, error) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.optimizedLocked()
+}
+
+func (pl *Pipeline) optimizedLocked() (*optimize.Result, error) {
 	if !pl.optDone {
-		fr, err := pl.FactoredProgram()
+		fr, err := pl.factoredLocked()
 		if err != nil {
 			pl.optErr = err
 		} else {
-			m, _ := pl.MagicProgram()
+			m, _ := pl.magicLocked()
 			start := time.Now()
 			pl.optRes, pl.optErr = optimize.Optimize(fr.Program,
 				optimize.ForFactored(fr, magic.QueryPred, m.Seed.Head.Args))
@@ -213,8 +240,14 @@ func (pl *Pipeline) OptimizedProgram() (*optimize.Result, error) {
 
 // SupplementaryMagicProgram returns the supplementary-magic result.
 func (pl *Pipeline) SupplementaryMagicProgram() (*magic.Result, error) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.supLocked()
+}
+
+func (pl *Pipeline) supLocked() (*magic.Result, error) {
 	if !pl.supDone {
-		ad, err := pl.Adorned()
+		ad, err := pl.adornedLocked()
 		if err != nil {
 			pl.supErr = err
 		} else {
@@ -233,8 +266,14 @@ func (pl *Pipeline) SupplementaryMagicProgram() (*magic.Result, error) {
 
 // CountingProgram returns the Counting transformation result.
 func (pl *Pipeline) CountingProgram() (*counting.Result, error) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.countingLocked()
+}
+
+func (pl *Pipeline) countingLocked() (*counting.Result, error) {
 	if !pl.cntDone {
-		ad, err := pl.Adorned()
+		ad, err := pl.adornedLocked()
 		if err != nil {
 			pl.cntErr = err
 		} else {
@@ -297,10 +336,38 @@ var stageNames = map[Strategy][]string{
 	Counting:           {"adorn", "counting"},
 }
 
+// Compile forces the transformation chain a strategy evaluates, so later
+// Runs pay only evaluation cost. It is a no-op for the strategies that
+// evaluate the source program directly (Naive, SemiNaive, TopDown, Tabled)
+// and memoized for the rest: the first call does the work, every later
+// call (from any goroutine) returns the cached outcome.
+func (pl *Pipeline) Compile(s Strategy) error {
+	var err error
+	switch s {
+	case Naive, SemiNaive, TopDown, Tabled:
+		return nil
+	case Magic:
+		_, err = pl.MagicProgram()
+	case SupplementaryMagic:
+		_, err = pl.SupplementaryMagicProgram()
+	case Factored:
+		_, err = pl.FactoredProgram()
+	case FactoredOptimized:
+		_, err = pl.OptimizedProgram()
+	case Counting:
+		_, err = pl.CountingProgram()
+	default:
+		err = fmt.Errorf("unknown strategy %v", s)
+	}
+	return err
+}
+
 // spansFor selects the recorded spans belonging to one strategy's stage
 // chain (the pipeline accumulates spans across strategies as its caches
 // fill).
 func (pl *Pipeline) spansFor(s Strategy) []obsv.Span {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	var out []obsv.Span
 	for _, name := range stageNames[s] {
 		for _, sp := range pl.spans {

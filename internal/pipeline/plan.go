@@ -1,0 +1,169 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/engine"
+	"factorlog/internal/obsv"
+)
+
+// PlanKey identifies a family of compiled plans: one program, one query
+// predicate, one binding pattern, one strategy. Everything the rewrite
+// pipeline does — adornment, Magic rules, factoring, the Section 5
+// clean-up — is determined by this key plus the query's bound constants.
+type PlanKey struct {
+	// ProgramHash fingerprints the IDB rules and constraints (HashProgram).
+	ProgramHash string
+	// QueryPred is the queried predicate.
+	QueryPred string
+	// Adornment is the query's binding pattern (b = ground argument).
+	Adornment ast.Adornment
+	// Strategy is the evaluation strategy the plan compiles.
+	Strategy Strategy
+}
+
+// Plan is a compiled (program, query, strategy) triple ready for repeated
+// evaluation: its Pipeline has the strategy's transformation chain forced,
+// so Run pays only evaluation cost. Plans are immutable after construction
+// and safe for concurrent Run calls, each over its own EDB.
+type Plan struct {
+	Key PlanKey
+	// Binding renders the query's bound constants, e.g. "(5)". Plans
+	// specialize on it: the magic seed fact carries the constants, and the
+	// Section 5 optimizer (Prop. 5.3) deletes literals mentioning exactly
+	// those constants — two queries with the same adornment but different
+	// constants compile to different programs.
+	Binding string
+	// Query is the exact query atom the plan was compiled for.
+	Query ast.Atom
+
+	pl *Pipeline
+}
+
+// Pipeline returns the plan's underlying pipeline (for Explain-style
+// inspection).
+func (p *Plan) Pipeline() *Pipeline { return p.pl }
+
+// Run evaluates the plan over db with the given engine options. The db is
+// consumed (derived relations are added); pass a fresh one per run.
+func (p *Plan) Run(db *engine.DB, opts engine.Options) (*RunResult, error) {
+	return p.pl.Run(p.Key.Strategy, db, opts)
+}
+
+// HashProgram fingerprints a program plus constraints for PlanKey: two
+// loads of the same source text agree, and any rule or constraint change
+// produces a new hash (so a restarted server never reuses stale plans).
+func HashProgram(p *ast.Program, constraints []ast.Rule) string {
+	h := sha256.New()
+	fmt.Fprintln(h, p.String())
+	for _, c := range constraints {
+		fmt.Fprintln(h, c.String())
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// BindingOf renders the query's ground arguments in position order, the
+// constant half of a plan's identity. Queries with no bound arguments
+// render as "()".
+func BindingOf(query ast.Atom) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	first := true
+	for _, t := range query.Args {
+		if !t.Ground() {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// cacheID is the full identity of a cached plan: the family key plus the
+// query's bound constants (see Plan.Binding for why constants matter).
+type cacheID struct {
+	key     PlanKey
+	binding string
+}
+
+// cacheEntry is built exactly once; concurrent lookups of the same identity
+// block on the first builder and share its outcome (including a failure,
+// e.g. a non-factorable program — negative results are worth caching too,
+// a server would otherwise re-derive the refutation on every request).
+type cacheEntry struct {
+	once sync.Once
+	plan *Plan
+	err  error
+}
+
+// PlanCache memoizes compiled plans for a serving process. It is safe for
+// concurrent use and unbounded: plan count is bounded in practice by the
+// number of distinct (query, strategy) shapes a workload issues, and each
+// plan holds only programs, not EDB data.
+type PlanCache struct {
+	mu      sync.Mutex
+	entries map[cacheID]*cacheEntry
+	hits    int64
+	misses  int64
+}
+
+// NewPlanCache returns an empty cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{entries: map[cacheID]*cacheEntry{}}
+}
+
+// Lookup returns the compiled plan for (prog, query, strategy), compiling
+// and caching it on first use. hit reports whether a cached plan (or cached
+// failure) was reused. progHash must be HashProgram(prog, constraints),
+// computed once by the caller; prog and constraints must not change for a
+// given hash.
+func (c *PlanCache) Lookup(prog *ast.Program, progHash string, constraints []ast.Rule,
+	query ast.Atom, strategy Strategy) (plan *Plan, hit bool, err error) {
+	key := PlanKey{
+		ProgramHash: progHash,
+		QueryPred:   query.Pred,
+		Adornment:   ast.AdornmentOf(query, nil),
+		Strategy:    strategy,
+	}
+	id := cacheID{key: key, binding: BindingOf(query)}
+
+	c.mu.Lock()
+	e, ok := c.entries[id]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[id] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		pl := New(prog, query)
+		if len(constraints) > 0 {
+			pl.WithConstraints(constraints)
+		}
+		if cerr := pl.Compile(strategy); cerr != nil {
+			e.err = fmt.Errorf("compile %s for %s%s: %w", strategy, query.Pred, key.Adornment, cerr)
+			return
+		}
+		e.plan = &Plan{Key: key, Binding: id.binding, Query: query, pl: pl}
+	})
+	return e.plan, ok, e.err
+}
+
+// Stats snapshots the cache counters.
+func (c *PlanCache) Stats() obsv.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return obsv.CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}

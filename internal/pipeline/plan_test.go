@@ -1,0 +1,216 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/core"
+	"factorlog/internal/engine"
+	"factorlog/internal/parser"
+)
+
+const tcSrc = `
+t(X, Y) :- t(X, W), t(W, Y).
+t(X, Y) :- e(X, W), t(W, Y).
+t(X, Y) :- t(X, W), e(W, Y).
+t(X, Y) :- e(X, Y).
+`
+
+func mustAtom(t *testing.T, s string) ast.Atom {
+	t.Helper()
+	q, err := parser.ParseAtom(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func edgeDB() *engine.DB {
+	db := engine.NewDB()
+	for _, edge := range [][2]int{{5, 6}, {6, 7}, {7, 8}, {1, 2}} {
+		db.MustInsert("e", db.Store.Int(edge[0]), db.Store.Int(edge[1]))
+	}
+	return db
+}
+
+func TestPlanCacheHitMiss(t *testing.T) {
+	p, err := parser.ParseProgram(tcSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := HashProgram(p, nil)
+	c := NewPlanCache()
+
+	q5 := mustAtom(t, "t(5, Y)")
+	plan, hit, err := c.Lookup(p, hash, nil, q5, Magic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first lookup reported a hit")
+	}
+	if plan.Key.Adornment != "bf" || plan.Binding != "(5)" {
+		t.Errorf("plan identity = %s %s, want bf (5)", plan.Key.Adornment, plan.Binding)
+	}
+
+	plan2, hit, err := c.Lookup(p, hash, nil, mustAtom(t, "t(5, Z)"), Magic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("identical query (up to variable names) missed")
+	}
+	if plan2 != plan {
+		t.Error("identical query returned a different plan")
+	}
+
+	// Different constant: same family, separate specialized plan.
+	_, hit, err = c.Lookup(p, hash, nil, mustAtom(t, "t(6, Y)"), Magic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("different constant reported a hit")
+	}
+	// Different strategy: separate plan.
+	_, hit, err = c.Lookup(p, hash, nil, q5, SupplementaryMagic)
+	if err != nil || hit {
+		t.Errorf("different strategy: hit=%v err=%v", hit, err)
+	}
+
+	st := c.Stats()
+	if st.Entries != 3 || st.Hits != 1 || st.Misses != 3 {
+		t.Errorf("stats = %+v, want 3 entries, 1 hit, 3 misses", st)
+	}
+}
+
+func TestPlanCacheSpecializesOnConstants(t *testing.T) {
+	p, err := parser.ParseProgram(tcSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := HashProgram(p, nil)
+	c := NewPlanCache()
+
+	for query, want := range map[string]int{"t(5, Y)": 3, "t(6, Y)": 2} {
+		plan, _, err := c.Lookup(p, hash, nil, mustAtom(t, query), FactoredOptimized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := plan.Run(edgeDB(), engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Answers) != want {
+			t.Errorf("%s: %d answers, want %d", query, len(res.Answers), want)
+		}
+	}
+}
+
+func TestPlanCacheCachesFailures(t *testing.T) {
+	// Same-generation is not factorable (no condition of Section 4 applies),
+	// so the Factored strategy fails to compile; the refusal is cached too.
+	src := `
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+`
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := HashProgram(p, nil)
+	c := NewPlanCache()
+	q := mustAtom(t, "sg(john, Y)")
+
+	_, hit, err := c.Lookup(p, hash, nil, q, Factored)
+	if err == nil {
+		t.Fatal("want a factoring error")
+	}
+	if !errors.Is(err, core.ErrNotFactorable) {
+		t.Fatalf("want ErrNotFactorable, got %v", err)
+	}
+	if hit {
+		t.Error("first failing lookup reported a hit")
+	}
+	_, hit, err2 := c.Lookup(p, hash, nil, q, Factored)
+	if err2 == nil || !hit {
+		t.Errorf("cached failure: hit=%v err=%v", hit, err2)
+	}
+}
+
+// TestPlanCacheConcurrent hammers one cache from many goroutines; run under
+// -race this checks the cache, the shared Pipeline memoization, and
+// concurrent Plan.Runs over private DBs.
+func TestPlanCacheConcurrent(t *testing.T) {
+	p, err := parser.ParseProgram(tcSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := HashProgram(p, nil)
+	c := NewPlanCache()
+	queries := []string{"t(5, Y)", "t(6, Y)"}
+	strategies := []Strategy{Magic, SupplementaryMagic, FactoredOptimized}
+
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		q, s := queries[i%len(queries)], strategies[i%len(strategies)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			query, err := parser.ParseAtom(q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			plan, _, err := c.Lookup(p, hash, nil, query, s)
+			if err != nil {
+				errs <- err
+				return
+			}
+			res, err := plan.Run(edgeDB(), engine.Options{})
+			if err != nil {
+				errs <- fmt.Errorf("%s/%s: %v", q, s, err)
+				return
+			}
+			want := 3
+			if q == "t(6, Y)" {
+				want = 2
+			}
+			if len(res.Answers) != want {
+				errs <- fmt.Errorf("%s/%s: %d answers, want %d", q, s, len(res.Answers), want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := c.Stats()
+	if st.Entries != len(queries)*len(strategies) {
+		t.Errorf("entries = %d, want %d", st.Entries, len(queries)*len(strategies))
+	}
+	if st.Hits+st.Misses != n {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, n)
+	}
+}
+
+func TestHashProgramDistinguishes(t *testing.T) {
+	p1, _ := parser.ParseProgram(tcSrc)
+	p2, _ := parser.ParseProgram(tcSrc + "\nt(X, X) :- e(X, X).")
+	if HashProgram(p1, nil) == HashProgram(p2, nil) {
+		t.Error("different programs share a hash")
+	}
+	if HashProgram(p1, nil) != HashProgram(p1, nil) {
+		t.Error("same program hashes unstably")
+	}
+	tgd, _ := parser.ParseProgram("e(X, Y) :- e(Y, X).")
+	if HashProgram(p1, nil) == HashProgram(p1, tgd.Rules) {
+		t.Error("constraints do not affect the hash")
+	}
+}
