@@ -28,6 +28,11 @@ const metricsSchema = "factorlog/metrics/v3"
 // went away before we could answer"; no standard code fits.
 const statusClientClosedRequest = 499
 
+// maxQueryBody caps a POST /query body; a query request is a few hundred
+// bytes of JSON, so 1 MiB is generous while keeping arbitrary clients from
+// streaming unbounded input into the decoder.
+const maxQueryBody = 1 << 20
+
 type config struct {
 	strategy string
 	workers  int
@@ -147,7 +152,7 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func decodeQueryRequest(r *http.Request) (queryRequest, error) {
+func decodeQueryRequest(w http.ResponseWriter, r *http.Request) (queryRequest, error) {
 	var req queryRequest
 	switch r.Method {
 	case http.MethodGet:
@@ -166,10 +171,17 @@ func decodeQueryRequest(r *http.Request) (queryRequest, error) {
 			}
 		}
 	case http.MethodPost:
+		r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				return req, fmt.Errorf("request body exceeds %d bytes: %w", maxQueryBody, err)
+			}
 			return req, fmt.Errorf("bad JSON body: %v", err)
 		}
 	default:
+		// Unreachable from handleQuery, which rejects other methods with
+		// 405 before decoding; kept as a guard for new callers.
 		return req, fmt.Errorf("method %s not allowed", r.Method)
 	}
 	if strings.TrimSpace(req.Query) == "" {
@@ -189,9 +201,19 @@ func parseQueryAtom(q string) (ast.Atom, error) {
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	req, err := decodeQueryRequest(r)
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		s.fail(w, "", http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	req, err := decodeQueryRequest(w, r)
 	if err != nil {
-		s.fail(w, "", http.StatusBadRequest, err)
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.fail(w, "", status, err)
 		return
 	}
 	query, err := parseQueryAtom(req.Query)

@@ -266,6 +266,66 @@ func TestQueryErrors(t *testing.T) {
 	}
 }
 
+// TestQueryRepeatedVariables reproduces the cache-aliasing bug end to end:
+// a plan cached for t(X,Y) must not serve t(X,X), whose answers are only
+// the diagonal (empty here — the edge graph is acyclic).
+func TestQueryRepeatedVariables(t *testing.T) {
+	_, ts := testServer(t, tcProgram, config{strategy: "magic", timeout: 5 * time.Second})
+
+	status, qr, body := getQuery(t, ts, url.Values{"q": {"t(X,Y)"}})
+	if status != http.StatusOK {
+		t.Fatalf("t(X,Y): status %d: %s", status, body)
+	}
+	if qr.AnswerCount != 7 {
+		t.Errorf("t(X,Y): %d answers, want 7", qr.AnswerCount)
+	}
+
+	status, qr, body = getQuery(t, ts, url.Values{"q": {"t(X,X)"}})
+	if status != http.StatusOK {
+		t.Fatalf("t(X,X): status %d: %s", status, body)
+	}
+	if qr.PlanCache != "miss" {
+		t.Errorf("t(X,X) after t(X,Y): plan_cache = %q, want miss", qr.PlanCache)
+	}
+	if qr.AnswerCount != 0 {
+		t.Errorf("t(X,X): answers %v, want none", qr.Answers)
+	}
+}
+
+func TestQueryMethodNotAllowed(t *testing.T) {
+	_, ts := testServer(t, tcProgram, config{strategy: "magic", timeout: time.Second})
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/query", strings.NewReader(`{"query":"t(5,Y)"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT /query: status %d, want %d", resp.StatusCode, http.StatusMethodNotAllowed)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "GET, POST" {
+		t.Errorf("Allow = %q, want \"GET, POST\"", allow)
+	}
+}
+
+func TestQueryBodyTooLarge(t *testing.T) {
+	_, ts := testServer(t, tcProgram, config{strategy: "magic", timeout: time.Second})
+	// A syntactically valid JSON document just over the 1 MiB cap.
+	huge := fmt.Sprintf(`{"query": "t(5,Y)", "strategy": %q}`, strings.Repeat("x", maxQueryBody))
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want %d: %s", resp.StatusCode, http.StatusRequestEntityTooLarge, body)
+	}
+}
+
 func TestQueryPost(t *testing.T) {
 	_, ts := testServer(t, tcProgram, config{strategy: "magic", timeout: 5 * time.Second})
 	resp, err := http.Post(ts.URL+"/query", "application/json",

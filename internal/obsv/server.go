@@ -20,6 +20,8 @@ type CacheStats struct {
 	Hits int64 `json:"hits"`
 	// Misses counts lookups that had to build a new entry.
 	Misses int64 `json:"misses"`
+	// Evictions counts entries dropped to stay within the cache's bound.
+	Evictions int64 `json:"evictions"`
 	// Entries is the current number of cached entries.
 	Entries int `json:"entries"`
 }
@@ -135,8 +137,8 @@ func CacheLine(c CacheStats) string {
 	if total > 0 {
 		rate = float64(c.Hits) / float64(total)
 	}
-	return fmt.Sprintf("plan cache: %d entries, %d hits, %d misses (%.1f%% hit rate)",
-		c.Entries, c.Hits, c.Misses, 100*rate)
+	return fmt.Sprintf("plan cache: %d entries, %d hits, %d misses, %d evictions (%.1f%% hit rate)",
+		c.Entries, c.Hits, c.Misses, c.Evictions, 100*rate)
 }
 
 // LatencyTable renders per-strategy latency histograms as an aligned

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -89,10 +90,13 @@ func BindingOf(query ast.Atom) string {
 }
 
 // cacheID is the full identity of a cached plan: the family key plus the
-// query's bound constants (see Plan.Binding for why constants matter).
+// query's canonical form (ast.Atom.CanonicalKey), which carries both the
+// bound constants (see Plan.Binding for why constants matter) and the
+// variable-equality pattern — t(X,X) canonicalizes to t(V0,V0) and t(X,Y)
+// to t(V0,V1), so they never share a plan even though both adorn as "ff".
 type cacheID struct {
-	key     PlanKey
-	binding string
+	key   PlanKey
+	canon string
 }
 
 // cacheEntry is built exactly once; concurrent lookups of the same identity
@@ -105,20 +109,46 @@ type cacheEntry struct {
 	err  error
 }
 
+// DefaultPlanCacheLimit is the entry bound NewPlanCache uses. Plans hold
+// only programs, not EDB data, so a thousand of them is small; the bound
+// exists because plan identity includes client-supplied bound constants,
+// and a serving process exposed to arbitrary clients must not let a
+// constant-sweeping workload (t(1,Y), t(2,Y), ...) grow memory forever.
+const DefaultPlanCacheLimit = 1024
+
 // PlanCache memoizes compiled plans for a serving process. It is safe for
-// concurrent use and unbounded: plan count is bounded in practice by the
-// number of distinct (query, strategy) shapes a workload issues, and each
-// plan holds only programs, not EDB data.
+// concurrent use and bounded: once the entry limit is reached, the least
+// recently used plan is evicted (and recompiled if queried again).
 type PlanCache struct {
-	mu      sync.Mutex
-	entries map[cacheID]*cacheEntry
-	hits    int64
-	misses  int64
+	mu        sync.Mutex
+	limit     int
+	order     *list.List                 // *lruSlot, most recently used first
+	entries   map[cacheID]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
-// NewPlanCache returns an empty cache.
+// lruSlot is an order-list element: the entry plus the id that maps to it,
+// so eviction of the list tail can delete its map key.
+type lruSlot struct {
+	id    cacheID
+	entry *cacheEntry
+}
+
+// NewPlanCache returns an empty cache bounded at DefaultPlanCacheLimit.
 func NewPlanCache() *PlanCache {
-	return &PlanCache{entries: map[cacheID]*cacheEntry{}}
+	return NewPlanCacheLimit(DefaultPlanCacheLimit)
+}
+
+// NewPlanCacheLimit returns an empty cache holding at most limit entries
+// (limit <= 0 means unbounded).
+func NewPlanCacheLimit(limit int) *PlanCache {
+	return &PlanCache{
+		limit:   limit,
+		order:   list.New(),
+		entries: map[cacheID]*list.Element{},
+	}
 }
 
 // Lookup returns the compiled plan for (prog, query, strategy), compiling
@@ -134,16 +164,25 @@ func (c *PlanCache) Lookup(prog *ast.Program, progHash string, constraints []ast
 		Adornment:   ast.AdornmentOf(query, nil),
 		Strategy:    strategy,
 	}
-	id := cacheID{key: key, binding: BindingOf(query)}
+	id := cacheID{key: key, canon: query.CanonicalKey()}
 
 	c.mu.Lock()
-	e, ok := c.entries[id]
-	if !ok {
-		e = &cacheEntry{}
-		c.entries[id] = e
-		c.misses++
-	} else {
+	var e *cacheEntry
+	if el, ok := c.entries[id]; ok {
 		c.hits++
+		hit = true
+		c.order.MoveToFront(el)
+		e = el.Value.(*lruSlot).entry
+	} else {
+		c.misses++
+		e = &cacheEntry{}
+		c.entries[id] = c.order.PushFront(&lruSlot{id: id, entry: e})
+		if c.limit > 0 && len(c.entries) > c.limit {
+			tail := c.order.Back()
+			c.order.Remove(tail)
+			delete(c.entries, tail.Value.(*lruSlot).id)
+			c.evictions++
+		}
 	}
 	c.mu.Unlock()
 
@@ -156,14 +195,19 @@ func (c *PlanCache) Lookup(prog *ast.Program, progHash string, constraints []ast
 			e.err = fmt.Errorf("compile %s for %s%s: %w", strategy, query.Pred, key.Adornment, cerr)
 			return
 		}
-		e.plan = &Plan{Key: key, Binding: id.binding, Query: query, pl: pl}
+		e.plan = &Plan{Key: key, Binding: BindingOf(query), Query: query, pl: pl}
 	})
-	return e.plan, ok, e.err
+	return e.plan, hit, e.err
 }
 
 // Stats snapshots the cache counters.
 func (c *PlanCache) Stats() obsv.CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return obsv.CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+	return obsv.CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+	}
 }

@@ -87,6 +87,86 @@ func TestPlanCacheHitMiss(t *testing.T) {
 	}
 }
 
+// TestPlanCacheDistinguishesRepeatedVariables guards the cache identity
+// against variable-equality aliasing: t(X,X) and t(X,Y) both adorn as "ff"
+// with no bound constants, but they are different queries (the diagonal vs
+// all pairs) and must never share a plan.
+func TestPlanCacheDistinguishesRepeatedVariables(t *testing.T) {
+	p, err := parser.ParseProgram(tcSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := HashProgram(p, nil)
+	c := NewPlanCache()
+
+	pairPlan, _, err := c.Lookup(p, hash, nil, mustAtom(t, "t(X, Y)"), Magic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diagPlan, hit, err := c.Lookup(p, hash, nil, mustAtom(t, "t(X, X)"), Magic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("t(X,X) hit the plan cached for t(X,Y)")
+	}
+	if diagPlan == pairPlan {
+		t.Error("t(X,X) and t(X,Y) share a plan")
+	}
+
+	res, err := pairPlan.Run(edgeDB(), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 7 {
+		t.Errorf("t(X,Y): %d answers, want 7", len(res.Answers))
+	}
+	// The edge graph is acyclic, so the diagonal is empty; before the
+	// canonical-query fix this returned all 7 pairs via the aliased plan.
+	res, err = diagPlan.Run(edgeDB(), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 0 {
+		t.Errorf("t(X,X): %d answers %v, want none", len(res.Answers), SortedAnswers(res))
+	}
+}
+
+// TestPlanCacheEviction checks the LRU bound: the cache never holds more
+// than its limit, evicts the least recently used entry, and recompiles an
+// evicted shape on re-lookup.
+func TestPlanCacheEviction(t *testing.T) {
+	p, err := parser.ParseProgram(tcSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := HashProgram(p, nil)
+	c := NewPlanCacheLimit(2)
+
+	for _, q := range []string{"t(5, Y)", "t(6, Y)", "t(7, Y)"} {
+		if _, _, err := c.Lookup(p, hash, nil, mustAtom(t, q), Magic); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("after 3 inserts: %+v, want 2 entries, 1 eviction", st)
+	}
+
+	// t(5,Y) was the LRU entry and is gone; looking it up again recompiles
+	// (a miss) and evicts t(6,Y) in turn, while t(7,Y) stays resident.
+	if _, hit, err := c.Lookup(p, hash, nil, mustAtom(t, "t(5, Y)"), Magic); err != nil || hit {
+		t.Errorf("evicted shape: hit=%v err=%v, want fresh miss", hit, err)
+	}
+	if _, hit, err := c.Lookup(p, hash, nil, mustAtom(t, "t(7, Y)"), Magic); err != nil || !hit {
+		t.Errorf("resident shape: hit=%v err=%v, want hit", hit, err)
+	}
+	st = c.Stats()
+	if st.Entries != 2 || st.Evictions != 2 || st.Hits != 1 || st.Misses != 4 {
+		t.Errorf("final stats %+v, want 2 entries, 2 evictions, 1 hit, 4 misses", st)
+	}
+}
+
 func TestPlanCacheSpecializesOnConstants(t *testing.T) {
 	p, err := parser.ParseProgram(tcSrc)
 	if err != nil {
