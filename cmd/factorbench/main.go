@@ -135,6 +135,10 @@ type metricsRun struct {
 	Rounds     []obsv.RoundStats   `json:"rounds,omitempty"`
 	Strata     []obsv.StratumStats `json:"strata,omitempty"`
 	WorkerRows []obsv.WorkerStats  `json:"worker_stats,omitempty"`
+	// Storage is the post-evaluation storage shape (arena/index bytes and
+	// hash-table load factors); stage spans additionally carry allocs and
+	// alloc_bytes since schema v4.
+	Storage obsv.StorageStats `json:"storage"`
 }
 
 // parseWorkersList parses the -workers flag: a comma-separated list of
@@ -164,7 +168,7 @@ func parallelizable(s pipeline.Strategy) bool {
 func emitJSON(out *os.File, n int, workers []int) error {
 	pl, load := experiments.E1Pipeline(n)
 	doc := metricsDoc{
-		Schema:   "factorlog/metrics/v2",
+		Schema:   "factorlog/metrics/v4",
 		Tool:     "factorbench",
 		Workload: "E1 transitive closure, chain EDB",
 		N:        n,
@@ -195,6 +199,7 @@ func emitJSON(out *os.File, n int, workers []int) error {
 				Rounds:     r.Rounds,
 				Strata:     r.Strata,
 				WorkerRows: r.Workers,
+				Storage:    r.Storage,
 			})
 		}
 	}

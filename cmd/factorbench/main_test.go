@@ -67,7 +67,7 @@ func TestJSONMetrics(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &doc); err != nil {
 		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
 	}
-	if doc.Schema != "factorlog/metrics/v2" {
+	if doc.Schema != "factorlog/metrics/v4" {
 		t.Errorf("schema = %q", doc.Schema)
 	}
 	byStrategy := map[string]metricsRun{}
@@ -90,6 +90,12 @@ func TestJSONMetrics(t *testing.T) {
 		}
 		if len(r.Spans) == 0 || r.Spans[len(r.Spans)-1].Name != "eval" {
 			t.Errorf("%s spans = %v, want eval last", s, r.Spans)
+		}
+		if r.Spans[len(r.Spans)-1].Allocs == 0 {
+			t.Errorf("%s eval span has no allocation sample", s)
+		}
+		if r.Storage.Relations == 0 || r.Storage.ArenaBytes == 0 {
+			t.Errorf("%s storage stats empty: %+v", s, r.Storage)
 		}
 	}
 	// The paper's headline, machine-checkable: factoring cuts inferences.

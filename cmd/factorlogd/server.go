@@ -20,9 +20,10 @@ import (
 	"factorlog/internal/pipeline"
 )
 
-// metricsSchema names the /metrics document layout; v1/v2 are the
-// factorbench evaluation-metrics schemas.
-const metricsSchema = "factorlog/metrics/v3"
+// metricsSchema names the /metrics document layout; v1/v2 are factorbench
+// evaluation-metrics schemas, v3 lacked storage_high_water and per-span
+// allocation counters.
+const metricsSchema = "factorlog/metrics/v4"
 
 // statusClientClosedRequest is the de-facto code (nginx) for "the client
 // went away before we could answer"; no standard code fits.
@@ -55,11 +56,12 @@ type server struct {
 	timeout     time.Duration
 	start       time.Time
 
-	inflight atomic.Int64
-	mu       sync.Mutex // guards the obsv records below
-	queries  int64
-	errors   int64
-	latency  map[string]*obsv.Histogram
+	inflight  atomic.Int64
+	mu        sync.Mutex // guards the obsv records below
+	queries   int64
+	errors    int64
+	latency   map[string]*obsv.Histogram
+	storageHW obsv.StorageStats // heaviest per-request storage footprint
 }
 
 func newServer(src, constraints string, cfg config) (*server, error) {
@@ -276,6 +278,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	total := time.Since(start)
 	s.observe(strategy.String(), total, nil)
+	s.observeStorage(res.Storage)
 	writeJSON(w, http.StatusOK, queryResponse{
 		Query:       query.String(),
 		Strategy:    strategy.String(),
@@ -338,6 +341,17 @@ func (s *server) observe(strategy string, d time.Duration, err error) {
 	h.Observe(d)
 }
 
+// observeStorage keeps the heaviest per-request storage footprint seen,
+// ranked by total bytes (arena + indexes). The record is replaced whole so
+// the reported load factors describe the same evaluation as the bytes.
+func (s *server) observeStorage(st obsv.StorageStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st.ArenaBytes+st.IndexBytes > s.storageHW.ArenaBytes+s.storageHW.IndexBytes {
+		s.storageHW = st
+	}
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
@@ -360,13 +374,14 @@ func (s *server) snapshot() obsv.ServerStats {
 		latency[name] = &cp
 	}
 	return obsv.ServerStats{
-		Schema:        metricsSchema,
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Queries:       s.queries,
-		Errors:        s.errors,
-		InFlight:      s.inflight.Load(),
-		PlanCache:     s.cache.Stats(),
-		Latency:       latency,
+		Schema:           metricsSchema,
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Queries:          s.queries,
+		Errors:           s.errors,
+		InFlight:         s.inflight.Load(),
+		PlanCache:        s.cache.Stats(),
+		Latency:          latency,
+		StorageHighWater: s.storageHW,
 	}
 }
 

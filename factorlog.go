@@ -88,14 +88,16 @@ var ErrDeadlineExceeded = engine.ErrDeadlineExceeded
 // are invalid (e.g. a negative WithWorkers count); test with errors.Is.
 var ErrBadOptions = engine.ErrBadOptions
 
-// RuleStats, RoundStats, StratumStats, WorkerStats and Span re-export the
-// observability record types; see package obsv for field documentation.
+// RuleStats, RoundStats, StratumStats, WorkerStats, Span and StorageStats
+// re-export the observability record types; see package obsv for field
+// documentation.
 type (
 	RuleStats    = obsv.RuleStats
 	RoundStats   = obsv.RoundStats
 	StratumStats = obsv.StratumStats
 	WorkerStats  = obsv.WorkerStats
 	Span         = obsv.Span
+	StorageStats = obsv.StorageStats
 )
 
 // System is a compiled (program, query) pair with cached transformations.
@@ -262,6 +264,9 @@ type Result struct {
 	Workers []WorkerStats
 	// EvalWall is the evaluation's wall-clock time.
 	EvalWall time.Duration
+	// Storage is the database's storage shape after evaluation: tuple-arena
+	// and hash-index bytes plus table load factors.
+	Storage StorageStats
 
 	raw *pipeline.RunResult
 }
@@ -305,6 +310,7 @@ func newResult(r *pipeline.RunResult) *Result {
 		Strata:      r.Strata,
 		Workers:     r.Workers,
 		EvalWall:    r.EvalWall,
+		Storage:     r.Storage,
 		raw:         r,
 	}
 }

@@ -252,12 +252,21 @@ type runner struct {
 	// (valid only until sink returns).
 	sink func(r *compiledRule, tuple []Val, children []FactID) error
 
+	// Scratch buffers reused across rule evaluations, so the inner loop
+	// allocates nothing: slots is the binding frame, key holds the probe
+	// key being assembled for the current literal (dead once Probe
+	// returns, so one buffer serves every recursion depth), and head
+	// holds the materialized head tuple (consumed synchronously by sink —
+	// both sinks copy it before returning).
+	slots []Val
+	key   []Val
+	head  []Val
+
 	// Parallel-mode fields.
 	//
-	// frozen probes prebuilt indexes read-only with a private key buffer,
-	// so concurrent runners never mutate shared relations.
-	frozen   bool
-	probeBuf []byte
+	// frozen probes prebuilt indexes read-only (no lazy builds, no shared
+	// scratch), so concurrent runners never mutate shared relations.
+	frozen bool
 	// shardMod > 1 restricts the literal at shardLit to positions with
 	// pos % shardMod == shardRem, splitting one rule evaluation into
 	// disjoint work units.
@@ -438,7 +447,10 @@ func (rn *runner) setLimits(r *compiledRule, occs []int, deltaOcc int, curRound 
 
 // runRule runs r's body join under the limits set by setLimits.
 func (rn *runner) runRule(r *compiledRule) error {
-	slots := make([]Val, r.nslots)
+	if cap(rn.slots) < r.nslots {
+		rn.slots = make([]Val, r.nslots)
+	}
+	slots := rn.slots[:r.nslots]
 	for i := range slots {
 		slots[i] = NoVal
 	}
@@ -492,13 +504,17 @@ func (rn *runner) join(r *compiledRule, li int, slots []Val, trail []int) error 
 	}
 
 	if len(spec.boundCols) > 0 {
-		key := make([]Val, len(spec.boundCols))
-		for i, col := range spec.boundCols {
-			key[i] = evalPattern(spec.args[col], slots, rn.db.Store)
+		// The probe key lives in the runner's scratch: it is only read
+		// until the probe below returns, so deeper recursion levels can
+		// reuse the same buffer.
+		key := rn.key[:0]
+		for _, col := range spec.boundCols {
+			key = append(key, evalPattern(spec.args[col], slots, rn.db.Store))
 		}
+		rn.key = key
 		var positions []int32
 		if rn.frozen {
-			positions, rn.probeBuf = rel.probeFrozen(spec.boundCols, key, rn.probeBuf)
+			positions = rel.probeFrozen(spec.boundCols, key)
 		} else {
 			positions = rel.Probe(spec.boundCols, key)
 		}
@@ -545,12 +561,16 @@ func shardRange(n int, shardRem, shardMod int32) (lo, hi int32) {
 	return lo, hi
 }
 
-// emitHead materializes the head tuple and hands it to the sink.
+// emitHead materializes the head tuple into the runner's scratch and hands
+// it to the sink; sinks must copy what they keep (InsertRound copies into
+// the arena, the parallel sink copies into its buffer arena) because the
+// scratch is overwritten by the next emission.
 func (rn *runner) emitHead(r *compiledRule, slots []Val) error {
-	tuple := make([]Val, len(r.headArgs))
-	for i, p := range r.headArgs {
-		tuple[i] = evalPattern(p, slots, rn.db.Store)
+	tuple := rn.head[:0]
+	for _, p := range r.headArgs {
+		tuple = append(tuple, evalPattern(p, slots, rn.db.Store))
 	}
+	rn.head = tuple
 	return rn.sink(r, tuple, rn.children)
 }
 
@@ -610,7 +630,8 @@ func Answers(db *DB, query ast.Atom) ([][]Val, error) {
 	}
 	slots := make([]Val, c.n)
 	var out [][]Val
-	for _, tuple := range rel.Tuples() {
+	for pos := int32(0); pos < int32(rel.Len()); pos++ {
+		tuple := rel.Tuple(pos)
 		for i := range slots {
 			slots[i] = NoVal
 		}

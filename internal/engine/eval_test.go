@@ -321,7 +321,9 @@ func TestProvenanceTrees(t *testing.T) {
 		t.Errorf("render:\n%s", out)
 	}
 	// Every derived t fact has a valid tree.
-	for _, tup := range db.Lookup("t").Tuples() {
+	trel := db.Lookup("t")
+	for pos := int32(0); pos < int32(trel.Len()); pos++ {
+		tup := trel.Tuple(pos)
 		id, ok := pv.Lookup("t", tup)
 		if !ok {
 			t.Fatalf("no provenance for t%s", db.Store.TupleString(tup))

@@ -51,10 +51,12 @@ type workUnit struct {
 	shardMod int32 // 1 = unsharded
 }
 
-// bufFact is one derivation buffered by a worker until the round barrier.
+// bufFact is one derivation buffered by a worker until the round barrier:
+// the rule that fired and the offset of the head tuple in the worker's
+// buffer arena (its length is the rule's head arity).
 type bufFact struct {
-	rule  *compiledRule
-	tuple []Val
+	rule *compiledRule
+	off  int32
 }
 
 // errEvalStopped aborts a worker's in-progress join when the evaluation's
@@ -62,13 +64,81 @@ type bufFact struct {
 // the context's typed error instead).
 var errEvalStopped = errors.New("engine: evaluation stopped")
 
-// parWorker is one worker's private state, reused across rounds.
+// factSet is the worker-local same-round dedup: an open-addressed table
+// over hashPredTuple hashes whose slots name buffered facts (index+1; 0 =
+// empty, so a round reset is one memclr). Collisions compare predicate and
+// tuple against the worker's buffer arena — no string keys.
+type factSet struct {
+	hashes []uint64
+	ids    []int32
+	n      int
+}
+
+func (s *factSet) contains(pw *parWorker, h uint64, pred string, tuple []Val) bool {
+	if len(s.ids) == 0 {
+		return false
+	}
+	mask := uint64(len(s.ids) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		id := s.ids[i]
+		if id == 0 {
+			return false
+		}
+		if s.hashes[i] == h && pw.factEquals(pw.facts[id-1], pred, tuple) {
+			return true
+		}
+	}
+}
+
+// add records fact index id-1 as seen; the caller ensured it is absent.
+func (s *factSet) add(h uint64, id int32) {
+	if (s.n+1)*4 > len(s.ids)*3 {
+		s.grow()
+	}
+	mask := uint64(len(s.ids) - 1)
+	i := h & mask
+	for s.ids[i] != 0 {
+		i = (i + 1) & mask
+	}
+	s.hashes[i], s.ids[i] = h, id
+	s.n++
+}
+
+func (s *factSet) grow() {
+	size := 2 * len(s.ids)
+	if size == 0 {
+		size = 64
+	}
+	oldHashes, oldIDs := s.hashes, s.ids
+	s.hashes = make([]uint64, size)
+	s.ids = make([]int32, size)
+	mask := uint64(size - 1)
+	for j, id := range oldIDs {
+		if id == 0 {
+			continue
+		}
+		i := oldHashes[j] & mask
+		for s.ids[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.hashes[i], s.ids[i] = oldHashes[j], id
+	}
+}
+
+// reset clears the set in one memclr, keeping its capacity for the next
+// round (stale hashes are never read behind an empty slot).
+func (s *factSet) reset() {
+	clear(s.ids)
+	s.n = 0
+}
+
+// parWorker is one worker's private state, reused across rounds and — via
+// parWorkerPool — across evaluations.
 type parWorker struct {
 	rn         runner
-	buf        []bufFact
-	keyBuf     []byte
-	seen       map[string]bool // same-round worker-local dedup (pred + tuple)
-	seenBuf    []byte
+	facts      []bufFact
+	arena      []Val // buffered head tuples, row-major per facts entry
+	dedup      factSet
 	inferences int
 	rules      []obsv.RuleStats // per-rule counters; nil unless traced
 	stats      obsv.WorkerStats
@@ -78,28 +148,74 @@ type parWorker struct {
 	stop *atomic.Bool
 }
 
+// parWorkerPool recycles worker state (buffer arenas, dedup tables, the
+// runner's slot/key/head scratch) across evaluations, so a long-lived
+// server's parallel queries stop paying warm-up allocations. Buffers are
+// recycled within an evaluation at every barrier merge and returned to the
+// pool when the evaluation ends.
+var parWorkerPool = sync.Pool{New: func() any { return new(parWorker) }}
+
+// tuple returns the buffered head tuple of bf as a view into the arena.
+func (pw *parWorker) tuple(bf bufFact) []Val {
+	return pw.arena[bf.off : int(bf.off)+len(bf.rule.headArgs)]
+}
+
+// factEquals reports whether bf is the fact (pred, tuple).
+func (pw *parWorker) factEquals(bf bufFact, pred string, tuple []Val) bool {
+	if bf.rule.headPred != pred || len(bf.rule.headArgs) != len(tuple) {
+		return false
+	}
+	for i, v := range pw.tuple(bf) {
+		if v != tuple[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// release returns the worker to the pool, dropping every reference into
+// the evaluation (db, rules, sinks) while keeping the scratch capacity.
+func (pw *parWorker) release() {
+	pw.rn = runner{slots: pw.rn.slots[:0], key: pw.rn.key[:0], head: pw.rn.head[:0], limits: pw.rn.limits[:0]}
+	for i := range pw.facts {
+		pw.facts[i] = bufFact{}
+	}
+	pw.facts = pw.facts[:0]
+	pw.arena = pw.arena[:0]
+	pw.dedup.reset()
+	pw.inferences = 0
+	pw.rules = nil
+	pw.stats = obsv.WorkerStats{}
+	pw.stop = nil
+	parWorkerPool.Put(pw)
+}
+
 // sink buffers the derivation; insertion and budget checks happen at the
 // barrier. Two duplicate classes are dropped here instead of being buffered:
 // tuples already in the (frozen) relation before this round, and tuples this
 // worker already buffered this round. Only cross-worker same-round
 // duplicates survive to the merge, keeping the serial barrier work
-// proportional to the distinct new tuples, not to the inference count.
+// proportional to the distinct new tuples, not to the inference count. The
+// relation membership check and the local dedup are both pure hash-table
+// reads/updates against the arenas — nothing is encoded, nothing allocates
+// beyond amortized buffer growth.
 func (pw *parWorker) sink(r *compiledRule, tuple []Val, _ []FactID) error {
 	pw.inferences++
 	if pw.stop != nil && pw.inferences&ctxCheckMask == 0 && pw.stop.Load() {
 		return errEvalStopped
 	}
-	dup, buf := pw.rn.db.Lookup(r.headPred).containsFrozen(tuple, pw.keyBuf)
-	pw.keyBuf = buf
+	dup := pw.rn.db.Lookup(r.headPred).Contains(tuple)
 	if !dup {
-		// Key the local set by predicate + encoded tuple: tuples of
-		// different predicates may encode identically.
-		pw.seenBuf = append(append(pw.seenBuf[:0], r.headPred...), 0)
-		pw.seenBuf = append(pw.seenBuf, buf...)
-		if pw.seen[string(pw.seenBuf)] {
+		// Key the local set by predicate + tuple: tuples of different
+		// predicates may hash-collide.
+		h := hashPredTuple(r.headPred, tuple)
+		if pw.dedup.contains(pw, h, r.headPred, tuple) {
 			dup = true
 		} else {
-			pw.seen[string(pw.seenBuf)] = true
+			off := int32(len(pw.arena))
+			pw.arena = append(pw.arena, tuple...)
+			pw.facts = append(pw.facts, bufFact{rule: r, off: off})
+			pw.dedup.add(h, int32(len(pw.facts)))
 		}
 	}
 	if dup {
@@ -108,7 +224,6 @@ func (pw *parWorker) sink(r *compiledRule, tuple []Val, _ []FactID) error {
 		}
 		return nil
 	}
-	pw.buf = append(pw.buf, bufFact{rule: r, tuple: tuple})
 	return nil
 }
 
@@ -173,13 +288,21 @@ func evalParallel(p *ast.Program, db *DB, rules []*compiledRule, opts Options) (
 
 	ev.workers = make([]*parWorker, opts.Workers)
 	for w := range ev.workers {
-		pw := &parWorker{stats: obsv.WorkerStats{Worker: w}, seen: map[string]bool{}}
+		pw := parWorkerPool.Get().(*parWorker)
+		pw.stats = obsv.WorkerStats{Worker: w}
 		if ev.ctx != nil {
 			pw.stop = &ev.stop
 		}
-		pw.rn = runner{db: db, frozen: true, sink: pw.sink}
+		pw.rn.db = db
+		pw.rn.frozen = true
+		pw.rn.sink = pw.sink
 		ev.workers[w] = pw
 	}
+	defer func() {
+		for _, pw := range ev.workers {
+			pw.release()
+		}
+	}()
 	if opts.Trace {
 		ev.trace = newEvalTrace(rules)
 		ev.mergeRules = make([]obsv.RuleStats, len(rules))
@@ -373,9 +496,10 @@ func (ev *parEvaluator) runRound(units []workUnit) error {
 	// error instead of merging them.
 	if err := contextErr(ev.ctx); err != nil {
 		for _, pw := range ev.workers {
-			pw.buf = pw.buf[:0]
+			pw.facts = pw.facts[:0]
+			pw.arena = pw.arena[:0]
+			pw.dedup.reset()
 			pw.inferences = 0
-			clear(pw.seen)
 		}
 		return err
 	}
@@ -387,9 +511,9 @@ func (ev *parEvaluator) runRound(units []workUnit) error {
 	for _, pw := range ev.workers {
 		ev.stats.Inferences += pw.inferences
 		pw.inferences = 0
-		pw.stats.Tuples += len(pw.buf)
-		for _, bf := range pw.buf {
-			if !ev.db.Lookup(bf.rule.headPred).InsertRound(bf.tuple, stamp) {
+		pw.stats.Tuples += len(pw.facts)
+		for _, bf := range pw.facts {
+			if !ev.db.Lookup(bf.rule.headPred).InsertRound(pw.tuple(bf), stamp) {
 				if ev.mergeRules != nil {
 					ev.mergeRules[bf.rule.idx].Duplicates++
 				}
@@ -402,8 +526,9 @@ func (ev *parEvaluator) runRound(units []workUnit) error {
 			ev.stats.Derived++
 			added++
 		}
-		pw.buf = pw.buf[:0]
-		clear(pw.seen)
+		pw.facts = pw.facts[:0]
+		pw.arena = pw.arena[:0]
+		pw.dedup.reset()
 	}
 	if t := ev.trace; t != nil {
 		t.rounds = append(t.rounds, obsv.RoundStats{

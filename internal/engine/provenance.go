@@ -24,29 +24,105 @@ type Derivation struct {
 // tree (the first one found).
 type Provenance struct {
 	program *ast.Program
-	ids     map[string]FactID
+	table   factTable
 	preds   []string
 	tuples  [][]Val
 	derivs  []Derivation
 }
 
+// factTable maps (pred, tuple) identities to FactIDs: an open-addressed
+// table over hashPredTuple hashes whose slots store id+1 (0 = empty).
+// Collisions compare the predicate and tuple against the recorded fact —
+// the old pred + "\x00" + encoded-tuple string keys are gone.
+type factTable struct {
+	hashes []uint64
+	ids    []int32
+	n      int
+}
+
+func (t *factTable) lookup(pv *Provenance, h uint64, pred string, tuple []Val) (FactID, bool) {
+	if len(t.ids) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.ids) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		slot := t.ids[i]
+		if slot == 0 {
+			return 0, false
+		}
+		if t.hashes[i] == h {
+			id := FactID(slot - 1)
+			if pv.preds[id] == pred && valsEqual(pv.tuples[id], tuple) {
+				return id, true
+			}
+		}
+	}
+}
+
+// add records id for a fact the caller verified is absent.
+func (t *factTable) add(h uint64, id FactID) {
+	if (t.n+1)*4 > len(t.ids)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.ids) - 1)
+	i := h & mask
+	for t.ids[i] != 0 {
+		i = (i + 1) & mask
+	}
+	t.hashes[i], t.ids[i] = h, int32(id)+1
+	t.n++
+}
+
+func (t *factTable) grow() {
+	size := 2 * len(t.ids)
+	if size == 0 {
+		size = 64
+	}
+	oldHashes, oldIDs := t.hashes, t.ids
+	t.hashes = make([]uint64, size)
+	t.ids = make([]int32, size)
+	mask := uint64(size - 1)
+	for j, slot := range oldIDs {
+		if slot == 0 {
+			continue
+		}
+		i := oldHashes[j] & mask
+		for t.ids[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.hashes[i], t.ids[i] = oldHashes[j], slot
+	}
+}
+
+func valsEqual(a, b []Val) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // NewProvenance returns an empty provenance recorder for program p.
 func NewProvenance(p *ast.Program) *Provenance {
-	return &Provenance{program: p, ids: map[string]FactID{}}
+	return &Provenance{program: p}
 }
 
 func (pv *Provenance) factID(pred string, tuple []Val) FactID {
-	key := pred + "\x00" + string(encodeTuple(nil, tuple, nil))
-	if id, ok := pv.ids[key]; ok {
+	h := hashPredTuple(pred, tuple)
+	if id, ok := pv.table.lookup(pv, h, pred, tuple); ok {
 		return id
 	}
 	id := FactID(len(pv.preds))
-	pv.ids[key] = id
 	pv.preds = append(pv.preds, pred)
 	cp := make([]Val, len(tuple))
 	copy(cp, tuple)
 	pv.tuples = append(pv.tuples, cp)
 	pv.derivs = append(pv.derivs, Derivation{Rule: -1})
+	pv.table.add(h, id)
 	return id
 }
 
@@ -62,9 +138,7 @@ func (pv *Provenance) record(r *compiledRule, tuple []Val, children []FactID) {
 
 // Lookup returns the FactID for a fact if it was recorded.
 func (pv *Provenance) Lookup(pred string, tuple []Val) (FactID, bool) {
-	key := pred + "\x00" + string(encodeTuple(nil, tuple, nil))
-	id, ok := pv.ids[key]
-	return id, ok
+	return pv.table.lookup(pv, hashPredTuple(pred, tuple), pred, tuple)
 }
 
 // Fact returns the predicate and tuple of id.

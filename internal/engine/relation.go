@@ -1,9 +1,10 @@
 package engine
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
+
+	"factorlog/internal/obsv"
 )
 
 // Relation is a set of tuples of fixed arity, with hash indexes built on
@@ -11,55 +12,219 @@ import (
 // the fixpoint round it was inserted in (0 for base facts), which the
 // semi-naive evaluator uses to distinguish P_{r-1}, the delta, and P_r
 // without copying relations.
+//
+// Storage is a flat arena: row i occupies arena[i*arity : (i+1)*arity], so
+// the whole relation is one contiguous []Val. Membership (present) and
+// every column index are open-addressed hash tables over 64-bit hashes of
+// the Val words, resolved against the arena on collision — no tuple is
+// ever varint-encoded into a string key, and an insert allocates only when
+// the arena or a table doubles. Rows are immutable once written, which
+// makes every read-side operation (Tuple, Contains, Round, probeFrozen)
+// safe for concurrent readers while the relation is frozen between
+// mutations — the property the parallel evaluator's in-round probes rely
+// on.
 type Relation struct {
-	arity    int
-	present  map[string]bool   // encoded full tuple -> present
-	tuples   [][]Val           // insertion order; stable iteration
-	rounds   []int32           // insertion round per tuple
-	indexes  map[uint32]*index // key: bitmask of indexed columns
-	probeBuf []byte            // scratch for probe keys (single-threaded use)
+	arity   int
+	arena   []Val   // row-major tuple storage; rows never move or change
+	rounds  []int32 // insertion round per row
+	present tupleSet
+	indexes map[uint32]*index // key: bitmask of indexed columns
 }
 
+// tupleSet is the open-addressed membership table: hash of the full tuple
+// -> row id, with linear probing and full arena comparison on collision.
+// Slots store -1 when empty. The stored hashes make probe misses cheap and
+// growth rehash-free.
+type tupleSet struct {
+	hashes []uint64
+	rows   []int32
+	n      int
+}
+
+func (s *tupleSet) lookup(r *Relation, h uint64, tuple []Val) (int32, bool) {
+	if len(s.rows) == 0 {
+		return -1, false
+	}
+	mask := uint64(len(s.rows) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		row := s.rows[i]
+		if row < 0 {
+			return -1, false
+		}
+		if s.hashes[i] == h && r.rowEquals(row, tuple) {
+			return row, true
+		}
+	}
+}
+
+// add places a row known to be absent, growing at 3/4 load.
+func (s *tupleSet) add(h uint64, row int32) {
+	if (s.n+1)*4 > len(s.rows)*3 {
+		s.grow()
+	}
+	mask := uint64(len(s.rows) - 1)
+	i := h & mask
+	for s.rows[i] >= 0 {
+		i = (i + 1) & mask
+	}
+	s.hashes[i], s.rows[i] = h, row
+	s.n++
+}
+
+func (s *tupleSet) grow() {
+	size := 2 * len(s.rows)
+	if size == 0 {
+		size = 16
+	}
+	oldHashes, oldRows := s.hashes, s.rows
+	s.hashes = make([]uint64, size)
+	s.rows = make([]int32, size)
+	for i := range s.rows {
+		s.rows[i] = -1
+	}
+	mask := uint64(size - 1)
+	for j, row := range oldRows {
+		if row < 0 {
+			continue
+		}
+		i := oldHashes[j] & mask
+		for s.rows[i] >= 0 {
+			i = (i + 1) & mask
+		}
+		s.hashes[i], s.rows[i] = oldHashes[j], row
+	}
+}
+
+// index maps the projection of a tuple onto cols to the rows sharing that
+// key: an open-addressed table of key hashes whose slots name postings
+// lists of row ids. Collisions compare the probe key against the bucket's
+// first row in the arena.
 type index struct {
-	cols []int
-	m    map[string][]int32 // encoded key cols -> tuple positions
+	cols     []int // sorted ascending
+	hashes   []uint64
+	slots    []int32 // postings bucket ids; -1 = empty
+	n        int     // distinct keys
+	postings [][]int32
+}
+
+func (ix *index) addRow(r *Relation, row int32) {
+	h := r.hashRowCols(row, ix.cols)
+	if (ix.n+1)*4 > len(ix.slots)*3 {
+		ix.grow()
+	}
+	mask := uint64(len(ix.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		b := ix.slots[i]
+		if b < 0 {
+			ix.hashes[i] = h
+			ix.slots[i] = int32(len(ix.postings))
+			ix.postings = append(ix.postings, []int32{row})
+			ix.n++
+			return
+		}
+		if ix.hashes[i] == h && r.rowsEqualOnCols(ix.postings[b][0], row, ix.cols) {
+			ix.postings[b] = append(ix.postings[b], row)
+			return
+		}
+	}
+}
+
+func (ix *index) grow() {
+	size := 2 * len(ix.slots)
+	if size == 0 {
+		size = 16
+	}
+	oldHashes, oldSlots := ix.hashes, ix.slots
+	ix.hashes = make([]uint64, size)
+	ix.slots = make([]int32, size)
+	for i := range ix.slots {
+		ix.slots[i] = -1
+	}
+	mask := uint64(size - 1)
+	for j, b := range oldSlots {
+		if b < 0 {
+			continue
+		}
+		i := oldHashes[j] & mask
+		for ix.slots[i] >= 0 {
+			i = (i + 1) & mask
+		}
+		ix.hashes[i], ix.slots[i] = oldHashes[j], b
+	}
+}
+
+// probe returns the postings of the key (aligned with ix.cols), or nil.
+// It is a pure read: safe for concurrent use while the relation is frozen.
+func (ix *index) probe(r *Relation, key []Val) []int32 {
+	if ix.n == 0 {
+		return nil
+	}
+	h := hashVals(key)
+	mask := uint64(len(ix.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		b := ix.slots[i]
+		if b < 0 {
+			return nil
+		}
+		if ix.hashes[i] == h && r.rowMatchesKey(ix.postings[b][0], ix.cols, key) {
+			return ix.postings[b]
+		}
+	}
 }
 
 // NewRelation returns an empty relation of the given arity.
 func NewRelation(arity int) *Relation {
-	return &Relation{
-		arity:   arity,
-		present: make(map[string]bool),
-		indexes: make(map[uint32]*index),
-	}
+	return &Relation{arity: arity, indexes: make(map[uint32]*index)}
 }
 
 // Arity returns the number of columns.
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return len(r.rounds) }
 
-// Tuples returns the tuples in insertion order. Callers must not modify the
-// returned slices.
-func (r *Relation) Tuples() [][]Val { return r.tuples }
+// Tuple returns the tuple at position pos: a view into the arena, valid
+// forever (rows are immutable) but not to be modified by the caller.
+func (r *Relation) Tuple(pos int32) []Val {
+	base := int(pos) * r.arity
+	return r.arena[base : base+r.arity : base+r.arity]
+}
 
-func encodeTuple(buf []byte, tuple []Val, cols []int) []byte {
-	buf = buf[:0]
-	if cols == nil {
-		for _, v := range tuple {
-			buf = binary.AppendVarint(buf, int64(v))
+// rowEquals reports whether the row equals tuple.
+func (r *Relation) rowEquals(row int32, tuple []Val) bool {
+	base := int(row) * r.arity
+	for i, v := range tuple {
+		if r.arena[base+i] != v {
+			return false
 		}
-		return buf
 	}
+	return true
+}
+
+// rowMatchesKey reports whether the row's projection on cols equals key.
+func (r *Relation) rowMatchesKey(row int32, cols []int, key []Val) bool {
+	base := int(row) * r.arity
+	for i, c := range cols {
+		if r.arena[base+c] != key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowsEqualOnCols reports whether two rows agree on cols.
+func (r *Relation) rowsEqualOnCols(a, b int32, cols []int) bool {
+	ba, bb := int(a)*r.arity, int(b)*r.arity
 	for _, c := range cols {
-		buf = binary.AppendVarint(buf, int64(tuple[c]))
+		if r.arena[ba+c] != r.arena[bb+c] {
+			return false
+		}
 	}
-	return buf
+	return true
 }
 
 // Insert adds tuple to the relation at round 0; it reports whether the
-// tuple was new. The tuple slice is copied.
+// tuple was new. The tuple is copied into the arena.
 func (r *Relation) Insert(tuple []Val) bool { return r.InsertRound(tuple, 0) }
 
 // InsertRound adds tuple with an explicit insertion round.
@@ -67,19 +232,16 @@ func (r *Relation) InsertRound(tuple []Val, round int32) bool {
 	if len(tuple) != r.arity {
 		panic(fmt.Sprintf("engine: inserting tuple of len %d into relation of arity %d", len(tuple), r.arity))
 	}
-	key := string(encodeTuple(nil, tuple, nil))
-	if r.present[key] {
+	h := hashVals(tuple)
+	if _, ok := r.present.lookup(r, h, tuple); ok {
 		return false
 	}
-	r.present[key] = true
-	cp := make([]Val, len(tuple))
-	copy(cp, tuple)
-	pos := int32(len(r.tuples))
-	r.tuples = append(r.tuples, cp)
+	row := int32(len(r.rounds))
+	r.arena = append(r.arena, tuple...)
 	r.rounds = append(r.rounds, round)
-	for _, idx := range r.indexes {
-		k := string(encodeTuple(nil, cp, idx.cols))
-		idx.m[k] = append(idx.m[k], pos)
+	r.present.add(h, row)
+	for _, ix := range r.indexes {
+		ix.addRow(r, row)
 	}
 	return true
 }
@@ -87,9 +249,11 @@ func (r *Relation) InsertRound(tuple []Val, round int32) bool {
 // Round returns the insertion round of the tuple at pos.
 func (r *Relation) Round(pos int32) int32 { return r.rounds[pos] }
 
-// Contains reports whether tuple is in the relation.
+// Contains reports whether tuple is in the relation. It is a pure read:
+// safe for concurrent use while the relation is frozen.
 func (r *Relation) Contains(tuple []Val) bool {
-	return r.present[string(encodeTuple(nil, tuple, nil))]
+	_, ok := r.present.lookup(r, hashVals(tuple), tuple)
+	return ok
 }
 
 func colMask(cols []int) uint32 {
@@ -103,83 +267,88 @@ func colMask(cols []int) uint32 {
 // ensureIndex builds (or returns) the index on the given columns.
 func (r *Relation) ensureIndex(cols []int) *index {
 	mask := colMask(cols)
-	if idx, ok := r.indexes[mask]; ok {
-		return idx
+	if ix, ok := r.indexes[mask]; ok {
+		return ix
 	}
 	sorted := append([]int(nil), cols...)
 	sort.Ints(sorted)
-	idx := &index{cols: sorted, m: make(map[string][]int32)}
-	var buf []byte
-	for pos, tuple := range r.tuples {
-		buf = encodeTuple(buf, tuple, sorted)
-		idx.m[string(buf)] = append(idx.m[string(buf)], int32(pos))
+	ix := &index{cols: sorted}
+	for row := int32(0); row < int32(r.Len()); row++ {
+		ix.addRow(r, row)
 	}
-	r.indexes[mask] = idx
-	return idx
+	r.indexes[mask] = ix
+	return ix
 }
 
 // Probe returns the positions of tuples whose projection on cols equals
-// key (a slice of Vals aligned with cols sorted ascending). An index on
-// cols is built on first use. With no cols it returns all positions as nil
-// (callers iterate Tuples directly); callers should not pass empty cols.
+// key (a slice of Vals aligned with cols). An index on cols is built on
+// first use; callers should not pass empty cols. Like the rest of the
+// mutating surface it is single-threaded; concurrent workers use
+// probeFrozen.
 func (r *Relation) Probe(cols []int, key []Val) []int32 {
-	idx := r.ensureIndex(cols)
-	// Align key to the index's sorted column order.
-	if len(cols) != len(idx.cols) {
+	ix := r.ensureIndex(cols)
+	if len(cols) != len(ix.cols) {
 		panic("engine: probe column count mismatch")
 	}
-	aligned := key
 	if !sort.IntsAreSorted(cols) {
-		aligned = make([]Val, len(key))
-		perm := make([]int, len(cols))
-		copy(perm, cols)
-		// map column -> its key value, then emit in sorted order
-		kv := make(map[int]Val, len(cols))
-		for i, c := range cols {
-			kv[c] = key[i]
-		}
+		// Rare direct-API path: align key to the index's sorted column
+		// order (the compiler always emits bound columns already sorted).
+		aligned := make([]Val, len(key))
+		perm := append([]int(nil), cols...)
 		sort.Ints(perm)
 		for i, c := range perm {
-			aligned[i] = kv[c]
+			for j, oc := range cols {
+				if oc == c {
+					aligned[i] = key[j]
+					break
+				}
+			}
 		}
+		key = aligned
 	}
-	buf := r.probeBuf[:0]
-	for _, v := range aligned {
-		buf = binary.AppendVarint(buf, int64(v))
-	}
-	r.probeBuf = buf
-	return idx.m[string(buf)]
+	return ix.probe(r, key)
 }
 
 // probeFrozen probes a prebuilt index without mutating the relation, so
-// concurrent workers can share it during a round: no lazy index build, and
-// the key is encoded into the caller's scratch buffer (returned for reuse)
-// instead of the relation's. cols must be sorted ascending (the compiler
-// emits bound columns in column order) and the index must have been built
-// up front from the rule's index plan; probing an unplanned index is a
-// scheduling bug and panics.
-func (r *Relation) probeFrozen(cols []int, key []Val, buf []byte) ([]int32, []byte) {
-	idx := r.indexes[colMask(cols)]
-	if idx == nil {
+// concurrent workers can share it during a round: no lazy index build and
+// no scratch state — the probe hashes the key and reads the table. cols
+// must be sorted ascending (the compiler emits bound columns in column
+// order) and the index must have been built up front from the rule's index
+// plan; probing an unplanned index is a scheduling bug and panics.
+func (r *Relation) probeFrozen(cols []int, key []Val) []int32 {
+	ix := r.indexes[colMask(cols)]
+	if ix == nil {
 		panic(fmt.Sprintf("engine: frozen probe of unplanned index %v", cols))
 	}
-	buf = buf[:0]
-	for _, v := range key {
-		buf = binary.AppendVarint(buf, int64(v))
+	return ix.probe(r, key)
+}
+
+// StorageFootprint reports the relation's memory shape: arena bytes
+// (tuples + round stamps), index bytes (hash slots + postings), and the
+// load factors of the membership table and the indexes.
+func (r *Relation) StorageFootprint() (arenaBytes, indexBytes int64, presentLoad, indexLoad float64, nIndexes int) {
+	const valSize, roundSize, hashSize, slotSize = 4, 4, 8, 4
+	arenaBytes = int64(cap(r.arena))*valSize + int64(cap(r.rounds))*roundSize
+	indexBytes = int64(cap(r.present.hashes))*hashSize + int64(cap(r.present.rows))*slotSize
+	if len(r.present.rows) > 0 {
+		presentLoad = float64(r.present.n) / float64(len(r.present.rows))
 	}
-	return idx.m[string(buf)], buf
+	loadSum := 0.0
+	for _, ix := range r.indexes {
+		indexBytes += int64(cap(ix.hashes))*hashSize + int64(cap(ix.slots))*slotSize
+		for _, p := range ix.postings {
+			indexBytes += int64(cap(p)) * slotSize
+		}
+		if len(ix.slots) > 0 {
+			loadSum += float64(ix.n) / float64(len(ix.slots))
+		}
+		nIndexes++
+	}
+	if nIndexes > 0 {
+		indexLoad = loadSum / float64(nIndexes)
+	}
+	return arenaBytes, indexBytes, presentLoad, indexLoad, nIndexes
 }
-
-// containsFrozen reports whether tuple is in the relation, encoding the key
-// into the caller's scratch buffer (returned for reuse). Like probeFrozen it
-// is safe for concurrent readers while the relation is frozen.
-func (r *Relation) containsFrozen(tuple []Val, buf []byte) (bool, []byte) {
-	buf = encodeTuple(buf, tuple, nil)
-	return r.present[string(buf)], buf
-}
-
-// Tuple returns the tuple at position pos.
-func (r *Relation) Tuple(pos int32) []Val { return r.tuples[pos] }
 
 // DB maps predicate names to relations. Predicates are identified by name
 // alone; using one name at two arities is an error surfaced at insert.
@@ -258,13 +427,45 @@ func (db *DB) TotalFacts() int {
 	return n
 }
 
+// StorageStats aggregates every relation's StorageFootprint into one
+// database-wide record: total arena and index bytes, plus load factors
+// averaged over non-empty tables.
+func (db *DB) StorageStats() obsv.StorageStats {
+	var st obsv.StorageStats
+	presentSum, presentN := 0.0, 0
+	indexSum, indexN := 0.0, 0
+	for _, r := range db.relations {
+		arenaBytes, indexBytes, presentLoad, indexLoad, nIndexes := r.StorageFootprint()
+		st.Relations++
+		st.Facts += r.Len()
+		st.ArenaBytes += arenaBytes
+		st.IndexBytes += indexBytes
+		st.Indexes += nIndexes
+		if r.Len() > 0 {
+			presentSum += presentLoad
+			presentN++
+		}
+		if nIndexes > 0 {
+			indexSum += indexLoad
+			indexN++
+		}
+	}
+	if presentN > 0 {
+		st.PresentLoad = presentSum / float64(presentN)
+	}
+	if indexN > 0 {
+		st.IndexLoad = indexSum / float64(indexN)
+	}
+	return st
+}
+
 // Clone returns a DB sharing the store but with independent relations.
 func (db *DB) Clone() *DB {
 	out := NewDBWith(db.Store)
 	for pred, r := range db.relations {
 		nr := NewRelation(r.arity)
-		for _, t := range r.tuples {
-			nr.Insert(t)
+		for pos := int32(0); pos < int32(r.Len()); pos++ {
+			nr.Insert(r.Tuple(pos))
 		}
 		out.relations[pred] = nr
 	}

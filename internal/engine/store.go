@@ -3,6 +3,7 @@ package engine
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -143,8 +144,10 @@ func (s *Store) List(elems ...Val) Val {
 	return v
 }
 
-// Int interns the decimal rendering of n as a constant.
-func (s *Store) Int(n int) Val { return s.Const(fmt.Sprintf("%d", n)) }
+// Int interns the decimal rendering of n as a constant. strconv.Itoa
+// renders small ints without the fmt machinery (no interface boxing, no
+// verb parsing) — EDB loaders call this per fact, so it is warm.
+func (s *Store) Int(n int) Val { return s.Const(strconv.Itoa(n)) }
 
 // IsConst reports whether v denotes a constant.
 func (s *Store) IsConst(v Val) bool { return s.entry(v).args == nil }

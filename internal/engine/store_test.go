@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -133,4 +134,26 @@ func TestStoreInt(t *testing.T) {
 	if s.Int(7) != s.Const("7") {
 		t.Error("Int and Const disagree")
 	}
+}
+
+// BenchmarkStoreInt tracks the allocation cost of interning integer
+// constants. The sprintf case is the previous implementation, kept as a
+// reference: fmt.Sprintf("%d", n) boxes n into an interface and allocates
+// the rendered string on every call, where strconv.Itoa leaves the
+// hash-consed hit path allocation-free.
+func BenchmarkStoreInt(b *testing.B) {
+	b.Run("itoa", func(b *testing.B) {
+		s := NewStore()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Int(i % 4096)
+		}
+	})
+	b.Run("sprintf", func(b *testing.B) {
+		s := NewStore()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Const(fmt.Sprintf("%d", i%4096))
+		}
+	})
 }

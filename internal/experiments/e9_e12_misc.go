@@ -209,7 +209,8 @@ func runE12() (*Table, error) {
 	}
 	rel := db.Lookup(fr.Split.RightName)
 	verified, maxHeight := 0, 0
-	for _, tup := range rel.Tuples() {
+	for pos := int32(0); pos < int32(rel.Len()); pos++ {
+		tup := rel.Tuple(pos)
 		id, ok := res.Prov.Lookup(fr.Split.RightName, tup)
 		if !ok {
 			return nil, fmt.Errorf("no provenance for %s%s", fr.Split.RightName, db.Store.TupleString(tup))

@@ -13,6 +13,7 @@
 //
 // The JSON tags define the schemas of the machine-readable metrics
 // documents: `factorbench -json` emits the evaluation records (schema
-// factorlog/metrics/v2, committed as BENCH_*.json), and factorlogd's
-// /metrics endpoint emits ServerStats (schema factorlog/metrics/v3).
+// factorlog/metrics/v4, committed as BENCH_*.json), and factorlogd's
+// /metrics endpoint emits ServerStats (also factorlog/metrics/v4; v4
+// added StorageStats and the Span allocation counters).
 package obsv

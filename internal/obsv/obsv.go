@@ -94,8 +94,37 @@ type Span struct {
 	// output programs — the paper's argument-reduction metric.
 	ArityBefore int `json:"arity_before"`
 	ArityAfter  int `json:"arity_after"`
+	// Allocs/AllocBytes are the heap allocation count and bytes the stage
+	// performed (runtime.MemStats deltas over the stage; whole-process, so
+	// only meaningful when the stage runs without concurrent mutators).
+	// Zero when the pipeline did not sample them.
+	Allocs     uint64 `json:"allocs,omitempty"`
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
 	// Err is set when the stage failed (e.g. a non-factorable program).
 	Err string `json:"error,omitempty"`
+}
+
+// StorageStats describes the storage shape of a database after evaluation:
+// how many bytes sit in the tuple arenas versus the open-addressed hash
+// tables, and how loaded those tables are. Loads near 0.75 mean a growth is
+// imminent; loads far below 0.375 mean the last growth left slack.
+type StorageStats struct {
+	// Relations counts the database's relations; Facts their total tuples.
+	Relations int `json:"relations"`
+	Facts     int `json:"facts"`
+	// ArenaBytes is the capacity of the columnar tuple arenas (tuple words
+	// plus round stamps) across all relations.
+	ArenaBytes int64 `json:"arena_bytes"`
+	// IndexBytes covers the membership tables, column-index tables, and
+	// index postings.
+	IndexBytes int64 `json:"index_bytes"`
+	// Indexes counts column indexes across all relations.
+	Indexes int `json:"indexes"`
+	// PresentLoad is the mean load factor of the membership hash tables;
+	// IndexLoad the mean across column-index tables. Both are averaged over
+	// non-empty relations only.
+	PresentLoad float64 `json:"present_load"`
+	IndexLoad   float64 `json:"index_load"`
 }
 
 // FormatDuration renders d rounded to the nearest microsecond, keeping the
@@ -113,18 +142,47 @@ func newTable(b *strings.Builder) *tabwriter.Writer {
 func SpanTable(spans []Span) string {
 	var b strings.Builder
 	w := newTable(&b)
-	fmt.Fprintln(w, "stage\twall\trules\tmax-arity\tnote")
+	fmt.Fprintln(w, "stage\twall\trules\tmax-arity\tallocs\talloc-bytes\tnote")
 	for _, s := range spans {
 		note := ""
 		if s.Err != "" {
 			note = "error: " + s.Err
 		}
-		fmt.Fprintf(w, "%s\t%s\t%d -> %d\t%d -> %d\t%s\n",
+		allocs, bytes := "-", "-"
+		if s.Allocs > 0 || s.AllocBytes > 0 {
+			allocs = fmt.Sprintf("%d", s.Allocs)
+			bytes = FormatBytes(int64(s.AllocBytes))
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d -> %d\t%d -> %d\t%s\t%s\t%s\n",
 			s.Name, FormatDuration(s.Wall),
-			s.RulesBefore, s.RulesAfter, s.ArityBefore, s.ArityAfter, note)
+			s.RulesBefore, s.RulesAfter, s.ArityBefore, s.ArityAfter,
+			allocs, bytes, note)
 	}
 	w.Flush()
 	return b.String()
+}
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// StorageLine renders a one-line summary of a StorageStats record for the
+// profile view and the REPL :stats command.
+func StorageLine(s StorageStats) string {
+	return fmt.Sprintf(
+		"storage: %d facts in %d relations, arena %s, indexes %s (%d tables, load %.2f/%.2f)",
+		s.Facts, s.Relations, FormatBytes(s.ArenaBytes), FormatBytes(s.IndexBytes),
+		s.Indexes, s.PresentLoad, s.IndexLoad)
 }
 
 // RuleTable renders per-rule counters as an aligned table, one row per rule

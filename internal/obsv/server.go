@@ -11,7 +11,7 @@ import (
 // histograms filled by long-lived query processes (cmd/factorlogd). Like
 // the rest of the package they are plain data — producers guard them with
 // their own locks and obsv only formats them. The JSON tags define the
-// /metrics schema (factorlog/metrics/v3).
+// /metrics schema (factorlog/metrics/v4).
 
 // CacheStats describes a memoizing cache (the pipeline plan cache).
 type CacheStats struct {
@@ -128,6 +128,10 @@ type ServerStats struct {
 	PlanCache CacheStats `json:"plan_cache"`
 	// Latency holds one request-latency histogram per strategy name.
 	Latency map[string]*Histogram `json:"latency_by_strategy"`
+	// StorageHighWater is the largest per-request storage footprint seen
+	// since startup (selected by arena + index bytes): what the heaviest
+	// query's database cost in tuple arenas and hash tables.
+	StorageHighWater StorageStats `json:"storage_high_water"`
 }
 
 // CacheLine renders cache counters compactly, with the hit rate.
@@ -171,6 +175,11 @@ func ServerTable(s ServerStats) string {
 		s.UptimeSeconds, s.Queries, s.Errors, s.InFlight)
 	b.WriteString(CacheLine(s.PlanCache))
 	b.WriteByte('\n')
+	if s.StorageHighWater.Relations > 0 {
+		b.WriteString("high-water ")
+		b.WriteString(StorageLine(s.StorageHighWater))
+		b.WriteByte('\n')
+	}
 	if len(s.Latency) > 0 {
 		b.WriteString(LatencyTable(s.Latency))
 	}

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -114,10 +115,38 @@ func (pl *Pipeline) WithConstraints(tgds []ast.Rule) *Pipeline {
 	return pl
 }
 
+// stageStart marks the beginning of a stage: its wall clock and the
+// process heap counters, so recordSpan can report the stage's allocation
+// delta alongside its wall time.
+type stageStart struct {
+	t       time.Time
+	mallocs uint64
+	bytes   uint64
+}
+
+// startStage samples the wall clock and allocation counters. The counters
+// are process-wide (runtime.MemStats), so the delta attributes concurrent
+// allocations to the stage too; transformation stages run once under the
+// pipeline lock, where the attribution is accurate in practice.
+func startStage() stageStart {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return stageStart{t: time.Now(), mallocs: ms.Mallocs, bytes: ms.TotalAlloc}
+}
+
 // recordSpan appends a stage span; in or out may be nil when the stage's
 // input or output program is unavailable (a failed stage has no output).
-func (pl *Pipeline) recordSpan(name string, start time.Time, in, out *ast.Program, err error) {
-	sp := obsv.Span{Name: name, Wall: time.Since(start)}
+func (pl *Pipeline) recordSpan(name string, start stageStart, in, out *ast.Program, err error) {
+	sp := spanFrom(name, start, in, out, err)
+	pl.spans = append(pl.spans, sp)
+}
+
+func spanFrom(name string, start stageStart, in, out *ast.Program, err error) obsv.Span {
+	sp := obsv.Span{Name: name, Wall: time.Since(start.t)}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	sp.Allocs = ms.Mallocs - start.mallocs
+	sp.AllocBytes = ms.TotalAlloc - start.bytes
 	if in != nil {
 		sp.RulesBefore, sp.ArityBefore = len(in.Rules), maxIDBArity(in)
 	}
@@ -127,7 +156,7 @@ func (pl *Pipeline) recordSpan(name string, start time.Time, in, out *ast.Progra
 	if err != nil {
 		sp.Err = err.Error()
 	}
-	pl.spans = append(pl.spans, sp)
+	return sp
 }
 
 // Spans returns the stage spans recorded so far, in execution order.
@@ -146,7 +175,7 @@ func (pl *Pipeline) Adorned() (*adorn.Result, error) {
 
 func (pl *Pipeline) adornedLocked() (*adorn.Result, error) {
 	if !pl.adornDone {
-		start := time.Now()
+		start := startStage()
 		pl.adorned, pl.adornErr = adorn.Adorn(pl.Program, pl.Query)
 		var out *ast.Program
 		if pl.adornErr == nil {
@@ -171,7 +200,7 @@ func (pl *Pipeline) magicLocked() (*magic.Result, error) {
 		if err != nil {
 			pl.magicErr = err
 		} else {
-			start := time.Now()
+			start := startStage()
 			pl.magicRes, pl.magicErr = magic.Transform(ad)
 			var out *ast.Program
 			if pl.magicErr == nil {
@@ -197,7 +226,7 @@ func (pl *Pipeline) factoredLocked() (*core.FactorResult, error) {
 		if err != nil {
 			pl.factErr = err
 		} else {
-			start := time.Now()
+			start := startStage()
 			pl.factRes, pl.factErr = core.FactorMagic(m, pl.Constraints)
 			var out *ast.Program
 			if pl.factErr == nil {
@@ -224,7 +253,7 @@ func (pl *Pipeline) optimizedLocked() (*optimize.Result, error) {
 			pl.optErr = err
 		} else {
 			m, _ := pl.magicLocked()
-			start := time.Now()
+			start := startStage()
 			pl.optRes, pl.optErr = optimize.Optimize(fr.Program,
 				optimize.ForFactored(fr, magic.QueryPred, m.Seed.Head.Args))
 			var out *ast.Program
@@ -251,7 +280,7 @@ func (pl *Pipeline) supLocked() (*magic.Result, error) {
 		if err != nil {
 			pl.supErr = err
 		} else {
-			start := time.Now()
+			start := startStage()
 			pl.supRes, pl.supErr = magic.TransformSupplementary(ad)
 			var out *ast.Program
 			if pl.supErr == nil {
@@ -277,7 +306,7 @@ func (pl *Pipeline) countingLocked() (*counting.Result, error) {
 		if err != nil {
 			pl.cntErr = err
 		} else {
-			start := time.Now()
+			start := startStage()
 			pl.cntRes, pl.cntErr = counting.Transform(ad)
 			var out *ast.Program
 			if pl.cntErr == nil {
@@ -323,6 +352,9 @@ type RunResult struct {
 	Workers []obsv.WorkerStats
 	// EvalWall is the evaluation's wall-clock time.
 	EvalWall time.Duration
+	// Storage is the database's storage shape after evaluation: arena and
+	// index bytes, table counts, and hash-table load factors.
+	Storage obsv.StorageStats
 }
 
 // stageNames lists, per strategy, the transformation stages that produce
@@ -380,11 +412,29 @@ func (pl *Pipeline) spansFor(s Strategy) []obsv.Span {
 	return out
 }
 
-// evalSpan summarizes an evaluation as a span over the evaluated program.
-func evalSpan(p *ast.Program, wall time.Duration) obsv.Span {
+// evalStart marks the start of an evaluation. Allocation counters are
+// sampled only for traced runs: ReadMemStats briefly stops the world, and
+// untraced server queries should not pay that per request.
+func evalStart(traced bool) stageStart {
+	if traced {
+		return startStage()
+	}
+	return stageStart{t: time.Now()}
+}
+
+// evalSpan summarizes an evaluation as a span over the evaluated program,
+// including the allocation delta when start sampled the heap counters.
+func evalSpan(p *ast.Program, start stageStart, wall time.Duration, traced bool) obsv.Span {
 	n, a := len(p.Rules), maxIDBArity(p)
-	return obsv.Span{Name: "eval", Wall: wall,
+	sp := obsv.Span{Name: "eval", Wall: wall,
 		RulesBefore: n, RulesAfter: n, ArityBefore: a, ArityAfter: a}
+	if traced {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		sp.Allocs = ms.Mallocs - start.mallocs
+		sp.AllocBytes = ms.TotalAlloc - start.bytes
+	}
+	return sp
 }
 
 // Run evaluates one strategy over db. The db is mutated (derived relations
@@ -396,9 +446,9 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 		if s == Naive {
 			evalOpts.Strategy = engine.Naive
 		}
-		start := time.Now()
+		start := evalStart(evalOpts.Trace)
 		res, err := engine.Eval(pl.Program, db, evalOpts)
-		wall := time.Since(start)
+		wall := time.Since(start.t)
 		if err != nil {
 			return nil, err
 		}
@@ -414,12 +464,13 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 			Iterations:  res.Stats.Iterations,
 			MaxIDBArity: maxIDBArity(pl.Program),
 			Program:     pl.Program,
-			Spans:       []obsv.Span{evalSpan(pl.Program, wall)},
+			Spans:       []obsv.Span{evalSpan(pl.Program, start, wall, evalOpts.Trace)},
 			Rules:       res.Stats.Rules,
 			Rounds:      res.Stats.Rounds,
 			Strata:      res.Stats.Strata,
 			Workers:     res.Stats.Workers,
 			EvalWall:    wall,
+			Storage:     db.StorageStats(),
 		}, nil
 
 	case Magic:
@@ -459,9 +510,9 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 		return pl.runTransformed(s, c.Program, c.Query, db, evalOpts)
 
 	case Tabled:
-		start := time.Now()
+		start := evalStart(false)
 		res, err := topdown.SolveTabled(pl.Program, db, pl.Query, topdown.Options{})
-		wall := time.Since(start)
+		wall := time.Since(start.t)
 		if err != nil {
 			return nil, err
 		}
@@ -478,8 +529,9 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 			Iterations:  res.Stats.Rounds,
 			MaxIDBArity: maxIDBArity(pl.Program),
 			Program:     pl.Program,
-			Spans:       []obsv.Span{evalSpan(pl.Program, wall)},
+			Spans:       []obsv.Span{evalSpan(pl.Program, start, wall, false)},
 			EvalWall:    wall,
+			Storage:     db.StorageStats(),
 		}, nil
 
 	case TopDown:
@@ -488,12 +540,12 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 		// cyclic data. Substitutions grow with depth, so a deep dive costs
 		// O(depth^2) live map entries — keep the cap moderate. A budget
 		// error makes Compare report the strategy as unavailable.
-		start := time.Now()
+		start := evalStart(false)
 		res, err := topdown.Solve(pl.Program, db, pl.Query, topdown.Options{
 			MaxDepth: 1000,
 			MaxSteps: 5_000_000,
 		})
-		wall := time.Since(start)
+		wall := time.Since(start.t)
 		if err != nil {
 			return nil, err
 		}
@@ -510,8 +562,9 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 			Iterations:  res.Stats.MaxDepthSeen,
 			MaxIDBArity: maxIDBArity(pl.Program),
 			Program:     pl.Program,
-			Spans:       []obsv.Span{evalSpan(pl.Program, wall)},
+			Spans:       []obsv.Span{evalSpan(pl.Program, start, wall, false)},
 			EvalWall:    wall,
+			Storage:     db.StorageStats(),
 		}, nil
 
 	default:
@@ -521,9 +574,9 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 
 func (pl *Pipeline) runTransformed(s Strategy, prog *ast.Program, query ast.Atom,
 	db *engine.DB, evalOpts engine.Options) (*RunResult, error) {
-	start := time.Now()
+	start := evalStart(evalOpts.Trace)
 	res, err := engine.Eval(prog, db, evalOpts)
-	wall := time.Since(start)
+	wall := time.Since(start.t)
 	if err != nil {
 		return nil, err
 	}
@@ -539,12 +592,13 @@ func (pl *Pipeline) runTransformed(s Strategy, prog *ast.Program, query ast.Atom
 		Iterations:  res.Stats.Iterations,
 		MaxIDBArity: maxIDBArity(prog),
 		Program:     prog,
-		Spans:       append(pl.spansFor(s), evalSpan(prog, wall)),
+		Spans:       append(pl.spansFor(s), evalSpan(prog, start, wall, evalOpts.Trace)),
 		Rules:       res.Stats.Rules,
 		Rounds:      res.Stats.Rounds,
 		Strata:      res.Stats.Strata,
 		Workers:     res.Stats.Workers,
 		EvalWall:    wall,
+		Storage:     db.StorageStats(),
 	}, nil
 }
 
@@ -660,6 +714,10 @@ func ProfileTable(r *RunResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "strategy: %s (eval wall %s)\n",
 		r.Strategy, obsv.FormatDuration(r.EvalWall))
+	if r.Storage.Relations > 0 {
+		b.WriteString(obsv.StorageLine(r.Storage))
+		b.WriteByte('\n')
+	}
 	b.WriteString(obsv.SpanTable(r.Spans))
 	if len(r.Rules) > 0 {
 		b.WriteByte('\n')

@@ -122,7 +122,7 @@ const DefaultPlanCacheLimit = 1024
 type PlanCache struct {
 	mu        sync.Mutex
 	limit     int
-	order     *list.List                 // *lruSlot, most recently used first
+	order     *list.List // *lruSlot, most recently used first
 	entries   map[cacheID]*list.Element
 	hits      int64
 	misses    int64

@@ -209,7 +209,8 @@ func (s *solver) edbTuples(pred string, arity int) [][]ast.Term {
 	}
 	var out [][]ast.Term
 	if rel := s.db.Lookup(pred); rel != nil && rel.Arity() == arity {
-		for _, tuple := range rel.Tuples() {
+		for pos := int32(0); pos < int32(rel.Len()); pos++ {
+			tuple := rel.Tuple(pos)
 			args := make([]ast.Term, len(tuple))
 			for i, v := range tuple {
 				args[i] = s.db.Store.ToAST(v)
