@@ -8,15 +8,23 @@
 // Usage:
 //
 //	factorlogd -program file.dl [-addr :8080] [-edb file] [-constraints file]
-//	           [-strategy magic] [-workers N] [-budget N] [-timeout 10s]
+//	           [-strategy magic] [-workers N] [-budget N] [-max-bytes N]
+//	           [-timeout 10s] [-max-concurrency N] [-max-queue N]
 //	           [-pprof-addr :6060]
 //
 // Endpoints:
 //
-//	GET  /query?q=t(5,Y)[&strategy=S][&workers=N][&timeout_ms=T]
+//	GET  /query?q=t(5,Y)[&strategy=S][&workers=N][&timeout_ms=T][&max_bytes=N]
 //	POST /query    {"query":"t(5,Y)","strategy":"magic","workers":4,"timeout_ms":1000}
-//	GET  /healthz  liveness + program fingerprint
-//	GET  /metrics  plan-cache and latency metrics (JSON; ?format=text for tables)
+//	GET  /healthz  liveness + program fingerprint (200 even while draining)
+//	GET  /readyz   readiness: 200 after warmup, 503 while warming up or draining
+//	GET  /metrics  plan-cache, latency, and resilience metrics (JSON; ?format=text)
+//
+// Overload and shutdown behave predictably (see docs/RESILIENCE.md): every
+// query passes a weighted admission limiter (weight = its worker count) and
+// is shed with 429 + Retry-After when the bounded wait queue is full; on
+// SIGINT/SIGTERM the server flips /readyz to 503, refuses new admissions,
+// and cancels in-flight evaluations, which answer a typed draining 503.
 //
 // Each request evaluates against a fresh copy of the loaded EDB, bounded by
 // the request's context: the client disconnecting or the per-request
@@ -54,7 +62,10 @@ func run(args []string) error {
 	strategyName := fs.String("strategy", "magic", "default evaluation strategy")
 	workers := fs.Int("workers", 1, "default evaluation workers (>1 = parallel stratified semi-naive)")
 	budget := fs.Int("budget", 0, "max derived facts per query (0 = unlimited)")
+	maxBytes := fs.Int64("max-bytes", 0, "max arena+index bytes per query evaluation (0 = unlimited)")
 	timeout := fs.Duration("timeout", 10*time.Second, "default per-request evaluation timeout (0 = none)")
+	maxConcurrency := fs.Int64("max-concurrency", 0, "admission capacity in worker-weight units (0 = 8x default workers)")
+	maxQueue := fs.Int("max-queue", 64, "admission wait-queue length before shedding with 429")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,10 +95,13 @@ func run(args []string) error {
 	}
 
 	srv, err := newServer(string(src), constraints, config{
-		strategy: *strategyName,
-		workers:  *workers,
-		budget:   *budget,
-		timeout:  *timeout,
+		strategy:       *strategyName,
+		workers:        *workers,
+		budget:         *budget,
+		maxBytes:       *maxBytes,
+		timeout:        *timeout,
+		maxConcurrency: *maxConcurrency,
+		maxQueue:       *maxQueue,
 	})
 	if err != nil {
 		return err
@@ -119,7 +133,12 @@ func run(args []string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "factorlogd: shutting down")
+		// Drain before Shutdown: flip /readyz, refuse new admissions, and
+		// cancel in-flight evaluations so their handlers answer typed 503s
+		// well inside the shutdown timeout instead of evaluating to the bitter
+		// end and tripping the 5s axe.
+		fmt.Fprintln(os.Stderr, "factorlogd: draining and shutting down")
+		srv.beginDrain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		return httpSrv.Shutdown(shutdownCtx)

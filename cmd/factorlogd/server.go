@@ -18,12 +18,23 @@ import (
 	"factorlog/internal/obsv"
 	"factorlog/internal/parser"
 	"factorlog/internal/pipeline"
+	"factorlog/internal/resilience"
 )
 
 // metricsSchema names the /metrics document layout; v1/v2 are factorbench
 // evaluation-metrics schemas, v3 lacked storage_high_water and per-span
-// allocation counters.
-const metricsSchema = "factorlog/metrics/v4"
+// allocation counters, v4 lacked the resilience block (admission, panics,
+// degradations, memory-budget stops, drains).
+const metricsSchema = "factorlog/metrics/v5"
+
+// errDraining is the cancel cause propagated into in-flight evaluations
+// when shutdown begins; handlers translate it to a typed 503 body.
+var errDraining = errors.New("server draining")
+
+// retryAfterSeconds is the Retry-After hint on 429 (shed/queue-timeout) and
+// 503 (draining) responses. Queries are short; one second is enough for the
+// limiter to turn over without clients hammering the queue.
+const retryAfterSeconds = 1
 
 // statusClientClosedRequest is the de-facto code (nginx) for "the client
 // went away before we could answer"; no standard code fits.
@@ -39,6 +50,29 @@ type config struct {
 	workers  int
 	budget   int
 	timeout  time.Duration
+	// maxBytes caps each evaluation's arena+index footprint
+	// (engine.Options.MaxBytes); 0 = unlimited.
+	maxBytes int64
+	// maxConcurrency is the admission limiter's capacity in weight units
+	// (one unit per evaluation worker); <= 0 derives a default from workers.
+	maxConcurrency int64
+	// maxQueue bounds the admission wait queue; beyond it requests are shed
+	// with 429.
+	maxQueue int
+}
+
+// limiterCapacity derives the admission capacity: explicit when configured,
+// otherwise enough weight for 8 default-shaped queries to run concurrently
+// (each query weighs its effective worker count).
+func (c config) limiterCapacity() int64 {
+	if c.maxConcurrency > 0 {
+		return c.maxConcurrency
+	}
+	w := int64(c.workers)
+	if w < 1 {
+		w = 1
+	}
+	return 8 * w
 }
 
 // server holds the immutable program state shared by all requests and the
@@ -56,12 +90,29 @@ type server struct {
 	timeout     time.Duration
 	start       time.Time
 
+	// limiter is the /query admission gate; each request acquires weight
+	// equal to its effective worker count before touching the evaluator.
+	limiter *resilience.Limiter
+
+	// ready flips true once warmup finishes; draining flips true when
+	// shutdown begins. /readyz reports ready && !draining.
+	ready    atomic.Bool
+	draining atomic.Bool
+	// evalCtx is canceled (cause errDraining) by beginDrain, aborting every
+	// in-flight evaluation at its next round boundary.
+	evalCtx    context.Context
+	evalCancel context.CancelCauseFunc
+
 	inflight  atomic.Int64
 	mu        sync.Mutex // guards the obsv records below
 	queries   int64
 	errors    int64
 	latency   map[string]*obsv.Histogram
 	storageHW obsv.StorageStats // heaviest per-request storage footprint
+	panics    int64             // ErrInternal responses (recovered panics)
+	degraded  int64             // parallel→sequential fallbacks that succeeded
+	memStops  int64             // ErrMemoryBudget responses
+	drained   int64             // requests refused or aborted by shutdown
 }
 
 func newServer(src, constraints string, cfg config) (*server, error) {
@@ -87,6 +138,7 @@ func newServer(src, constraints string, cfg config) (*server, error) {
 		return nil, err
 	}
 	prog := u.Program()
+	evalCtx, evalCancel := context.WithCancelCause(context.Background())
 	return &server{
 		prog:        prog,
 		hash:        pipeline.HashProgram(prog, tgds),
@@ -98,11 +150,25 @@ func newServer(src, constraints string, cfg config) (*server, error) {
 		defOpts: engine.Options{
 			Workers:  cfg.workers,
 			MaxFacts: cfg.budget,
+			MaxBytes: cfg.maxBytes,
 		},
-		timeout: cfg.timeout,
-		start:   time.Now(),
-		latency: map[string]*obsv.Histogram{},
+		timeout:    cfg.timeout,
+		start:      time.Now(),
+		limiter:    resilience.NewLimiter(cfg.limiterCapacity(), cfg.maxQueue),
+		evalCtx:    evalCtx,
+		evalCancel: evalCancel,
+		latency:    map[string]*obsv.Histogram{},
 	}, nil
+}
+
+// beginDrain starts shutdown: /readyz flips not-ready, the admission
+// limiter refuses new work, and every in-flight evaluation is canceled
+// with cause errDraining so handlers answer a typed 503 instead of holding
+// the shutdown timeout hostage.
+func (s *server) beginDrain() {
+	s.draining.Store(true)
+	s.limiter.Close()
+	s.evalCancel(errDraining)
 }
 
 // warmup compiles a plan for every ?- query declared in the program file
@@ -112,10 +178,11 @@ func newServer(src, constraints string, cfg config) (*server, error) {
 func (s *server) warmup() []string {
 	var warns []string
 	for _, q := range s.declared {
-		if _, _, err := s.cache.Lookup(s.prog, s.hash, s.constraints, q, s.defStrategy); err != nil {
+		if _, _, err := s.cache.Lookup(context.Background(), s.prog, s.hash, s.constraints, q, s.defStrategy); err != nil {
 			warns = append(warns, fmt.Sprintf("%s: %v", q, err))
 		}
 	}
+	s.ready.Store(true)
 	return warns
 }
 
@@ -123,6 +190,7 @@ func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -134,6 +202,7 @@ type queryRequest struct {
 	Workers   int    `json:"workers,omitempty"`
 	Budget    int    `json:"budget,omitempty"`
 	TimeoutMS int    `json:"timeout_ms,omitempty"`
+	MaxBytes  int64  `json:"max_bytes,omitempty"`
 }
 
 // queryResponse is the /query output.
@@ -148,10 +217,17 @@ type queryResponse struct {
 	PlanCache   string   `json:"plan_cache"` // "hit" or "miss"
 	EvalWallNS  int64    `json:"eval_wall_ns"`
 	TotalWallNS int64    `json:"total_wall_ns"`
+	// Degraded is set when a parallel worker panicked and the answers come
+	// from the automatic sequential retry.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Draining marks the typed 503 body sent while the server shuts down.
+	Draining bool `json:"draining,omitempty"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429/503 bodies.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
 }
 
 func decodeQueryRequest(w http.ResponseWriter, r *http.Request) (queryRequest, error) {
@@ -171,6 +247,13 @@ func decodeQueryRequest(w http.ResponseWriter, r *http.Request) (queryRequest, e
 				}
 				*dst = n
 			}
+		}
+		if v := q.Get("max_bytes"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return req, fmt.Errorf("bad max_bytes: %v", err)
+			}
+			req.MaxBytes = n
 		}
 	case http.MethodPost:
 		r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
@@ -231,9 +314,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// A draining server refuses new queries outright; anything admitted now
+	// would only be canceled moments later.
+	if s.draining.Load() {
+		s.failDraining(w, strategy.String())
+		return
+	}
+
 	// The request context bounds the whole evaluation: client disconnects
-	// cancel it, and the per-request timeout (request override, else server
-	// default) adds a deadline.
+	// cancel it, the per-request timeout (request override, else server
+	// default) adds a deadline, and beginDrain cancels it (via evalCtx) with
+	// cause errDraining when shutdown starts.
 	ctx := r.Context()
 	timeout := s.timeout
 	if req.TimeoutMS > 0 {
@@ -244,23 +335,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	ctx, cancelCause := context.WithCancelCause(ctx)
+	defer cancelCause(nil)
+	stopDrainWatch := context.AfterFunc(s.evalCtx, func() { cancelCause(errDraining) })
+	defer stopDrainWatch()
 
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
-
-	plan, hit, err := s.cache.Lookup(s.prog, s.hash, s.constraints, query, strategy)
-	if err != nil {
-		s.fail(w, strategy.String(), http.StatusUnprocessableEntity, err)
-		return
-	}
-
-	// Fresh EDB per request: evaluation derives into the DB, so sharing one
-	// across requests would leak one query's derivations into the next.
-	db := engine.NewDB()
-	if err := engine.LoadFacts(db, s.baseEDB); err != nil {
-		s.fail(w, strategy.String(), http.StatusInternalServerError, err)
-		return
-	}
 	opts := s.defOpts
 	opts.Context = ctx
 	if req.Workers > 0 {
@@ -269,13 +348,61 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Budget > 0 {
 		opts.MaxFacts = req.Budget
 	}
+	if req.MaxBytes > 0 {
+		opts.MaxBytes = req.MaxBytes
+	}
 
-	res, err := plan.Run(db, opts)
+	// Admission: a request weighs its effective worker count, so one
+	// 8-worker query consumes as much admission capacity as eight sequential
+	// ones. Overload sheds with 429 + Retry-After instead of queueing
+	// goroutines without bound.
+	weight := int64(opts.Workers)
+	release, err := s.limiter.Acquire(ctx, weight)
 	if err != nil {
-		s.fail(w, strategy.String(), statusForError(err), err)
+		switch {
+		case errors.Is(err, resilience.ErrLimiterClosed):
+			s.failDraining(w, strategy.String())
+		case errors.Is(err, resilience.ErrQueueWait) && errors.Is(context.Cause(ctx), errDraining):
+			s.failDraining(w, strategy.String())
+		default:
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			s.observe(strategy.String(), 0, err)
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{
+				Error: err.Error(), RetryAfterSeconds: retryAfterSeconds,
+			})
+		}
+		return
+	}
+	defer release()
+
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	plan, hit, err := s.cache.Lookup(ctx, s.prog, s.hash, s.constraints, query, strategy)
+	if err != nil {
+		s.failEval(w, ctx, strategy.String(), compileStatus(err), err)
 		return
 	}
 
+	// Fresh EDB per request: evaluation derives into the DB, so sharing one
+	// across requests would leak one query's derivations into the next.
+	db := engine.NewDB()
+	if err := engine.LoadFacts(db, s.baseEDB); err != nil {
+		s.failEval(w, ctx, strategy.String(), statusForError(err), err)
+		return
+	}
+
+	res, err := plan.Run(db, opts)
+	if err != nil {
+		s.failEval(w, ctx, strategy.String(), statusForError(err), err)
+		return
+	}
+
+	if res.Degraded {
+		s.mu.Lock()
+		s.degraded++
+		s.mu.Unlock()
+	}
 	total := time.Since(start)
 	s.observe(strategy.String(), total, nil)
 	s.observeStorage(res.Storage)
@@ -290,6 +417,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		PlanCache:   cacheLabel(hit),
 		EvalWallNS:  res.EvalWall.Nanoseconds(),
 		TotalWallNS: total.Nanoseconds(),
+		Degraded:    res.Degraded,
 	})
 }
 
@@ -306,13 +434,26 @@ func statusForError(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, engine.ErrCanceled):
 		return statusClientClosedRequest
-	case errors.Is(err, engine.ErrBudgetExceeded):
+	case errors.Is(err, engine.ErrBudgetExceeded), errors.Is(err, engine.ErrMemoryBudget):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, engine.ErrBadOptions):
 		return http.StatusBadRequest
+	case errors.Is(err, engine.ErrInternal):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// compileStatus maps plan-compile failures: the engine's typed transient
+// errors keep their statusForError mapping, while permanent refutations
+// (non-factorable program, bad adornment) are the client's problem — 422.
+func compileStatus(err error) int {
+	status := statusForError(err)
+	if status == http.StatusInternalServerError && !errors.Is(err, engine.ErrInternal) {
+		status = http.StatusUnprocessableEntity
+	}
+	return status
 }
 
 // fail records an errored query (when it reached evaluation, strategy is
@@ -320,6 +461,38 @@ func statusForError(err error) int {
 func (s *server) fail(w http.ResponseWriter, strategy string, status int, err error) {
 	s.observe(strategy, 0, err)
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// failEval handles compile/evaluation failures: a cancellation caused by
+// shutdown becomes the typed draining 503 (the client did nothing wrong and
+// should retry elsewhere); everything else keeps its mapped status. Panic
+// and memory-budget failures feed the resilience counters.
+func (s *server) failEval(w http.ResponseWriter, ctx context.Context, strategy string, status int, err error) {
+	if errors.Is(err, engine.ErrCanceled) && errors.Is(context.Cause(ctx), errDraining) {
+		s.failDraining(w, strategy)
+		return
+	}
+	s.mu.Lock()
+	if errors.Is(err, engine.ErrInternal) {
+		s.panics++
+	}
+	if errors.Is(err, engine.ErrMemoryBudget) {
+		s.memStops++
+	}
+	s.mu.Unlock()
+	s.fail(w, strategy, status, err)
+}
+
+// failDraining writes the typed 503 shutdown response.
+func (s *server) failDraining(w http.ResponseWriter, strategy string) {
+	s.mu.Lock()
+	s.drained++
+	s.mu.Unlock()
+	s.observe(strategy, 0, errDraining)
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error: errDraining.Error(), Draining: true, RetryAfterSeconds: retryAfterSeconds,
+	})
 }
 
 // observe folds one finished request into the metrics; latency is recorded
@@ -352,6 +525,10 @@ func (s *server) observeStorage(st obsv.StorageStats) {
 	}
 }
 
+// handleHealthz is pure liveness: the process is up and can answer HTTP.
+// It stays 200 during drain — restarting a deliberately-draining process
+// because its health check "failed" would defeat graceful shutdown. Routing
+// decisions belong to /readyz.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
@@ -360,6 +537,26 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"rules":          len(s.prog.Rules),
 		"base_facts":     len(s.baseEDB),
 	})
+}
+
+// handleReadyz is readiness: 200 only after warmup has filled the plan
+// cache and before drain begins, so load balancers stop routing here the
+// moment shutdown starts.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining", "ready": false,
+		})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "warming up", "ready": false,
+		})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ready", "ready": true,
+		})
+	}
 }
 
 // snapshot builds the ServerStats document under the metrics lock,
@@ -382,6 +579,13 @@ func (s *server) snapshot() obsv.ServerStats {
 		PlanCache:        s.cache.Stats(),
 		Latency:          latency,
 		StorageHighWater: s.storageHW,
+		Resilience: obsv.ResilienceStats{
+			Admission:         s.limiter.Stats(),
+			Panics:            s.panics,
+			Degraded:          s.degraded,
+			MemoryBudgetStops: s.memStops,
+			Drained:           s.drained,
+		},
 	}
 }
 

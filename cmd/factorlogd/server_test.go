@@ -38,6 +38,13 @@ n(f(X)) :- n(X).
 
 func testServer(t *testing.T, src string, cfg config) (*server, *httptest.Server) {
 	t.Helper()
+	// Tests that don't configure admission get a limiter wide enough to
+	// never interfere; admission-specific tests set maxConcurrency
+	// explicitly to exercise queueing and shedding.
+	if cfg.maxConcurrency == 0 {
+		cfg.maxConcurrency = 1024
+		cfg.maxQueue = 256
+	}
 	s, err := newServer(src, "", cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -88,6 +88,19 @@ var ErrDeadlineExceeded = engine.ErrDeadlineExceeded
 // are invalid (e.g. a negative WithWorkers count); test with errors.Is.
 var ErrBadOptions = engine.ErrBadOptions
 
+// ErrMemoryBudget is returned (wrapped) by Run when an evaluation's storage
+// footprint (tuple arenas + hash indexes) exceeds the WithMemoryBudget
+// bound; test with errors.Is. It is distinct from ErrBudgetExceeded, which
+// governs derivation counts, not bytes.
+var ErrMemoryBudget = engine.ErrMemoryBudget
+
+// ErrInternal is returned (wrapped) by Run when evaluation or plan
+// compilation panicked and the engine's recovery barrier converted the
+// panic to an error; the process survives, the run's DB should be
+// discarded. Test with errors.Is; the stack is reachable via
+// errors.As(*engine.PanicError).
+var ErrInternal = engine.ErrInternal
+
 // RuleStats, RoundStats, StratumStats, WorkerStats, Span and StorageStats
 // re-export the observability record types; see package obsv for field
 // documentation.
@@ -154,6 +167,14 @@ func (s *System) WithConstraints(src string) (*System, error) {
 func (s *System) WithBudget(maxIterations, maxFacts int) *System {
 	s.evalOpts.MaxIterations = maxIterations
 	s.evalOpts.MaxFacts = maxFacts
+	return s
+}
+
+// WithMemoryBudget bounds each evaluation's storage footprint — tuple
+// arenas plus hash indexes, in bytes — checked at round boundaries
+// (0 means unlimited). Overruns surface as ErrMemoryBudget.
+func (s *System) WithMemoryBudget(maxBytes int64) *System {
+	s.evalOpts.MaxBytes = maxBytes
 	return s
 }
 
@@ -267,6 +288,9 @@ type Result struct {
 	// Storage is the database's storage shape after evaluation: tuple-arena
 	// and hash-index bytes plus table load factors.
 	Storage StorageStats
+	// Degraded reports that a parallel run (WithWorkers > 1) lost a worker
+	// to a panic and the answers come from the automatic sequential retry.
+	Degraded bool
 
 	raw *pipeline.RunResult
 }
@@ -311,6 +335,7 @@ func newResult(r *pipeline.RunResult) *Result {
 		Workers:     r.Workers,
 		EvalWall:    r.EvalWall,
 		Storage:     r.Storage,
+		Degraded:    r.Degraded,
 		raw:         r,
 	}
 }

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"factorlog/internal/faultinject"
+	"factorlog/internal/parser"
+)
+
+// TestChaos is the deterministic chaos suite: with every injection point
+// armed at seed-derived rates, evaluations across all worker counts must
+// (1) never crash the process — every failure is a typed error, (2) never
+// deadlock — the suite finishing is the assertion, bounded by go test's
+// timeout, and (3) produce exactly the baseline answers whenever they
+// succeed, whether or not faults fired along the way (success after a
+// worker panic means the sequential retry completed the fixpoint).
+//
+// Seeds are fixed so CI failures reproduce exactly: the per-point firing
+// period is a pure function of (seed, point) and the call counters.
+func TestChaos(t *testing.T) {
+	const n = 20
+	baseline, err := tcAnswerSet(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseAtom("t(X, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allPoints := []faultinject.Point{
+		faultinject.ArenaGrow, faultinject.WorkerStart, faultinject.IndexProbe,
+		faultinject.PlanCompile, faultinject.ContextCheck,
+	}
+	seeds := []uint64{1, 2, 3, 42, 12345}
+	workerCounts := []int{1, 2, 4, 8}
+
+	for _, seed := range seeds {
+		for _, maxPeriod := range []uint64{25, 400} {
+			t.Run(fmt.Sprintf("seed=%d period<=%d", seed, maxPeriod), func(t *testing.T) {
+				// Build every EDB before arming: fact loading here is test
+				// setup, not the system under test.
+				dbs := make([]*DB, len(workerCounts))
+				for i := range workerCounts {
+					dbs[i] = chainDB(n)
+				}
+				disable := faultinject.Enable(faultinject.Config{
+					Seed: seed, MaxPeriod: maxPeriod, Points: allPoints,
+				})
+				defer disable()
+
+				for i, workers := range workerCounts {
+					firedBefore := faultinject.TotalFired()
+					res, err := Eval(tcProgram(), dbs[i], Options{Workers: workers})
+					if err != nil {
+						// Never-crash: the only acceptable failure is the
+						// typed internal error from a recovery barrier.
+						if !errors.Is(err, ErrInternal) {
+							t.Fatalf("workers=%d: untyped failure %v", workers, err)
+						}
+						var pe *PanicError
+						if !errors.As(err, &pe) || len(pe.Stack) == 0 {
+							t.Fatalf("workers=%d: internal error without stack: %v", workers, err)
+						}
+						continue
+					}
+					// Success must mean correct answers — even when faults
+					// fired and the run degraded to the sequential retry.
+					got, aerr := AnswerSet(dbs[i], q)
+					if aerr != nil {
+						t.Fatalf("workers=%d: answer read-back: %v", workers, aerr)
+					}
+					if !sameSet(got, baseline) {
+						t.Fatalf("workers=%d (degraded=%v, fired=%d): %d answers, want %d",
+							workers, res.Stats.Degraded, faultinject.TotalFired()-firedBefore,
+							len(got), len(baseline))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosDisabledDifferential pins the harness-off invariant the chaos
+// suite's baseline rests on: with injection disabled, every worker count
+// agrees with the sequential evaluator exactly.
+func TestChaosDisabledDifferential(t *testing.T) {
+	if faultinject.Enabled() {
+		t.Fatal("harness armed at test start")
+	}
+	baseline, err := tcAnswerSet(20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := tcAnswerSet(20, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !sameSet(got, baseline) {
+			t.Errorf("workers=%d: answers differ from sequential baseline", workers)
+		}
+	}
+}

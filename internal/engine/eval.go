@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"factorlog/internal/ast"
+	"factorlog/internal/faultinject"
 	"factorlog/internal/obsv"
 )
 
@@ -61,14 +62,22 @@ var ErrCanceled = errors.New("evaluation canceled")
 // ErrCanceled. Callers test with errors.Is.
 var ErrDeadlineExceeded = errors.New("evaluation deadline exceeded")
 
+// ErrMemoryBudget is returned (wrapped) when the database's storage
+// footprint (tuple arenas + hash indexes, the same accounting
+// DB.StorageStats reports) exceeds Options.MaxBytes. It is checked at
+// round boundaries, so one round of overshoot is possible; see
+// docs/RESILIENCE.md for the sizing rationale. Callers test with errors.Is.
+var ErrMemoryBudget = errors.New("evaluation memory budget exceeded")
+
 // ErrBadOptions is returned by Eval when Options carry values outside their
-// domain (negative Workers, MaxIterations, or MaxFacts). Callers test with
-// errors.Is.
+// domain (negative Workers, MaxIterations, MaxFacts, or MaxBytes). Callers
+// test with errors.Is.
 var ErrBadOptions = errors.New("engine: invalid options")
 
 // contextErr maps ctx's terminal state to the engine's typed errors; it
 // returns nil while ctx is live (or nil).
 func contextErr(ctx context.Context) error {
+	faultinject.Hit(faultinject.ContextCheck)
 	if ctx == nil {
 		return nil
 	}
@@ -107,6 +116,12 @@ type Options struct {
 	MaxIterations int
 	// MaxFacts bounds the total number of derived facts; 0 means unlimited.
 	MaxFacts int
+	// MaxBytes bounds the database's storage footprint (tuple arenas plus
+	// hash indexes, as DB.StorageStats accounts them) during evaluation; 0
+	// means unlimited. The bound is enforced at round boundaries, so an
+	// evaluation may overshoot by at most one round's derivations before
+	// failing with ErrMemoryBudget.
+	MaxBytes int64
 	// Provenance records one derivation per fact (Definition 2.1 trees).
 	Provenance bool
 	// ReorderJoins lets the compiler greedily reorder body literals so the
@@ -133,6 +148,22 @@ func (o Options) validate() error {
 	if o.MaxFacts < 0 {
 		return fmt.Errorf("%w: MaxFacts = %d (want >= 0)", ErrBadOptions, o.MaxFacts)
 	}
+	if o.MaxBytes < 0 {
+		return fmt.Errorf("%w: MaxBytes = %d (want >= 0)", ErrBadOptions, o.MaxBytes)
+	}
+	return nil
+}
+
+// memBudgetErr checks db's storage footprint against maxBytes (0 = no
+// bound); both evaluators call it at round boundaries.
+func memBudgetErr(db *DB, maxBytes int64) error {
+	if maxBytes <= 0 {
+		return nil
+	}
+	st := db.StorageStats()
+	if used := st.ArenaBytes + st.IndexBytes; used > maxBytes {
+		return fmt.Errorf("%w: %d bytes in arenas+indexes > MaxBytes %d", ErrMemoryBudget, used, maxBytes)
+	}
 	return nil
 }
 
@@ -156,6 +187,11 @@ type Stats struct {
 	// Workers holds one record per evaluation worker; nil unless
 	// Options.Trace under parallel evaluation (Workers > 1).
 	Workers []obsv.WorkerStats
+	// Degraded reports that a parallel evaluation hit a worker panic and
+	// the result was produced by the sequential retry. Derived counts only
+	// the retry's insertions (facts merged before the panic are already in
+	// the DB), so it may undercount relative to a clean run.
+	Degraded bool
 }
 
 // Result is the outcome of an evaluation. The DB passed to Eval is mutated
@@ -168,17 +204,53 @@ type Result struct {
 
 // Eval computes the least fixpoint of program p over db (which supplies the
 // EDB and receives all derived facts).
+//
+// Panic isolation: compilation and both evaluators run behind recover
+// barriers, so a panic in engine code (or injected via
+// internal/faultinject) fails this evaluation with a *PanicError wrapping
+// ErrInternal instead of killing the process. A panic inside a parallel
+// worker degrades gracefully: the evaluation is retried once sequentially
+// over the same DB (every fact merged before the panic is a true fact, and
+// the retry re-seeds the fixpoint from the full database) before failing.
+// On any error the DB's contents are valid but incomplete; discard them.
 func Eval(p *ast.Program, db *DB, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	rules, err := compileProgram(p, db.Store, opts.ReorderJoins)
+	rules, err := compileRulesGuarded(p, db.Store, opts.ReorderJoins)
 	if err != nil {
 		return nil, err
 	}
 	if opts.Workers > 1 && opts.Strategy == SemiNaive && !opts.Provenance {
-		return evalParallel(p, db, rules, opts)
+		res, err := evalParallelGuarded(p, db, rules, opts)
+		if err == nil || !workerPanicked(err) {
+			return res, err
+		}
+		// Graceful degradation: round stamps left by the parallel rounds
+		// are meaningless to a fresh fixpoint, so zero them (everything
+		// already derived becomes base state) and re-run sequentially.
+		db.resetRounds()
+		res, err = evalSequentialGuarded(p, db, rules, opts)
+		if res != nil {
+			res.Stats.Degraded = true
+		}
+		return res, err
 	}
+	return evalSequentialGuarded(p, db, rules, opts)
+}
+
+// compileRulesGuarded runs rule compilation behind a recover barrier: a
+// compiler panic becomes a typed *PanicError instead of unwinding into the
+// caller's process.
+func compileRulesGuarded(p *ast.Program, store *Store, reorder bool) (rules []*compiledRule, err error) {
+	defer recoverTo("compile", &err)
+	return compileProgram(p, store, reorder)
+}
+
+// evalSequentialGuarded runs the sequential evaluator behind a recover
+// barrier.
+func evalSequentialGuarded(p *ast.Program, db *DB, rules []*compiledRule, opts Options) (res *Result, err error) {
+	defer recoverTo("eval", &err)
 	ev := &evaluator{
 		db:    db,
 		rules: rules,
@@ -202,6 +274,16 @@ func Eval(p *ast.Program, db *DB, opts Options) (*Result, error) {
 		ev.stats.Rounds = ev.trace.rounds
 	}
 	return &Result{DB: db, Stats: ev.stats, Prov: ev.prov}, nil
+}
+
+// evalParallelGuarded runs the parallel coordinator behind a recover
+// barrier. Worker goroutines carry their own barriers (a worker panic
+// surfaces as a *PanicError with Where "worker", the degradation trigger);
+// this one catches panics on the coordinator itself — merge inserts, index
+// builds, scheduling.
+func evalParallelGuarded(p *ast.Program, db *DB, rules []*compiledRule, opts Options) (res *Result, err error) {
+	defer recoverTo("parallel", &err)
+	return evalParallel(p, db, rules, opts)
 }
 
 const noLimit = int32(math.MaxInt32)
@@ -358,6 +440,9 @@ func (ev *evaluator) run() error {
 		if err := contextErr(ev.ctx); err != nil {
 			return err
 		}
+		if err := memBudgetErr(ev.db, ev.opts.MaxBytes); err != nil {
+			return err
+		}
 		if ev.opts.MaxIterations > 0 && ev.stats.Iterations >= ev.opts.MaxIterations {
 			return fmt.Errorf("%w: %d iterations", ErrBudgetExceeded, ev.stats.Iterations)
 		}
@@ -387,7 +472,10 @@ func (ev *evaluator) run() error {
 		ev.traceRoundEnd()
 		ev.stats.Iterations++
 	}
-	return nil
+	// The loop checks the budget at round starts, which misses growth from
+	// a converging final round and from index builds when the fixpoint
+	// closes in round 0; one exit check covers both.
+	return memBudgetErr(ev.db, ev.opts.MaxBytes)
 }
 
 func total(m map[string]int) int {
@@ -664,8 +752,12 @@ func AnswerSet(db *DB, query ast.Atom) (map[string]bool, error) {
 	return out, nil
 }
 
-// LoadFacts interns and inserts ground atoms into db.
-func LoadFacts(db *DB, facts []ast.Atom) error {
+// LoadFacts interns and inserts ground atoms into db. Like Eval it runs
+// behind a recover barrier: servers load a fresh EDB per request, so a
+// panic during insertion (e.g. arena growth) must fail that one load as a
+// typed ErrInternal, not the process.
+func LoadFacts(db *DB, facts []ast.Atom) (err error) {
+	defer recoverTo("load", &err)
 	for _, f := range facts {
 		tuple := make([]Val, len(f.Args))
 		for i, t := range f.Args {

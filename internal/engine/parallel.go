@@ -10,6 +10,7 @@ import (
 
 	"factorlog/internal/ast"
 	"factorlog/internal/depgraph"
+	"factorlog/internal/faultinject"
 	"factorlog/internal/obsv"
 )
 
@@ -238,6 +239,10 @@ type parEvaluator struct {
 	workers   []*parWorker
 	ctx       context.Context // nil when the evaluation is unbounded
 	stop      atomic.Bool     // set by the context watcher; polled by workers
+	// panicked holds the first worker panic of the evaluation; the unit
+	// claim loop polls it so surviving workers stop scheduling new units
+	// once a sibling has died, and runRound reports it after the barrier.
+	panicked atomic.Pointer[PanicError]
 
 	// Trace state; all nil/unused unless Options.Trace.
 	trace      *evalTrace
@@ -457,9 +462,22 @@ func (ev *parEvaluator) runRound(units []workUnit) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Worker recover barrier: a panic in join/probe/buffer code
+			// kills this worker's unit loop, records the first panic for
+			// the coordinator, and lets the barrier complete — the process
+			// and the other evaluations it hosts survive.
+			defer func() {
+				if r := recover(); r != nil {
+					ev.panicked.CompareAndSwap(nil, newPanicError("worker", r))
+				}
+			}()
+			faultinject.Hit(faultinject.WorkerStart)
 			busyStart := time.Now()
 			for {
 				if pw.stop != nil && pw.stop.Load() {
+					break
+				}
+				if ev.panicked.Load() != nil {
 					break
 				}
 				i := int(next.Add(1)) - 1
@@ -492,15 +510,15 @@ func (ev *parEvaluator) runRound(units []workUnit) error {
 	}
 	wg.Wait()
 
-	// Canceled rounds produce partial buffers; report the typed context
-	// error instead of merging them.
+	// Panicked or canceled rounds produce partial buffers; discard them and
+	// report the typed error instead of merging. The worker panic takes
+	// precedence: it is what the caller must degrade or fail on.
+	if pe := ev.panicked.Load(); pe != nil {
+		ev.discardBuffers()
+		return pe
+	}
 	if err := contextErr(ev.ctx); err != nil {
-		for _, pw := range ev.workers {
-			pw.facts = pw.facts[:0]
-			pw.arena = pw.arena[:0]
-			pw.dedup.reset()
-			pw.inferences = 0
-		}
+		ev.discardBuffers()
 		return err
 	}
 
@@ -541,5 +559,19 @@ func (ev *parEvaluator) runRound(units []workUnit) error {
 	if ev.opts.MaxFacts > 0 && ev.stats.Derived > ev.opts.MaxFacts {
 		return fmt.Errorf("%w: %d derived facts", ErrBudgetExceeded, ev.stats.Derived)
 	}
-	return nil
+	// The merge is the parallel evaluator's round boundary: everything the
+	// round derived is now in the shared relations, so this is where the
+	// storage budget is enforceable.
+	return memBudgetErr(ev.db, ev.opts.MaxBytes)
+}
+
+// discardBuffers drops every worker's partial round state after a panic or
+// cancellation, so nothing half-derived reaches the database.
+func (ev *parEvaluator) discardBuffers() {
+	for _, pw := range ev.workers {
+		pw.facts = pw.facts[:0]
+		pw.arena = pw.arena[:0]
+		pw.dedup.reset()
+		pw.inferences = 0
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"factorlog/internal/faultinject"
 	"factorlog/internal/obsv"
 )
 
@@ -236,6 +237,12 @@ func (r *Relation) InsertRound(tuple []Val, round int32) bool {
 	if _, ok := r.present.lookup(r, h, tuple); ok {
 		return false
 	}
+	if len(r.arena)+len(tuple) > cap(r.arena) {
+		// The arena is about to reallocate — the moment storage failures
+		// surface. The injection point sits before any mutation, so a fired
+		// fault leaves the relation consistent.
+		faultinject.Hit(faultinject.ArenaGrow)
+	}
 	row := int32(len(r.rounds))
 	r.arena = append(r.arena, tuple...)
 	r.rounds = append(r.rounds, round)
@@ -286,6 +293,7 @@ func (r *Relation) ensureIndex(cols []int) *index {
 // mutating surface it is single-threaded; concurrent workers use
 // probeFrozen.
 func (r *Relation) Probe(cols []int, key []Val) []int32 {
+	faultinject.Hit(faultinject.IndexProbe)
 	ix := r.ensureIndex(cols)
 	if len(cols) != len(ix.cols) {
 		panic("engine: probe column count mismatch")
@@ -316,6 +324,7 @@ func (r *Relation) Probe(cols []int, key []Val) []int32 {
 // order) and the index must have been built up front from the rule's index
 // plan; probing an unplanned index is a scheduling bug and panics.
 func (r *Relation) probeFrozen(cols []int, key []Val) []int32 {
+	faultinject.Hit(faultinject.IndexProbe)
 	ix := r.indexes[colMask(cols)]
 	if ix == nil {
 		panic(fmt.Sprintf("engine: frozen probe of unplanned index %v", cols))
@@ -457,6 +466,19 @@ func (db *DB) StorageStats() obsv.StorageStats {
 		st.IndexLoad = indexSum / float64(indexN)
 	}
 	return st
+}
+
+// resetRounds zeroes every relation's insertion-round stamps, turning all
+// current facts into base state for a fresh fixpoint. Eval uses it before
+// the sequential retry after a parallel worker panic: the stamps left by
+// the aborted parallel rounds would otherwise fall outside the retry's
+// semi-naive delta windows and break completeness.
+func (db *DB) resetRounds() {
+	for _, r := range db.relations {
+		for i := range r.rounds {
+			r.rounds[i] = 0
+		}
+	}
 }
 
 // Clone returns a DB sharing the store but with independent relations.

@@ -1,0 +1,204 @@
+// Package faultinject is a deterministic, seed-driven fault-injection
+// harness for the engine's failure paths. Call sites name a Point and call
+// Hit at the moment the corresponding failure could occur; when the harness
+// is armed (Enable) and the point's schedule says so, Hit panics with a
+// *Fault, which the engine's panic-isolation barriers convert to a typed
+// engine.ErrInternal. When the harness is disarmed — the production state —
+// Hit is a single atomic load and a predicted branch, cheap enough to leave
+// in hot paths (see BenchmarkHitDisabled).
+//
+// Schedules are deterministic: Enable derives a per-point firing period
+// from Config.Seed with splitmix64, and each point fires on every Nth pass
+// through it, counted with an atomic counter shared by all goroutines. Two
+// runs that make the same sequence of Hit calls fire the same faults; under
+// concurrency the set of firing call-counts is still fixed by the seed even
+// though which goroutine draws the firing count is not.
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Point names an injection site. The catalog is small and stable — each
+// point marks one class of failure the resilience layer must survive.
+type Point uint8
+
+const (
+	// ArenaGrow fires when a relation's tuple arena is about to grow —
+	// the moment a real allocation failure or corruption would surface in
+	// storage (internal/engine.Relation.InsertRound).
+	ArenaGrow Point = iota
+	// WorkerStart fires as a parallel evaluation worker begins its unit
+	// loop (internal/engine.runRound), exercising worker-panic degradation.
+	WorkerStart
+	// IndexProbe fires on a frozen index probe (internal/engine
+	// Relation.probeFrozen), the parallel evaluator's hottest read path.
+	IndexProbe
+	// PlanCompile fires as the plan cache compiles a new plan
+	// (internal/pipeline.PlanCache), exercising compile-failure handling
+	// and the transient-error cache policy.
+	PlanCompile
+	// ContextCheck fires inside the engine's cancellation poll
+	// (internal/engine.contextErr), the path every bounded evaluation
+	// crosses at round boundaries.
+	ContextCheck
+
+	// NumPoints is the number of named points; keep it last.
+	NumPoints
+)
+
+var pointNames = [NumPoints]string{
+	ArenaGrow:    "arena-grow",
+	WorkerStart:  "worker-start",
+	IndexProbe:   "index-probe",
+	PlanCompile:  "plan-compile",
+	ContextCheck: "context-check",
+}
+
+func (p Point) String() string {
+	if p < NumPoints {
+		return pointNames[p]
+	}
+	return fmt.Sprintf("Point(%d)", uint8(p))
+}
+
+// Fault is the value an armed injection point panics with. The engine's
+// recover barriers detect it with errors.As after wrapping, or by type
+// assertion on the recovered value.
+type Fault struct {
+	// Point is the site that fired.
+	Point Point
+	// Call is the 1-based Hit count at which the point fired.
+	Call uint64
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faultinject: injected fault at %s (call %d)", f.Point, f.Call)
+}
+
+// Config selects a deterministic schedule.
+type Config struct {
+	// Seed drives the per-point firing periods. The same seed always
+	// produces the same schedule.
+	Seed uint64
+	// MaxPeriod bounds the derived firing periods: each armed point fires
+	// every 1..MaxPeriod calls (seed-chosen). 0 defaults to 64. Smaller
+	// values fire more often.
+	MaxPeriod uint64
+	// Points, when non-empty, arms only the listed points; empty arms all.
+	Points []Point
+}
+
+// state is the armed schedule; swapped in/out atomically as one value so
+// Hit never sees a half-built configuration.
+type state struct {
+	period [NumPoints]uint64 // 0 = point disarmed
+	calls  [NumPoints]atomic.Uint64
+	fired  [NumPoints]atomic.Uint64
+}
+
+// armed is non-nil exactly while the harness is enabled. enabled mirrors
+// (armed != nil) as a plain bool so the disarmed fast path in Hit is one
+// atomic-bool load instead of a pointer load + nil check; both are
+// maintained by Enable/disable only.
+var (
+	enabled atomic.Bool
+	armed   atomic.Pointer[state]
+)
+
+// splitmix64 is the standard 64-bit mixer; one step advances the seed and
+// yields one well-distributed output.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Enable arms the harness with cfg's schedule and returns the disarm
+// function. Enabling while already enabled replaces the schedule. Intended
+// for tests only; nothing in production code calls Enable.
+func Enable(cfg Config) (disable func()) {
+	maxPeriod := cfg.MaxPeriod
+	if maxPeriod == 0 {
+		maxPeriod = 64
+	}
+	st := &state{}
+	seed := cfg.Seed
+	all := cfg.Points
+	if len(all) == 0 {
+		for p := Point(0); p < NumPoints; p++ {
+			all = append(all, p)
+		}
+	}
+	for _, p := range all {
+		st.period[p] = 1 + splitmix64(&seed)%maxPeriod
+	}
+	armed.Store(st)
+	enabled.Store(true)
+	return func() {
+		enabled.Store(false)
+		armed.Store(nil)
+	}
+}
+
+// Enabled reports whether the harness is armed.
+func Enabled() bool { return enabled.Load() }
+
+// Hit marks one pass through injection point p, panicking with a *Fault
+// when the armed schedule fires. Disarmed it is a no-op: one atomic load
+// and a branch that predicts not-taken.
+func Hit(p Point) {
+	if !enabled.Load() {
+		return
+	}
+	hitArmed(p)
+}
+
+// hitArmed is the armed slow path, kept out-of-line so Hit stays under the
+// compiler's inlining budget and callers pay only the atomic load + branch.
+//
+//go:noinline
+func hitArmed(p Point) {
+	st := armed.Load()
+	if st == nil || st.period[p] == 0 {
+		return
+	}
+	n := st.calls[p].Add(1)
+	if n%st.period[p] == 0 {
+		st.fired[p].Add(1)
+		panic(&Fault{Point: p, Call: n})
+	}
+}
+
+// Fired returns the number of faults fired per point since Enable, or nil
+// when disarmed. Tests use it to tell "no fault fired, answers must match"
+// runs from genuinely faulted ones.
+func Fired() map[Point]uint64 {
+	st := armed.Load()
+	if st == nil {
+		return nil
+	}
+	out := make(map[Point]uint64, NumPoints)
+	for p := Point(0); p < NumPoints; p++ {
+		if n := st.fired[p].Load(); n > 0 {
+			out[p] = n
+		}
+	}
+	return out
+}
+
+// TotalFired sums Fired across points (0 when disarmed).
+func TotalFired() uint64 {
+	st := armed.Load()
+	if st == nil {
+		return 0
+	}
+	var n uint64
+	for p := Point(0); p < NumPoints; p++ {
+		n += st.fired[p].Load()
+	}
+	return n
+}

@@ -11,7 +11,8 @@ import (
 // histograms filled by long-lived query processes (cmd/factorlogd). Like
 // the rest of the package they are plain data — producers guard them with
 // their own locks and obsv only formats them. The JSON tags define the
-// /metrics schema (factorlog/metrics/v4).
+// /metrics schema (factorlog/metrics/v5; the resilience block lives in
+// resilience.go).
 
 // CacheStats describes a memoizing cache (the pipeline plan cache).
 type CacheStats struct {
@@ -132,6 +133,9 @@ type ServerStats struct {
 	// since startup (selected by arena + index bytes): what the heaviest
 	// query's database cost in tuple arenas and hash tables.
 	StorageHighWater StorageStats `json:"storage_high_water"`
+	// Resilience reports admission control and failure-governance counters
+	// (new in schema v5).
+	Resilience ResilienceStats `json:"resilience"`
 }
 
 // CacheLine renders cache counters compactly, with the hit rate.
@@ -175,6 +179,7 @@ func ServerTable(s ServerStats) string {
 		s.UptimeSeconds, s.Queries, s.Errors, s.InFlight)
 	b.WriteString(CacheLine(s.PlanCache))
 	b.WriteByte('\n')
+	b.WriteString(ResilienceLines(s.Resilience))
 	if s.StorageHighWater.Relations > 0 {
 		b.WriteString("high-water ")
 		b.WriteString(StorageLine(s.StorageHighWater))

@@ -355,6 +355,9 @@ type RunResult struct {
 	// Storage is the database's storage shape after evaluation: arena and
 	// index bytes, table counts, and hash-table load factors.
 	Storage obsv.StorageStats
+	// Degraded reports that a parallel evaluation lost a worker to a panic
+	// and the answers come from the sequential retry (engine.Stats.Degraded).
+	Degraded bool
 }
 
 // stageNames lists, per strategy, the transformation stages that produce
@@ -471,6 +474,7 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 			Workers:     res.Stats.Workers,
 			EvalWall:    wall,
 			Storage:     db.StorageStats(),
+			Degraded:    res.Stats.Degraded,
 		}, nil
 
 	case Magic:
@@ -599,6 +603,7 @@ func (pl *Pipeline) runTransformed(s Strategy, prog *ast.Program, query ast.Atom
 		Workers:     res.Stats.Workers,
 		EvalWall:    wall,
 		Storage:     db.StorageStats(),
+		Degraded:    res.Stats.Degraded,
 	}, nil
 }
 

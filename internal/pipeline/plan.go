@@ -2,14 +2,17 @@ package pipeline
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 
 	"factorlog/internal/ast"
 	"factorlog/internal/engine"
+	"factorlog/internal/faultinject"
 	"factorlog/internal/obsv"
 )
 
@@ -99,14 +102,20 @@ type cacheID struct {
 	canon string
 }
 
-// cacheEntry is built exactly once; concurrent lookups of the same identity
-// block on the first builder and share its outcome (including a failure,
-// e.g. a non-factorable program — negative results are worth caching too,
-// a server would otherwise re-derive the refutation on every request).
+// cacheEntry is built by the lookup that creates it; concurrent lookups of
+// the same identity wait on ready and share the outcome — including a
+// permanent failure, e.g. a non-factorable program (negative results are
+// worth caching too, a server would otherwise re-derive the refutation on
+// every request). Transient failures — cancellation, deadline, budget
+// kills, recovered compile panics — are the exception: the builder forgets
+// the entry before publishing, so the outcome reaches the waiters that
+// raced with it but is never served to later lookups (see
+// transientCompileErr). Waiters wait with their own context, so a slow or
+// wedged compile cannot hold an unrelated request past its deadline.
 type cacheEntry struct {
-	once sync.Once
-	plan *Plan
-	err  error
+	ready chan struct{} // closed once plan/err are set
+	plan  *Plan
+	err   error
 }
 
 // DefaultPlanCacheLimit is the entry bound NewPlanCache uses. Plans hold
@@ -152,12 +161,19 @@ func NewPlanCacheLimit(limit int) *PlanCache {
 }
 
 // Lookup returns the compiled plan for (prog, query, strategy), compiling
-// and caching it on first use. hit reports whether a cached plan (or cached
-// failure) was reused. progHash must be HashProgram(prog, constraints),
-// computed once by the caller; prog and constraints must not change for a
-// given hash.
-func (c *PlanCache) Lookup(prog *ast.Program, progHash string, constraints []ast.Rule,
-	query ast.Atom, strategy Strategy) (plan *Plan, hit bool, err error) {
+// and caching it on first use. hit reports whether a cached entry was
+// reused (or waited on, if another lookup was mid-compile). progHash must
+// be HashProgram(prog, constraints), computed once by the caller; prog and
+// constraints must not change for a given hash.
+//
+// ctx bounds this caller's wait only: a waiter whose context expires while
+// another lookup compiles gets a typed engine error without disturbing the
+// compile. A compile that itself fails transiently — canceled, over
+// budget, or panicking (converted to engine.ErrInternal by the recover
+// barrier) — is reported to the lookups that raced with it but is NOT
+// negative-cached: the entry is forgotten and the next lookup recompiles.
+func (c *PlanCache) Lookup(ctx context.Context, prog *ast.Program, progHash string,
+	constraints []ast.Rule, query ast.Atom, strategy Strategy) (plan *Plan, hit bool, err error) {
 	key := PlanKey{
 		ProgramHash: progHash,
 		QueryPred:   query.Pred,
@@ -167,37 +183,99 @@ func (c *PlanCache) Lookup(prog *ast.Program, progHash string, constraints []ast
 	id := cacheID{key: key, canon: query.CanonicalKey()}
 
 	c.mu.Lock()
-	var e *cacheEntry
 	if el, ok := c.entries[id]; ok {
 		c.hits++
-		hit = true
 		c.order.MoveToFront(el)
-		e = el.Value.(*lruSlot).entry
-	} else {
-		c.misses++
-		e = &cacheEntry{}
-		c.entries[id] = c.order.PushFront(&lruSlot{id: id, entry: e})
-		if c.limit > 0 && len(c.entries) > c.limit {
-			tail := c.order.Back()
-			c.order.Remove(tail)
-			delete(c.entries, tail.Value.(*lruSlot).id)
-			c.evictions++
+		e := el.Value.(*lruSlot).entry
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.plan, true, e.err
+		case <-ctx.Done():
+			return nil, true, fmt.Errorf("awaiting plan compile: %w", typedCtxErr(ctx))
 		}
+	}
+	c.misses++
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[id] = c.order.PushFront(&lruSlot{id: id, entry: e})
+	if c.limit > 0 && len(c.entries) > c.limit {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*lruSlot).id)
+		c.evictions++
 	}
 	c.mu.Unlock()
 
-	e.once.Do(func() {
-		pl := New(prog, query)
-		if len(constraints) > 0 {
-			pl.WithConstraints(constraints)
+	e.plan, e.err = buildPlan(ctx, prog, constraints, query, key, strategy)
+	if e.err != nil && transientCompileErr(e.err) {
+		c.forget(id, e)
+	}
+	close(e.ready)
+	return e.plan, false, e.err
+}
+
+// buildPlan compiles one plan behind a recover barrier. A panic anywhere in
+// the rewrite pipeline (adornment, Magic, factoring, the Section 5 clean-up)
+// becomes a typed engine.ErrInternal instead of killing the process.
+func buildPlan(ctx context.Context, prog *ast.Program, constraints []ast.Rule,
+	query ast.Atom, key PlanKey, strategy Strategy) (plan *Plan, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: panic compiling %s plan for %s%s: %v",
+				engine.ErrInternal, strategy, query.Pred, key.Adornment, r)
 		}
-		if cerr := pl.Compile(strategy); cerr != nil {
-			e.err = fmt.Errorf("compile %s for %s%s: %w", strategy, query.Pred, key.Adornment, cerr)
-			return
+	}()
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("compile %s for %s%s: %w", strategy, query.Pred, key.Adornment, typedCtxErr(ctx))
+	}
+	faultinject.Hit(faultinject.PlanCompile)
+	pl := New(prog, query)
+	if len(constraints) > 0 {
+		pl.WithConstraints(constraints)
+	}
+	if cerr := pl.Compile(strategy); cerr != nil {
+		return nil, fmt.Errorf("compile %s for %s%s: %w", strategy, query.Pred, key.Adornment, cerr)
+	}
+	return &Plan{Key: key, Binding: BindingOf(query), Query: query, pl: pl}, nil
+}
+
+// typedCtxErr maps a done context to the engine's typed sentinels so HTTP
+// handlers classify cache waits the same way they classify evaluations.
+func typedCtxErr(ctx context.Context) error {
+	cause := context.Cause(ctx)
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %v", engine.ErrDeadlineExceeded, cause)
+	}
+	return fmt.Errorf("%w: %v", engine.ErrCanceled, cause)
+}
+
+// transientCompileErr reports whether a compile failure says nothing about
+// the (program, query, strategy) identity itself — the caller was canceled,
+// a budget tripped, or a fault/panic fired — and so must not be negative-
+// cached. Permanent refutations (non-factorable program, bad adornment)
+// stay cached.
+func transientCompileErr(err error) bool {
+	for _, sentinel := range []error{
+		engine.ErrCanceled, engine.ErrDeadlineExceeded,
+		engine.ErrBudgetExceeded, engine.ErrMemoryBudget, engine.ErrInternal,
+		context.Canceled, context.DeadlineExceeded,
+	} {
+		if errors.Is(err, sentinel) {
+			return true
 		}
-		e.plan = &Plan{Key: key, Binding: BindingOf(query), Query: query, pl: pl}
-	})
-	return e.plan, hit, e.err
+	}
+	return false
+}
+
+// forget removes id from the cache if it still maps to e (it may already
+// have been evicted, or replaced after an earlier forget).
+func (c *PlanCache) forget(id cacheID, e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[id]; ok && el.Value.(*lruSlot).entry == e {
+		c.order.Remove(el)
+		delete(c.entries, id)
+	}
 }
 
 // Stats snapshots the cache counters.

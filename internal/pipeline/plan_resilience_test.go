@@ -1,0 +1,145 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/engine"
+	"factorlog/internal/faultinject"
+	"factorlog/internal/parser"
+)
+
+// TestCanceledCompileNotNegativeCached: a lookup whose context is already
+// dead fails with the typed cancellation error, and the failure is NOT
+// remembered — the next lookup with a live context compiles normally.
+func TestCanceledCompileNotNegativeCached(t *testing.T) {
+	p := mustProgram(t, tcSrc)
+	hash := HashProgram(p, nil)
+	c := NewPlanCache()
+	q := mustAtom(t, "t(5, Y)")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, hit, err := c.Lookup(ctx, p, hash, nil, q, Magic)
+	if !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("dead-context lookup: err = %v, want ErrCanceled", err)
+	}
+	if hit {
+		t.Error("dead-context lookup reported a hit")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("canceled compile left %d cached entries, want 0", st.Entries)
+	}
+
+	plan, hit, err := c.Lookup(context.Background(), p, hash, nil, q, Magic)
+	if err != nil || plan == nil {
+		t.Fatalf("retry after cancellation: plan=%v err=%v", plan, err)
+	}
+	if hit {
+		t.Error("retry hit a forgotten entry")
+	}
+}
+
+// TestDeadlineCompileNotNegativeCached mirrors the canceled case for
+// deadline expiry, the other transient context outcome.
+func TestDeadlineCompileNotNegativeCached(t *testing.T) {
+	p := mustProgram(t, tcSrc)
+	hash := HashProgram(p, nil)
+	c := NewPlanCache()
+	q := mustAtom(t, "t(6, Y)")
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, _, err := c.Lookup(ctx, p, hash, nil, q, Magic)
+	if !errors.Is(err, engine.ErrDeadlineExceeded) {
+		t.Fatalf("expired-deadline lookup: err = %v, want ErrDeadlineExceeded", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("expired compile left %d cached entries, want 0", st.Entries)
+	}
+	if _, _, err := c.Lookup(context.Background(), p, hash, nil, q, Magic); err != nil {
+		t.Fatalf("retry after deadline: %v", err)
+	}
+}
+
+// TestFaultedCompileNotNegativeCached: a compile killed by an injected
+// panic surfaces as engine.ErrInternal and is forgotten; once the fault
+// clears, the same identity compiles and THEN starts hitting the cache.
+func TestFaultedCompileNotNegativeCached(t *testing.T) {
+	p := mustProgram(t, tcSrc)
+	hash := HashProgram(p, nil)
+	c := NewPlanCache()
+	q := mustAtom(t, "t(5, Y)")
+
+	disable := faultinject.Enable(faultinject.Config{
+		Seed: 3, MaxPeriod: 1, Points: []faultinject.Point{faultinject.PlanCompile},
+	})
+	_, _, err := c.Lookup(context.Background(), p, hash, nil, q, Magic)
+	disable()
+	if !errors.Is(err, engine.ErrInternal) {
+		t.Fatalf("faulted compile: err = %v, want ErrInternal", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("faulted compile left %d cached entries, want 0", st.Entries)
+	}
+
+	if _, hit, err := c.Lookup(context.Background(), p, hash, nil, q, Magic); err != nil || hit {
+		t.Fatalf("first clean retry: hit=%v err=%v, want fresh compile", hit, err)
+	}
+	if _, hit, err := c.Lookup(context.Background(), p, hash, nil, q, Magic); err != nil || !hit {
+		t.Fatalf("second clean retry: hit=%v err=%v, want cache hit", hit, err)
+	}
+}
+
+// TestWaiterDeadlineDoesNotDisturbCompile: a lookup that joins an
+// in-flight compile waits only as long as its own context allows, and its
+// timeout neither fails nor forgets the entry being built.
+func TestWaiterDeadlineDoesNotDisturbCompile(t *testing.T) {
+	p := mustProgram(t, tcSrc)
+	hash := HashProgram(p, nil)
+	c := NewPlanCache()
+	q := mustAtom(t, "t(5, Y)")
+
+	// Plant a never-finishing in-flight entry at q's exact identity.
+	key := PlanKey{
+		ProgramHash: hash,
+		QueryPred:   q.Pred,
+		Adornment:   ast.AdornmentOf(q, nil),
+		Strategy:    Magic,
+	}
+	id := cacheID{key: key, canon: q.CanonicalKey()}
+	stuck := &cacheEntry{ready: make(chan struct{})}
+	c.mu.Lock()
+	c.entries[id] = c.order.PushFront(&lruSlot{id: id, entry: stuck})
+	c.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, hit, err := c.Lookup(ctx, p, hash, nil, q, Magic)
+	if !hit {
+		t.Error("waiter on in-flight compile did not report a hit")
+	}
+	if !errors.Is(err, engine.ErrDeadlineExceeded) {
+		t.Fatalf("timed-out waiter: err = %v, want ErrDeadlineExceeded", err)
+	}
+
+	// The in-flight entry is untouched: finish it and a fresh lookup gets it.
+	stuck.err = errors.New("builder outcome")
+	close(stuck.ready)
+	_, hit, err = c.Lookup(context.Background(), p, hash, nil, q, Magic)
+	if !hit || err == nil || err.Error() != "builder outcome" {
+		t.Fatalf("post-timeout lookup: hit=%v err=%v, want the builder's outcome", hit, err)
+	}
+}
+
+func mustProgram(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

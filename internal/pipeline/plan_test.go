@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -45,7 +46,7 @@ func TestPlanCacheHitMiss(t *testing.T) {
 	c := NewPlanCache()
 
 	q5 := mustAtom(t, "t(5, Y)")
-	plan, hit, err := c.Lookup(p, hash, nil, q5, Magic)
+	plan, hit, err := c.Lookup(context.Background(), p, hash, nil, q5, Magic)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestPlanCacheHitMiss(t *testing.T) {
 		t.Errorf("plan identity = %s %s, want bf (5)", plan.Key.Adornment, plan.Binding)
 	}
 
-	plan2, hit, err := c.Lookup(p, hash, nil, mustAtom(t, "t(5, Z)"), Magic)
+	plan2, hit, err := c.Lookup(context.Background(), p, hash, nil, mustAtom(t, "t(5, Z)"), Magic)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestPlanCacheHitMiss(t *testing.T) {
 	}
 
 	// Different constant: same family, separate specialized plan.
-	_, hit, err = c.Lookup(p, hash, nil, mustAtom(t, "t(6, Y)"), Magic)
+	_, hit, err = c.Lookup(context.Background(), p, hash, nil, mustAtom(t, "t(6, Y)"), Magic)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestPlanCacheHitMiss(t *testing.T) {
 		t.Error("different constant reported a hit")
 	}
 	// Different strategy: separate plan.
-	_, hit, err = c.Lookup(p, hash, nil, q5, SupplementaryMagic)
+	_, hit, err = c.Lookup(context.Background(), p, hash, nil, q5, SupplementaryMagic)
 	if err != nil || hit {
 		t.Errorf("different strategy: hit=%v err=%v", hit, err)
 	}
@@ -99,11 +100,11 @@ func TestPlanCacheDistinguishesRepeatedVariables(t *testing.T) {
 	hash := HashProgram(p, nil)
 	c := NewPlanCache()
 
-	pairPlan, _, err := c.Lookup(p, hash, nil, mustAtom(t, "t(X, Y)"), Magic)
+	pairPlan, _, err := c.Lookup(context.Background(), p, hash, nil, mustAtom(t, "t(X, Y)"), Magic)
 	if err != nil {
 		t.Fatal(err)
 	}
-	diagPlan, hit, err := c.Lookup(p, hash, nil, mustAtom(t, "t(X, X)"), Magic)
+	diagPlan, hit, err := c.Lookup(context.Background(), p, hash, nil, mustAtom(t, "t(X, X)"), Magic)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestPlanCacheEviction(t *testing.T) {
 	c := NewPlanCacheLimit(2)
 
 	for _, q := range []string{"t(5, Y)", "t(6, Y)", "t(7, Y)"} {
-		if _, _, err := c.Lookup(p, hash, nil, mustAtom(t, q), Magic); err != nil {
+		if _, _, err := c.Lookup(context.Background(), p, hash, nil, mustAtom(t, q), Magic); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -155,10 +156,10 @@ func TestPlanCacheEviction(t *testing.T) {
 
 	// t(5,Y) was the LRU entry and is gone; looking it up again recompiles
 	// (a miss) and evicts t(6,Y) in turn, while t(7,Y) stays resident.
-	if _, hit, err := c.Lookup(p, hash, nil, mustAtom(t, "t(5, Y)"), Magic); err != nil || hit {
+	if _, hit, err := c.Lookup(context.Background(), p, hash, nil, mustAtom(t, "t(5, Y)"), Magic); err != nil || hit {
 		t.Errorf("evicted shape: hit=%v err=%v, want fresh miss", hit, err)
 	}
-	if _, hit, err := c.Lookup(p, hash, nil, mustAtom(t, "t(7, Y)"), Magic); err != nil || !hit {
+	if _, hit, err := c.Lookup(context.Background(), p, hash, nil, mustAtom(t, "t(7, Y)"), Magic); err != nil || !hit {
 		t.Errorf("resident shape: hit=%v err=%v, want hit", hit, err)
 	}
 	st = c.Stats()
@@ -176,7 +177,7 @@ func TestPlanCacheSpecializesOnConstants(t *testing.T) {
 	c := NewPlanCache()
 
 	for query, want := range map[string]int{"t(5, Y)": 3, "t(6, Y)": 2} {
-		plan, _, err := c.Lookup(p, hash, nil, mustAtom(t, query), FactoredOptimized)
+		plan, _, err := c.Lookup(context.Background(), p, hash, nil, mustAtom(t, query), FactoredOptimized)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -205,7 +206,7 @@ sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
 	c := NewPlanCache()
 	q := mustAtom(t, "sg(john, Y)")
 
-	_, hit, err := c.Lookup(p, hash, nil, q, Factored)
+	_, hit, err := c.Lookup(context.Background(), p, hash, nil, q, Factored)
 	if err == nil {
 		t.Fatal("want a factoring error")
 	}
@@ -215,7 +216,7 @@ sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
 	if hit {
 		t.Error("first failing lookup reported a hit")
 	}
-	_, hit, err2 := c.Lookup(p, hash, nil, q, Factored)
+	_, hit, err2 := c.Lookup(context.Background(), p, hash, nil, q, Factored)
 	if err2 == nil || !hit {
 		t.Errorf("cached failure: hit=%v err=%v", hit, err2)
 	}
@@ -247,7 +248,7 @@ func TestPlanCacheConcurrent(t *testing.T) {
 				errs <- err
 				return
 			}
-			plan, _, err := c.Lookup(p, hash, nil, query, s)
+			plan, _, err := c.Lookup(context.Background(), p, hash, nil, query, s)
 			if err != nil {
 				errs <- err
 				return

@@ -1,0 +1,219 @@
+// Package resilience provides the engine-independent governance pieces of
+// the serving stack: a weighted admission limiter with a bounded,
+// deadline-aware wait queue. factorlogd threads every /query request
+// through a Limiter so overload sheds cleanly (a typed error the handler
+// maps to 429 + Retry-After) instead of piling goroutines onto the
+// evaluator until the process dies.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"factorlog/internal/obsv"
+)
+
+// ErrShed is returned by Acquire when the wait queue is full: the request
+// is shed immediately instead of queued. Callers map it to 429.
+var ErrShed = errors.New("resilience: admission queue full")
+
+// ErrQueueWait is returned (wrapped) by Acquire when the caller's context
+// ends while the request is still queued — the deadline-aware half of the
+// queue. The wrapped cause distinguishes cancellation from deadline expiry.
+var ErrQueueWait = errors.New("resilience: context done while queued for admission")
+
+// ErrLimiterClosed is returned by Acquire after Close: the limiter is
+// draining and admits nothing new.
+var ErrLimiterClosed = errors.New("resilience: limiter closed")
+
+// waiter is one queued Acquire. ready is closed by release/Close with
+// granted set under the limiter lock; the waiting goroutine reads granted
+// after ready closes, so no further synchronization is needed.
+type waiter struct {
+	weight  int64
+	ready   chan struct{}
+	granted bool
+}
+
+// Limiter is a weighted concurrency limiter with a bounded FIFO wait
+// queue. Admission is strict FIFO: a heavy waiter at the head blocks
+// lighter ones behind it, trading a little utilization for no starvation.
+// The zero value is not usable; call NewLimiter.
+type Limiter struct {
+	mu       sync.Mutex
+	capacity int64
+	inUse    int64
+	maxQueue int
+	queue    []*waiter // FIFO; queue[0] is next to admit
+	closed   bool
+
+	admitted      int64
+	queuedCount   int64
+	shed          int64
+	queueTimeouts int64
+}
+
+// NewLimiter returns a limiter admitting at most capacity units of weight
+// concurrently, with at most maxQueue requests waiting beyond that.
+// capacity < 1 is treated as 1; maxQueue < 0 as 0 (shed immediately when
+// saturated).
+func NewLimiter(capacity int64, maxQueue int) *Limiter {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{capacity: capacity, maxQueue: maxQueue}
+}
+
+// Acquire admits weight units of work, waiting in the bounded queue when
+// the limiter is saturated. It returns a release function that must be
+// called exactly once when the work finishes. Weight is clamped to
+// [1, capacity] so a single request can always run alone but never
+// deadlocks the limiter by demanding more than it has.
+//
+// Failure modes, all typed: ErrShed (queue full), ErrQueueWait wrapping the
+// context cause (ctx ended while queued), ErrLimiterClosed (after Close).
+func (l *Limiter) Acquire(ctx context.Context, weight int64) (release func(), err error) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > l.capacity {
+		weight = l.capacity
+	}
+	// A context that is already done never waits, even if a slot is free:
+	// the caller's deadline has passed and the work would be wasted.
+	if ctx != nil {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %v", ErrQueueWait, context.Cause(ctx))
+		default:
+		}
+	}
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrLimiterClosed
+	}
+	if len(l.queue) == 0 && l.inUse+weight <= l.capacity {
+		l.inUse += weight
+		l.admitted++
+		l.mu.Unlock()
+		return l.releaseFunc(weight), nil
+	}
+	if len(l.queue) >= l.maxQueue {
+		l.shed++
+		l.mu.Unlock()
+		return nil, ErrShed
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	l.queue = append(l.queue, w)
+	l.queuedCount++
+	l.mu.Unlock()
+
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-w.ready:
+		// granted was decided under the lock before ready closed.
+		if !w.granted {
+			return nil, ErrLimiterClosed
+		}
+		return l.releaseFunc(weight), nil
+	case <-done:
+		l.mu.Lock()
+		// The grant may have raced the context: if the waiter is no longer
+		// queued it was admitted (or the limiter closed) — honor that
+		// outcome instead of leaking the admitted weight.
+		if l.remove(w) {
+			l.queueTimeouts++
+			l.mu.Unlock()
+			return nil, fmt.Errorf("%w: %v", ErrQueueWait, context.Cause(ctx))
+		}
+		l.mu.Unlock()
+		<-w.ready
+		if !w.granted {
+			return nil, ErrLimiterClosed
+		}
+		return l.releaseFunc(weight), nil
+	}
+}
+
+// remove unqueues w if still present; the caller holds l.mu.
+func (l *Limiter) remove(w *waiter) bool {
+	for i, q := range l.queue {
+		if q == w {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// releaseFunc builds the idempotence-guarded release closure for one
+// admission.
+func (l *Limiter) releaseFunc(weight int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			l.inUse -= weight
+			l.grantLocked()
+			l.mu.Unlock()
+		})
+	}
+}
+
+// grantLocked admits queued waiters from the head while they fit; the
+// caller holds l.mu.
+func (l *Limiter) grantLocked() {
+	for len(l.queue) > 0 {
+		w := l.queue[0]
+		if l.inUse+w.weight > l.capacity {
+			return
+		}
+		l.queue = l.queue[1:]
+		l.inUse += w.weight
+		l.admitted++
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// Close fails every queued waiter with ErrLimiterClosed and makes future
+// Acquires fail the same way. Admitted work keeps its slots until released;
+// Close does not wait for it.
+func (l *Limiter) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for _, w := range l.queue {
+		close(w.ready)
+	}
+	l.queue = nil
+}
+
+// Stats snapshots the limiter's counters.
+func (l *Limiter) Stats() obsv.AdmissionStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return obsv.AdmissionStats{
+		Capacity:      l.capacity,
+		InUse:         l.inUse,
+		QueueDepth:    len(l.queue),
+		QueueLimit:    l.maxQueue,
+		Admitted:      l.admitted,
+		Queued:        l.queuedCount,
+		Shed:          l.shed,
+		QueueTimeouts: l.queueTimeouts,
+	}
+}

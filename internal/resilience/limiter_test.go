@@ -1,0 +1,229 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestImmediateAdmission(t *testing.T) {
+	l := NewLimiter(4, 0)
+	rel1, err := l.Acquire(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.InUse != 3 || st.Admitted != 1 {
+		t.Errorf("stats after acquire: %+v", st)
+	}
+	rel2, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("second acquire within capacity: %v", err)
+	}
+	rel1()
+	rel1() // release is idempotent
+	rel2()
+	if st := l.Stats(); st.InUse != 0 {
+		t.Errorf("in use after releases = %d", st.InUse)
+	}
+}
+
+func TestWeightClamping(t *testing.T) {
+	l := NewLimiter(2, 0)
+	// Weight above capacity clamps down: the request runs alone instead of
+	// deadlocking.
+	rel, err := l.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.InUse != 2 {
+		t.Errorf("clamped weight in use = %d, want 2", st.InUse)
+	}
+	rel()
+	// Weight below 1 clamps up to 1.
+	rel, err = l.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.InUse != 1 {
+		t.Errorf("zero weight in use = %d, want 1", st.InUse)
+	}
+	rel()
+}
+
+func TestShedWhenQueueFull(t *testing.T) {
+	l := NewLimiter(1, 0)
+	rel, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Acquire(context.Background(), 1); !errors.Is(err, ErrShed) {
+		t.Fatalf("saturated acquire with zero queue: err = %v, want ErrShed", err)
+	}
+	if st := l.Stats(); st.Shed != 1 {
+		t.Errorf("shed count = %d, want 1", st.Shed)
+	}
+	rel()
+}
+
+func TestQueueAdmitsFIFO(t *testing.T) {
+	l := NewLimiter(1, 4)
+	rel, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			// Stagger enqueues so the FIFO order is deterministic.
+			time.Sleep(time.Duration(i*20) * time.Millisecond)
+			r, err := l.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r()
+		}()
+	}
+	close(start)
+	// Wait until all three are queued, then release the holder.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if l.Stats().QueueDepth == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth %d, want 3", l.Stats().QueueDepth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rel()
+	wg.Wait()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("admission order = %v, want [0 1 2]", order)
+	}
+	if st := l.Stats(); st.Queued != 3 || st.Admitted != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestQueueWaitDeadline(t *testing.T) {
+	l := NewLimiter(1, 4)
+	rel, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = l.Acquire(ctx, 1)
+	if !errors.Is(err, ErrQueueWait) {
+		t.Fatalf("queued acquire past deadline: err = %v, want ErrQueueWait", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline enforcement took %v", elapsed)
+	}
+	if st := l.Stats(); st.QueueTimeouts != 1 || st.QueueDepth != 0 {
+		t.Errorf("stats after queue timeout: %+v", st)
+	}
+}
+
+func TestAlreadyDoneContext(t *testing.T) {
+	l := NewLimiter(4, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.Acquire(ctx, 1); !errors.Is(err, ErrQueueWait) {
+		t.Fatalf("acquire with dead context: err = %v, want ErrQueueWait", err)
+	}
+	if st := l.Stats(); st.InUse != 0 {
+		t.Errorf("dead-context acquire leaked weight: %+v", st)
+	}
+}
+
+func TestClose(t *testing.T) {
+	l := NewLimiter(1, 4)
+	rel, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(context.Background(), 1)
+		errc <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().QueueDepth != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Close()
+	if err := <-errc; !errors.Is(err, ErrLimiterClosed) {
+		t.Errorf("queued waiter after Close: err = %v, want ErrLimiterClosed", err)
+	}
+	if _, err := l.Acquire(context.Background(), 1); !errors.Is(err, ErrLimiterClosed) {
+		t.Errorf("acquire after Close: err = %v, want ErrLimiterClosed", err)
+	}
+	rel() // releasing admitted work after Close must not panic
+}
+
+// TestConcurrentHammer drives many goroutines through a small limiter under
+// -race, asserting the weight invariant (inUse <= capacity) observed from
+// inside admitted sections and exact accounting at the end.
+func TestConcurrentHammer(t *testing.T) {
+	const capacity, queue, goroutines, iters = 4, 64, 16, 200
+	l := NewLimiter(capacity, queue)
+	var inside atomic.Int64
+	var admitted, failed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				w := int64(1 + (g+i)%3)
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				rel, err := l.Acquire(ctx, w)
+				if err != nil {
+					cancel()
+					if !errors.Is(err, ErrShed) && !errors.Is(err, ErrQueueWait) {
+						t.Errorf("unexpected acquire error: %v", err)
+					}
+					failed.Add(1)
+					continue
+				}
+				if n := inside.Add(w); n > capacity {
+					t.Errorf("weight invariant violated: %d in flight > %d", n, capacity)
+				}
+				admitted.Add(1)
+				inside.Add(-w)
+				rel()
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.InUse != 0 || st.QueueDepth != 0 {
+		t.Errorf("limiter not drained: %+v", st)
+	}
+	if st.Admitted != admitted.Load() {
+		t.Errorf("admitted counter = %d, callers saw %d", st.Admitted, admitted.Load())
+	}
+	if st.Shed+st.QueueTimeouts != failed.Load() {
+		t.Errorf("shed+timeouts = %d, callers saw %d failures", st.Shed+st.QueueTimeouts, failed.Load())
+	}
+}
