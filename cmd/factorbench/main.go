@@ -113,6 +113,46 @@ type metricsDoc struct {
 	N        int          `json:"n"`
 	Query    string       `json:"query"`
 	Runs     []metricsRun `json:"runs"`
+	// StageSummary aggregates the pipeline stage spans across all runs: per
+	// stage name, how many runs recorded it and the total/max wall and
+	// allocation cost. New in schema v6.
+	StageSummary []stageSummary `json:"stage_summary"`
+}
+
+// stageSummary is one pipeline stage aggregated across the sweep's runs.
+type stageSummary struct {
+	Stage           string `json:"stage"`
+	Runs            int    `json:"runs"`
+	TotalWallNS     int64  `json:"total_wall_ns"`
+	MaxWallNS       int64  `json:"max_wall_ns"`
+	TotalAllocs     uint64 `json:"total_allocs"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+}
+
+// summarizeStages folds every run's stage spans into one row per stage
+// name, in first-seen order (strategy order is deterministic, so the
+// summary is too).
+func summarizeStages(runs []metricsRun) []stageSummary {
+	index := map[string]int{}
+	var out []stageSummary
+	for _, r := range runs {
+		for _, sp := range r.Spans {
+			i, ok := index[sp.Name]
+			if !ok {
+				i = len(out)
+				index[sp.Name] = i
+				out = append(out, stageSummary{Stage: sp.Name})
+			}
+			out[i].Runs++
+			out[i].TotalWallNS += sp.Wall.Nanoseconds()
+			if w := sp.Wall.Nanoseconds(); w > out[i].MaxWallNS {
+				out[i].MaxWallNS = w
+			}
+			out[i].TotalAllocs += sp.Allocs
+			out[i].TotalAllocBytes += sp.AllocBytes
+		}
+	}
+	return out
 }
 
 // metricsRun is one strategy's traced evaluation at one worker count.
@@ -168,7 +208,7 @@ func parallelizable(s pipeline.Strategy) bool {
 func emitJSON(out *os.File, n int, workers []int) error {
 	pl, load := experiments.E1Pipeline(n)
 	doc := metricsDoc{
-		Schema:   "factorlog/metrics/v4",
+		Schema:   "factorlog/metrics/v6",
 		Tool:     "factorbench",
 		Workload: "E1 transitive closure, chain EDB",
 		N:        n,
@@ -203,6 +243,7 @@ func emitJSON(out *os.File, n int, workers []int) error {
 			})
 		}
 	}
+	doc.StageSummary = summarizeStages(doc.Runs)
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)

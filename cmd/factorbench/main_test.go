@@ -67,8 +67,26 @@ func TestJSONMetrics(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &doc); err != nil {
 		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
 	}
-	if doc.Schema != "factorlog/metrics/v4" {
+	if doc.Schema != "factorlog/metrics/v6" {
 		t.Errorf("schema = %q", doc.Schema)
+	}
+	// The v6 stage summary aggregates pipeline spans across runs.
+	stages := map[string]stageSummary{}
+	for _, st := range doc.StageSummary {
+		stages[st.Stage] = st
+	}
+	for _, name := range []string{"adorn", "magic", "factor", "optimize", "eval"} {
+		st, ok := stages[name]
+		if !ok {
+			t.Errorf("stage_summary missing %q: %v", name, doc.StageSummary)
+			continue
+		}
+		if st.Runs == 0 || st.TotalWallNS < 0 || st.MaxWallNS > st.TotalWallNS {
+			t.Errorf("stage_summary[%s] inconsistent: %+v", name, st)
+		}
+	}
+	if stages["eval"].TotalAllocs == 0 {
+		t.Error("eval stage summary has no allocation sample")
 	}
 	byStrategy := map[string]metricsRun{}
 	for _, r := range doc.Runs {

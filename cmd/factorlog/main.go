@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	factorlog run      [-strategy S] [-constraints file] [-edb file] [-budget N] [-workers N] [-profile] file.dl
+//	factorlog run      [-strategy S] [-constraints file] [-edb file] [-budget N] [-workers N] [-profile] [-explain] file.dl
 //	factorlog compare  [-constraints file] [-edb file] [-budget N] file.dl
 //	factorlog explain  [-strategy S] [-constraints file] file.dl
 //	factorlog classify [-constraints file] file.dl
@@ -58,6 +58,7 @@ func run(args []string) error {
 	budget := fs.Int("budget", 0, "max derived facts (0 = unlimited)")
 	workers := fs.Int("workers", 1, "evaluation workers (>1 = parallel stratified semi-naive)")
 	profile := fs.Bool("profile", false, "run: print stage spans and per-rule/per-round tables")
+	explainRun := fs.Bool("explain", false, "run: EXPLAIN ANALYZE — print the plan description and the measured span tree")
 	anon := fs.Bool("anon", false, "explain: print singleton variables as '_' (paper style)")
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -104,11 +105,27 @@ func run(args []string) error {
 		if *profile {
 			sys.WithTrace(true)
 		}
+		var tc *factorlog.Trace
+		if *explainRun {
+			info, err := sys.Plan(s)
+			if err != nil {
+				return err
+			}
+			fmt.Print(info.Text())
+			fmt.Println()
+			tc = factorlog.NewTrace(factorlog.NewTraceID())
+			sys.WithTraceSpan(tc.Root())
+		}
 		res, err := sys.Run(s, sys.NewDB())
 		if err != nil {
 			return err
 		}
 		fmt.Println(factorlog.FormatResult(res))
+		if *explainRun {
+			tc.Finish()
+			fmt.Println()
+			fmt.Print(tc.Profile())
+		}
 		if *profile {
 			fmt.Println()
 			fmt.Print(res.Profile())

@@ -216,3 +216,20 @@ func TestCLIErrors(t *testing.T) {
 		t.Error("missing file argument accepted")
 	}
 }
+
+func TestCLIRunExplain(t *testing.T) {
+	out, err := capture(t, "run", "-explain", "-strategy", "factored+opt", testdata("tc3.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EXPLAIN ANALYZE: the plan description (reductions, rules, strata)
+	// followed by the answers and the measured span tree.
+	for _, want := range []string{
+		"plan factored+opt", "reductions applied", "magic sets",
+		"stratum schedule:", "answers:", "trace q-", "eval", "round",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in -explain output:\n%s", want, out)
+		}
+	}
+}

@@ -65,6 +65,7 @@ func repl(in io.Reader, out io.Writer) error {
 			fmt.Fprintln(out, "  :workers N           evaluation workers, >1 = parallel (current:", workers, ")")
 			fmt.Fprintln(out, "  :classify ?- atom.   which factorability theorem applies")
 			fmt.Fprintln(out, "  :explain ?- atom.    show the transformed program")
+			fmt.Fprintln(out, "  :analyze ?- atom.    evaluate with the plan description and span tree")
 			fmt.Fprintln(out, "  :list                show accumulated clauses")
 			fmt.Fprintln(out, "  :reset               drop all clauses")
 			fmt.Fprintln(out, "  :quit                leave")
@@ -136,6 +137,35 @@ func repl(in io.Reader, out io.Writer) error {
 				continue
 			}
 			fmt.Fprintln(out, "factorable:", class)
+
+		case strings.HasPrefix(line, ":analyze"):
+			q := strings.TrimSpace(strings.TrimPrefix(line, ":analyze"))
+			sys, err := build(q)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			info, err := sys.Plan(strategy)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprint(out, info.Text())
+			tc := factorlog.NewTrace(factorlog.NewTraceID())
+			sys.WithBudget(0, budget).WithWorkers(workers).WithTraceSpan(tc.Root())
+			res, err := sys.Run(strategy, sys.NewDB())
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			tc.Finish()
+			last = res
+			if len(res.Answers) == 0 {
+				fmt.Fprintln(out, "no answers")
+			} else {
+				fmt.Fprintln(out, strings.Join(res.Answers, " "))
+			}
+			fmt.Fprint(out, tc.Profile())
 
 		case strings.HasPrefix(line, ":explain"):
 			q := strings.TrimSpace(strings.TrimPrefix(line, ":explain"))

@@ -173,3 +173,19 @@ func TestReplEOF(t *testing.T) {
 		t.Errorf("prompt missing:\n%s", out)
 	}
 }
+
+func TestReplAnalyze(t *testing.T) {
+	out := runRepl(t, `
+e(1, 2).
+e(2, 3).
+t(X, Y) :- e(X, Y).
+t(X, Y) :- e(X, W), t(W, Y).
+:analyze ?- t(1, Y).
+:quit
+`)
+	for _, want := range []string{"plan factored+opt", "(2) (3)", "trace q-", "eval", "round"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in :analyze output:\n%s", want, out)
+		}
+	}
+}

@@ -10,15 +10,25 @@
 //	factorlogd -program file.dl [-addr :8080] [-edb file] [-constraints file]
 //	           [-strategy magic] [-workers N] [-budget N] [-max-bytes N]
 //	           [-timeout 10s] [-max-concurrency N] [-max-queue N]
-//	           [-pprof-addr :6060]
+//	           [-trace-sample N] [-slow-query-ms N] [-pprof-addr :6060]
 //
 // Endpoints:
 //
-//	GET  /query?q=t(5,Y)[&strategy=S][&workers=N][&timeout_ms=T][&max_bytes=N]
-//	POST /query    {"query":"t(5,Y)","strategy":"magic","workers":4,"timeout_ms":1000}
+//	GET  /query?q=t(5,Y)[&strategy=S][&workers=N][&timeout_ms=T][&max_bytes=N][&explain=plan|analyze]
+//	POST /query    {"query":"t(5,Y)","strategy":"magic","workers":4,"timeout_ms":1000,"explain":"analyze"}
 //	GET  /healthz  liveness + program fingerprint (200 even while draining)
 //	GET  /readyz   readiness: 200 after warmup, 503 while warming up or draining
-//	GET  /metrics  plan-cache, latency, and resilience metrics (JSON; ?format=text)
+//	GET  /metrics  Prometheus text exposition (?format=json for the
+//	               factorlog/metrics/v5 document, ?format=text for a table)
+//	GET  /debug/slowlog      recent slow queries, newest first
+//	GET  /debug/trace/{id}   one finished trace by query ID (?format=text for a profile)
+//
+// Every /query response carries an X-Factorlog-Query-ID header; the same ID
+// names the query's trace in /debug/trace/{id} and the slow-query log.
+// explain=plan describes the compiled plan (applied reductions, transformed
+// rules, stratum schedule, plan-cache disposition) without evaluating;
+// explain=analyze evaluates with tracing forced and adds the measured span
+// tree and an indented text profile (see docs/OBSERVABILITY.md).
 //
 // Overload and shutdown behave predictably (see docs/RESILIENCE.md): every
 // query passes a weighted admission limiter (weight = its worker count) and
@@ -66,6 +76,8 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 10*time.Second, "default per-request evaluation timeout (0 = none)")
 	maxConcurrency := fs.Int64("max-concurrency", 0, "admission capacity in worker-weight units (0 = 8x default workers)")
 	maxQueue := fs.Int("max-queue", 64, "admission wait-queue length before shedding with 429")
+	traceSample := fs.Int("trace-sample", 0, "trace one query in every N (0 = only explain=analyze, 1 = all)")
+	slowQueryMS := fs.Int("slow-query-ms", 500, "slow-query log threshold in milliseconds (0 = disabled)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +114,8 @@ func run(args []string) error {
 		timeout:        *timeout,
 		maxConcurrency: *maxConcurrency,
 		maxQueue:       *maxQueue,
+		traceSample:    *traceSample,
+		slowQuery:      time.Duration(*slowQueryMS) * time.Millisecond,
 	})
 	if err != nil {
 		return err

@@ -16,7 +16,7 @@ import (
 
 func serverMetrics(t *testing.T, url string) obsv.ServerStats {
 	t.Helper()
-	resp, err := http.Get(url + "/metrics")
+	resp, err := http.Get(url + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 	"factorlog/internal/parser"
 	"factorlog/internal/pipeline"
 	"factorlog/internal/resilience"
+	"factorlog/internal/trace"
 )
 
 // metricsSchema names the /metrics document layout; v1/v2 are factorbench
@@ -45,6 +46,15 @@ const statusClientClosedRequest = 499
 // streaming unbounded input into the decoder.
 const maxQueryBody = 1 << 20
 
+// queryIDHeader carries the server-minted query ID on every /query response
+// (success and failure alike), so clients can correlate an answer, an error,
+// a slowlog entry, and a /debug/trace/{id} lookup.
+const queryIDHeader = "X-Factorlog-Query-ID"
+
+// traceRingSize bounds the sampled-trace store and the slow-query log; both
+// are debugging windows into recent traffic, not durable archives.
+const traceRingSize = 64
+
 type config struct {
 	strategy string
 	workers  int
@@ -59,6 +69,12 @@ type config struct {
 	// maxQueue bounds the admission wait queue; beyond it requests are shed
 	// with 429.
 	maxQueue int
+	// traceSample traces one query in every N (0 = only EXPLAIN ANALYZE
+	// queries are traced, 1 = all).
+	traceSample int
+	// slowQuery is the slow-query-log threshold; queries whose total wall
+	// time meets it land in /debug/slowlog. 0 disables the log.
+	slowQuery time.Duration
 }
 
 // limiterCapacity derives the admission capacity: explicit when configured,
@@ -103,16 +119,28 @@ type server struct {
 	evalCtx    context.Context
 	evalCancel context.CancelCauseFunc
 
+	// sampler decides which queries record a span trace; traces holds the
+	// recent traced queries (/debug/trace/{id}) and slowlog the recent slow
+	// ones (/debug/slowlog). Both rings store only finished traces.
+	sampler       *trace.Sampler
+	traces        *trace.Ring
+	slowlog       *trace.Ring
+	slowThreshold time.Duration
+
 	inflight  atomic.Int64
 	mu        sync.Mutex // guards the obsv records below
 	queries   int64
 	errors    int64
 	latency   map[string]*obsv.Histogram
-	storageHW obsv.StorageStats // heaviest per-request storage footprint
-	panics    int64             // ErrInternal responses (recovered panics)
-	degraded  int64             // parallel→sequential fallbacks that succeeded
-	memStops  int64             // ErrMemoryBudget responses
-	drained   int64             // requests refused or aborted by shutdown
+	rounds    *obsv.ValueHistogram // per-query fixpoint rounds
+	arena     *obsv.ValueHistogram // per-query arena+index bytes
+	storageHW obsv.StorageStats    // heaviest per-request storage footprint
+	panics    int64                // ErrInternal responses (recovered panics)
+	degraded  int64                // parallel→sequential fallbacks that succeeded
+	memStops  int64                // ErrMemoryBudget responses
+	drained   int64                // requests refused or aborted by shutdown
+	slowSeen  int64                // queries at or over the slow threshold
+	traced    int64                // queries that recorded a span trace
 }
 
 func newServer(src, constraints string, cfg config) (*server, error) {
@@ -152,12 +180,18 @@ func newServer(src, constraints string, cfg config) (*server, error) {
 			MaxFacts: cfg.budget,
 			MaxBytes: cfg.maxBytes,
 		},
-		timeout:    cfg.timeout,
-		start:      time.Now(),
-		limiter:    resilience.NewLimiter(cfg.limiterCapacity(), cfg.maxQueue),
-		evalCtx:    evalCtx,
-		evalCancel: evalCancel,
-		latency:    map[string]*obsv.Histogram{},
+		timeout:       cfg.timeout,
+		start:         time.Now(),
+		limiter:       resilience.NewLimiter(cfg.limiterCapacity(), cfg.maxQueue),
+		evalCtx:       evalCtx,
+		evalCancel:    evalCancel,
+		latency:       map[string]*obsv.Histogram{},
+		rounds:        obsv.NewValueHistogram(obsv.RoundsBucketBounds),
+		arena:         obsv.NewValueHistogram(obsv.ArenaBucketBounds),
+		sampler:       trace.NewSampler(cfg.traceSample),
+		traces:        trace.NewRing(traceRingSize),
+		slowlog:       trace.NewRing(traceRingSize),
+		slowThreshold: cfg.slowQuery,
 	}, nil
 }
 
@@ -192,6 +226,8 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
+	mux.HandleFunc("/debug/trace/", s.handleTrace)
 	return mux
 }
 
@@ -203,10 +239,15 @@ type queryRequest struct {
 	Budget    int    `json:"budget,omitempty"`
 	TimeoutMS int    `json:"timeout_ms,omitempty"`
 	MaxBytes  int64  `json:"max_bytes,omitempty"`
+	// Explain selects plan inspection instead of a plain answer: "plan"
+	// describes the compiled plan without evaluating, "analyze" evaluates
+	// with tracing forced and returns the measured span tree too.
+	Explain string `json:"explain,omitempty"`
 }
 
 // queryResponse is the /query output.
 type queryResponse struct {
+	QueryID     string   `json:"query_id"`
 	Query       string   `json:"query"`
 	Strategy    string   `json:"strategy"`
 	Answers     []string `json:"answers"`
@@ -223,11 +264,33 @@ type queryResponse struct {
 }
 
 type errorResponse struct {
-	Error string `json:"error"`
+	QueryID string `json:"query_id,omitempty"`
+	Error   string `json:"error"`
 	// Draining marks the typed 503 body sent while the server shuts down.
 	Draining bool `json:"draining,omitempty"`
 	// RetryAfterSeconds mirrors the Retry-After header on 429/503 bodies.
 	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// planCacheInfo is EXPLAIN's plan-cache disposition: whether this request
+// found the plan compiled and how long the compile took (paid by this
+// request on a miss, by an earlier one on a hit).
+type planCacheInfo struct {
+	Disposition   string `json:"disposition"` // "hit" or "miss"
+	CompileWallNS int64  `json:"compile_wall_ns"`
+}
+
+// explainResponse is the /query output under explain=plan|analyze.
+type explainResponse struct {
+	QueryID   string                `json:"query_id"`
+	Mode      string                `json:"explain"` // "plan" or "analyze"
+	Plan      *pipeline.ExplainInfo `json:"plan"`
+	PlanCache planCacheInfo         `json:"plan_cache"`
+	// Result and Trace are present only for analyze: the evaluated answer
+	// and the measured span tree, plus its indented text rendering.
+	Result  *queryResponse     `json:"result,omitempty"`
+	Trace   *trace.ContextJSON `json:"trace,omitempty"`
+	Profile string             `json:"profile,omitempty"`
 }
 
 func decodeQueryRequest(w http.ResponseWriter, r *http.Request) (queryRequest, error) {
@@ -237,6 +300,7 @@ func decodeQueryRequest(w http.ResponseWriter, r *http.Request) (queryRequest, e
 		q := r.URL.Query()
 		req.Query = q.Get("q")
 		req.Strategy = q.Get("strategy")
+		req.Explain = q.Get("explain")
 		for name, dst := range map[string]*int{
 			"workers": &req.Workers, "budget": &req.Budget, "timeout_ms": &req.TimeoutMS,
 		} {
@@ -272,6 +336,11 @@ func decodeQueryRequest(w http.ResponseWriter, r *http.Request) (queryRequest, e
 	if strings.TrimSpace(req.Query) == "" {
 		return req, errors.New("missing query (GET ?q=... or POST {\"query\":...})")
 	}
+	switch req.Explain {
+	case "", "plan", "analyze":
+	default:
+		return req, fmt.Errorf("bad explain %q (one of: plan, analyze)", req.Explain)
+	}
 	return req, nil
 }
 
@@ -286,9 +355,14 @@ func parseQueryAtom(q string) (ast.Atom, error) {
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	// Every /query response — success, shed, error — carries a server-minted
+	// query ID, so one ID follows the request through the error body, the
+	// metrics, the slowlog, and /debug/trace/{id}.
+	qid := trace.NewID()
+	w.Header().Set(queryIDHeader, qid)
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		w.Header().Set("Allow", "GET, POST")
-		s.fail(w, "", http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		s.fail(w, qid, "", http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 		return
 	}
 	req, err := decodeQueryRequest(w, r)
@@ -298,18 +372,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &tooBig) {
 			status = http.StatusRequestEntityTooLarge
 		}
-		s.fail(w, "", status, err)
+		s.fail(w, qid, "", status, err)
 		return
 	}
 	query, err := parseQueryAtom(req.Query)
 	if err != nil {
-		s.fail(w, "", http.StatusBadRequest, fmt.Errorf("parse query: %w", err))
+		s.fail(w, qid, "", http.StatusBadRequest, fmt.Errorf("parse query: %w", err))
 		return
 	}
 	strategy := s.defStrategy
 	if req.Strategy != "" {
 		if strategy, err = strategyByName(req.Strategy); err != nil {
-			s.fail(w, "", http.StatusBadRequest, err)
+			s.fail(w, qid, "", http.StatusBadRequest, err)
 			return
 		}
 	}
@@ -317,7 +391,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// A draining server refuses new queries outright; anything admitted now
 	// would only be canceled moments later.
 	if s.draining.Load() {
-		s.failDraining(w, strategy.String())
+		s.failDraining(w, qid, strategy.String())
 		return
 	}
 
@@ -361,14 +435,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, resilience.ErrLimiterClosed):
-			s.failDraining(w, strategy.String())
+			s.failDraining(w, qid, strategy.String())
 		case errors.Is(err, resilience.ErrQueueWait) && errors.Is(context.Cause(ctx), errDraining):
-			s.failDraining(w, strategy.String())
+			s.failDraining(w, qid, strategy.String())
 		default:
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 			s.observe(strategy.String(), 0, err)
 			writeJSON(w, http.StatusTooManyRequests, errorResponse{
-				Error: err.Error(), RetryAfterSeconds: retryAfterSeconds,
+				QueryID: qid, Error: err.Error(), RetryAfterSeconds: retryAfterSeconds,
 			})
 		}
 		return
@@ -380,21 +454,49 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	plan, hit, err := s.cache.Lookup(ctx, s.prog, s.hash, s.constraints, query, strategy)
 	if err != nil {
-		s.failEval(w, ctx, strategy.String(), compileStatus(err), err)
+		s.failEval(w, ctx, qid, strategy.String(), compileStatus(err), err)
 		return
+	}
+	disposition := planCacheInfo{
+		Disposition:   cacheLabel(hit),
+		CompileWallNS: plan.CompileWall.Nanoseconds(),
+	}
+
+	// EXPLAIN (plan): describe the compiled plan without evaluating.
+	if req.Explain == "plan" {
+		info, err := plan.Pipeline().Explain(strategy)
+		if err != nil {
+			s.failEval(w, ctx, qid, strategy.String(), compileStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, explainResponse{
+			QueryID: qid, Mode: "plan", Plan: info, PlanCache: disposition,
+		})
+		return
+	}
+
+	// Tracing: EXPLAIN ANALYZE always traces; plain queries trace when the
+	// sampler picks them. The Context itself is minted unconditionally (it is
+	// one allocation) so a slow untraced query still lands in the slowlog
+	// with its ID and wall time; the per-span overhead is gated on Span.
+	tc := trace.New(qid)
+	analyze := req.Explain == "analyze"
+	sampled := s.sampler.Sample()
+	if analyze || sampled {
+		opts.Span = tc.Root()
 	}
 
 	// Fresh EDB per request: evaluation derives into the DB, so sharing one
 	// across requests would leak one query's derivations into the next.
 	db := engine.NewDB()
 	if err := engine.LoadFacts(db, s.baseEDB); err != nil {
-		s.failEval(w, ctx, strategy.String(), statusForError(err), err)
+		s.failEval(w, ctx, qid, strategy.String(), statusForError(err), err)
 		return
 	}
 
 	res, err := plan.Run(db, opts)
 	if err != nil {
-		s.failEval(w, ctx, strategy.String(), statusForError(err), err)
+		s.failEval(w, ctx, qid, strategy.String(), statusForError(err), err)
 		return
 	}
 
@@ -404,9 +506,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	}
 	total := time.Since(start)
-	s.observe(strategy.String(), total, nil)
-	s.observeStorage(res.Storage)
-	writeJSON(w, http.StatusOK, queryResponse{
+	tc.Finish()
+	s.recordTrace(tc, opts.Span != nil, total)
+	s.observeResult(strategy.String(), total, res)
+	resp := queryResponse{
+		QueryID:     qid,
 		Query:       query.String(),
 		Strategy:    strategy.String(),
 		Answers:     pipeline.SortedAnswers(res),
@@ -414,11 +518,52 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Facts:       res.Facts,
 		Inferences:  res.Inferences,
 		Iterations:  res.Iterations,
-		PlanCache:   cacheLabel(hit),
+		PlanCache:   disposition.Disposition,
 		EvalWallNS:  res.EvalWall.Nanoseconds(),
 		TotalWallNS: total.Nanoseconds(),
 		Degraded:    res.Degraded,
-	})
+	}
+	if analyze {
+		info, err := plan.Pipeline().Explain(strategy)
+		if err != nil {
+			s.failEval(w, ctx, qid, strategy.String(), compileStatus(err), err)
+			return
+		}
+		snap := tc.Snapshot()
+		writeJSON(w, http.StatusOK, explainResponse{
+			QueryID:   qid,
+			Mode:      "analyze",
+			Plan:      info,
+			PlanCache: disposition,
+			Result:    &resp,
+			Trace:     &snap,
+			Profile:   tc.Profile(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordTrace publishes a finished trace: traced queries land in the
+// sampled-trace ring, slow queries (traced or not) in the slowlog.
+func (s *server) recordTrace(tc *trace.Context, traced bool, total time.Duration) {
+	slow := s.slowThreshold > 0 && total >= s.slowThreshold
+	if traced {
+		s.traces.Add(tc)
+	}
+	if slow {
+		s.slowlog.Add(tc)
+	}
+	if traced || slow {
+		s.mu.Lock()
+		if traced {
+			s.traced++
+		}
+		if slow {
+			s.slowSeen++
+		}
+		s.mu.Unlock()
+	}
 }
 
 func cacheLabel(hit bool) string {
@@ -457,19 +602,19 @@ func compileStatus(err error) int {
 }
 
 // fail records an errored query (when it reached evaluation, strategy is
-// set) and writes the error response.
-func (s *server) fail(w http.ResponseWriter, strategy string, status int, err error) {
+// set) and writes the error response, query ID included.
+func (s *server) fail(w http.ResponseWriter, qid, strategy string, status int, err error) {
 	s.observe(strategy, 0, err)
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorResponse{QueryID: qid, Error: err.Error()})
 }
 
 // failEval handles compile/evaluation failures: a cancellation caused by
 // shutdown becomes the typed draining 503 (the client did nothing wrong and
 // should retry elsewhere); everything else keeps its mapped status. Panic
 // and memory-budget failures feed the resilience counters.
-func (s *server) failEval(w http.ResponseWriter, ctx context.Context, strategy string, status int, err error) {
+func (s *server) failEval(w http.ResponseWriter, ctx context.Context, qid, strategy string, status int, err error) {
 	if errors.Is(err, engine.ErrCanceled) && errors.Is(context.Cause(ctx), errDraining) {
-		s.failDraining(w, strategy)
+		s.failDraining(w, qid, strategy)
 		return
 	}
 	s.mu.Lock()
@@ -480,18 +625,18 @@ func (s *server) failEval(w http.ResponseWriter, ctx context.Context, strategy s
 		s.memStops++
 	}
 	s.mu.Unlock()
-	s.fail(w, strategy, status, err)
+	s.fail(w, qid, strategy, status, err)
 }
 
 // failDraining writes the typed 503 shutdown response.
-func (s *server) failDraining(w http.ResponseWriter, strategy string) {
+func (s *server) failDraining(w http.ResponseWriter, qid, strategy string) {
 	s.mu.Lock()
 	s.drained++
 	s.mu.Unlock()
 	s.observe(strategy, 0, errDraining)
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
-		Error: errDraining.Error(), Draining: true, RetryAfterSeconds: retryAfterSeconds,
+		QueryID: qid, Error: errDraining.Error(), Draining: true, RetryAfterSeconds: retryAfterSeconds,
 	})
 }
 
@@ -514,14 +659,18 @@ func (s *server) observe(strategy string, d time.Duration, err error) {
 	h.Observe(d)
 }
 
-// observeStorage keeps the heaviest per-request storage footprint seen,
-// ranked by total bytes (arena + indexes). The record is replaced whole so
-// the reported load factors describe the same evaluation as the bytes.
-func (s *server) observeStorage(st obsv.StorageStats) {
+// observeResult folds one successful evaluation into the metrics: the
+// latency histogram, the rounds and storage-footprint histograms, and the
+// storage high-water record (replaced whole, so the reported load factors
+// describe the same evaluation as the bytes).
+func (s *server) observeResult(strategy string, total time.Duration, res *pipeline.RunResult) {
+	s.observe(strategy, total, nil)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if st.ArenaBytes+st.IndexBytes > s.storageHW.ArenaBytes+s.storageHW.IndexBytes {
-		s.storageHW = st
+	s.rounds.Observe(float64(res.Iterations))
+	s.arena.Observe(float64(res.Storage.ArenaBytes + res.Storage.IndexBytes))
+	if res.Storage.ArenaBytes+res.Storage.IndexBytes > s.storageHW.ArenaBytes+s.storageHW.IndexBytes {
+		s.storageHW = res.Storage
 	}
 }
 
@@ -567,9 +716,16 @@ func (s *server) snapshot() obsv.ServerStats {
 	latency := make(map[string]*obsv.Histogram, len(s.latency))
 	for name, h := range s.latency {
 		cp := *h
+		cp.Bounds = append([]time.Duration(nil), h.Bounds...)
 		cp.BucketCounts = append([]int64(nil), h.BucketCounts...)
 		latency[name] = &cp
 	}
+	rounds := *s.rounds
+	rounds.Bounds = append([]float64(nil), s.rounds.Bounds...)
+	rounds.BucketCounts = append([]int64(nil), s.rounds.BucketCounts...)
+	arena := *s.arena
+	arena.Bounds = append([]float64(nil), s.arena.Bounds...)
+	arena.BucketCounts = append([]int64(nil), s.arena.BucketCounts...)
 	return obsv.ServerStats{
 		Schema:           metricsSchema,
 		UptimeSeconds:    time.Since(s.start).Seconds(),
@@ -578,6 +734,10 @@ func (s *server) snapshot() obsv.ServerStats {
 		InFlight:         s.inflight.Load(),
 		PlanCache:        s.cache.Stats(),
 		Latency:          latency,
+		Rounds:           &rounds,
+		ArenaBytes:       &arena,
+		SlowQueries:      s.slowSeen,
+		TracedQueries:    s.traced,
 		StorageHighWater: s.storageHW,
 		Resilience: obsv.ResilienceStats{
 			Admission:         s.limiter.Stats(),
@@ -589,14 +749,64 @@ func (s *server) snapshot() obsv.ServerStats {
 	}
 }
 
+// handleMetrics serves Prometheus text exposition by default (what scrapers
+// expect of a /metrics endpoint); ?format=json keeps the structured
+// factorlog/metrics/v5 document and ?format=text the human-readable table.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	stats := s.snapshot()
-	if r.URL.Query().Get("format") == "text" {
+	switch r.URL.Query().Get("format") {
+	case "", "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, obsv.PromExposition(stats))
+	case "json":
+		writeJSON(w, http.StatusOK, stats)
+	case "text":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, obsv.ServerTable(stats))
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("bad format %q (one of: prometheus, json, text)", r.URL.Query().Get("format")),
+		})
+	}
+}
+
+// handleSlowlog returns the recent slow queries, newest first, as finished
+// trace snapshots (untraced slow queries appear with just their root span).
+func (s *server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	recent := s.slowlog.Recent()
+	traces := make([]trace.ContextJSON, 0, len(recent))
+	for _, tc := range recent {
+		traces = append(traces, tc.Snapshot())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_ms": s.slowThreshold.Milliseconds(),
+		"total":        s.slowlog.Total(),
+		"traces":       traces,
+	})
+}
+
+// handleTrace serves one finished trace by query ID: sampled traces first,
+// then the slowlog (a slow untraced query lives only there).
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing trace id (/debug/trace/{id})"})
 		return
 	}
-	writeJSON(w, http.StatusOK, stats)
+	tc := s.traces.Get(id)
+	if tc == nil {
+		tc = s.slowlog.Get(id)
+	}
+	if tc == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no trace %q (sampled traces and slow queries are kept for the last %d each)", id, traceRingSize)})
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, tc.Profile())
+		return
+	}
+	writeJSON(w, http.StatusOK, tc.Snapshot())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

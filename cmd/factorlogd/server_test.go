@@ -120,7 +120,7 @@ func TestMetricsReportCacheHits(t *testing.T) {
 			t.Fatalf("status %d: %s", status, body)
 		}
 	}
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestConcurrentQueries(t *testing.T) {
 		t.Error(err)
 	}
 
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,38 @@
+// Command promcheck validates a Prometheus text-exposition document read
+// from stdin: every sample line must parse, every family must carry a
+// # TYPE, and histogram series must be internally consistent (ascending le
+// labels, cumulative bucket counts, +Inf matching _count). It prints the
+// sample count on success and fails loudly otherwise — CI pipes factorlogd's
+// /metrics through it so a malformed exposition breaks the build, not the
+// scrape.
+//
+// Usage:
+//
+//	curl -fsS http://localhost:8080/metrics | promcheck
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"factorlog/internal/obsv"
+)
+
+func main() {
+	body, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck: read stdin:", err)
+		os.Exit(1)
+	}
+	n, err := obsv.ParsePromText(string(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "promcheck: no samples in input")
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: ok, %d samples\n", n)
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"factorlog/internal/obsv"
+)
+
+// The command is a thin wrapper over obsv.ParsePromText (tested in depth in
+// internal/obsv); this only pins the wiring — valid input parses, junk and
+// empty input do not.
+func TestParseWiring(t *testing.T) {
+	valid := strings.Join([]string{
+		"# HELP factorlog_queries_total Total queries.",
+		"# TYPE factorlog_queries_total counter",
+		"factorlog_queries_total 42",
+		"",
+	}, "\n")
+	n, err := obsv.ParsePromText(valid)
+	if err != nil || n != 1 {
+		t.Fatalf("valid input: n=%d err=%v", n, err)
+	}
+	if _, err := obsv.ParsePromText("not prometheus at all\n"); err == nil {
+		t.Error("junk input accepted")
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"factorlog/internal/obsv"
 	"factorlog/internal/parser"
 	"factorlog/internal/pipeline"
+	"factorlog/internal/trace"
 )
 
 // Strategy selects how a query is evaluated. See package pipeline for the
@@ -113,6 +114,22 @@ type (
 	StorageStats = obsv.StorageStats
 )
 
+// Trace and TraceSpan re-export the query-scoped tracing types: a Trace is
+// one query's bounded span tree, a TraceSpan one node of it. A nil
+// *TraceSpan is a valid no-op tracer, so callers can thread one
+// unconditionally. See package trace for the span discipline.
+type (
+	Trace     = trace.Context
+	TraceSpan = trace.Span
+)
+
+// NewTrace starts a trace for one query; pass its Root() to WithTraceSpan,
+// run, then Finish() and render via Profile() or JSON-marshal it.
+func NewTrace(id string) *Trace { return trace.New(id) }
+
+// NewTraceID mints a process-unique query ID (e.g. "q-9f2c1a7b-42").
+func NewTraceID() string { return trace.NewID() }
+
 // System is a compiled (program, query) pair with cached transformations.
 type System struct {
 	pl       *pipeline.Pipeline
@@ -183,6 +200,16 @@ func (s *System) WithMemoryBudget(maxBytes int64) *System {
 // parallel runs), at a small evaluation-time cost.
 func (s *System) WithTrace(on bool) *System {
 	s.evalOpts.Trace = on
+	return s
+}
+
+// WithTraceSpan threads a trace span into subsequent Runs: the pipeline
+// attaches its compile-stage spans under it and the engine records stratum,
+// round, rule, and worker spans below an "eval" child. A nil span disables
+// span tracing (the no-op path costs nothing). Implies WithTrace for the
+// duration of the traced runs.
+func (s *System) WithTraceSpan(sp *TraceSpan) *System {
+	s.evalOpts.Span = sp
 	return s
 }
 
@@ -443,6 +470,17 @@ func (s *System) Explain(strategy Strategy) (*Explanation, error) {
 	default:
 		return nil, fmt.Errorf("unknown strategy %v", strategy)
 	}
+}
+
+// PlanInfo re-exports the structured plan description EXPLAIN serves: the
+// applied reductions, the transformed rule set, and the stratum schedule.
+type PlanInfo = pipeline.ExplainInfo
+
+// Plan compiles strategy (memoized, like Prepare) and describes the
+// resulting plan; render it with PlanInfo.Text or JSON-marshal it. It fails
+// where Run would fail to transform.
+func (s *System) Plan(strategy Strategy) (*PlanInfo, error) {
+	return s.pl.Explain(strategy)
 }
 
 // Classify reports which factorability theorem (if any) applies to the

@@ -10,6 +10,7 @@ import (
 	"factorlog/internal/ast"
 	"factorlog/internal/faultinject"
 	"factorlog/internal/obsv"
+	"factorlog/internal/trace"
 )
 
 // Strategy selects the fixpoint algorithm.
@@ -134,6 +135,14 @@ type Options struct {
 	// default: with tracing off the hot path pays a nil check per event and
 	// allocates nothing.
 	Trace bool
+	// Span, when non-nil, receives a query-scoped span tree of the
+	// evaluation: round and rule-pass spans sequentially, stratum, round,
+	// and worker spans in parallel mode. Setting Span implies Trace (the
+	// span attributes are read off the trace counters). Spans are recorded
+	// per stage/stratum/round/rule — never per tuple — and the trace's span
+	// cap bounds the memory one query can hold; a nil Span costs the same
+	// single nil check as Trace=false.
+	Span *trace.Span
 }
 
 // validate rejects option values outside their domain up front, so a typo
@@ -217,6 +226,9 @@ func Eval(p *ast.Program, db *DB, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	if opts.Span != nil {
+		opts.Trace = true
+	}
 	rules, err := compileRulesGuarded(p, db.Store, opts.ReorderJoins)
 	if err != nil {
 		return nil, err
@@ -266,6 +278,7 @@ func evalSequentialGuarded(p *ast.Program, db *DB, rules []*compiledRule, opts O
 	if opts.Trace {
 		ev.trace = newEvalTrace(rules)
 	}
+	ev.span = opts.Span
 	if err := ev.run(); err != nil {
 		return nil, err
 	}
@@ -311,6 +324,12 @@ type evaluator struct {
 	// nil-guarded so the untraced hot path neither branches deeply nor
 	// allocates.
 	trace *evalTrace
+
+	// span is Options.Span (the evaluation's parent span) and roundSpan the
+	// currently open round span; both nil when span tracing is off, and every
+	// operation on them is a nil-receiver no-op.
+	span      *trace.Span
+	roundSpan *trace.Span
 }
 
 // runner executes one rule's join over the database. The sequential
@@ -379,6 +398,7 @@ func (ev *evaluator) traceRoundStart() {
 		t.start = time.Now()
 		t.fired = 0
 	}
+	ev.roundSpan = ev.span.Child("round").SetRound(int(ev.curRound))
 }
 
 func (ev *evaluator) traceRoundEnd() {
@@ -390,6 +410,9 @@ func (ev *evaluator) traceRoundEnd() {
 			Wall:       time.Since(t.start),
 		})
 	}
+	ev.roundSpan.AddTuplesOut(int64(total(ev.newCounts)))
+	ev.roundSpan.End()
+	ev.roundSpan = nil
 }
 
 func (ev *evaluator) traceRule(r *compiledRule) {
@@ -504,7 +527,22 @@ func buildIndexes(db *DB, rules []*compiledRule) {
 func (ev *evaluator) evalRule(r *compiledRule, deltaOcc int) error {
 	ev.traceRule(r)
 	ev.rn.setLimits(r, r.idbOccs, deltaOcc, ev.curRound)
-	return ev.rn.runRule(r)
+	if ev.roundSpan == nil {
+		return ev.rn.runRule(r)
+	}
+	// Rule-pass span: attribute the pass's probe and derivation deltas read
+	// off the per-rule trace counters (Span implies Trace, so cur is set).
+	sp := ev.roundSpan.Child("rule").SetRule(r.idx)
+	var probes0, derived0 int
+	if c := ev.rn.cur; c != nil {
+		probes0, derived0 = c.JoinProbes, c.TuplesDerived
+	}
+	err := ev.rn.runRule(r)
+	if c := ev.rn.cur; c != nil {
+		sp.SetTuples(int64(c.JoinProbes-probes0), int64(c.TuplesDerived-derived0))
+	}
+	sp.End()
+	return err
 }
 
 // setLimits prepares the per-literal round windows for one evaluation of r:

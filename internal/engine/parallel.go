@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"factorlog/internal/depgraph"
 	"factorlog/internal/faultinject"
 	"factorlog/internal/obsv"
+	"factorlog/internal/trace"
 )
 
 // This file implements parallel stratified evaluation (Options.Workers > 1):
@@ -248,6 +250,14 @@ type parEvaluator struct {
 	trace      *evalTrace
 	mergeRules []obsv.RuleStats // barrier-side counters (derived, duplicates)
 	strata     []obsv.StratumStats
+
+	// span is Options.Span and stratumSpan the currently open stratum span;
+	// both nil-receiver no-ops when span tracing is off. Only the
+	// coordinator touches them — round spans bracket whole rounds (workers
+	// included), and worker busy time is attached once at the end, so no
+	// worker goroutine ever creates spans mid-join.
+	span        *trace.Span
+	stratumSpan *trace.Span
 }
 
 // evalParallel is the Workers > 1 entry point; the caller has already
@@ -259,6 +269,7 @@ func evalParallel(p *ast.Program, db *DB, rules []*compiledRule, opts Options) (
 		opts:      opts,
 		newCounts: map[string]int{},
 		ctx:       opts.Context,
+		span:      opts.Span,
 	}
 	if err := contextErr(ev.ctx); err != nil {
 		return nil, err
@@ -323,6 +334,17 @@ func evalParallel(p *ast.Program, db *DB, rules []*compiledRule, opts Options) (
 		}
 	}
 
+	// Attach each worker's cumulative busy time as a pre-measured span;
+	// per-round worker spans would multiply the span count for no extra
+	// signal.
+	if ev.span != nil {
+		for _, pw := range ev.workers {
+			ev.span.AddFinished("worker", pw.stats.Busy).
+				SetWorker(pw.stats.Worker).SetTuples(0, int64(pw.stats.Tuples)).
+				SetNote(fmt.Sprintf("%d units", pw.stats.Units))
+		}
+	}
+
 	if ev.trace != nil {
 		// Fold the workers' join counters and the barrier's insert counters
 		// into one per-rule table.
@@ -350,6 +372,16 @@ func evalParallel(p *ast.Program, db *DB, rules []*compiledRule, opts Options) (
 // rules, then (if recursive) semi-naive rounds until no new facts appear.
 func (ev *parEvaluator) evalStratum(si int, st *depgraph.Stratum) error {
 	start := time.Now()
+	ev.stratumSpan = ev.span.Child("stratum").SetStratum(si)
+	if ev.stratumSpan != nil {
+		ev.stratumSpan.SetNote(strings.Join(st.Preds, ","))
+		// End on every exit so error paths (budget, cancellation, panic)
+		// still leave a measured span behind for the trace.
+		defer func() {
+			ev.stratumSpan.End()
+			ev.stratumSpan = nil
+		}()
+	}
 	preds := st.PredSet()
 	srules := make([]*compiledRule, len(st.Rules))
 	recOccs := make([][]int, len(st.Rules))
@@ -428,6 +460,7 @@ func (ev *parEvaluator) evalStratum(si int, st *depgraph.Stratum) error {
 			Wall:      time.Since(start),
 		})
 	}
+	ev.stratumSpan.AddTuplesOut(int64(ev.stats.Derived - factsBefore))
 	return nil
 }
 
@@ -451,6 +484,8 @@ func (ev *parEvaluator) runRound(units []workUnit) error {
 	if ev.trace != nil {
 		roundStart = time.Now()
 	}
+	roundSpan := ev.stratumSpan.Child("round").SetRound(int(ev.curRound))
+	defer roundSpan.End()
 	nw := len(ev.workers)
 	if nw > len(units) {
 		nw = len(units)
@@ -556,6 +591,7 @@ func (ev *parEvaluator) runRound(units []workUnit) error {
 			Wall:       time.Since(roundStart),
 		})
 	}
+	roundSpan.AddTuplesOut(int64(added))
 	if ev.opts.MaxFacts > 0 && ev.stats.Derived > ev.opts.MaxFacts {
 		return fmt.Errorf("%w: %d derived facts", ErrBudgetExceeded, ev.stats.Derived)
 	}

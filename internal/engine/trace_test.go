@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"factorlog/internal/parser"
+	"factorlog/internal/trace"
 )
 
 // traceTC evaluates a transitive closure over a small cyclic graph (cycles
@@ -114,5 +115,133 @@ func TestTraceOffZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("trace helpers allocated %v times per run with tracing off", allocs)
+	}
+}
+
+// spanTC is traceTC for span tracing: evaluate the cyclic TC under a
+// trace.Context and return the finished trace.
+func spanTC(t *testing.T, opts Options) *trace.Context {
+	t.Helper()
+	tc := trace.New(trace.NewID())
+	opts.Span = tc.Root().Child("eval")
+	stats := traceTC(t, opts)
+	opts.Span.End()
+	tc.Finish()
+	if stats.Rules == nil {
+		t.Fatal("Options.Span must imply Options.Trace")
+	}
+	return tc
+}
+
+// spanNames flattens a finished trace into name counts.
+func spanNames(tc *trace.Context) map[string]int {
+	counts := map[string]int{}
+	var walk func(s *trace.Span)
+	walk = func(s *trace.Span) {
+		counts[s.Name]++
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	walk(tc.Root())
+	return counts
+}
+
+func TestSpanTreeSequential(t *testing.T) {
+	tc := spanTC(t, Options{})
+	counts := spanNames(tc)
+	if counts["round"] < 2 {
+		t.Errorf("sequential trace has %d round spans, want >= 2", counts["round"])
+	}
+	if counts["rule"] < 2 {
+		t.Errorf("sequential trace has %d rule spans, want >= 2", counts["rule"])
+	}
+	// Every rule span carries a rule index and sits under a round span.
+	for _, ev := range tc.Root().Children() {
+		for _, round := range ev.Children() {
+			if round.Name != "round" || round.Round < 0 {
+				t.Errorf("unexpected child of eval: %s round=%d", round.Name, round.Round)
+			}
+			for _, rule := range round.Children() {
+				if rule.Name != "rule" || rule.Rule < 0 {
+					t.Errorf("unexpected child of round: %s rule=%d", rule.Name, rule.Rule)
+				}
+			}
+		}
+	}
+}
+
+func TestSpanTreeParallel(t *testing.T) {
+	tc := spanTC(t, Options{Workers: 3})
+	counts := spanNames(tc)
+	if counts["stratum"] < 1 {
+		t.Errorf("parallel trace has %d stratum spans, want >= 1", counts["stratum"])
+	}
+	if counts["round"] < 2 {
+		t.Errorf("parallel trace has %d round spans, want >= 2", counts["round"])
+	}
+	if counts["worker"] != 3 {
+		t.Errorf("parallel trace has %d worker spans, want 3", counts["worker"])
+	}
+	// The derived-fact totals attributed to strata must cover every derived
+	// fact (TC derives t-tuples in its single recursive stratum).
+	var out int64
+	for _, ev := range tc.Root().Children() {
+		for _, s := range ev.Children() {
+			if s.Name == "stratum" {
+				out += s.TuplesOut
+			}
+		}
+	}
+	if out == 0 {
+		t.Error("stratum spans attribute no derived tuples")
+	}
+}
+
+// TestSpanOffZeroAllocs extends the Trace=false contract to Options.Span:
+// with no span, the span hooks on the round path must not allocate.
+func TestSpanOffZeroAllocs(t *testing.T) {
+	ev := &evaluator{newCounts: map[string]int{}}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ev.traceRoundStart()
+		ev.traceRoundEnd()
+	})
+	if allocs != 0 {
+		t.Errorf("span hooks allocated %v times per run with Span nil", allocs)
+	}
+}
+
+// BenchmarkEvalNoTracing measures a full small evaluation with tracing
+// disabled — the baseline the ~ns claim for disabled instrumentation is
+// made against (compare BenchmarkEvalSpanTracing).
+func BenchmarkEvalNoTracing(b *testing.B) {
+	benchEval(b, false)
+}
+
+func BenchmarkEvalSpanTracing(b *testing.B) {
+	benchEval(b, true)
+}
+
+func benchEval(b *testing.B, spans bool) {
+	p := parser.MustParseProgram(`
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+	`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := NewDB()
+		for j := 0; j < 30; j++ {
+			db.MustInsert("e", db.Store.Int(j), db.Store.Int(j+1))
+		}
+		opts := Options{}
+		var tc *trace.Context
+		if spans {
+			tc = trace.New("bench")
+			opts.Span = tc.Root()
+		}
+		if _, err := Eval(p, db, opts); err != nil {
+			b.Fatal(err)
+		}
+		tc.Finish()
 	}
 }

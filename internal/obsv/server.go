@@ -27,42 +27,71 @@ type CacheStats struct {
 	Entries int `json:"entries"`
 }
 
-// HistogramBounds are the bucket upper bounds shared by every Histogram:
-// powers of four from 16µs to ~4.3s, with a final overflow bucket. The
+// HistogramBounds are the default bucket upper bounds: exponential with
+// growth factor 4 from 16µs to ~4.3s, plus an implicit overflow bucket. The
 // range covers sub-millisecond cache-hit queries and multi-second scans in
-// ten buckets.
-var HistogramBounds = []time.Duration{
-	16 * time.Microsecond,
-	64 * time.Microsecond,
-	256 * time.Microsecond,
-	1024 * time.Microsecond,
-	4096 * time.Microsecond,
-	16384 * time.Microsecond,
-	65536 * time.Microsecond,
-	262144 * time.Microsecond,
-	1048576 * time.Microsecond,
-	4194304 * time.Microsecond,
+// ten buckets. Histograms that need different resolution pass their own
+// bounds to NewHistogramBounds (see ExponentialBounds).
+var HistogramBounds = ExponentialBounds(16*time.Microsecond, 4, 10)
+
+// ExponentialBounds builds n bucket upper bounds starting at lo and growing
+// by the given factor: lo, lo*growth, lo*growth², ... . It panics on a
+// non-positive lo or n, or growth <= 1, since silently odd buckets corrupt
+// every quantile read off them.
+func ExponentialBounds(lo time.Duration, growth float64, n int) []time.Duration {
+	if lo <= 0 || growth <= 1 || n <= 0 {
+		panic(fmt.Sprintf("obsv: invalid exponential bounds (lo=%v growth=%v n=%d)", lo, growth, n))
+	}
+	bounds := make([]time.Duration, n)
+	f := float64(lo)
+	for i := range bounds {
+		bounds[i] = time.Duration(f)
+		f *= growth
+	}
+	return bounds
 }
 
-// Histogram is a fixed-bucket latency histogram over HistogramBounds, with
-// one extra overflow bucket. The zero value is not ready to use; call
-// NewHistogram. Like all obsv records it is not safe for concurrent
-// mutation — callers serialize Observe with their own lock.
+// Histogram is a fixed-bucket latency histogram with one extra overflow
+// bucket past the last bound. The zero value is not ready to use; call
+// NewHistogram or NewHistogramBounds. Like all obsv records it is not safe
+// for concurrent mutation — callers serialize Observe with their own lock.
 type Histogram struct {
+	// Bounds are the bucket upper bounds, ascending. Empty means the package
+	// default (HistogramBounds) — kept out of the JSON in that case so the
+	// common document stays compact.
+	Bounds []time.Duration `json:"bounds_ns,omitempty"`
 	// Count is the number of observations.
 	Count int64 `json:"count"`
 	// Sum is the total of all observations.
 	Sum time.Duration `json:"sum_ns"`
 	// Max is the largest observation.
 	Max time.Duration `json:"max_ns"`
-	// BucketCounts[i] counts observations <= HistogramBounds[i]; the final
-	// element counts overflow.
+	// BucketCounts[i] counts observations <= bounds[i]; the final element
+	// counts overflow.
 	BucketCounts []int64 `json:"bucket_counts"`
 }
 
-// NewHistogram returns an empty histogram.
+// NewHistogram returns an empty histogram over the default bounds.
 func NewHistogram() *Histogram {
 	return &Histogram{BucketCounts: make([]int64, len(HistogramBounds)+1)}
+}
+
+// NewHistogramBounds returns an empty histogram over the given ascending
+// bucket upper bounds.
+func NewHistogramBounds(bounds []time.Duration) *Histogram {
+	return &Histogram{
+		Bounds:       append([]time.Duration(nil), bounds...),
+		BucketCounts: make([]int64, len(bounds)+1),
+	}
+}
+
+// bounds returns the effective bucket bounds (the package default when the
+// histogram was built by NewHistogram).
+func (h *Histogram) bounds() []time.Duration {
+	if len(h.Bounds) > 0 {
+		return h.Bounds
+	}
+	return HistogramBounds
 }
 
 // Observe records one duration.
@@ -72,35 +101,59 @@ func (h *Histogram) Observe(d time.Duration) {
 	if d > h.Max {
 		h.Max = d
 	}
-	for i, b := range HistogramBounds {
+	for i, b := range h.bounds() {
 		if d <= b {
 			h.BucketCounts[i]++
 			return
 		}
 	}
-	h.BucketCounts[len(HistogramBounds)]++
+	h.BucketCounts[len(h.BucketCounts)-1]++
 }
 
-// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
-// bound of the bucket where the cumulative count crosses q, or Max for the
-// overflow bucket. Zero observations yield 0.
+// Quantile estimates the q-quantile (0 < q <= 1) by locating the bucket
+// where the cumulative count crosses rank q·Count and interpolating
+// linearly inside it. The first bucket interpolates from 0; the overflow
+// bucket interpolates between the last bound and Max, so a histogram whose
+// tail spills past the bounds still reports a finite, monotone p99. Results
+// never exceed Max; zero observations yield 0.
 func (h *Histogram) Quantile(q float64) time.Duration {
+	bounds := h.bounds()
 	if h.Count == 0 {
 		return 0
 	}
-	target := int64(q * float64(h.Count))
+	target := q * float64(h.Count)
 	if target < 1 {
 		target = 1
 	}
 	var cum int64
 	for i, n := range h.BucketCounts {
-		cum += n
-		if cum >= target {
-			if i < len(HistogramBounds) {
-				return HistogramBounds[i]
-			}
-			return h.Max
+		if n == 0 {
+			cum += n
+			continue
 		}
+		if float64(cum+n) >= target {
+			var lo, hi time.Duration
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			if i < len(bounds) {
+				hi = bounds[i]
+			} else {
+				// Overflow bucket: the only honest upper edge is the
+				// largest observation itself.
+				lo, hi = bounds[len(bounds)-1], h.Max
+				if hi < lo {
+					hi = lo
+				}
+			}
+			frac := (target - float64(cum)) / float64(n)
+			est := lo + time.Duration(frac*float64(hi-lo))
+			if est > h.Max {
+				est = h.Max
+			}
+			return est
+		}
+		cum += n
 	}
 	return h.Max
 }
@@ -111,6 +164,61 @@ func (h *Histogram) Mean() time.Duration {
 		return 0
 	}
 	return h.Sum / time.Duration(h.Count)
+}
+
+// ValueHistogram is a fixed-bucket histogram over unitless values (fixpoint
+// rounds, arena bytes) with the same layout and bucket semantics as
+// Histogram. Not safe for concurrent mutation.
+type ValueHistogram struct {
+	// Bounds are the bucket upper bounds, ascending.
+	Bounds []float64 `json:"bounds"`
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+	// Sum is the total of all observations.
+	Sum float64 `json:"sum"`
+	// Max is the largest observation.
+	Max float64 `json:"max"`
+	// BucketCounts[i] counts observations <= Bounds[i]; the final element
+	// counts overflow.
+	BucketCounts []int64 `json:"bucket_counts"`
+}
+
+// NewValueHistogram returns an empty histogram over the given ascending
+// bucket upper bounds.
+func NewValueHistogram(bounds []float64) *ValueHistogram {
+	return &ValueHistogram{
+		Bounds:       append([]float64(nil), bounds...),
+		BucketCounts: make([]int64, len(bounds)+1),
+	}
+}
+
+// ExponentialValueBounds is ExponentialBounds for unitless values.
+func ExponentialValueBounds(lo, growth float64, n int) []float64 {
+	if lo <= 0 || growth <= 1 || n <= 0 {
+		panic(fmt.Sprintf("obsv: invalid exponential bounds (lo=%v growth=%v n=%d)", lo, growth, n))
+	}
+	bounds := make([]float64, n)
+	for i := range bounds {
+		bounds[i] = lo
+		lo *= growth
+	}
+	return bounds
+}
+
+// Observe records one value.
+func (h *ValueHistogram) Observe(v float64) {
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	for i, b := range h.Bounds {
+		if v <= b {
+			h.BucketCounts[i]++
+			return
+		}
+	}
+	h.BucketCounts[len(h.BucketCounts)-1]++
 }
 
 // ServerStats is the /metrics document of a query server.
@@ -129,6 +237,18 @@ type ServerStats struct {
 	PlanCache CacheStats `json:"plan_cache"`
 	// Latency holds one request-latency histogram per strategy name.
 	Latency map[string]*Histogram `json:"latency_by_strategy"`
+	// Rounds histograms per-query fixpoint rounds across all strata
+	// (optional: servers that do not record it omit the field, keeping the
+	// schema at v5).
+	Rounds *ValueHistogram `json:"rounds,omitempty"`
+	// ArenaBytes histograms per-query storage footprint (arena + index
+	// bytes), the distribution behind StorageHighWater's single maximum.
+	ArenaBytes *ValueHistogram `json:"arena_bytes,omitempty"`
+	// SlowQueries counts queries that exceeded the slow-query threshold.
+	SlowQueries int64 `json:"slow_queries,omitempty"`
+	// TracedQueries counts queries that recorded a span trace (sampled,
+	// explained, or slow-logged).
+	TracedQueries int64 `json:"traced_queries,omitempty"`
 	// StorageHighWater is the largest per-request storage footprint seen
 	// since startup (selected by arena + index bytes): what the heaviest
 	// query's database cost in tuple arenas and hash tables.

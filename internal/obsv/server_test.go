@@ -1,0 +1,157 @@
+package obsv
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExponentialBounds(t *testing.T) {
+	got := ExponentialBounds(16*time.Microsecond, 4, 4)
+	want := []time.Duration{16 * time.Microsecond, 64 * time.Microsecond,
+		256 * time.Microsecond, 1024 * time.Microsecond}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bounds[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExponentialBounds(0, 4, 4) },
+		func() { ExponentialBounds(time.Second, 1, 4) },
+		func() { ExponentialBounds(time.Second, 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid bounds did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestHistogramCustomBounds(t *testing.T) {
+	h := NewHistogramBounds([]time.Duration{time.Millisecond, 10 * time.Millisecond})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(50 * time.Millisecond) // overflow
+	if got := []int64{h.BucketCounts[0], h.BucketCounts[1], h.BucketCounts[2]}; got[0] != 1 || got[1] != 1 || got[2] != 1 {
+		t.Errorf("bucket counts = %v", got)
+	}
+	if h.Max != 50*time.Millisecond || h.Count != 3 {
+		t.Errorf("max=%v count=%d", h.Max, h.Count)
+	}
+}
+
+// TestQuantileInterpolation pins the interpolated estimator: uniform
+// observations within one bucket should produce quantiles strictly inside
+// the bucket, not snapped to its upper bound.
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHistogramBounds([]time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond})
+	// 100 observations in (10ms, 20ms].
+	for i := 0; i < 100; i++ {
+		h.Observe(15 * time.Millisecond)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 <= 10*time.Millisecond || p50 > 20*time.Millisecond {
+		t.Errorf("p50 = %v, want inside (10ms, 20ms]", p50)
+	}
+	if p50 == 20*time.Millisecond {
+		t.Errorf("p50 snapped to bucket upper bound; interpolation missing")
+	}
+	// Median of a full bucket should be near its middle.
+	if p50 < 14*time.Millisecond || p50 > 16*time.Millisecond {
+		t.Errorf("p50 = %v, want ~15ms", p50)
+	}
+	if p90, p99 := h.Quantile(0.90), h.Quantile(0.99); p99 < p90 {
+		t.Errorf("quantiles not monotone: p90=%v p99=%v", p90, p99)
+	}
+}
+
+// TestQuantileOverflowBucket pins the satellite fix: quantiles landing in
+// the overflow bucket interpolate between the last bound and Max instead of
+// returning Max for everything past the bounds.
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogramBounds([]time.Duration{time.Millisecond})
+	// 50 fast, 50 slow (overflow, max 9ms).
+	for i := 0; i < 50; i++ {
+		h.Observe(500 * time.Microsecond)
+		h.Observe(time.Duration(5+i%5) * time.Millisecond)
+	}
+	p75 := h.Quantile(0.75)
+	if p75 <= time.Millisecond {
+		t.Errorf("p75 = %v, want beyond last bound", p75)
+	}
+	if p75 >= h.Max {
+		t.Errorf("p75 = %v, want interpolated below Max=%v", p75, h.Max)
+	}
+	if p100 := h.Quantile(1.0); p100 != h.Max {
+		t.Errorf("p100 = %v, want Max=%v", p100, h.Max)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	empty := NewHistogram()
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+
+	one := NewHistogram()
+	one.Observe(3 * time.Millisecond)
+	if got := one.Quantile(0.5); got > one.Max {
+		t.Errorf("single-observation quantile %v exceeds max %v", got, one.Max)
+	}
+	if got := one.Quantile(0.000001); got > one.Max || got <= 0 {
+		t.Errorf("tiny-q quantile = %v", got)
+	}
+
+	// All observations beyond every bound: the whole distribution lives in
+	// the overflow bucket and quantiles must stay within (lastBound, Max].
+	over := NewHistogramBounds([]time.Duration{time.Microsecond})
+	for i := 1; i <= 10; i++ {
+		over.Observe(time.Duration(i) * time.Second)
+	}
+	p50 := over.Quantile(0.5)
+	if p50 <= time.Microsecond || p50 > over.Max {
+		t.Errorf("overflow-only p50 = %v, want in (1µs, %v]", p50, over.Max)
+	}
+	// First-bucket interpolation starts from zero.
+	lo := NewHistogramBounds([]time.Duration{10 * time.Millisecond})
+	lo.Observe(2 * time.Millisecond)
+	lo.Observe(2 * time.Millisecond)
+	if got := lo.Quantile(0.5); got <= 0 || got > lo.Max {
+		t.Errorf("first-bucket p50 = %v, want in (0, %v]", got, lo.Max)
+	}
+}
+
+func TestValueHistogram(t *testing.T) {
+	h := NewValueHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	want := []int64{1, 1, 1, 1}
+	for i, n := range h.BucketCounts {
+		if n != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, n, want[i])
+		}
+	}
+	if h.Count != 4 || h.Max != 500 || h.Sum != 555.5 {
+		t.Errorf("count=%d max=%v sum=%v", h.Count, h.Max, h.Sum)
+	}
+}
+
+func TestDefaultBoundsUnchanged(t *testing.T) {
+	// The default bucket scheme is part of the /metrics contract; moving it
+	// silently would break dashboards. 16µs..~4.19s, factor 4, 10 buckets.
+	if len(HistogramBounds) != 10 ||
+		HistogramBounds[0] != 16*time.Microsecond ||
+		HistogramBounds[9] != 4194304*time.Microsecond {
+		t.Errorf("default bounds drifted: %v", HistogramBounds)
+	}
+	h := NewHistogram()
+	h.Observe(time.Hour)
+	if h.BucketCounts[len(h.BucketCounts)-1] != 1 {
+		t.Error("overflow observation not in overflow bucket")
+	}
+}

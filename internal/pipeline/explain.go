@@ -1,0 +1,156 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/core"
+	"factorlog/internal/depgraph"
+	"factorlog/internal/obsv"
+)
+
+// This file implements the plan half of EXPLAIN: a structured description
+// of what one strategy's compiled plan looks like — the transformed rule
+// set, which §4/§5 reductions applied, and the stratum schedule the
+// parallel evaluator would run. EXPLAIN ANALYZE adds the measured span tree
+// on top (the server composes the two; see cmd/factorlogd).
+
+// StratumPlan is one stratum of the plan's topological schedule.
+type StratumPlan struct {
+	// Index is the stratum's position in the schedule.
+	Index int `json:"index"`
+	// Preds are the IDB predicates the stratum defines.
+	Preds []string `json:"preds"`
+	// Recursive reports whether the stratum needs a fixpoint.
+	Recursive bool `json:"recursive"`
+	// Rules counts the rules belonging to the stratum.
+	Rules int `json:"rules"`
+}
+
+// ExplainInfo describes one strategy's compiled plan for a query.
+type ExplainInfo struct {
+	// Strategy is the strategy name ("factored+opt", ...).
+	Strategy string `json:"strategy"`
+	// Query is the original query atom; Adornment its binding pattern.
+	Query     string `json:"query"`
+	Adornment string `json:"adornment"`
+	// Rules is the transformed rule set the strategy evaluates, one rendered
+	// rule per line in program order.
+	Rules []string `json:"rules"`
+	// Reductions lists the §4/§5 reductions (and other rewrites) that
+	// applied, in application order: the Magic transformation, the factoring
+	// theorem used with its predicate split, and each Section 5 clean-up
+	// step. Empty for strategies that evaluate the source program directly.
+	Reductions []string `json:"reductions"`
+	// Strata is the topological stratum schedule of the evaluated program.
+	Strata []StratumPlan `json:"strata"`
+	// Stages are the compile-stage spans (wall, rule/arity deltas) the
+	// pipeline recorded building this plan.
+	Stages []obsv.Span `json:"stages,omitempty"`
+}
+
+// Explain compiles strategy s (memoized, like Run) and describes the
+// resulting plan. It fails with the same error Run would when the strategy
+// is unavailable for this program (e.g. Factored on a non-factorable one).
+func (pl *Pipeline) Explain(s Strategy) (*ExplainInfo, error) {
+	if err := pl.Compile(s); err != nil {
+		return nil, err
+	}
+	info := &ExplainInfo{
+		Strategy:  s.String(),
+		Query:     pl.Query.String(),
+		Adornment: string(ast.AdornmentOf(pl.Query, nil)),
+		Stages:    pl.spansFor(s),
+	}
+
+	prog := pl.Program
+	switch s {
+	case Magic:
+		m, _ := pl.MagicProgram()
+		prog = m.Program
+		info.Reductions = append(info.Reductions, pl.magicReduction())
+	case SupplementaryMagic:
+		sm, _ := pl.SupplementaryMagicProgram()
+		prog = sm.Program
+		info.Reductions = append(info.Reductions,
+			pl.magicReduction()+" with supplementary predicates")
+	case Factored:
+		fr, _ := pl.FactoredProgram()
+		prog = fr.Program
+		info.Reductions = append(info.Reductions, pl.magicReduction())
+		info.Reductions = append(info.Reductions, factorReduction(fr))
+	case FactoredOptimized:
+		opt, _ := pl.OptimizedProgram()
+		fr, _ := pl.FactoredProgram()
+		prog = opt.Program
+		info.Reductions = append(info.Reductions, pl.magicReduction())
+		info.Reductions = append(info.Reductions, factorReduction(fr))
+		info.Reductions = append(info.Reductions, opt.Trace...)
+	case Counting:
+		c, _ := pl.CountingProgram()
+		prog = c.Program
+		info.Reductions = append(info.Reductions,
+			"counting transformation (§6.4): distance indexes replace carried arguments")
+	}
+
+	for _, r := range prog.Rules {
+		info.Rules = append(info.Rules, r.String())
+	}
+	for i, st := range depgraph.Analyze(prog).Strata {
+		info.Strata = append(info.Strata, StratumPlan{
+			Index:     i,
+			Preds:     st.Preds,
+			Recursive: st.Recursive,
+			Rules:     len(st.Rules),
+		})
+	}
+	return info, nil
+}
+
+// magicReduction renders the Magic Sets step with the query's adornment.
+func (pl *Pipeline) magicReduction() string {
+	return fmt.Sprintf("magic sets on %s%s: restrict evaluation to facts reachable from the bound arguments",
+		pl.Query.Pred, ast.AdornmentOf(pl.Query, nil))
+}
+
+// factorReduction renders the applied factoring theorem and its predicate
+// split (§4: the recursive predicate divides into independent bound and
+// free parts).
+func factorReduction(fr *core.FactorResult) string {
+	return fmt.Sprintf("factoring (class %s): split %s into %s%v / %s%v",
+		fr.Class, fr.Split.Pred,
+		fr.Split.LeftName, fr.Split.Left,
+		fr.Split.RightName, fr.Split.Right)
+}
+
+// Text renders the explanation as an indented plan description, the
+// human-readable form `factorlog run -explain` and the REPL print.
+func (e *ExplainInfo) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s for %s (adornment %s)\n", e.Strategy, e.Query, e.Adornment)
+	if len(e.Reductions) > 0 {
+		b.WriteString("reductions applied:\n")
+		for _, r := range e.Reductions {
+			fmt.Fprintf(&b, "  - %s\n", r)
+		}
+	} else {
+		b.WriteString("reductions applied: none (source program evaluated directly)\n")
+	}
+	b.WriteString("rules:\n")
+	for _, r := range e.Rules {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	if len(e.Strata) > 0 {
+		b.WriteString("stratum schedule:\n")
+		for _, st := range e.Strata {
+			kind := "once"
+			if st.Recursive {
+				kind = "fixpoint"
+			}
+			fmt.Fprintf(&b, "  %d: [%s] %d rules (%s)\n",
+				st.Index, strings.Join(st.Preds, ","), st.Rules, kind)
+		}
+	}
+	return b.String()
+}

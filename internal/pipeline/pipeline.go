@@ -18,6 +18,7 @@ import (
 	"factorlog/internal/obsv"
 	"factorlog/internal/optimize"
 	"factorlog/internal/topdown"
+	"factorlog/internal/trace"
 )
 
 // Strategy names an evaluation strategy over the original or a transformed
@@ -440,9 +441,43 @@ func evalSpan(p *ast.Program, start stageStart, wall time.Duration, traced bool)
 	return sp
 }
 
+// attachStageSpans replays the memoized transformation stages of s under
+// parent as pre-measured (Cached) spans — their wall time was paid when the
+// pipeline compiled, possibly by an earlier query — and returns the "eval"
+// child span the evaluation should run under. A nil parent is a no-op
+// returning nil.
+func (pl *Pipeline) attachStageSpans(s Strategy, parent *trace.Span) *trace.Span {
+	if parent == nil {
+		return nil
+	}
+	for _, sp := range pl.spansFor(s) {
+		parent.AddFinished(sp.Name, sp.Wall).
+			SetAllocs(sp.Allocs, sp.AllocBytes).
+			SetCached(true).
+			SetNote(fmt.Sprintf("rules %d→%d, arity %d→%d",
+				sp.RulesBefore, sp.RulesAfter, sp.ArityBefore, sp.ArityAfter))
+	}
+	return parent.Child("eval")
+}
+
 // Run evaluates one strategy over db. The db is mutated (derived relations
 // are added); pass a fresh db per run.
+//
+// When evalOpts.Span is set, Run attaches the strategy's compile-stage
+// spans under it and hands the engine an "eval" child span, so a query's
+// trace shows adorn → magic → factor → … → eval with the engine's stratum,
+// round, and rule spans below eval.
 func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*RunResult, error) {
+	if evalOpts.Span != nil {
+		// Force the compile first (memoized) so the stage spans exist to
+		// replay; a compile failure surfaces here exactly as it would below.
+		if err := pl.Compile(s); err != nil {
+			return nil, err
+		}
+		evalSp := pl.attachStageSpans(s, evalOpts.Span)
+		evalOpts.Span = evalSp
+		defer evalSp.End()
+	}
 	switch s {
 	case Naive, SemiNaive:
 		evalOpts.Strategy = engine.SemiNaive
@@ -455,6 +490,7 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 		if err != nil {
 			return nil, err
 		}
+		evalOpts.Span.AddTuplesOut(int64(res.Stats.Derived))
 		answers, err := pl.projectedAnswers(db)
 		if err != nil {
 			return nil, err
@@ -584,6 +620,7 @@ func (pl *Pipeline) runTransformed(s Strategy, prog *ast.Program, query ast.Atom
 	if err != nil {
 		return nil, err
 	}
+	evalOpts.Span.AddTuplesOut(int64(res.Stats.Derived))
 	set, err := engine.AnswerSet(db, query)
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"factorlog/internal/ast"
 	"factorlog/internal/engine"
@@ -45,6 +46,9 @@ type Plan struct {
 	Binding string
 	// Query is the exact query atom the plan was compiled for.
 	Query ast.Atom
+	// CompileWall is the wall-clock time buildPlan spent compiling the
+	// transformation chain, reported by EXPLAIN's plan-cache disposition.
+	CompileWall time.Duration
 
 	pl *Pipeline
 }
@@ -229,6 +233,7 @@ func buildPlan(ctx context.Context, prog *ast.Program, constraints []ast.Rule,
 		return nil, fmt.Errorf("compile %s for %s%s: %w", strategy, query.Pred, key.Adornment, typedCtxErr(ctx))
 	}
 	faultinject.Hit(faultinject.PlanCompile)
+	start := time.Now()
 	pl := New(prog, query)
 	if len(constraints) > 0 {
 		pl.WithConstraints(constraints)
@@ -236,7 +241,8 @@ func buildPlan(ctx context.Context, prog *ast.Program, constraints []ast.Rule,
 	if cerr := pl.Compile(strategy); cerr != nil {
 		return nil, fmt.Errorf("compile %s for %s%s: %w", strategy, query.Pred, key.Adornment, cerr)
 	}
-	return &Plan{Key: key, Binding: BindingOf(query), Query: query, pl: pl}, nil
+	return &Plan{Key: key, Binding: BindingOf(query), Query: query,
+		CompileWall: time.Since(start), pl: pl}, nil
 }
 
 // typedCtxErr maps a done context to the engine's typed sentinels so HTTP

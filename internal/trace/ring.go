@@ -1,0 +1,78 @@
+package trace
+
+import "sync"
+
+// Ring is a fixed-capacity ring buffer of finished traces, used for the
+// server's sampled-trace store (/debug/trace/{id}) and the slow-query log
+// (/debug/slowlog). Adds overwrite the oldest entry; lookups scan the ring
+// (capacities are tens of entries, not thousands).
+type Ring struct {
+	mu    sync.Mutex
+	buf   []*Context
+	next  int
+	total int64
+}
+
+// NewRing returns a ring holding the last n traces (n < 1 is clamped to 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]*Context, n)}
+}
+
+// Add records a finished trace, evicting the oldest when full.
+func (r *Ring) Add(c *Context) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = c
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Get returns the trace with the given query ID, or nil. When an ID was
+// recorded more than once (it should not be), the newest entry wins.
+func (r *Ring) Get(id string) *Context {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 1; i <= len(r.buf); i++ {
+		c := r.buf[(r.next-i+len(r.buf))%len(r.buf)]
+		if c != nil && c.ID() == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// Recent returns the stored traces, newest first.
+func (r *Ring) Recent() []*Context {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Context, 0, len(r.buf))
+	for i := 1; i <= len(r.buf); i++ {
+		if c := r.buf[(r.next-i+len(r.buf))%len(r.buf)]; c != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Total counts every Add since the ring was created (including evicted
+// entries), for the slow-query counter.
+func (r *Ring) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
