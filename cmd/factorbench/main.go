@@ -15,8 +15,11 @@
 // transitive-closure workload (a chain of N edges, query from node N/3)
 // with engine tracing enabled, and emits one JSON metrics document: per
 // strategy and worker count, the pipeline stage spans, per-rule, per-round,
-// per-stratum and per-worker counters, and total wall time. The committed
-// BENCH_*.json files are snapshots of this output.
+// per-stratum and per-worker counters, and total wall time; since schema v7
+// the document also carries a stream_compare block pitting the streaming
+// executor against the materializing fixpoint on the layered non-recursive
+// join workload, with per-operator row counters from a traced streamed run.
+// The committed BENCH_*.json files are snapshots of this output.
 package main
 
 import (
@@ -26,13 +29,16 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"factorlog/internal/engine"
 	"factorlog/internal/experiments"
 	"factorlog/internal/obsv"
+	"factorlog/internal/parser"
 	"factorlog/internal/pipeline"
+	"factorlog/internal/workload"
 )
 
 func main() {
@@ -117,6 +123,102 @@ type metricsDoc struct {
 	// stage name, how many runs recorded it and the total/max wall and
 	// allocation cost. New in schema v6.
 	StageSummary []stageSummary `json:"stage_summary"`
+	// StreamCompare is the streaming-vs-materializing executor comparison
+	// over the join-heavy layered workload. New in schema v7.
+	StreamCompare *streamCompare `json:"stream_compare,omitempty"`
+}
+
+// streamCompare compares the two bottom-up executors over the layered
+// non-recursive join family (workload.LayeredJoinProgram): reps evaluations
+// per executor over fresh EDBs, reporting each executor's best wall clock
+// and smallest per-run heap allocation, the derived ratios, and the
+// streamed plan's counters with per-operator row flow (from one extra
+// traced streamed run). New in schema v7.
+type streamCompare struct {
+	Workload string `json:"workload"`
+	Stages   int    `json:"stages"`
+	N        int    `json:"n"`
+	Fanout   int    `json:"fanout"`
+	Reps     int    `json:"reps"`
+	// Best (minimum) wall time over the reps, per executor.
+	MaterializeWallNS int64 `json:"materialize_wall_ns"`
+	StreamWallNS      int64 `json:"stream_wall_ns"`
+	// Smallest per-run heap allocation over the reps, per executor
+	// (runtime.MemStats.TotalAlloc delta around the evaluation).
+	MaterializeAllocBytes uint64 `json:"materialize_alloc_bytes"`
+	StreamAllocBytes      uint64 `json:"stream_alloc_bytes"`
+	// Speedup is materialize wall over stream wall; AllocRatio is stream
+	// bytes over materialize bytes (lower is better).
+	Speedup    float64 `json:"speedup"`
+	AllocRatio float64 `json:"alloc_ratio"`
+	// Stream holds the streamed run's counters, including per-operator row
+	// counters (ops) from the traced capture run.
+	Stream obsv.StreamStats `json:"stream"`
+}
+
+// compareExecutors runs the layered join workload under both bottom-up
+// executors and fills the stream_compare block.
+func compareExecutors(stages, n, fanout, reps int) (*streamCompare, error) {
+	prog, err := parser.ParseProgram(workload.LayeredJoinProgram(stages))
+	if err != nil {
+		return nil, err
+	}
+	query := workload.LayeredJoinQuery(stages)
+	load := func() *engine.DB {
+		db := engine.NewDB()
+		workload.LayeredJoins(db, stages, n, fanout)
+		return db
+	}
+	sc := &streamCompare{
+		Workload: "layered non-recursive joins",
+		Stages:   stages, N: n, Fanout: fanout, Reps: reps,
+	}
+	measure := func(opts engine.Options, wantExec string) (wall int64, alloc uint64, err error) {
+		for rep := 0; rep < reps; rep++ {
+			db := load()
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			r, runErr := pipeline.New(prog, query).Run(pipeline.SemiNaive, db, opts)
+			if runErr != nil {
+				return 0, 0, runErr
+			}
+			runtime.ReadMemStats(&after)
+			if r.Executor != wantExec {
+				return 0, 0, fmt.Errorf("executor = %q, want %q", r.Executor, wantExec)
+			}
+			if w := r.EvalWall.Nanoseconds(); rep == 0 || w < wall {
+				wall = w
+			}
+			if a := after.TotalAlloc - before.TotalAlloc; rep == 0 || a < alloc {
+				alloc = a
+			}
+		}
+		return wall, alloc, nil
+	}
+	if sc.MaterializeWallNS, sc.MaterializeAllocBytes, err = measure(engine.Options{}, "materialize"); err != nil {
+		return nil, err
+	}
+	streamOpts := engine.Options{Streaming: engine.StreamAuto}
+	if sc.StreamWallNS, sc.StreamAllocBytes, err = measure(streamOpts, "stream"); err != nil {
+		return nil, err
+	}
+	if sc.StreamWallNS > 0 {
+		sc.Speedup = float64(sc.MaterializeWallNS) / float64(sc.StreamWallNS)
+	}
+	if sc.MaterializeAllocBytes > 0 {
+		sc.AllocRatio = float64(sc.StreamAllocBytes) / float64(sc.MaterializeAllocBytes)
+	}
+	// One traced streamed run captures the per-operator row counters.
+	traced, err := pipeline.New(prog, query).Run(pipeline.SemiNaive, load(),
+		engine.Options{Streaming: engine.StreamAuto, Trace: true})
+	if err != nil {
+		return nil, err
+	}
+	if traced.Stream != nil {
+		sc.Stream = *traced.Stream
+	}
+	return sc, nil
 }
 
 // stageSummary is one pipeline stage aggregated across the sweep's runs.
@@ -179,6 +281,11 @@ type metricsRun struct {
 	// hash-table load factors); stage spans additionally carry allocs and
 	// alloc_bytes since schema v4.
 	Storage obsv.StorageStats `json:"storage"`
+	// Executor names the bottom-up evaluator that ran ("stream" or
+	// "materialize"; empty for top-down strategies) and Stream carries the
+	// streaming counters when it is "stream". New in schema v7.
+	Executor string            `json:"executor,omitempty"`
+	Stream   *obsv.StreamStats `json:"stream,omitempty"`
 }
 
 // parseWorkersList parses the -workers flag: a comma-separated list of
@@ -208,7 +315,7 @@ func parallelizable(s pipeline.Strategy) bool {
 func emitJSON(out *os.File, n int, workers []int) error {
 	pl, load := experiments.E1Pipeline(n)
 	doc := metricsDoc{
-		Schema:   "factorlog/metrics/v6",
+		Schema:   "factorlog/metrics/v7",
 		Tool:     "factorbench",
 		Workload: "E1 transitive closure, chain EDB",
 		N:        n,
@@ -240,10 +347,17 @@ func emitJSON(out *os.File, n int, workers []int) error {
 				Strata:     r.Strata,
 				WorkerRows: r.Workers,
 				Storage:    r.Storage,
+				Executor:   r.Executor,
+				Stream:     r.Stream,
 			})
 		}
 	}
 	doc.StageSummary = summarizeStages(doc.Runs)
+	sc, err := compareExecutors(6, 2000, 1, 5)
+	if err != nil {
+		return err
+	}
+	doc.StreamCompare = sc
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)

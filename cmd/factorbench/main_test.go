@@ -67,8 +67,23 @@ func TestJSONMetrics(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &doc); err != nil {
 		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
 	}
-	if doc.Schema != "factorlog/metrics/v6" {
+	if doc.Schema != "factorlog/metrics/v7" {
 		t.Errorf("schema = %q", doc.Schema)
+	}
+	// The v7 stream_compare block: both executors measured, ratios derived,
+	// per-operator row counters captured from the traced streamed run.
+	sc := doc.StreamCompare
+	if sc == nil {
+		t.Fatal("stream_compare missing")
+	}
+	if sc.MaterializeWallNS <= 0 || sc.StreamWallNS <= 0 || sc.Speedup <= 0 || sc.AllocRatio <= 0 {
+		t.Errorf("stream_compare not measured: %+v", sc)
+	}
+	if sc.Stream.Streamed != sc.Stages || sc.Stream.RowsEmitted == 0 {
+		t.Errorf("stream_compare counters: %+v", sc.Stream)
+	}
+	if len(sc.Stream.Ops) == 0 {
+		t.Error("stream_compare has no per-operator row counters")
 	}
 	// The v6 stage summary aggregates pipeline spans across runs.
 	stages := map[string]stageSummary{}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	factorlog run      [-strategy S] [-constraints file] [-edb file] [-budget N] [-workers N] [-profile] [-explain] file.dl
+//	factorlog run      [-strategy S] [-constraints file] [-edb file] [-budget N] [-workers N] [-stream] [-profile] [-explain] file.dl
 //	factorlog compare  [-constraints file] [-edb file] [-budget N] file.dl
 //	factorlog explain  [-strategy S] [-constraints file] file.dl
 //	factorlog classify [-constraints file] file.dl
@@ -58,6 +58,7 @@ func run(args []string) error {
 	budget := fs.Int("budget", 0, "max derived facts (0 = unlimited)")
 	workers := fs.Int("workers", 1, "evaluation workers (>1 = parallel stratified semi-naive)")
 	profile := fs.Bool("profile", false, "run: print stage spans and per-rule/per-round tables")
+	streaming := fs.Bool("stream", false, "run: evaluate non-recursive strata with the streaming executor")
 	explainRun := fs.Bool("explain", false, "run: EXPLAIN ANALYZE — print the plan description and the measured span tree")
 	anon := fs.Bool("anon", false, "explain: print singleton variables as '_' (paper style)")
 	if err := fs.Parse(rest); err != nil {
@@ -95,6 +96,7 @@ func run(args []string) error {
 		sys.WithBudget(0, *budget)
 	}
 	sys.WithWorkers(*workers)
+	sys.WithStreaming(*streaming)
 
 	switch cmd {
 	case "run":

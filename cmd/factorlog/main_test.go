@@ -41,6 +41,29 @@ func TestCLIRun(t *testing.T) {
 	}
 }
 
+func TestCLIRunStream(t *testing.T) {
+	// -stream routes the bottom-up evaluation through the streaming
+	// executor; answers are identical and -profile shows what ran.
+	out, err := capture(t, "run", "-stream", "-strategy", "factored+opt", testdata("tc3.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(6)", "(7)", "(8)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s in -stream output:\n%s", want, out)
+		}
+	}
+	out, err = capture(t, "run", "-stream", "-profile", "-strategy", "factored+opt", testdata("tc3.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"executor: stream", "strata streamed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in -stream -profile output:\n%s", want, out)
+		}
+	}
+}
+
 func TestCLIProfile(t *testing.T) {
 	out, err := capture(t, "run", "-profile", "-strategy", "factored+opt", testdata("tc3.dl"))
 	if err != nil {

@@ -23,14 +23,15 @@ import (
 //	> :classify ?- t(1, Y).
 //	factorable: selection-pushing
 //
-// Commands: :strategy NAME, :profile, :stats, :list, :classify ?- q.,
-// :explain ?- q., :reset, :help, :quit.
+// Commands: :strategy NAME, :profile, :stream, :stats, :list,
+// :classify ?- q., :explain ?- q., :analyze ?- q., :reset, :help, :quit.
 func repl(in io.Reader, out io.Writer) error {
 	var clauses []string
 	strategy := factorlog.FactoredOptimized
 	profiling := false
 	budget := 5_000_000
 	workers := 1
+	streaming := false
 	var last *factorlog.Result
 
 	build := func(query string) (*factorlog.System, error) {
@@ -63,6 +64,7 @@ func repl(in io.Reader, out io.Writer) error {
 			fmt.Fprintln(out, "  :stats               show the last query's profile")
 			fmt.Fprintln(out, "  :budget N            cap derived facts per query (current:", budget, ")")
 			fmt.Fprintln(out, "  :workers N           evaluation workers, >1 = parallel (current:", workers, ")")
+			fmt.Fprintln(out, "  :stream              toggle the streaming executor for non-recursive strata")
 			fmt.Fprintln(out, "  :classify ?- atom.   which factorability theorem applies")
 			fmt.Fprintln(out, "  :explain ?- atom.    show the transformed program")
 			fmt.Fprintln(out, "  :analyze ?- atom.    evaluate with the plan description and span tree")
@@ -79,6 +81,14 @@ func repl(in io.Reader, out io.Writer) error {
 			clauses = nil
 			last = nil
 			fmt.Fprintln(out, "cleared")
+
+		case line == ":stream":
+			streaming = !streaming
+			if streaming {
+				fmt.Fprintln(out, "streaming on")
+			} else {
+				fmt.Fprintln(out, "streaming off")
+			}
 
 		case line == ":profile":
 			profiling = !profiling
@@ -152,7 +162,7 @@ func repl(in io.Reader, out io.Writer) error {
 			}
 			fmt.Fprint(out, info.Text())
 			tc := factorlog.NewTrace(factorlog.NewTraceID())
-			sys.WithBudget(0, budget).WithWorkers(workers).WithTraceSpan(tc.Root())
+			sys.WithBudget(0, budget).WithWorkers(workers).WithStreaming(streaming).WithTraceSpan(tc.Root())
 			res, err := sys.Run(strategy, sys.NewDB())
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
@@ -193,7 +203,7 @@ func repl(in io.Reader, out io.Writer) error {
 				fmt.Fprintln(out, "error:", err)
 				continue
 			}
-			sys.WithBudget(0, budget).WithTrace(profiling).WithWorkers(workers)
+			sys.WithBudget(0, budget).WithTrace(profiling).WithWorkers(workers).WithStreaming(streaming)
 			res, err := sys.Run(strategy, sys.NewDB())
 			if errors.Is(err, factorlog.ErrBudgetExceeded) {
 				fmt.Fprintln(out, "budget exceeded:", err)

@@ -48,6 +48,42 @@ t(X, Y) :- e(X, Y).
 	}
 }
 
+func TestReplStreamToggle(t *testing.T) {
+	out := runRepl(t, `
+:stream
+e(1, 2).
+e(2, 3).
+t(X, Y) :- e(X, Y).
+t(X, Y) :- e(X, W), t(W, Y).
+?- t(1, Y).
+:stream
+:quit
+`)
+	if !strings.Contains(out, "streaming on") || !strings.Contains(out, "streaming off") {
+		t.Errorf("stream toggle missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(2) (3)") {
+		t.Errorf("streamed answers missing:\n%s", out)
+	}
+}
+
+func TestReplAnalyzeShowsOperatorTree(t *testing.T) {
+	out := runRepl(t, `
+:stream
+e(1, 2).
+t(X, Y) :- e(X, Y).
+:analyze ?- t(1, Y).
+:quit
+`)
+	// The plan description renders the streamed strata's operator trees and
+	// the span tree follows the evaluated query.
+	for _, want := range []string{"stratum schedule", "stream", "scan", "project", "materialize"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in :analyze output:\n%s", want, out)
+		}
+	}
+}
+
 func TestReplClassifyAndExplain(t *testing.T) {
 	out := runRepl(t, `
 t(X, Y) :- t(X, W), e(W, Y).

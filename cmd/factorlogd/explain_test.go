@@ -94,6 +94,24 @@ func TestExplainPlan(t *testing.T) {
 	if len(er.Plan.Strata) == 0 {
 		t.Error("no stratum schedule")
 	}
+	// The streaming classification is part of every plan: the factored
+	// program's seed strata stream, and their operator trees ride along.
+	// CI greps the response for the "executor": "stream" literal.
+	streamed := 0
+	for _, st := range er.Plan.Strata {
+		if st.Executor == "stream" {
+			streamed++
+			if len(st.Plans) == 0 || st.Plans[0].Root == nil {
+				t.Errorf("stratum %d: streamed without operator tree", st.Index)
+			}
+		}
+	}
+	if streamed == 0 {
+		t.Errorf("no streamed stratum in plan: %s", body)
+	}
+	if !strings.Contains(string(body), `"executor": "stream"`) {
+		t.Error(`response body missing "executor": "stream" literal`)
+	}
 	// Warmup compiled the declared ?- p(5, Y) plan, so this lookup hits.
 	if er.PlanCache.Disposition != "hit" {
 		t.Errorf("plan_cache disposition = %q, want hit (warmed)", er.PlanCache.Disposition)

@@ -243,6 +243,10 @@ type queryRequest struct {
 	// describes the compiled plan without evaluating, "analyze" evaluates
 	// with tracing forced and returns the measured span tree too.
 	Explain string `json:"explain,omitempty"`
+	// Stream opts the request into the streaming executor: non-recursive
+	// strata run as single-pass iterator pipelines (same answers, different
+	// cost shape). The response reports what ran in executor/stream.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // queryResponse is the /query output.
@@ -261,6 +265,11 @@ type queryResponse struct {
 	// Degraded is set when a parallel worker panicked and the answers come
 	// from the automatic sequential retry.
 	Degraded bool `json:"degraded,omitempty"`
+	// Executor names the bottom-up evaluator that ran ("stream" or
+	// "materialize"; absent for top-down strategies); Stream carries the
+	// streaming counters when it is "stream".
+	Executor string            `json:"executor,omitempty"`
+	Stream   *obsv.StreamStats `json:"stream,omitempty"`
 }
 
 type errorResponse struct {
@@ -318,6 +327,13 @@ func decodeQueryRequest(w http.ResponseWriter, r *http.Request) (queryRequest, e
 				return req, fmt.Errorf("bad max_bytes: %v", err)
 			}
 			req.MaxBytes = n
+		}
+		if v := q.Get("stream"); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return req, fmt.Errorf("bad stream: %v", err)
+			}
+			req.Stream = b
 		}
 	case http.MethodPost:
 		r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
@@ -425,6 +441,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.MaxBytes > 0 {
 		opts.MaxBytes = req.MaxBytes
 	}
+	if req.Stream {
+		opts.Streaming = engine.StreamAuto
+	}
 
 	// Admission: a request weighs its effective worker count, so one
 	// 8-worker query consumes as much admission capacity as eight sequential
@@ -522,6 +541,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		EvalWallNS:  res.EvalWall.Nanoseconds(),
 		TotalWallNS: total.Nanoseconds(),
 		Degraded:    res.Degraded,
+		Executor:    res.Executor,
+		Stream:      res.Stream,
 	}
 	if analyze {
 		info, err := plan.Pipeline().Explain(strategy)

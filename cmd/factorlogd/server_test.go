@@ -113,6 +113,41 @@ func TestQueryCacheMissThenHit(t *testing.T) {
 	}
 }
 
+// TestQueryStreamingExecutor covers the stream request knob: opted-in
+// queries run the streaming executor (reporting which strata streamed and
+// the iterator row flow), identical answers to the default materializing
+// run, and a malformed stream value is rejected up front.
+func TestQueryStreamingExecutor(t *testing.T) {
+	_, ts := testServer(t, tcProgram, config{strategy: "magic", timeout: 5 * time.Second})
+
+	status, plain, body := getQuery(t, ts, url.Values{"q": {"t(5,Y)"}})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if plain.Executor != "materialize" || plain.Stream != nil {
+		t.Errorf("default run: executor=%q stream=%v, want materialize/nil", plain.Executor, plain.Stream)
+	}
+
+	status, streamed, body := getQuery(t, ts, url.Values{"q": {"t(5,Y)"}, "stream": {"1"}})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if streamed.Executor != "stream" || streamed.Stream == nil {
+		t.Fatalf("streamed run: executor=%q stream=%v", streamed.Executor, streamed.Stream)
+	}
+	if streamed.Stream.Streamed == 0 || streamed.Stream.RowsEmitted == 0 {
+		t.Errorf("stream counters empty: %+v", streamed.Stream)
+	}
+	if fmt.Sprint(streamed.Answers) != fmt.Sprint(plain.Answers) {
+		t.Errorf("answers differ: %v vs %v", streamed.Answers, plain.Answers)
+	}
+
+	status, _, body = getQuery(t, ts, url.Values{"q": {"t(5,Y)"}, "stream": {"maybe"}})
+	if status != http.StatusBadRequest {
+		t.Errorf("bad stream value: status %d, want 400: %s", status, body)
+	}
+}
+
 func TestMetricsReportCacheHits(t *testing.T) {
 	_, ts := testServer(t, tcProgram, config{strategy: "magic", timeout: 5 * time.Second})
 	for i := 0; i < 3; i++ {

@@ -112,6 +112,7 @@ type (
 	WorkerStats  = obsv.WorkerStats
 	Span         = obsv.Span
 	StorageStats = obsv.StorageStats
+	StreamStats  = obsv.StreamStats
 )
 
 // Trace and TraceSpan re-export the query-scoped tracing types: a Trace is
@@ -222,6 +223,22 @@ func (s *System) WithWorkers(n int) *System {
 	return s
 }
 
+// WithStreaming opts subsequent Runs into the streaming executor: the
+// bottom-up semi-naive strategies run each non-recursive stratum (magic
+// seeds, factoring cleanup products, ...) as a single-pass iterator
+// pipeline instead of a materializing fixpoint, falling back to the
+// fixpoint for recursive strata. Answers are identical either way;
+// Result.Executor and Result.Stream report what ran. Off by default so the
+// paper's cost measures keep their fixpoint semantics.
+func (s *System) WithStreaming(on bool) *System {
+	if on {
+		s.evalOpts.Streaming = engine.StreamAuto
+	} else {
+		s.evalOpts.Streaming = engine.StreamOff
+	}
+	return s
+}
+
 // WithContext bounds subsequent Runs by ctx: cancellation or a deadline
 // terminates evaluation with ErrCanceled or ErrDeadlineExceeded. A nil ctx
 // removes the bound. Per-run contexts are usually clearer via Prepared.Run.
@@ -318,6 +335,12 @@ type Result struct {
 	// Degraded reports that a parallel run (WithWorkers > 1) lost a worker
 	// to a panic and the answers come from the automatic sequential retry.
 	Degraded bool
+	// Executor names the bottom-up evaluator that ran: "stream" under
+	// WithStreaming for a program with streamable strata, "materialize" for
+	// the classic fixpoint, empty for top-down strategies. Stream carries
+	// the streaming counters when Executor is "stream"; nil otherwise.
+	Executor string
+	Stream   *StreamStats
 
 	raw *pipeline.RunResult
 }
@@ -363,6 +386,8 @@ func newResult(r *pipeline.RunResult) *Result {
 		EvalWall:    r.EvalWall,
 		Storage:     r.Storage,
 		Degraded:    r.Degraded,
+		Executor:    r.Executor,
+		Stream:      r.Stream,
 		raw:         r,
 	}
 }

@@ -49,6 +49,36 @@ func TestLoadAndRun(t *testing.T) {
 	}
 }
 
+func TestWithStreaming(t *testing.T) {
+	sys := loadTC(t)
+	base, err := sys.Run(factorlog.FactoredOptimized, chainDB(sys, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Executor != "materialize" || base.Stream != nil {
+		t.Errorf("default run: executor=%q stream=%v", base.Executor, base.Stream)
+	}
+	sys.WithStreaming(true)
+	streamed, err := sys.Run(factorlog.FactoredOptimized, chainDB(sys, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Executor != "stream" || streamed.Stream == nil || streamed.Stream.RowsEmitted == 0 {
+		t.Fatalf("streamed run: executor=%q stream=%+v", streamed.Executor, streamed.Stream)
+	}
+	if fmt.Sprint(streamed.Answers) != fmt.Sprint(base.Answers) {
+		t.Errorf("answers differ: %v vs %v", streamed.Answers, base.Answers)
+	}
+	sys.WithStreaming(false)
+	again, err := sys.Run(factorlog.FactoredOptimized, chainDB(sys, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Executor != "materialize" {
+		t.Errorf("after WithStreaming(false): executor=%q", again.Executor)
+	}
+}
+
 func TestLoadErrors(t *testing.T) {
 	if _, err := factorlog.Load(`t(X) :- e(X).`); !errors.Is(err, factorlog.ErrNoQuery) {
 		t.Errorf("want ErrNoQuery, got %v", err)

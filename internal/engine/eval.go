@@ -94,6 +94,39 @@ func contextErr(ctx context.Context) error {
 	}
 }
 
+// StreamMode selects whether eligible non-recursive strata run on the
+// streaming relational-algebra executor (internal/stream) instead of the
+// materializing fixpoint. The engine's own evaluators never consult this
+// field — the pipeline layer routes evaluation to the streaming executor
+// when it is set — but it lives on Options so the choice threads through
+// every caller (facade, server, CLI, bench) the same way Workers does.
+//
+// The zero value keeps the classic evaluator: the paper's cost measures
+// (Inferences, Iterations) assume standard semi-naive evaluation, and the
+// experiment reproductions must keep reporting them unchanged.
+type StreamMode int
+
+const (
+	// StreamOff evaluates every stratum with the materializing fixpoint.
+	StreamOff StreamMode = iota
+	// StreamAuto streams non-recursive strata through composed iterator
+	// pipelines and falls back to the fixpoint for recursive strata. Answer
+	// sets and relation contents are identical to StreamOff; Inferences and
+	// Iterations differ (each non-recursive rule body runs exactly once).
+	StreamAuto
+)
+
+func (m StreamMode) String() string {
+	switch m {
+	case StreamOff:
+		return "off"
+	case StreamAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("StreamMode(%d)", int(m))
+	}
+}
+
 // Options configures evaluation.
 type Options struct {
 	Strategy Strategy
@@ -135,6 +168,10 @@ type Options struct {
 	// default: with tracing off the hot path pays a nil check per event and
 	// allocates nothing.
 	Trace bool
+	// Streaming selects the executor for non-recursive strata. The engine
+	// evaluators ignore it (see StreamMode); internal/pipeline honors it
+	// when the strategy evaluates bottom-up semi-naive without provenance.
+	Streaming StreamMode
 	// Span, when non-nil, receives a query-scoped span tree of the
 	// evaluation: round and rule-pass spans sequentially, stratum, round,
 	// and worker spans in parallel mode. Setting Span implies Trace (the
@@ -159,6 +196,9 @@ func (o Options) validate() error {
 	}
 	if o.MaxBytes < 0 {
 		return fmt.Errorf("%w: MaxBytes = %d (want >= 0)", ErrBadOptions, o.MaxBytes)
+	}
+	if o.Streaming < StreamOff || o.Streaming > StreamAuto {
+		return fmt.Errorf("%w: Streaming = %d (want StreamOff or StreamAuto)", ErrBadOptions, int(o.Streaming))
 	}
 	return nil
 }

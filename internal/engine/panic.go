@@ -27,7 +27,8 @@ var ErrInternal = errors.New("engine: internal error")
 // value, and the goroutine stack at recovery. It wraps ErrInternal.
 type PanicError struct {
 	// Where names the recovery barrier: "compile", "eval" (sequential),
-	// "parallel" (coordinator), or "worker".
+	// "parallel" (coordinator), "worker", "load", or "stream" (the
+	// streaming executor, internal/stream).
 	Where string
 	// Value is the value passed to panic.
 	Value any

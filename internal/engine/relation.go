@@ -317,6 +317,28 @@ func (r *Relation) Probe(cols []int, key []Val) []int32 {
 	return ix.probe(r, key)
 }
 
+// HasIndex reports whether an index on cols has already been built. The
+// streaming executor uses it to reuse a persistent index when one exists
+// and otherwise build its own transient table, so streamed strata never
+// grow the relation's retained index footprint.
+func (r *Relation) HasIndex(cols []int) bool {
+	_, ok := r.indexes[colMask(cols)]
+	return ok
+}
+
+// ProbeIndexed probes a previously built index on cols without building
+// one: a pure read over frozen state, returning ok=false when no such
+// index exists. cols must be sorted ascending (the compiler emits bound
+// columns in column order).
+func (r *Relation) ProbeIndexed(cols []int, key []Val) ([]int32, bool) {
+	ix := r.indexes[colMask(cols)]
+	if ix == nil {
+		return nil, false
+	}
+	faultinject.Hit(faultinject.IndexProbe)
+	return ix.probe(r, key), true
+}
+
 // probeFrozen probes a prebuilt index without mutating the relation, so
 // concurrent workers can share it during a round: no lazy index build and
 // no scratch state — the probe hashes the key and reads the table. cols

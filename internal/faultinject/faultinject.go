@@ -43,6 +43,10 @@ const (
 	// (internal/engine.contextErr), the path every bounded evaluation
 	// crosses at round boundaries.
 	ContextCheck
+	// StreamNext fires on the streaming executor's iterator hot path
+	// (internal/stream, once per source row pulled), exercising panic
+	// isolation in mid-pipeline operator state.
+	StreamNext
 
 	// NumPoints is the number of named points; keep it last.
 	NumPoints
@@ -54,6 +58,7 @@ var pointNames = [NumPoints]string{
 	IndexProbe:   "index-probe",
 	PlanCompile:  "plan-compile",
 	ContextCheck: "context-check",
+	StreamNext:   "stream-next",
 }
 
 func (p Point) String() string {

@@ -7,7 +7,9 @@ import (
 	"factorlog/internal/ast"
 	"factorlog/internal/core"
 	"factorlog/internal/depgraph"
+	"factorlog/internal/engine"
 	"factorlog/internal/obsv"
+	"factorlog/internal/stream"
 )
 
 // This file implements the plan half of EXPLAIN: a structured description
@@ -26,6 +28,17 @@ type StratumPlan struct {
 	Recursive bool `json:"recursive"`
 	// Rules counts the rules belonging to the stratum.
 	Rules int `json:"rules"`
+	// Executor is the streaming planner's classification: "stream" for
+	// strata the streaming executor runs as iterator pipelines (when
+	// engine.Options.Streaming selects it), "fixpoint" for recursive strata.
+	// The classification is always computed so EXPLAIN describes what a
+	// streamed run would do even when the run itself materializes.
+	Executor string `json:"executor"`
+	// Reason says why the planner chose that executor.
+	Reason string `json:"reason,omitempty"`
+	// Plans holds the per-rule streaming operator trees (with pushed
+	// predicates) of a streamable stratum; nil for fixpoint strata.
+	Plans []*stream.RulePlan `json:"plans,omitempty"`
 }
 
 // ExplainInfo describes one strategy's compiled plan for a query.
@@ -97,12 +110,38 @@ func (pl *Pipeline) Explain(s Strategy) (*ExplainInfo, error) {
 	for _, r := range prog.Rules {
 		info.Rules = append(info.Rules, r.String())
 	}
-	for i, st := range depgraph.Analyze(prog).Strata {
+	// The streaming planner subsumes the bare depgraph schedule: same
+	// strata, plus the executor decision and the per-rule operator trees of
+	// the streamable ones. It is computed unconditionally so EXPLAIN
+	// describes the streaming plan whether or not the run opts in.
+	splan, err := stream.PlanProgram(prog, engine.NewStore(), false)
+	if err != nil {
+		// Fall back to the schedule alone (e.g. a program the rule compiler
+		// rejects but the depgraph can still stratify).
+		for i, st := range depgraph.Analyze(prog).Strata {
+			info.Strata = append(info.Strata, StratumPlan{
+				Index:     i,
+				Preds:     st.Preds,
+				Recursive: st.Recursive,
+				Rules:     len(st.Rules),
+			})
+		}
+		return info, nil
+	}
+	for i := range splan.Strata {
+		sp := &splan.Strata[i]
+		executor := "stream"
+		if !sp.Streamed {
+			executor = "fixpoint"
+		}
 		info.Strata = append(info.Strata, StratumPlan{
-			Index:     i,
-			Preds:     st.Preds,
-			Recursive: st.Recursive,
-			Rules:     len(st.Rules),
+			Index:     sp.Index,
+			Preds:     sp.Preds,
+			Recursive: sp.Recursive,
+			Rules:     sp.RuleCount(),
+			Executor:  executor,
+			Reason:    sp.Reason,
+			Plans:     sp.Rules,
 		})
 	}
 	return info, nil
@@ -148,8 +187,16 @@ func (e *ExplainInfo) Text() string {
 			if st.Recursive {
 				kind = "fixpoint"
 			}
+			if st.Executor != "" {
+				kind += ", " + st.Executor
+			}
 			fmt.Fprintf(&b, "  %d: [%s] %d rules (%s)\n",
 				st.Index, strings.Join(st.Preds, ","), st.Rules, kind)
+			for _, rp := range st.Plans {
+				for _, line := range strings.Split(strings.TrimRight(rp.Root.Tree(), "\n"), "\n") {
+					fmt.Fprintf(&b, "      %s\n", line)
+				}
+			}
 		}
 	}
 	return b.String()

@@ -17,6 +17,7 @@ import (
 	"factorlog/internal/magic"
 	"factorlog/internal/obsv"
 	"factorlog/internal/optimize"
+	"factorlog/internal/stream"
 	"factorlog/internal/topdown"
 	"factorlog/internal/trace"
 )
@@ -359,6 +360,46 @@ type RunResult struct {
 	// Degraded reports that a parallel evaluation lost a worker to a panic
 	// and the answers come from the sequential retry (engine.Stats.Degraded).
 	Degraded bool
+	// Executor names the bottom-up evaluator that ran: "stream" when the
+	// streaming relational-algebra executor handled the run (non-recursive
+	// strata as iterator pipelines, recursive ones delegated to the
+	// fixpoint), "materialize" for the classic fixpoint evaluators. Empty
+	// for top-down strategies.
+	Executor string
+	// Stream carries the streaming executor's counters (rows, probes,
+	// pushdowns, per-operator flow under Trace); nil unless Executor is
+	// "stream".
+	Stream *obsv.StreamStats
+}
+
+// streamEligible reports whether opts route a bottom-up evaluation to the
+// streaming executor: opt-in via Options.Streaming, semi-naive strategy
+// (the streaming plan's recursive fallback is semi-naive, so naive-mode
+// cost measures would be wrong), and no provenance recording (only the
+// fixpoint evaluator builds derivation trees).
+func streamEligible(opts engine.Options) bool {
+	return opts.Streaming == engine.StreamAuto &&
+		opts.Strategy == engine.SemiNaive &&
+		!opts.Provenance
+}
+
+// evalProgram runs one bottom-up evaluation, routing to the streaming
+// executor when eligible. It returns the engine stats, the stream stats
+// (nil for materializing runs), and the executor name.
+func evalProgram(prog *ast.Program, db *engine.DB, opts engine.Options) (engine.Stats, *obsv.StreamStats, string, error) {
+	if streamEligible(opts) {
+		res, err := stream.Eval(prog, db, opts)
+		if err != nil {
+			return engine.Stats{}, nil, "", err
+		}
+		st := res.Stream
+		return res.Stats, &st, "stream", nil
+	}
+	res, err := engine.Eval(prog, db, opts)
+	if err != nil {
+		return engine.Stats{}, nil, "", err
+	}
+	return res.Stats, nil, "materialize", nil
 }
 
 // stageNames lists, per strategy, the transformation stages that produce
@@ -485,12 +526,12 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 			evalOpts.Strategy = engine.Naive
 		}
 		start := evalStart(evalOpts.Trace)
-		res, err := engine.Eval(pl.Program, db, evalOpts)
+		stats, streamStats, executor, err := evalProgram(pl.Program, db, evalOpts)
 		wall := time.Since(start.t)
 		if err != nil {
 			return nil, err
 		}
-		evalOpts.Span.AddTuplesOut(int64(res.Stats.Derived))
+		evalOpts.Span.AddTuplesOut(int64(stats.Derived))
 		answers, err := pl.projectedAnswers(db)
 		if err != nil {
 			return nil, err
@@ -498,19 +539,21 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 		return &RunResult{
 			Strategy:    s,
 			Answers:     answers,
-			Facts:       res.Stats.Derived,
-			Inferences:  res.Stats.Inferences,
-			Iterations:  res.Stats.Iterations,
+			Facts:       stats.Derived,
+			Inferences:  stats.Inferences,
+			Iterations:  stats.Iterations,
 			MaxIDBArity: maxIDBArity(pl.Program),
 			Program:     pl.Program,
 			Spans:       []obsv.Span{evalSpan(pl.Program, start, wall, evalOpts.Trace)},
-			Rules:       res.Stats.Rules,
-			Rounds:      res.Stats.Rounds,
-			Strata:      res.Stats.Strata,
-			Workers:     res.Stats.Workers,
+			Rules:       stats.Rules,
+			Rounds:      stats.Rounds,
+			Strata:      stats.Strata,
+			Workers:     stats.Workers,
 			EvalWall:    wall,
 			Storage:     db.StorageStats(),
-			Degraded:    res.Stats.Degraded,
+			Degraded:    stats.Degraded,
+			Executor:    executor,
+			Stream:      streamStats,
 		}, nil
 
 	case Magic:
@@ -615,12 +658,12 @@ func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*Ru
 func (pl *Pipeline) runTransformed(s Strategy, prog *ast.Program, query ast.Atom,
 	db *engine.DB, evalOpts engine.Options) (*RunResult, error) {
 	start := evalStart(evalOpts.Trace)
-	res, err := engine.Eval(prog, db, evalOpts)
+	stats, streamStats, executor, err := evalProgram(prog, db, evalOpts)
 	wall := time.Since(start.t)
 	if err != nil {
 		return nil, err
 	}
-	evalOpts.Span.AddTuplesOut(int64(res.Stats.Derived))
+	evalOpts.Span.AddTuplesOut(int64(stats.Derived))
 	set, err := engine.AnswerSet(db, query)
 	if err != nil {
 		return nil, err
@@ -628,19 +671,21 @@ func (pl *Pipeline) runTransformed(s Strategy, prog *ast.Program, query ast.Atom
 	return &RunResult{
 		Strategy:    s,
 		Answers:     set,
-		Facts:       res.Stats.Derived,
-		Inferences:  res.Stats.Inferences,
-		Iterations:  res.Stats.Iterations,
+		Facts:       stats.Derived,
+		Inferences:  stats.Inferences,
+		Iterations:  stats.Iterations,
 		MaxIDBArity: maxIDBArity(prog),
 		Program:     prog,
 		Spans:       append(pl.spansFor(s), evalSpan(prog, start, wall, evalOpts.Trace)),
-		Rules:       res.Stats.Rules,
-		Rounds:      res.Stats.Rounds,
-		Strata:      res.Stats.Strata,
-		Workers:     res.Stats.Workers,
+		Rules:       stats.Rules,
+		Rounds:      stats.Rounds,
+		Strata:      stats.Strata,
+		Workers:     stats.Workers,
 		EvalWall:    wall,
 		Storage:     db.StorageStats(),
-		Degraded:    res.Stats.Degraded,
+		Degraded:    stats.Degraded,
+		Executor:    executor,
+		Stream:      streamStats,
 	}, nil
 }
 
@@ -756,6 +801,13 @@ func ProfileTable(r *RunResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "strategy: %s (eval wall %s)\n",
 		r.Strategy, obsv.FormatDuration(r.EvalWall))
+	if r.Executor != "" {
+		fmt.Fprintf(&b, "executor: %s\n", r.Executor)
+	}
+	if r.Stream != nil {
+		b.WriteString(obsv.StreamLine(*r.Stream))
+		b.WriteByte('\n')
+	}
 	if r.Storage.Relations > 0 {
 		b.WriteString(obsv.StorageLine(r.Storage))
 		b.WriteByte('\n')
@@ -776,6 +828,10 @@ func ProfileTable(r *RunResult) string {
 	if len(r.Rounds) > 0 {
 		b.WriteByte('\n')
 		b.WriteString(obsv.RoundTable(r.Rounds))
+	}
+	if r.Stream != nil && len(r.Stream.Ops) > 0 {
+		b.WriteByte('\n')
+		b.WriteString(obsv.StreamOpTable(r.Stream.Ops))
 	}
 	return b.String()
 }

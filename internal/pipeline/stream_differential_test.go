@@ -1,0 +1,164 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"factorlog/internal/engine"
+	"factorlog/internal/parser"
+	"factorlog/internal/workload"
+)
+
+// This file is the streaming executor's differential property suite at the
+// pipeline level: for every strategy and a spread of randomized workload
+// programs, a run with Streaming: StreamAuto must produce exactly the
+// answers of the default materializing run. The stream package pins
+// relation-level agreement for the raw evaluators; these tests pin that the
+// routing in evalProgram (strategy gating, fallback to the fixpoint for
+// recursive strata, top-down strategies untouched) preserves end-to-end
+// answers through the whole transformation pipeline.
+
+// TestStreamingDifferentialBattery runs every strategy over the recursive
+// agreement battery with streaming on and off and requires identical
+// answers on random EDBs.
+func TestStreamingDifferentialBattery(t *testing.T) {
+	for _, c := range battery {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			p := parser.MustParseProgram(c.src)
+			query := parser.MustParseAtom(c.query)
+			seeds := int64(5)
+			if testing.Short() {
+				seeds = 2
+			}
+			for seed := int64(0); seed < seeds; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				domain := 2 + r.Intn(6)
+				load := func() *engine.DB {
+					return randomDB(rand.New(rand.NewSource(seed)), c.edb, domain)
+				}
+				for _, s := range AllStrategies() {
+					plOff := New(parser.MustParseProgram(c.src), query)
+					off, errOff := plOff.Run(s, load(), engine.Options{MaxFacts: 500_000})
+					plOn := New(p, query)
+					on, errOn := plOn.Run(s, load(), engine.Options{
+						MaxFacts: 500_000, Streaming: engine.StreamAuto,
+					})
+					if (errOff == nil) != (errOn == nil) {
+						t.Fatalf("%s seed %d: off err=%v, on err=%v", s, seed, errOff, errOn)
+					}
+					if errOff != nil {
+						continue // strategy unavailable for this program either way
+					}
+					if ok, diff := SameAnswers(off, on); !ok {
+						t.Fatalf("%s seed %d: streaming changed answers: %s", s, seed, diff)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamingDifferentialLayeredJoins covers the join-heavy non-recursive
+// family at both ends of the selectivity knob: every stratum is streamable,
+// so the two executors take fully disjoint code paths and must still agree.
+func TestStreamingDifferentialLayeredJoins(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		stages := 2 + r.Intn(4)
+		n := 20 + r.Intn(60)
+		fanout := 1 + r.Intn(3) // 1 = high selectivity, 3 = low
+		prog := parser.MustParseProgram(workload.LayeredJoinProgram(stages))
+		query := workload.LayeredJoinQuery(stages)
+		load := func() *engine.DB {
+			db := engine.NewDB()
+			workload.LayeredJoins(db, stages, n, fanout)
+			return db
+		}
+		name := fmt.Sprintf("stages=%d n=%d fanout=%d", stages, n, fanout)
+		t.Run(name, func(t *testing.T) {
+			off, err := New(prog, query).Run(SemiNaive, load(), engine.Options{Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			on, err := New(prog, query).Run(SemiNaive, load(), engine.Options{
+				Trace: true, Streaming: engine.StreamAuto,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if off.Executor != "materialize" || on.Executor != "stream" {
+				t.Fatalf("executors = %q / %q, want materialize / stream", off.Executor, on.Executor)
+			}
+			if on.Stream == nil || on.Stream.RowsEmitted == 0 || on.Stream.Streamed != stages {
+				t.Fatalf("stream stats = %+v, want %d streamed strata with rows", on.Stream, stages)
+			}
+			if ok, diff := SameAnswers(off, on); !ok {
+				t.Fatalf("streaming changed answers: %s", diff)
+			}
+			if len(on.Answers) == 0 {
+				t.Fatal("layered join family produced no answers")
+			}
+		})
+	}
+}
+
+// TestStreamingExecutorRouting pins the gate in streamEligible: only the
+// bottom-up semi-naive path with StreamAuto and no provenance streams, and
+// the selective point query streams with its constant pushed into the scan.
+func TestStreamingExecutorRouting(t *testing.T) {
+	prog := parser.MustParseProgram(`hit(Y) :- wide(5, Y).`)
+	query := parser.MustParseAtom("hit(Y)")
+	load := func() *engine.DB {
+		db := engine.NewDB()
+		workload.WidePairs(db, "wide", 500, 50)
+		return db
+	}
+
+	r, err := New(prog, query).Run(SemiNaive, load(), engine.Options{Streaming: engine.StreamAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Executor != "stream" || r.Stream == nil || r.Stream.Pushdowns == 0 {
+		t.Fatalf("executor=%q stream=%+v, want streamed run with pushdowns", r.Executor, r.Stream)
+	}
+
+	// Off by default: the zero Options value must not stream.
+	r, err = New(prog, query).Run(SemiNaive, load(), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Executor != "materialize" || r.Stream != nil {
+		t.Fatalf("executor=%q, want materialize for zero-value options", r.Executor)
+	}
+
+	// Naive strategy keeps the fixpoint even under StreamAuto.
+	r, err = New(prog, query).Run(Naive, load(), engine.Options{Streaming: engine.StreamAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Executor != "materialize" {
+		t.Fatalf("executor=%q, want materialize for naive", r.Executor)
+	}
+
+	// Provenance forces materialization (streaming records no derivations).
+	r, err = New(prog, query).Run(SemiNaive, load(), engine.Options{
+		Streaming: engine.StreamAuto, Provenance: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Executor != "materialize" {
+		t.Fatalf("executor=%q, want materialize under provenance", r.Executor)
+	}
+
+	// Top-down strategies have no bottom-up executor at all.
+	r, err = New(prog, query).Run(TopDown, load(), engine.Options{Streaming: engine.StreamAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Executor != "" {
+		t.Fatalf("executor=%q, want empty for top-down", r.Executor)
+	}
+}

@@ -1,0 +1,85 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"factorlog/internal/engine"
+	"factorlog/internal/faultinject"
+	"factorlog/internal/parser"
+)
+
+// TestStreamChaos arms the injection points the streaming executor crosses —
+// StreamNext on the iterator hot path, plus the storage and index points its
+// sinks and probes share with the engine — and requires the same invariants
+// as the engine's chaos suite: no failure may escape the recovery barrier
+// untyped, and every successful run must produce exactly the baseline
+// relations, whether or not faults fired along the way.
+func TestStreamChaos(t *testing.T) {
+	prog := parser.MustParseProgram(mixedProgram)
+	baselineDB := engine.NewDB()
+	loadMixedEDB(baselineDB, 14)
+	if _, err := Eval(prog, baselineDB, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	baseline := relationSets(baselineDB)
+
+	points := []faultinject.Point{
+		faultinject.StreamNext, faultinject.ArenaGrow, faultinject.IndexProbe,
+	}
+	for _, seed := range []uint64{1, 7, 42, 9001} {
+		for _, maxPeriod := range []uint64{60, 900} {
+			t.Run(fmt.Sprintf("seed=%d period<=%d", seed, maxPeriod), func(t *testing.T) {
+				// Load the EDB before arming: setup is not under test.
+				db := engine.NewDB()
+				loadMixedEDB(db, 14)
+				disable := faultinject.Enable(faultinject.Config{
+					Seed: seed, MaxPeriod: maxPeriod, Points: points,
+				})
+				defer disable()
+
+				res, err := Eval(prog, db, engine.Options{})
+				if err != nil {
+					if !errors.Is(err, engine.ErrInternal) {
+						t.Fatalf("untyped failure: %v", err)
+					}
+					var pe *engine.PanicError
+					if !errors.As(err, &pe) || len(pe.Stack) == 0 {
+						t.Fatalf("internal error without stack: %v", err)
+					}
+					return
+				}
+				if res.Stream.RowsEmitted == 0 {
+					t.Fatal("successful run streamed nothing")
+				}
+				diffRelations(t, baseline, relationSets(db))
+			})
+		}
+	}
+}
+
+// TestStreamNextFires pins that the StreamNext point actually sits on the
+// executed path: with only that point armed at period 1, the very first
+// pulled row must fault.
+func TestStreamNextFires(t *testing.T) {
+	prog := parser.MustParseProgram(`d(X) :- e(X, X).`)
+	db := engine.NewDB()
+	db.MustInsert("e", db.Store.Int(1), db.Store.Int(1))
+	disable := faultinject.Enable(faultinject.Config{
+		Seed: 1, MaxPeriod: 1, Points: []faultinject.Point{faultinject.StreamNext},
+	})
+	defer disable()
+
+	_, err := Eval(prog, db, engine.Options{})
+	if !errors.Is(err, engine.ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal from injected StreamNext fault", err)
+	}
+	var pe *engine.PanicError
+	if !errors.As(err, &pe) || pe.Where != "stream" {
+		t.Fatalf("barrier = %+v, want Where=stream", err)
+	}
+	if faultinject.TotalFired() == 0 {
+		t.Fatal("StreamNext never fired")
+	}
+}

@@ -1,0 +1,317 @@
+package stream
+
+import (
+	"factorlog/internal/engine"
+	"factorlog/internal/faultinject"
+)
+
+// The operators in this file form one streamed rule's pull pipeline:
+// project ← join_n ← … ← join_1 ← scan (or const). All operators share one
+// frame — the rule's binding slots plus the undo trail — so a pipeline
+// carries bindings downstream without copying tuples; an operator's Next
+// first unwinds its own bindings (everything above its trail mark), then
+// advances to its next candidate row, so the trail stays strictly LIFO
+// across the chain. Iterators never return errors: probes and matches
+// cannot fail, and the panic sources on the path (arena access, injected
+// faults) unwind to Eval's recovery barrier.
+
+// Iterator is the pull contract: Next advances to the next row, binding the
+// shared frame, and reports whether one exists. After Next returns false
+// the pipeline is exhausted (operators are single-use; build a new pipeline
+// to rerun a rule).
+type Iterator interface {
+	Next() bool
+}
+
+// frame is the mutable evaluation state one pipeline's operators share: the
+// rule's binding slots and the LIFO trail of slots bound since the start.
+type frame struct {
+	slots []engine.Val
+	trail []int
+	store *engine.Store
+}
+
+// undo unwinds the frame's bindings above mark.
+func (f *frame) undo(mark int) {
+	f.trail = engine.UndoTrail(f.slots, f.trail, mark)
+}
+
+// constOp is the source of a bodyless rule: it yields exactly one empty
+// frame.
+type constOp struct {
+	done bool
+	node *OpNode
+}
+
+func (c *constOp) Next() bool {
+	if c.done {
+		return false
+	}
+	c.done = true
+	c.node.Rows++
+	return true
+}
+
+// scanOp is the source of a rule with a body: it enumerates the first
+// literal's relation, matching every argument pattern inline — constant
+// selections are pushed into the scan rather than a separate filter pass —
+// or, when the relation already has a persistent index on the literal's
+// ground columns, probes that index once and enumerates only the matching
+// postings. (A probe with a constant key never justifies building a
+// transient table: the build would scan the whole relation anyway.)
+type scanOp struct {
+	fr   *frame
+	rel  *engine.Relation
+	args []engine.Pattern
+	// free are the columns matched per row: all columns for a full scan,
+	// the residual non-key columns for an index probe.
+	free []int
+	node *OpNode
+
+	// Full-scan cursor. n is snapshotted at construction: body relations of
+	// a non-recursive stratum are frozen while it streams.
+	pos, n int32
+
+	// Index-probe cursor; probed selects it.
+	probed    bool
+	positions []int32
+	pi        int
+}
+
+// newScanOp builds the source for body literal spec. Ground columns probe
+// an existing persistent index when the relation has one (ex counts the
+// reuse); otherwise every column is matched during the scan.
+func newScanOp(fr *frame, rel *engine.Relation, spec *engine.LiteralSpec, node *OpNode, ex *exec) *scanOp {
+	s := &scanOp{fr: fr, rel: rel, args: spec.Args(), node: node, n: int32(rel.Len())}
+	bound := spec.BoundCols()
+	if len(bound) > 0 && rel.HasIndex(bound) {
+		key := make([]engine.Val, 0, len(bound))
+		for _, c := range bound {
+			key = append(key, spec.Args()[c].Eval(nil, fr.store))
+		}
+		if positions, ok := rel.ProbeIndexed(bound, key); ok {
+			ex.stream.Probes++
+			ex.stream.IndexReuses++
+			s.probed = true
+			s.positions = positions
+			s.free = spec.FreeCols()
+			return s
+		}
+	}
+	s.free = allCols(len(spec.Args()))
+	return s
+}
+
+func allCols(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func (s *scanOp) Next() bool {
+	f := s.fr
+	f.undo(0) // the scan is the pipeline's leaf: its mark is the empty trail
+	for {
+		var tuple []engine.Val
+		if s.probed {
+			if s.pi >= len(s.positions) {
+				return false
+			}
+			tuple = s.rel.Tuple(s.positions[s.pi])
+			s.pi++
+		} else {
+			if s.pos >= s.n {
+				return false
+			}
+			tuple = s.rel.Tuple(s.pos)
+			s.pos++
+		}
+		faultinject.Hit(faultinject.StreamNext)
+		s.node.RowsIn++
+		if matchCols(s.args, s.free, tuple, f) {
+			s.node.Rows++
+			return true
+		}
+		f.undo(0)
+	}
+}
+
+// joinOp joins its child's frames against one body literal's relation. With
+// bound columns it is a hash join: the probe key is evaluated from the
+// frame, served by the relation's persistent index when one exists and by
+// the evaluation's shared transient build table otherwise. With no bound
+// columns it degenerates to a nested-loop scan per child frame.
+type joinOp struct {
+	fr    *frame
+	child Iterator
+	rel   *engine.Relation
+	pred  string
+	args  []engine.Pattern
+	bound []int
+	free  []int
+	node  *OpNode
+	ex    *exec
+
+	// live is set while a child frame's candidates are being enumerated;
+	// mark is the trail length when that frame arrived.
+	live bool
+	mark int
+	key  []engine.Val
+
+	// Candidates of the current frame: postings for a hash join, a position
+	// range for a nested loop. n is snapshotted once (frozen relation).
+	positions []int32
+	pi        int
+	pos, n    int32
+}
+
+func newJoinOp(fr *frame, child Iterator, rel *engine.Relation, spec *engine.LiteralSpec, node *OpNode, ex *exec) *joinOp {
+	return &joinOp{
+		fr:    fr,
+		child: child,
+		rel:   rel,
+		pred:  spec.Pred(),
+		args:  spec.Args(),
+		bound: spec.BoundCols(),
+		free:  spec.FreeCols(),
+		node:  node,
+		ex:    ex,
+		key:   make([]engine.Val, 0, len(spec.BoundCols())),
+		n:     int32(rel.Len()),
+	}
+}
+
+func (j *joinOp) Next() bool {
+	f := j.fr
+	for {
+		if j.live {
+			f.undo(j.mark)
+			for {
+				var tuple []engine.Val
+				if len(j.bound) > 0 {
+					if j.pi >= len(j.positions) {
+						break
+					}
+					tuple = j.rel.Tuple(j.positions[j.pi])
+					j.pi++
+				} else {
+					if j.pos >= j.n {
+						break
+					}
+					tuple = j.rel.Tuple(j.pos)
+					j.pos++
+				}
+				faultinject.Hit(faultinject.StreamNext)
+				j.node.RowsIn++
+				if matchCols(j.args, j.free, tuple, f) {
+					j.node.Rows++
+					return true
+				}
+				f.undo(j.mark)
+			}
+			j.live = false
+		}
+		if !j.child.Next() {
+			return false
+		}
+		j.mark = len(f.trail)
+		j.live = true
+		if len(j.bound) > 0 {
+			key := j.key[:0]
+			for _, c := range j.bound {
+				key = append(key, j.args[c].Eval(f.slots, f.store))
+			}
+			j.key = key
+			j.ex.stream.Probes++
+			if positions, ok := j.rel.ProbeIndexed(j.bound, key); ok {
+				j.ex.stream.IndexReuses++
+				j.positions = positions
+			} else {
+				j.positions = j.ex.table(j.pred, j.rel, j.bound).probe(key)
+			}
+			j.pi = 0
+		} else {
+			j.pos = 0
+		}
+	}
+}
+
+// matchCols matches tuple's columns in cols against their patterns, binding
+// free slots on the frame's trail. On failure the caller unwinds via
+// frame.undo; partial bindings from the failed row sit above the caller's
+// mark.
+func matchCols(args []engine.Pattern, cols []int, tuple []engine.Val, f *frame) bool {
+	for _, c := range cols {
+		if !args[c].Match(tuple[c], f.slots, &f.trail, f.store) {
+			return false
+		}
+	}
+	return true
+}
+
+// projectOp evaluates the rule's head patterns over each child frame into a
+// reusable row buffer; Row is valid until the next call to Next (the sink
+// copies it into the arena on insert).
+type projectOp struct {
+	fr    *frame
+	child Iterator
+	head  []engine.Pattern
+	row   []engine.Val
+	node  *OpNode
+}
+
+func (p *projectOp) Next() bool {
+	if !p.child.Next() {
+		return false
+	}
+	p.node.RowsIn++
+	row := p.row[:0]
+	for _, h := range p.head {
+		row = append(row, h.Eval(p.fr.slots, p.fr.store))
+	}
+	p.row = row
+	p.node.Rows++
+	return true
+}
+
+// Row returns the current projected head tuple.
+func (p *projectOp) Row() []engine.Val { return p.row }
+
+// buildPipeline wires one streamed rule's operator chain over its annotated
+// plan nodes and returns the project operator the sink drains. The plan's
+// node chain is materialize ← project ← joins… ← source; the ops annotate
+// those nodes with measured row counts as they run.
+func buildPipeline(rp *RulePlan, db *engine.DB, ex *exec) *projectOp {
+	r := rp.compiled
+	fr := &frame{slots: make([]engine.Val, r.NSlots()), store: db.Store}
+	for i := range fr.slots {
+		fr.slots[i] = engine.NoVal
+	}
+
+	// Walk the node chain source-first so nodes[i] aligns with body[i].
+	depth := len(r.Body())
+	if depth == 0 {
+		depth = 1 // const source
+	}
+	nodes := make([]*OpNode, depth+1) // sources+joins, then project
+	n := rp.Root.Children[0]          // skip materialize
+	nodes[depth] = n                  // project
+	for i := depth - 1; i >= 0; i-- {
+		n = n.Children[0]
+		nodes[i] = n
+	}
+
+	body := r.Body()
+	var it Iterator
+	if len(body) == 0 {
+		it = &constOp{node: nodes[0]}
+	} else {
+		it = newScanOp(fr, db.Lookup(body[0].Pred()), &body[0], nodes[0], ex)
+		for li := 1; li < len(body); li++ {
+			it = newJoinOp(fr, it, db.Lookup(body[li].Pred()), &body[li], nodes[li], ex)
+		}
+	}
+	return &projectOp{fr: fr, child: it, head: r.HeadArgs(), node: nodes[len(nodes)-1]}
+}

@@ -1,0 +1,306 @@
+// Package stream is the streaming relational-algebra executor: it compiles
+// the non-recursive strata of a program to composed pull-based σ/π/⋈
+// iterator pipelines and runs each of their rules exactly once, in
+// topological stratum order, instead of pushing them through the
+// materializing semi-naive fixpoint.
+//
+// The fixpoint evaluator is the right tool for recursion, but on a
+// non-recursive stratum it pays for machinery it does not need: the round-0
+// pass derives every fact, and the following delta round re-joins every
+// rule whose body mentions an IDB predicate against the full relation again
+// just to discover there is nothing new — roughly doubling the join work —
+// while building persistent column indexes that outlive their single use.
+// The §4/§5 reductions of "Argument Reduction by Factoring" deliberately
+// manufacture such strata: magic seed predicates and the low-arity bp/fp
+// cleanup products are cheap to stream and die after one join.
+//
+// The executor reuses the engine's rule compiler (engine.CompileProgram),
+// so both executors agree exactly on slot numbering, bound/free column
+// splits, and join order; the differential suite pins that the two produce
+// identical relations. Constant selections are pushed into the source scan
+// (or into an existing index probe), join equalities are pushed into hash
+// probe keys, and probes are served either by a relation's persistent index
+// when one already exists or by a transient build table pre-sized from the
+// relation's storage statistics and discarded when the evaluation ends —
+// streamed strata never grow the database's retained index footprint.
+// Recursive strata fall back to engine.Eval over the stratum's subprogram
+// (inheriting Workers, budgets, and cancellation), and every stratum output
+// is materialized at its recursion/consumption boundary so later strata and
+// the answer projection read ordinary relations.
+package stream
+
+import (
+	"fmt"
+	"strings"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/depgraph"
+	"factorlog/internal/engine"
+)
+
+// OpNode is one operator of a streamed rule's plan tree, rendered in
+// EXPLAIN output and annotated with measured row counts after execution.
+type OpNode struct {
+	// Op names the operator: const, scan, hash-join, nested-loop, project,
+	// materialize.
+	Op string `json:"op"`
+	// Pred is the relation the operator reads or writes, when it has one.
+	Pred string `json:"pred,omitempty"`
+	// Detail is a short human-readable elaboration: the scanned atom, the
+	// probe key columns, the projection, or the materialization reason.
+	Detail string `json:"detail,omitempty"`
+	// Pushed lists predicates pushed into this operator: "σ colN=c" for
+	// constant selections applied during the scan or probe, "colN=$s" for
+	// join equalities folded into the probe key.
+	Pushed []string `json:"pushed,omitempty"`
+	// RowsIn counts candidate rows examined, Rows rows produced; both are
+	// zero in a static plan and filled in by execution.
+	RowsIn int64 `json:"rows_in,omitempty"`
+	Rows   int64 `json:"rows,omitempty"`
+	// Children are the operator's inputs (one for this executor's chains).
+	Children []*OpNode `json:"children,omitempty"`
+}
+
+// Clone deep-copies the node tree (plans are shared; executions annotate a
+// private copy).
+func (n *OpNode) Clone() *OpNode {
+	if n == nil {
+		return nil
+	}
+	out := *n
+	out.Pushed = append([]string(nil), n.Pushed...)
+	out.Children = make([]*OpNode, len(n.Children))
+	for i, c := range n.Children {
+		out.Children[i] = c.Clone()
+	}
+	return &out
+}
+
+// writeTree renders the node as an indented operator tree.
+func (n *OpNode) writeTree(b *strings.Builder, indent string) {
+	b.WriteString(indent)
+	b.WriteString(n.Op)
+	if n.Pred != "" {
+		b.WriteByte(' ')
+		b.WriteString(n.Pred)
+	}
+	if n.Detail != "" {
+		b.WriteString(" (" + n.Detail + ")")
+	}
+	if len(n.Pushed) > 0 {
+		b.WriteString(" [" + strings.Join(n.Pushed, ", ") + "]")
+	}
+	if n.Rows > 0 || n.RowsIn > 0 {
+		fmt.Fprintf(b, " rows=%d/%d", n.Rows, n.RowsIn)
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		c.writeTree(b, indent+"  ")
+	}
+}
+
+// Tree renders the plan tree as indented text, one operator per line.
+func (n *OpNode) Tree() string {
+	var b strings.Builder
+	n.writeTree(&b, "")
+	return b.String()
+}
+
+// RulePlan is the streamed plan of one rule.
+type RulePlan struct {
+	// RuleIndex is the rule's position in the evaluated program.
+	RuleIndex int `json:"rule"`
+	// Rule is the rendered source of the rule.
+	Rule string `json:"rule_src"`
+	// Root is the plan's operator tree (materialize at the root).
+	Root *OpNode `json:"plan"`
+
+	compiled *engine.CompiledRule
+}
+
+// StratumPlan is the executor decision for one stratum of the schedule.
+type StratumPlan struct {
+	// Index is the stratum's position in the topological schedule; Preds
+	// the IDB predicates it defines.
+	Index int      `json:"index"`
+	Preds []string `json:"preds"`
+	// Recursive reports whether the stratum needs a fixpoint.
+	Recursive bool `json:"recursive"`
+	// Streamed reports the planner's decision: iterator pipelines (true) or
+	// the materializing semi-naive fixpoint (false). Reason says why.
+	Streamed bool   `json:"streamed"`
+	Reason   string `json:"reason"`
+	// Rules holds the per-rule operator trees of a streamed stratum; nil
+	// for fixpoint strata.
+	Rules []*RulePlan `json:"rules,omitempty"`
+
+	ruleIdxs []int // global rule indices (all strata)
+}
+
+// RuleCount returns the number of rules in the stratum (streamed or not).
+func (sp *StratumPlan) RuleCount() int { return len(sp.ruleIdxs) }
+
+// Plan is the streaming executor's classification of a whole program.
+type Plan struct {
+	Strata []StratumPlan `json:"strata"`
+}
+
+// Streamed counts the strata the planner routed to iterator pipelines.
+func (p *Plan) Streamed() int {
+	n := 0
+	for i := range p.Strata {
+		if p.Strata[i].Streamed {
+			n++
+		}
+	}
+	return n
+}
+
+// PlanProgram classifies every stratum of p and builds the operator trees
+// of the streamed ones, without evaluating anything. EXPLAIN uses it to
+// describe the plan; Eval builds the same plan and executes it. The store
+// only interns the program's constants (any store works for planning; Eval
+// must use the database's).
+func PlanProgram(p *ast.Program, store *engine.Store, reorder bool) (*Plan, error) {
+	rules, err := engine.CompileProgram(p, store, reorder)
+	if err != nil {
+		return nil, err
+	}
+	return planCompiled(p, rules, depgraph.Analyze(p))
+}
+
+// planCompiled builds the plan over already-compiled rules.
+func planCompiled(p *ast.Program, rules []*engine.CompiledRule, sched *depgraph.Schedule) (*Plan, error) {
+	plan := &Plan{Strata: make([]StratumPlan, len(sched.Strata))}
+	for si := range sched.Strata {
+		st := &sched.Strata[si]
+		sp := StratumPlan{
+			Index:     si,
+			Preds:     st.Preds,
+			Recursive: st.Recursive,
+			ruleIdxs:  st.Rules,
+		}
+		if st.Recursive {
+			sp.Streamed = false
+			sp.Reason = "recursive: semi-naive fixpoint with delta discipline"
+		} else {
+			sp.Streamed = true
+			sp.Reason = "non-recursive: single-pass iterator pipeline"
+			for _, ri := range st.Rules {
+				r := rules[ri]
+				sp.Rules = append(sp.Rules, &RulePlan{
+					RuleIndex: ri,
+					Rule:      r.Label(),
+					Root:      buildOpTree(r, sinkReason(r.HeadPred(), si, sched, p)),
+					compiled:  r,
+				})
+			}
+		}
+		plan.Strata[si] = sp
+	}
+	return plan, nil
+}
+
+// sinkReason explains why a streamed stratum's output materializes: the
+// sink is the one place a streaming plan touches the arena, and the reason
+// names the boundary that forces it.
+func sinkReason(pred string, si int, sched *depgraph.Schedule, p *ast.Program) string {
+	for sj := si + 1; sj < len(sched.Strata); sj++ {
+		st := &sched.Strata[sj]
+		for _, ri := range st.Rules {
+			for _, a := range p.Rules[ri].Body {
+				if a.Pred == pred {
+					if st.Recursive {
+						return fmt.Sprintf("recursion boundary: consumed by recursive stratum %d", sj)
+					}
+					return fmt.Sprintf("consumed by stratum %d", sj)
+				}
+			}
+		}
+	}
+	return "stratum output: kept for answers"
+}
+
+// buildOpTree lowers one compiled rule to its operator chain:
+// materialize ← project ← join_n ← … ← join_1 ← scan (or const for a
+// bodyless rule). Constant selections appear as pushed predicates on the
+// scan; probe-key equalities as pushed predicates on each join.
+func buildOpTree(r *engine.CompiledRule, reason string) *OpNode {
+	src := r.Rule()
+	body := r.Body()
+	var node *OpNode
+	if len(body) == 0 {
+		node = &OpNode{Op: "const", Detail: "one empty frame"}
+	} else {
+		spec := &body[0]
+		node = &OpNode{
+			Op:     "scan",
+			Pred:   spec.Pred(),
+			Detail: src.Body[0].String(),
+			Pushed: pushedPreds(spec, src.Body[0]),
+		}
+		for li := 1; li < len(body); li++ {
+			spec := &body[li]
+			op := "hash-join"
+			detail := src.Body[li].String()
+			if len(spec.BoundCols()) == 0 {
+				op = "nested-loop"
+			} else {
+				detail += fmt.Sprintf(" probe cols %v", spec.BoundCols())
+			}
+			node = &OpNode{
+				Op:       op,
+				Pred:     spec.Pred(),
+				Detail:   detail,
+				Pushed:   pushedPreds(spec, src.Body[li]),
+				Children: []*OpNode{node},
+			}
+		}
+	}
+	heads := make([]string, len(src.Head.Args))
+	for i, t := range src.Head.Args {
+		heads[i] = t.String()
+	}
+	node = &OpNode{Op: "project", Detail: "[" + strings.Join(heads, ",") + "]", Children: []*OpNode{node}}
+	return &OpNode{
+		Op:       "materialize",
+		Pred:     r.HeadPred(),
+		Detail:   "distinct; " + reason,
+		Children: []*OpNode{node},
+	}
+}
+
+// pushedPreds renders the predicates pushed into one literal's scan or
+// probe: constants as selections ("σ col0=5"), variables bound by earlier
+// literals as join-key equalities ("col1=X").
+func pushedPreds(spec *engine.LiteralSpec, atom ast.Atom) []string {
+	var out []string
+	for _, c := range spec.BoundCols() {
+		term := atom.Args[c]
+		if term.Ground() {
+			out = append(out, fmt.Sprintf("σ col%d=%s", c, term))
+		} else {
+			out = append(out, fmt.Sprintf("col%d=%s", c, term))
+		}
+	}
+	return out
+}
+
+// countPushdowns counts the pushed predicates across a plan's streamed
+// operator trees.
+func countPushdowns(plan *Plan) int {
+	n := 0
+	var walk func(*OpNode)
+	walk = func(node *OpNode) {
+		n += len(node.Pushed)
+		for _, c := range node.Children {
+			walk(c)
+		}
+	}
+	for i := range plan.Strata {
+		for _, rp := range plan.Strata[i].Rules {
+			walk(rp.Root)
+		}
+	}
+	return n
+}

@@ -9,6 +9,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"factorlog/internal/ast"
 	"factorlog/internal/engine"
@@ -106,8 +107,9 @@ func ListTerm(n int) ast.Term {
 	return ast.List(elems...)
 }
 
-// PFacts loads p(xi) for every i with i mod every == 0 (selectivity
-// 1/every); every <= 1 marks all members.
+// PFacts loads p(xj) for every 1-based j in 1..n divisible by every —
+// p(x_every), p(x_2every), ... — giving selectivity 1/every; every <= 1
+// marks all members.
 func PFacts(db *engine.DB, n, every int) {
 	if every < 1 {
 		every = 1
@@ -172,6 +174,68 @@ func Section64(db *engine.DB, n int) {
 		db.MustInsert("exit", v, db.Store.Int(i+1000))
 		db.MustInsert("right1", db.Store.Int(i+1000))
 		db.MustInsert("right2", db.Store.Int(i+1000))
+	}
+}
+
+// LayeredJoinProgram returns the source of the join-heavy non-recursive
+// family: t1(X,Z) :- s0(X,Y), s1(Y,Z), then tk(X,Z) :- t(k-1)(X,Y), sk(Y,Z)
+// up to t<stages>. Every stratum past the first joins an IDB predicate, the
+// shape on which the materializing semi-naive evaluator pays each join twice
+// (the round-0 cascade derives everything, then the delta round re-joins the
+// full relation to find nothing new) while the streaming executor pays once.
+func LayeredJoinProgram(stages int) string {
+	if stages < 1 {
+		stages = 1
+	}
+	var b strings.Builder
+	b.WriteString("t1(X, Z) :- s0(X, Y), s1(Y, Z).\n")
+	for k := 2; k <= stages; k++ {
+		fmt.Fprintf(&b, "t%d(X, Z) :- t%d(X, Y), s%d(Y, Z).\n", k, k-1, k)
+	}
+	return b.String()
+}
+
+// LayeredJoinQuery returns the query atom of the layered join family,
+// t<stages>(X, Z): the whole final layer.
+func LayeredJoinQuery(stages int) ast.Atom {
+	if stages < 1 {
+		stages = 1
+	}
+	return ast.NewAtom(fmt.Sprintf("t%d", stages), ast.V("X"), ast.V("Z"))
+}
+
+// LayeredJoins loads the EDB of LayeredJoinProgram: stages+1 binary
+// relations s0..s<stages> over the key space 0..n-1, each with n*fanout
+// tuples sk(i, (i*7+k+j*11) mod n) for j in 0..fanout-1. fanout is the join
+// selectivity knob: fanout 1 gives every probe key exactly one match (the
+// high-selectivity variant, |tk| stays n), larger fanouts give every key
+// fanout successors so intermediate results multiply (the low-selectivity
+// variant). fanout < 1 clamps to 1.
+func LayeredJoins(db *engine.DB, stages, n, fanout int) {
+	if fanout < 1 {
+		fanout = 1
+	}
+	for k := 0; k <= stages; k++ {
+		pred := fmt.Sprintf("s%d", k)
+		for i := 0; i < n; i++ {
+			for j := 0; j < fanout; j++ {
+				db.MustInsert(pred, db.Store.Int(i), db.Store.Int((i*7+k+j*11)%n))
+			}
+		}
+	}
+}
+
+// WidePairs loads pred(i mod keys, i) for i in 0..n-1: an n-row binary
+// relation whose first column takes keys distinct values, so a constant
+// selection on column 0 keeps about n/keys rows. keys near n is the
+// high-selectivity variant (a point probe matches one row); small keys is
+// the low-selectivity one. keys < 1 clamps to 1 (all rows share one key).
+func WidePairs(db *engine.DB, pred string, n, keys int) {
+	if keys < 1 {
+		keys = 1
+	}
+	for i := 0; i < n; i++ {
+		db.MustInsert(pred, db.Store.Int(i%keys), db.Store.Int(i))
 	}
 }
 

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"factorlog/internal/engine"
@@ -108,6 +109,50 @@ func TestSection64(t *testing.T) {
 	Section64(db, 5)
 	if db.Count("first1") != 4 || db.Count("exit") != 5 || db.Count("right1") != 5 {
 		t.Errorf("counts wrong")
+	}
+}
+
+func TestLayeredJoins(t *testing.T) {
+	db := engine.NewDB()
+	LayeredJoins(db, 3, 10, 1)
+	for k := 0; k <= 3; k++ {
+		pred := "s" + string(rune('0'+k))
+		if db.Count(pred) != 10 {
+			t.Errorf("|%s| = %d, want 10", pred, db.Count(pred))
+		}
+	}
+	// fanout multiplies rows per key.
+	db2 := engine.NewDB()
+	LayeredJoins(db2, 1, 10, 3)
+	if db2.Count("s0") != 30 {
+		t.Errorf("|s0| with fanout 3 = %d, want 30", db2.Count("s0"))
+	}
+
+	prog := LayeredJoinProgram(3)
+	for _, want := range []string{
+		"t1(X, Z) :- s0(X, Y), s1(Y, Z).",
+		"t3(X, Z) :- t2(X, Y), s3(Y, Z).",
+	} {
+		if !strings.Contains(prog, want) {
+			t.Errorf("program missing %q:\n%s", want, prog)
+		}
+	}
+	if q := LayeredJoinQuery(3).String(); q != "t3(X,Z)" {
+		t.Errorf("query = %s", q)
+	}
+}
+
+func TestWidePairs(t *testing.T) {
+	db := engine.NewDB()
+	WidePairs(db, "wide", 100, 10)
+	if db.Count("wide") != 100 {
+		t.Errorf("|wide| = %d", db.Count("wide"))
+	}
+	// keys clamps to 1: all rows share the key, still distinct on col1.
+	db2 := engine.NewDB()
+	WidePairs(db2, "wide", 50, 0)
+	if db2.Count("wide") != 50 {
+		t.Errorf("|wide| = %d", db2.Count("wide"))
 	}
 }
 
