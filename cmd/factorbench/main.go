@@ -9,6 +9,7 @@
 //	factorbench -list              # list experiment IDs and titles
 //	factorbench -json [-n N]       # machine-readable strategy metrics (BENCH_*.json)
 //	factorbench -json -workers 1,2,4,8   # one row per strategy x worker count
+//	factorbench -mutate [-json]    # incremental-vs-scratch view maintenance comparison
 //	factorbench -pprof-addr :6060  # serve net/http/pprof while running
 //
 // With -json, factorbench evaluates every strategy over the E1
@@ -19,10 +20,16 @@
 // the document also carries a stream_compare block pitting the streaming
 // executor against the materializing fixpoint on the layered non-recursive
 // join workload, with per-operator row counters from a traced streamed run.
+// With -mutate, a schema-v8 mutate_compare block additionally pits
+// incremental view maintenance (counting insertion deltas and deletions,
+// see docs/INCREMENTAL.md) against from-scratch recomputation under live
+// fact ingestion: tail-extension asserts on the chain TC and source-tuple
+// retracts on the layered joins, each differentially verified.
 // The committed BENCH_*.json files are snapshots of this output.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,7 +39,9 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
+	"factorlog/internal/ast"
 	"factorlog/internal/engine"
 	"factorlog/internal/experiments"
 	"factorlog/internal/obsv"
@@ -53,6 +62,7 @@ func run(args []string) error {
 	one := fs.String("run", "", "run a single experiment by ID (e.g. E2)")
 	list := fs.Bool("list", false, "list experiments")
 	jsonOut := fs.Bool("json", false, "emit a JSON metrics document for the strategy sweep")
+	mutate := fs.Bool("mutate", false, "with -json, add the incremental-vs-scratch mutate_compare block; alone, print it")
 	n := fs.Int("n", 256, "workload size for -json (chain length)")
 	workersList := fs.String("workers", "1", "comma-separated worker counts for -json (e.g. 1,2,4,8)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
@@ -81,7 +91,22 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return emitJSON(os.Stdout, *n, workers)
+		return emitJSON(os.Stdout, *n, workers, *mutate)
+	}
+
+	if *mutate {
+		mc, err := compareMutation(*n, 8)
+		if err != nil {
+			return err
+		}
+		for _, ph := range []mutatePhase{mc.Assert, mc.Retract} {
+			fmt.Printf("%s (n=%d, %d batches)\n", ph.Workload, ph.N, ph.Batches)
+			fmt.Printf("  incremental %10.3fms   scratch %10.3fms   speedup %.1fx\n",
+				float64(ph.IncrementalWallNS)/1e6, float64(ph.ScratchWallNS)/1e6, ph.Speedup)
+			fmt.Printf("  +%d / -%d derived facts, final epoch %d, verified=%v\n",
+				ph.NewFacts, ph.DeletedFacts, ph.FinalEpoch, ph.Verified)
+		}
+		return nil
 	}
 
 	if *one != "" {
@@ -126,6 +151,194 @@ type metricsDoc struct {
 	// StreamCompare is the streaming-vs-materializing executor comparison
 	// over the join-heavy layered workload. New in schema v7.
 	StreamCompare *streamCompare `json:"stream_compare,omitempty"`
+	// MutateCompare is the incremental-vs-from-scratch view maintenance
+	// comparison (see docs/INCREMENTAL.md), emitted with -mutate. New in
+	// schema v8.
+	MutateCompare *mutateCompare `json:"mutate_compare,omitempty"`
+}
+
+// mutateCompare measures live fact ingestion both ways: applying each
+// mutation batch to a maintained materialization (incremental, counting
+// deltas) versus recomputing the fixpoint from the post-batch base
+// (scratch). Assert exercises insertion deltas on the recursive chain-TC
+// workload; Retract exercises counting-based deletion on the non-recursive
+// layered join workload, where a retracted source tuple cascades through
+// the derived layers without a rebuild. New in schema v8.
+type mutateCompare struct {
+	Assert  mutatePhase `json:"assert"`
+	Retract mutatePhase `json:"retract"`
+}
+
+// mutatePhase is one mutation scenario's paired measurement. Verified
+// reports that the incremental answers matched the from-scratch answers
+// after the final batch (the run fails loudly if they do not).
+type mutatePhase struct {
+	Workload          string  `json:"workload"`
+	N                 int     `json:"n"`
+	Batches           int     `json:"batches"`
+	IncrementalWallNS int64   `json:"incremental_wall_ns"`
+	ScratchWallNS     int64   `json:"scratch_wall_ns"`
+	Speedup           float64 `json:"speedup"`
+	FinalEpoch        int64   `json:"final_epoch"`
+	NewFacts          int     `json:"new_facts"`
+	DeletedFacts      int     `json:"deleted_facts"`
+	Verified          bool    `json:"verified"`
+}
+
+func intAtom(pred string, a, b int) ast.Atom {
+	return ast.NewAtom(pred, ast.C(strconv.Itoa(a)), ast.C(strconv.Itoa(b)))
+}
+
+// chainAtoms mirrors workload.Chain as ground atoms: e(1,2) .. e(n-1,n).
+func chainAtoms(n int) []ast.Atom {
+	out := make([]ast.Atom, 0, n-1)
+	for i := 1; i < n; i++ {
+		out = append(out, intAtom("e", i, i+1))
+	}
+	return out
+}
+
+// layeredAtoms mirrors workload.LayeredJoins as ground atoms.
+func layeredAtoms(stages, n, fanout int) []ast.Atom {
+	var out []ast.Atom
+	for k := 0; k <= stages; k++ {
+		pred := fmt.Sprintf("s%d", k)
+		for i := 0; i < n; i++ {
+			for j := 0; j < fanout; j++ {
+				out = append(out, intAtom(pred, i, (i*7+k+j*11)%n))
+			}
+		}
+	}
+	return out
+}
+
+// measureMutation runs one phase: build a materialization over base, apply
+// the scripted batches incrementally, then replay the same batch sequence
+// from scratch (one full Materialize per post-batch state), and verify the
+// final answer sets agree via the pipeline's projection.
+func measureMutation(pl *pipeline.Pipeline, base []ast.Atom, batches [][2][]ast.Atom) (*mutatePhase, error) {
+	ctx := context.Background()
+	ph := &mutatePhase{Batches: len(batches)}
+
+	mat, err := engine.Materialize(pl.Program, base, engine.MaterializeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range batches {
+		t0 := time.Now()
+		st, err := mat.Apply(ctx, b[0], b[1])
+		ph.IncrementalWallNS += time.Since(t0).Nanoseconds()
+		if err != nil {
+			return nil, err
+		}
+		ph.NewFacts += st.NewFacts
+		ph.DeletedFacts += st.DeletedFacts
+	}
+	ph.FinalEpoch = mat.Epoch()
+
+	// Scratch replays: the base after batch i is the base after batch i-1
+	// plus that batch's changes; each state pays a full fixpoint.
+	facts := append([]ast.Atom{}, base...)
+	var scratch *engine.Materialization
+	for _, b := range batches {
+		facts = applyToAtoms(facts, b[0], b[1])
+		t0 := time.Now()
+		scratch, err = engine.Materialize(pl.Program, facts, engine.MaterializeOptions{})
+		ph.ScratchWallNS += time.Since(t0).Nanoseconds()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if ph.IncrementalWallNS > 0 {
+		ph.Speedup = float64(ph.ScratchWallNS) / float64(ph.IncrementalWallNS)
+	}
+
+	inc, err := pl.ProjectAnswers(mat.DB())
+	if err != nil {
+		return nil, err
+	}
+	want, err := pl.ProjectAnswers(scratch.DB())
+	if err != nil {
+		return nil, err
+	}
+	if len(inc) != len(want) {
+		return nil, fmt.Errorf("mutate differential: incremental %d answers, scratch %d", len(inc), len(want))
+	}
+	for a := range want {
+		if !inc[a] {
+			return nil, fmt.Errorf("mutate differential: incremental missing answer %s", a)
+		}
+	}
+	ph.Verified = true
+	return ph, nil
+}
+
+// applyToAtoms is the scratch side's base bookkeeping: retract then assert,
+// by canonical rendering, mirroring Materialization.Apply's order.
+func applyToAtoms(facts, assert, retract []ast.Atom) []ast.Atom {
+	drop := make(map[string]bool, len(retract))
+	for _, a := range retract {
+		drop[a.String()] = true
+	}
+	out := make([]ast.Atom, 0, len(facts)+len(assert))
+	present := make(map[string]bool, len(facts)+len(assert))
+	for _, a := range facts {
+		k := a.String()
+		if drop[k] || present[k] {
+			continue
+		}
+		present[k] = true
+		out = append(out, a)
+	}
+	for _, a := range assert {
+		k := a.String()
+		if present[k] {
+			continue
+		}
+		present[k] = true
+		out = append(out, a)
+	}
+	return out
+}
+
+// compareMutation fills the mutate_compare block: tail-extension assert
+// churn on the chain TC (each batch appends one edge, the delta derives
+// only the new node's paths) and source-tuple retraction on the layered
+// joins (counting deletion cascades the dead tuples, no rebuild).
+func compareMutation(n, batches int) (*mutateCompare, error) {
+	pl, _ := experiments.E1Pipeline(n)
+	var assertBatches [][2][]ast.Atom
+	for i := 0; i < batches; i++ {
+		assertBatches = append(assertBatches,
+			[2][]ast.Atom{{intAtom("e", n+i, n+i+1)}, nil})
+	}
+	assertPhase, err := measureMutation(pl, chainAtoms(n), assertBatches)
+	if err != nil {
+		return nil, fmt.Errorf("assert phase: %w", err)
+	}
+	assertPhase.Workload = "E1 transitive closure, chain EDB, tail-extension asserts"
+	assertPhase.N = n
+
+	const stages, fanout = 4, 1
+	jn := n * 4
+	prog, err := parser.ParseProgram(workload.LayeredJoinProgram(stages))
+	if err != nil {
+		return nil, err
+	}
+	jpl := pipeline.New(prog, workload.LayeredJoinQuery(stages))
+	var retractBatches [][2][]ast.Atom
+	for i := 0; i < batches; i++ {
+		retractBatches = append(retractBatches,
+			[2][]ast.Atom{nil, {intAtom("s0", i, (i*7)%jn)}})
+	}
+	retractPhase, err := measureMutation(jpl, layeredAtoms(stages, jn, fanout), retractBatches)
+	if err != nil {
+		return nil, fmt.Errorf("retract phase: %w", err)
+	}
+	retractPhase.Workload = "layered non-recursive joins, source-tuple retracts"
+	retractPhase.N = jn
+
+	return &mutateCompare{Assert: *assertPhase, Retract: *retractPhase}, nil
 }
 
 // streamCompare compares the two bottom-up executors over the layered
@@ -312,10 +525,10 @@ func parallelizable(s pipeline.Strategy) bool {
 	return true
 }
 
-func emitJSON(out *os.File, n int, workers []int) error {
+func emitJSON(out *os.File, n int, workers []int, mutate bool) error {
 	pl, load := experiments.E1Pipeline(n)
 	doc := metricsDoc{
-		Schema:   "factorlog/metrics/v7",
+		Schema:   "factorlog/metrics/v8",
 		Tool:     "factorbench",
 		Workload: "E1 transitive closure, chain EDB",
 		N:        n,
@@ -358,6 +571,13 @@ func emitJSON(out *os.File, n int, workers []int) error {
 		return err
 	}
 	doc.StreamCompare = sc
+	if mutate {
+		mc, err := compareMutation(n, 8)
+		if err != nil {
+			return err
+		}
+		doc.MutateCompare = mc
+	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)

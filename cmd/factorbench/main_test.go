@@ -67,8 +67,11 @@ func TestJSONMetrics(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &doc); err != nil {
 		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
 	}
-	if doc.Schema != "factorlog/metrics/v7" {
+	if doc.Schema != "factorlog/metrics/v8" {
 		t.Errorf("schema = %q", doc.Schema)
+	}
+	if doc.MutateCompare != nil {
+		t.Error("mutate_compare emitted without -mutate")
 	}
 	// The v7 stream_compare block: both executors measured, ratios derived,
 	// per-operator row counters captured from the traced streamed run.
@@ -181,5 +184,49 @@ func TestJSONMetricsWorkerSweep(t *testing.T) {
 		if _, ok := rows[s][4]; ok {
 			t.Errorf("%s: unexpected workers=4 row", s)
 		}
+	}
+}
+
+func TestMutateCompareJSON(t *testing.T) {
+	out, err := capture(t, "-json", "-mutate", "-n", "24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc metricsDoc
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json -mutate output is not valid JSON: %v", err)
+	}
+	mc := doc.MutateCompare
+	if mc == nil {
+		t.Fatal("mutate_compare missing with -mutate")
+	}
+	for name, ph := range map[string]mutatePhase{"assert": mc.Assert, "retract": mc.Retract} {
+		if !ph.Verified {
+			t.Errorf("%s phase not verified: %+v", name, ph)
+		}
+		if ph.IncrementalWallNS <= 0 || ph.ScratchWallNS <= 0 || ph.Speedup <= 0 {
+			t.Errorf("%s phase not measured: %+v", name, ph)
+		}
+		if ph.FinalEpoch != int64(ph.Batches) {
+			t.Errorf("%s phase epoch = %d, want %d", name, ph.FinalEpoch, ph.Batches)
+		}
+	}
+	if mc.Assert.NewFacts == 0 {
+		t.Errorf("assert phase derived nothing: %+v", mc.Assert)
+	}
+	if mc.Retract.DeletedFacts == 0 {
+		t.Errorf("retract phase deleted nothing: %+v", mc.Retract)
+	}
+}
+
+func TestMutateCompareText(t *testing.T) {
+	out, err := capture(t, "-mutate", "-n", "24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tail-extension asserts") ||
+		!strings.Contains(out, "source-tuple retracts") ||
+		!strings.Contains(out, "verified=true") {
+		t.Errorf("-mutate text output:\n%s", out)
 	}
 }

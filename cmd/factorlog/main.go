@@ -9,6 +9,11 @@
 //	factorlog explain  [-strategy S] [-constraints file] file.dl
 //	factorlog classify [-constraints file] file.dl
 //	factorlog prove    [-edb file] file.dl     # derivation trees per answer
+//	factorlog repl                             # interactive session
+//
+// The REPL additionally supports live fact mutation with :assert and
+// :retract (each effective mutation advances a session epoch, mirroring
+// factorlogd's POST /facts — see docs/INCREMENTAL.md).
 //
 // Strategies: naive, semi-naive, top-down, tabled, magic, sup-magic,
 // factored, factored+opt, counting.

@@ -8,6 +8,8 @@ import (
 	"strings"
 
 	"factorlog"
+	"factorlog/internal/ast"
+	"factorlog/internal/parser"
 )
 
 // repl runs an interactive session: rules and ground facts accumulate,
@@ -24,7 +26,13 @@ import (
 //	factorable: selection-pushing
 //
 // Commands: :strategy NAME, :profile, :stream, :stats, :list,
-// :classify ?- q., :explain ?- q., :analyze ?- q., :reset, :help, :quit.
+// :assert f., :retract f., :classify ?- q., :explain ?- q., :analyze ?- q.,
+// :reset, :help, :quit.
+//
+// :assert and :retract mutate the session's fact set in place and advance a
+// session epoch, mirroring the server's POST /facts model (the REPL
+// re-evaluates each query over the current clause set; the incremental
+// delta machinery itself lives behind factorlogd and System.Materialize).
 func repl(in io.Reader, out io.Writer) error {
 	var clauses []string
 	strategy := factorlog.FactoredOptimized
@@ -32,6 +40,7 @@ func repl(in io.Reader, out io.Writer) error {
 	budget := 5_000_000
 	workers := 1
 	streaming := false
+	var epoch int64
 	var last *factorlog.Result
 
 	build := func(query string) (*factorlog.System, error) {
@@ -65,6 +74,8 @@ func repl(in io.Reader, out io.Writer) error {
 			fmt.Fprintln(out, "  :budget N            cap derived facts per query (current:", budget, ")")
 			fmt.Fprintln(out, "  :workers N           evaluation workers, >1 = parallel (current:", workers, ")")
 			fmt.Fprintln(out, "  :stream              toggle the streaming executor for non-recursive strata")
+			fmt.Fprintln(out, "  :assert fact.        add a ground fact and advance the session epoch")
+			fmt.Fprintln(out, "  :retract fact.       remove a ground fact (no-op if absent)")
 			fmt.Fprintln(out, "  :classify ?- atom.   which factorability theorem applies")
 			fmt.Fprintln(out, "  :explain ?- atom.    show the transformed program")
 			fmt.Fprintln(out, "  :analyze ?- atom.    evaluate with the plan description and span tree")
@@ -80,7 +91,37 @@ func repl(in io.Reader, out io.Writer) error {
 		case line == ":reset":
 			clauses = nil
 			last = nil
+			epoch = 0
 			fmt.Fprintln(out, "cleared")
+
+		case strings.HasPrefix(line, ":assert"):
+			atom, err := parseGroundFact(strings.TrimPrefix(line, ":assert"))
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			if factIndex(clauses, atom) >= 0 {
+				fmt.Fprintln(out, "no-op: already present (epoch", fmt.Sprint(epoch)+")")
+				continue
+			}
+			clauses = append(clauses, atom.String()+".")
+			epoch++
+			fmt.Fprintln(out, "asserted", atom.String(), "(epoch", fmt.Sprint(epoch)+")")
+
+		case strings.HasPrefix(line, ":retract"):
+			atom, err := parseGroundFact(strings.TrimPrefix(line, ":retract"))
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			i := factIndex(clauses, atom)
+			if i < 0 {
+				fmt.Fprintln(out, "no-op: not present (epoch", fmt.Sprint(epoch)+")")
+				continue
+			}
+			clauses = append(clauses[:i], clauses[i+1:]...)
+			epoch++
+			fmt.Fprintln(out, "retracted", atom.String(), "(epoch", fmt.Sprint(epoch)+")")
 
 		case line == ":stream":
 			streaming = !streaming
@@ -224,15 +265,54 @@ func repl(in io.Reader, out io.Writer) error {
 			}
 
 		default:
-			// Validate the clause by parsing it together with what we have,
-			// using a throwaway query to satisfy Load.
-			candidate := append(append([]string{}, clauses...), line)
-			src := strings.Join(candidate, "\n") + "\n?- nonexistent_probe__(X)."
-			if _, err := factorlog.Load(src); err != nil && !strings.Contains(err.Error(), "nonexistent_probe__") {
+			// Parse the line on its own and store each clause separately, so
+			// a multi-clause line still leaves every fact individually
+			// addressable by :retract and the duplicate check in :assert.
+			unit, err := parser.Parse(line)
+			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				continue
 			}
-			clauses = candidate
+			if len(unit.Queries) > 0 {
+				fmt.Fprintln(out, "error: queries go on their own line (?- atom.)")
+				continue
+			}
+			for _, r := range unit.Rules {
+				clauses = append(clauses, r.String())
+			}
+			for _, f := range unit.Facts {
+				clauses = append(clauses, f.String()+".")
+			}
 		}
 	}
+}
+
+// parseGroundFact parses a :assert/:retract operand: a single ground atom,
+// trailing dot optional. Mirrors the server's POST /facts validation.
+func parseGroundFact(src string) (ast.Atom, error) {
+	src = strings.TrimSuffix(strings.TrimSpace(src), ".")
+	atom, err := parser.ParseAtom(src)
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if !atom.Ground() {
+		return ast.Atom{}, fmt.Errorf("fact must be ground: %s", atom)
+	}
+	return atom, nil
+}
+
+// factIndex finds atom among the accumulated clauses, comparing parsed
+// renderings so ":retract e(1, 2)" matches a stored "e(1,2).".
+func factIndex(clauses []string, atom ast.Atom) int {
+	want := atom.String()
+	for i, c := range clauses {
+		got, err := parser.ParseAtom(strings.TrimSuffix(strings.TrimSpace(c), "."))
+		if err != nil {
+			continue // a rule, not a fact
+		}
+		if got.String() == want {
+			return i
+		}
+	}
+	return -1
 }

@@ -113,7 +113,9 @@ e(1, 2).
 :bogus
 :quit
 `)
-	if !strings.Contains(out, "e(1, 2).") {
+	// Clauses are re-rendered from the parsed form, so :list shows the
+	// canonical spelling regardless of input spacing.
+	if !strings.Contains(out, "e(1,2).") {
 		t.Errorf("list missing:\n%s", out)
 	}
 	if !strings.Contains(out, "cleared") {
@@ -223,5 +225,78 @@ t(X, Y) :- e(X, W), t(W, Y).
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in :analyze output:\n%s", want, out)
 		}
+	}
+}
+
+func TestReplAssertRetract(t *testing.T) {
+	out := runRepl(t, `
+t(X, Y) :- e(X, Y).
+t(X, Y) :- e(X, W), t(W, Y).
+:assert e(1, 2).
+:assert e(2, 3).
+?- t(1, Y).
+:retract e(1, 2).
+?- t(1, Y).
+:retract e(1, 2).
+:assert e(2, 3)
+:quit
+`)
+	if !strings.Contains(out, "asserted e(1,2) (epoch 1)") {
+		t.Errorf("assert echo missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(2) (3)") {
+		t.Errorf("answers after asserts missing:\n%s", out)
+	}
+	if !strings.Contains(out, "retracted e(1,2) (epoch 3)") {
+		t.Errorf("retract echo missing:\n%s", out)
+	}
+	if !strings.Contains(out, "no answers") {
+		t.Errorf("post-retract query should have no answers:\n%s", out)
+	}
+	if !strings.Contains(out, "no-op: not present (epoch 3)") {
+		t.Errorf("double retract should be a no-op:\n%s", out)
+	}
+	if !strings.Contains(out, "no-op: already present (epoch 3)") {
+		t.Errorf("duplicate assert should be a no-op:\n%s", out)
+	}
+}
+
+func TestReplRetractFromMultiClauseLine(t *testing.T) {
+	// Clauses entered several-per-line are stored individually, so a fact
+	// from the middle of a line is still addressable by :retract.
+	out := runRepl(t, `
+t(X,Y) :- e(X,Y). t(X,Y) :- e(X,W), t(W,Y). e(1,2). e(2,3).
+:retract e(1,2).
+?- t(1, Y).
+:assert e(2, 3).
+e(4,5). ?- t(4,Y).
+:quit
+`)
+	if !strings.Contains(out, "retracted e(1,2) (epoch 1)") {
+		t.Errorf("retract of mid-line fact missing:\n%s", out)
+	}
+	if !strings.Contains(out, "no answers") {
+		t.Errorf("post-retract query should have no answers:\n%s", out)
+	}
+	if !strings.Contains(out, "no-op: already present (epoch 1)") {
+		t.Errorf("duplicate assert of mid-line fact should be a no-op:\n%s", out)
+	}
+	if !strings.Contains(out, "queries go on their own line") {
+		t.Errorf("mixed clause+query line should be rejected:\n%s", out)
+	}
+}
+
+func TestReplAssertValidation(t *testing.T) {
+	out := runRepl(t, `
+:assert e(X, 1).
+:assert not an atom (
+:retract e(Y).
+:quit
+`)
+	if got := strings.Count(out, "error:"); got != 3 {
+		t.Errorf("want 3 errors, got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "must be ground") {
+		t.Errorf("groundness error missing:\n%s", out)
 	}
 }

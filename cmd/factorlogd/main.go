@@ -11,17 +11,28 @@
 //	           [-strategy magic] [-workers N] [-budget N] [-max-bytes N]
 //	           [-timeout 10s] [-max-concurrency N] [-max-queue N]
 //	           [-trace-sample N] [-slow-query-ms N] [-pprof-addr :6060]
+//	           [-materialize=true] [-mat-entries N]
 //
 // Endpoints:
 //
 //	GET  /query?q=t(5,Y)[&strategy=S][&workers=N][&timeout_ms=T][&max_bytes=N][&explain=plan|analyze]
 //	POST /query    {"query":"t(5,Y)","strategy":"magic","workers":4,"timeout_ms":1000,"explain":"analyze"}
+//	POST /facts    {"assert":["e(1,2)"],"retract":["e(3,4)"]} — atomic mutation batch
 //	GET  /healthz  liveness + program fingerprint (200 even while draining)
 //	GET  /readyz   readiness: 200 after warmup, 503 while warming up or draining
 //	GET  /metrics  Prometheus text exposition (?format=json for the
-//	               factorlog/metrics/v5 document, ?format=text for a table)
+//	               factorlog/metrics/v8 document, ?format=text for a table)
 //	GET  /debug/slowlog      recent slow queries, newest first
 //	GET  /debug/trace/{id}   one finished trace by query ID (?format=text for a profile)
+//
+// The EDB is mutable at runtime: POST /facts asserts and retracts ground
+// facts in atomic batches, each effective batch advancing a monotone epoch
+// that every query response reports. With -materialize (the default),
+// eligible queries answer from incrementally-maintained materializations —
+// counting-based semi-naive deltas for insertions and deletions, DRed-style
+// stratum rebuilds for recursive retractions (see docs/INCREMENTAL.md).
+// -materialize=false evaluates every query from scratch over the current
+// base; /facts works either way.
 //
 // Every /query response carries an X-Factorlog-Query-ID header; the same ID
 // names the query's trace in /debug/trace/{id} and the slow-query log.
@@ -36,11 +47,11 @@
 // SIGINT/SIGTERM the server flips /readyz to 503, refuses new admissions,
 // and cancels in-flight evaluations, which answer a typed draining 503.
 //
-// Each request evaluates against a fresh copy of the loaded EDB, bounded by
-// the request's context: the client disconnecting or the per-request
-// timeout expiring stops the evaluation at the next round boundary (or
-// mid-round under parallel evaluation) instead of burning the fixpoint to
-// completion.
+// From-scratch evaluations (materialized serving off or inapplicable) run
+// against a fresh copy of the current EDB, bounded by the request's
+// context: the client disconnecting or the per-request timeout expiring
+// stops the evaluation at the next round boundary (or mid-round under
+// parallel evaluation) instead of burning the fixpoint to completion.
 package main
 
 import (
@@ -79,6 +90,8 @@ func run(args []string) error {
 	traceSample := fs.Int("trace-sample", 0, "trace one query in every N (0 = only explain=analyze, 1 = all)")
 	slowQueryMS := fs.Int("slow-query-ms", 500, "slow-query log threshold in milliseconds (0 = disabled)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
+	materialize := fs.Bool("materialize", true, "serve eligible queries from incrementally-maintained materializations")
+	matEntries := fs.Int("mat-entries", 64, "max live materializations (LRU-evicted past it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,6 +129,8 @@ func run(args []string) error {
 		maxQueue:       *maxQueue,
 		traceSample:    *traceSample,
 		slowQuery:      time.Duration(*slowQueryMS) * time.Millisecond,
+		materialize:    *materialize,
+		matEntries:     *matEntries,
 	})
 	if err != nil {
 		return err
@@ -137,7 +152,7 @@ func run(args []string) error {
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "factorlogd: serving %s (%d rules, %d base facts) on %s\n",
-			*programFile, len(srv.prog.Rules), len(srv.baseEDB), *addr)
+			*programFile, len(srv.prog.Rules), srv.mat.BaseCount(), *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

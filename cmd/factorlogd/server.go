@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -22,11 +23,12 @@ import (
 	"factorlog/internal/trace"
 )
 
-// metricsSchema names the /metrics document layout; v1/v2 are factorbench
-// evaluation-metrics schemas, v3 lacked storage_high_water and per-span
-// allocation counters, v4 lacked the resilience block (admission, panics,
-// degradations, memory-budget stops, drains).
-const metricsSchema = "factorlog/metrics/v5"
+// metricsSchema names the /metrics document layout; v1/v2 and v6/v7 are
+// factorbench evaluation-metrics schemas, v3 lacked storage_high_water and
+// per-span allocation counters, v4 lacked the resilience block (admission,
+// panics, degradations, memory-budget stops, drains), v5 lacked the
+// mutation block (epoch, /facts counters, materialization refreshes).
+const metricsSchema = "factorlog/metrics/v8"
 
 // errDraining is the cancel cause propagated into in-flight evaluations
 // when shutdown begins; handlers translate it to a typed 503 body.
@@ -75,6 +77,13 @@ type config struct {
 	// slowQuery is the slow-query-log threshold; queries whose total wall
 	// time meets it land in /debug/slowlog. 0 disables the log.
 	slowQuery time.Duration
+	// materialize serves eligible queries from incrementally-maintained
+	// materializations instead of evaluating from scratch. /facts mutation
+	// works either way; this only selects the query serving path.
+	materialize bool
+	// matEntries bounds the materialization registry (LRU past it);
+	// <= 0 uses the registry default.
+	matEntries int
 }
 
 // limiterCapacity derives the admission capacity: explicit when configured,
@@ -97,8 +106,14 @@ type server struct {
 	prog        *ast.Program
 	hash        string
 	constraints []ast.Rule
-	baseEDB     []ast.Atom
 	declared    []ast.Atom // ?- queries from the program file, warmed at startup
+
+	// mat owns the mutable base EDB (the program file's facts plus every
+	// /facts batch since) and the materialization registry. All serving
+	// paths read the base through it; matServe selects whether eligible
+	// queries answer from materializations or evaluate from scratch.
+	mat      *pipeline.Materializer
+	matServe bool
 
 	cache       *pipeline.PlanCache
 	defStrategy pipeline.Strategy
@@ -166,14 +181,27 @@ func newServer(src, constraints string, cfg config) (*server, error) {
 		return nil, err
 	}
 	prog := u.Program()
+	cache := pipeline.NewPlanCache()
+	mat, err := pipeline.NewMaterializer(prog, tgds, u.Facts, cache,
+		pipeline.MaterializerOptions{
+			Entries: cfg.matEntries,
+			Engine: engine.MaterializeOptions{
+				MaxFacts: cfg.budget,
+				MaxBytes: cfg.maxBytes,
+			},
+		})
+	if err != nil {
+		return nil, err
+	}
 	evalCtx, evalCancel := context.WithCancelCause(context.Background())
 	return &server{
 		prog:        prog,
 		hash:        pipeline.HashProgram(prog, tgds),
 		constraints: tgds,
-		baseEDB:     u.Facts,
 		declared:    u.Queries,
-		cache:       pipeline.NewPlanCache(),
+		mat:         mat,
+		matServe:    cfg.materialize,
+		cache:       cache,
 		defStrategy: strategy,
 		defOpts: engine.Options{
 			Workers:  cfg.workers,
@@ -223,6 +251,7 @@ func (s *server) warmup() []string {
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/facts", s.handleFacts)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -262,6 +291,16 @@ type queryResponse struct {
 	PlanCache   string   `json:"plan_cache"` // "hit" or "miss"
 	EvalWallNS  int64    `json:"eval_wall_ns"`
 	TotalWallNS int64    `json:"total_wall_ns"`
+	// Epoch is the mutation epoch the answers reflect — the base EDB these
+	// answers were computed over is exactly the state after that many
+	// effective /facts batches.
+	Epoch int64 `json:"epoch"`
+	// Materialized is the registry refresh disposition when the query was
+	// served from a materialization ("hit", "delta", "rebuild", "build");
+	// absent for from-scratch evaluations. RefreshWallNS is the wall time
+	// of a non-hit refresh.
+	Materialized  string `json:"materialized,omitempty"`
+	RefreshWallNS int64  `json:"refresh_wall_ns,omitempty"`
 	// Degraded is set when a parallel worker panicked and the answers come
 	// from the automatic sequential retry.
 	Degraded bool `json:"degraded,omitempty"`
@@ -471,6 +510,39 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 
+	// Materialized serving: eligible plain queries answer from the
+	// incrementally-maintained registry, which refreshes the entry to the
+	// current epoch first (see internal/pipeline.Materializer). EXPLAIN and
+	// streaming requests ask about a specific evaluation and always run it.
+	if s.matServe && req.Explain == "" && !req.Stream && pipeline.MaterializableStrategy(strategy) {
+		mres, err := s.mat.Serve(ctx, query, strategy)
+		if err != nil {
+			s.failEval(w, ctx, qid, strategy.String(), statusForError(err), err)
+			return
+		}
+		total := time.Since(start)
+		s.observe(strategy.String(), total, nil)
+		answers := make([]string, 0, len(mres.Answers))
+		for a := range mres.Answers {
+			answers = append(answers, a)
+		}
+		sort.Strings(answers)
+		writeJSON(w, http.StatusOK, queryResponse{
+			QueryID:       qid,
+			Query:         query.String(),
+			Strategy:      strategy.String(),
+			Answers:       answers,
+			AnswerCount:   len(answers),
+			PlanCache:     cacheLabel(mres.PlanHit),
+			EvalWallNS:    mres.RefreshWall.Nanoseconds(),
+			TotalWallNS:   total.Nanoseconds(),
+			Epoch:         mres.Epoch,
+			Materialized:  mres.Kind,
+			RefreshWallNS: mres.RefreshWall.Nanoseconds(),
+		})
+		return
+	}
+
 	plan, hit, err := s.cache.Lookup(ctx, s.prog, s.hash, s.constraints, query, strategy)
 	if err != nil {
 		s.failEval(w, ctx, qid, strategy.String(), compileStatus(err), err)
@@ -506,9 +578,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Fresh EDB per request: evaluation derives into the DB, so sharing one
-	// across requests would leak one query's derivations into the next.
+	// across requests would leak one query's derivations into the next. The
+	// base is snapshotted with its epoch so the response reports exactly the
+	// mutation state it evaluated.
+	base, epoch := s.mat.BaseSnapshot()
 	db := engine.NewDB()
-	if err := engine.LoadFacts(db, s.baseEDB); err != nil {
+	if err := engine.LoadFacts(db, base); err != nil {
 		s.failEval(w, ctx, qid, strategy.String(), statusForError(err), err)
 		return
 	}
@@ -540,6 +615,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		PlanCache:   disposition.Disposition,
 		EvalWallNS:  res.EvalWall.Nanoseconds(),
 		TotalWallNS: total.Nanoseconds(),
+		Epoch:       epoch,
 		Degraded:    res.Degraded,
 		Executor:    res.Executor,
 		Stream:      res.Stream,
@@ -563,6 +639,124 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxFactsBody caps a POST /facts body. Batches are lists of ground atoms;
+// 4 MiB holds ~100k short facts, past which clients should chunk anyway so
+// a failure doesn't void the whole load.
+const maxFactsBody = 4 << 20
+
+// factsRequest is the /facts input: facts to assert and retract, each a
+// ground atom with optional trailing dot ("e(1,2)." or "e(1,2)").
+type factsRequest struct {
+	Assert  []string `json:"assert,omitempty"`
+	Retract []string `json:"retract,omitempty"`
+}
+
+// factsResponse reports one applied batch.
+type factsResponse struct {
+	// Epoch is the mutation epoch after the batch; an all-noop batch
+	// leaves it unchanged.
+	Epoch int64 `json:"epoch"`
+	// Asserted/Retracted count effective changes; Noop* count entries
+	// that changed nothing.
+	Asserted     int `json:"asserted"`
+	Retracted    int `json:"retracted"`
+	NoopAsserts  int `json:"noop_asserts,omitempty"`
+	NoopRetracts int `json:"noop_retracts,omitempty"`
+	// BaseFacts is the live base-EDB size after the batch.
+	BaseFacts int `json:"base_facts"`
+}
+
+// handleFacts is the mutation endpoint: POST a batch of asserts/retracts,
+// get back the epoch it produced. The batch is atomic — validation errors
+// (non-ground atoms, arity mismatches) reject it whole with 422 and no
+// state change. Mutations pass admission at weight 1: they are quick, but
+// an overloaded server should shed them like any other work.
+func (s *server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	qid := trace.NewID()
+	w.Header().Set(queryIDHeader, qid)
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		s.fail(w, qid, "", http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	if s.draining.Load() {
+		s.failDraining(w, qid, "")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxFactsBody)
+	var req factsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, qid, "", http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes: %w", maxFactsBody, err))
+			return
+		}
+		s.fail(w, qid, "", http.StatusBadRequest, fmt.Errorf("bad JSON body: %v", err))
+		return
+	}
+	if len(req.Assert)+len(req.Retract) == 0 {
+		s.fail(w, qid, "", http.StatusBadRequest, errors.New("empty batch (assert and/or retract required)"))
+		return
+	}
+	assert, err := parseFactAtoms(req.Assert)
+	if err != nil {
+		s.fail(w, qid, "", http.StatusBadRequest, fmt.Errorf("assert: %w", err))
+		return
+	}
+	retract, err := parseFactAtoms(req.Retract)
+	if err != nil {
+		s.fail(w, qid, "", http.StatusBadRequest, fmt.Errorf("retract: %w", err))
+		return
+	}
+
+	release, err := s.limiter.Acquire(r.Context(), 1)
+	if err != nil {
+		if errors.Is(err, resilience.ErrLimiterClosed) {
+			s.failDraining(w, qid, "")
+			return
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			QueryID: qid, Error: err.Error(), RetryAfterSeconds: retryAfterSeconds,
+		})
+		return
+	}
+	defer release()
+
+	res, err := s.mat.Apply(assert, retract)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, engine.ErrMutation) {
+			status = http.StatusUnprocessableEntity
+		}
+		s.fail(w, qid, "", status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, factsResponse{
+		Epoch:        res.Epoch,
+		Asserted:     res.Asserted,
+		Retracted:    res.Retracted,
+		NoopAsserts:  res.NoopAsserts,
+		NoopRetracts: res.NoopRetracts,
+		BaseFacts:    s.mat.BaseCount(),
+	})
+}
+
+// parseFactAtoms parses mutation atoms, tolerating the trailing dot of
+// .dl-file fact syntax.
+func parseFactAtoms(in []string) ([]ast.Atom, error) {
+	out := make([]ast.Atom, 0, len(in))
+	for _, f := range in {
+		a, err := parser.ParseAtom(strings.TrimSuffix(strings.TrimSpace(f), "."))
+		if err != nil {
+			return nil, fmt.Errorf("%q: %w", f, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 // recordTrace publishes a finished trace: traced queries land in the
@@ -705,7 +899,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"program_hash":   s.hash,
 		"rules":          len(s.prog.Rules),
-		"base_facts":     len(s.baseEDB),
+		"base_facts":     s.mat.BaseCount(),
+		"epoch":          s.mat.Epoch(),
 	})
 }
 
@@ -767,12 +962,13 @@ func (s *server) snapshot() obsv.ServerStats {
 			MemoryBudgetStops: s.memStops,
 			Drained:           s.drained,
 		},
+		Mutation: s.mat.Stats(),
 	}
 }
 
 // handleMetrics serves Prometheus text exposition by default (what scrapers
 // expect of a /metrics endpoint); ?format=json keeps the structured
-// factorlog/metrics/v5 document and ?format=text the human-readable table.
+// factorlog/metrics/v8 document and ?format=text the human-readable table.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	stats := s.snapshot()
 	switch r.URL.Query().Get("format") {

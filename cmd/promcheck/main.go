@@ -6,20 +6,31 @@
 // /metrics through it so a malformed exposition breaks the build, not the
 // scrape.
 //
+// -require takes a comma-separated list of family names that must be
+// declared in the exposition; a missing family fails the check. CI uses it
+// to pin the metric surface (a renamed or dropped family breaks dashboards
+// as surely as a parse error breaks scrapes).
+//
 // Usage:
 //
 //	curl -fsS http://localhost:8080/metrics | promcheck
+//	curl -fsS http://localhost:8080/metrics | promcheck -require factorlog_epoch,factorlog_base_facts
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"factorlog/internal/obsv"
 )
 
 func main() {
+	require := flag.String("require", "", "comma-separated metric families that must be declared")
+	flag.Parse()
+
 	body, err := io.ReadAll(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "promcheck: read stdin:", err)
@@ -33,6 +44,27 @@ func main() {
 	if n == 0 {
 		fmt.Fprintln(os.Stderr, "promcheck: no samples in input")
 		os.Exit(1)
+	}
+	if *require != "" {
+		fams, err := obsv.PromFamilies(string(body))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck:", err)
+			os.Exit(1)
+		}
+		var missing []string
+		for _, fam := range strings.Split(*require, ",") {
+			fam = strings.TrimSpace(fam)
+			if fam == "" {
+				continue
+			}
+			if _, ok := fams[fam]; !ok {
+				missing = append(missing, fam)
+			}
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "promcheck: missing required families: %s\n", strings.Join(missing, ", "))
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("promcheck: ok, %d samples\n", n)
 }

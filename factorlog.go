@@ -536,3 +536,122 @@ func FormatResult(r *Result) string {
 		r.Strategy, len(r.Answers), r.Inferences, r.Facts, r.Iterations, r.MaxIDBArity,
 		strings.Join(r.Answers, " "))
 }
+
+// ErrMutation is returned by Materialized.Apply (and Assert/Retract) when
+// a batch is invalid — a non-ground atom or an arity mismatch. The batch is
+// rejected whole; test with errors.Is.
+var ErrMutation = engine.ErrMutation
+
+// Materialized is a live, incrementally-maintained view of one strategy's
+// fixpoint over the System's base facts. Assert and Retract mutate the
+// base in atomic batches; each effective batch advances the view's epoch
+// and updates the fixpoint by counting-based semi-naive deltas (DRed-style
+// stratum rebuilds when a retraction reaches a recursive stratum) instead
+// of recomputing from scratch. Answers always reflect the last successful
+// epoch. Not safe for concurrent use.
+type Materialized struct {
+	sys         *System
+	mat         *engine.Materialization
+	query       ast.Atom
+	transformed bool
+}
+
+// Materialize builds the materialized view for strategy: the strategy's
+// program is compiled once and its fixpoint computed over the Load
+// source's facts. Top-down strategies (TopDown, Tabled) have no
+// materialized program and are rejected. The view honors the System's
+// WithBudget and WithMemoryBudget bounds per mutation batch.
+func (s *System) Materialize(strategy Strategy) (*Materialized, error) {
+	if !pipeline.MaterializableStrategy(strategy) {
+		return nil, fmt.Errorf("factorlog: strategy %v is not materializable", strategy)
+	}
+	prog, query, transformed, err := s.pl.MaterializedProgram(strategy)
+	if err != nil {
+		return nil, err
+	}
+	mat, err := engine.Materialize(prog, s.baseEDB, engine.MaterializeOptions{
+		MaxFacts: s.evalOpts.MaxFacts,
+		MaxBytes: s.evalOpts.MaxBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Materialized{sys: s, mat: mat, query: query, transformed: transformed}, nil
+}
+
+// Assert adds ground facts (e.g. `m.Assert("e(1,2)", "e(2,3)")`) as one
+// atomic batch, returning the epoch after it.
+func (m *Materialized) Assert(facts ...string) (int64, error) {
+	return m.Apply(facts, nil)
+}
+
+// Retract removes ground facts as one atomic batch, returning the epoch
+// after it. Retracting an absent fact is a no-op, not an error.
+func (m *Materialized) Retract(facts ...string) (int64, error) {
+	return m.Apply(nil, facts)
+}
+
+// Apply applies one batch of assertions and retractions (retractions
+// first, so a fact in both lists ends up present). The batch is atomic:
+// an invalid atom rejects it whole with ErrMutation, and a mid-batch
+// failure rolls the base back to the previous epoch.
+func (m *Materialized) Apply(assert, retract []string) (int64, error) {
+	assertAtoms, err := parseGroundAtoms(assert)
+	if err != nil {
+		return m.mat.Epoch(), err
+	}
+	retractAtoms, err := parseGroundAtoms(retract)
+	if err != nil {
+		return m.mat.Epoch(), err
+	}
+	ctx := m.sys.evalOpts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, err := m.mat.Apply(ctx, assertAtoms, retractAtoms); err != nil {
+		return m.mat.Epoch(), err
+	}
+	return m.mat.Epoch(), nil
+}
+
+// Epoch returns the number of effective mutation batches applied since the
+// view was built.
+func (m *Materialized) Epoch() int64 { return m.mat.Epoch() }
+
+// BaseCount returns the number of live base (asserted) facts.
+func (m *Materialized) BaseCount() int { return m.mat.BaseCount() }
+
+// Answers returns the query's current answers, sorted, in the same
+// projected "(v1,...,vk)" rendering Run produces.
+func (m *Materialized) Answers() ([]string, error) {
+	var set map[string]bool
+	var err error
+	if m.transformed {
+		set, err = engine.AnswerSet(m.mat.DB(), m.query)
+	} else {
+		set, err = m.sys.pl.ProjectAnswers(m.mat.DB())
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// parseGroundAtoms parses mutation atoms, tolerating the trailing dot of
+// .dl fact syntax (`e(1,2).`).
+func parseGroundAtoms(in []string) ([]ast.Atom, error) {
+	out := make([]ast.Atom, 0, len(in))
+	for _, f := range in {
+		a, err := parser.ParseAtom(strings.TrimSuffix(strings.TrimSpace(f), "."))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q: %v", ErrMutation, f, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -398,3 +398,68 @@ func ExampleLoad() {
 	fmt.Println(res.Answers)
 	// Output: [(6) (7)]
 }
+
+func TestMaterializedFacade(t *testing.T) {
+	src := `
+		t(X, Y) :- e(X, Y).
+		t(X, Y) :- e(X, W), t(W, Y).
+		e(1, 2). e(2, 3).
+		?- t(1, Y).
+	`
+	for _, strat := range []factorlog.Strategy{factorlog.SemiNaive, factorlog.Magic, factorlog.Factored} {
+		sys, err := factorlog.Load(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sys.Materialize(strat)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if got, _ := m.Answers(); fmt.Sprint(got) != "[(2) (3)]" {
+			t.Fatalf("%v initial answers = %v", strat, got)
+		}
+		if epoch, err := m.Assert("e(3,4)."); err != nil || epoch != 1 {
+			t.Fatalf("%v assert: epoch=%d err=%v", strat, epoch, err)
+		}
+		if got, _ := m.Answers(); fmt.Sprint(got) != "[(2) (3) (4)]" {
+			t.Fatalf("%v after assert = %v", strat, got)
+		}
+		if epoch, err := m.Retract("e(1,2)"); err != nil || epoch != 2 {
+			t.Fatalf("%v retract: epoch=%d err=%v", strat, epoch, err)
+		}
+		if got, _ := m.Answers(); len(got) != 0 {
+			t.Fatalf("%v after retract = %v, want none", strat, got)
+		}
+		if epoch, err := m.Apply([]string{"e(1,3)"}, nil); err != nil || epoch != 3 {
+			t.Fatalf("%v apply: epoch=%d err=%v", strat, epoch, err)
+		}
+		if got, _ := m.Answers(); fmt.Sprint(got) != "[(3) (4)]" {
+			t.Fatalf("%v after apply = %v", strat, got)
+		}
+		if m.BaseCount() != 3 { // e(2,3), e(3,4), e(1,3)
+			t.Fatalf("%v base count = %d, want 3", strat, m.BaseCount())
+		}
+	}
+}
+
+func TestMaterializedFacadeErrors(t *testing.T) {
+	sys, err := factorlog.Load("t(X,Y) :- e(X,Y). e(1,2). ?- t(1,Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Materialize(factorlog.TopDown); err == nil {
+		t.Error("TopDown materialize should fail")
+	}
+	m, err := sys.Materialize(factorlog.SemiNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"e(X, 1)", "e(1,2,3)", "not an atom ("} {
+		if _, err := m.Assert(bad); !errors.Is(err, factorlog.ErrMutation) {
+			t.Errorf("Assert(%q) err = %v, want ErrMutation", bad, err)
+		}
+	}
+	if m.Epoch() != 0 {
+		t.Errorf("epoch after rejected batches = %d, want 0", m.Epoch())
+	}
+}

@@ -797,6 +797,9 @@ func Answers(db *DB, query ast.Atom) ([][]Val, error) {
 	slots := make([]Val, c.n)
 	var out [][]Val
 	for pos := int32(0); pos < int32(rel.Len()); pos++ {
+		if rel.Round(pos) < 0 {
+			continue // dead row (deleted under incremental maintenance)
+		}
 		tuple := rel.Tuple(pos)
 		for i := range slots {
 			slots[i] = NoVal

@@ -1,0 +1,788 @@
+package engine
+
+// Incremental view maintenance: a Materialization keeps the least fixpoint
+// of a program over a mutable EDB, refreshed in O(change) per mutation
+// batch instead of O(database) per query.
+//
+// The round stamps the semi-naive evaluator already carries generalize to
+// a second role here. Within one maintenance wave w, the stamps implement
+// the delta discipline exactly as in eval.go: facts stamped w are the
+// wave's delta, facts stamped below w are older state, and facts derived
+// during the wave are stamped w+1 so they become the next wave's delta.
+// Across batches, each relation additionally records the epoch a row was
+// inserted in (counted mode), so observability can attribute facts to the
+// mutation batch that introduced them.
+//
+// Insertions use semi-naive delta propagation with an exact-once window
+// scheme: every body position of a delta predicate is decomposed the
+// classic way (before the delta position [0,w-1], the delta position
+// [w,w], after it [0,w]), and — unlike a from-scratch fixpoint — positions
+// of non-delta predicates are windowed [0,w] rather than unrestricted, so
+// same-wave emissions (stamped w+1) are never joined against and each new
+// body instantiation is counted exactly once. That exact-once property is
+// what lets the same pass maintain per-fact derivation counts.
+//
+// Deletions are counting-based (Gupta–Mumick): each fact's count is the
+// number of immediate derivations currently supporting it (EDB membership
+// counts as one support). Retracting a fact decrements its count; a fact
+// whose count reaches zero dies, and a deletion wave decrements the heads
+// of every body instantiation the dying facts participated in, using the
+// mirrored window scheme (alive [0,0] before the dying position, dying
+// [1,1] at it, alive-or-dying [0,1] after). Counts are unsound under
+// recursion — a fact can support itself through a cycle — so when the
+// downstream closure of a retracted predicate touches a recursive stratum
+// the affected IDB predicates are cleared and recomputed from the
+// surviving facts instead (DRed's rederivation phase, done eagerly).
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/depgraph"
+	"factorlog/internal/faultinject"
+)
+
+// ErrMutation is returned (wrapped) when a mutation batch is invalid: a
+// non-ground atom or an arity conflict. The batch is rejected before any
+// state changes. Asserting a fact of a derived (IDB) predicate is legal —
+// it adds EDB support, exactly like a ground fact for that predicate in
+// the program source — so no predicate check applies. Callers test with
+// errors.Is.
+var ErrMutation = errors.New("invalid mutation")
+
+// MaterializeOptions bounds a materialization's maintenance work.
+type MaterializeOptions struct {
+	// StartEpoch is the epoch the initial build is tagged with; each
+	// successful Apply advances the epoch by one.
+	StartEpoch int64
+	// MaxWaves bounds maintenance waves per operation; 0 means the
+	// default (1<<20), a backstop against runaway cascades.
+	MaxWaves int
+	// MaxFacts bounds facts derived by one build or Apply; 0 = unlimited.
+	// Exceeding it fails the operation with ErrBudgetExceeded.
+	MaxFacts int
+	// MaxBytes bounds the materialized DB's storage footprint, checked at
+	// wave boundaries like Options.MaxBytes; 0 = unlimited.
+	MaxBytes int64
+}
+
+const defaultMaxWaves = 1 << 20
+
+// ApplyStats reports the work one mutation batch (or rebuild) performed.
+type ApplyStats struct {
+	// Asserted and Retracted count effective EDB changes; Noop* count
+	// batch entries that changed nothing (assert of a present fact,
+	// retract of an absent one).
+	Asserted, Retracted       int
+	NoopAsserts, NoopRetracts int
+	// NewFacts and DeletedFacts count presence changes in the
+	// materialized DB (EDB and IDB). Under a stratum rebuild these count
+	// the gross cleared/recomputed facts — rebuilds really are O(stratum)
+	// and the stats say so.
+	NewFacts, DeletedFacts int
+	// Inferences counts body instantiations visited by the waves.
+	Inferences int
+	// Waves counts maintenance waves (insertion + deletion).
+	Waves int
+	// Rebuilt reports that the DRed-style stratum rebuild ran (a
+	// retraction's downstream closure touched a recursive stratum).
+	Rebuilt bool
+	// Total is the number of live facts after the operation.
+	Total int
+}
+
+// Changed returns the number of presence changes the batch caused; the
+// O(change)/O(db) ratio observability reports is Changed/Total.
+func (st ApplyStats) Changed() int { return st.NewFacts + st.DeletedFacts }
+
+// Materialization maintains the fixpoint of a program over a mutable EDB.
+// It is not safe for concurrent use; callers serialize (the pipeline
+// registry holds a per-entry lock, the facade is single-threaded).
+type Materialization struct {
+	prog  *ast.Program
+	store *Store
+	rules []*compiledRule
+	idb   map[string]bool
+	// recursive marks predicates defined in a recursive stratum.
+	recursive map[string]bool
+	// downstream maps a body predicate to the head predicates it can
+	// reach in one rule application.
+	downstream map[string][]string
+	arity      map[string]int
+
+	base  *DB // the mutable EDB (live asserted facts only)
+	db    *DB // materialized EDB + IDB, counted mode
+	epoch int64
+	dirty bool // a failed Apply poisoned db; rebuild before next use
+	opts  MaterializeOptions
+}
+
+// Materialize compiles p, loads the base facts, and computes the initial
+// fixpoint with derivation counts. The returned materialization owns its
+// store; render answers through DB().Store.
+func Materialize(p *ast.Program, baseFacts []ast.Atom, opts MaterializeOptions) (*Materialization, error) {
+	if opts.MaxWaves == 0 {
+		opts.MaxWaves = defaultMaxWaves
+	}
+	store := NewStore()
+	rules, err := compileRulesGuarded(p, store, false)
+	if err != nil {
+		return nil, err
+	}
+	m := &Materialization{
+		prog:       p,
+		store:      store,
+		rules:      rules,
+		idb:        p.IDBPreds(),
+		recursive:  map[string]bool{},
+		downstream: map[string][]string{},
+		arity:      map[string]int{},
+		epoch:      opts.StartEpoch,
+		opts:       opts,
+	}
+	sched := depgraph.Analyze(p)
+	for i := range sched.Strata {
+		if !sched.Strata[i].Recursive {
+			continue
+		}
+		for _, pred := range sched.Strata[i].Preds {
+			m.recursive[pred] = true
+		}
+	}
+	for _, r := range rules {
+		m.arity[r.headPred] = len(r.headArgs)
+		for _, l := range r.body {
+			m.arity[l.pred] = l.arity
+		}
+		seen := map[string]bool{}
+		for _, l := range r.body {
+			if seen[l.pred] {
+				continue
+			}
+			seen[l.pred] = true
+			m.downstream[l.pred] = append(m.downstream[l.pred], r.headPred)
+		}
+	}
+	m.base = NewDBWith(store)
+	for _, f := range baseFacts {
+		tuple, err := m.groundTuple(f)
+		if err != nil {
+			return nil, err
+		}
+		if known, ok := m.arity[f.Pred]; ok && known != len(f.Args) {
+			return nil, fmt.Errorf("%w: %s used with arity %d and %d", ErrMutation, f.Pred, known, len(f.Args))
+		}
+		m.arity[f.Pred] = len(f.Args)
+		rel, err := m.base.Rel(f.Pred, len(f.Args))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMutation, err)
+		}
+		rel.Insert(tuple)
+	}
+	if err := m.rebuild(context.Background()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DB returns the materialized database (EDB + IDB, derivation-counted).
+// Treat it as read-only; Answers/AnswerSet skip dead rows.
+func (m *Materialization) DB() *DB { return m.db }
+
+// Epoch returns the epoch of the last successfully applied batch.
+func (m *Materialization) Epoch() int64 { return m.epoch }
+
+// Dirty reports that the last Apply failed mid-flight; the next Apply or
+// Rebuild restores consistency by recomputing from the (rolled-back) base.
+func (m *Materialization) Dirty() bool { return m.dirty }
+
+// BaseCount returns the number of live EDB facts.
+func (m *Materialization) BaseCount() int { return m.base.TotalFacts() }
+
+// BaseFacts returns the live EDB facts as ground atoms, in relation order.
+func (m *Materialization) BaseFacts() []ast.Atom {
+	var out []ast.Atom
+	for _, pred := range m.base.Preds() {
+		rel := m.base.Lookup(pred)
+		for pos := int32(0); pos < int32(rel.Len()); pos++ {
+			if rel.Round(pos) < 0 {
+				continue
+			}
+			tuple := rel.Tuple(pos)
+			args := make([]ast.Term, len(tuple))
+			for i, v := range tuple {
+				args[i] = m.store.ToAST(v)
+			}
+			out = append(out, ast.Atom{Pred: pred, Args: args})
+		}
+	}
+	return out
+}
+
+// groundTuple interns a ground atom's arguments, rejecting variables.
+func (m *Materialization) groundTuple(a ast.Atom) ([]Val, error) {
+	if !a.Ground() {
+		return nil, fmt.Errorf("%w: %s is not ground", ErrMutation, a)
+	}
+	tuple := make([]Val, len(a.Args))
+	for i, t := range a.Args {
+		v, err := m.store.FromAST(t)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrMutation, a, err)
+		}
+		tuple[i] = v
+	}
+	return tuple, nil
+}
+
+// validate interns and checks a batch without touching any state, so an
+// invalid batch is rejected atomically with ErrMutation.
+func (m *Materialization) validate(atoms []ast.Atom) ([][]Val, error) {
+	tuples := make([][]Val, len(atoms))
+	for i, a := range atoms {
+		if known, ok := m.arity[a.Pred]; ok && known != len(a.Args) {
+			return nil, fmt.Errorf("%w: %s used with arity %d and %d", ErrMutation, a.Pred, known, len(a.Args))
+		}
+		tuple, err := m.groundTuple(a)
+		if err != nil {
+			return nil, err
+		}
+		tuples[i] = tuple
+	}
+	return tuples, nil
+}
+
+// Rebuild recomputes the materialization from the base EDB (clearing a
+// dirty flag left by a failed Apply). The epoch is unchanged: the base
+// holds exactly the state of the last successful batch.
+func (m *Materialization) Rebuild(ctx context.Context) (err error) {
+	defer recoverTo("apply", &err)
+	return m.rebuild(ctx)
+}
+
+// Apply applies one mutation batch: retractions first, then assertions,
+// so a batch containing both for one fact leaves it present. On success
+// the epoch advances by one. The batch is atomic: validation errors
+// reject it untouched, and a failure mid-maintenance (panic, budget,
+// cancellation) rolls the base EDB back and poisons the materialized DB,
+// which is rebuilt from the restored base on the next operation — the
+// observable state is always that of the last successful epoch.
+func (m *Materialization) Apply(ctx context.Context, assert, retract []ast.Atom) (st ApplyStats, err error) {
+	var undoAssert, undoRetract []factRef
+	mutating := false
+	defer func() {
+		if err == nil || !mutating {
+			return
+		}
+		// Roll the base back so it reflects the last successful epoch,
+		// then poison the materialized DB: partial wave state is not
+		// recoverable in place, but a rebuild from the restored base is.
+		for _, f := range undoAssert {
+			m.base.Lookup(f.pred).Delete(f.tuple)
+		}
+		for _, f := range undoRetract {
+			m.base.Lookup(f.pred).Insert(f.tuple)
+		}
+		m.dirty = true
+	}()
+	defer recoverTo("apply", &err)
+	faultinject.Hit(faultinject.FactsApply)
+
+	if m.dirty {
+		if err := m.rebuild(ctx); err != nil {
+			return st, err
+		}
+	}
+	retractTuples, err := m.validate(retract)
+	if err != nil {
+		return st, err
+	}
+	assertTuples, err := m.validate(assert)
+	if err != nil {
+		return st, err
+	}
+	for _, a := range retract {
+		m.arity[a.Pred] = len(a.Args)
+	}
+	for _, a := range assert {
+		m.arity[a.Pred] = len(a.Args)
+	}
+
+	mutating = true
+	m.db.setEpoch(int32(m.epoch + 1))
+	mt := &maintainer{m: m, ctx: ctx, st: &st}
+
+	// Phase 1: retractions. Remove EDB support; facts whose derivation
+	// count hits zero die and cascade.
+	var victims []victimRef
+	retractedPreds := map[string]bool{}
+	for i, a := range retract {
+		brel := m.base.Lookup(a.Pred)
+		if brel == nil || !brel.Delete(retractTuples[i]) {
+			st.NoopRetracts++
+			continue
+		}
+		undoRetract = append(undoRetract, factRef{a.Pred, retractTuples[i]})
+		st.Retracted++
+		retractedPreds[a.Pred] = true
+		rel := m.db.Lookup(a.Pred)
+		if rel == nil {
+			continue
+		}
+		row, ok := rel.findRow(retractTuples[i])
+		if !ok {
+			continue
+		}
+		if c := rel.addCount(row, -1); c == 0 {
+			victims = append(victims, victimRef{a.Pred, row})
+		} else if c < 0 {
+			panic(fmt.Sprintf("engine: negative derivation count for %s", a.Pred))
+		}
+	}
+	if len(victims) > 0 || len(retractedPreds) > 0 {
+		if closure, recursive := m.retractionClosure(retractedPreds); recursive {
+			// Counting is unsound here: kill the directly retracted
+			// facts, then clear and recompute the affected IDB strata.
+			for _, v := range victims {
+				m.db.Lookup(v.pred).deleteRow(v.row)
+				st.DeletedFacts++
+			}
+			if err := mt.rebuildPreds(closure); err != nil {
+				return st, err
+			}
+			st.Rebuilt = true
+		} else if len(victims) > 0 {
+			if err := mt.runDeleteWaves(victims); err != nil {
+				return st, err
+			}
+		}
+	}
+
+	// Phase 2: assertions. New EDB facts are the wave-1 delta.
+	m.db.resetRounds()
+	mt.wave = 0
+	mt.newCounts = map[string]int{}
+	for i, a := range assert {
+		brel, rerr := m.base.Rel(a.Pred, len(a.Args))
+		if rerr != nil {
+			return st, fmt.Errorf("%w: %v", ErrMutation, rerr)
+		}
+		if !brel.Insert(assertTuples[i]) {
+			st.NoopAsserts++
+			continue
+		}
+		undoAssert = append(undoAssert, factRef{a.Pred, assertTuples[i]})
+		st.Asserted++
+		rel, rerr := m.db.Rel(a.Pred, len(a.Args))
+		if rerr != nil {
+			return st, fmt.Errorf("%w: %v", ErrMutation, rerr)
+		}
+		rel.EnableCounts()
+		rel.setEpoch(int32(m.epoch + 1))
+		if row, ok := rel.findRow(assertTuples[i]); ok {
+			// Already derivable: the fact gains EDB support but its
+			// presence is unchanged — a count bump, not a delta.
+			rel.addCount(row, 1)
+			continue
+		}
+		rel.InsertRound(assertTuples[i], 1)
+		mt.newCounts[a.Pred]++
+		st.NewFacts++
+	}
+	if total(mt.newCounts) > 0 {
+		if err := mt.runInsertWaves(m.rules); err != nil {
+			return st, err
+		}
+	}
+
+	m.epoch++
+	m.dirty = false
+	st.Total = m.db.TotalFacts()
+	return st, nil
+}
+
+type factRef struct {
+	pred  string
+	tuple []Val
+}
+
+// victimRef names a live arena row whose derivation count reached zero.
+type victimRef struct {
+	pred string
+	row  int32
+}
+
+// retractionClosure returns the set of predicates reachable downstream
+// from the retracted predicates (including themselves) and whether any of
+// them belongs to a recursive stratum.
+func (m *Materialization) retractionClosure(preds map[string]bool) (map[string]bool, bool) {
+	closure := map[string]bool{}
+	recursive := false
+	var stack []string
+	for p := range preds {
+		stack = append(stack, p)
+	}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if closure[p] {
+			continue
+		}
+		closure[p] = true
+		if m.recursive[p] {
+			recursive = true
+		}
+		stack = append(stack, m.downstream[p]...)
+	}
+	return closure, recursive
+}
+
+// rebuild recomputes the whole materialization from the base EDB.
+func (m *Materialization) rebuild(ctx context.Context) error {
+	db := NewDBWith(m.store)
+	for _, r := range m.rules {
+		rel, err := db.Rel(r.headPred, len(r.headArgs))
+		if err != nil {
+			return err
+		}
+		rel.EnableCounts()
+		for _, l := range r.body {
+			rel, err := db.Rel(l.pred, l.arity)
+			if err != nil {
+				return err
+			}
+			rel.EnableCounts()
+		}
+	}
+	for pred, brel := range m.base.relations {
+		rel, err := db.Rel(pred, brel.Arity())
+		if err != nil {
+			return err
+		}
+		rel.EnableCounts()
+		for pos := int32(0); pos < int32(brel.Len()); pos++ {
+			if brel.Round(pos) < 0 {
+				continue
+			}
+			rel.InsertRound(brel.Tuple(pos), 1)
+		}
+	}
+	db.setEpoch(int32(m.epoch))
+	var st ApplyStats
+	mt := &maintainer{m: m, ctx: ctx, st: &st}
+	old := m.db
+	m.db = db
+	if err := mt.initialWaves(m.rules); err != nil {
+		m.db = old
+		return err
+	}
+	m.dirty = false
+	return nil
+}
+
+// rebuildPreds clears the IDB predicates in closure and recomputes them
+// from the surviving facts — the DRed rederivation phase, run eagerly
+// over the affected strata only.
+func (mt *maintainer) rebuildPreds(closure map[string]bool) error {
+	m := mt.m
+	rebuildSet := map[string]bool{}
+	for p := range closure {
+		if m.idb[p] {
+			rebuildSet[p] = true
+		}
+	}
+	if len(rebuildSet) == 0 {
+		return nil
+	}
+	for pred := range rebuildSet {
+		rel := m.db.Lookup(pred)
+		if rel == nil {
+			continue
+		}
+		for pos := int32(0); pos < int32(rel.Len()); pos++ {
+			if rel.Round(pos) < 0 {
+				continue
+			}
+			rel.deleteRow(pos)
+			mt.st.DeletedFacts++
+		}
+	}
+	// Re-seed the EDB support of rebuilt predicates (a retractable
+	// predicate can also be derivable).
+	for pred := range rebuildSet {
+		brel := m.base.Lookup(pred)
+		if brel == nil {
+			continue
+		}
+		rel := m.db.Lookup(pred)
+		for pos := int32(0); pos < int32(brel.Len()); pos++ {
+			if brel.Round(pos) < 0 {
+				continue
+			}
+			rel.InsertRound(brel.Tuple(pos), 1)
+			mt.st.NewFacts++
+		}
+	}
+	var active []*compiledRule
+	for _, r := range m.rules {
+		if rebuildSet[r.headPred] {
+			active = append(active, r)
+		}
+	}
+	return mt.initialWaves(active)
+}
+
+// maintainer runs maintenance waves over the materialized DB, reusing the
+// evaluator's compiled rules and join runner with explicit round windows.
+type maintainer struct {
+	m   *Materialization
+	ctx context.Context
+	st  *ApplyStats
+
+	rn         runner
+	wave       int32
+	newCounts  map[string]int // facts stamped wave+1, per predicate
+	next       []victimRef    // next deletion wave's victims
+	occScratch []int
+}
+
+// initialWaves treats every live fact as the wave-1 delta and runs the
+// active rules to fixpoint: the initial build (active = all rules) and
+// the DRed rederivation (active = the rebuilt strata's rules) are the
+// same computation over different rule subsets.
+func (mt *maintainer) initialWaves(active []*compiledRule) error {
+	m := mt.m
+	buildIndexes(m.db, active)
+	mt.wave = 0
+	mt.newCounts = map[string]int{}
+	mt.rn = runner{db: m.db}
+	mt.rn.sink = func(r *compiledRule, tuple []Val, _ []FactID) error {
+		return mt.insertSink(r, tuple)
+	}
+	// Bodyless rules (e.g. magic seeds) fire exactly once, here.
+	for _, r := range active {
+		if len(r.body) > 0 {
+			continue
+		}
+		mt.setInsertLimits(r, nil, -1)
+		if err := mt.rn.runRule(r); err != nil {
+			return err
+		}
+	}
+	// Stamp every live fact as the wave-1 delta (facts emitted by the
+	// bodyless rules above carry stamp 1 already) and seed the wave loop
+	// with the per-predicate live counts.
+	for _, rel := range m.db.relations {
+		for i := range rel.rounds {
+			if rel.rounds[i] >= 0 {
+				rel.rounds[i] = 1
+			}
+		}
+	}
+	mt.newCounts = map[string]int{}
+	for pred, rel := range m.db.relations {
+		if n := rel.Live(); n > 0 {
+			mt.newCounts[pred] = n
+		}
+	}
+	return mt.runInsertWaves(active)
+}
+
+// insertSink consumes derived head tuples during insertion waves: a new
+// fact is inserted stamped wave+1 (the next delta) with count 1; a
+// re-derivation of a live fact bumps its count and does not propagate.
+func (mt *maintainer) insertSink(r *compiledRule, tuple []Val) error {
+	mt.st.Inferences++
+	if mt.st.Inferences&ctxCheckMask == 0 {
+		if err := contextErr(mt.ctx); err != nil {
+			return err
+		}
+	}
+	rel := mt.m.db.Lookup(r.headPred)
+	if row, ok := rel.findRow(tuple); ok {
+		rel.addCount(row, 1)
+		return nil
+	}
+	rel.InsertRound(tuple, mt.wave+1)
+	mt.newCounts[r.headPred]++
+	mt.st.NewFacts++
+	if max := mt.m.opts.MaxFacts; max > 0 && mt.st.NewFacts > max {
+		return fmt.Errorf("%w: %d facts derived during maintenance", ErrBudgetExceeded, mt.st.NewFacts)
+	}
+	return nil
+}
+
+// runInsertWaves drains newCounts: facts stamped w are joined as the
+// wave-w delta, emitting facts stamped w+1, until no wave produces a new
+// fact.
+func (mt *maintainer) runInsertWaves(active []*compiledRule) error {
+	m := mt.m
+	mt.rn.db = m.db
+	mt.rn.sink = func(r *compiledRule, tuple []Val, _ []FactID) error {
+		return mt.insertSink(r, tuple)
+	}
+	for total(mt.newCounts) > 0 {
+		if err := contextErr(mt.ctx); err != nil {
+			return err
+		}
+		if err := memBudgetErr(m.db, m.opts.MaxBytes); err != nil {
+			return err
+		}
+		if mt.st.Waves >= m.opts.MaxWaves {
+			return fmt.Errorf("%w: %d maintenance waves", ErrBudgetExceeded, mt.st.Waves)
+		}
+		faultinject.Hit(faultinject.DeltaWave)
+		delta := mt.newCounts
+		mt.newCounts = map[string]int{}
+		mt.wave++
+		for _, r := range active {
+			occs := mt.bodyOccs(r, delta)
+			for _, li := range occs {
+				mt.setInsertLimits(r, occs, li)
+				if err := mt.rn.runRule(r); err != nil {
+					return err
+				}
+			}
+		}
+		mt.st.Waves++
+	}
+	return nil
+}
+
+// bodyOccs returns the body positions of r whose predicate is in delta.
+func (mt *maintainer) bodyOccs(r *compiledRule, delta map[string]int) []int {
+	occs := mt.occScratch[:0]
+	for i := range r.body {
+		if delta[r.body[i].pred] > 0 {
+			occs = append(occs, i)
+		}
+	}
+	mt.occScratch = occs
+	return occs
+}
+
+// setInsertLimits prepares the wave-w windows: delta position [w,w],
+// positions of delta predicates before it [0,w-1], everything else [0,w]
+// — never unrestricted, so same-wave emissions (stamped w+1) are
+// excluded and each new instantiation is found exactly once.
+func (mt *maintainer) setInsertLimits(r *compiledRule, occs []int, deltaOcc int) {
+	rn := &mt.rn
+	if cap(rn.limits) < len(r.body) {
+		rn.limits = make([]roundRange, len(r.body))
+	}
+	rn.limits = rn.limits[:len(r.body)]
+	w := mt.wave
+	for i := range rn.limits {
+		rn.limits[i] = roundRange{0, w}
+	}
+	for _, occ := range occs {
+		switch {
+		case occ < deltaOcc:
+			rn.limits[occ] = roundRange{0, w - 1}
+		case occ == deltaOcc:
+			rn.limits[occ] = roundRange{w, w}
+		default:
+			rn.limits[occ] = roundRange{0, w}
+		}
+	}
+}
+
+// runDeleteWaves cascades a set of dying facts: each wave stamps the
+// dying rows 1 (alive rows are 0), decrements the head count of every
+// body instantiation that includes at least one dying fact — counted
+// exactly once at its first dying position — then kills the wave's rows.
+// Heads whose count reaches zero form the next wave.
+func (mt *maintainer) runDeleteWaves(victims []victimRef) error {
+	m := mt.m
+	m.db.resetRounds()
+	buildIndexes(m.db, m.rules)
+	mt.rn = runner{db: m.db}
+	mt.rn.sink = func(r *compiledRule, tuple []Val, _ []FactID) error {
+		return mt.deleteSink(r, tuple)
+	}
+	wave := victims
+	for len(wave) > 0 {
+		if err := contextErr(mt.ctx); err != nil {
+			return err
+		}
+		if mt.st.Waves >= m.opts.MaxWaves {
+			return fmt.Errorf("%w: %d maintenance waves", ErrBudgetExceeded, mt.st.Waves)
+		}
+		faultinject.Hit(faultinject.DeltaWave)
+		dyingPreds := map[string]int{}
+		for _, v := range wave {
+			m.db.Lookup(v.pred).rounds[v.row] = 1
+			dyingPreds[v.pred]++
+		}
+		mt.next = mt.next[:0]
+		for _, r := range m.rules {
+			occs := mt.bodyOccs(r, dyingPreds)
+			for _, li := range occs {
+				mt.setDeleteLimits(r, occs, li)
+				if err := mt.rn.runRule(r); err != nil {
+					return err
+				}
+			}
+		}
+		for _, v := range wave {
+			m.db.Lookup(v.pred).deleteRow(v.row)
+			mt.st.DeletedFacts++
+		}
+		mt.st.Waves++
+		wave = append(wave[:0:0], mt.next...)
+	}
+	return nil
+}
+
+// setDeleteLimits mirrors setInsertLimits for a deletion wave: alive rows
+// are stamped 0 and dying rows 1, so the delta position is [1,1], dying
+// positions before it [0,0], and everything else [0,1].
+func (mt *maintainer) setDeleteLimits(r *compiledRule, occs []int, deltaOcc int) {
+	rn := &mt.rn
+	if cap(rn.limits) < len(r.body) {
+		rn.limits = make([]roundRange, len(r.body))
+	}
+	rn.limits = rn.limits[:len(r.body)]
+	for i := range rn.limits {
+		rn.limits[i] = roundRange{0, 1}
+	}
+	for _, occ := range occs {
+		switch {
+		case occ < deltaOcc:
+			rn.limits[occ] = roundRange{0, 0}
+		case occ == deltaOcc:
+			rn.limits[occ] = roundRange{1, 1}
+		default:
+			rn.limits[occ] = roundRange{0, 1}
+		}
+	}
+}
+
+// deleteSink decrements the derivation count of a head fact that just
+// lost a body instantiation; a count reaching zero schedules the row for
+// the next wave. Rows already dying this wave are skipped — their counts
+// no longer matter.
+func (mt *maintainer) deleteSink(r *compiledRule, tuple []Val) error {
+	mt.st.Inferences++
+	if mt.st.Inferences&ctxCheckMask == 0 {
+		if err := contextErr(mt.ctx); err != nil {
+			return err
+		}
+	}
+	rel := mt.m.db.Lookup(r.headPred)
+	row, ok := rel.findRow(tuple)
+	if !ok {
+		return nil
+	}
+	if rel.Round(row) != 0 {
+		return nil // dying this wave
+	}
+	switch c := rel.addCount(row, -1); {
+	case c == 0:
+		mt.next = append(mt.next, victimRef{r.headPred, row})
+	case c < 0:
+		panic(fmt.Sprintf("engine: negative derivation count for %s", r.headPred))
+	}
+	return nil
+}

@@ -24,23 +24,51 @@ import (
 // safe for concurrent readers while the relation is frozen between
 // mutations — the property the parallel evaluator's in-round probes rely
 // on.
+//
+// Deletion (incremental maintenance) never moves rows: Delete removes the
+// tuple from the membership table and stamps rounds[row] = -1, the dead
+// sentinel. Index postings keep the dead row id — every evaluator reads a
+// row only through a round window whose lower bound is ≥ 0, so dead rows
+// are filtered at the same branch that implements semi-naive deltas, and
+// postings buckets never need compaction. The arena slot itself is leaked
+// until the next full rebuild, which is the usual arena trade.
+//
+// In counted mode (EnableCounts, used by Materialization) each row also
+// carries a derivation count — how many immediate derivations currently
+// support the fact — and the epoch it was first inserted in. Both columns
+// are absent (nil) outside counted mode, so fresh-DB evaluation pays
+// nothing for them.
 type Relation struct {
 	arity   int
 	arena   []Val   // row-major tuple storage; rows never move or change
-	rounds  []int32 // insertion round per row
+	rounds  []int32 // insertion round per row; -1 = deleted (dead sentinel)
 	present tupleSet
 	indexes map[uint32]*index // key: bitmask of indexed columns
+
+	dead     int     // rows with rounds[row] < 0
+	counted  bool    // counts/epochs columns maintained
+	counts   []int32 // per-row derivation count (counted mode only)
+	epochs   []int32 // per-row insertion epoch (counted mode only)
+	curEpoch int32   // epoch stamped on subsequent inserts (counted mode)
 }
 
 // tupleSet is the open-addressed membership table: hash of the full tuple
 // -> row id, with linear probing and full arena comparison on collision.
-// Slots store -1 when empty. The stored hashes make probe misses cheap and
-// growth rehash-free.
+// Slots store emptySlot when never used and tombSlot after a removal;
+// lookups probe past tombstones but stop at empties, so removal never
+// breaks a probe chain. The stored hashes make probe misses cheap and
+// growth rehash-free; growth drops tombstones.
 type tupleSet struct {
 	hashes []uint64
 	rows   []int32
-	n      int
+	n      int // live entries
+	used   int // live entries + tombstones (growth trigger)
 }
+
+const (
+	emptySlot = -1
+	tombSlot  = -2
+)
 
 func (s *tupleSet) lookup(r *Relation, h uint64, tuple []Val) (int32, bool) {
 	if len(s.rows) == 0 {
@@ -49,8 +77,11 @@ func (s *tupleSet) lookup(r *Relation, h uint64, tuple []Val) (int32, bool) {
 	mask := uint64(len(s.rows) - 1)
 	for i := h & mask; ; i = (i + 1) & mask {
 		row := s.rows[i]
-		if row < 0 {
+		if row == emptySlot {
 			return -1, false
+		}
+		if row == tombSlot {
+			continue
 		}
 		if s.hashes[i] == h && r.rowEquals(row, tuple) {
 			return row, true
@@ -58,9 +89,11 @@ func (s *tupleSet) lookup(r *Relation, h uint64, tuple []Val) (int32, bool) {
 	}
 }
 
-// add places a row known to be absent, growing at 3/4 load.
+// add places a row known to be absent, growing at 3/4 load. The first
+// negative slot on the probe path is reused — a tombstone if one is
+// passed, the terminating empty otherwise.
 func (s *tupleSet) add(h uint64, row int32) {
-	if (s.n+1)*4 > len(s.rows)*3 {
+	if (s.used+1)*4 > len(s.rows)*3 {
 		s.grow()
 	}
 	mask := uint64(len(s.rows) - 1)
@@ -68,8 +101,34 @@ func (s *tupleSet) add(h uint64, row int32) {
 	for s.rows[i] >= 0 {
 		i = (i + 1) & mask
 	}
+	if s.rows[i] == emptySlot {
+		s.used++
+	}
 	s.hashes[i], s.rows[i] = h, row
 	s.n++
+}
+
+// remove tombstones the slot holding row (found by hash + arena compare).
+// It reports whether the row was present.
+func (s *tupleSet) remove(r *Relation, h uint64, tuple []Val) bool {
+	if len(s.rows) == 0 {
+		return false
+	}
+	mask := uint64(len(s.rows) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		row := s.rows[i]
+		if row == emptySlot {
+			return false
+		}
+		if row == tombSlot {
+			continue
+		}
+		if s.hashes[i] == h && r.rowEquals(row, tuple) {
+			s.rows[i] = tombSlot
+			s.n--
+			return true
+		}
+	}
 }
 
 func (s *tupleSet) grow() {
@@ -81,7 +140,7 @@ func (s *tupleSet) grow() {
 	s.hashes = make([]uint64, size)
 	s.rows = make([]int32, size)
 	for i := range s.rows {
-		s.rows[i] = -1
+		s.rows[i] = emptySlot
 	}
 	mask := uint64(size - 1)
 	for j, row := range oldRows {
@@ -94,6 +153,7 @@ func (s *tupleSet) grow() {
 		}
 		s.hashes[i], s.rows[i] = oldHashes[j], row
 	}
+	s.used = s.n
 }
 
 // index maps the projection of a tuple onto cols to the rows sharing that
@@ -181,8 +241,14 @@ func NewRelation(arity int) *Relation {
 // Arity returns the number of columns.
 func (r *Relation) Arity() int { return r.arity }
 
-// Len returns the number of tuples.
+// Len returns the number of arena rows, including dead (deleted) ones.
+// Scans over [0, Len) must skip positions where Round(pos) < 0; the
+// evaluator's round windows do this implicitly. Use Live for the number
+// of facts.
 func (r *Relation) Len() int { return len(r.rounds) }
+
+// Live returns the number of live tuples (arena rows minus deletions).
+func (r *Relation) Live() int { return len(r.rounds) - r.dead }
 
 // Tuple returns the tuple at position pos: a view into the arena, valid
 // forever (rows are immutable) but not to be modified by the caller.
@@ -246,10 +312,80 @@ func (r *Relation) InsertRound(tuple []Val, round int32) bool {
 	row := int32(len(r.rounds))
 	r.arena = append(r.arena, tuple...)
 	r.rounds = append(r.rounds, round)
+	if r.counted {
+		r.counts = append(r.counts, 1)
+		r.epochs = append(r.epochs, r.curEpoch)
+	}
 	r.present.add(h, row)
 	for _, ix := range r.indexes {
 		ix.addRow(r, row)
 	}
+	return true
+}
+
+// EnableCounts switches the relation into counted mode: every row carries
+// a derivation count (existing rows start at 1) and an insertion epoch.
+// Used by Materialization; idempotent.
+func (r *Relation) EnableCounts() {
+	if r.counted {
+		return
+	}
+	r.counted = true
+	r.counts = make([]int32, len(r.rounds))
+	r.epochs = make([]int32, len(r.rounds))
+	for i := range r.counts {
+		r.counts[i] = 1
+	}
+}
+
+// Counted reports whether the relation maintains derivation counts.
+func (r *Relation) Counted() bool { return r.counted }
+
+// DerivCount returns the derivation count of the row (counted mode only).
+func (r *Relation) DerivCount(pos int32) int32 { return r.counts[pos] }
+
+// addCount adjusts the row's derivation count and returns the new value.
+func (r *Relation) addCount(pos, delta int32) int32 {
+	r.counts[pos] += delta
+	return r.counts[pos]
+}
+
+// RowEpoch returns the epoch the row was inserted in (counted mode only).
+func (r *Relation) RowEpoch(pos int32) int32 { return r.epochs[pos] }
+
+// setEpoch sets the epoch stamped on subsequent inserts (counted mode).
+func (r *Relation) setEpoch(e int32) { r.curEpoch = e }
+
+// findRow returns the arena row holding tuple, if present (dead rows are
+// not present — Delete removes them from the membership table).
+func (r *Relation) findRow(tuple []Val) (int32, bool) {
+	return r.present.lookup(r, hashVals(tuple), tuple)
+}
+
+// deleteRow kills a live arena row: removed from the membership table,
+// stamped with the dead sentinel, count zeroed. Index postings keep the
+// row id — round windows (lower bound ≥ 0) filter it on every probe.
+func (r *Relation) deleteRow(row int32) {
+	tuple := r.Tuple(row)
+	if !r.present.remove(r, hashVals(tuple), tuple) {
+		return
+	}
+	r.rounds[row] = -1
+	if r.counted {
+		r.counts[row] = 0
+	}
+	r.dead++
+}
+
+// Delete removes tuple from the relation, reporting whether it was
+// present. The arena slot is leaked (rows never move); see the type
+// comment for how dead rows stay invisible to the evaluators.
+func (r *Relation) Delete(tuple []Val) bool {
+	row, ok := r.findRow(tuple)
+	if !ok {
+		return false
+	}
+	r.deleteRow(row)
 	return true
 }
 
@@ -360,6 +496,7 @@ func (r *Relation) probeFrozen(cols []int, key []Val) []int32 {
 func (r *Relation) StorageFootprint() (arenaBytes, indexBytes int64, presentLoad, indexLoad float64, nIndexes int) {
 	const valSize, roundSize, hashSize, slotSize = 4, 4, 8, 4
 	arenaBytes = int64(cap(r.arena))*valSize + int64(cap(r.rounds))*roundSize
+	arenaBytes += int64(cap(r.counts))*roundSize + int64(cap(r.epochs))*roundSize
 	indexBytes = int64(cap(r.present.hashes))*hashSize + int64(cap(r.present.rows))*slotSize
 	if len(r.present.rows) > 0 {
 		presentLoad = float64(r.present.n) / float64(len(r.present.rows))
@@ -441,21 +578,29 @@ func (db *DB) MustInsert(pred string, tuple ...Val) bool {
 	return ok
 }
 
-// Count returns the number of facts for pred (0 if absent).
+// Count returns the number of live facts for pred (0 if absent).
 func (db *DB) Count(pred string) int {
 	if r := db.relations[pred]; r != nil {
-		return r.Len()
+		return r.Live()
 	}
 	return 0
 }
 
-// TotalFacts returns the total number of facts across all relations.
+// TotalFacts returns the total number of live facts across all relations.
 func (db *DB) TotalFacts() int {
 	n := 0
 	for _, r := range db.relations {
-		n += r.Len()
+		n += r.Live()
 	}
 	return n
+}
+
+// setEpoch sets the epoch stamped on subsequent inserts in every relation
+// (counted mode); Materialization advances it per mutation batch.
+func (db *DB) setEpoch(e int32) {
+	for _, r := range db.relations {
+		r.setEpoch(e)
+	}
 }
 
 // StorageStats aggregates every relation's StorageFootprint into one
@@ -468,7 +613,7 @@ func (db *DB) StorageStats() obsv.StorageStats {
 	for _, r := range db.relations {
 		arenaBytes, indexBytes, presentLoad, indexLoad, nIndexes := r.StorageFootprint()
 		st.Relations++
-		st.Facts += r.Len()
+		st.Facts += r.Live()
 		st.ArenaBytes += arenaBytes
 		st.IndexBytes += indexBytes
 		st.Indexes += nIndexes
@@ -490,25 +635,32 @@ func (db *DB) StorageStats() obsv.StorageStats {
 	return st
 }
 
-// resetRounds zeroes every relation's insertion-round stamps, turning all
+// resetRounds zeroes every live row's insertion-round stamp, turning all
 // current facts into base state for a fresh fixpoint. Eval uses it before
 // the sequential retry after a parallel worker panic: the stamps left by
 // the aborted parallel rounds would otherwise fall outside the retry's
-// semi-naive delta windows and break completeness.
+// semi-naive delta windows and break completeness. Dead rows keep their
+// -1 sentinel — zeroing it would resurrect deleted facts.
 func (db *DB) resetRounds() {
 	for _, r := range db.relations {
 		for i := range r.rounds {
-			r.rounds[i] = 0
+			if r.rounds[i] >= 0 {
+				r.rounds[i] = 0
+			}
 		}
 	}
 }
 
-// Clone returns a DB sharing the store but with independent relations.
+// Clone returns a DB sharing the store but with independent relations
+// holding the live tuples (dead arena rows are not carried over).
 func (db *DB) Clone() *DB {
 	out := NewDBWith(db.Store)
 	for pred, r := range db.relations {
 		nr := NewRelation(r.arity)
 		for pos := int32(0); pos < int32(r.Len()); pos++ {
+			if r.rounds[pos] < 0 {
+				continue
+			}
 			nr.Insert(r.Tuple(pos))
 		}
 		out.relations[pred] = nr

@@ -1,18 +1,3 @@
-// Package faultinject is a deterministic, seed-driven fault-injection
-// harness for the engine's failure paths. Call sites name a Point and call
-// Hit at the moment the corresponding failure could occur; when the harness
-// is armed (Enable) and the point's schedule says so, Hit panics with a
-// *Fault, which the engine's panic-isolation barriers convert to a typed
-// engine.ErrInternal. When the harness is disarmed — the production state —
-// Hit is a single atomic load and a predicted branch, cheap enough to leave
-// in hot paths (see BenchmarkHitDisabled).
-//
-// Schedules are deterministic: Enable derives a per-point firing period
-// from Config.Seed with splitmix64, and each point fires on every Nth pass
-// through it, counted with an atomic counter shared by all goroutines. Two
-// runs that make the same sequence of Hit calls fire the same faults; under
-// concurrency the set of firing call-counts is still fixed by the seed even
-// though which goroutine draws the firing count is not.
 package faultinject
 
 import (
@@ -47,6 +32,18 @@ const (
 	// (internal/stream, once per source row pulled), exercising panic
 	// isolation in mid-pipeline operator state.
 	StreamNext
+	// FactsApply fires as a Materialization starts applying a mutation
+	// batch (internal/engine.Materialization.Apply), before any state is
+	// touched — exercising the poison-and-rebuild rollback path.
+	FactsApply
+	// DeltaWave fires at each incremental maintenance wave boundary
+	// (internal/engine, insertion and deletion cascades), exercising a
+	// panic with the materialization half-refreshed.
+	DeltaWave
+	// MatRefresh fires as the pipeline materialization registry refreshes
+	// an entry to the current epoch (internal/pipeline.Materializer),
+	// exercising refresh-failure handling on the serving path.
+	MatRefresh
 
 	// NumPoints is the number of named points; keep it last.
 	NumPoints
@@ -59,6 +56,9 @@ var pointNames = [NumPoints]string{
 	PlanCompile:  "plan-compile",
 	ContextCheck: "context-check",
 	StreamNext:   "stream-next",
+	FactsApply:   "facts-apply",
+	DeltaWave:    "delta-wave",
+	MatRefresh:   "mat-refresh",
 }
 
 func (p Point) String() string {

@@ -83,7 +83,46 @@ func PromExposition(s ServerStats) string {
 	gauge("factorlog_storage_high_water_bytes",
 		"Largest per-request storage footprint seen since startup.",
 		float64(s.StorageHighWater.ArenaBytes+s.StorageHighWater.IndexBytes))
+
+	m := s.Mutation
+	gauge("factorlog_epoch", "Current mutation epoch (one per effective /facts batch).", float64(m.Epoch))
+	gauge("factorlog_base_facts", "Live EDB facts in the mutable base.", float64(m.BaseFacts))
+	counter("factorlog_fact_batches_total", "Effective mutation batches applied.", m.Batches)
+	counter("factorlog_facts_asserted_total", "EDB facts asserted (noop entries excluded).", m.FactsAsserted)
+	counter("factorlog_facts_retracted_total", "EDB facts retracted (noop entries excluded).", m.FactsRetracted)
+	gauge("factorlog_materializations", "Live materializations in the registry.", float64(m.Entries))
+	counter("factorlog_mat_evictions_total", "Materializations evicted to respect the registry bound.", m.Evictions)
+	counter("factorlog_mat_refresh_hits_total", "Materialized serves answered at the current epoch with no refresh.", m.Hits)
+	counter("factorlog_mat_refresh_deltas_total", "Materialized serves caught up incrementally from logged batches.", m.Deltas)
+	counter("factorlog_mat_refresh_rebuilds_total", "Materialized serves recomputed from the base EDB.", m.Rebuilds)
+	counter("factorlog_mat_refresh_builds_total", "Materializations computed for the first time.", m.Builds)
+	if m.RefreshWall != nil {
+		writeDurationFamily(&b, "factorlog_mat_refresh_seconds",
+			"Wall time of non-hit materialization refreshes.", m.RefreshWall)
+	}
+	if m.ChangeRatio != nil {
+		writeValueHistogram(&b, "factorlog_mat_change_ratio",
+			"Changed facts over total facts per non-hit refresh.", m.ChangeRatio)
+	}
 	return b.String()
+}
+
+// writeDurationFamily emits an unlabeled duration histogram family (buckets
+// in seconds, headers included).
+func writeDurationFamily(b *strings.Builder, name, help string, h *Histogram) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	bounds := h.bounds()
+	for i, n := range h.BucketCounts {
+		cum += n
+		le := "+Inf"
+		if i < len(bounds) {
+			le = promFloat(bounds[i].Seconds())
+		}
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(b, "%s_sum %s\n", name, promFloat(h.Sum.Seconds()))
+	fmt.Fprintf(b, "%s_count %d\n", name, h.Count)
 }
 
 // writeDurationHistogram emits one labeled histogram series (buckets in
@@ -150,6 +189,19 @@ type promSample struct {
 // a +Inf bucket exists, bucket counts are cumulative (non-decreasing in le
 // order), the +Inf bucket equals _count, and _sum/_count are present.
 func ParsePromText(text string) (samples int, err error) {
+	samples, _, err = parsePromText(text)
+	return samples, err
+}
+
+// PromFamilies validates text like ParsePromText and additionally returns
+// the set of declared metric families (TYPE-comment names). cmd/promcheck
+// uses it to assert that required families are present in a scrape.
+func PromFamilies(text string) (map[string]string, error) {
+	_, types, err := parsePromText(text)
+	return types, err
+}
+
+func parsePromText(text string) (samples int, families map[string]string, err error) {
 	types := map[string]string{}
 	var parsed []promSample
 	for i, line := range strings.Split(text, "\n") {
@@ -164,16 +216,16 @@ func ParsePromText(text string) (samples int, err error) {
 				continue // free-form comment
 			}
 			if !validPromName(name) {
-				return 0, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				return 0, nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
 			}
 			if kind == "TYPE" {
 				switch rest {
 				case "counter", "gauge", "histogram", "summary", "untyped":
 				default:
-					return 0, fmt.Errorf("line %d: unknown metric type %q", lineNo, rest)
+					return 0, nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, rest)
 				}
 				if _, dup := types[name]; dup {
-					return 0, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+					return 0, nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
 				}
 				types[name] = rest
 			}
@@ -181,18 +233,18 @@ func ParsePromText(text string) (samples int, err error) {
 		}
 		s, perr := parsePromSample(line)
 		if perr != nil {
-			return 0, fmt.Errorf("line %d: %v", lineNo, perr)
+			return 0, nil, fmt.Errorf("line %d: %v", lineNo, perr)
 		}
 		s.line = lineNo
 		if familyType(types, s.name) == "" {
-			return 0, fmt.Errorf("line %d: sample %q has no # TYPE declaration", lineNo, s.name)
+			return 0, nil, fmt.Errorf("line %d: sample %q has no # TYPE declaration", lineNo, s.name)
 		}
 		parsed = append(parsed, s)
 	}
 	if err := checkPromHistograms(types, parsed); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return len(parsed), nil
+	return len(parsed), types, nil
 }
 
 // parsePromComment splits "# TYPE name rest" / "# HELP name rest".

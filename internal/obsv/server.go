@@ -256,6 +256,9 @@ type ServerStats struct {
 	// Resilience reports admission control and failure-governance counters
 	// (new in schema v5).
 	Resilience ResilienceStats `json:"resilience"`
+	// Mutation reports the mutation epoch, /facts counters, and the
+	// materialization registry's refresh behavior (new in schema v8).
+	Mutation MutationStats `json:"mutation"`
 }
 
 // CacheLine renders cache counters compactly, with the hit rate.
@@ -300,6 +303,7 @@ func ServerTable(s ServerStats) string {
 	b.WriteString(CacheLine(s.PlanCache))
 	b.WriteByte('\n')
 	b.WriteString(ResilienceLines(s.Resilience))
+	b.WriteString(MutationLines(s.Mutation))
 	if s.StorageHighWater.Relations > 0 {
 		b.WriteString("high-water ")
 		b.WriteString(StorageLine(s.StorageHighWater))

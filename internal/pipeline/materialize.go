@@ -1,0 +1,438 @@
+package pipeline
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/engine"
+	"factorlog/internal/faultinject"
+	"factorlog/internal/obsv"
+)
+
+// This file is the serving side of incremental view maintenance: a
+// Materializer owns the mutable base EDB, a log of mutation batches, and a
+// bounded registry of engine.Materializations keyed by (canonical query,
+// strategy). Mutations advance a global epoch; a query served from the
+// registry first refreshes its entry to the current epoch — a no-op when
+// already there ("hit"), an incremental catch-up when the logged batches
+// cover the gap ("delta"), and a from-scratch recompute otherwise
+// ("rebuild"; "build" the first time). Each refresh disposition, its wall
+// time, and its O(change)/O(db) ratio feed obsv.MutationStats.
+
+// ErrNotMaterializable reports a Serve for a strategy with no materialized
+// program (the top-down strategies). Gate with MaterializableStrategy.
+var ErrNotMaterializable = errors.New("strategy is not materializable")
+
+// MutationBatch is one effective mutation batch: the asserts and retracts
+// that actually changed the base EDB, tagged with the epoch the batch
+// produced. The log holds consecutive epochs; noop batches are not logged
+// and do not advance the epoch.
+type MutationBatch struct {
+	Epoch   int64
+	Assert  []ast.Atom
+	Retract []ast.Atom
+}
+
+// BatchResult reports what one Apply changed.
+type BatchResult struct {
+	// Epoch is the epoch after the batch (unchanged for a noop batch).
+	Epoch int64
+	// Asserted and Retracted count effective base-EDB changes; Noop*
+	// count entries that changed nothing (assert of a present fact,
+	// retract of an absent one).
+	Asserted, Retracted       int
+	NoopAsserts, NoopRetracts int
+}
+
+// Changed reports whether the batch changed the base EDB.
+func (r BatchResult) Changed() bool { return r.Asserted+r.Retracted > 0 }
+
+// MatResult is one materialized serve: the answers at the epoch they
+// reflect, plus how the entry was brought there.
+type MatResult struct {
+	Answers map[string]bool
+	// Epoch is the mutation epoch the answers reflect.
+	Epoch int64
+	// Kind is the refresh disposition: "hit" (already current), "delta"
+	// (caught up from logged batches), "rebuild" (recomputed from the
+	// base), or "build" (computed for the first time).
+	Kind string
+	// Batches is the number of logged batches a delta refresh replayed.
+	Batches int
+	// RefreshWall is the wall time of a non-hit refresh (0 on a hit).
+	RefreshWall time.Duration
+	// PlanHit reports whether the plan cache already had the compiled
+	// plan for this (query, strategy).
+	PlanHit bool
+}
+
+// MaterializerOptions bounds the registry.
+type MaterializerOptions struct {
+	// Entries bounds live materializations (LRU-evicted past it);
+	// 0 means 64.
+	Entries int
+	// LogLimit bounds retained mutation batches; entries further behind
+	// than the log reaches refresh by rebuild. 0 means 256.
+	LogLimit int
+	// Engine carries per-entry build and maintenance budgets
+	// (StartEpoch is overridden by the materializer).
+	Engine engine.MaterializeOptions
+}
+
+// matEntry is one registered materialization.
+type matEntry struct {
+	key         string
+	prog        *ast.Program // the program the strategy evaluates
+	query       ast.Atom     // the answer atom of that program
+	transformed bool         // read via AnswerSet vs. projection
+	pl          *Pipeline    // for ProjectAnswers on untransformed entries
+	mat         *engine.Materialization
+	elem        *list.Element
+}
+
+// Materializer owns the mutable base EDB and the materialization registry.
+// One lock guards the base, the log, and all refreshes: a refresh blocks
+// concurrent mutations and other materialized serves. That keeps the
+// epoch/log/entry invariants trivially consistent on a single-node ingest
+// path; finer-grained per-entry locking is future work.
+type Materializer struct {
+	mu          sync.Mutex
+	prog        *ast.Program
+	progHash    string
+	constraints []ast.Rule
+	plans       *PlanCache
+	arity       map[string]int
+
+	base    []ast.Atom
+	baseIdx map[string]int // atom.String() -> index in base
+	epoch   int64
+	log     []MutationBatch
+
+	entries map[string]*matEntry
+	order   *list.List // front = most recently served
+	opts    MaterializerOptions
+
+	batches, asserted, retracted    int64
+	noopAsserts, noopRetracts       int64
+	evictions, hitCount, deltaCount int64
+	rebuildCount, buildCount        int64
+	refreshWall                     *obsv.Histogram
+	changeRatio                     *obsv.ValueHistogram
+}
+
+// NewMaterializer builds a materializer over prog's base facts. The base
+// atoms must be ground with consistent arities (engine.ErrMutation
+// otherwise); duplicates collapse. plans may be shared with non-materialized
+// serving so compiled-plan reuse spans both paths.
+func NewMaterializer(prog *ast.Program, constraints []ast.Rule, base []ast.Atom,
+	plans *PlanCache, opts MaterializerOptions) (*Materializer, error) {
+	if opts.Entries <= 0 {
+		opts.Entries = 64
+	}
+	if opts.LogLimit <= 0 {
+		opts.LogLimit = 256
+	}
+	if plans == nil {
+		plans = NewPlanCache()
+	}
+	arity, err := prog.PredArities()
+	if err != nil {
+		return nil, err
+	}
+	m := &Materializer{
+		prog:        prog,
+		progHash:    HashProgram(prog, constraints),
+		constraints: constraints,
+		plans:       plans,
+		arity:       arity,
+		baseIdx:     map[string]int{},
+		entries:     map[string]*matEntry{},
+		order:       list.New(),
+		opts:        opts,
+		refreshWall: obsv.NewHistogram(),
+		changeRatio: obsv.NewValueHistogram(obsv.ChangeRatioBounds()),
+	}
+	for _, a := range base {
+		if err := m.checkAtom(a); err != nil {
+			return nil, err
+		}
+		k := a.String()
+		if _, dup := m.baseIdx[k]; dup {
+			continue
+		}
+		m.baseIdx[k] = len(m.base)
+		m.base = append(m.base, a)
+	}
+	return m, nil
+}
+
+// checkAtom validates one mutation atom: ground, and consistent with the
+// program's declared arity when the predicate is known. Unknown predicates
+// are legal — new EDB relations may appear by assertion — mirroring
+// engine.Materialization's validation.
+func (m *Materializer) checkAtom(a ast.Atom) error {
+	if !a.Ground() {
+		return fmt.Errorf("%w: %s is not ground", engine.ErrMutation, a)
+	}
+	if known, ok := m.arity[a.Pred]; ok && known != len(a.Args) {
+		return fmt.Errorf("%w: %s used with arity %d and %d",
+			engine.ErrMutation, a.Pred, known, len(a.Args))
+	}
+	return nil
+}
+
+// Epoch returns the current mutation epoch.
+func (m *Materializer) Epoch() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// BaseCount returns the number of live base facts.
+func (m *Materializer) BaseCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.base)
+}
+
+// BaseFacts returns a copy of the live base EDB — what a from-scratch
+// evaluation at the current epoch should load.
+func (m *Materializer) BaseFacts() []ast.Atom {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]ast.Atom(nil), m.base...)
+}
+
+// BaseSnapshot returns a copy of the live base EDB together with the epoch
+// it reflects, atomically — what a from-scratch evaluation should load and
+// the epoch its response should report.
+func (m *Materializer) BaseSnapshot() ([]ast.Atom, int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]ast.Atom(nil), m.base...), m.epoch
+}
+
+// Apply applies one mutation batch to the base EDB: retractions first,
+// then assertions, so a fact in both lists ends up present. Validation
+// rejects the whole batch before any change (engine.ErrMutation). An
+// effective batch advances the epoch and is appended to the log; a batch
+// of pure noops changes nothing. Registered materializations are not
+// touched — they catch up lazily on their next Serve.
+func (m *Materializer) Apply(assert, retract []ast.Atom) (BatchResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var res BatchResult
+	res.Epoch = m.epoch
+	for _, a := range assert {
+		if err := m.checkAtom(a); err != nil {
+			return res, err
+		}
+	}
+	for _, a := range retract {
+		if err := m.checkAtom(a); err != nil {
+			return res, err
+		}
+	}
+	var eff MutationBatch
+	for _, a := range retract {
+		k := a.String()
+		i, ok := m.baseIdx[k]
+		if !ok {
+			res.NoopRetracts++
+			continue
+		}
+		last := len(m.base) - 1
+		delete(m.baseIdx, k)
+		if i != last {
+			m.base[i] = m.base[last]
+			m.baseIdx[m.base[i].String()] = i
+		}
+		m.base = m.base[:last]
+		eff.Retract = append(eff.Retract, a)
+		res.Retracted++
+	}
+	for _, a := range assert {
+		k := a.String()
+		if _, ok := m.baseIdx[k]; ok {
+			res.NoopAsserts++
+			continue
+		}
+		m.baseIdx[k] = len(m.base)
+		m.base = append(m.base, a)
+		eff.Assert = append(eff.Assert, a)
+		res.Asserted++
+	}
+	m.noopAsserts += int64(res.NoopAsserts)
+	m.noopRetracts += int64(res.NoopRetracts)
+	if res.Changed() {
+		m.epoch++
+		eff.Epoch = m.epoch
+		m.log = append(m.log, eff)
+		if len(m.log) > m.opts.LogLimit {
+			m.log = append([]MutationBatch(nil), m.log[len(m.log)-m.opts.LogLimit:]...)
+		}
+		m.batches++
+		m.asserted += int64(res.Asserted)
+		m.retracted += int64(res.Retracted)
+	}
+	res.Epoch = m.epoch
+	return res, nil
+}
+
+// Serve answers query under strategy from the registry, refreshing (or
+// building) the entry to the current epoch first. The compiled plan comes
+// from the shared plan cache, so materialized serving keeps the plan-cache
+// counters meaningful.
+func (m *Materializer) Serve(ctx context.Context, query ast.Atom, strategy Strategy) (*MatResult, error) {
+	if !MaterializableStrategy(strategy) {
+		return nil, fmt.Errorf("%w: %v", ErrNotMaterializable, strategy)
+	}
+	plan, planHit, err := m.plans.Lookup(ctx, m.prog, m.progHash, m.constraints, query, strategy)
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := query.CanonicalKey() + "|" + strategy.String()
+	e := m.entries[key]
+	if e == nil {
+		prog, ansQuery, transformed, perr := plan.Pipeline().MaterializedProgram(strategy)
+		if perr != nil {
+			return nil, perr
+		}
+		e = &matEntry{key: key, prog: prog, query: ansQuery,
+			transformed: transformed, pl: plan.Pipeline()}
+		e.elem = m.order.PushFront(e)
+		m.entries[key] = e
+		for len(m.entries) > m.opts.Entries {
+			tail := m.order.Back()
+			victim := tail.Value.(*matEntry)
+			m.order.Remove(tail)
+			delete(m.entries, victim.key)
+			m.evictions++
+		}
+	} else {
+		m.order.MoveToFront(e.elem)
+	}
+
+	kind, batches, wall, err := m.refreshLocked(ctx, e)
+	if err != nil {
+		return nil, err
+	}
+	answers, err := m.answersLocked(e)
+	if err != nil {
+		return nil, err
+	}
+	return &MatResult{Answers: answers, Epoch: m.epoch, Kind: kind,
+		Batches: batches, RefreshWall: wall, PlanHit: planHit}, nil
+}
+
+// refreshLocked brings e to the current epoch. A failed refresh leaves the
+// entry's materialization dirty (or nil), so the next Serve rebuilds; the
+// base EDB is never affected (engine.Apply rolls it back inside the entry's
+// own copy only).
+func (m *Materializer) refreshLocked(ctx context.Context, e *matEntry) (kind string, batches int, wall time.Duration, err error) {
+	if e.mat != nil && !e.mat.Dirty() && e.mat.Epoch() == m.epoch {
+		m.hitCount++
+		return "hit", 0, 0, nil
+	}
+	defer func() {
+		// The MatRefresh fault and any maintenance panic surface here as a
+		// typed internal error; the dirty entry rebuilds on the next Serve.
+		if r := recover(); r != nil {
+			err = &engine.PanicError{Where: "refresh", Value: r, Stack: debug.Stack()}
+		}
+	}()
+	start := time.Now()
+	faultinject.Hit(faultinject.MatRefresh)
+
+	changed := 0
+	switch {
+	case e.mat != nil && !e.mat.Dirty() && m.logCoversLocked(e.mat.Epoch()):
+		kind = "delta"
+		first := int(e.mat.Epoch() + 1 - m.log[0].Epoch)
+		for _, b := range m.log[first:] {
+			st, aerr := e.mat.Apply(ctx, b.Assert, b.Retract)
+			if aerr != nil {
+				return kind, batches, 0, aerr
+			}
+			changed += st.Changed()
+			batches++
+		}
+		m.deltaCount++
+	default:
+		kind = "rebuild"
+		if e.mat == nil {
+			kind = "build"
+		}
+		opts := m.opts.Engine
+		opts.StartEpoch = m.epoch
+		mat, merr := engine.Materialize(e.prog, m.base, opts)
+		if merr != nil {
+			return kind, 0, 0, merr
+		}
+		e.mat = mat
+		changed = mat.DB().TotalFacts()
+		if kind == "build" {
+			m.buildCount++
+		} else {
+			m.rebuildCount++
+		}
+	}
+	wall = time.Since(start)
+	m.refreshWall.Observe(wall)
+	if total := e.mat.DB().TotalFacts(); total > 0 {
+		m.changeRatio.Observe(float64(changed) / float64(total))
+	}
+	return kind, batches, wall, nil
+}
+
+// logCoversLocked reports whether the batch log reaches back to the batch
+// after fromEpoch (log epochs are consecutive, ending at m.epoch).
+func (m *Materializer) logCoversLocked(fromEpoch int64) bool {
+	return len(m.log) > 0 && m.log[0].Epoch <= fromEpoch+1
+}
+
+// answersLocked reads e's answers: transformed entries hold them as tuples
+// of the rewritten query predicate; untransformed ones project the original
+// query's matches onto its free positions.
+func (m *Materializer) answersLocked(e *matEntry) (map[string]bool, error) {
+	if e.transformed {
+		return engine.AnswerSet(e.mat.DB(), e.query)
+	}
+	return e.pl.ProjectAnswers(e.mat.DB())
+}
+
+// Stats snapshots the mutation + materialization counters for /metrics.
+func (m *Materializer) Stats() obsv.MutationStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wall := *m.refreshWall
+	wall.BucketCounts = append([]int64(nil), m.refreshWall.BucketCounts...)
+	ratio := *m.changeRatio
+	ratio.BucketCounts = append([]int64(nil), m.changeRatio.BucketCounts...)
+	return obsv.MutationStats{
+		Epoch:          m.epoch,
+		BaseFacts:      len(m.base),
+		Batches:        m.batches,
+		FactsAsserted:  m.asserted,
+		FactsRetracted: m.retracted,
+		NoopAsserts:    m.noopAsserts,
+		NoopRetracts:   m.noopRetracts,
+		Entries:        len(m.entries),
+		Evictions:      m.evictions,
+		Hits:           m.hitCount,
+		Deltas:         m.deltaCount,
+		Rebuilds:       m.rebuildCount,
+		Builds:         m.buildCount,
+		RefreshWall:    &wall,
+		ChangeRatio:    &ratio,
+	}
+}

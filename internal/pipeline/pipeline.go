@@ -689,6 +689,71 @@ func (pl *Pipeline) runTransformed(s Strategy, prog *ast.Program, query ast.Atom
 	}, nil
 }
 
+// MaterializableStrategy reports whether s can serve from a materialized
+// database. Every bottom-up strategy qualifies — each evaluates a fixed
+// program whose fixpoint the materializer maintains across mutations. The
+// top-down strategies (TopDown, Tabled) prove goals on demand and have no
+// materialized view to maintain.
+func MaterializableStrategy(s Strategy) bool {
+	switch s {
+	case Naive, SemiNaive, Magic, SupplementaryMagic, Factored, FactoredOptimized, Counting:
+		return true
+	}
+	return false
+}
+
+// MaterializedProgram returns the program strategy s evaluates bottom-up
+// and the atom whose tuples are its answers. transformed reports whether
+// that atom is a rewritten query predicate — read with engine.AnswerSet —
+// or the original query, whose matching tuples must be projected onto the
+// free positions (ProjectAnswers). Top-down strategies return an error;
+// gate with MaterializableStrategy.
+func (pl *Pipeline) MaterializedProgram(s Strategy) (prog *ast.Program, query ast.Atom, transformed bool, err error) {
+	switch s {
+	case Naive, SemiNaive:
+		return pl.Program, pl.Query, false, nil
+	case Magic:
+		m, err := pl.MagicProgram()
+		if err != nil {
+			return nil, ast.Atom{}, false, err
+		}
+		return m.Program, m.Query, true, nil
+	case SupplementaryMagic:
+		sm, err := pl.SupplementaryMagicProgram()
+		if err != nil {
+			return nil, ast.Atom{}, false, err
+		}
+		return sm.Program, sm.Query, true, nil
+	case Factored:
+		fr, err := pl.FactoredProgram()
+		if err != nil {
+			return nil, ast.Atom{}, false, err
+		}
+		return fr.Program, fr.Query, true, nil
+	case FactoredOptimized:
+		opt, err := pl.OptimizedProgram()
+		if err != nil {
+			return nil, ast.Atom{}, false, err
+		}
+		fr, _ := pl.FactoredProgram()
+		return opt.Program, fr.Query, true, nil
+	case Counting:
+		c, err := pl.CountingProgram()
+		if err != nil {
+			return nil, ast.Atom{}, false, err
+		}
+		return c.Program, c.Query, true, nil
+	default:
+		return nil, ast.Atom{}, false, fmt.Errorf("strategy %v has no materialized program", s)
+	}
+}
+
+// ProjectAnswers projects db's tuples matching the original query onto its
+// free positions — the answer shape every strategy shares.
+func (pl *Pipeline) ProjectAnswers(db *engine.DB) (map[string]bool, error) {
+	return pl.projectedAnswers(db)
+}
+
 // projectedAnswers projects the original query's matching tuples onto the
 // free positions, matching the transformed strategies' answer shape.
 func (pl *Pipeline) projectedAnswers(db *engine.DB) (map[string]bool, error) {

@@ -1,0 +1,16 @@
+// Package resilience provides the engine-independent governance pieces of
+// the serving stack: a weighted admission limiter with a bounded,
+// deadline-aware wait queue. factorlogd threads every /query request
+// (weighted by its worker count) and every /facts mutation batch
+// (weight 1 — maintenance waves are sequential) through a Limiter so
+// overload sheds cleanly (a typed error the handler maps to 429 +
+// Retry-After) instead of piling goroutines onto the evaluator until the
+// process dies.
+//
+// The queue is strict FIFO — a heavy waiter at the head blocks lighter
+// ones behind it, trading a little utilization for no starvation — and
+// deadline-aware: a queued request whose context ends leaves with a typed
+// error rather than occupying a slot it can no longer use. Close flips
+// the limiter into draining (ErrLimiterClosed) for graceful shutdown.
+// Sizing guidance and the shed/drain semantics are in docs/RESILIENCE.md.
+package resilience

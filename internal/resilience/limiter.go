@@ -1,9 +1,3 @@
-// Package resilience provides the engine-independent governance pieces of
-// the serving stack: a weighted admission limiter with a bounded,
-// deadline-aware wait queue. factorlogd threads every /query request
-// through a Limiter so overload sheds cleanly (a typed error the handler
-// maps to 429 + Retry-After) instead of piling goroutines onto the
-// evaluator until the process dies.
 package resilience
 
 import (

@@ -1,9 +1,3 @@
-// Package workload generates the extensional databases used by the
-// experiments: chains, cycles, layered graphs, random digraphs, grids,
-// balanced trees (for same generation), lists (for pmem), and the
-// multi-column chain data of the separable-recursion experiments. All
-// generators are deterministic given their parameters (random ones take an
-// explicit seed).
 package workload
 
 import (
