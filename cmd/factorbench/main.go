@@ -10,6 +10,7 @@
 //	factorbench -json [-n N]       # machine-readable strategy metrics (BENCH_*.json)
 //	factorbench -json -workers 1,2,4,8   # one row per strategy x worker count
 //	factorbench -mutate [-json]    # incremental-vs-scratch view maintenance comparison
+//	factorbench -autoplan [-json]  # adaptive optimizer vs every fixed strategy
 //	factorbench -pprof-addr :6060  # serve net/http/pprof while running
 //
 // With -json, factorbench evaluates every strategy over the E1
@@ -20,11 +21,17 @@
 // the document also carries a stream_compare block pitting the streaming
 // executor against the materializing fixpoint on the layered non-recursive
 // join workload, with per-operator row counters from a traced streamed run.
-// With -mutate, a schema-v8 mutate_compare block additionally pits
+// With -mutate, a mutate_compare block (schema v8) additionally pits
 // incremental view maintenance (counting insertion deltas and deletions,
 // see docs/INCREMENTAL.md) against from-scratch recomputation under live
 // fact ingestion: tail-extension asserts on the chain TC and source-tuple
 // retracts on the layered joins, each differentially verified.
+// With -autoplan, a schema-v9 autoplan_compare block races the adaptive
+// cost-based optimizer (see docs/PLANNER.md) against every fixed candidate
+// strategy on three workload families with different best-fixed winners,
+// reporting per family the measured wall of each fixed strategy, the
+// optimizer's pick with its plan-search overhead, the candidate cost table,
+// and the ratio of the auto pick to the best fixed strategy.
 // The committed BENCH_*.json files are snapshots of this output.
 package main
 
@@ -42,6 +49,7 @@ import (
 	"time"
 
 	"factorlog/internal/ast"
+	"factorlog/internal/cost"
 	"factorlog/internal/engine"
 	"factorlog/internal/experiments"
 	"factorlog/internal/obsv"
@@ -63,6 +71,7 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiments")
 	jsonOut := fs.Bool("json", false, "emit a JSON metrics document for the strategy sweep")
 	mutate := fs.Bool("mutate", false, "with -json, add the incremental-vs-scratch mutate_compare block; alone, print it")
+	autoplan := fs.Bool("autoplan", false, "with -json, add the autoplan_compare block; alone, print it")
 	n := fs.Int("n", 256, "workload size for -json (chain length)")
 	workersList := fs.String("workers", "1", "comma-separated worker counts for -json (e.g. 1,2,4,8)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
@@ -91,7 +100,30 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return emitJSON(os.Stdout, *n, workers, *mutate)
+		return emitJSON(os.Stdout, *n, workers, *mutate, *autoplan)
+	}
+
+	if *autoplan {
+		ac, err := compareAutoplan(*n)
+		if err != nil {
+			return err
+		}
+		for _, f := range ac.Families {
+			fmt.Printf("%s  %s\n", f.Family, f.Query)
+			for _, r := range f.Fixed {
+				if r.Error != "" {
+					fmt.Printf("  %-14s unavailable: %s\n", r.Strategy, r.Error)
+					continue
+				}
+				fmt.Printf("  %-14s %10.3fms  %8d inferences\n",
+					r.Strategy, float64(r.WallNS)/1e6, r.Inferences)
+			}
+			fmt.Printf("  auto -> %s (%.3fms pick overhead), %.2fx best fixed (%s)\n",
+				f.Auto.Strategy, float64(f.PickWallNS)/1e6, f.RatioToBest, f.BestFixed)
+		}
+		fmt.Printf("global best fixed: %s; auto beats it on: %s\n",
+			ac.GlobalBestFixed, strings.Join(ac.AutoBeatsGlobalOn, ", "))
+		return nil
 	}
 
 	if *mutate {
@@ -155,6 +187,215 @@ type metricsDoc struct {
 	// comparison (see docs/INCREMENTAL.md), emitted with -mutate. New in
 	// schema v8.
 	MutateCompare *mutateCompare `json:"mutate_compare,omitempty"`
+	// AutoplanCompare races the adaptive cost-based optimizer against every
+	// fixed candidate strategy (see docs/PLANNER.md), emitted with
+	// -autoplan. New in schema v9.
+	AutoplanCompare *autoplanCompare `json:"autoplan_compare,omitempty"`
+}
+
+// autoplanCompare is the -autoplan block: per workload family, every fixed
+// candidate strategy's measured evaluation against the optimizer's pick.
+// The families are chosen so no single fixed strategy wins everywhere —
+// the bound chain TC rewards the factored rewrite, the free layered joins
+// reward plain semi-naive, and the selective wide-pairs probe rewards a
+// sideways-information-passing rewrite — so an adaptive pick must beat any
+// one fixed choice somewhere.
+type autoplanCompare struct {
+	Families []autoplanFamily `json:"families"`
+	// GlobalBestFixed is the fixed strategy with the lowest total
+	// best-relative wall ratio across the families it can run on all of;
+	// AutoBeatsGlobalOn lists the families where the auto pick's measured
+	// wall beats that strategy's.
+	GlobalBestFixed   string   `json:"global_best_fixed"`
+	AutoBeatsGlobalOn []string `json:"auto_beats_global_on"`
+}
+
+// autoplanFamily is one workload family's race. Fixed carries every
+// candidate strategy's measurement (min wall over reps); Auto is the
+// optimizer's pick measured the same way, with the one-time plan-search
+// overhead reported separately as PickWallNS.
+type autoplanFamily struct {
+	Family string        `json:"family"`
+	Query  string        `json:"query"`
+	Fixed  []autoplanRun `json:"fixed"`
+	Auto   autoplanRun   `json:"auto"`
+	// PickWallNS is the cost of the plan search itself (statistics
+	// snapshot + candidate enumeration), paid once per decision.
+	PickWallNS      int64  `json:"pick_wall_ns"`
+	BestFixed       string `json:"best_fixed"`
+	BestFixedWallNS int64  `json:"best_fixed_wall_ns"`
+	// RatioToBest is auto wall over best fixed wall: 1.0 means the
+	// optimizer picked (and matched) the per-family winner.
+	RatioToBest float64 `json:"ratio_to_best"`
+	// Candidates is the optimizer's estimated-cost table for the decision.
+	Candidates []pipeline.CandidateInfo `json:"candidates"`
+}
+
+// autoplanRun is one (family, strategy) measurement: best wall over the
+// reps plus the deterministic work counters from that run.
+type autoplanRun struct {
+	Strategy   string `json:"strategy"`
+	Error      string `json:"error,omitempty"`
+	WallNS     int64  `json:"wall_ns"`
+	Inferences int    `json:"inferences"`
+	Answers    int    `json:"answers"`
+}
+
+// autoplanWorkload is one family definition: a pipeline factory and a fresh
+// EDB per run.
+type autoplanWorkload struct {
+	family string
+	pl     *pipeline.Pipeline
+	load   func() *engine.DB
+}
+
+// autoplanWorkloads builds the three families. The chain length n comes
+// from -n; the other sizes are fixed so the family shapes (not the flag)
+// determine the winners.
+func autoplanWorkloads(n int) ([]autoplanWorkload, error) {
+	e1, e1load := experiments.E1Pipeline(n)
+
+	const stages = 4
+	jprog, err := parser.ParseProgram(workload.LayeredJoinProgram(stages))
+	if err != nil {
+		return nil, err
+	}
+	jn := n * 2
+	jpl := pipeline.New(jprog, workload.LayeredJoinQuery(stages))
+	jload := func() *engine.DB {
+		db := engine.NewDB()
+		workload.LayeredJoins(db, stages, jn, 2)
+		return db
+	}
+
+	wprog, err := parser.ParseProgram("hit(X, Y) :- w(X, Y).\nhit2(Y) :- hit(3, Y).")
+	if err != nil {
+		return nil, err
+	}
+	wq, err := parser.ParseAtom("hit2(Y)")
+	if err != nil {
+		return nil, err
+	}
+	wn := n * 40
+	wpl := pipeline.New(wprog, wq)
+	wload := func() *engine.DB {
+		db := engine.NewDB()
+		workload.WidePairs(db, "w", wn, 16)
+		return db
+	}
+
+	return []autoplanWorkload{
+		{family: "chain-tc", pl: e1, load: e1load},
+		{family: "layered-joins", pl: jpl, load: jload},
+		{family: "wide-pairs", pl: wpl, load: wload},
+	}, nil
+}
+
+// measureStrategy runs one (family, strategy) cell reps times over fresh
+// EDBs and keeps the best wall; the work counters are deterministic across
+// reps.
+func measureStrategy(w autoplanWorkload, s pipeline.Strategy, reorder bool, reps int) autoplanRun {
+	run := autoplanRun{Strategy: s.String()}
+	for rep := 0; rep < reps; rep++ {
+		r, err := w.pl.Run(s, w.load(), engine.Options{
+			MaxFacts: 10_000_000, ReorderJoins: reorder,
+		})
+		if err != nil {
+			return autoplanRun{Strategy: s.String(), Error: err.Error()}
+		}
+		if wall := r.EvalWall.Nanoseconds(); rep == 0 || wall < run.WallNS {
+			run.WallNS = wall
+		}
+		run.Inferences = r.Inferences
+		run.Answers = len(r.Answers)
+	}
+	return run
+}
+
+// compareAutoplan fills the autoplan_compare block: each family measures
+// every fixed candidate strategy and the adaptive pick (statistics from the
+// same EDB the runs use), then the cross-family summary names the best
+// single fixed strategy and where auto beats it.
+func compareAutoplan(n int) (*autoplanCompare, error) {
+	const reps = 5
+	workloads, err := autoplanWorkloads(n)
+	if err != nil {
+		return nil, err
+	}
+	ac := &autoplanCompare{}
+	// ratioByStrategy accumulates each always-available fixed strategy's
+	// wall relative to its family's best, for the global summary.
+	ratioByStrategy := map[string]float64{}
+	available := map[string]int{}
+	for _, w := range workloads {
+		fam := autoplanFamily{Family: w.family, Query: w.pl.Query.String()}
+
+		for _, s := range pipeline.AutoCandidateStrategies() {
+			run := measureStrategy(w, s, false, reps)
+			fam.Fixed = append(fam.Fixed, run)
+			if run.Error == "" && (fam.BestFixed == "" || run.WallNS < fam.BestFixedWallNS) {
+				fam.BestFixed = run.Strategy
+				fam.BestFixedWallNS = run.WallNS
+			}
+		}
+		if fam.BestFixed == "" {
+			return nil, fmt.Errorf("%s: no fixed candidate strategy succeeded", w.family)
+		}
+
+		t0 := time.Now()
+		dec, err := w.pl.AutoPick(cost.SnapshotFromDB(w.load(), 0))
+		fam.PickWallNS = time.Since(t0).Nanoseconds()
+		if err != nil {
+			return nil, fmt.Errorf("%s: auto pick: %w", w.family, err)
+		}
+		fam.Candidates = dec.Candidates
+		// When the pick matches a fixed cell's exact configuration, its
+		// measurement IS that cell's — re-racing the same plan would only
+		// report timer noise as a ratio.
+		fam.Auto = autoplanRun{Error: "unmeasured"}
+		if !dec.Reorder {
+			for _, run := range fam.Fixed {
+				if run.Strategy == dec.Strategy.String() && run.Error == "" {
+					fam.Auto = run
+				}
+			}
+		}
+		if fam.Auto.Error != "" {
+			fam.Auto = measureStrategy(w, dec.Strategy, dec.Reorder, reps)
+		}
+		if fam.Auto.Error != "" {
+			return nil, fmt.Errorf("%s: auto pick %s failed: %s", w.family, dec.Strategy, fam.Auto.Error)
+		}
+		fam.RatioToBest = float64(fam.Auto.WallNS) / float64(fam.BestFixedWallNS)
+
+		for _, run := range fam.Fixed {
+			if run.Error == "" {
+				ratioByStrategy[run.Strategy] += float64(run.WallNS) / float64(fam.BestFixedWallNS)
+				available[run.Strategy]++
+			}
+		}
+		ac.Families = append(ac.Families, fam)
+	}
+
+	// Global best fixed: lowest total relative wall among strategies that
+	// ran on every family (deterministic tie-break on candidate order).
+	for _, s := range pipeline.AutoCandidateStrategies() {
+		name := s.String()
+		if available[name] != len(ac.Families) {
+			continue
+		}
+		if ac.GlobalBestFixed == "" || ratioByStrategy[name] < ratioByStrategy[ac.GlobalBestFixed] {
+			ac.GlobalBestFixed = name
+		}
+	}
+	for _, fam := range ac.Families {
+		for _, run := range fam.Fixed {
+			if run.Strategy == ac.GlobalBestFixed && run.Error == "" && fam.Auto.WallNS < run.WallNS {
+				ac.AutoBeatsGlobalOn = append(ac.AutoBeatsGlobalOn, fam.Family)
+			}
+		}
+	}
+	return ac, nil
 }
 
 // mutateCompare measures live fact ingestion both ways: applying each
@@ -525,10 +766,10 @@ func parallelizable(s pipeline.Strategy) bool {
 	return true
 }
 
-func emitJSON(out *os.File, n int, workers []int, mutate bool) error {
+func emitJSON(out *os.File, n int, workers []int, mutate, autoplan bool) error {
 	pl, load := experiments.E1Pipeline(n)
 	doc := metricsDoc{
-		Schema:   "factorlog/metrics/v8",
+		Schema:   "factorlog/metrics/v9",
 		Tool:     "factorbench",
 		Workload: "E1 transitive closure, chain EDB",
 		N:        n,
@@ -577,6 +818,13 @@ func emitJSON(out *os.File, n int, workers []int, mutate bool) error {
 			return err
 		}
 		doc.MutateCompare = mc
+	}
+	if autoplan {
+		ac, err := compareAutoplan(n)
+		if err != nil {
+			return err
+		}
+		doc.AutoplanCompare = ac
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

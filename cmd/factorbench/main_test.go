@@ -67,7 +67,7 @@ func TestJSONMetrics(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &doc); err != nil {
 		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
 	}
-	if doc.Schema != "factorlog/metrics/v8" {
+	if doc.Schema != "factorlog/metrics/v9" {
 		t.Errorf("schema = %q", doc.Schema)
 	}
 	if doc.MutateCompare != nil {

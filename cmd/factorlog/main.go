@@ -16,7 +16,11 @@
 // factorlogd's POST /facts — see docs/INCREMENTAL.md).
 //
 // Strategies: naive, semi-naive, top-down, tabled, magic, sup-magic,
-// factored, factored+opt, counting.
+// factored, factored+opt, counting, auto. "auto" defers the choice to the
+// adaptive optimizer: the EDB's statistics are snapshotted, every eligible
+// fixed strategy is priced by the cost model, and the winner runs (see
+// docs/PLANNER.md); `run -explain -strategy auto` prints the candidate
+// table.
 //
 // Example:
 //
@@ -127,6 +131,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		if res.AutoPicked {
+			fmt.Printf("auto picked %s\n", res.Strategy)
+		}
 		fmt.Println(factorlog.FormatResult(res))
 		if *explainRun {
 			tc.Finish()
@@ -234,6 +241,9 @@ func proveAnswers(sys *factorlog.System) (string, error) {
 }
 
 func strategyByName(name string) (factorlog.Strategy, error) {
+	if name == factorlog.Auto.String() {
+		return factorlog.Auto, nil
+	}
 	for _, s := range factorlog.AllStrategies() {
 		if s.String() == name {
 			return s, nil
@@ -243,6 +253,7 @@ func strategyByName(name string) (factorlog.Strategy, error) {
 	for _, s := range factorlog.AllStrategies() {
 		names = append(names, s.String())
 	}
+	names = append(names, factorlog.Auto.String())
 	return 0, fmt.Errorf("unknown strategy %q (one of: %s)", name, strings.Join(names, ", "))
 }
 

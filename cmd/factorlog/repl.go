@@ -68,7 +68,7 @@ func repl(in io.Reader, out io.Writer) error {
 		case line == ":help":
 			fmt.Fprintln(out, "  <clause>.            add a rule or ground fact")
 			fmt.Fprintln(out, "  ?- atom.             evaluate a query")
-			fmt.Fprintln(out, "  :strategy NAME       switch strategy (current:", strategy, ")")
+			fmt.Fprintln(out, "  :strategy NAME       switch strategy, 'auto' = cost-based pick (current:", strategy, ")")
 			fmt.Fprintln(out, "  :profile             toggle per-query profiling (rule/round tables)")
 			fmt.Fprintln(out, "  :stats               show the last query's profile")
 			fmt.Fprintln(out, "  :budget N            cap derived facts per query (current:", budget, ")")
@@ -255,6 +255,9 @@ func repl(in io.Reader, out io.Writer) error {
 				continue
 			}
 			last = res
+			if res.AutoPicked {
+				fmt.Fprintln(out, "auto picked", res.Strategy)
+			}
 			if len(res.Answers) == 0 {
 				fmt.Fprintln(out, "no answers")
 			} else {

@@ -221,7 +221,7 @@ func TestFactsMetricsAndHealth(t *testing.T) {
 	}
 	answersOf(t, ts, "t(5,Y)", "magic")
 
-	// JSON metrics: schema v8, mutation block populated.
+	// JSON metrics: schema v9, mutation block populated.
 	resp, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
@@ -231,8 +231,8 @@ func TestFactsMetricsAndHealth(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if stats.Schema != "factorlog/metrics/v8" {
-		t.Errorf("schema = %q, want factorlog/metrics/v8", stats.Schema)
+	if stats.Schema != "factorlog/metrics/v9" {
+		t.Errorf("schema = %q, want factorlog/metrics/v9", stats.Schema)
 	}
 	m := stats.Mutation
 	if m.Epoch != 1 || m.Batches != 1 || m.FactsAsserted != 1 || m.FactsRetracted != 1 || m.NoopRetracts != 1 {

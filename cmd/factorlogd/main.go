@@ -21,9 +21,17 @@
 //	GET  /healthz  liveness + program fingerprint (200 even while draining)
 //	GET  /readyz   readiness: 200 after warmup, 503 while warming up or draining
 //	GET  /metrics  Prometheus text exposition (?format=json for the
-//	               factorlog/metrics/v8 document, ?format=text for a table)
+//	               factorlog/metrics/v9 document, ?format=text for a table)
 //	GET  /debug/slowlog      recent slow queries, newest first
 //	GET  /debug/trace/{id}   one finished trace by query ID (?format=text for a profile)
+//
+// strategy=auto (per request or as -strategy auto) defers the choice to the
+// adaptive cost-based optimizer: the base EDB's statistics are snapshotted,
+// every eligible fixed strategy is priced, and the winner serves the query
+// (the response reports it under "strategy" with "auto":true). Decisions are
+// remembered per query shape and shadow re-costed as /facts batches advance
+// the epoch; /metrics reports picks, re-costs, and re-picks under
+// plan_search (see docs/PLANNER.md).
 //
 // The EDB is mutable at runtime: POST /facts asserts and retracts ground
 // facts in atomic batches, each effective batch advancing a monotone epoch
@@ -80,7 +88,7 @@ func run(args []string) error {
 	programFile := fs.String("program", "", "Datalog program file (rules, optional facts and ?- queries)")
 	edbFile := fs.String("edb", "", "file of additional ground facts")
 	constraintsFile := fs.String("constraints", "", "file of full-TGD EDB constraints")
-	strategyName := fs.String("strategy", "magic", "default evaluation strategy")
+	strategyName := fs.String("strategy", "magic", "default evaluation strategy ('auto' = cost-based pick per query)")
 	workers := fs.Int("workers", 1, "default evaluation workers (>1 = parallel stratified semi-naive)")
 	budget := fs.Int("budget", 0, "max derived facts per query (0 = unlimited)")
 	maxBytes := fs.Int64("max-bytes", 0, "max arena+index bytes per query evaluation (0 = unlimited)")

@@ -27,8 +27,10 @@ import (
 // factorbench evaluation-metrics schemas, v3 lacked storage_high_water and
 // per-span allocation counters, v4 lacked the resilience block (admission,
 // panics, degradations, memory-budget stops, drains), v5 lacked the
-// mutation block (epoch, /facts counters, materialization refreshes).
-const metricsSchema = "factorlog/metrics/v8"
+// mutation block (epoch, /facts counters, materialization refreshes), v8
+// lacked the plan_search block (the adaptive optimizer's pick/re-cost
+// counters).
+const metricsSchema = "factorlog/metrics/v9"
 
 // errDraining is the cancel cause propagated into in-flight evaluations
 // when shutdown begins; handlers translate it to a typed 503 body.
@@ -115,7 +117,11 @@ type server struct {
 	mat      *pipeline.Materializer
 	matServe bool
 
-	cache       *pipeline.PlanCache
+	cache *pipeline.PlanCache
+	// planner resolves strategy=auto requests: EDB statistics from the
+	// materializer's base, candidate enumeration over the plan cache, and
+	// shadow re-costing as /facts batches advance the epoch.
+	planner     *pipeline.AutoPlanner
 	defStrategy pipeline.Strategy
 	defOpts     engine.Options
 	timeout     time.Duration
@@ -202,6 +208,8 @@ func newServer(src, constraints string, cfg config) (*server, error) {
 		mat:         mat,
 		matServe:    cfg.materialize,
 		cache:       cache,
+		planner: pipeline.NewAutoPlanner(prog, tgds, cache,
+			pipeline.SnapshotSource(mat), pipeline.AutoPolicy{}),
 		defStrategy: strategy,
 		defOpts: engine.Options{
 			Workers:  cfg.workers,
@@ -240,6 +248,12 @@ func (s *server) beginDrain() {
 func (s *server) warmup() []string {
 	var warns []string
 	for _, q := range s.declared {
+		if s.defStrategy == pipeline.Auto {
+			if _, err := s.planner.Choose(context.Background(), q); err != nil {
+				warns = append(warns, fmt.Sprintf("%s: %v", q, err))
+			}
+			continue
+		}
 		if _, _, err := s.cache.Lookup(context.Background(), s.prog, s.hash, s.constraints, q, s.defStrategy); err != nil {
 			warns = append(warns, fmt.Sprintf("%s: %v", q, err))
 		}
@@ -309,6 +323,11 @@ type queryResponse struct {
 	// streaming counters when it is "stream".
 	Executor string            `json:"executor,omitempty"`
 	Stream   *obsv.StreamStats `json:"stream,omitempty"`
+	// Auto reports the request asked for strategy=auto; Strategy above is
+	// then the optimizer's pick. Repicked marks a response whose served plan
+	// was just invalidated and re-chosen by shadow re-costing.
+	Auto     bool `json:"auto,omitempty"`
+	Repicked bool `json:"repicked,omitempty"`
 }
 
 type errorResponse struct {
@@ -510,6 +529,21 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 
+	// strategy=auto: the planner resolves the request to a concrete
+	// strategy — a remembered decision while its statistics stay fresh, a
+	// (shadow re-costed) plan search otherwise. The rest of the handler
+	// serves the winner exactly as if the client had asked for it.
+	var auto *pipeline.AutoServe
+	if strategy == pipeline.Auto {
+		auto, err = s.planner.Choose(ctx, query)
+		if err != nil {
+			s.failEval(w, ctx, qid, pipeline.Auto.String(), compileStatus(err), err)
+			return
+		}
+		strategy = auto.Strategy
+		opts.ReorderJoins = auto.Reorder
+	}
+
 	// Materialized serving: eligible plain queries answer from the
 	// incrementally-maintained registry, which refreshes the entry to the
 	// current epoch first (see internal/pipeline.Materializer). EXPLAIN and
@@ -539,26 +573,40 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Epoch:         mres.Epoch,
 			Materialized:  mres.Kind,
 			RefreshWallNS: mres.RefreshWall.Nanoseconds(),
+			Auto:          auto != nil,
+			Repicked:      auto != nil && auto.Repicked,
 		})
 		return
 	}
 
-	plan, hit, err := s.cache.Lookup(ctx, s.prog, s.hash, s.constraints, query, strategy)
-	if err != nil {
-		s.failEval(w, ctx, qid, strategy.String(), compileStatus(err), err)
-		return
+	var plan *pipeline.Plan
+	var hit bool
+	if auto != nil {
+		// The planner already holds the winner's compiled plan.
+		plan, hit = auto.Plan, auto.PlanHit
+	} else {
+		plan, hit, err = s.cache.Lookup(ctx, s.prog, s.hash, s.constraints, query, strategy)
+		if err != nil {
+			s.failEval(w, ctx, qid, strategy.String(), compileStatus(err), err)
+			return
+		}
 	}
 	disposition := planCacheInfo{
 		Disposition:   cacheLabel(hit),
 		CompileWallNS: plan.CompileWall.Nanoseconds(),
 	}
 
-	// EXPLAIN (plan): describe the compiled plan without evaluating.
+	// EXPLAIN (plan): describe the compiled plan without evaluating. An
+	// auto-resolved request additionally carries the planner's candidate
+	// table.
 	if req.Explain == "plan" {
 		info, err := plan.Pipeline().Explain(strategy)
 		if err != nil {
 			s.failEval(w, ctx, qid, strategy.String(), compileStatus(err), err)
 			return
+		}
+		if auto != nil {
+			info.Candidates = auto.Candidates
 		}
 		writeJSON(w, http.StatusOK, explainResponse{
 			QueryID: qid, Mode: "plan", Plan: info, PlanCache: disposition,
@@ -571,6 +619,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// one allocation) so a slow untraced query still lands in the slowlog
 	// with its ID and wall time; the per-span overhead is gated on Span.
 	tc := trace.New(qid)
+	// The root span notes the chosen strategy, so a slowlog or trace entry
+	// says what plan actually served the query — for auto requests, the
+	// optimizer's pick, not "auto".
+	tc.Root().SetNote("strategy=" + strategy.String())
 	analyze := req.Explain == "analyze"
 	sampled := s.sampler.Sample()
 	if analyze || sampled {
@@ -599,6 +651,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.degraded++
 		s.mu.Unlock()
 	}
+	// Calibrate the planner with what the run actually derived, so the next
+	// shadow re-cost of this query shape prices against measured rows.
+	if auto != nil && len(res.Rules) > 0 {
+		s.planner.Observe(query, res.Program, res.Rules)
+	}
 	total := time.Since(start)
 	tc.Finish()
 	s.recordTrace(tc, opts.Span != nil, total)
@@ -619,12 +676,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Degraded:    res.Degraded,
 		Executor:    res.Executor,
 		Stream:      res.Stream,
+		Auto:        auto != nil,
+		Repicked:    auto != nil && auto.Repicked,
 	}
 	if analyze {
 		info, err := plan.Pipeline().Explain(strategy)
 		if err != nil {
 			s.failEval(w, ctx, qid, strategy.String(), compileStatus(err), err)
 			return
+		}
+		if auto != nil {
+			info.Candidates = auto.Candidates
 		}
 		snap := tc.Snapshot()
 		writeJSON(w, http.StatusOK, explainResponse{
@@ -790,6 +852,8 @@ func cacheLabel(hit bool) string {
 
 func statusForError(err error) int {
 	switch {
+	case errors.Is(err, pipeline.ErrAutoUnsupported):
+		return http.StatusBadRequest
 	case errors.Is(err, engine.ErrDeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, engine.ErrCanceled):
@@ -962,13 +1026,14 @@ func (s *server) snapshot() obsv.ServerStats {
 			MemoryBudgetStops: s.memStops,
 			Drained:           s.drained,
 		},
-		Mutation: s.mat.Stats(),
+		Mutation:   s.mat.Stats(),
+		PlanSearch: s.planner.Stats(),
 	}
 }
 
 // handleMetrics serves Prometheus text exposition by default (what scrapers
 // expect of a /metrics endpoint); ?format=json keeps the structured
-// factorlog/metrics/v8 document and ?format=text the human-readable table.
+// factorlog/metrics/v9 document and ?format=text the human-readable table.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	stats := s.snapshot()
 	switch r.URL.Query().Get("format") {
@@ -1035,6 +1100,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func strategyByName(name string) (pipeline.Strategy, error) {
+	if name == pipeline.Auto.String() {
+		return pipeline.Auto, nil
+	}
 	for _, s := range pipeline.AllStrategies() {
 		if s.String() == name {
 			return s, nil
@@ -1044,5 +1112,6 @@ func strategyByName(name string) (pipeline.Strategy, error) {
 	for _, s := range pipeline.AllStrategies() {
 		names = append(names, s.String())
 	}
+	names = append(names, pipeline.Auto.String())
 	return 0, fmt.Errorf("unknown strategy %q (one of: %s)", name, strings.Join(names, ", "))
 }

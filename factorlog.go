@@ -35,6 +35,7 @@ import (
 
 	"factorlog/internal/ast"
 	"factorlog/internal/core"
+	"factorlog/internal/cost"
 	"factorlog/internal/cq"
 	"factorlog/internal/engine"
 	"factorlog/internal/obsv"
@@ -58,9 +59,16 @@ const (
 	Counting           = pipeline.Counting
 	TopDown            = pipeline.TopDown
 	Tabled             = pipeline.Tabled
+	// Auto defers the choice to the adaptive optimizer: Run snapshots the
+	// EDB's statistics, prices the eligible fixed strategies with the cost
+	// model, and evaluates the winner (Result.Strategy reports which;
+	// Result.Candidates the full table). See docs/PLANNER.md.
+	Auto = pipeline.Auto
 )
 
-// AllStrategies lists every strategy in presentation order.
+// AllStrategies lists every fixed strategy in presentation order. Auto is
+// deliberately absent: it resolves to one of these, so sweeping it alongside
+// them would double-count its winner.
 func AllStrategies() []Strategy { return pipeline.AllStrategies() }
 
 // ErrNoQuery is returned by Load when the source contains no ?- query.
@@ -69,6 +77,14 @@ var ErrNoQuery = errors.New("factorlog: source contains no query (?- ...)")
 // ErrNotFactorable is returned by Run/Explain for the factored strategies
 // when no theorem of the paper certifies the factoring.
 var ErrNotFactorable = core.ErrNotFactorable
+
+// ErrAutoUnsupported is returned by Run(Auto, ...) on surfaces that need a
+// caller-fixed strategy (e.g. provenance evaluation); test with errors.Is.
+var ErrAutoUnsupported = pipeline.ErrAutoUnsupported
+
+// CandidateInfo re-exports one row of the Auto planner's candidate table;
+// see pipeline.CandidateInfo for field documentation.
+type CandidateInfo = pipeline.CandidateInfo
 
 // ErrBudgetExceeded is returned (wrapped) by Run when an evaluation exceeds
 // the WithBudget limits; test with errors.Is to distinguish budget stops
@@ -341,6 +357,10 @@ type Result struct {
 	// the streaming counters when Executor is "stream"; nil otherwise.
 	Executor string
 	Stream   *StreamStats
+	// AutoPicked reports that the run was requested as Auto and Strategy is
+	// the optimizer's pick; Candidates is the table it chose from.
+	AutoPicked bool
+	Candidates []CandidateInfo
 
 	raw *pipeline.RunResult
 }
@@ -388,6 +408,8 @@ func newResult(r *pipeline.RunResult) *Result {
 		Degraded:    r.Degraded,
 		Executor:    r.Executor,
 		Stream:      r.Stream,
+		AutoPicked:  r.AutoPicked,
+		Candidates:  r.Candidates,
 		raw:         r,
 	}
 }
@@ -492,6 +514,12 @@ func (s *System) Explain(strategy Strategy) (*Explanation, error) {
 			return nil, err
 		}
 		return &Explanation{Strategy: strategy, Program: c.Program.String()}, nil
+	case Auto:
+		dec, err := s.pl.AutoPick(cost.SnapshotFromAtoms(s.baseEDB, 0))
+		if err != nil {
+			return nil, err
+		}
+		return s.Explain(dec.Strategy)
 	default:
 		return nil, fmt.Errorf("unknown strategy %v", strategy)
 	}
@@ -503,8 +531,23 @@ type PlanInfo = pipeline.ExplainInfo
 
 // Plan compiles strategy (memoized, like Prepare) and describes the
 // resulting plan; render it with PlanInfo.Text or JSON-marshal it. It fails
-// where Run would fail to transform.
+// where Run would fail to transform. Plan(Auto) runs the plan search over
+// the Load source's facts, explains the winner, and attaches the candidate
+// table (servers with live EDBs substitute their own statistics; see
+// cmd/factorlogd).
 func (s *System) Plan(strategy Strategy) (*PlanInfo, error) {
+	if strategy == Auto {
+		dec, err := s.pl.AutoPick(cost.SnapshotFromAtoms(s.baseEDB, 0))
+		if err != nil {
+			return nil, err
+		}
+		info, err := s.pl.Explain(dec.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		info.Candidates = dec.Candidates
+		return info, nil
+	}
 	return s.pl.Explain(strategy)
 }
 

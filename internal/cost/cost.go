@@ -1,0 +1,198 @@
+// Package cost implements the statistics and cost-model half of the
+// adaptive optimizer (ROADMAP item 4): a Snapshot captures the EDB's shape
+// — per-relation cardinalities, per-column distinct counts, arena and index
+// load factors — and EstimateProgram prices a candidate program against it
+// with textbook join/probe/delta estimates. The planner in
+// internal/pipeline enumerates rewrite candidates (magic, supplementary
+// magic, factoring, §5 clean-up, counting) × body-literal orderings and
+// ranks them by these estimates; see docs/PLANNER.md.
+package cost
+
+import (
+	"sort"
+
+	"factorlog/internal/ast"
+	"factorlog/internal/engine"
+	"factorlog/internal/obsv"
+)
+
+// ColumnStats describes one argument position of a relation.
+type ColumnStats struct {
+	// Distinct counts distinct values in the column.
+	Distinct int `json:"distinct"`
+}
+
+// RelationStats describes one base relation at snapshot time.
+type RelationStats struct {
+	// Pred is the predicate name; Rows its live cardinality.
+	Pred string `json:"pred"`
+	Rows int    `json:"rows"`
+	// Columns holds per-column distinct counts, one entry per argument
+	// position.
+	Columns []ColumnStats `json:"columns,omitempty"`
+	// ArenaBytes/IndexBytes/PresentLoad/IndexLoad/Indexes mirror
+	// engine.Relation.StorageFootprint for snapshots taken from an arena
+	// (SnapshotFromDB); zero for snapshots taken from an atom list.
+	ArenaBytes  int64   `json:"arena_bytes,omitempty"`
+	IndexBytes  int64   `json:"index_bytes,omitempty"`
+	PresentLoad float64 `json:"present_load,omitempty"`
+	IndexLoad   float64 `json:"index_load,omitempty"`
+	Indexes     int     `json:"indexes,omitempty"`
+}
+
+// Snapshot is a point-in-time statistical summary of an EDB, the input the
+// cost model prices candidate plans against.
+type Snapshot struct {
+	// Epoch is the mutation epoch the snapshot reflects (0 when the source
+	// has no epoch notion).
+	Epoch int64 `json:"epoch"`
+	// Mutations is the cumulative count of effective assert/retract rows at
+	// snapshot time; the shadow re-coster uses the delta since the last
+	// decision as its change-ratio trigger.
+	Mutations int64 `json:"mutations,omitempty"`
+	// TotalRows sums the live rows of every relation.
+	TotalRows int `json:"total_rows"`
+	// Relations maps predicate name to its statistics.
+	Relations map[string]RelationStats `json:"relations"`
+	// Observed carries measured row counts from earlier evaluations (rule
+	// pass statistics folded in by ObserveRuleStats). The model uses an
+	// observed count as the floor for that predicate's estimate, so
+	// re-costing after real runs is calibrated by what actually happened.
+	Observed map[string]float64 `json:"observed,omitempty"`
+}
+
+// Rel returns the statistics for pred, if present.
+func (s *Snapshot) Rel(pred string) (RelationStats, bool) {
+	r, ok := s.Relations[pred]
+	return r, ok
+}
+
+// Preds lists the snapshotted predicates sorted by name.
+func (s *Snapshot) Preds() []string {
+	out := make([]string, 0, len(s.Relations))
+	for p := range s.Relations {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SnapshotFromAtoms summarizes a ground-atom EDB (the Materializer's base
+// fact list). Columns are compared by rendered term, so compound terms
+// count correctly. Atoms of inconsistent arity contribute rows but no
+// column stats past the shortest arity seen.
+func SnapshotFromAtoms(facts []ast.Atom, epoch int64) *Snapshot {
+	snap := &Snapshot{Epoch: epoch, Relations: map[string]RelationStats{}}
+	distinct := map[string][]map[string]struct{}{}
+	for _, a := range facts {
+		rs := snap.Relations[a.Pred]
+		rs.Pred = a.Pred
+		rs.Rows++
+		cols := distinct[a.Pred]
+		if cols == nil {
+			cols = make([]map[string]struct{}, len(a.Args))
+			for i := range cols {
+				cols[i] = map[string]struct{}{}
+			}
+			distinct[a.Pred] = cols
+		}
+		for i, t := range a.Args {
+			if i < len(cols) {
+				cols[i][t.String()] = struct{}{}
+			}
+		}
+		snap.Relations[a.Pred] = rs
+		snap.TotalRows++
+	}
+	for pred, cols := range distinct {
+		rs := snap.Relations[pred]
+		rs.Columns = make([]ColumnStats, len(cols))
+		for i, set := range cols {
+			rs.Columns[i] = ColumnStats{Distinct: len(set)}
+		}
+		snap.Relations[pred] = rs
+	}
+	return snap
+}
+
+// SnapshotFromDB summarizes every relation of an arena-backed database:
+// live cardinalities, per-column distinct counts over the interned values,
+// and the relation's storage footprint (arena/index bytes and hash-table
+// load factors). Dead rows (retracted under counting maintenance) are
+// skipped.
+func SnapshotFromDB(db *engine.DB, epoch int64) *Snapshot {
+	snap := &Snapshot{Epoch: epoch, Relations: map[string]RelationStats{}}
+	for _, pred := range db.Preds() {
+		rel := db.Lookup(pred)
+		if rel == nil {
+			continue
+		}
+		rs := RelationStats{Pred: pred}
+		rs.ArenaBytes, rs.IndexBytes, rs.PresentLoad, rs.IndexLoad, rs.Indexes = rel.StorageFootprint()
+		arity := rel.Arity()
+		cols := make([]map[engine.Val]struct{}, arity)
+		for i := range cols {
+			cols[i] = map[engine.Val]struct{}{}
+		}
+		for pos := int32(0); pos < int32(rel.Len()); pos++ {
+			if rel.Round(pos) < 0 {
+				continue // dead row
+			}
+			rs.Rows++
+			for i, v := range rel.Tuple(pos) {
+				cols[i][v] = struct{}{}
+			}
+		}
+		rs.Columns = make([]ColumnStats, arity)
+		for i, set := range cols {
+			rs.Columns[i] = ColumnStats{Distinct: len(set)}
+		}
+		snap.Relations[pred] = rs
+		snap.TotalRows += rs.Rows
+	}
+	return snap
+}
+
+// WithObserved returns a shallow copy of the snapshot with observed row
+// counts overlaid (existing entries are kept unless the new map has a
+// larger value). The receiver is not modified.
+func (s *Snapshot) WithObserved(observed map[string]float64) *Snapshot {
+	if len(observed) == 0 {
+		return s
+	}
+	out := *s
+	out.Observed = make(map[string]float64, len(s.Observed)+len(observed))
+	for p, v := range s.Observed {
+		out.Observed[p] = v
+	}
+	for p, v := range observed {
+		if v > out.Observed[p] {
+			out.Observed[p] = v
+		}
+	}
+	return &out
+}
+
+// ObserveRuleStats folds an evaluation's per-rule statistics into an
+// observed-rows map: each rule's derived count accumulates on its head
+// predicate, and the result keeps the maximum of the accumulated and any
+// existing entry. prog must be the program the rules were measured over
+// (RuleStats.Index addresses its rule list).
+func ObserveRuleStats(observed map[string]float64, prog *ast.Program, rules []obsv.RuleStats) map[string]float64 {
+	if observed == nil {
+		observed = map[string]float64{}
+	}
+	derived := map[string]float64{}
+	for _, rs := range rules {
+		if rs.Index < 0 || rs.Index >= len(prog.Rules) {
+			continue
+		}
+		derived[prog.Rules[rs.Index].Head.Pred] += float64(rs.TuplesDerived)
+	}
+	for pred, v := range derived {
+		if v > observed[pred] {
+			observed[pred] = v
+		}
+	}
+	return observed
+}

@@ -1,0 +1,307 @@
+package cost
+
+import (
+	"math"
+
+	"factorlog/internal/ast"
+)
+
+// Model knobs. The absolute numbers matter less than the ordering they
+// induce between candidate programs over the same snapshot: estimates are
+// compared against each other, never against wall clocks.
+const (
+	// maxIters bounds the cardinality fixpoint; estimates that still grow
+	// past it are treated as converged at their cap.
+	maxIters = 32
+	// capRows is the absolute ceiling on any single predicate estimate,
+	// keeping the fixpoint finite on pathological programs.
+	capRows = 1e15
+	// ruleOverhead is the fixed per-rule, per-round bookkeeping charge. It
+	// breaks ties toward smaller programs: a rewrite that adds rules must
+	// pay for them with join savings.
+	ruleOverhead = 2.0
+	// convergedSlack stops the fixpoint when no estimate grew by more than
+	// this factor in a round.
+	convergedSlack = 1.01
+)
+
+// Estimate prices one candidate program against a snapshot.
+type Estimate struct {
+	// Cost approximates total evaluation work: tuples scanned and probed
+	// across all joins at the converged cardinalities, plus per-rule round
+	// overhead. Unitless; comparable across candidates for one query.
+	Cost float64 `json:"cost"`
+	// Rows is the estimated total derived (IDB) row count.
+	Rows float64 `json:"rows"`
+	// Rounds is the number of fixpoint iterations the cardinality estimates
+	// took to converge — a proxy for the recursion depth the semi-naive
+	// evaluator will pay.
+	Rounds int `json:"rounds"`
+}
+
+// predEst is the evolving estimate for one predicate: row count and
+// per-column distinct counts.
+type predEst struct {
+	rows     float64
+	distinct []float64
+}
+
+// estimator carries the fixpoint state for one EstimateProgram call.
+type estimator struct {
+	prog    *ast.Program
+	idb     map[string]bool
+	est     map[string]*predEst
+	reorder bool
+}
+
+// EstimateProgram prices prog — the exact program a strategy evaluates
+// bottom-up, magic/factoring/counting rewrites included — against snap.
+//
+// The model is a standard cardinality fixpoint: EDB predicates start at
+// their snapshotted rows and per-column distinct counts; IDB estimates grow
+// monotonically, each rule's output priced as a left-to-right join whose
+// per-literal match count is rows scaled by 1/distinct for every
+// bound column (System R's independence assumption). Outputs are capped by
+// the product of the head columns' domain sizes — that cap is what lets the
+// model see the paper's point: a factored (arity-reduced) predicate has a
+// structurally smaller ceiling than the relation it replaced. With reorder
+// set, each rule body is greedily reordered most-bound-first, mirroring
+// engine.Options.ReorderJoins.
+func EstimateProgram(prog *ast.Program, snap *Snapshot, reorder bool) Estimate {
+	e := &estimator{
+		prog:    prog,
+		idb:     prog.IDBPreds(),
+		est:     map[string]*predEst{},
+		reorder: reorder,
+	}
+	// Seed every predicate the program mentions: snapshot stats where we
+	// have them (base relations), zero rows otherwise. An IDB predicate
+	// with snapshotted base facts starts from them and grows.
+	seed := func(pred string, arity int) {
+		if _, ok := e.est[pred]; ok {
+			return
+		}
+		pe := &predEst{distinct: make([]float64, arity)}
+		if rs, ok := snap.Rel(pred); ok && rs.Rows > 0 {
+			pe.rows = float64(rs.Rows)
+			for i := range pe.distinct {
+				if i < len(rs.Columns) && rs.Columns[i].Distinct > 0 {
+					pe.distinct[i] = float64(rs.Columns[i].Distinct)
+				} else {
+					pe.distinct[i] = pe.rows
+				}
+			}
+		}
+		if obs := snap.Observed[pred]; obs > pe.rows {
+			pe.rows = obs
+			for i := range pe.distinct {
+				if pe.distinct[i] < obs {
+					pe.distinct[i] = obs
+				}
+			}
+		}
+		e.est[pred] = pe
+	}
+	for _, r := range prog.Rules {
+		seed(r.Head.Pred, len(r.Head.Args))
+		for _, a := range r.Body {
+			seed(a.Pred, len(a.Args))
+		}
+	}
+
+	rounds := 0
+	for iter := 0; iter < maxIters; iter++ {
+		rounds = iter + 1
+		if !e.step() {
+			break
+		}
+	}
+
+	var cost, rows float64
+	for _, r := range e.prog.Rules {
+		_, c := e.ruleEstimate(r)
+		cost += c + ruleOverhead*float64(rounds)
+	}
+	for pred, pe := range e.est {
+		if e.idb[pred] {
+			rows += pe.rows
+		}
+	}
+	return Estimate{Cost: cost, Rows: rows, Rounds: rounds}
+}
+
+// step runs one fixpoint round: every rule's output estimate accumulates on
+// its head predicate (monotonically — estimates only grow). It reports
+// whether any estimate grew beyond the convergence slack.
+func (e *estimator) step() bool {
+	outBy := map[string]float64{}
+	colBy := map[string][]float64{}
+	for _, r := range e.prog.Rules {
+		out, _ := e.ruleEstimate(r)
+		outBy[r.Head.Pred] += out
+		cols := colBy[r.Head.Pred]
+		if cols == nil {
+			cols = make([]float64, len(r.Head.Args))
+			colBy[r.Head.Pred] = cols
+		}
+		for i := range r.Head.Args {
+			if d := e.headColDomain(r, i); d > cols[i] {
+				cols[i] = d
+			}
+		}
+	}
+	changed := false
+	for pred, out := range outBy {
+		pe := e.est[pred]
+		out = math.Min(out, capRows)
+		if out > pe.rows*convergedSlack {
+			changed = true
+		}
+		if out > pe.rows {
+			pe.rows = out
+		}
+		for i, d := range colBy[pred] {
+			d = math.Min(d, pe.rows)
+			if d < 1 && pe.rows >= 1 {
+				d = 1
+			}
+			if d > pe.distinct[i] {
+				pe.distinct[i] = d
+			}
+		}
+	}
+	return changed
+}
+
+// ruleEstimate prices one rule at the current estimates: the join's output
+// cardinality and its cost (tuples scanned plus probe results materialized,
+// accumulated left to right over the chosen body order).
+func (e *estimator) ruleEstimate(r ast.Rule) (out, cost float64) {
+	if len(r.Body) == 0 {
+		return 1, 1 // a fact (seed rules carry the query's bound constants)
+	}
+	order := r.Body
+	if e.reorder {
+		order = e.greedyOrder(r.Body)
+	}
+	bound := map[string]bool{}
+	frontier := 1.0
+	for _, a := range order {
+		matches := e.literalMatches(a, bound)
+		cost += frontier * (1 + matches) // probe + results per frontier tuple
+		frontier *= matches
+		frontier = math.Min(frontier, capRows)
+		for _, v := range a.Vars() {
+			bound[v] = true
+		}
+	}
+	// The output cannot exceed the product of the head columns' domains —
+	// the structural cap that rewards arity reduction.
+	headCap := 1.0
+	for i := range r.Head.Args {
+		headCap *= math.Max(1, e.headColDomain(r, i))
+		if headCap >= capRows {
+			headCap = capRows
+			break
+		}
+	}
+	return math.Min(frontier, headCap), cost
+}
+
+// literalMatches estimates how many tuples of a match one probe with the
+// given variables already bound: the relation's rows scaled by 1/distinct
+// for every bound column.
+func (e *estimator) literalMatches(a ast.Atom, bound map[string]bool) float64 {
+	pe := e.est[a.Pred]
+	if pe == nil || pe.rows == 0 {
+		return 0
+	}
+	matches := pe.rows
+	for i, t := range a.Args {
+		if !termBound(t, bound) {
+			continue
+		}
+		d := pe.distinct[i]
+		if d < 1 {
+			d = math.Max(1, pe.rows)
+		}
+		matches /= d
+	}
+	if matches < 0 {
+		matches = 0
+	}
+	return math.Min(matches, pe.rows)
+}
+
+// headColDomain estimates the domain size of head column i under rule r:
+// 1 for a ground term, the source column's distinct count for a variable
+// bound by the body, the rule's full frontier otherwise.
+func (e *estimator) headColDomain(r ast.Rule, i int) float64 {
+	t := r.Head.Args[i]
+	if t.Ground() {
+		return 1
+	}
+	if t.IsVar() {
+		for _, a := range r.Body {
+			pe := e.est[a.Pred]
+			if pe == nil {
+				continue
+			}
+			for j, bt := range a.Args {
+				if bt.IsVar() && bt.Functor == t.Functor {
+					d := pe.distinct[j]
+					if d < 1 {
+						d = pe.rows
+					}
+					return math.Max(d, 1)
+				}
+			}
+		}
+	}
+	// Compound or unbound term: no better bound than the cap.
+	return capRows
+}
+
+// greedyOrder reorders body literals most-bound-first (ties broken by the
+// smaller estimated match count), mirroring the engine's ReorderJoins
+// heuristic so the model prices what that option would execute.
+func (e *estimator) greedyOrder(body []ast.Atom) []ast.Atom {
+	remaining := append([]ast.Atom(nil), body...)
+	bound := map[string]bool{}
+	out := make([]ast.Atom, 0, len(body))
+	for len(remaining) > 0 {
+		best, bestBound, bestMatches := -1, -1, math.Inf(1)
+		for i, a := range remaining {
+			nb := 0
+			for _, t := range a.Args {
+				if termBound(t, bound) {
+					nb++
+				}
+			}
+			m := e.literalMatches(a, bound)
+			if nb > bestBound || (nb == bestBound && m < bestMatches) {
+				best, bestBound, bestMatches = i, nb, m
+			}
+		}
+		pick := remaining[best]
+		out = append(out, pick)
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		for _, v := range pick.Vars() {
+			bound[v] = true
+		}
+	}
+	return out
+}
+
+// termBound reports whether t is ground or built only from bound variables.
+func termBound(t ast.Term, bound map[string]bool) bool {
+	if t.Ground() {
+		return true
+	}
+	for _, v := range t.Vars() {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,54 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PlanSearchStats reports the adaptive optimizer's behavior (metrics schema
+// v9): how often the Auto strategy decided, how often shadow re-costing ran,
+// and what it concluded. Filled by pipeline.AutoPlanner.Stats.
+type PlanSearchStats struct {
+	// Picks counts first-time Auto decisions (one per query shape).
+	Picks int64 `json:"picks"`
+	// Recosts counts shadow re-costing passes: a served Auto plan re-priced
+	// against fresh statistics because the epoch or change-ratio trigger
+	// fired.
+	Recosts int64 `json:"recosts"`
+	// Repicks counts re-costing passes whose rival beat the incumbent by
+	// the margin, invalidating the cached Auto plan.
+	Repicks int64 `json:"repicks"`
+	// Wins counts re-costing passes the incumbent survived (no rival
+	// cleared the margin).
+	Wins int64 `json:"wins"`
+	// PicksByStrategy counts decisions (picks + repicks) per winning
+	// strategy name.
+	PicksByStrategy map[string]int64 `json:"picks_by_strategy,omitempty"`
+	// RecostWall histograms the wall time of re-costing passes.
+	RecostWall *Histogram `json:"recost_wall,omitempty"`
+}
+
+// PlanSearchLines renders the plan-search counters as text table lines
+// (empty when the auto planner never ran).
+func PlanSearchLines(p PlanSearchStats) string {
+	if p.Picks == 0 && p.Recosts == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "auto planner: %d picks, %d recosts (%d wins, %d repicks)\n",
+		p.Picks, p.Recosts, p.Wins, p.Repicks)
+	if len(p.PicksByStrategy) > 0 {
+		names := make([]string, 0, len(p.PicksByStrategy))
+		for name := range p.PicksByStrategy {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, name := range names {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, p.PicksByStrategy[name]))
+		}
+		fmt.Fprintf(&b, "auto picks by strategy: %s\n", strings.Join(parts, " "))
+	}
+	return b.String()
+}

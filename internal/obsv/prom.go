@@ -104,6 +104,32 @@ func PromExposition(s ServerStats) string {
 		writeValueHistogram(&b, "factorlog_mat_change_ratio",
 			"Changed facts over total facts per non-hit refresh.", m.ChangeRatio)
 	}
+
+	p := s.PlanSearch
+	counter("factorlog_autoplan_picks", "First-time Auto strategy decisions.", p.Picks)
+	counter("factorlog_autoplan_recosts", "Shadow re-costing passes over served Auto plans.", p.Recosts)
+	counter("factorlog_autoplan_repicks", "Re-costing passes that invalidated the incumbent plan.", p.Repicks)
+	counter("factorlog_autoplan_wins", "Re-costing passes the incumbent plan survived.", p.Wins)
+	if len(p.PicksByStrategy) > 0 {
+		names := make([]string, 0, len(p.PicksByStrategy))
+		for name := range p.PicksByStrategy {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "# HELP factorlog_autoplan_picks_by_strategy Auto decisions per winning strategy.\n")
+		fmt.Fprintf(&b, "# TYPE factorlog_autoplan_picks_by_strategy counter\n")
+		for _, name := range names {
+			fmt.Fprintf(&b, "factorlog_autoplan_picks_by_strategy{strategy=%q} %d\n",
+				name, p.PicksByStrategy[name])
+		}
+	}
+	if p.RecostWall != nil {
+		writeDurationFamily(&b, "factorlog_plan_recost_seconds",
+			"Wall time of shadow re-costing passes.", p.RecostWall)
+	} else {
+		writeDurationFamily(&b, "factorlog_plan_recost_seconds",
+			"Wall time of shadow re-costing passes.", NewHistogram())
+	}
 	return b.String()
 }
 

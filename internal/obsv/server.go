@@ -259,6 +259,9 @@ type ServerStats struct {
 	// Mutation reports the mutation epoch, /facts counters, and the
 	// materialization registry's refresh behavior (new in schema v8).
 	Mutation MutationStats `json:"mutation"`
+	// PlanSearch reports the adaptive optimizer's pick/re-cost counters
+	// (new in schema v9).
+	PlanSearch PlanSearchStats `json:"plan_search"`
 }
 
 // CacheLine renders cache counters compactly, with the hit rate.
@@ -304,6 +307,7 @@ func ServerTable(s ServerStats) string {
 	b.WriteByte('\n')
 	b.WriteString(ResilienceLines(s.Resilience))
 	b.WriteString(MutationLines(s.Mutation))
+	b.WriteString(PlanSearchLines(s.PlanSearch))
 	if s.StorageHighWater.Relations > 0 {
 		b.WriteString("high-water ")
 		b.WriteString(StorageLine(s.StorageHighWater))

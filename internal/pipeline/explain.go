@@ -61,6 +61,10 @@ type ExplainInfo struct {
 	// Stages are the compile-stage spans (wall, rule/arity deltas) the
 	// pipeline recorded building this plan.
 	Stages []obsv.Span `json:"stages,omitempty"`
+	// Candidates is the Auto planner's candidate table (strategy, ordering,
+	// estimated cost, chosen/rejected reason) when the plan was picked by the
+	// adaptive optimizer; empty for fixed-strategy plans.
+	Candidates []CandidateInfo `json:"candidates,omitempty"`
 }
 
 // Explain compiles strategy s (memoized, like Run) and describes the
@@ -168,6 +172,29 @@ func factorReduction(fr *core.FactorResult) string {
 func (e *ExplainInfo) Text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan %s for %s (adornment %s)\n", e.Strategy, e.Query, e.Adornment)
+	if len(e.Candidates) > 0 {
+		b.WriteString("auto planner candidates:\n")
+		for _, c := range e.Candidates {
+			mark := " "
+			if c.Chosen {
+				mark = "*"
+			}
+			order := "as written"
+			if c.Reorder {
+				order = "reordered"
+			}
+			if strings.HasPrefix(c.Reason, "rejected") {
+				fmt.Fprintf(&b, "  %s %-14s %s\n", mark, c.Strategy, c.Reason)
+				continue
+			}
+			fmt.Fprintf(&b, "  %s %-14s %-10s cost=%.3g rows=%.3g rounds=%d",
+				mark, c.Strategy, order, c.Cost, c.Rows, c.Rounds)
+			if c.Reason != "" {
+				fmt.Fprintf(&b, "  (%s)", c.Reason)
+			}
+			b.WriteByte('\n')
+		}
+	}
 	if len(e.Reductions) > 0 {
 		b.WriteString("reductions applied:\n")
 		for _, r := range e.Reductions {

@@ -12,6 +12,7 @@ import (
 	"factorlog/internal/adorn"
 	"factorlog/internal/ast"
 	"factorlog/internal/core"
+	"factorlog/internal/cost"
 	"factorlog/internal/counting"
 	"factorlog/internal/engine"
 	"factorlog/internal/magic"
@@ -49,6 +50,11 @@ const (
 	// SupplementaryMagic: Magic Sets with supplementary predicates
 	// (Beeri-Ramakrishnan, the paper's [3]), then semi-naive.
 	SupplementaryMagic
+	// Auto: adaptive strategy — the cost-based planner snapshots EDB
+	// statistics, enumerates the eligible fixed strategies × body-literal
+	// orderings, and runs the cheapest candidate (see internal/cost and
+	// docs/PLANNER.md). Resolved per run; it is not itself compilable.
+	Auto
 )
 
 var strategyNames = map[Strategy]string{
@@ -61,6 +67,7 @@ var strategyNames = map[Strategy]string{
 	TopDown:            "top-down",
 	Tabled:             "tabled",
 	SupplementaryMagic: "sup-magic",
+	Auto:               "auto",
 }
 
 func (s Strategy) String() string {
@@ -70,7 +77,9 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
-// AllStrategies lists every strategy in presentation order.
+// AllStrategies lists every fixed strategy in presentation order. Auto is
+// deliberately absent: it resolves to one of these per run, so sweeping it
+// alongside them (Compare, factorbench) would double-count its winner.
 func AllStrategies() []Strategy {
 	return []Strategy{Naive, SemiNaive, TopDown, Tabled, Magic, SupplementaryMagic,
 		Factored, FactoredOptimized, Counting}
@@ -370,6 +379,12 @@ type RunResult struct {
 	// pushdowns, per-operator flow under Trace); nil unless Executor is
 	// "stream".
 	Stream *obsv.StreamStats
+	// AutoPicked reports that the run was requested under the Auto strategy
+	// and Strategy is the concrete winner the planner resolved it to.
+	AutoPicked bool
+	// Candidates is the planner's candidate table (estimated costs, chosen
+	// and rejection reasons) when AutoPicked is set; nil otherwise.
+	Candidates []CandidateInfo
 }
 
 // streamEligible reports whether opts route a bottom-up evaluation to the
@@ -423,6 +438,8 @@ func (pl *Pipeline) Compile(s Strategy) error {
 	switch s {
 	case Naive, SemiNaive, TopDown, Tabled:
 		return nil
+	case Auto:
+		return fmt.Errorf("auto strategy resolves at run time; compile the picked strategy")
 	case Magic:
 		_, err = pl.MagicProgram()
 	case SupplementaryMagic:
@@ -509,6 +526,29 @@ func (pl *Pipeline) attachStageSpans(s Strategy, parent *trace.Span) *trace.Span
 // trace shows adorn → magic → factor → … → eval with the engine's stratum,
 // round, and rule spans below eval.
 func (pl *Pipeline) Run(s Strategy, db *engine.DB, evalOpts engine.Options) (*RunResult, error) {
+	if s == Auto {
+		// Resolve the adaptive strategy against the EDB currently loaded in
+		// db (statistics must be taken before evaluation mutates it), then
+		// run the winner. Provenance recording needs a caller-fixed program,
+		// so Auto refuses it with a typed error (surfaces answer 400).
+		if evalOpts.Provenance {
+			return nil, fmt.Errorf("%w: provenance evaluation needs a fixed strategy", ErrAutoUnsupported)
+		}
+		dec, err := pl.AutoPick(cost.SnapshotFromDB(db, 0))
+		if err != nil {
+			return nil, err
+		}
+		if dec.Reorder {
+			evalOpts.ReorderJoins = true
+		}
+		r, err := pl.Run(dec.Strategy, db, evalOpts)
+		if err != nil {
+			return nil, err
+		}
+		r.AutoPicked = true
+		r.Candidates = dec.Candidates
+		return r, nil
+	}
 	if evalOpts.Span != nil {
 		// Force the compile first (memoized) so the stage spans exist to
 		// replay; a compile failure surfaces here exactly as it would below.
