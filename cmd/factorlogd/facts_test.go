@@ -167,14 +167,28 @@ t(X, Y) :- e(X, Y).
 func TestFactsRejections(t *testing.T) {
 	srv, ts := testServer(t, tcProgram, config{strategy: "magic", timeout: 5 * time.Second, materialize: true})
 
-	// Wrong method.
-	resp, err := http.Get(ts.URL + "/facts")
+	// Wrong method. GET is the log-tailing read, so only other verbs 405.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/facts", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != "POST" {
-		t.Errorf("GET /facts = %d (Allow %q), want 405 with Allow: POST", resp.StatusCode, resp.Header.Get("Allow"))
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != "GET, POST" {
+		t.Errorf("DELETE /facts = %d (Allow %q), want 405 with Allow: GET, POST", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+
+	// Tailing a server without a durable log is a client error.
+	resp, err = http.Get(ts.URL + "/facts?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET /facts?since=0 without -wal-dir = %d, want 400", resp.StatusCode)
 	}
 
 	// Malformed JSON, empty batch, unparseable atom.
@@ -231,8 +245,8 @@ func TestFactsMetricsAndHealth(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if stats.Schema != "factorlog/metrics/v9" {
-		t.Errorf("schema = %q, want factorlog/metrics/v9", stats.Schema)
+	if stats.Schema != "factorlog/metrics/v10" {
+		t.Errorf("schema = %q, want factorlog/metrics/v10", stats.Schema)
 	}
 	m := stats.Mutation
 	if m.Epoch != 1 || m.Batches != 1 || m.FactsAsserted != 1 || m.FactsRetracted != 1 || m.NoopRetracts != 1 {

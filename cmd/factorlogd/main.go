@@ -12,16 +12,19 @@
 //	           [-timeout 10s] [-max-concurrency N] [-max-queue N]
 //	           [-trace-sample N] [-slow-query-ms N] [-pprof-addr :6060]
 //	           [-materialize=true] [-mat-entries N]
+//	           [-wal-dir dir] [-fsync-interval 0s] [-snapshot-every N]
 //
 // Endpoints:
 //
 //	GET  /query?q=t(5,Y)[&strategy=S][&workers=N][&timeout_ms=T][&max_bytes=N][&explain=plan|analyze]
 //	POST /query    {"query":"t(5,Y)","strategy":"magic","workers":4,"timeout_ms":1000,"explain":"analyze"}
 //	POST /facts    {"assert":["e(1,2)"],"retract":["e(3,4)"]} — atomic mutation batch
+//	GET  /facts?since=E  committed batch log after epoch E (requires -wal-dir)
 //	GET  /healthz  liveness + program fingerprint (200 even while draining)
-//	GET  /readyz   readiness: 200 after warmup, 503 while warming up or draining
+//	GET  /readyz   readiness: 200 after warmup, 503 while warming up,
+//	               replaying the WAL tail, or draining
 //	GET  /metrics  Prometheus text exposition (?format=json for the
-//	               factorlog/metrics/v9 document, ?format=text for a table)
+//	               factorlog/metrics/v10 document, ?format=text for a table)
 //	GET  /debug/slowlog      recent slow queries, newest first
 //	GET  /debug/trace/{id}   one finished trace by query ID (?format=text for a profile)
 //
@@ -41,6 +44,15 @@
 // stratum rebuilds for recursive retractions (see docs/INCREMENTAL.md).
 // -materialize=false evaluates every query from scratch over the current
 // base; /facts works either way.
+//
+// With -wal-dir, mutations are durable (see docs/DURABILITY.md): every
+// committed batch reaches an epoch-stamped write-ahead log — fsynced per
+// batch, or group-committed within -fsync-interval — before its 200, and
+// restart replays the newest base snapshot plus the log tail back to the
+// exact pre-crash epoch. -snapshot-every N writes a snapshot every N
+// epochs, after which retention prunes the log segments it supersedes.
+// Replicas tail the committed history with GET /facts?since=E (410 Gone
+// once compaction has pruned the requested range).
 //
 // Every /query response carries an X-Factorlog-Query-ID header; the same ID
 // names the query's trace in /debug/trace/{id} and the slow-query log.
@@ -100,6 +112,9 @@ func run(args []string) error {
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
 	materialize := fs.Bool("materialize", true, "serve eligible queries from incrementally-maintained materializations")
 	matEntries := fs.Int("mat-entries", 64, "max live materializations (LRU-evicted past it)")
+	walDir := fs.String("wal-dir", "", "write-ahead-log directory: log every committed /facts batch durably and recover it on restart (empty = no durability)")
+	fsyncInterval := fs.Duration("fsync-interval", 0, "WAL group-commit window; appends within it share one fsync (0 = fsync every batch)")
+	snapshotEvery := fs.Int64("snapshot-every", 256, "write a base snapshot every N epochs and prune superseded WAL segments (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,10 +154,15 @@ func run(args []string) error {
 		slowQuery:      time.Duration(*slowQueryMS) * time.Millisecond,
 		materialize:    *materialize,
 		matEntries:     *matEntries,
+		walDir:         *walDir,
+		fsyncInterval:  *fsyncInterval,
+		snapshotEvery:  *snapshotEvery,
 	})
 	if err != nil {
 		return err
 	}
+	// Close flushes the WAL's final group commit on every exit path.
+	defer srv.Close()
 	for _, warn := range srv.warmup() {
 		fmt.Fprintln(os.Stderr, "factorlogd: warmup:", warn)
 	}

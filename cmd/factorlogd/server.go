@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"factorlog/internal/pipeline"
 	"factorlog/internal/resilience"
 	"factorlog/internal/trace"
+	"factorlog/internal/wal"
 )
 
 // metricsSchema names the /metrics document layout; v1/v2 and v6/v7 are
@@ -29,8 +31,9 @@ import (
 // panics, degradations, memory-budget stops, drains), v5 lacked the
 // mutation block (epoch, /facts counters, materialization refreshes), v8
 // lacked the plan_search block (the adaptive optimizer's pick/re-cost
-// counters).
-const metricsSchema = "factorlog/metrics/v9"
+// counters), v9 lacked the durability block (WAL epoch, group-commit
+// fsyncs, snapshots, replay and torn-tail counters).
+const metricsSchema = "factorlog/metrics/v10"
 
 // errDraining is the cancel cause propagated into in-flight evaluations
 // when shutdown begins; handlers translate it to a typed 503 body.
@@ -86,6 +89,21 @@ type config struct {
 	// matEntries bounds the materialization registry (LRU past it);
 	// <= 0 uses the registry default.
 	matEntries int
+	// walDir enables the durable write-ahead log: every committed /facts
+	// batch is logged there before it is acknowledged, and startup replays
+	// the newest snapshot plus the log tail. Empty disables durability.
+	walDir string
+	// fsyncInterval is the WAL group-commit window (0 = fsync every batch
+	// before acknowledging it).
+	fsyncInterval time.Duration
+	// snapshotEvery writes a base snapshot after this many epochs since the
+	// last one (<= 0 disables periodic snapshots; retention then never
+	// prunes log segments).
+	snapshotEvery int64
+	// walSegmentBytes overrides the WAL segment rotation size (0 = the wal
+	// package default). Not exposed as a flag; tests shrink it to exercise
+	// rotation and retention without megabytes of batches.
+	walSegmentBytes int64
 }
 
 // limiterCapacity derives the admission capacity: explicit when configured,
@@ -116,6 +134,17 @@ type server struct {
 	// queries answer from materializations or evaluate from scratch.
 	mat      *pipeline.Materializer
 	matServe bool
+
+	// wl is the durable write-ahead log (nil when -wal-dir is unset). The
+	// materializer appends every committed batch before acknowledging it;
+	// snapMu serializes periodic base snapshots, written after the epoch
+	// advances snapshotEvery past the last one. replaying is true while
+	// startup applies the recovered snapshot + log tail; /readyz answers
+	// 503 until it clears.
+	wl            *wal.Log
+	snapMu        sync.Mutex
+	snapshotEvery int64
+	replaying     atomic.Bool
 
 	cache *pipeline.PlanCache
 	// planner resolves strategy=auto requests: EDB statistics from the
@@ -187,27 +216,64 @@ func newServer(src, constraints string, cfg config) (*server, error) {
 		return nil, err
 	}
 	prog := u.Program()
+	hash := pipeline.HashProgram(prog, tgds)
 	cache := pipeline.NewPlanCache()
-	mat, err := pipeline.NewMaterializer(prog, tgds, u.Facts, cache,
+
+	// Durability: open (and recover) the write-ahead log before the
+	// materializer exists, so the recovered base and epoch seed it. A
+	// program-hash mismatch refuses startup — replaying another program's
+	// mutation history would silently corrupt the base.
+	baseFacts := u.Facts
+	var (
+		wlog       *wal.Log
+		startEpoch int64
+		durable    pipeline.DurableLog
+	)
+	if cfg.walDir != "" {
+		l, rec, err := wal.Open(wal.Options{
+			Dir:           cfg.walDir,
+			ProgramHash:   hash,
+			FsyncInterval: cfg.fsyncInterval,
+			SegmentBytes:  cfg.walSegmentBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		baseFacts, err = recoverBase(u.Facts, rec)
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("wal replay: %w", err)
+		}
+		wlog, startEpoch, durable = l, rec.Epoch, walAdapter{l}
+	}
+
+	mat, err := pipeline.NewMaterializer(prog, tgds, baseFacts, cache,
 		pipeline.MaterializerOptions{
-			Entries: cfg.matEntries,
+			Entries:    cfg.matEntries,
+			StartEpoch: startEpoch,
+			Durable:    durable,
 			Engine: engine.MaterializeOptions{
 				MaxFacts: cfg.budget,
 				MaxBytes: cfg.maxBytes,
 			},
 		})
 	if err != nil {
+		if wlog != nil {
+			wlog.Close()
+		}
 		return nil, err
 	}
 	evalCtx, evalCancel := context.WithCancelCause(context.Background())
-	return &server{
-		prog:        prog,
-		hash:        pipeline.HashProgram(prog, tgds),
-		constraints: tgds,
-		declared:    u.Queries,
-		mat:         mat,
-		matServe:    cfg.materialize,
-		cache:       cache,
+	srv := &server{
+		prog:          prog,
+		hash:          hash,
+		constraints:   tgds,
+		declared:      u.Queries,
+		mat:           mat,
+		matServe:      cfg.materialize,
+		wl:            wlog,
+		snapshotEvery: cfg.snapshotEvery,
+		cache:         cache,
 		planner: pipeline.NewAutoPlanner(prog, tgds, cache,
 			pipeline.SnapshotSource(mat), pipeline.AutoPolicy{}),
 		defStrategy: strategy,
@@ -228,7 +294,128 @@ func newServer(src, constraints string, cfg config) (*server, error) {
 		traces:        trace.NewRing(traceRingSize),
 		slowlog:       trace.NewRing(traceRingSize),
 		slowThreshold: cfg.slowQuery,
-	}, nil
+	}
+	// A recovered server stays "replaying" on /readyz until warmup finishes
+	// — its durable history has been applied, but it has not re-earned
+	// readiness over the recovered base yet.
+	if wlog != nil && startEpoch > 0 {
+		srv.replaying.Store(true)
+	}
+	return srv, nil
+}
+
+// walAdapter bridges the materializer's DurableLog to the wal package:
+// atoms render as their canonical strings on the way down and parse back
+// for WAL-backed delta refreshes.
+type walAdapter struct{ log *wal.Log }
+
+func (a walAdapter) Append(b pipeline.MutationBatch) error {
+	return a.log.Append(wal.Batch{
+		Epoch:   b.Epoch,
+		Assert:  atomStrings(b.Assert),
+		Retract: atomStrings(b.Retract),
+	})
+}
+
+// Since reports ok=false on any read failure (compaction included); the
+// materializer then falls back to its from-scratch rebuild.
+func (a walAdapter) Since(after int64) ([]pipeline.MutationBatch, bool) {
+	batches, err := a.log.Since(after)
+	if err != nil {
+		return nil, false
+	}
+	out := make([]pipeline.MutationBatch, 0, len(batches))
+	for _, b := range batches {
+		assert, err := parseFactAtoms(b.Assert)
+		if err != nil {
+			return nil, false
+		}
+		retract, err := parseFactAtoms(b.Retract)
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, pipeline.MutationBatch{Epoch: b.Epoch, Assert: assert, Retract: retract})
+	}
+	return out, true
+}
+
+func atomStrings(atoms []ast.Atom) []string {
+	if len(atoms) == 0 {
+		return nil
+	}
+	out := make([]string, len(atoms))
+	for i, a := range atoms {
+		out[i] = a.String()
+	}
+	return out
+}
+
+// recoverBase reconstructs the pre-crash base EDB: the newest snapshot's
+// facts (or the program file's, when no snapshot was ever written) with
+// the committed log tail replayed on top — retractions before assertions,
+// exactly as the original batches applied them.
+func recoverBase(progFacts []ast.Atom, rec *wal.Recovery) ([]ast.Atom, error) {
+	idx := map[string]int{}
+	var facts []ast.Atom
+	add := func(a ast.Atom) {
+		k := a.String()
+		if _, ok := idx[k]; ok {
+			return
+		}
+		idx[k] = len(facts)
+		facts = append(facts, a)
+	}
+	del := func(k string) {
+		i, ok := idx[k]
+		if !ok {
+			return
+		}
+		last := len(facts) - 1
+		facts[i] = facts[last]
+		idx[facts[i].String()] = i
+		facts = facts[:last]
+		delete(idx, k)
+	}
+	if rec.Snapshot != nil {
+		for _, f := range rec.Snapshot.Facts {
+			a, err := parser.ParseAtom(f)
+			if err != nil {
+				return nil, fmt.Errorf("snapshot fact %q: %w", f, err)
+			}
+			add(a)
+		}
+	} else {
+		for _, a := range progFacts {
+			add(a)
+		}
+	}
+	for _, b := range rec.Batches {
+		for _, f := range b.Retract {
+			a, err := parser.ParseAtom(f)
+			if err != nil {
+				return nil, fmt.Errorf("epoch %d retract %q: %w", b.Epoch, f, err)
+			}
+			del(a.String())
+		}
+		for _, f := range b.Assert {
+			a, err := parser.ParseAtom(f)
+			if err != nil {
+				return nil, fmt.Errorf("epoch %d assert %q: %w", b.Epoch, f, err)
+			}
+			add(a)
+		}
+	}
+	return facts, nil
+}
+
+// Close releases the server's durable resources: it flushes the pending
+// group commit and closes the WAL. Safe to call with durability off, and
+// idempotent.
+func (s *server) Close() error {
+	if s.wl == nil {
+		return nil
+	}
+	return s.wl.Close()
 }
 
 // beginDrain starts shutdown: /readyz flips not-ready, the admission
@@ -258,6 +445,7 @@ func (s *server) warmup() []string {
 			warns = append(warns, fmt.Sprintf("%s: %v", q, err))
 		}
 	}
+	s.replaying.Store(false)
 	s.ready.Store(true)
 	return warns
 }
@@ -734,12 +922,22 @@ type factsResponse struct {
 // get back the epoch it produced. The batch is atomic — validation errors
 // (non-ground atoms, arity mismatches) reject it whole with 422 and no
 // state change. Mutations pass admission at weight 1: they are quick, but
-// an overloaded server should shed them like any other work.
+// an overloaded server should shed them like any other work. With
+// durability on, the batch reaches the WAL (fsynced per the group-commit
+// policy) before the 200 — an acknowledged epoch survives a crash.
+//
+// GET /facts?since=E streams the committed batch log after epoch E — the
+// replica-tailing read (see docs/DURABILITY.md).
 func (s *server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	qid := trace.NewID()
 	w.Header().Set(queryIDHeader, qid)
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", "POST")
+	switch r.Method {
+	case http.MethodGet:
+		s.handleFactsTail(w, r, qid)
+		return
+	case http.MethodPost:
+	default:
+		w.Header().Set("Allow", "GET, POST")
 		s.fail(w, qid, "", http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 		return
 	}
@@ -805,6 +1003,94 @@ func (s *server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		NoopRetracts: res.NoopRetracts,
 		BaseFacts:    s.mat.BaseCount(),
 	})
+	if res.Asserted+res.Retracted > 0 {
+		s.maybeSnapshot()
+	}
+}
+
+// maybeSnapshot writes a base snapshot when the epoch has advanced
+// snapshotEvery past the last one; retention then prunes log segments the
+// snapshot supersedes. Failures are not fatal — the log alone remains
+// authoritative and the next batch retries.
+func (s *server) maybeSnapshot() {
+	if s.wl == nil || s.snapshotEvery <= 0 {
+		return
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.mat.Epoch()-s.wl.SnapshotEpoch() < s.snapshotEvery {
+		return
+	}
+	base, epoch := s.mat.BaseSnapshot()
+	err := s.wl.WriteSnapshot(wal.Snapshot{
+		Epoch:       epoch,
+		ProgramHash: s.hash,
+		Facts:       atomStrings(base),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "factorlogd: snapshot:", err)
+	}
+}
+
+// maxTailBatches caps one GET /facts?since=E response; a replica further
+// behind follows the "more" marker with another request from the last
+// epoch it received.
+const maxTailBatches = 1024
+
+// factsTailResponse is the GET /facts?since=E output: the committed
+// batches with epochs in (since, epoch], oldest first.
+type factsTailResponse struct {
+	Since int64 `json:"since"`
+	// Epoch is the WAL's committed epoch at read time; a response whose
+	// last batch reaches it has caught the replica up.
+	Epoch   int64       `json:"epoch"`
+	Batches []wal.Batch `json:"batches"`
+	// More marks a truncated response (maxTailBatches); follow up with
+	// since = the last returned epoch.
+	More bool `json:"more,omitempty"`
+}
+
+// handleFactsTail serves the committed batch log for replicas. Compacted
+// history answers 410 Gone with the first epoch still available, telling
+// the replica to bootstrap from a snapshot instead.
+func (s *server) handleFactsTail(w http.ResponseWriter, r *http.Request, qid string) {
+	if s.wl == nil {
+		s.fail(w, qid, "", http.StatusBadRequest, errors.New("durable log disabled (start with -wal-dir to tail /facts)"))
+		return
+	}
+	sinceStr := r.URL.Query().Get("since")
+	if sinceStr == "" {
+		s.fail(w, qid, "", http.StatusBadRequest, errors.New("missing since (GET /facts?since=E)"))
+		return
+	}
+	since, err := strconv.ParseInt(sinceStr, 10, 64)
+	if err != nil || since < 0 {
+		s.fail(w, qid, "", http.StatusBadRequest, fmt.Errorf("bad since %q: want a non-negative epoch", sinceStr))
+		return
+	}
+	batches, err := s.wl.Since(since)
+	if err != nil {
+		if errors.Is(err, wal.ErrCompacted) {
+			first, _ := s.wl.FirstAvailable()
+			writeJSON(w, http.StatusGone, map[string]any{
+				"error":                 err.Error(),
+				"first_available_epoch": first,
+				"last_snapshot_epoch":   s.wl.SnapshotEpoch(),
+			})
+			return
+		}
+		s.fail(w, qid, "", http.StatusInternalServerError, err)
+		return
+	}
+	resp := factsTailResponse{Since: since, Epoch: s.wl.Epoch()}
+	if len(batches) > maxTailBatches {
+		batches, resp.More = batches[:maxTailBatches], true
+	}
+	if batches == nil {
+		batches = []wal.Batch{}
+	}
+	resp.Batches = batches
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // parseFactAtoms parses mutation atoms, tolerating the trailing dot of
@@ -958,24 +1244,36 @@ func (s *server) observeResult(strategy string, total time.Duration, res *pipeli
 // because its health check "failed" would defeat graceful shutdown. Routing
 // decisions belong to /readyz.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"program_hash":   s.hash,
 		"rules":          len(s.prog.Rules),
 		"base_facts":     s.mat.BaseCount(),
 		"epoch":          s.mat.Epoch(),
-	})
+		"durable":        s.wl != nil,
+	}
+	if s.wl != nil {
+		body["wal_epoch"] = s.wl.Epoch()
+		body["last_snapshot_epoch"] = s.wl.SnapshotEpoch()
+		body["replaying"] = s.replaying.Load()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleReadyz is readiness: 200 only after warmup has filled the plan
 // cache and before drain begins, so load balancers stop routing here the
-// moment shutdown starts.
+// moment shutdown starts. A server still replaying its WAL tail is not
+// ready either — its base has not yet caught up to the pre-crash epoch.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status": "draining", "ready": false,
+		})
+	case s.replaying.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "replaying", "ready": false,
 		})
 	case !s.ready.Load():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
@@ -1028,12 +1326,22 @@ func (s *server) snapshot() obsv.ServerStats {
 		},
 		Mutation:   s.mat.Stats(),
 		PlanSearch: s.planner.Stats(),
+		Durability: s.durabilityStats(),
 	}
+}
+
+// durabilityStats snapshots the WAL counters; with durability off it is
+// the zero block (enabled:false), keeping the v10 schema shape stable.
+func (s *server) durabilityStats() obsv.DurabilityStats {
+	if s.wl == nil {
+		return obsv.DurabilityStats{}
+	}
+	return s.wl.Stats()
 }
 
 // handleMetrics serves Prometheus text exposition by default (what scrapers
 // expect of a /metrics endpoint); ?format=json keeps the structured
-// factorlog/metrics/v9 document and ?format=text the human-readable table.
+// factorlog/metrics/v10 document and ?format=text the human-readable table.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	stats := s.snapshot()
 	switch r.URL.Query().Get("format") {

@@ -51,6 +51,7 @@ func testServer(t *testing.T, src string, cfg config) (*server, *httptest.Server
 	}
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Close() })
 	return s, ts
 }
 

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"factorlog/internal/ast"
+)
+
+const commitHookSrc = `
+	t(X,Y) :- e(X,Y).
+	t(X,Y) :- e(X,W), t(W,Y).
+	e(1,2). e(2,3).
+	?- t(X,Y).`
+
+func atomSet(atoms []ast.Atom) map[string]bool {
+	out := map[string]bool{}
+	for _, a := range atoms {
+		out[a.String()] = true
+	}
+	return out
+}
+
+// TestCommitHookObservesEffectiveBatch pins the hook contract: it sees the
+// epoch the batch commits as and exactly the effective changes (noop
+// entries stripped), and a no-op batch never reaches it.
+func TestCommitHookObservesEffectiveBatch(t *testing.T) {
+	u := mustUnit(t, commitHookSrc)
+	type call struct {
+		epoch           int64
+		assert, retract map[string]bool
+	}
+	var calls []call
+	m, err := Materialize(u.Program(), u.Facts, MaterializeOptions{
+		CommitHook: func(epoch int64, assert, retract []ast.Atom) error {
+			calls = append(calls, call{epoch, atomSet(assert), atomSet(retract)})
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	ctx := context.Background()
+
+	// Mixed batch: one effective assert, one noop assert, one effective
+	// retract, one noop retract.
+	_, err = m.Apply(ctx,
+		[]ast.Atom{atom(t, "e(3,4)"), atom(t, "e(1,2)")},
+		[]ast.Atom{atom(t, "e(2,3)"), atom(t, "e(9,9)")})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if len(calls) != 1 {
+		t.Fatalf("hook ran %d times, want 1", len(calls))
+	}
+	c := calls[0]
+	if c.epoch != 1 {
+		t.Errorf("hook saw epoch %d, want 1", c.epoch)
+	}
+	if len(c.assert) != 1 || !c.assert[atom(t, "e(3,4)").String()] {
+		t.Errorf("hook asserts = %v, want only e(3,4)", c.assert)
+	}
+	if len(c.retract) != 1 || !c.retract[atom(t, "e(2,3)").String()] {
+		t.Errorf("hook retracts = %v, want only e(2,3)", c.retract)
+	}
+
+	// A pure-noop batch advances the epoch but has nothing to log.
+	if _, err := m.Apply(ctx, []ast.Atom{atom(t, "e(1,2)")}, nil); err != nil {
+		t.Fatalf("noop apply: %v", err)
+	}
+	if len(calls) != 1 {
+		t.Fatalf("noop batch reached the hook: %d calls", len(calls))
+	}
+}
+
+// TestCommitHookErrorRollsBack proves a refused commit behaves exactly like
+// a mid-batch failure: base restored, epoch unchanged, and the next apply
+// rebuilds to correct answers.
+func TestCommitHookErrorRollsBack(t *testing.T) {
+	u := mustUnit(t, commitHookSrc)
+	refuse := errors.New("durable log unavailable")
+	fail := false
+	m, err := Materialize(u.Program(), u.Facts, MaterializeOptions{
+		CommitHook: func(int64, []ast.Atom, []ast.Atom) error {
+			if fail {
+				return refuse
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	ctx := context.Background()
+	want := dumpLive(m.DB())
+
+	fail = true
+	if _, err := m.Apply(ctx, []ast.Atom{atom(t, "e(3,4)")}, nil); !errors.Is(err, refuse) {
+		t.Fatalf("apply with refusing hook: %v, want the hook error", err)
+	}
+	if got := m.Epoch(); got != 0 {
+		t.Fatalf("epoch %d after refused commit, want 0", got)
+	}
+	if !m.Dirty() {
+		t.Fatal("refused commit did not poison the materialization")
+	}
+
+	// Retrying with the hook healthy commits the same epoch and yields the
+	// answers an uninterrupted run would have.
+	fail = false
+	if _, err := m.Apply(ctx, nil, nil); err != nil {
+		t.Fatalf("recovery apply: %v", err)
+	}
+	if got := m.Epoch(); got != 1 {
+		t.Fatalf("epoch %d after recovery, want 1", got)
+	}
+	diffDump(t, "post-rollback", want, dumpLive(m.DB()))
+}

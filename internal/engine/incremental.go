@@ -65,6 +65,14 @@ type MaterializeOptions struct {
 	// MaxBytes bounds the materialized DB's storage footprint, checked at
 	// wave boundaries like Options.MaxBytes; 0 = unlimited.
 	MaxBytes int64
+	// CommitHook, when non-nil, runs after a batch's maintenance succeeds
+	// and before the epoch advances, with the epoch the batch will commit
+	// as and the effective asserts/retracts (noop entries removed). A hook
+	// error aborts the commit like any mid-batch failure: the base EDB
+	// rolls back and the epoch stays unchanged. The durability layer hangs
+	// its write-ahead log here — a batch that cannot be made durable is
+	// never acknowledged.
+	CommitHook func(epoch int64, assert, retract []ast.Atom) error
 }
 
 const defaultMaxWaves = 1 << 20
@@ -396,10 +404,33 @@ func (m *Materialization) Apply(ctx context.Context, assert, retract []ast.Atom)
 		}
 	}
 
+	if m.opts.CommitHook != nil && st.Changed()+st.Asserted+st.Retracted > 0 {
+		if err := m.opts.CommitHook(m.epoch+1, m.refAtoms(undoAssert), m.refAtoms(undoRetract)); err != nil {
+			return st, err
+		}
+	}
+
 	m.epoch++
 	m.dirty = false
 	st.Total = m.db.TotalFacts()
 	return st, nil
+}
+
+// refAtoms renders effective-change fact refs back to ground atoms for the
+// commit hook.
+func (m *Materialization) refAtoms(refs []factRef) []ast.Atom {
+	if len(refs) == 0 {
+		return nil
+	}
+	out := make([]ast.Atom, len(refs))
+	for i, f := range refs {
+		args := make([]ast.Term, len(f.tuple))
+		for j, v := range f.tuple {
+			args[j] = m.store.ToAST(v)
+		}
+		out[i] = ast.Atom{Pred: f.pred, Args: args}
+	}
+	return out
 }
 
 type factRef struct {

@@ -16,9 +16,12 @@
 //
 // The point catalog covers storage (ArenaGrow, IndexProbe), parallel
 // evaluation (WorkerStart), plan compilation (PlanCompile), cancellation
-// (ContextCheck), the streaming executor (StreamNext), and the mutation
-// path (FactsApply, DeltaWave, MatRefresh) — the last three prove that a
+// (ContextCheck), the streaming executor (StreamNext), the mutation
+// path (FactsApply, DeltaWave, MatRefresh) — which prove that a
 // fault mid-batch rolls the base EDB back, leaves the epoch unchanged, and
-// costs at most a materialization rebuild, never wrong answers. See
-// docs/RESILIENCE.md for the catalog and the chaos suites that arm it.
+// costs at most a materialization rebuild, never wrong answers — and the
+// durability path (WalAppend, WalFsync, SnapshotWrite, Replay), which
+// proves that exactly the acknowledged prefix of mutation batches survives
+// a crash. See docs/RESILIENCE.md for the catalog and the chaos suites
+// that arm it.
 package faultinject

@@ -44,21 +44,41 @@ const (
 	// an entry to the current epoch (internal/pipeline.Materializer),
 	// exercising refresh-failure handling on the serving path.
 	MatRefresh
+	// WalAppend fires as the write-ahead log appends a batch record
+	// (internal/wal.Log.Append), before any bytes reach the file —
+	// exercising the unacknowledged-batch rollback path.
+	WalAppend
+	// WalFsync fires as the write-ahead log fsyncs appended records
+	// (internal/wal, group commit), after bytes are written but before
+	// they are durable — exercising the truncate-the-unsynced-tail unwind.
+	WalFsync
+	// SnapshotWrite fires as a base snapshot is written
+	// (internal/wal.Log.WriteSnapshot), exercising snapshot-failure
+	// handling (the log remains authoritative; a failed snapshot must
+	// never lose batches).
+	SnapshotWrite
+	// Replay fires per batch decoded during startup recovery
+	// (internal/wal.Open), exercising crash-during-recovery handling.
+	Replay
 
 	// NumPoints is the number of named points; keep it last.
 	NumPoints
 )
 
 var pointNames = [NumPoints]string{
-	ArenaGrow:    "arena-grow",
-	WorkerStart:  "worker-start",
-	IndexProbe:   "index-probe",
-	PlanCompile:  "plan-compile",
-	ContextCheck: "context-check",
-	StreamNext:   "stream-next",
-	FactsApply:   "facts-apply",
-	DeltaWave:    "delta-wave",
-	MatRefresh:   "mat-refresh",
+	ArenaGrow:     "arena-grow",
+	WorkerStart:   "worker-start",
+	IndexProbe:    "index-probe",
+	PlanCompile:   "plan-compile",
+	ContextCheck:  "context-check",
+	StreamNext:    "stream-next",
+	FactsApply:    "facts-apply",
+	DeltaWave:     "delta-wave",
+	MatRefresh:    "mat-refresh",
+	WalAppend:     "wal-append",
+	WalFsync:      "wal-fsync",
+	SnapshotWrite: "snapshot-write",
+	Replay:        "replay",
 }
 
 func (p Point) String() string {

@@ -36,6 +36,11 @@ type MutationStats struct {
 	Deltas   int64 `json:"deltas"`
 	Rebuilds int64 `json:"rebuilds"`
 	Builds   int64 `json:"builds"`
+	// WalDeltas counts the Deltas whose batches came from the durable
+	// write-ahead log after the in-memory log had already trimmed them
+	// (new in schema v10) — refreshes that would have been rebuilds
+	// without the WAL.
+	WalDeltas int64 `json:"wal_deltas,omitempty"`
 	// RefreshWall observes the wall time of non-hit refreshes.
 	RefreshWall *Histogram `json:"refresh_wall,omitempty"`
 	// ChangeRatio observes changed/total facts per non-hit refresh.
@@ -53,8 +58,8 @@ func MutationLines(m MutationStats) string {
 	fmt.Fprintf(&b, "epoch %d  base_facts %d  batches %d\n", m.Epoch, m.BaseFacts, m.Batches)
 	fmt.Fprintf(&b, "asserted %d (%d noop)  retracted %d (%d noop)\n",
 		m.FactsAsserted, m.NoopAsserts, m.FactsRetracted, m.NoopRetracts)
-	fmt.Fprintf(&b, "materializations %d (evicted %d)  hit %d  delta %d  rebuild %d  build %d\n",
-		m.Entries, m.Evictions, m.Hits, m.Deltas, m.Rebuilds, m.Builds)
+	fmt.Fprintf(&b, "materializations %d (evicted %d)  hit %d  delta %d (%d via wal)  rebuild %d  build %d\n",
+		m.Entries, m.Evictions, m.Hits, m.Deltas, m.WalDeltas, m.Rebuilds, m.Builds)
 	if m.RefreshWall != nil {
 		fmt.Fprintf(&b, "refresh p50 %v p99 %v\n", m.RefreshWall.Quantile(0.5), m.RefreshWall.Quantile(0.99))
 	}

@@ -94,6 +94,7 @@ func PromExposition(s ServerStats) string {
 	counter("factorlog_mat_evictions_total", "Materializations evicted to respect the registry bound.", m.Evictions)
 	counter("factorlog_mat_refresh_hits_total", "Materialized serves answered at the current epoch with no refresh.", m.Hits)
 	counter("factorlog_mat_refresh_deltas_total", "Materialized serves caught up incrementally from logged batches.", m.Deltas)
+	counter("factorlog_mat_refresh_wal_deltas_total", "Delta refreshes whose batches came from the durable log after the in-memory log trimmed them.", m.WalDeltas)
 	counter("factorlog_mat_refresh_rebuilds_total", "Materialized serves recomputed from the base EDB.", m.Rebuilds)
 	counter("factorlog_mat_refresh_builds_total", "Materializations computed for the first time.", m.Builds)
 	if m.RefreshWall != nil {
@@ -130,6 +131,32 @@ func PromExposition(s ServerStats) string {
 		writeDurationFamily(&b, "factorlog_plan_recost_seconds",
 			"Wall time of shadow re-costing passes.", NewHistogram())
 	}
+
+	// Durability families are emitted unconditionally (zeros when the
+	// server runs without -wal-dir) so scrapers see a stable schema.
+	d := s.Durability
+	enabled := 0.0
+	if d.Enabled {
+		enabled = 1
+	}
+	gauge("factorlog_wal_enabled", "1 when a write-ahead log is attached, 0 otherwise.", enabled)
+	gauge("factorlog_wal_epoch", "Epoch of the last durably committed batch.", float64(d.WalEpoch))
+	gauge("factorlog_wal_first_available_epoch", "Earliest batch epoch the log still holds after retention.", float64(d.FirstAvailableEpoch))
+	counter("factorlog_wal_batches_logged_total", "Batches durably appended to the write-ahead log.", d.BatchesLogged)
+	counter("factorlog_wal_fsyncs_total", "Write-ahead log fsyncs; one may acknowledge many group-committed batches.", d.Fsyncs)
+	gauge("factorlog_wal_segments", "Current write-ahead log segment files.", float64(d.Segments))
+	gauge("factorlog_wal_bytes", "Committed bytes across all log segments.", float64(d.WalBytes))
+	counter("factorlog_wal_replayed_batches_total", "Log records replayed during startup recovery.", d.ReplayedBatches)
+	counter("factorlog_wal_truncated_tail_records_total", "Torn-tail truncations performed by recovery.", d.TruncatedTailRecords)
+	if d.GroupCommitWall != nil {
+		writeDurationFamily(&b, "factorlog_wal_group_commit_seconds",
+			"Append-to-acknowledge latency: time a batch waited for its fsync.", d.GroupCommitWall)
+	} else {
+		writeDurationFamily(&b, "factorlog_wal_group_commit_seconds",
+			"Append-to-acknowledge latency: time a batch waited for its fsync.", NewHistogram())
+	}
+	gauge("factorlog_snapshot_epoch", "Epoch of the newest base snapshot (0 when none exists).", float64(d.LastSnapshotEpoch))
+	counter("factorlog_snapshots_written_total", "Base snapshots written since startup.", d.SnapshotsWritten)
 	return b.String()
 }
 

@@ -262,6 +262,9 @@ type ServerStats struct {
 	// PlanSearch reports the adaptive optimizer's pick/re-cost counters
 	// (new in schema v9).
 	PlanSearch PlanSearchStats `json:"plan_search"`
+	// Durability reports the write-ahead log and snapshot counters (new in
+	// schema v10; Enabled false when the server runs without -wal-dir).
+	Durability DurabilityStats `json:"durability"`
 }
 
 // CacheLine renders cache counters compactly, with the hit rate.
@@ -308,6 +311,7 @@ func ServerTable(s ServerStats) string {
 	b.WriteString(ResilienceLines(s.Resilience))
 	b.WriteString(MutationLines(s.Mutation))
 	b.WriteString(PlanSearchLines(s.PlanSearch))
+	b.WriteString(DurabilityLines(s.Durability))
 	if s.StorageHighWater.Relations > 0 {
 		b.WriteString("high-water ")
 		b.WriteString(StorageLine(s.StorageHighWater))

@@ -72,14 +72,35 @@ type MatResult struct {
 	PlanHit bool
 }
 
+// DurableLog is the materializer's view of a write-ahead log (implemented
+// by cmd/factorlogd over internal/wal). Append must make the batch durable
+// before returning — the materializer calls it before advancing the epoch,
+// so an Append error leaves the batch unacknowledged and the base EDB
+// unchanged. Since serves trimmed history back to refreshes: batches with
+// epochs in (after, current], ok=false when the log cannot produce them
+// (compacted or failed).
+type DurableLog interface {
+	Append(MutationBatch) error
+	Since(after int64) ([]MutationBatch, bool)
+}
+
 // MaterializerOptions bounds the registry.
 type MaterializerOptions struct {
 	// Entries bounds live materializations (LRU-evicted past it);
 	// 0 means 64.
 	Entries int
 	// LogLimit bounds retained mutation batches; entries further behind
-	// than the log reaches refresh by rebuild. 0 means 256.
+	// than the log reaches refresh by rebuild — unless Durable still holds
+	// the trimmed batches, in which case the refresh replays them from
+	// the durable log instead.
 	LogLimit int
+	// StartEpoch is the epoch the materializer begins at — the recovered
+	// epoch when the base was rebuilt from a snapshot + log tail, 0 for a
+	// fresh start.
+	StartEpoch int64
+	// Durable, when non-nil, receives every effective batch before it is
+	// acknowledged and serves trimmed batches back to refreshes.
+	Durable DurableLog
 	// Engine carries per-entry build and maintenance budgets
 	// (StartEpoch is overridden by the materializer).
 	Engine engine.MaterializeOptions
@@ -121,6 +142,7 @@ type Materializer struct {
 	batches, asserted, retracted    int64
 	noopAsserts, noopRetracts       int64
 	evictions, hitCount, deltaCount int64
+	walDeltaCount                   int64
 	rebuildCount, buildCount        int64
 	refreshWall                     *obsv.Histogram
 	changeRatio                     *obsv.ValueHistogram
@@ -155,6 +177,7 @@ func NewMaterializer(prog *ast.Program, constraints []ast.Rule, base []ast.Atom,
 		entries:     map[string]*matEntry{},
 		order:       list.New(),
 		opts:        opts,
+		epoch:       opts.StartEpoch,
 		refreshWall: obsv.NewHistogram(),
 		changeRatio: obsv.NewValueHistogram(obsv.ChangeRatioBounds()),
 	}
@@ -186,6 +209,10 @@ func (m *Materializer) checkAtom(a ast.Atom) error {
 	}
 	return nil
 }
+
+// ProgramHash returns the canonical hash of the program + constraints the
+// materializer serves — the identity the durable log's recovery checks.
+func (m *Materializer) ProgramHash() string { return m.progHash }
 
 // Epoch returns the current mutation epoch.
 func (m *Materializer) Epoch() int64 {
@@ -268,6 +295,16 @@ func (m *Materializer) Apply(assert, retract []ast.Atom) (BatchResult, error) {
 		eff.Assert = append(eff.Assert, a)
 		res.Asserted++
 	}
+	if res.Changed() && m.opts.Durable != nil {
+		eff.Epoch = m.epoch + 1
+		if err := m.opts.Durable.Append(eff); err != nil {
+			// The batch could not be made durable, so it must not be
+			// acknowledged: unwind the base to the last committed epoch.
+			m.unwindLocked(eff)
+			res = BatchResult{Epoch: m.epoch}
+			return res, fmt.Errorf("durable log append: %w", err)
+		}
+	}
 	m.noopAsserts += int64(res.NoopAsserts)
 	m.noopRetracts += int64(res.NoopRetracts)
 	if res.Changed() {
@@ -283,6 +320,35 @@ func (m *Materializer) Apply(assert, retract []ast.Atom) (BatchResult, error) {
 	}
 	res.Epoch = m.epoch
 	return res, nil
+}
+
+// unwindLocked reverts one effective batch's base-EDB changes after a
+// durable-append failure: asserted facts come back out, retracted facts go
+// back in. Retract-then-assert of the same fact lists it in both, so the
+// asserts are removed first and the retracts restored after.
+func (m *Materializer) unwindLocked(eff MutationBatch) {
+	for _, a := range eff.Assert {
+		k := a.String()
+		i, ok := m.baseIdx[k]
+		if !ok {
+			continue
+		}
+		last := len(m.base) - 1
+		delete(m.baseIdx, k)
+		if i != last {
+			m.base[i] = m.base[last]
+			m.baseIdx[m.base[i].String()] = i
+		}
+		m.base = m.base[:last]
+	}
+	for _, a := range eff.Retract {
+		k := a.String()
+		if _, ok := m.baseIdx[k]; ok {
+			continue
+		}
+		m.baseIdx[k] = len(m.base)
+		m.base = append(m.base, a)
+	}
 }
 
 // Serve answers query under strategy from the registry, refreshing (or
@@ -353,12 +419,28 @@ func (m *Materializer) refreshLocked(ctx context.Context, e *matEntry) (kind str
 	start := time.Now()
 	faultinject.Hit(faultinject.MatRefresh)
 
+	// Pick the batch source for an incremental catch-up: the in-memory log
+	// when it reaches back far enough, else the durable log — LogLimit may
+	// have trimmed batches the WAL still holds, and replaying them beats a
+	// from-scratch rebuild.
+	var replay []MutationBatch
+	fromWal := false
+	if e.mat != nil && !e.mat.Dirty() {
+		if m.logCoversLocked(e.mat.Epoch()) {
+			first := int(e.mat.Epoch() + 1 - m.log[0].Epoch)
+			replay = m.log[first:]
+		} else if m.opts.Durable != nil {
+			if got, ok := m.opts.Durable.Since(e.mat.Epoch()); ok && coversRange(got, e.mat.Epoch(), m.epoch) {
+				replay, fromWal = got, true
+			}
+		}
+	}
+
 	changed := 0
 	switch {
-	case e.mat != nil && !e.mat.Dirty() && m.logCoversLocked(e.mat.Epoch()):
+	case len(replay) > 0:
 		kind = "delta"
-		first := int(e.mat.Epoch() + 1 - m.log[0].Epoch)
-		for _, b := range m.log[first:] {
+		for _, b := range replay {
 			st, aerr := e.mat.Apply(ctx, b.Assert, b.Retract)
 			if aerr != nil {
 				return kind, batches, 0, aerr
@@ -367,6 +449,9 @@ func (m *Materializer) refreshLocked(ctx context.Context, e *matEntry) (kind str
 			batches++
 		}
 		m.deltaCount++
+		if fromWal {
+			m.walDeltaCount++
+		}
 	default:
 		kind = "rebuild"
 		if e.mat == nil {
@@ -400,6 +485,21 @@ func (m *Materializer) logCoversLocked(fromEpoch int64) bool {
 	return len(m.log) > 0 && m.log[0].Epoch <= fromEpoch+1
 }
 
+// coversRange checks that durable-log batches form the exact consecutive
+// chain (from, to] — a defensive guard so a lagging or gappy log can never
+// be replayed as a delta.
+func coversRange(batches []MutationBatch, from, to int64) bool {
+	if int64(len(batches)) != to-from {
+		return false
+	}
+	for i, b := range batches {
+		if b.Epoch != from+int64(i)+1 {
+			return false
+		}
+	}
+	return true
+}
+
 // answersLocked reads e's answers: transformed entries hold them as tuples
 // of the rewritten query predicate; untransformed ones project the original
 // query's matches onto its free positions.
@@ -430,6 +530,7 @@ func (m *Materializer) Stats() obsv.MutationStats {
 		Evictions:      m.evictions,
 		Hits:           m.hitCount,
 		Deltas:         m.deltaCount,
+		WalDeltas:      m.walDeltaCount,
 		Rebuilds:       m.rebuildCount,
 		Builds:         m.buildCount,
 		RefreshWall:    &wall,

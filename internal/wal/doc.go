@@ -1,0 +1,41 @@
+// Package wal is the durability substrate for live fact ingestion: an
+// append-only, epoch-stamped write-ahead log of mutation batches plus
+// periodic base snapshots, so a crashed or restarted server recovers to
+// exactly the epoch of its last acknowledged batch.
+//
+// The log is a sequence of segment files (wal-<firstEpoch>.seg), each a
+// fixed header (magic, format version, program hash) followed by
+// length-prefixed records. A record is a uint32 payload length, a uint32
+// CRC32C (Castagnoli) of the payload, and the payload itself: an 8-byte
+// little-endian epoch followed by the batch's JSON body. Epochs are
+// strictly consecutive across records and segments; a record that breaks
+// the chain, fails its CRC, or runs past the file is a torn tail — Open
+// truncates the log back to the last valid record and reports how much it
+// dropped, so a crash mid-write costs at most the unacknowledged suffix.
+//
+// Appends are acknowledged only after fsync. With FsyncInterval zero every
+// Append syncs before returning; with a positive interval appends are
+// group-committed — concurrent batches written during one interval share a
+// single fsync, and every waiter unblocks when it completes. A failed
+// fsync unwinds: the file is truncated back to the last synced offset and
+// the affected appends report errors, so the on-disk log never holds a
+// batch whose Append did not succeed.
+//
+// Snapshots capture the full base EDB at an epoch. WriteSnapshot writes
+// the snapshot to a temp file, fsyncs, renames it into place, then
+// atomically replaces the MANIFEST (epoch, program hash, snapshot file,
+// content CRC) the same way; only after both renames does retention prune
+// segments whose records are all covered by the snapshot, and older
+// snapshot files. Open recovers from MANIFEST + segments: the snapshot
+// seeds the base, the log tail replays the batches after it, and a
+// program-hash mismatch anywhere refuses recovery with ErrProgramMismatch
+// rather than replaying another program's history.
+//
+// Since(epoch) returns the committed batches after an epoch — the serving
+// side of GET /facts?since=E replica tailing. Batches pruned by retention
+// report ErrCompacted, telling the replica to bootstrap from a snapshot
+// instead. See docs/DURABILITY.md for the wire format and the recovery
+// guarantees, and internal/faultinject (WalAppend, WalFsync,
+// SnapshotWrite, Replay) for the chaos points armed by the crash-recovery
+// property tests.
+package wal

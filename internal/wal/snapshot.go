@@ -1,0 +1,201 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"factorlog/internal/faultinject"
+)
+
+// Snapshot is a full base-EDB capture at an epoch: the complete set of
+// extensional facts (ground-atom strings) after every batch through Epoch
+// was applied. Recovery seeds from the newest snapshot and replays only the
+// log tail after it.
+type Snapshot struct {
+	Epoch       int64    `json:"epoch"`
+	ProgramHash string   `json:"program_hash"`
+	Facts       []string `json:"facts"`
+}
+
+// manifest is the MANIFEST file: which snapshot file is current, and the
+// checksum to verify it by. It is replaced atomically (temp + rename), so
+// recovery always sees either the old complete snapshot or the new one.
+type manifest struct {
+	Epoch       int64  `json:"epoch"`
+	ProgramHash string `json:"program_hash"`
+	Snapshot    string `json:"snapshot"`
+	CRC32C      uint32 `json:"crc32c"`
+}
+
+func snapName(epoch int64) string {
+	return fmt.Sprintf("snap-%016x.snap", uint64(epoch))
+}
+
+// WriteSnapshot durably records a base snapshot and then prunes log
+// segments and older snapshots it makes redundant. The snapshot file and
+// the MANIFEST are each written to a temp file, fsynced, and renamed into
+// place, so a crash at any point leaves the previous snapshot intact; a
+// failed snapshot write never loses batches, because the log stays
+// authoritative until the manifest rename lands.
+func (l *Log) WriteSnapshot(s Snapshot) (err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	defer capturePanic(&err, "snapshot")
+	if l.closed {
+		return ErrClosed
+	}
+	faultinject.Hit(faultinject.SnapshotWrite)
+	if s.ProgramHash == "" {
+		s.ProgramHash = l.opts.ProgramHash
+	}
+	if s.ProgramHash != l.opts.ProgramHash {
+		return fmt.Errorf("%w: snapshot for program %s", ErrProgramMismatch, s.ProgramHash)
+	}
+	if s.Epoch > l.epoch {
+		return fmt.Errorf("wal: snapshot epoch %d ahead of committed epoch %d", s.Epoch, l.epoch)
+	}
+	if s.Epoch <= l.snapEpoch {
+		// Snapshots only move forward; re-snapshotting the covered past is
+		// a no-op, not an error.
+		return nil
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	name := snapName(s.Epoch)
+	if err := writeFileAtomic(l.opts.Dir, name, data); err != nil {
+		return err
+	}
+	m := manifest{Epoch: s.Epoch, ProgramHash: s.ProgramHash, Snapshot: name, CRC32C: crc32.Checksum(data, castagnoli)}
+	mdata, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(l.opts.Dir, manifestName, mdata); err != nil {
+		return err
+	}
+	l.snapEpoch = s.Epoch
+	l.snapshots++
+	l.pruneLocked()
+	return nil
+}
+
+// writeFileAtomic writes name in dir via temp file + fsync + rename +
+// directory fsync — the write is either fully visible or absent.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// pruneLocked is retention: drop every non-active segment fully covered by
+// the newest snapshot, and every snapshot file other than the current one.
+// Removal failures are tolerated — a leftover file costs disk, not
+// correctness, and the next prune retries it.
+func (l *Log) pruneLocked() {
+	keep := l.segments[:0]
+	for i, seg := range l.segments {
+		active := i == len(l.segments)-1
+		if !active && seg.recs > 0 && seg.last <= l.snapEpoch {
+			if os.Remove(seg.path) == nil {
+				continue
+			}
+		}
+		keep = append(keep, seg)
+	}
+	l.segments = keep
+	current := snapName(l.snapEpoch)
+	if names, err := filepath.Glob(filepath.Join(l.opts.Dir, "snap-*.snap")); err == nil {
+		for _, p := range names {
+			if filepath.Base(p) != current {
+				os.Remove(p)
+			}
+		}
+	}
+	syncDir(l.opts.Dir)
+}
+
+// readNewestSnapshot loads the snapshot the MANIFEST points at, verifying
+// its checksum and program hash. With no manifest (first boot, or a crash
+// before the very first one landed) it falls back to the newest parseable
+// snap-*.snap file; with neither it returns nil — recovery starts from the
+// program's seed facts.
+func readNewestSnapshot(dir, wantHash string) (*Snapshot, error) {
+	mdata, err := os.ReadFile(filepath.Join(dir, manifestName))
+	switch {
+	case err == nil:
+		var m manifest
+		if err := json.Unmarshal(mdata, &m); err != nil {
+			return nil, fmt.Errorf("%w: unreadable manifest: %v", ErrCorrupt, err)
+		}
+		if m.ProgramHash != wantHash {
+			return nil, fmt.Errorf("%w: snapshot written for program %s", ErrProgramMismatch, m.ProgramHash)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, m.Snapshot))
+		if err != nil {
+			return nil, fmt.Errorf("%w: manifest names missing snapshot %s: %v", ErrCorrupt, m.Snapshot, err)
+		}
+		if crc32.Checksum(data, castagnoli) != m.CRC32C {
+			return nil, fmt.Errorf("%w: snapshot %s fails manifest checksum", ErrCorrupt, m.Snapshot)
+		}
+		var s Snapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			return nil, fmt.Errorf("%w: unreadable snapshot %s: %v", ErrCorrupt, m.Snapshot, err)
+		}
+		if s.Epoch != m.Epoch || s.ProgramHash != m.ProgramHash {
+			return nil, fmt.Errorf("%w: snapshot %s disagrees with manifest", ErrCorrupt, m.Snapshot)
+		}
+		return &s, nil
+	case errors.Is(err, os.ErrNotExist):
+		// Fall through to the unreferenced-snapshot scan.
+	default:
+		return nil, err
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, p := range names {
+		if strings.Contains(filepath.Base(p), ".tmp-") {
+			continue
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		var s Snapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			continue
+		}
+		if s.ProgramHash != wantHash {
+			return nil, fmt.Errorf("%w: snapshot written for program %s", ErrProgramMismatch, s.ProgramHash)
+		}
+		return &s, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,138 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildTornTailFixture writes a single-segment log of `batches` batches and
+// returns the segment's bytes plus the offset where the last record begins.
+// The offsets are computed with the same encoders the log uses — a
+// white-box shortcut that keeps the property loop exact.
+func buildTornTailFixture(t *testing.T, batches int64) ([]byte, int) {
+	t.Helper()
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, ProgramHash: testHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1, batches)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStart := len(encodeHeader(testHash))
+	for e := int64(1); e < batches; e++ {
+		rec, err := encodeRecord(testBatch(e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastStart += len(rec)
+	}
+	lastRec, err := encodeRecord(testBatch(batches))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := lastStart + len(lastRec); want != len(data) {
+		t.Fatalf("fixture layout drifted: computed %d bytes, file has %d", want, len(data))
+	}
+	return data, lastStart
+}
+
+// checkTornRecovery opens a log directory holding the damaged segment and
+// asserts recovery lands exactly on the last fully-committed epoch, with
+// the tail truncation counted, and that the log accepts the next epoch —
+// the torn batch was never acknowledged, so its epoch must be reusable.
+func checkTornRecovery(t *testing.T, desc string, damaged []byte, wantEpoch int64, wantTruncations int64) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec, err := Open(Options{Dir: dir, ProgramHash: testHash})
+	if err != nil {
+		t.Fatalf("%s: Open: %v", desc, err)
+	}
+	defer l.Close()
+	if rec.Epoch != wantEpoch {
+		t.Fatalf("%s: recovered epoch %d, want %d", desc, rec.Epoch, wantEpoch)
+	}
+	if int64(len(rec.Batches)) != wantEpoch {
+		t.Fatalf("%s: recovered %d batches, want %d", desc, len(rec.Batches), wantEpoch)
+	}
+	for i, b := range rec.Batches {
+		if b.Epoch != int64(i+1) {
+			t.Fatalf("%s: batch %d has epoch %d", desc, i, b.Epoch)
+		}
+	}
+	if rec.TruncatedTail != wantTruncations {
+		t.Fatalf("%s: %d truncations, want %d", desc, rec.TruncatedTail, wantTruncations)
+	}
+	if err := l.Append(testBatch(wantEpoch + 1)); err != nil {
+		t.Fatalf("%s: Append(%d) after recovery: %v", desc, wantEpoch+1, err)
+	}
+}
+
+// TestTornTailTruncationEveryOffset simulates a crash mid-append: the
+// segment is cut at every byte offset inside the final record. Recovery
+// must land exactly on the last fully-committed epoch every time.
+func TestTornTailTruncationEveryOffset(t *testing.T) {
+	const batches = 4
+	data, lastStart := buildTornTailFixture(t, batches)
+	for cut := lastStart; cut < len(data); cut++ {
+		damaged := append([]byte(nil), data[:cut]...)
+		// A cut exactly at the record boundary is a clean (shorter) log,
+		// not a torn one; every other cut leaves a partial record.
+		wantTrunc := int64(1)
+		if cut == lastStart {
+			wantTrunc = 0
+		}
+		checkTornRecovery(t, fmt.Sprintf("truncate at %d/%d", cut, len(data)), damaged, batches-1, wantTrunc)
+	}
+}
+
+// TestTornTailCorruptionEveryOffset flips one byte at every offset inside
+// the final record — length prefix, checksum, epoch, and body alike. The
+// CRC (or the length bound) must catch each one, and recovery must drop
+// exactly the damaged record.
+func TestTornTailCorruptionEveryOffset(t *testing.T) {
+	const batches = 4
+	data, lastStart := buildTornTailFixture(t, batches)
+	for off := lastStart; off < len(data); off++ {
+		damaged := append([]byte(nil), data...)
+		damaged[off] ^= 0xff
+		checkTornRecovery(t, fmt.Sprintf("corrupt byte %d/%d", off, len(data)), damaged, batches-1, 1)
+	}
+}
+
+// TestTornTailRecoveryIsIdempotent reopens a once-repaired log and expects
+// a clean scan: the first recovery already truncated the tail to disk.
+func TestTornTailRecoveryIsIdempotent(t *testing.T) {
+	const batches = 4
+	data, lastStart := buildTornTailFixture(t, batches)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), data[:lastStart+3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec, err := Open(Options{Dir: dir, ProgramHash: testHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != batches-1 || rec.TruncatedTail != 1 {
+		t.Fatalf("first recovery %+v, want epoch %d with one truncation", rec, batches-1)
+	}
+	l.Close()
+	l2, rec2, err := Open(Options{Dir: dir, ProgramHash: testHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec2.Epoch != batches-1 || rec2.TruncatedTail != 0 {
+		t.Fatalf("second recovery %+v, want a clean log at epoch %d", rec2, batches-1)
+	}
+}

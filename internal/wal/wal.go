@@ -1,0 +1,802 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"factorlog/internal/faultinject"
+	"factorlog/internal/obsv"
+)
+
+// Typed errors. Callers test with errors.Is.
+var (
+	// ErrProgramMismatch reports a recovery attempt against a log written
+	// by a different program: replaying another program's batches would
+	// silently produce wrong answers, so Open refuses.
+	ErrProgramMismatch = errors.New("wal: program hash mismatch")
+	// ErrCompacted reports a Since request for batches that retention has
+	// already pruned; the caller must bootstrap from a snapshot instead.
+	ErrCompacted = errors.New("wal: requested batches compacted")
+	// ErrEpochGap reports an Append whose epoch does not extend the log by
+	// exactly one — the monotone-epoch invariant every reader relies on.
+	ErrEpochGap = errors.New("wal: non-consecutive batch epoch")
+	// ErrCorrupt reports log state no torn-tail truncation can repair: a
+	// gap between the snapshot and the first logged batch, a manifest
+	// pointing at a missing or mismatched snapshot file.
+	ErrCorrupt = errors.New("wal: corrupt log")
+	// ErrClosed reports an operation on a closed log.
+	ErrClosed = errors.New("wal: log closed")
+)
+
+const (
+	segMagic   = "FLWALSEG"
+	segVersion = 1
+	// maxRecordPayload bounds one record; anything larger in a length
+	// prefix is treated as a torn tail, not an allocation request.
+	maxRecordPayload    = 64 << 20
+	defaultSegmentBytes = 4 << 20
+	manifestName        = "MANIFEST"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Batch is one epoch-stamped mutation batch: the assert/retract atoms that
+// actually changed the base EDB, rendered as ground-atom strings (the
+// parser round-trips them).
+type Batch struct {
+	Epoch   int64    `json:"epoch"`
+	Assert  []string `json:"assert,omitempty"`
+	Retract []string `json:"retract,omitempty"`
+}
+
+// batchBody is the JSON payload of a record; the epoch travels as the
+// fixed binary header in front of it.
+type batchBody struct {
+	Assert  []string `json:"assert,omitempty"`
+	Retract []string `json:"retract,omitempty"`
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the log directory (created if missing).
+	Dir string
+	// ProgramHash fingerprints the program whose mutation history this log
+	// records; segment headers, snapshots, and the manifest all carry it,
+	// and recovery refuses a mismatch with ErrProgramMismatch.
+	ProgramHash string
+	// FsyncInterval is the group-commit window: appends arriving within one
+	// interval share a single fsync. Zero (the default) fsyncs every append
+	// before acknowledging it.
+	FsyncInterval time.Duration
+	// SegmentBytes rotates the active segment past this size; 0 means 4 MiB.
+	// Retention prunes whole segments, so smaller segments reclaim space
+	// sooner after a snapshot.
+	SegmentBytes int64
+}
+
+// Recovery is what Open reconstructed: the newest snapshot (nil when none
+// was ever written), the committed batches after it in epoch order, and the
+// epoch the log ends at — the exact epoch of the last acknowledged batch
+// before the crash.
+type Recovery struct {
+	Snapshot *Snapshot
+	Batches  []Batch
+	Epoch    int64
+	// TruncatedTail counts torn-tail truncations recovery performed (bytes
+	// after the last valid record that were dropped).
+	TruncatedTail int64
+}
+
+// segment is the in-memory metadata of one on-disk segment file. first/last
+// are record epochs, valid when recs > 0; size is the synced length, the
+// prefix Since may serve.
+type segment struct {
+	path        string
+	first, last int64
+	recs        int
+	size        int64
+}
+
+// commitWaiter is one Append waiting for its group commit.
+type commitWaiter struct {
+	ch    chan error
+	start time.Time
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent use.
+type Log struct {
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File   // active segment, nil until the first append
+	segments []*segment // ascending epoch order; last is active
+	// epoch is the last durable (synced) epoch; written runs ahead of it
+	// while a group commit is pending. syncedSize/writtenSize mirror the
+	// same split for the active segment's length.
+	epoch, written          int64
+	syncedSize, writtenSize int64
+	pendingRecs             int
+	snapEpoch               int64
+	closed                  bool
+	// broken is set when a failed fsync could not be unwound; the log
+	// refuses further appends rather than guess at its on-disk state.
+	broken error
+
+	waiters    []commitWaiter
+	kick       chan struct{}
+	done       chan struct{}
+	syncerDone chan struct{}
+
+	batches, fsyncs, snapshots int64
+	replayed, truncated        int64
+	groupCommit                *obsv.Histogram
+}
+
+// Open opens (or creates) the log in opts.Dir, recovers the snapshot and
+// committed log tail, truncates any torn tail, and returns the log ready
+// for appends. The recovery describes exactly the state a restarted server
+// must rebuild: snapshot base, then batches, ending at Recovery.Epoch.
+func Open(opts Options) (l *Log, rec *Recovery, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				l, rec, err = nil, nil, fmt.Errorf("wal: open: recovered panic: %w", e)
+				return
+			}
+			l, rec, err = nil, nil, fmt.Errorf("wal: open: recovered panic: %v", r)
+		}
+	}()
+	if opts.Dir == "" {
+		return nil, nil, errors.New("wal: empty directory")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	l = &Log{
+		opts:        opts,
+		kick:        make(chan struct{}, 1),
+		done:        make(chan struct{}),
+		syncerDone:  make(chan struct{}),
+		groupCommit: obsv.NewHistogram(),
+	}
+	rec = &Recovery{}
+	snap, err := readNewestSnapshot(opts.Dir, opts.ProgramHash)
+	if err != nil {
+		return nil, nil, err
+	}
+	if snap != nil {
+		l.snapEpoch = snap.Epoch
+		rec.Snapshot = snap
+		rec.Epoch = snap.Epoch
+	}
+	if err := l.scanSegments(rec); err != nil {
+		return nil, nil, err
+	}
+	l.epoch, l.written = rec.Epoch, rec.Epoch
+	if n := len(l.segments); n > 0 {
+		seg := l.segments[n-1]
+		f, err := os.OpenFile(seg.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := f.Seek(seg.size, io.SeekStart); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.f = f
+		l.syncedSize, l.writtenSize = seg.size, seg.size
+	}
+	if opts.FsyncInterval > 0 {
+		go l.syncLoop()
+	} else {
+		close(l.syncerDone)
+	}
+	return l, rec, nil
+}
+
+// Epoch returns the epoch of the last durably committed batch.
+func (l *Log) Epoch() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+// SnapshotEpoch returns the newest snapshot's epoch (0 when none exists).
+func (l *Log) SnapshotEpoch() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapEpoch
+}
+
+// FirstAvailable returns the earliest batch epoch the log still holds, and
+// whether it holds any at all. A replica asking for older batches must
+// bootstrap from the snapshot instead.
+func (l *Log) FirstAvailable() (int64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstAvailableLocked()
+}
+
+func (l *Log) firstAvailableLocked() (int64, bool) {
+	for _, seg := range l.segments {
+		if seg.recs > 0 {
+			return seg.first, true
+		}
+	}
+	return 0, false
+}
+
+// Append durably logs one batch. The batch's epoch must extend the log by
+// exactly one (ErrEpochGap otherwise). Append returns only after the
+// record is fsynced — under a positive FsyncInterval it waits for the
+// group commit covering it — so a nil return means the batch survives any
+// crash. On any error the record is not durable and the on-disk log is
+// unwound to the last acknowledged batch.
+func (l *Log) Append(b Batch) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.broken != nil {
+		err := l.broken
+		l.mu.Unlock()
+		return err
+	}
+	if err := hitAppend(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if b.Epoch != l.written+1 {
+		want := l.written + 1
+		l.mu.Unlock()
+		return fmt.Errorf("%w: got %d, want %d", ErrEpochGap, b.Epoch, want)
+	}
+	rec, err := encodeRecord(b)
+	if err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if l.f == nil || l.writtenSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(b.Epoch); err != nil {
+			l.mu.Unlock()
+			return err
+		}
+	}
+	if _, err := l.f.Write(rec); err != nil {
+		uerr := l.unwindLocked()
+		l.mu.Unlock()
+		if uerr != nil {
+			return uerr
+		}
+		return err
+	}
+	l.written = b.Epoch
+	l.writtenSize += int64(len(rec))
+	l.pendingRecs++
+
+	w := commitWaiter{ch: make(chan error, 1), start: time.Now()}
+	l.waiters = append(l.waiters, w)
+	if l.opts.FsyncInterval <= 0 {
+		l.completeSyncLocked()
+		l.mu.Unlock()
+		return <-w.ch
+	}
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	l.mu.Unlock()
+	return <-w.ch
+}
+
+// hitAppend is the WalAppend injection point, converted from a panic to an
+// error so a fault rejects the batch cleanly before any bytes are written.
+func hitAppend() (err error) {
+	defer capturePanic(&err, "append")
+	faultinject.Hit(faultinject.WalAppend)
+	return nil
+}
+
+// completeSyncLocked fsyncs the written tail and resolves every pending
+// waiter with the outcome. On fsync failure the unsynced tail is unwound —
+// truncated back to the last durable offset — so an errored Append leaves
+// no record behind for recovery to replay.
+func (l *Log) completeSyncLocked() {
+	ws := l.waiters
+	l.waiters = nil
+	if l.written == l.epoch && l.writtenSize == l.syncedSize {
+		l.resolve(ws, nil)
+		return
+	}
+	err := func() (err error) {
+		defer capturePanic(&err, "fsync")
+		faultinject.Hit(faultinject.WalFsync)
+		return l.f.Sync()
+	}()
+	if err != nil {
+		if uerr := l.unwindLocked(); uerr != nil {
+			err = uerr
+		}
+		l.resolve(ws, err)
+		return
+	}
+	l.fsyncs++
+	l.epoch = l.written
+	l.syncedSize = l.writtenSize
+	seg := l.segments[len(l.segments)-1]
+	if l.pendingRecs > 0 {
+		if seg.recs == 0 {
+			seg.first = l.epoch - int64(l.pendingRecs) + 1
+		}
+		seg.last = l.epoch
+		seg.recs += l.pendingRecs
+		l.batches += int64(l.pendingRecs)
+		l.pendingRecs = 0
+	}
+	seg.size = l.syncedSize
+	l.resolve(ws, nil)
+}
+
+func (l *Log) resolve(ws []commitWaiter, err error) {
+	for _, w := range ws {
+		l.groupCommit.Observe(time.Since(w.start))
+		w.ch <- err
+	}
+}
+
+// unwindLocked drops the unsynced written tail after a write or fsync
+// failure: truncate back to the durable offset and rewind the bookkeeping.
+// If even the truncate fails the log marks itself broken — guessing at the
+// on-disk state would risk acknowledging batches that are not there.
+func (l *Log) unwindLocked() error {
+	if l.f != nil {
+		if err := l.f.Truncate(l.syncedSize); err != nil {
+			l.broken = fmt.Errorf("wal: unwind after failed sync: %v (log disabled)", err)
+			return l.broken
+		}
+		if _, err := l.f.Seek(l.syncedSize, io.SeekStart); err != nil {
+			l.broken = fmt.Errorf("wal: unwind after failed sync: %v (log disabled)", err)
+			return l.broken
+		}
+	}
+	l.written = l.epoch
+	l.writtenSize = l.syncedSize
+	l.pendingRecs = 0
+	return nil
+}
+
+// rotateLocked flushes and closes the active segment and starts a new one
+// whose name records the first epoch it will hold. The new header becomes
+// durable with the first record's fsync (same file).
+func (l *Log) rotateLocked(first int64) error {
+	if l.f != nil {
+		l.completeSyncLocked()
+		if l.broken != nil {
+			return l.broken
+		}
+		if l.written != l.epoch {
+			return errors.New("wal: rotate with unsynced tail")
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.f = nil
+	}
+	path := filepath.Join(l.opts.Dir, segName(first))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := encodeHeader(l.opts.ProgramHash)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(l.opts.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	seg := &segment{path: path, size: int64(len(hdr))}
+	l.segments = append(l.segments, seg)
+	l.syncedSize, l.writtenSize = seg.size, seg.size
+	return nil
+}
+
+// Since returns the committed batches with epochs in (after, Epoch()], in
+// epoch order — the replica-tailing read. It reports ErrCompacted when
+// retention has pruned any batch the caller would need.
+func (l *Log) Since(after int64) ([]Batch, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if after >= l.epoch {
+		return nil, nil
+	}
+	first, ok := l.firstAvailableLocked()
+	if !ok || after+1 < first {
+		return nil, fmt.Errorf("%w: batches after epoch %d requested, log begins at epoch %d (snapshot at %d)",
+			ErrCompacted, after, first, l.snapEpoch)
+	}
+	var out []Batch
+	for _, seg := range l.segments {
+		if seg.recs == 0 || seg.last <= after {
+			continue
+		}
+		batches, err := readSegmentBatches(seg, l.opts.ProgramHash)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range batches {
+			if b.Epoch > after && b.Epoch <= l.epoch {
+				out = append(out, b)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Stats snapshots the durability counters for /metrics.
+func (l *Log) Stats() obsv.DurabilityStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var size int64
+	for _, seg := range l.segments {
+		size += seg.size
+	}
+	h := *l.groupCommit
+	h.Bounds = append([]time.Duration(nil), l.groupCommit.Bounds...)
+	h.BucketCounts = append([]int64(nil), l.groupCommit.BucketCounts...)
+	first, _ := l.firstAvailableLocked()
+	return obsv.DurabilityStats{
+		Enabled:              true,
+		WalEpoch:             l.epoch,
+		LastSnapshotEpoch:    l.snapEpoch,
+		FirstAvailableEpoch:  first,
+		BatchesLogged:        l.batches,
+		Fsyncs:               l.fsyncs,
+		SnapshotsWritten:     l.snapshots,
+		ReplayedBatches:      l.replayed,
+		TruncatedTailRecords: l.truncated,
+		Segments:             len(l.segments),
+		WalBytes:             size,
+		GroupCommitWall:      &h,
+	}
+}
+
+// Close flushes any pending group commit and closes the log. Further
+// operations return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.done)
+	if l.f != nil {
+		l.completeSyncLocked()
+	}
+	var err error
+	if l.f != nil {
+		err = l.f.Close()
+		l.f = nil
+	}
+	l.mu.Unlock()
+	<-l.syncerDone
+	return err
+}
+
+// syncLoop is the group-commit goroutine: each kick opens one commit
+// window of FsyncInterval, then a single fsync acknowledges every append
+// that landed inside it.
+func (l *Log) syncLoop() {
+	defer close(l.syncerDone)
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-l.kick:
+			timer := time.NewTimer(l.opts.FsyncInterval)
+			select {
+			case <-timer.C:
+			case <-l.done:
+				timer.Stop()
+			}
+			l.mu.Lock()
+			if !l.closed {
+				l.completeSyncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// ---- record and header encoding ----
+
+// segName names a segment file by the first epoch it holds; the fixed-width
+// hex keeps lexical order equal to epoch order.
+func segName(first int64) string {
+	return fmt.Sprintf("wal-%016x.seg", uint64(first))
+}
+
+// encodeHeader builds the segment header: magic, version, program hash,
+// and a CRC32C over the variable part.
+func encodeHeader(hash string) []byte {
+	hdr := make([]byte, 0, len(segMagic)+8+len(hash)+4)
+	hdr = append(hdr, segMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, segVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(hash)))
+	hdr = append(hdr, hash...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(hdr[len(segMagic):], castagnoli))
+	return hdr
+}
+
+// errTornHeader marks a segment whose header never became durable; legal
+// only on the newest segment (dropped whole), corruption anywhere else.
+var errTornHeader = errors.New("wal: torn segment header")
+
+// checkHeader validates a segment header and returns its length and the
+// program hash it recorded.
+func checkHeader(data []byte, wantHash string) (int, error) {
+	if len(data) < len(segMagic)+8 {
+		return 0, errTornHeader
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return 0, errTornHeader
+	}
+	off := len(segMagic)
+	version := binary.LittleEndian.Uint32(data[off:])
+	hashLen := binary.LittleEndian.Uint32(data[off+4:])
+	if version != segVersion {
+		return 0, fmt.Errorf("%w: unsupported segment version %d", ErrCorrupt, version)
+	}
+	if hashLen > 1<<10 || len(data) < off+8+int(hashLen)+4 {
+		return 0, errTornHeader
+	}
+	end := off + 8 + int(hashLen)
+	if crc32.Checksum(data[off:end], castagnoli) != binary.LittleEndian.Uint32(data[end:]) {
+		return 0, errTornHeader
+	}
+	if got := string(data[off+8 : end]); got != wantHash {
+		return 0, fmt.Errorf("%w: segment written for program %s", ErrProgramMismatch, got)
+	}
+	return end + 4, nil
+}
+
+// encodeRecord builds one length-prefixed record: uint32 payload length,
+// uint32 CRC32C of the payload, then the payload (8-byte little-endian
+// epoch + JSON batch body).
+func encodeRecord(b Batch) ([]byte, error) {
+	body, err := json.Marshal(batchBody{Assert: b.Assert, Retract: b.Retract})
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, 8, 8+len(body))
+	binary.LittleEndian.PutUint64(payload, uint64(b.Epoch))
+	payload = append(payload, body...)
+	rec := make([]byte, 0, 8+len(payload))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.Checksum(payload, castagnoli))
+	rec = append(rec, payload...)
+	return rec, nil
+}
+
+// decodeRecord decodes the record at the front of data. ok is false when
+// the bytes do not form a complete, checksummed record — the torn-tail
+// signal.
+func decodeRecord(data []byte) (Batch, int, bool) {
+	if len(data) < 8 {
+		return Batch{}, 0, false
+	}
+	plen := binary.LittleEndian.Uint32(data)
+	crc := binary.LittleEndian.Uint32(data[4:])
+	if plen < 8 || plen > maxRecordPayload || len(data) < 8+int(plen) {
+		return Batch{}, 0, false
+	}
+	payload := data[8 : 8+plen]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return Batch{}, 0, false
+	}
+	var body batchBody
+	if err := json.Unmarshal(payload[8:], &body); err != nil {
+		return Batch{}, 0, false
+	}
+	epoch := int64(binary.LittleEndian.Uint64(payload))
+	return Batch{Epoch: epoch, Assert: body.Assert, Retract: body.Retract}, 8 + int(plen), true
+}
+
+// ---- recovery scan ----
+
+// scanSegments walks the segment files in epoch order, validating headers,
+// CRCs, and the epoch chain. The first invalid record anywhere truncates
+// that segment and drops every later one — recovery keeps exactly a valid
+// prefix of the acknowledged history.
+func (l *Log) scanSegments(rec *Recovery) error {
+	names, err := filepath.Glob(filepath.Join(l.opts.Dir, "wal-*.seg"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(names)
+	prev := int64(-1)
+	truncatedAt := false
+	for i, path := range names {
+		last := i == len(names)-1
+		if truncatedAt {
+			// Everything after a truncation is an untrusted suffix.
+			if err := os.Remove(path); err != nil {
+				return err
+			}
+			continue
+		}
+		seg, batches, torn, err := l.scanSegment(path, &prev, rec)
+		if err != nil {
+			if errors.Is(err, errTornHeader) && last {
+				// The newest segment's header never became durable: the
+				// segment holds nothing acknowledged. Drop it whole.
+				if rerr := os.Remove(path); rerr != nil {
+					return rerr
+				}
+				l.truncated++
+				rec.TruncatedTail++
+				continue
+			}
+			if errors.Is(err, errTornHeader) {
+				return fmt.Errorf("%w: %v (%s)", ErrCorrupt, err, path)
+			}
+			return err
+		}
+		if torn {
+			l.truncated++
+			rec.TruncatedTail++
+			truncatedAt = true
+		}
+		if seg.recs == 0 && !torn && !last {
+			// An empty interior segment holds nothing worth keeping.
+			if err := os.Remove(path); err != nil {
+				return err
+			}
+			continue
+		}
+		l.segments = append(l.segments, seg)
+		for _, b := range batches {
+			if b.Epoch > l.snapEpoch {
+				rec.Batches = append(rec.Batches, b)
+				l.replayed++
+			}
+		}
+		if seg.recs > 0 && seg.last > rec.Epoch {
+			rec.Epoch = seg.last
+		}
+	}
+	return nil
+}
+
+// scanSegment reads one segment, returning its metadata, decoded batches,
+// and whether a torn tail was truncated off. prev carries the epoch chain
+// across segments (-1 before the first record anywhere).
+func (l *Log) scanSegment(path string, prev *int64, rec *Recovery) (*segment, []Batch, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	hdrLen, err := checkHeader(data, l.opts.ProgramHash)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	seg := &segment{path: path}
+	var batches []Batch
+	off := hdrLen
+	torn := false
+	for off < len(data) {
+		b, n, ok := decodeRecord(data[off:])
+		if !ok {
+			torn = true
+			break
+		}
+		faultinject.Hit(faultinject.Replay)
+		if *prev >= 0 {
+			if b.Epoch != *prev+1 {
+				// A chain break past a valid CRC is still corruption; keep
+				// the prefix, drop the rest.
+				torn = true
+				break
+			}
+		} else {
+			start := int64(1)
+			if rec.Snapshot != nil {
+				start = l.snapEpoch + 1
+			}
+			if b.Epoch <= 0 {
+				torn = true
+				break
+			}
+			if b.Epoch > start {
+				return nil, nil, false, fmt.Errorf("%w: log begins at epoch %d, snapshot covers through %d",
+					ErrCorrupt, b.Epoch, l.snapEpoch)
+			}
+		}
+		*prev = b.Epoch
+		if seg.recs == 0 {
+			seg.first = b.Epoch
+		}
+		seg.last = b.Epoch
+		seg.recs++
+		batches = append(batches, b)
+		off += n
+	}
+	if torn || off < len(data) {
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return nil, nil, false, err
+		}
+		torn = true
+	}
+	seg.size = int64(off)
+	return seg, batches, torn, nil
+}
+
+// readSegmentBatches re-reads a segment's committed records for Since. Only
+// the synced prefix (seg.size) is read, so an in-flight group commit's
+// records never leak to a replica before they are durable.
+func readSegmentBatches(seg *segment, hash string) ([]Batch, error) {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > seg.size {
+		data = data[:seg.size]
+	}
+	hdrLen, err := checkHeader(data, hash)
+	if err != nil {
+		return nil, err
+	}
+	var out []Batch
+	off := hdrLen
+	for off < len(data) {
+		b, n, ok := decodeRecord(data[off:])
+		if !ok {
+			return nil, fmt.Errorf("%w: unreadable committed record in %s at offset %d", ErrCorrupt, seg.path, off)
+		}
+		out = append(out, b)
+		off += n
+	}
+	return out, nil
+}
+
+// capturePanic converts a panic (a fault-injection *Fault, or anything
+// else) into an error so durability failures surface as rejected batches,
+// never as a crashed server.
+func capturePanic(err *error, op string) {
+	if r := recover(); r != nil {
+		if e, ok := r.(error); ok {
+			*err = fmt.Errorf("wal: %s: %w", op, e)
+			return
+		}
+		*err = fmt.Errorf("wal: %s: panic: %v", op, r)
+	}
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,405 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"factorlog/internal/faultinject"
+)
+
+const testHash = "sha256:test-program"
+
+func testOpen(t *testing.T, dir string, opt func(*Options)) (*Log, *Recovery) {
+	t.Helper()
+	opts := Options{Dir: dir, ProgramHash: testHash}
+	if opt != nil {
+		opt(&opts)
+	}
+	l, rec, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, rec
+}
+
+func testBatch(epoch int64) Batch {
+	return Batch{
+		Epoch:   epoch,
+		Assert:  []string{fmt.Sprintf("e(%d, %d).", epoch, epoch+1)},
+		Retract: []string{fmt.Sprintf("old(%d).", epoch)},
+	}
+}
+
+func appendN(t *testing.T, l *Log, from, to int64) {
+	t.Helper()
+	for e := from; e <= to; e++ {
+		if err := l.Append(testBatch(e)); err != nil {
+			t.Fatalf("Append(epoch %d): %v", e, err)
+		}
+	}
+}
+
+func TestRoundtripRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := testOpen(t, dir, nil)
+	if rec.Epoch != 0 || rec.Snapshot != nil || len(rec.Batches) != 0 {
+		t.Fatalf("fresh log recovered %+v", rec)
+	}
+	appendN(t, l, 1, 7)
+	if got := l.Epoch(); got != 7 {
+		t.Fatalf("Epoch() = %d, want 7", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec2 := testOpen(t, dir, nil)
+	if rec2.Epoch != 7 {
+		t.Fatalf("recovered epoch %d, want 7", rec2.Epoch)
+	}
+	if len(rec2.Batches) != 7 {
+		t.Fatalf("recovered %d batches, want 7", len(rec2.Batches))
+	}
+	for i, b := range rec2.Batches {
+		if want := testBatch(int64(i + 1)); !reflect.DeepEqual(b, want) {
+			t.Fatalf("batch %d = %+v, want %+v", i, b, want)
+		}
+	}
+	// Appends continue the chain across a reopen.
+	appendN(t, l2, 8, 9)
+	if got := l2.Epoch(); got != 9 {
+		t.Fatalf("Epoch() after reopen appends = %d, want 9", got)
+	}
+}
+
+func TestEpochMonotonicity(t *testing.T) {
+	l, _ := testOpen(t, t.TempDir(), nil)
+	if err := l.Append(testBatch(2)); !errors.Is(err, ErrEpochGap) {
+		t.Fatalf("Append(2) on empty log: %v, want ErrEpochGap", err)
+	}
+	appendN(t, l, 1, 1)
+	if err := l.Append(testBatch(3)); !errors.Is(err, ErrEpochGap) {
+		t.Fatalf("Append(3) after epoch 1: %v, want ErrEpochGap", err)
+	}
+	if err := l.Append(testBatch(1)); !errors.Is(err, ErrEpochGap) {
+		t.Fatalf("re-Append(1): %v, want ErrEpochGap", err)
+	}
+	appendN(t, l, 2, 2)
+}
+
+func TestSince(t *testing.T) {
+	l, _ := testOpen(t, t.TempDir(), func(o *Options) {
+		o.SegmentBytes = 64 // force rotation so Since spans segments
+	})
+	appendN(t, l, 1, 5)
+	got, err := l.Since(2)
+	if err != nil {
+		t.Fatalf("Since(2): %v", err)
+	}
+	if len(got) != 3 || got[0].Epoch != 3 || got[2].Epoch != 5 {
+		t.Fatalf("Since(2) = %+v, want epochs 3..5", got)
+	}
+	all, err := l.Since(0)
+	if err != nil {
+		t.Fatalf("Since(0): %v", err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("Since(0) returned %d batches, want 5", len(all))
+	}
+	for i, b := range all {
+		if want := testBatch(int64(i + 1)); !reflect.DeepEqual(b, want) {
+			t.Fatalf("Since(0)[%d] = %+v, want %+v", i, b, want)
+		}
+	}
+	if got, err := l.Since(5); err != nil || len(got) != 0 {
+		t.Fatalf("Since(5) = %+v, %v; want empty", got, err)
+	}
+	if got, err := l.Since(99); err != nil || len(got) != 0 {
+		t.Fatalf("Since(99) = %+v, %v; want empty", got, err)
+	}
+}
+
+func TestSnapshotRetentionAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := testOpen(t, dir, func(o *Options) {
+		o.SegmentBytes = 64 // a couple of records per segment
+	})
+	appendN(t, l, 1, 10)
+	snap := Snapshot{Epoch: 8, Facts: []string{"base(1).", "base(2)."}}
+	if err := l.WriteSnapshot(snap); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if got := l.SnapshotEpoch(); got != 8 {
+		t.Fatalf("SnapshotEpoch() = %d, want 8", got)
+	}
+	// Batches 9 and 10 must still be tailable; earlier ones are compacted
+	// away with the pruned segments.
+	if got, err := l.Since(8); err != nil || len(got) != 2 {
+		t.Fatalf("Since(8) = %+v, %v; want epochs 9,10", got, err)
+	}
+	if _, err := l.Since(0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("Since(0) after prune: %v, want ErrCompacted", err)
+	}
+	st := l.Stats()
+	if st.LastSnapshotEpoch != 8 || st.SnapshotsWritten != 1 {
+		t.Fatalf("stats after snapshot: %+v", st)
+	}
+	l.Close()
+
+	l2, rec := testOpen(t, dir, nil)
+	if rec.Snapshot == nil {
+		t.Fatal("recovery lost the snapshot")
+	}
+	if rec.Snapshot.Epoch != 8 || !reflect.DeepEqual(rec.Snapshot.Facts, snap.Facts) {
+		t.Fatalf("recovered snapshot %+v", rec.Snapshot)
+	}
+	if rec.Epoch != 10 || len(rec.Batches) != 2 || rec.Batches[0].Epoch != 9 {
+		t.Fatalf("recovered tail %+v, want epochs 9,10 ending at 10", rec)
+	}
+	// A second snapshot at the head allows full compaction of the tail.
+	if err := l2.WriteSnapshot(Snapshot{Epoch: 10, Facts: []string{"base(3)."}}); err != nil {
+		t.Fatalf("WriteSnapshot(10): %v", err)
+	}
+	appendN(t, l2, 11, 11)
+	if got, err := l2.Since(10); err != nil || len(got) != 1 {
+		t.Fatalf("Since(10) = %+v, %v; want epoch 11", got, err)
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	l, _ := testOpen(t, t.TempDir(), nil)
+	appendN(t, l, 1, 3)
+	if err := l.WriteSnapshot(Snapshot{Epoch: 9}); err == nil {
+		t.Fatal("snapshot ahead of the log was accepted")
+	}
+	if err := l.WriteSnapshot(Snapshot{Epoch: 2, ProgramHash: "sha256:other"}); !errors.Is(err, ErrProgramMismatch) {
+		t.Fatalf("foreign-program snapshot: %v, want ErrProgramMismatch", err)
+	}
+	if err := l.WriteSnapshot(Snapshot{Epoch: 2}); err != nil {
+		t.Fatalf("WriteSnapshot(2): %v", err)
+	}
+	// Moving backwards is a no-op, not an error.
+	if err := l.WriteSnapshot(Snapshot{Epoch: 1}); err != nil {
+		t.Fatalf("backwards snapshot: %v", err)
+	}
+	if got := l.SnapshotEpoch(); got != 2 {
+		t.Fatalf("SnapshotEpoch() = %d, want 2", got)
+	}
+}
+
+func TestProgramHashMismatch(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := testOpen(t, dir, nil)
+	appendN(t, l, 1, 2)
+	if err := l.WriteSnapshot(Snapshot{Epoch: 1}); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	l.Close()
+	if _, _, err := Open(Options{Dir: dir, ProgramHash: "sha256:other"}); !errors.Is(err, ErrProgramMismatch) {
+		t.Fatalf("Open with foreign hash: %v, want ErrProgramMismatch", err)
+	}
+	// The refusal must not have damaged the log.
+	_, rec := testOpen(t, dir, nil)
+	if rec.Epoch != 2 {
+		t.Fatalf("recovered epoch %d after refused open, want 2", rec.Epoch)
+	}
+}
+
+func TestGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := testOpen(t, dir, func(o *Options) {
+		o.FsyncInterval = 20 * time.Millisecond
+	})
+	const n = 32
+	var (
+		mu   sync.Mutex
+		next = int64(1)
+		wg   sync.WaitGroup
+	)
+	// Concurrent appenders race for consecutive epochs: each claims the
+	// next epoch and spins past ErrEpochGap until its predecessor's write
+	// has landed, so many batches pile into one commit window.
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			e := next
+			next++
+			mu.Unlock()
+			for {
+				err := l.Append(testBatch(e))
+				if err == nil {
+					return
+				}
+				if !errors.Is(err, ErrEpochGap) {
+					t.Errorf("Append(%d): %v", e, err)
+					return
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.BatchesLogged != n || st.WalEpoch != n {
+		t.Fatalf("stats after concurrent appends: %+v", st)
+	}
+	if st.Fsyncs >= n {
+		t.Fatalf("group commit never batched: %d fsyncs for %d batches", st.Fsyncs, n)
+	}
+	if st.GroupCommitWall == nil || st.GroupCommitWall.Count != n {
+		t.Fatalf("group-commit histogram missing observations: %+v", st.GroupCommitWall)
+	}
+	l.Close()
+	_, rec := testOpen(t, dir, nil)
+	if rec.Epoch != n || len(rec.Batches) != n {
+		t.Fatalf("recovered %d batches ending at %d, want %d", len(rec.Batches), rec.Epoch, n)
+	}
+}
+
+func TestAppendFaultRejectsBatch(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := testOpen(t, dir, nil)
+	appendN(t, l, 1, 2)
+	disable := faultinject.Enable(faultinject.Config{
+		Seed: 1, MaxPeriod: 1, Points: []faultinject.Point{faultinject.WalAppend},
+	})
+	err := l.Append(testBatch(3))
+	disable()
+	if err == nil {
+		t.Fatal("Append under WalAppend fault succeeded")
+	}
+	var f *faultinject.Fault
+	if !errors.As(err, &f) || f.Point != faultinject.WalAppend {
+		t.Fatalf("Append error %v does not wrap the injected fault", err)
+	}
+	if got := l.Epoch(); got != 2 {
+		t.Fatalf("Epoch() = %d after rejected append, want 2", got)
+	}
+	// The same epoch must be retryable once the fault clears.
+	appendN(t, l, 3, 3)
+	l.Close()
+	_, rec := testOpen(t, dir, nil)
+	if rec.Epoch != 3 || len(rec.Batches) != 3 {
+		t.Fatalf("recovered %+v, want 3 batches", rec)
+	}
+}
+
+func TestFsyncFaultUnwindsTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := testOpen(t, dir, nil)
+	appendN(t, l, 1, 2)
+	disable := faultinject.Enable(faultinject.Config{
+		Seed: 1, MaxPeriod: 1, Points: []faultinject.Point{faultinject.WalFsync},
+	})
+	err := l.Append(testBatch(3))
+	disable()
+	if err == nil {
+		t.Fatal("Append under WalFsync fault succeeded")
+	}
+	if got := l.Epoch(); got != 2 {
+		t.Fatalf("Epoch() = %d after failed fsync, want 2", got)
+	}
+	// The unwind must have removed the unacknowledged record from disk:
+	// retrying the same epoch extends a clean tail.
+	appendN(t, l, 3, 3)
+	got, err := l.Since(0)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("Since(0) = %d batches, %v; want 3", len(got), err)
+	}
+	l.Close()
+	_, rec := testOpen(t, dir, nil)
+	if rec.Epoch != 3 || len(rec.Batches) != 3 || rec.TruncatedTail != 0 {
+		t.Fatalf("recovered %+v, want a clean 3-batch log", rec)
+	}
+}
+
+func TestSnapshotFaultKeepsLogAuthoritative(t *testing.T) {
+	l, _ := testOpen(t, t.TempDir(), nil)
+	appendN(t, l, 1, 4)
+	disable := faultinject.Enable(faultinject.Config{
+		Seed: 1, MaxPeriod: 1, Points: []faultinject.Point{faultinject.SnapshotWrite},
+	})
+	err := l.WriteSnapshot(Snapshot{Epoch: 3})
+	disable()
+	if err == nil {
+		t.Fatal("WriteSnapshot under SnapshotWrite fault succeeded")
+	}
+	if got := l.SnapshotEpoch(); got != 0 {
+		t.Fatalf("SnapshotEpoch() = %d after failed snapshot, want 0", got)
+	}
+	// No batch may be lost to a failed snapshot.
+	if got, err := l.Since(0); err != nil || len(got) != 4 {
+		t.Fatalf("Since(0) = %d batches, %v; want 4", len(got), err)
+	}
+	if err := l.WriteSnapshot(Snapshot{Epoch: 3}); err != nil {
+		t.Fatalf("WriteSnapshot retry: %v", err)
+	}
+}
+
+func TestReplayFault(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := testOpen(t, dir, nil)
+	appendN(t, l, 1, 5)
+	l.Close()
+	disable := faultinject.Enable(faultinject.Config{
+		Seed: 1, MaxPeriod: 1, Points: []faultinject.Point{faultinject.Replay},
+	})
+	_, _, err := Open(Options{Dir: dir, ProgramHash: testHash})
+	disable()
+	if err == nil {
+		t.Fatal("Open under Replay fault succeeded")
+	}
+	// A crash during recovery must leave the log recoverable.
+	_, rec := testOpen(t, dir, nil)
+	if rec.Epoch != 5 || len(rec.Batches) != 5 {
+		t.Fatalf("recovered %+v after faulted replay, want 5 batches", rec)
+	}
+}
+
+func TestClosed(t *testing.T) {
+	l, _ := testOpen(t, t.TempDir(), nil)
+	appendN(t, l, 1, 1)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := l.Append(testBatch(2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: %v, want ErrClosed", err)
+	}
+	if _, err := l.Since(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Since after Close: %v, want ErrClosed", err)
+	}
+	if err := l.WriteSnapshot(Snapshot{Epoch: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WriteSnapshot after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestRecoveryDropsOrphanedTornHeader(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := testOpen(t, dir, nil)
+	appendN(t, l, 1, 3)
+	l.Close()
+	// Simulate a crash between segment creation and the first record's
+	// fsync: a newest segment whose header is garbage.
+	if err := os.WriteFile(filepath.Join(dir, segName(4)), []byte("FLWA"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := testOpen(t, dir, nil)
+	if rec.Epoch != 3 || rec.TruncatedTail != 1 {
+		t.Fatalf("recovered %+v, want epoch 3 with one truncation", rec)
+	}
+	// The dropped file must not block new appends.
+	appendN(t, l2, 4, 4)
+}
